@@ -1,0 +1,60 @@
+// Ablation (beyond the paper's figures): balancing-algorithm quality and
+// runtime across workload skews — the design-choice study behind DGraph's
+// `balance(method=...)` default.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/plan/balance.h"
+
+namespace msd {
+namespace {
+
+std::vector<double> SkewedCosts(size_t n, double sigma, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> costs(n);
+  for (double& c : costs) {
+    c = rng.LogNormal(0.0, sigma);
+  }
+  return costs;
+}
+
+void BM_Balancer(benchmark::State& state) {
+  auto method = static_cast<BalanceMethod>(state.range(0));
+  size_t items = static_cast<size_t>(state.range(1));
+  double sigma = static_cast<double>(state.range(2)) / 10.0;
+  std::vector<double> costs = SkewedCosts(items, sigma, 42);
+  int32_t bins = 32;
+  double imbalance = 0.0;
+  for (auto _ : state) {
+    auto assignment = AssignToBins(costs, bins, method);
+    benchmark::DoNotOptimize(assignment);
+    imbalance = Imbalance(BinLoads(costs, assignment, bins));
+  }
+  state.counters["imbalance"] = imbalance;
+  state.SetLabel(std::string(BalanceMethodName(method)) + "/items=" +
+                 std::to_string(items) + "/sigma=" + std::to_string(sigma));
+}
+
+BENCHMARK(BM_Balancer)
+    ->ArgsProduct({{static_cast<long>(BalanceMethod::kGreedy),
+                    static_cast<long>(BalanceMethod::kKarmarkarKarp),
+                    static_cast<long>(BalanceMethod::kInterleave),
+                    static_cast<long>(BalanceMethod::kZigZag),
+                    static_cast<long>(BalanceMethod::kVShape)},
+                   {512, 4096},
+                   {5, 20}})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace msd
+
+int main(int argc, char** argv) {
+  msd::bench::PrintHeader(
+      "Ablation: balancer quality (imbalance counter) vs runtime",
+      "design-choice study: greedy is the latency/quality default; KK best quality at "
+      "higher cost; interleave cheap and good under heavy skew");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

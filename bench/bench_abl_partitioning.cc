@@ -1,0 +1,70 @@
+// Ablation (beyond the paper's figures): multi-level source auto-partitioning
+// vs naive equal worker split — the preprocessing makespan (slowest source
+// pipeline) determines whether the feeding rate can match training.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/stats.h"
+#include "src/data/transform.h"
+#include "src/planner/autoscaler.h"
+
+namespace msd {
+namespace {
+
+double Makespan(const std::vector<SourceCostProfile>& profiles,
+                const std::vector<int32_t>& workers_per_source, double samples_each) {
+  double worst = 0.0;
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    double t = profiles[i].transform_cost * samples_each /
+               std::max(1, workers_per_source[i]);
+    worst = std::max(worst, t);
+  }
+  return worst / 1e6;  // seconds
+}
+
+}  // namespace
+}  // namespace msd
+
+int main() {
+  using namespace msd;
+  bench::PrintHeader(
+      "Ablation: multi-level auto-partitioning vs equal split",
+      "sizing workers by per-source transformation cost removes the worst-case "
+      "provisioning bottleneck of Sec. 2.3");
+
+  CorpusSpec corpus = MakeNavitData(11, 306);
+  std::vector<SourceCostProfile> profiles;
+  Rng rng(3);
+  for (const SourceSpec& src : corpus.sources) {
+    RunningStat stat;
+    for (int i = 0; i < 16; ++i) {
+      stat.Add(static_cast<double>(
+          SampleTransformLatency(src.DrawMeta(rng, 0), src.transform_cost_multiplier)));
+    }
+    profiles.push_back({src.source_id, stat.mean(), 0});
+  }
+
+  std::printf("\n  %-10s %14s %16s %14s\n", "budget", "equal split", "auto-partition",
+              "improvement");
+  for (int64_t budget : {612, 1224, 2448}) {
+    // Equal split: budget / sources workers each.
+    std::vector<int32_t> equal(profiles.size(),
+                               std::max<int32_t>(1, static_cast<int32_t>(
+                                                        budget / static_cast<int64_t>(
+                                                                     profiles.size()))));
+    ClusterResources resources;
+    resources.total_workers = budget;
+    auto partitions =
+        AutoPartitionSources(profiles, resources, {.wsrc = 64, .wactor = 8, .num_clusters = 4});
+    // Align partition order back to source_id order.
+    std::vector<int32_t> tuned(profiles.size(), 1);
+    for (const LoaderPartition& p : partitions) {
+      tuned[static_cast<size_t>(p.source_id)] = p.TotalWorkers();
+    }
+    double equal_makespan = Makespan(profiles, equal, 64.0);
+    double tuned_makespan = Makespan(profiles, tuned, 64.0);
+    std::printf("  %-10lld %13.2fs %15.2fs %13.2fx\n", static_cast<long long>(budget),
+                equal_makespan, tuned_makespan, equal_makespan / tuned_makespan);
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Fig. 18 reproduction: impact of the balancer on training-loss convergence.
+//
+// Paper anchors: (a) without CP, the balanced loss tightly tracks the
+// baseline (inter-microbatch moves only preserve the global batch);
+// (b) with CP, repartitioned sequences perturb distributed reduction order,
+// adding minor but bounded fluctuation — convergence is unaffected.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/trainsim/loss_sim.h"
+
+int main() {
+  using namespace msd;
+  bench::PrintHeader(
+      "Fig. 18: balancer impact on training loss (50 steps)",
+      "(a) no CP: balanced ~= baseline; (b) CP: minor fluctuation, same convergence");
+
+  LossSimulator sim;
+  constexpr int64_t kSteps = 50;
+  constexpr uint64_t kSeed = 2026;
+  LossTrace base = sim.Run(kSteps, kSeed, /*balanced=*/false, /*cp=*/false);
+  LossTrace balanced = sim.Run(kSteps, kSeed, /*balanced=*/true, /*cp=*/false);
+  LossTrace balanced_cp = sim.Run(kSteps, kSeed, /*balanced=*/true, /*cp=*/true);
+
+  std::printf("\n  %6s %14s %16s %16s\n", "step", "baseline", "balanced(noCP)",
+              "balanced(CP)");
+  for (int64_t step = 0; step < kSteps; step += 5) {
+    std::printf("  %6lld %14.4f %16.4f %16.4f\n", static_cast<long long>(step),
+                base.loss[static_cast<size_t>(step)],
+                balanced.loss[static_cast<size_t>(step)],
+                balanced_cp.loss[static_cast<size_t>(step)]);
+  }
+  std::printf("\n  max |balanced - baseline| without CP: %.5f (tight tracking)\n",
+              LossTrace::MaxDeviation(base, balanced));
+  std::printf("  max |balanced - baseline| with CP:    %.5f (minor, bounded)\n",
+              LossTrace::MaxDeviation(base, balanced_cp));
+  std::printf("  final losses: baseline %.4f | balanced %.4f | balanced+CP %.4f\n",
+              base.FinalLoss(), balanced.FinalLoss(), balanced_cp.FinalLoss());
+  return 0;
+}

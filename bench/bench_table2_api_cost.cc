@@ -1,0 +1,78 @@
+// Table 2 reproduction (google-benchmark): wall-clock cost of the cost() and
+// balance() orchestration primitives as the training setup scales.
+//
+// Paper anchors (seconds): cost() 0.004 -> 0.107 and balance() 0.016 -> 0.357
+// from the 288-GPU baseline to 1152 GPUs; group size 2 at 1152 GPUs pulls
+// balance() back to ~0.195s with unchanged iteration time.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/planner/strategies.h"
+
+namespace msd {
+namespace {
+
+struct Case {
+  const char* name;
+  int64_t batch_per_dp;
+  int32_t ctx;
+  ParallelismSpec spec;
+  int32_t group_size;
+};
+
+const Case kCases[] = {
+    {"baseline_288", 72, 8192, {.dp = 9, .pp = 8, .cp = 1, .tp = 4}, 1},
+    {"bs_144", 144, 8192, {.dp = 9, .pp = 8, .cp = 1, .tp = 4}, 1},
+    {"seq_16k", 72, 16384, {.dp = 9, .pp = 8, .cp = 1, .tp = 4}, 1},
+    {"cluster_1152", 72, 8192, {.dp = 36, .pp = 8, .cp = 1, .tp = 4}, 1},
+    {"group_2_1152", 72, 8192, {.dp = 36, .pp = 8, .cp = 1, .tp = 4}, 2},
+};
+
+// Builds the mixed + distributed DGraph a strategy would hold right before
+// cost()/balance() run.
+DGraph PrepareDGraph(const Case& c, const std::vector<BufferInfo>& buffers,
+                     const ClientPlaceTree& tree) {
+  DGraph dgraph = DGraph::FromBufferInfos(buffers);
+  dgraph.Init(&tree);
+  StaticMix mix(std::vector<double>(buffers.size(), 1.0));
+  Rng rng(1);
+  MSD_CHECK(dgraph.Mix(mix, 0, c.batch_per_dp * c.spec.dp, rng).ok());
+  MSD_CHECK(dgraph.Distribute(Axis::kDP, c.group_size).ok());
+  return dgraph;
+}
+
+void BM_ApiCost(benchmark::State& state) {
+  const Case& c = kCases[state.range(0)];
+  CorpusSpec corpus = MakeNavitData(11, 306);
+  std::vector<BufferInfo> buffers = bench::MakeBufferInfos(
+      corpus, c.batch_per_dp * c.spec.dp / 306 + 4, static_cast<uint64_t>(c.ctx));
+  ClientPlaceTree tree = ClientPlaceTree::FromDeviceMesh(c.spec, 8);
+  CostFn fn = BackboneCostFn(Llama12B());
+  for (auto _ : state) {
+    DGraph dgraph = PrepareDGraph(c, buffers, tree);
+    auto t0 = std::chrono::steady_clock::now();
+    MSD_CHECK(dgraph.Cost(fn).ok());
+    auto t1 = std::chrono::steady_clock::now();
+    MSD_CHECK(dgraph.Balance({.method = BalanceMethod::kGreedy}).ok());
+    auto t2 = std::chrono::steady_clock::now();
+    state.counters["cost_s"] = std::chrono::duration<double>(t1 - t0).count();
+    state.counters["balance_s"] = std::chrono::duration<double>(t2 - t1).count();
+  }
+  state.SetLabel(c.name);
+}
+
+BENCHMARK(BM_ApiCost)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace msd
+
+int main(int argc, char** argv) {
+  msd::bench::PrintHeader(
+      "Table 2: API cost for data orchestration under scaled setups",
+      "cost() 0.004s..0.107s, balance() 0.016s..0.357s; group size 2 at 1152 GPUs "
+      "roughly halves balance() with unchanged iteration time");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Shared helpers for the figure/table reproduction harnesses.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/data/source_spec.h"
+#include "src/data/synthetic.h"
+#include "src/plan/dgraph.h"
+
+namespace msd {
+namespace bench {
+
+inline void PrintHeader(const std::string& title, const std::string& paper_claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("paper: %s\n", paper_claim.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void PrintRow(const char* label, double value, const char* unit = "") {
+  std::printf("  %-44s %12.3f %s\n", label, value, unit);
+}
+
+// Metadata-only buffer infos for cluster-scale planning: one loader per
+// source, `samples_per_source` metas each.
+inline std::vector<BufferInfo> MakeBufferInfos(const CorpusSpec& corpus,
+                                               int64_t samples_per_source, uint64_t seed) {
+  std::vector<BufferInfo> buffers;
+  buffers.reserve(corpus.sources.size());
+  Rng rng(seed);
+  uint64_t next_id = 1;
+  for (const SourceSpec& src : corpus.sources) {
+    BufferInfo info;
+    info.loader_id = src.source_id;
+    info.source_id = src.source_id;
+    info.samples = DrawMetas(src, rng, samples_per_source, next_id);
+    next_id += static_cast<uint64_t>(samples_per_source);
+    buffers.push_back(std::move(info));
+  }
+  return buffers;
+}
+
+}  // namespace bench
+}  // namespace msd
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,43 @@
+// Fault tolerance demo (Sec. 6.1): a Source Loader is abruptly killed
+// mid-training; its hot-standby shadow is promoted instantly and data
+// delivery continues without a gap.
+#include <cstdio>
+
+#include "src/api/session.h"
+
+int main() {
+  msd::Session::Options options;
+  options.corpus = msd::MakeCoyo700m();
+  options.spec = {.dp = 2, .pp = 1, .cp = 1, .tp = 1};
+  options.samples_per_step = 12;
+  options.rows_per_file_override = 96;
+  options.enable_fault_tolerance = true;
+  options.loader_snapshot_interval = 2;
+
+  auto session = msd::Session::Create(options);
+  MSD_CHECK(session.ok());
+  std::printf("running with %zu primaries + hot shadows (snapshot every %lld steps)\n",
+              (*session)->num_loaders(),
+              static_cast<long long>(options.loader_snapshot_interval));
+
+  for (int step = 0; step < 3; ++step) {
+    MSD_CHECK((*session)->AdvanceStep().ok());
+    std::printf("step %d ok (%zu samples)\n", step, (*session)->last_stats().samples);
+  }
+
+  std::printf("\n!! killing source loader #0 (abrupt: mailbox dropped, GCS marked dead)\n");
+  msd::Result<std::string> promoted = (*session)->KillAndRecoverLoader(0);
+  MSD_CHECK(promoted.ok());
+  std::printf("=> promoted %s\n", promoted->c_str());
+
+  for (int step = 3; step < 6; ++step) {
+    msd::Status advanced = (*session)->AdvanceStep();
+    MSD_CHECK(advanced.ok());
+    msd::RankBatch batch = (*session)->GetBatch(0).value();
+    std::printf("step %d ok after failover (%zu samples, rank0 payload %lld bytes)\n", step,
+                (*session)->last_stats().samples,
+                static_cast<long long>(batch.payload_bytes));
+  }
+  std::printf("\nno delivery gap across the failure — effective training time preserved\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Quickstart: build a small multisource VLM corpus, start a MegaScale-Data
+// session (source loaders + data constructors + planner as in-process
+// actors), and pull real, packed, parallelism-transformed batches.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/api/session.h"
+
+int main() {
+  msd::Session::Options options;
+  options.corpus = msd::MakeCoyo700m();       // 5 image-text sources (Fig. 2 fit)
+  options.spec = {.dp = 2, .pp = 1, .cp = 1, .tp = 1};
+  options.num_microbatches = 2;
+  options.samples_per_step = 16;
+  options.max_seq_len = 2048;
+  options.strategy = msd::Session::StrategyKind::kBackboneBalance;
+  options.rows_per_file_override = 64;
+
+  auto session = msd::Session::Create(std::move(options));
+  if (!session.ok()) {
+    std::fprintf(stderr, "session creation failed: %s\n",
+                 session.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("session up: %zu source loaders, mesh %s\n", (*session)->num_loaders(),
+              (*session)->tree().spec().ToString().c_str());
+
+  for (int step = 0; step < 3; ++step) {
+    msd::Status advanced = (*session)->AdvanceStep();
+    if (!advanced.ok()) {
+      std::fprintf(stderr, "step failed: %s\n", advanced.ToString().c_str());
+      return 1;
+    }
+    const msd::Session::StepStats& stats = (*session)->last_stats();
+    std::printf("\nstep %lld: %zu samples, DP imbalance %.3f, plan %.2f ms\n",
+                static_cast<long long>(stats.step), stats.samples, stats.dp_imbalance,
+                stats.plan_compute_ms);
+    for (int32_t rank = 0; rank < 2; ++rank) {
+      msd::Result<msd::RankBatch> batch = (*session)->GetBatch(rank);
+      if (!batch.ok()) {
+        std::fprintf(stderr, "fetch failed: %s\n", batch.status().ToString().c_str());
+        return 1;
+      }
+      int64_t tokens = 0;
+      size_t sequences = 0;
+      for (const msd::Microbatch& mb : batch->microbatches) {
+        sequences += mb.sequences.size();
+        tokens += mb.TotalTokens();
+      }
+      std::printf("  rank %d: %zu microbatches, %zu packed sequences, %lld tokens, "
+                  "%lld payload bytes\n",
+                  rank, batch->microbatches.size(), sequences,
+                  static_cast<long long>(tokens),
+                  static_cast<long long>(batch->payload_bytes));
+    }
+  }
+  std::printf("\n%s", (*session)->memory().Report().c_str());
+  return 0;
+}

@@ -1,0 +1,55 @@
+// In-process actor runtime (the Ray stand-in).
+//
+// Each actor owns a mailbox drained by a dedicated thread; all of an actor's
+// state is touched only from its own thread, so actors need no internal locks.
+// Messages are closures posted to the mailbox; request/response ("Ask") is a
+// posted closure that fulfils a future, with optional deadline — the same
+// building blocks MegaScale-Data's Source Loader / Data Constructor / Planner
+// protocol needs, including abrupt-kill semantics for fault-tolerance tests.
+#ifndef SRC_ACTOR_ACTOR_H_
+#define SRC_ACTOR_ACTOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "src/common/mpmc_queue.h"
+#include "src/common/status.h"
+
+namespace msd {
+
+class ActorSystem;
+
+// Base class for all actors. Subclasses add state and methods; methods must be
+// invoked through ActorSystem::Post/Ask so they run on the actor's own thread.
+class Actor {
+ public:
+  explicit Actor(std::string name) : name_(std::move(name)) {}
+  virtual ~Actor() = default;
+
+  Actor(const Actor&) = delete;
+  Actor& operator=(const Actor&) = delete;
+
+  const std::string& name() const { return name_; }
+  uint64_t id() const { return id_; }
+  bool alive() const { return alive_.load(std::memory_order_acquire); }
+
+ private:
+  friend class ActorSystem;
+
+  std::string name_;
+  uint64_t id_ = 0;
+  std::atomic<bool> alive_{false};
+  std::unique_ptr<MpmcQueue<std::function<void()>>> mailbox_;
+  std::thread pump_;
+  // Count of messages dropped because the actor was dead (observability).
+  std::atomic<uint64_t> dropped_messages_{0};
+};
+
+}  // namespace msd
+
+#endif  // SRC_ACTOR_ACTOR_H_

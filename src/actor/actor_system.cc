@@ -1,0 +1,112 @@
+#include "src/actor/actor_system.h"
+
+#include "src/common/logging.h"
+
+namespace msd {
+
+ActorSystem::ActorSystem() = default;
+
+ActorSystem::~ActorSystem() { Shutdown(); }
+
+void ActorSystem::Register(std::shared_ptr<Actor> actor) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MSD_CHECK(!shut_down_);
+  MSD_CHECK(actors_.find(actor->name()) == actors_.end());
+  actor->id_ = next_id_++;
+  actor->mailbox_ = std::make_unique<MpmcQueue<std::function<void()>>>();
+  actor->alive_.store(true, std::memory_order_release);
+  Actor* raw = actor.get();
+  actor->pump_ = std::thread([raw] {
+    while (true) {
+      std::optional<std::function<void()>> msg = raw->mailbox_->Pop();
+      if (!msg.has_value()) {
+        return;
+      }
+      (*msg)();
+    }
+  });
+  gcs_.RegisterActor(actor->name(), actor->id_);
+  actors_[actor->name()] = std::move(actor);
+}
+
+bool ActorSystem::Post(Actor& actor, std::function<void()> fn) {
+  if (!actor.alive()) {
+    actor.dropped_messages_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (!actor.mailbox_->Push(std::move(fn))) {
+    actor.dropped_messages_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void ActorSystem::Kill(Actor& actor) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  StopLocked(actor, /*drain=*/false);
+  gcs_.MarkDead(actor.name());
+  MSD_LOG_DEBUG("killed actor %s", actor.name().c_str());
+}
+
+void ActorSystem::Stop(Actor& actor) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  StopLocked(actor, /*drain=*/true);
+  gcs_.MarkDead(actor.name());
+}
+
+void ActorSystem::StopLocked(Actor& actor, bool drain) {
+  if (!actor.alive()) {
+    return;
+  }
+  actor.alive_.store(false, std::memory_order_release);
+  if (!drain) {
+    // Abrupt kill: discard everything still queued.
+    while (actor.mailbox_->TryPop().has_value()) {
+    }
+  }
+  actor.mailbox_->Close();
+  if (actor.pump_.joinable()) {
+    actor.pump_.join();
+  }
+}
+
+void ActorSystem::Shutdown() {
+  std::unordered_map<std::string, std::shared_ptr<Actor>> actors;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shut_down_) {
+      return;
+    }
+    shut_down_ = true;
+    actors = actors_;
+  }
+  for (auto& [name, actor] : actors) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    StopLocked(*actor, /*drain=*/true);
+    gcs_.MarkDead(name);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  actors_.clear();
+}
+
+std::shared_ptr<Actor> ActorSystem::Find(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = actors_.find(name);
+  if (it == actors_.end()) {
+    return nullptr;
+  }
+  return it->second;
+}
+
+size_t ActorSystem::live_actor_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t n = 0;
+  for (const auto& [name, actor] : actors_) {
+    if (actor->alive()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace msd

@@ -1,0 +1,82 @@
+#include "src/actor/gcs.h"
+
+namespace msd {
+
+void Gcs::RegisterActor(const std::string& name, uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ActorRecord& rec = records_[name];
+  rec.id = id;
+  rec.alive = true;
+}
+
+void Gcs::MarkDead(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = records_.find(name);
+  if (it != records_.end()) {
+    it->second.alive = false;
+  }
+}
+
+void Gcs::MarkRestarted(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ActorRecord& rec = records_[name];
+  rec.alive = true;
+  ++rec.restarts;
+}
+
+bool Gcs::IsAlive(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = records_.find(name);
+  return it != records_.end() && it->second.alive;
+}
+
+std::optional<Gcs::ActorRecord> Gcs::GetRecord(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = records_.find(name);
+  if (it == records_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void Gcs::Heartbeat(const std::string& name, int64_t now_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_[name].last_heartbeat_ms = now_ms;
+}
+
+std::vector<std::string> Gcs::StaleActors(int64_t now_ms, int64_t timeout_ms) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> stale;
+  for (const auto& [name, rec] : records_) {
+    if (rec.alive && now_ms - rec.last_heartbeat_ms > timeout_ms) {
+      stale.push_back(name);
+    }
+  }
+  return stale;
+}
+
+void Gcs::PutState(const std::string& key, std::string blob) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  state_[key] = std::move(blob);
+}
+
+std::optional<std::string> Gcs::GetState(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = state_.find(key);
+  if (it == state_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void Gcs::DeleteState(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  state_.erase(key);
+}
+
+size_t Gcs::state_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_.size();
+}
+
+}  // namespace msd

@@ -1,0 +1,51 @@
+// Global Control Store: the cluster-wide registry used for fault tolerance.
+//
+// Mirrors Ray's GCS role in the paper (Sec. 6.1): core coordinators persist
+// small state blobs here and are restarted from them; liveness is tracked via
+// heartbeats; restart counts feed the fault-tolerance metrics.
+#ifndef SRC_ACTOR_GCS_H_
+#define SRC_ACTOR_GCS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace msd {
+
+class Gcs {
+ public:
+  struct ActorRecord {
+    uint64_t id = 0;
+    bool alive = false;
+    int64_t restarts = 0;
+    int64_t last_heartbeat_ms = 0;
+  };
+
+  void RegisterActor(const std::string& name, uint64_t id);
+  void MarkDead(const std::string& name);
+  void MarkRestarted(const std::string& name);
+  bool IsAlive(const std::string& name) const;
+  std::optional<ActorRecord> GetRecord(const std::string& name) const;
+
+  void Heartbeat(const std::string& name, int64_t now_ms);
+  // Names whose last heartbeat is older than `now_ms - timeout_ms`.
+  std::vector<std::string> StaleActors(int64_t now_ms, int64_t timeout_ms) const;
+
+  // Durable state blobs (checkpoints, plans). Overwrites prior value.
+  void PutState(const std::string& key, std::string blob);
+  std::optional<std::string> GetState(const std::string& key) const;
+  void DeleteState(const std::string& key);
+  size_t state_count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, ActorRecord> records_;
+  std::unordered_map<std::string, std::string> state_;
+};
+
+}  // namespace msd
+
+#endif  // SRC_ACTOR_GCS_H_

@@ -1,0 +1,285 @@
+#include "src/api/session.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/logging.h"
+#include "src/common/stats.h"
+#include "src/data/synthetic.h"
+#include "src/data/transform.h"
+
+namespace msd {
+
+Session::Session(Options options)
+    : options_(std::move(options)),
+      tree_(ClientPlaceTree::FromDeviceMesh(options_.spec, options_.num_microbatches)) {}
+
+Session::~Session() { system_.Shutdown(); }
+
+Result<std::unique_ptr<Session>> Session::Create(Options options) {
+  if (options.corpus.sources.empty()) {
+    return Status::InvalidArgument("corpus has no sources");
+  }
+  if (options.backbone.layers == 0) {
+    options.backbone = Llama12B();
+  }
+  if (options.encoder.layers == 0) {
+    options.encoder = ViT1B();
+  }
+  if (options.schedule == nullptr) {
+    options.schedule =
+        std::make_shared<StaticMix>(options.corpus.UniformWeights());
+  }
+  std::unique_ptr<Session> session(new Session(std::move(options)));
+  Status init = session->Initialize();
+  if (!init.ok()) {
+    return init;
+  }
+  return session;
+}
+
+Strategy Session::BuildStrategy() const {
+  StrategyOptions so;
+  so.samples_per_step = options_.samples_per_step;
+  so.schedule = options_.schedule;
+  so.method = options_.balance_method;
+  switch (options_.strategy) {
+    case StrategyKind::kVanilla:
+      return MakeVanillaStrategy(so);
+    case StrategyKind::kBackboneBalance:
+      return MakeLlmBalanceStrategy(so, BackboneCostFn(options_.backbone));
+    case StrategyKind::kHybridBalance:
+      return MakeVlmHybridStrategy(so, BackboneCostFn(options_.backbone),
+                                   EncoderCostFn(options_.encoder));
+  }
+  return MakeVanillaStrategy(so);
+}
+
+Status Session::Initialize() {
+  // 1. Materialize the corpus into the object store.
+  CorpusSpec corpus = options_.corpus;
+  if (options_.rows_per_file_override > 0) {
+    for (SourceSpec& src : corpus.sources) {
+      src.rows_per_file = options_.rows_per_file_override;
+    }
+  }
+  Result<int64_t> rows = WriteCorpus(store_, corpus, options_.seed);
+  if (!rows.ok()) {
+    return rows.status();
+  }
+
+  // 2. Offline source auto-partitioning from per-source cost profiles.
+  std::vector<SourceCostProfile> profiles;
+  Rng profile_rng(options_.seed ^ 0x51);
+  for (const SourceSpec& src : corpus.sources) {
+    SourceCostProfile profile;
+    profile.source_id = src.source_id;
+    RunningStat stat;
+    for (int i = 0; i < 16; ++i) {
+      SampleMeta meta = src.DrawMeta(profile_rng, 0);
+      stat.Add(static_cast<double>(
+          SampleTransformLatency(meta, src.transform_cost_multiplier)));
+    }
+    profile.transform_cost = stat.mean();
+    profile.memory_bytes =
+        src.num_files * (kSocketBufferBytes + 64 * kKiB + src.rows_per_file * 8 * kKiB);
+    profiles.push_back(profile);
+  }
+  ClusterResources resources;
+  resources.total_workers = std::max<int64_t>(
+      16, static_cast<int64_t>(corpus.sources.size()) * options_.loader_workers);
+  PartitionBounds bounds;
+  bounds.wactor = options_.loader_workers;
+  partitions_ = AutoPartitionSources(profiles, resources, bounds);
+
+  // 3. Spawn Source Loaders (+ shadows) per partition actor.
+  std::map<int32_t, const SourceSpec*> spec_of;
+  for (const SourceSpec& src : corpus.sources) {
+    spec_of[src.source_id] = &src;
+  }
+  int32_t next_loader_id = 0;
+  for (const LoaderPartition& part : partitions_) {
+    const SourceSpec& src = *spec_of.at(part.source_id);
+    int32_t actors = std::min<int32_t>(part.num_actors, static_cast<int32_t>(src.num_files));
+    actors = std::max(actors, 1);
+    for (int32_t a = 0; a < actors; ++a) {
+      SourceLoaderConfig config;
+      config.loader_id = next_loader_id++;
+      config.spec = src;
+      if (options_.rows_per_file_override > 0) {
+        config.spec.rows_per_file = options_.rows_per_file_override;
+      }
+      for (int64_t f = a; f < src.num_files; f += actors) {
+        config.files.push_back(SourceFileName(src, f));
+      }
+      config.num_workers = std::max(1, part.workers_per_actor);
+      config.defer_image_decode = options_.defer_image_decode;
+      config.buffer_low_watermark =
+          static_cast<size_t>(options_.samples_per_step) * 2 / std::max<size_t>(1, actors) + 8;
+      auto loader = system_.Spawn<SourceLoader>(config, &store_, &memory_);
+      Status open = system_.Ask<Status>(*loader, [l = loader.get()] { return l->Open(); });
+      if (!open.ok()) {
+        return open;
+      }
+      loaders_.push_back(loader);
+      if (options_.enable_fault_tolerance) {
+        SourceLoaderConfig shadow_config = config;
+        shadow_config.is_shadow = true;
+        auto shadow = system_.Spawn<SourceLoader>(shadow_config, &store_, &memory_);
+        Status shadow_open =
+            system_.Ask<Status>(*shadow, [s = shadow.get()] { return s->Open(); });
+        if (!shadow_open.ok()) {
+          return shadow_open;
+        }
+        shadows_.push_back(shadow);
+      }
+    }
+  }
+
+  // 4. One Data Constructor per DP group.
+  for (int32_t dp = 0; dp < options_.spec.dp; ++dp) {
+    DataConstructorConfig config;
+    config.constructor_id = dp;
+    config.max_seq_len = options_.max_seq_len;
+    constructors_.push_back(system_.Spawn<DataConstructor>(config, &tree_, &memory_));
+  }
+
+  // 5. Central Planner with the selected strategy.
+  PlannerConfig planner_config;
+  planner_config.seed = options_.seed;
+  planner_ =
+      system_.Spawn<Planner>(planner_config, &system_, &tree_, BuildStrategy(), &memory_);
+  std::vector<SourceLoader*> raw_loaders;
+  raw_loaders.reserve(loaders_.size());
+  for (auto& l : loaders_) {
+    raw_loaders.push_back(l.get());
+  }
+  system_.Ask<bool>(*planner_, [p = planner_.get(), raw_loaders] {
+    p->SetLoaders(raw_loaders);
+    return true;
+  });
+
+  // 6. Fault tolerance manager.
+  if (options_.enable_fault_tolerance) {
+    FaultToleranceConfig ft_config;
+    ft_config.loader_snapshot_interval = options_.loader_snapshot_interval;
+    ft_ = std::make_unique<FaultToleranceManager>(ft_config, &system_);
+    for (size_t i = 0; i < loaders_.size(); ++i) {
+      ft_->RegisterPair(loaders_[i].get(), shadows_[i].get());
+    }
+  }
+  return Status::Ok();
+}
+
+Status Session::AdvanceStep() {
+  int64_t step = next_step_++;
+  Result<LoadingPlan> plan_result = system_.Ask<Result<LoadingPlan>>(
+      *planner_, [p = planner_.get(), step] { return p->GetPlan(step); });
+  if (!plan_result.ok()) {
+    return plan_result.status();
+  }
+  const LoadingPlan& plan = plan_result.value();
+
+  // Group the plan's pops by (constructor, loader).
+  for (auto& constructor : constructors_) {
+    std::vector<int32_t> owned = constructor->OwnedBuckets(plan);
+    std::map<int32_t, std::vector<uint64_t>> ids_by_loader;
+    for (const SliceAssignment& a : plan.assignments) {
+      if (std::find(owned.begin(), owned.end(), a.bucket) != owned.end()) {
+        ids_by_loader[a.loader_id].push_back(a.sample_id);
+      }
+    }
+    std::vector<SampleSlice> slices;
+    for (const auto& [loader_id, ids] : ids_by_loader) {
+      auto it = std::find_if(loaders_.begin(), loaders_.end(), [&](const auto& l) {
+        return l->config().loader_id == loader_id;
+      });
+      if (it == loaders_.end()) {
+        return Status::NotFound("plan references unknown loader " + std::to_string(loader_id));
+      }
+      Result<SampleSlice> slice = system_.Ask<Result<SampleSlice>>(
+          **it, [l = it->get(), step, ids = ids] { return l->PopSamples(step, ids); });
+      if (!slice.ok()) {
+        return slice.status();
+      }
+      slices.push_back(std::move(slice.value()));
+    }
+    Status built = system_.Ask<Status>(
+        *constructor, [c = constructor.get(), &plan, slices = std::move(slices)]() mutable {
+          return c->BuildStep(plan, std::move(slices));
+        });
+    if (!built.ok()) {
+      return built;
+    }
+  }
+
+  if (ft_ != nullptr) {
+    MSD_RETURN_IF_ERROR(ft_->OnPlanExecuted(plan));
+  }
+
+  last_stats_.step = step;
+  last_stats_.samples = plan.assignments.size();
+  last_stats_.dp_imbalance = Imbalance(plan.BucketLoads());
+  last_stats_.plan_compute_ms = system_.Ask<double>(
+      *planner_, [p = planner_.get()] { return p->last_timings().compute_ms; });
+  return Status::Ok();
+}
+
+Result<RankBatch> Session::GetBatch(int32_t rank) {
+  if (next_step_ == 0) {
+    return Status::FailedPrecondition("AdvanceStep() before GetBatch()");
+  }
+  RankCoord coord = CoordOfRank(options_.spec, rank);
+  DataConstructor* constructor = constructors_[static_cast<size_t>(coord.dp)].get();
+  int64_t step = next_step_ - 1;
+  return system_.Ask<Result<RankBatch>>(
+      *constructor, [constructor, rank, step] { return constructor->GetBatch(rank, step); });
+}
+
+Status Session::Reshard(const ParallelismSpec& new_spec) {
+  if (new_spec.dp != options_.spec.dp) {
+    return Status::InvalidArgument(
+        "elastic resharding keeps the DP degree (constructors map 1:1 to DP groups); got dp=" +
+        std::to_string(new_spec.dp) + " vs " + std::to_string(options_.spec.dp));
+  }
+  options_.spec = new_spec;
+  tree_.Rebuild(new_spec);
+  for (auto& constructor : constructors_) {
+    bool ok = system_.Ask<bool>(*constructor, [c = constructor.get(), this] {
+      c->Reshard(&tree_);
+      return true;
+    });
+    if (!ok) {
+      return Status::Internal("constructor failed to reshard");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::string> Session::KillAndRecoverLoader(size_t loader_index) {
+  if (ft_ == nullptr) {
+    return Status::FailedPrecondition("fault tolerance not enabled");
+  }
+  if (loader_index >= loaders_.size()) {
+    return Status::OutOfRange("loader index out of range");
+  }
+  SourceLoader* primary = loaders_[loader_index].get();
+  std::string primary_name = primary->name();
+  system_.Kill(*primary);
+  Result<SourceLoader*> promoted = ft_->PromoteShadow(primary_name);
+  if (!promoted.ok()) {
+    return promoted.status();
+  }
+  loaders_[loader_index] = shadows_[loader_index];
+  std::vector<SourceLoader*> raw_loaders;
+  for (auto& l : loaders_) {
+    raw_loaders.push_back(l.get());
+  }
+  system_.Ask<bool>(*planner_, [p = planner_.get(), raw_loaders] {
+    p->SetLoaders(raw_loaders);
+    return true;
+  });
+  return promoted.value()->name();
+}
+
+}  // namespace msd

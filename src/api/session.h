@@ -1,0 +1,123 @@
+// msd::Session — the public entry point.
+//
+// A Session materializes a synthetic (or caller-provided) corpus into the
+// object store, auto-partitions sources into Source Loader actors, deploys
+// one Data Constructor per DP group plus a central Planner, and then serves
+// real batches:
+//
+//   msd::Session::Options options;
+//   options.corpus = msd::MakeCoyo700m();
+//   options.spec = {.dp = 2, .pp = 1, .cp = 2, .tp = 2};
+//   auto session = msd::Session::Create(std::move(options)).value();
+//   session->AdvanceStep();                        // plan + pop + build
+//   msd::RankBatch batch = session->GetBatch(0).value();
+//
+// All components run as actors on an in-process ActorSystem; the flow follows
+// the paper's pull model (client -> Data Constructor -> Planner -> Source
+// Loaders -> storage).
+#ifndef SRC_API_SESSION_H_
+#define SRC_API_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/actor/actor_system.h"
+#include "src/constructor/data_constructor.h"
+#include "src/data/source_spec.h"
+#include "src/ft/fault_tolerance.h"
+#include "src/loader/source_loader.h"
+#include "src/mesh/client_place_tree.h"
+#include "src/planner/autoscaler.h"
+#include "src/planner/planner.h"
+#include "src/planner/strategies.h"
+#include "src/storage/object_store.h"
+
+namespace msd {
+
+class Session {
+ public:
+  enum class StrategyKind { kVanilla, kBackboneBalance, kHybridBalance };
+
+  struct Options {
+    CorpusSpec corpus;
+    ParallelismSpec spec;
+    int32_t num_microbatches = 4;
+    int64_t samples_per_step = 32;
+    int32_t max_seq_len = 4096;
+    StrategyKind strategy = StrategyKind::kBackboneBalance;
+    ModelConfig backbone;                        // defaults to Llama12B()
+    ModelConfig encoder;                         // defaults to ViT1B()
+    std::shared_ptr<const MixSchedule> schedule; // defaults to uniform static
+    BalanceMethod balance_method = BalanceMethod::kGreedy;
+    uint64_t seed = 2026;
+    int32_t loader_workers = 2;
+    bool enable_fault_tolerance = false;
+    int64_t loader_snapshot_interval = 8;
+    // Rows materialized per source file (kept small for fast startup).
+    int64_t rows_per_file_override = 0;
+    // Transformation reordering (Sec. 6.2): ship compressed image bytes from
+    // loaders and decode at the Data Constructor.
+    bool defer_image_decode = false;
+  };
+
+  struct StepStats {
+    int64_t step = 0;
+    double dp_imbalance = 1.0;     // max/mean across DP bucket loads
+    size_t samples = 0;
+    double plan_compute_ms = 0.0;
+  };
+
+  static Result<std::unique_ptr<Session>> Create(Options options);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // Plans the next step, pops samples from loaders, builds constructors.
+  Status AdvanceStep();
+
+  // Batch view for `rank` at the most recently advanced step.
+  Result<RankBatch> GetBatch(int32_t rank);
+
+  // Injects a loader failure and recovers via shadow promotion (requires
+  // enable_fault_tolerance). Returns the promoted loader's name.
+  Result<std::string> KillAndRecoverLoader(size_t loader_index);
+
+  // Elastic resharding (Sec. 6.1): adopts a new parallelism layout on the
+  // fly. The DP degree must be unchanged (Data Constructors map 1:1 to DP
+  // groups); CP/PP/TP may change freely. Resident constructor data for old
+  // steps is dropped; the next AdvanceStep plans against the new mesh.
+  Status Reshard(const ParallelismSpec& new_spec);
+
+  int64_t current_step() const { return next_step_ - 1; }
+  const StepStats& last_stats() const { return last_stats_; }
+  const ClientPlaceTree& tree() const { return tree_; }
+  const MemoryAccountant& memory() const { return memory_; }
+  const std::vector<LoaderPartition>& partitions() const { return partitions_; }
+  size_t num_loaders() const { return loaders_.size(); }
+  ActorSystem& actor_system() { return system_; }
+
+ private:
+  explicit Session(Options options);
+  Status Initialize();
+  Strategy BuildStrategy() const;
+
+  Options options_;
+  MemoryAccountant memory_;
+  ObjectStore store_{&memory_};
+  ActorSystem system_;
+  ClientPlaceTree tree_;
+  std::vector<LoaderPartition> partitions_;
+  std::vector<std::shared_ptr<SourceLoader>> loaders_;
+  std::vector<std::shared_ptr<SourceLoader>> shadows_;
+  std::vector<std::shared_ptr<DataConstructor>> constructors_;
+  std::shared_ptr<Planner> planner_;
+  std::unique_ptr<FaultToleranceManager> ft_;
+  int64_t next_step_ = 0;
+  StepStats last_stats_;
+};
+
+}  // namespace msd
+
+#endif  // SRC_API_SESSION_H_

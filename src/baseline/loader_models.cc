@@ -1,0 +1,164 @@
+#include "src/baseline/loader_models.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/status.h"
+
+namespace msd {
+
+namespace {
+
+// Worker process footprint (context + prefetch slots).
+constexpr int64_t kWorkerBytes = 256 * kMiB;
+// Fraction of a source's file states a long-running worker keeps open
+// (lazy open + LRU keeps it below 1.0 in every framework).
+constexpr double kOpenFraction = 0.12;
+// Planner/runtime fixed footprint for MegaScale-Data.
+constexpr int64_t kPlannerBytes = 4 * kGiB;
+// Coordination overhead per plan: metadata gather + plan compute.
+constexpr double kPlanBaseSeconds = 0.4;
+constexpr double kPlanPerSourceSeconds = 0.004;
+
+struct ArchTraits {
+  bool remote = false;            // states live on CPU pods, not trainer ranks
+  double state_share = 1.0;       // cross-worker sharing of source states
+  double fetch_multiplier = 1.0;  // pipeline efficiency vs plain torch
+  double extra_batch_copies = 0.0;  // object store / cache staging copies
+  double worker_discount = 1.0;   // placement optimizations reduce workers
+  double transform_discount = 1.0;  // AutoOrder-style reordering savings
+};
+
+ArchTraits TraitsOf(LoaderArch arch) {
+  switch (arch) {
+    case LoaderArch::kTorch:
+      return {.remote = false, .state_share = 1.0, .fetch_multiplier = 1.0};
+    case LoaderArch::kTfData:
+      // Disaggregated workers amortize some state across jobs but add RPC hops.
+      return {.remote = true, .state_share = 0.85, .fetch_multiplier = 1.5};
+    case LoaderArch::kCachew:
+      // Caching layer: extra staging copies, no benefit in single-epoch runs.
+      return {.remote = true,
+              .state_share = 0.85,
+              .fetch_multiplier = 1.4,
+              .extra_batch_copies = 1.0};
+    case LoaderArch::kRayData:
+      // Streaming batches through an object store: an extra copy per batch.
+      return {.remote = true,
+              .state_share = 0.75,
+              .fetch_multiplier = 1.7,
+              .extra_batch_copies = 1.0};
+    case LoaderArch::kPecan:
+      // AutoPlacement frees workers; AutoOrder reorders transformations so
+      // each sample costs less to prepare (Sec. 6.2 borrows this trick).
+      return {.remote = true,
+              .state_share = 0.75,
+              .fetch_multiplier = 1.15,
+              .worker_discount = 0.6,
+              .transform_discount = 0.55};
+    case LoaderArch::kMegaScaleData:
+      return {.remote = true, .state_share = 1.0, .fetch_multiplier = 1.0};
+  }
+  return {};
+}
+
+}  // namespace
+
+const char* LoaderArchName(LoaderArch arch) {
+  switch (arch) {
+    case LoaderArch::kTorch:
+      return "torch";
+    case LoaderArch::kTfData:
+      return "tf_data";
+    case LoaderArch::kCachew:
+      return "cachew";
+    case LoaderArch::kRayData:
+      return "ray_data";
+    case LoaderArch::kPecan:
+      return "pecan";
+    case LoaderArch::kMegaScaleData:
+      return "MegaScale-Data";
+  }
+  return "?";
+}
+
+std::vector<LoaderArch> AllLoaderArchs() {
+  return {LoaderArch::kTorch,   LoaderArch::kTfData, LoaderArch::kCachew,
+          LoaderArch::kRayData, LoaderArch::kPecan,  LoaderArch::kMegaScaleData};
+}
+
+LoaderSimResult SimulateLoaderArch(LoaderArch arch, const LoaderWorkloadConfig& config,
+                                   double train_iteration_s) {
+  MSD_CHECK(config.spec.WorldSize() > 0);
+  LoaderSimResult out;
+  const ArchTraits traits = TraitsOf(arch);
+  const int32_t world = config.spec.WorldSize();
+  const int32_t nodes = std::max(1, (world + config.cluster.node.gpus_per_node - 1) /
+                                        config.cluster.node.gpus_per_node);
+  // TP broadcasting is enabled for every loader (Sec. 7.1), so only tp==0
+  // ranks instantiate loaders. Every CP and PP rank still runs one (Fig. 6).
+  const int64_t loading_ranks = world / std::max(1, config.spec.tp);
+  const int64_t batch_bytes = config.samples_per_rank_step * config.bytes_per_sample;
+
+  if (arch != LoaderArch::kMegaScaleData) {
+    // ---- Memory: one full dataloader per loading rank; each of its workers
+    // keeps (a share of) every source's file state open.
+    double per_worker_states = static_cast<double>(config.num_sources) *
+                               static_cast<double>(config.per_source_state_bytes) *
+                               kOpenFraction * traits.state_share;
+    int32_t workers =
+        std::max(1, static_cast<int32_t>(std::lround(config.workers_per_rank *
+                                                     traits.worker_discount)));
+    double per_instance = workers * (per_worker_states + kWorkerBytes) +
+                          static_cast<double>(batch_bytes) * (1.0 + traits.extra_batch_copies);
+    double total_memory = static_cast<double>(loading_ranks) * per_instance;
+    out.memory_per_node = static_cast<int64_t>(total_memory / nodes);
+    out.cpu_cores_per_node =
+        static_cast<double>(loading_ranks * workers) / static_cast<double>(nodes);
+
+    // ---- Fetch latency: one rank's batch must be transformed by its own
+    // workers (remote archs add transfer + dispatch hops).
+    double transform_s = static_cast<double>(config.samples_per_rank_step) *
+                         config.transform_us_per_sample * traits.transform_discount / 1e6 /
+                         workers;
+    double transfer_s = 0.0;
+    if (traits.remote) {
+      transfer_s = static_cast<double>(batch_bytes) / (12.0 * kGiB);
+    }
+    out.fetch_latency_s = transform_s * traits.fetch_multiplier + transfer_s;
+  } else {
+    // ---- MegaScale-Data: every source's state exists exactly once across
+    // the job (per-source actors); constructed batches are shared across
+    // CP/PP ranks through one Data Constructor per DP group.
+    double state_total = static_cast<double>(config.num_sources) *
+                         static_cast<double>(config.per_source_state_bytes);
+    // Worker demand from throughput: the whole step's samples must be
+    // transformed within one (overlapped) iteration.
+    double samples_per_step =
+        static_cast<double>(config.samples_per_rank_step) * config.spec.dp;
+    double worker_demand = samples_per_step * config.transform_us_per_sample / 1e6 /
+                           std::max(train_iteration_s, 1.0);
+    double workers_total =
+        std::clamp(worker_demand * 1.25, static_cast<double>(config.num_sources),
+                   static_cast<double>(nodes) * config.cluster.node.SidecarCores());
+    double constructor_memory = static_cast<double>(config.spec.dp) *
+                                static_cast<double>(batch_bytes) * 2.0;  // double buffering
+    double total_memory = state_total + workers_total * kWorkerBytes + constructor_memory +
+                          static_cast<double>(kPlannerBytes);
+    out.memory_per_node = static_cast<int64_t>(total_memory / nodes);
+    out.cpu_cores_per_node = (workers_total + config.spec.dp + 1.0) / nodes;
+
+    // ---- Fetch latency: coordination (metadata gather + plan) plus popping
+    // and assembling one DP group's batch; transforms happened ahead of time
+    // in the per-source pipelines.
+    double plan_s = kPlanBaseSeconds + kPlanPerSourceSeconds * config.num_sources;
+    double assemble_s = static_cast<double>(batch_bytes) / (12.0 * kGiB) +
+                        static_cast<double>(config.samples_per_rank_step) * 200.0 / 1e6;
+    out.fetch_latency_s = plan_s + assemble_s;
+  }
+
+  out.input_bound = out.fetch_latency_s > train_iteration_s;
+  return out;
+}
+
+}  // namespace msd

@@ -1,0 +1,67 @@
+// Analytic models of the baseline dataloader architectures (Sec. 7.1):
+// PyTorch DataLoader (colocated), tf.data service (remote), Cachew (remote +
+// cache), Ray Data (streaming batches), Pecan (hybrid placement), and
+// MegaScale-Data itself — each with its memory replication pattern, fetch
+// latency, and CPU usage for a given training configuration.
+//
+// The memory structure is the heart of the comparison (Figs. 4, 12):
+//  - Colocated loaders replicate ALL per-source file states in EVERY worker
+//    of EVERY rank — including the redundant CP/PP rank loaders of Fig. 6.
+//  - Remote loaders centralize transformation but still keep per-client
+//    stream state and per-worker source states.
+//  - MegaScale-Data holds each source's state exactly once (per loader
+//    partition) and shares constructed batches across CP/PP/TP ranks.
+#ifndef SRC_BASELINE_LOADER_MODELS_H_
+#define SRC_BASELINE_LOADER_MODELS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/mesh/parallelism.h"
+#include "src/trainsim/cluster.h"
+
+namespace msd {
+
+enum class LoaderArch {
+  kTorch = 0,      // colocated per-rank workers
+  kTfData,         // tf.data service: disaggregated workers, per-client streams
+  kCachew,         // tf.data + auto-caching layer
+  kRayData,        // streaming batch executors + object store
+  kPecan,          // hybrid local/remote placement + transform reordering
+  kMegaScaleData,  // this paper
+};
+
+const char* LoaderArchName(LoaderArch arch);
+std::vector<LoaderArch> AllLoaderArchs();
+
+struct LoaderWorkloadConfig {
+  int32_t num_sources = 306;
+  // Resident state per open source: socket + footer metadata + one active
+  // row-group buffer (Parquet row groups are 512MB-1GB; readers hold one).
+  int64_t per_source_state_bytes = 640 * kMiB;
+  int32_t workers_per_rank = 4;      // tuned worker count (auto-tuned, Sec. 7.1)
+  int64_t samples_per_rank_step = 72;
+  int64_t bytes_per_sample = 512 * 1024;
+  // Mean per-sample transformation latency on one worker (us).
+  double transform_us_per_sample = 9000.0;
+  ParallelismSpec spec;
+  ClusterSpec cluster;
+};
+
+struct LoaderSimResult {
+  double fetch_latency_s = 0.0;    // data fetch latency per step
+  int64_t memory_per_node = 0;     // average loader memory per node
+  double cpu_cores_per_node = 0.0; // loader CPU footprint
+  bool input_bound = false;        // fetch not hidden by training compute
+};
+
+// Evaluates one architecture under the workload. `train_iteration_s` is the
+// training compute time the fetch pipeline may overlap with.
+LoaderSimResult SimulateLoaderArch(LoaderArch arch, const LoaderWorkloadConfig& config,
+                                   double train_iteration_s);
+
+}  // namespace msd
+
+#endif  // SRC_BASELINE_LOADER_MODELS_H_

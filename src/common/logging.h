@@ -1,0 +1,26 @@
+// Minimal leveled logger. Thread-safe; printf-style formatting.
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <cstdarg>
+
+namespace msd {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Sets the minimum level that will be emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Core printf-style log entry point; prefer the MSD_LOG_* macros.
+void LogV(LogLevel level, const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+}  // namespace msd
+
+#define MSD_LOG_DEBUG(...) ::msd::LogV(::msd::LogLevel::kDebug, __FILE__, __LINE__, __VA_ARGS__)
+#define MSD_LOG_INFO(...) ::msd::LogV(::msd::LogLevel::kInfo, __FILE__, __LINE__, __VA_ARGS__)
+#define MSD_LOG_WARN(...) ::msd::LogV(::msd::LogLevel::kWarn, __FILE__, __LINE__, __VA_ARGS__)
+#define MSD_LOG_ERROR(...) ::msd::LogV(::msd::LogLevel::kError, __FILE__, __LINE__, __VA_ARGS__)
+
+#endif  // SRC_COMMON_LOGGING_H_

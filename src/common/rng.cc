@@ -1,0 +1,69 @@
+#include "src/common/rng.h"
+
+#include <algorithm>
+
+namespace msd {
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  MSD_CHECK(n > 0);
+  // Rejection-free inverse-CDF on the fly; acceptable for small n.
+  double norm = 0.0;
+  for (int64_t k = 1; k <= n; ++k) {
+    norm += 1.0 / std::pow(static_cast<double>(k), s);
+  }
+  double u = NextDouble() * norm;
+  double acc = 0.0;
+  for (int64_t k = 1; k <= n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k), s);
+    if (acc >= u) {
+      return k - 1;
+    }
+  }
+  return n - 1;
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    MSD_CHECK(w >= 0.0);
+    total += w;
+  }
+  MSD_CHECK(total > 0.0);
+  double u = NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (acc >= u) {
+      return i;
+    }
+  }
+  return weights.size() - 1;
+}
+
+CategoricalTable::CategoricalTable(const std::vector<double>& weights) { Reset(weights); }
+
+void CategoricalTable::Reset(const std::vector<double>& weights) {
+  cdf_.clear();
+  cdf_.reserve(weights.size());
+  double acc = 0.0;
+  for (double w : weights) {
+    MSD_CHECK(w >= 0.0);
+    acc += w;
+    cdf_.push_back(acc);
+  }
+  MSD_CHECK(acc > 0.0);
+  for (double& c : cdf_) {
+    c /= acc;
+  }
+}
+
+size_t CategoricalTable::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) {
+    return cdf_.size() - 1;
+  }
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace msd

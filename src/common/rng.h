@@ -1,0 +1,102 @@
+// Deterministic PCG32 RNG plus the distributions the synthetic workloads need.
+//
+// All randomness in the repository flows through Rng so experiments are
+// reproducible from a single seed (required for differential-checkpoint replay).
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace msd {
+
+// PCG32 (O'Neill 2014): small, fast, statistically strong enough for workloads.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    state_ = 0;
+    NextU32();
+    state_ += seed;
+    NextU32();
+  }
+
+  uint32_t NextU32() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + 1442695040888963407ULL;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18U) ^ old) >> 27U);
+    uint32_t rot = static_cast<uint32_t>(old >> 59U);
+    return (xorshifted >> rot) | (xorshifted << ((32U - rot) & 31U));
+  }
+
+  uint64_t NextU64() { return (static_cast<uint64_t>(NextU32()) << 32) | NextU32(); }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return NextU32() * (1.0 / 4294967296.0); }
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    MSD_CHECK(lo <= hi);
+    uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(NextU64() % range);
+  }
+
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  // Standard normal via Box-Muller.
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-12) {
+      u1 = 1e-12;
+    }
+    double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+    return mean + stddev * z;
+  }
+
+  // Log-normal: exp(Normal(mu, sigma)). Models skewed token-length distributions.
+  double LogNormal(double mu, double sigma) { return std::exp(Normal(mu, sigma)); }
+
+  // Exponential with the given rate (lambda).
+  double Exponential(double rate) {
+    double u = NextDouble();
+    if (u < 1e-12) {
+      u = 1e-12;
+    }
+    return -std::log(u) / rate;
+  }
+
+  // Zipf-like rank sampler over [0, n): P(k) ~ 1/(k+1)^s. Uses precomputed CDF
+  // when called through ZipfTable; this direct version is O(n) setup-free only
+  // for small n so prefer ZipfTable for hot paths.
+  int64_t Zipf(int64_t n, double s);
+
+  // Samples an index proportionally to non-negative weights. Requires sum > 0.
+  size_t Categorical(const std::vector<double>& weights);
+
+ private:
+  uint64_t state_ = 0;
+};
+
+// Precomputed categorical/Zipf sampler for repeated draws.
+class CategoricalTable {
+ public:
+  explicit CategoricalTable(const std::vector<double>& weights);
+
+  // Rebuilds the cumulative table in place (used when mixing ratios change).
+  void Reset(const std::vector<double>& weights);
+
+  size_t Sample(Rng& rng) const;
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace msd
+
+#endif  // SRC_COMMON_RNG_H_

@@ -1,0 +1,137 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/status.h"
+
+namespace msd {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+Pow2Histogram::Pow2Histogram(int64_t min_value, int64_t max_value) {
+  MSD_CHECK(min_value > 0 && max_value >= min_value);
+  for (int64_t b = min_value; b < max_value; b *= 2) {
+    bounds_.push_back(b);
+  }
+  bounds_.push_back(max_value);
+  counts_.assign(bounds_.size(), 0.0);
+  weights_.assign(bounds_.size(), 0.0);
+}
+
+size_t Pow2Histogram::BucketIndex(int64_t value) const {
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      return i;
+    }
+  }
+  return bounds_.size() - 1;
+}
+
+void Pow2Histogram::Add(int64_t value, double weight) {
+  size_t idx = BucketIndex(value);
+  counts_[idx] += 1.0;
+  weights_[idx] += weight;
+  total_count_ += 1.0;
+  total_weight_ += weight;
+}
+
+std::vector<double> Pow2Histogram::CountFractions() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_count_ > 0.0) {
+    for (size_t i = 0; i < counts_.size(); ++i) {
+      out[i] = counts_[i] / total_count_;
+    }
+  }
+  return out;
+}
+
+std::vector<double> Pow2Histogram::WeightFractions() const {
+  std::vector<double> out(weights_.size(), 0.0);
+  if (total_weight_ > 0.0) {
+    for (size_t i = 0; i < weights_.size(); ++i) {
+      out[i] = weights_[i] / total_weight_;
+    }
+  }
+  return out;
+}
+
+std::string Pow2Histogram::ToTable(const std::string& label) const {
+  std::string out = label + "\n";
+  auto cf = CountFractions();
+  auto wf = WeightFractions();
+  char line[160];
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    std::snprintf(line, sizeof(line), "  <=%-8lld samples %6.2f%%  tokens %6.2f%%\n",
+                  static_cast<long long>(bounds_[i]), cf[i] * 100.0, wf[i] * 100.0);
+    out += line;
+  }
+  return out;
+}
+
+void EmpiricalCdf::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalCdf::Quantile(double q) const {
+  MSD_CHECK(!values_.empty());
+  MSD_CHECK(q >= 0.0 && q <= 1.0);
+  EnsureSorted();
+  double pos = q * static_cast<double>(values_.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, values_.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::Curve(int points) const {
+  MSD_CHECK(points >= 2);
+  std::vector<std::pair<double, double>> out;
+  out.reserve(static_cast<size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    double q = static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(Quantile(q), q);
+  }
+  return out;
+}
+
+std::string FormatRow(const std::vector<double>& values, int precision) {
+  std::string out;
+  char buf[64];
+  for (size_t i = 0; i < values.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, values[i]);
+    if (i > 0) {
+      out += " | ";
+    }
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace msd

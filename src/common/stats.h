@@ -1,0 +1,84 @@
+// Streaming statistics, histograms, and empirical CDFs used by the benches.
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msd {
+
+// Welford-style streaming mean/variance/min/max.
+class RunningStat {
+ public:
+  void Add(double x);
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Fixed power-of-two bucketed histogram (buckets: [1,2), [2,4), ... like Fig. 2's
+// sequence-length axis 16, 32, 64, ..., 32k).
+class Pow2Histogram {
+ public:
+  // Buckets cover [min_value, max_value]; values are clamped into range.
+  Pow2Histogram(int64_t min_value, int64_t max_value);
+
+  void Add(int64_t value, double weight = 1.0);
+
+  // Bucket upper bounds (inclusive), e.g. 16, 32, 64, ...
+  const std::vector<int64_t>& bounds() const { return bounds_; }
+  // Fraction of total count per bucket.
+  std::vector<double> CountFractions() const;
+  // Fraction of total weight per bucket (weight = token counts for Fig. 2 pies).
+  std::vector<double> WeightFractions() const;
+  double total_count() const { return total_count_; }
+  double total_weight() const { return total_weight_; }
+
+  // "bucket<=64: 18.0% samples / 9.3% weight" rows.
+  std::string ToTable(const std::string& label) const;
+
+ private:
+  size_t BucketIndex(int64_t value) const;
+
+  std::vector<int64_t> bounds_;
+  std::vector<double> counts_;
+  std::vector<double> weights_;
+  double total_count_ = 0.0;
+  double total_weight_ = 0.0;
+};
+
+// Exact empirical CDF over stored samples (fine for <=1e6 points).
+class EmpiricalCdf {
+ public:
+  void Add(double x) { values_.push_back(x); }
+  // Quantile in [0,1]; requires at least one sample.
+  double Quantile(double q) const;
+  size_t size() const { return values_.size(); }
+  // Evenly spaced (value, cumulative probability) pairs for printing.
+  std::vector<std::pair<double, double>> Curve(int points) const;
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+  void EnsureSorted() const;
+};
+
+// Formats a row of doubles with fixed precision, pipe-separated (bench output).
+std::string FormatRow(const std::vector<double>& values, int precision = 2);
+
+}  // namespace msd
+
+#endif  // SRC_COMMON_STATS_H_

@@ -1,0 +1,148 @@
+// Status / Result<T>: lightweight error propagation without exceptions.
+//
+// Systems code in this repository returns msd::Status (or msd::Result<T> when a
+// value is produced) instead of throwing. Programming errors use MSD_CHECK.
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace msd {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kResourceExhausted,
+  kUnavailable,
+  kDeadlineExceeded,
+  kDataLoss,
+  kInternal,
+};
+
+// Human-readable name for a status code, e.g. "NOT_FOUND".
+const char* StatusCodeName(StatusCode code);
+
+// Value-type status: an OK singleton or a code plus message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) { return Status(StatusCode::kNotFound, std::move(m)); }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status OutOfRange(std::string m) { return Status(StatusCode::kOutOfRange, std::move(m)); }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status DataLoss(std::string m) { return Status(StatusCode::kDataLoss, std::move(m)); }
+  static Status Internal(std::string m) { return Status(StatusCode::kInternal, std::move(m)); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "NOT_FOUND: no such source".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> holds either a T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : value_(std::move(status)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(value_));
+  }
+
+  Status status() const {
+    if (ok()) {
+      return Status::Ok();
+    }
+    return std::get<Status>(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "FATAL: Result accessed with status %s\n",
+                   std::get<Status>(value_).ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> value_;
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr);
+}  // namespace internal
+
+}  // namespace msd
+
+// Fatal assertion for invariants that indicate a programming error.
+#define MSD_CHECK(expr)                                        \
+  do {                                                         \
+    if (!(expr)) {                                             \
+      ::msd::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                          \
+  } while (0)
+
+// Propagates a non-OK status from the current function.
+#define MSD_RETURN_IF_ERROR(expr)      \
+  do {                                 \
+    ::msd::Status _msd_status = (expr); \
+    if (!_msd_status.ok()) {           \
+      return _msd_status;              \
+    }                                  \
+  } while (0)
+
+#endif  // SRC_COMMON_STATUS_H_

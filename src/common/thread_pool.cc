@@ -1,0 +1,48 @@
+#include "src/common/thread_pool.h"
+
+namespace msd {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  MSD_CHECK(num_threads > 0);
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  Task t;
+  t.fn = std::move(task);
+  std::future<void> fut = t.done.get_future();
+  bool pushed = queue_.Push(std::move(t));
+  MSD_CHECK(pushed);
+  return fut;
+}
+
+void ThreadPool::Shutdown() {
+  if (shutdown_) {
+    return;
+  }
+  shutdown_ = true;
+  queue_.Close();
+  for (auto& t : threads_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::optional<Task> task = queue_.Pop();
+    if (!task.has_value()) {
+      return;
+    }
+    task->fn();
+    task->done.set_value();
+  }
+}
+
+}  // namespace msd

@@ -1,0 +1,45 @@
+// Fixed-size thread pool for worker-parallel transformations in real mode.
+#ifndef SRC_COMMON_THREAD_POOL_H_
+#define SRC_COMMON_THREAD_POOL_H_
+
+#include <functional>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "src/common/mpmc_queue.h"
+
+namespace msd {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task; the returned future resolves when the task completes.
+  std::future<void> Submit(std::function<void()> task);
+
+  // Blocks until all submitted tasks have completed, then stops the workers.
+  void Shutdown();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    std::promise<void> done;
+  };
+
+  void WorkerLoop();
+
+  MpmcQueue<Task> queue_;
+  std::vector<std::thread> threads_;
+  bool shutdown_ = false;
+};
+
+}  // namespace msd
+
+#endif  // SRC_COMMON_THREAD_POOL_H_

@@ -1,0 +1,36 @@
+#include "src/common/units.h"
+
+#include <cstdio>
+
+namespace msd {
+
+std::string FormatBytes(int64_t bytes) {
+  char buf[64];
+  double b = static_cast<double>(bytes);
+  if (bytes >= kTiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f TiB", b / kTiB);
+  } else if (bytes >= kGiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", b / kGiB);
+  } else if (bytes >= kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB", b / kMiB);
+  } else if (bytes >= kKiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f KiB", b / kKiB);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld B", static_cast<long long>(bytes));
+  }
+  return buf;
+}
+
+std::string FormatSimTime(SimTime t) {
+  char buf[64];
+  if (t >= kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", static_cast<double>(t) / kSecond);
+  } else if (t >= kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.1f ms", static_cast<double>(t) / kMillisecond);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld us", static_cast<long long>(t));
+  }
+  return buf;
+}
+
+}  // namespace msd

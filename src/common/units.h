@@ -1,0 +1,31 @@
+// Byte/time unit constants and human-readable formatting.
+#ifndef SRC_COMMON_UNITS_H_
+#define SRC_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace msd {
+
+inline constexpr int64_t kKiB = 1024;
+inline constexpr int64_t kMiB = 1024 * kKiB;
+inline constexpr int64_t kGiB = 1024 * kMiB;
+inline constexpr int64_t kTiB = 1024 * kGiB;
+
+// Simulated time is expressed in microseconds throughout the repository.
+using SimTime = int64_t;
+inline constexpr SimTime kMicrosecond = 1;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+// "1.50 GiB", "312.00 MiB", ...
+std::string FormatBytes(int64_t bytes);
+// "12.34 s", "56.7 ms", "890 us".
+std::string FormatSimTime(SimTime t);
+// Seconds as a double, for arithmetic on reported values.
+inline double ToSeconds(SimTime t) { return static_cast<double>(t) / kSecond; }
+inline SimTime FromSeconds(double s) { return static_cast<SimTime>(s * kSecond); }
+
+}  // namespace msd
+
+#endif  // SRC_COMMON_UNITS_H_

@@ -1,0 +1,219 @@
+#include "src/constructor/data_constructor.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/data/transform.h"
+
+namespace msd {
+
+std::vector<std::pair<int32_t, int32_t>> CpSliceRanges(int32_t padded_len, int32_t cp,
+                                                       int32_t cp_rank, CpSplitMode mode) {
+  MSD_CHECK(cp >= 1 && cp_rank >= 0 && cp_rank < cp);
+  if (cp == 1) {
+    return {{0, padded_len}};
+  }
+  if (mode == CpSplitMode::kContiguous) {
+    int32_t chunk = (padded_len + cp - 1) / cp;
+    int32_t begin = std::min(cp_rank * chunk, padded_len);
+    int32_t end = std::min(begin + chunk, padded_len);
+    return {{begin, end}};
+  }
+  // Zig-zag: split into 2*cp chunks; rank i owns chunks i and 2cp-1-i so every
+  // rank sees a balanced share of early (cheap) and late (expensive) causal
+  // positions.
+  int32_t pieces = 2 * cp;
+  int32_t chunk = (padded_len + pieces - 1) / pieces;
+  auto piece_range = [&](int32_t p) -> std::pair<int32_t, int32_t> {
+    int32_t begin = std::min(p * chunk, padded_len);
+    int32_t end = std::min(begin + chunk, padded_len);
+    return {begin, end};
+  };
+  return {piece_range(cp_rank), piece_range(pieces - 1 - cp_rank)};
+}
+
+DataConstructor::DataConstructor(DataConstructorConfig config, const ClientPlaceTree* tree,
+                                 MemoryAccountant* accountant)
+    : Actor("data_constructor/" + std::to_string(config.constructor_id)),
+      config_(config),
+      tree_(tree),
+      accountant_(accountant) {
+  MSD_CHECK(tree_ != nullptr);
+}
+
+DataConstructor::~DataConstructor() = default;
+
+std::vector<int32_t> DataConstructor::OwnedBuckets(const LoadingPlan& plan) const {
+  std::vector<int32_t> buckets;
+  if (plan.group_size != 1) {
+    // Grouped buckets span DP groups; ownership falls back to round-robin.
+    for (int32_t b = 0; b < plan.num_buckets; ++b) {
+      if (b % tree_->spec().dp == config_.constructor_id) {
+        buckets.push_back(b);
+      }
+    }
+    return buckets;
+  }
+  for (int32_t b = 0; b < plan.num_buckets; ++b) {
+    if (tree_->DpOfBucket(plan.axis, b) == config_.constructor_id) {
+      buckets.push_back(b);
+    }
+  }
+  return buckets;
+}
+
+Status DataConstructor::AssembleBucket(const LoadingPlan& plan,
+                                       const std::map<uint64_t, Sample>& samples_by_id,
+                                       int32_t bucket, std::vector<Microbatch>* out) const {
+  out->clear();
+  out->resize(static_cast<size_t>(plan.num_microbatches));
+  for (int32_t mb = 0; mb < plan.num_microbatches; ++mb) {
+    std::vector<SampleMeta> metas;
+    for (const SliceAssignment& a : plan.assignments) {
+      if (a.bucket != bucket || a.microbatch != mb) {
+        continue;
+      }
+      auto it = samples_by_id.find(a.sample_id);
+      if (it == samples_by_id.end()) {
+        return Status::DataLoss("sample " + std::to_string(a.sample_id) +
+                                " missing from slices (partial yield?)");
+      }
+      metas.push_back(it->second.meta);
+    }
+    Microbatch& micro = (*out)[static_cast<size_t>(mb)];
+    micro.microbatch_index = mb;
+    micro.sequences = PackSequences(metas, config_.max_seq_len);
+    for (PackedSequence& seq : micro.sequences) {
+      std::vector<Sample> seq_samples;
+      seq_samples.reserve(seq.sample_ids.size());
+      for (uint64_t id : seq.sample_ids) {
+        seq_samples.push_back(samples_by_id.at(id));
+      }
+      MSD_RETURN_IF_ERROR(FillPackedTokens(seq, seq_samples));
+    }
+    // Pad to a multiple of 2*cp so CP slicing is exact.
+    int32_t align = 2 * tree_->spec().cp;
+    int32_t max_len = 0;
+    for (const PackedSequence& s : micro.sequences) {
+      max_len = std::max(max_len, s.total_tokens);
+    }
+    int32_t padded = ((max_len + align - 1) / align) * align;
+    PadMicrobatch(micro, padded);
+  }
+  return Status::Ok();
+}
+
+Status DataConstructor::BuildStep(const LoadingPlan& plan, std::vector<SampleSlice> slices) {
+  std::map<uint64_t, Sample> samples_by_id;
+  ImageDecode deferred_decode;
+  for (SampleSlice& slice : slices) {
+    if (!slice.end_of_stream) {
+      return Status::DataLoss("slice from loader " + std::to_string(slice.loader_id) +
+                              " lacks end-of-stream marker");
+    }
+    for (Sample& s : slice.samples) {
+      if (config_.decode_deferred_images && s.meta.image_tokens > 0 && s.pixels.empty()) {
+        // Transformation reordering: the loader shipped compressed bytes.
+        Result<SimTime> decoded = deferred_decode.Apply(s);
+        if (!decoded.ok()) {
+          return decoded.status();
+        }
+      }
+      samples_by_id.emplace(s.meta.sample_id, std::move(s));
+    }
+  }
+  StepData data;
+  data.plan = plan;
+  data.buckets = OwnedBuckets(plan);
+  data.microbatches.resize(data.buckets.size());
+  int64_t payload = 0;
+  for (size_t i = 0; i < data.buckets.size(); ++i) {
+    MSD_RETURN_IF_ERROR(
+        AssembleBucket(plan, samples_by_id, data.buckets[i], &data.microbatches[i]));
+    for (const Microbatch& mb : data.microbatches[i]) {
+      for (const PackedSequence& seq : mb.sequences) {
+        payload += static_cast<int64_t>(seq.tokens.size() * sizeof(int32_t) +
+                                        seq.position_ids.size() * sizeof(int32_t));
+      }
+    }
+  }
+  data.charge = MemCharge(accountant_, config_.node, MemCategory::kBatchBuffer, payload);
+  int64_t step = plan.step;
+  steps_.erase(step);
+  steps_.emplace(step, std::move(data));
+  ++steps_built_;
+  EvictOldSteps(step);
+  return Status::Ok();
+}
+
+RankBatch DataConstructor::MakeRankView(const StepData& data, int32_t rank) const {
+  RankBatch batch;
+  batch.rank = rank;
+  batch.step = data.plan.step;
+  RankCoord coord = CoordOfRank(tree_->spec(), rank);
+  batch.metadata_only = coord.pp > 0;
+
+  int32_t bucket = tree_->BucketOfRank(data.plan.axis, rank, data.plan.group_size);
+  auto it = std::find(data.buckets.begin(), data.buckets.end(), bucket);
+  if (it == data.buckets.end()) {
+    return batch;  // rank's bucket not owned here; empty view
+  }
+  const std::vector<Microbatch>& built =
+      data.microbatches[static_cast<size_t>(it - data.buckets.begin())];
+
+  for (const Microbatch& mb : built) {
+    Microbatch view;
+    view.microbatch_index = mb.microbatch_index;
+    for (const PackedSequence& seq : mb.sequences) {
+      PackedSequence out;
+      out.sample_ids = seq.sample_ids;
+      out.segment_lengths = seq.segment_lengths;
+      out.total_tokens = seq.total_tokens;
+      out.padded_to = seq.padded_to;
+      if (!batch.metadata_only) {
+        for (auto [begin, end] : CpSliceRanges(seq.padded_to, tree_->spec().cp, coord.cp,
+                                               config_.cp_split)) {
+          out.tokens.insert(out.tokens.end(), seq.tokens.begin() + begin,
+                            seq.tokens.begin() + end);
+          out.position_ids.insert(out.position_ids.end(), seq.position_ids.begin() + begin,
+                                  seq.position_ids.begin() + end);
+        }
+      }
+      batch.payload_bytes += static_cast<int64_t>(
+          out.tokens.size() * sizeof(int32_t) + out.position_ids.size() * sizeof(int32_t));
+      view.sequences.push_back(std::move(out));
+    }
+    batch.microbatches.push_back(std::move(view));
+  }
+  return batch;
+}
+
+Result<RankBatch> DataConstructor::GetBatch(int32_t rank, int64_t step) {
+  auto it = steps_.find(step);
+  if (it == steps_.end()) {
+    return Status::NotFound("step " + std::to_string(step) + " not built on constructor " +
+                            std::to_string(config_.constructor_id));
+  }
+  if (rank < 0 || rank >= tree_->spec().WorldSize()) {
+    return Status::InvalidArgument("rank " + std::to_string(rank) + " outside world");
+  }
+  ++batches_served_;
+  return MakeRankView(it->second, rank);
+}
+
+void DataConstructor::Reshard(const ClientPlaceTree* tree) {
+  MSD_CHECK(tree != nullptr);
+  tree_ = tree;
+  // Resident data built for the old mesh is dropped; the next BuildStep uses
+  // the new topology (the paper's "fast resharding of resident data" re-keys
+  // partitions, which for token-sliced views is equivalent to a rebuild).
+  steps_.clear();
+}
+
+void DataConstructor::EvictOldSteps(int64_t current_step) {
+  while (!steps_.empty() && steps_.begin()->first <= current_step - config_.resident_steps) {
+    steps_.erase(steps_.begin());
+  }
+}
+
+}  // namespace msd

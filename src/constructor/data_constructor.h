@@ -1,0 +1,107 @@
+// DataConstructor: the per-DP-group aggregation actor (Sec. 3).
+//
+// It ingests sample slices popped from Source Loaders, assembles microbatches
+// (packing, padding, RoPE), and applies parallelism transformations so each
+// trainer rank fetches exactly the view it needs:
+//  - CP ranks receive zig-zag (or contiguous) sequence slices of shared batches,
+//  - PP stages > 0 receive metadata-only views,
+//  - TP ranks > 0 are excluded entirely when broadcast_at(TP) is declared.
+// This sharing is what removes the per-rank loader redundancy of Fig. 6.
+#ifndef SRC_CONSTRUCTOR_DATA_CONSTRUCTOR_H_
+#define SRC_CONSTRUCTOR_DATA_CONSTRUCTOR_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/actor/actor.h"
+#include "src/data/microbatch.h"
+#include "src/loader/source_loader.h"
+#include "src/mesh/client_place_tree.h"
+#include "src/plan/dgraph.h"
+#include "src/storage/memory_model.h"
+
+namespace msd {
+
+enum class CpSplitMode {
+  kContiguous = 0,  // rank i takes slice i of cp
+  kZigZag,          // rank i takes slices i and 2cp-1-i of 2cp (causal balance)
+};
+
+struct DataConstructorConfig {
+  int32_t constructor_id = 0;  // == DP group index it serves
+  int32_t max_seq_len = 4096;
+  CpSplitMode cp_split = CpSplitMode::kZigZag;
+  MemoryAccountant::NodeId node = 0;
+  // Steps kept resident for late fetchers before eviction.
+  int64_t resident_steps = 2;
+  // Transformation reordering (Sec. 6.2): decode images that loaders shipped
+  // compressed (SourceLoaderConfig::defer_image_decode).
+  bool decode_deferred_images = true;
+};
+
+// The batch view one rank fetches for one step.
+struct RankBatch {
+  int32_t rank = -1;
+  int64_t step = -1;
+  bool metadata_only = false;  // PP stages > 0
+  std::vector<Microbatch> microbatches;
+  int64_t payload_bytes = 0;
+};
+
+class DataConstructor : public Actor {
+ public:
+  DataConstructor(DataConstructorConfig config, const ClientPlaceTree* tree,
+                  MemoryAccountant* accountant);
+  ~DataConstructor() override;
+
+  // Assembles this constructor's share of `plan` from the given slices.
+  // Slices must cover every sample the plan assigns to this constructor's
+  // buckets; samples for other constructors' buckets are ignored.
+  Status BuildStep(const LoadingPlan& plan, std::vector<SampleSlice> slices);
+
+  // Serves the parallelism-transformed view for `rank` at `step`.
+  Result<RankBatch> GetBatch(int32_t rank, int64_t step);
+
+  // Buckets of `plan` this constructor is responsible for.
+  std::vector<int32_t> OwnedBuckets(const LoadingPlan& plan) const;
+
+  // Elastic resharding (Sec. 6.1): adopt a new topology; resident steps are
+  // re-targeted to the new mesh on their next fetch.
+  void Reshard(const ClientPlaceTree* tree);
+
+  const DataConstructorConfig& config() const { return config_; }
+  int64_t steps_built() const { return steps_built_; }
+  int64_t batches_served() const { return batches_served_; }
+
+ private:
+  struct StepData {
+    LoadingPlan plan;
+    // microbatches[bucket_pos][mb] for OwnedBuckets order.
+    std::vector<int32_t> buckets;
+    std::vector<std::vector<Microbatch>> microbatches;
+    MemCharge charge;
+  };
+
+  Status AssembleBucket(const LoadingPlan& plan,
+                        const std::map<uint64_t, Sample>& samples_by_id, int32_t bucket,
+                        std::vector<Microbatch>* out) const;
+  RankBatch MakeRankView(const StepData& data, int32_t rank) const;
+  void EvictOldSteps(int64_t current_step);
+
+  DataConstructorConfig config_;
+  const ClientPlaceTree* tree_;
+  MemoryAccountant* accountant_;
+  std::map<int64_t, StepData> steps_;
+  int64_t steps_built_ = 0;
+  int64_t batches_served_ = 0;
+};
+
+// Splits a padded sequence's token range across cp ranks. Returns the token
+// index ranges (pairs of [begin, end)) owned by `cp_rank`.
+std::vector<std::pair<int32_t, int32_t>> CpSliceRanges(int32_t padded_len, int32_t cp,
+                                                       int32_t cp_rank, CpSplitMode mode);
+
+}  // namespace msd
+
+#endif  // SRC_CONSTRUCTOR_DATA_CONSTRUCTOR_H_

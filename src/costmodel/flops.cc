@@ -1,0 +1,54 @@
+#include "src/costmodel/flops.h"
+
+#include "src/common/status.h"
+
+namespace msd {
+
+double AttentionFlops(const ModelConfig& config, const std::vector<int32_t>& segment_lengths) {
+  double h = config.hidden;
+  double sum_sq = 0.0;
+  for (int32_t l : segment_lengths) {
+    sum_sq += static_cast<double>(l) * static_cast<double>(l);
+  }
+  // Scores (2*l^2*h) + attention-weighted values (2*l^2*h) per layer.
+  return 4.0 * h * sum_sq * static_cast<double>(config.layers);
+}
+
+double ForwardFlops(const ModelConfig& config, const std::vector<int32_t>& segment_lengths) {
+  double h = config.hidden;
+  double ffn = config.EffectiveFfn();
+  double total_tokens = 0.0;
+  for (int32_t l : segment_lengths) {
+    MSD_CHECK(l >= 0);
+    total_tokens += l;
+  }
+  // Per layer, per token: QKVO projections 8h^2; MLP 4*h*ffn (up+down, x topk
+  // for MoE — only activated experts run).
+  double experts = config.IsMoe() ? static_cast<double>(config.moe_topk) : 1.0;
+  double per_layer_linear = total_tokens * (8.0 * h * h + 4.0 * h * ffn * experts);
+  double linear = per_layer_linear * static_cast<double>(config.layers);
+  double attention = AttentionFlops(config, segment_lengths);
+  // LM head: 2 * tokens * h * vocab (encoders have vocab == 0).
+  double head = 2.0 * total_tokens * h * static_cast<double>(config.vocab);
+  return linear + attention + head;
+}
+
+double ForwardFlopsUniform(const ModelConfig& config, int64_t seq_len) {
+  return ForwardFlops(config, {static_cast<int32_t>(seq_len)});
+}
+
+double EncoderFlops(const ModelConfig& encoder, int64_t patches) {
+  // ViT attends over the full patch sequence of one image (no packing masks).
+  return ForwardFlopsUniform(encoder, patches);
+}
+
+double BackboneSampleFlops(const ModelConfig& backbone, const SampleMeta& meta) {
+  return ForwardFlops(backbone, {meta.TotalTokens()});
+}
+
+SimTime FlopsLatency(double flops, const DeviceSpec& device) {
+  MSD_CHECK(device.flops_per_sec > 0.0);
+  return FromSeconds(flops / device.flops_per_sec);
+}
+
+}  // namespace msd

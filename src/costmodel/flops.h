@@ -1,0 +1,48 @@
+// Analytic FLOPs/latency models — the `cost()` functions of Sec. 4.2.
+//
+// "We model the encoder's cost as a function of the image sequence length,
+//  the dimensions of the embedding and MLP layers, and the model's depth. The
+//  cost for the language backbone is likewise modeled as a function of the
+//  total sequence length and key architectural parameters, such as the number
+//  of experts per token, vocabulary size, and hidden layer dimensions."
+//
+// Attention is quadratic per *segment* (packed sequences carry segment masks,
+// so cross-segment attention is masked out), which is the source of the
+// paper's 30/70-vs-50/50 = +16% example.
+#ifndef SRC_COSTMODEL_FLOPS_H_
+#define SRC_COSTMODEL_FLOPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/costmodel/model_config.h"
+#include "src/data/sample.h"
+
+namespace msd {
+
+// Quadratic attention-score term only: 4 * hidden * sum(l_i^2).
+double AttentionFlops(const ModelConfig& config, const std::vector<int32_t>& segment_lengths);
+
+// Full forward FLOPs of one transformer stack over a packed sequence.
+// Includes QKVO projections, attention, MLP (MoE-aware), and LM head.
+double ForwardFlops(const ModelConfig& config, const std::vector<int32_t>& segment_lengths);
+
+// Convenience for a single unsegmented sequence.
+double ForwardFlopsUniform(const ModelConfig& config, int64_t seq_len);
+
+// Encoder cost for an image subsequence of `patches` patches.
+double EncoderFlops(const ModelConfig& encoder, int64_t patches);
+
+// Backbone cost for one sample's interleaved sequence (text + image tokens).
+double BackboneSampleFlops(const ModelConfig& backbone, const SampleMeta& meta);
+
+// Training step ~ 3x forward (forward + 2x backward).
+inline constexpr double kTrainFlopsMultiplier = 3.0;
+
+// Virtual latency of executing `flops` on one device.
+SimTime FlopsLatency(double flops, const DeviceSpec& device);
+
+}  // namespace msd
+
+#endif  // SRC_COSTMODEL_FLOPS_H_

@@ -1,0 +1,78 @@
+#include "src/costmodel/model_config.h"
+
+#include <cstdio>
+
+namespace msd {
+
+ModelConfig ViT1B() {
+  ModelConfig c;
+  c.name = "ViT-1B";
+  c.layers = 39;
+  c.heads = 16;
+  c.hidden = 1408;
+  c.ffn_hidden = 6144;
+  c.patch_size = 14;
+  return c;
+}
+
+ModelConfig ViT2B() {
+  ModelConfig c;
+  c.name = "ViT-2B";
+  c.layers = 48;
+  c.heads = 16;
+  c.hidden = 1664;
+  c.ffn_hidden = 8192;
+  c.patch_size = 14;
+  return c;
+}
+
+ModelConfig Llama12B() {
+  ModelConfig c;
+  c.name = "Llama-12B";
+  c.layers = 45;
+  c.heads = 36;
+  c.hidden = 4608;
+  c.vocab = 128256;
+  return c;
+}
+
+ModelConfig TMoE25B() {
+  ModelConfig c;
+  c.name = "tMoE-25B";
+  c.layers = 42;
+  c.heads = 16;
+  c.hidden = 2048;
+  c.vocab = 128256;
+  c.moe_topk = 2;
+  c.num_experts = 16;
+  return c;
+}
+
+ModelConfig Mixtral8x7B() {
+  ModelConfig c;
+  c.name = "Mixtral-8x7B";
+  c.layers = 32;
+  c.heads = 32;
+  c.hidden = 4096;
+  c.ffn_hidden = 14336;
+  c.vocab = 32000;
+  c.moe_topk = 2;
+  c.num_experts = 8;
+  return c;
+}
+
+std::string ModelConfigTable() {
+  const ModelConfig configs[] = {ViT1B(), ViT2B(), Llama12B(), TMoE25B(), Mixtral8x7B()};
+  std::string out =
+      "Table 1: Model configurations\n"
+      "  Model         #Layers  #Heads  Hidden  topk\n";
+  char line[128];
+  for (const ModelConfig& c : configs) {
+    std::snprintf(line, sizeof(line), "  %-12s  %7d  %6d  %6d  %4d\n", c.name.c_str(), c.layers,
+                  c.heads, c.hidden, c.moe_topk);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace msd

@@ -1,0 +1,41 @@
+// Model configurations from Table 1 plus the device spec of the testbed.
+#ifndef SRC_COSTMODEL_MODEL_CONFIG_H_
+#define SRC_COSTMODEL_MODEL_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace msd {
+
+struct ModelConfig {
+  std::string name;
+  int32_t layers = 0;
+  int32_t heads = 0;
+  int32_t hidden = 0;
+  int32_t ffn_hidden = 0;   // 0 => 4 * hidden
+  int32_t vocab = 0;        // 0 for encoders
+  int32_t moe_topk = 0;     // 0 => dense; otherwise experts activated per token
+  int32_t num_experts = 0;  // total experts (MoE only)
+  int32_t patch_size = 0;   // encoders: pixels per patch edge
+
+  int32_t EffectiveFfn() const { return ffn_hidden > 0 ? ffn_hidden : 4 * hidden; }
+  bool IsMoe() const { return moe_topk > 0; }
+};
+
+// Table 1 presets.
+ModelConfig ViT1B();       // 39 layers, 16 heads, hidden 1408
+ModelConfig ViT2B();       // 48 layers, 16 heads, hidden 1664
+ModelConfig Llama12B();    // 45 layers, 36 heads, hidden 4608
+ModelConfig TMoE25B();     // 42 layers, 16 heads, hidden 2048, topk=2
+ModelConfig Mixtral8x7B(); // 32 layers, 32 heads, hidden 4096, topk=2
+
+// Per-GPU effective throughput (NVIDIA L20-class with realistic MFU).
+struct DeviceSpec {
+  double flops_per_sec = 30e12;
+};
+
+std::string ModelConfigTable();  // Table 1 rendering for bench headers
+
+}  // namespace msd
+
+#endif  // SRC_COSTMODEL_MODEL_CONFIG_H_

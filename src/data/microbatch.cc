@@ -1,0 +1,120 @@
+#include "src/data/microbatch.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace msd {
+
+int64_t Microbatch::TotalTokens() const {
+  int64_t total = 0;
+  for (const PackedSequence& s : sequences) {
+    total += s.total_tokens;
+  }
+  return total;
+}
+
+int64_t Microbatch::TotalPaddingTokens() const {
+  int64_t total = 0;
+  for (const PackedSequence& s : sequences) {
+    total += s.PaddingTokens();
+  }
+  return total;
+}
+
+std::vector<PackedSequence> PackSequences(const std::vector<SampleMeta>& samples,
+                                          int32_t max_seq_len) {
+  MSD_CHECK(max_seq_len > 0);
+  // First-fit-decreasing: sort by total token count descending, place each
+  // sample into the first sequence with room, else open a new sequence.
+  std::vector<size_t> order(samples.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return samples[a].TotalTokens() > samples[b].TotalTokens();
+  });
+
+  std::vector<PackedSequence> sequences;
+  for (size_t idx : order) {
+    int32_t len = std::min(samples[idx].TotalTokens(), max_seq_len);
+    if (len == 0) {
+      continue;
+    }
+    PackedSequence* target = nullptr;
+    for (PackedSequence& seq : sequences) {
+      if (seq.total_tokens + len <= max_seq_len) {
+        target = &seq;
+        break;
+      }
+    }
+    if (target == nullptr) {
+      sequences.emplace_back();
+      target = &sequences.back();
+    }
+    target->sample_ids.push_back(samples[idx].sample_id);
+    target->segment_lengths.push_back(len);
+    target->total_tokens += len;
+  }
+  return sequences;
+}
+
+Status FillPackedTokens(PackedSequence& seq, const std::vector<Sample>& samples) {
+  if (samples.size() != seq.sample_ids.size()) {
+    return Status::InvalidArgument("sample count mismatch");
+  }
+  seq.tokens.clear();
+  seq.tokens.reserve(static_cast<size_t>(seq.total_tokens));
+  for (size_t i = 0; i < samples.size(); ++i) {
+    if (samples[i].meta.sample_id != seq.sample_ids[i]) {
+      return Status::InvalidArgument("sample order mismatch at segment " + std::to_string(i));
+    }
+    int32_t want = seq.segment_lengths[i];
+    const std::vector<int32_t>& toks = samples[i].tokens;
+    // Text tokens first, then a sentinel id per image patch (interleaved
+    // stream; patch embeddings are injected model-side).
+    int32_t emitted = 0;
+    for (int32_t t : toks) {
+      if (emitted >= want) {
+        break;
+      }
+      seq.tokens.push_back(t);
+      ++emitted;
+    }
+    constexpr int32_t kImagePatchToken = -1;
+    while (emitted < want) {
+      seq.tokens.push_back(kImagePatchToken);
+      ++emitted;
+    }
+  }
+  seq.position_ids = RopePositions(seq);
+  return Status::Ok();
+}
+
+std::vector<int32_t> RopePositions(const PackedSequence& seq) {
+  std::vector<int32_t> positions;
+  positions.reserve(static_cast<size_t>(seq.total_tokens));
+  for (int32_t seg_len : seq.segment_lengths) {
+    for (int32_t p = 0; p < seg_len; ++p) {
+      positions.push_back(p);
+    }
+  }
+  return positions;
+}
+
+void PadMicrobatch(Microbatch& mb, int32_t pad_to) {
+  int32_t target = pad_to;
+  if (target == 0) {
+    for (const PackedSequence& s : mb.sequences) {
+      target = std::max(target, s.total_tokens);
+    }
+  }
+  constexpr int32_t kPadToken = -2;
+  for (PackedSequence& s : mb.sequences) {
+    MSD_CHECK(s.total_tokens <= target);
+    s.padded_to = target;
+    if (!s.tokens.empty()) {
+      s.tokens.resize(static_cast<size_t>(target), kPadToken);
+      s.position_ids.resize(static_cast<size_t>(target), 0);
+    }
+  }
+}
+
+}  // namespace msd

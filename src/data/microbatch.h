@@ -1,0 +1,55 @@
+// Microbatch transformations (Fig. 1 middle stage): packing fragmented
+// subsequences into complete sequences with segment masks, padding, and RoPE
+// position assignment.
+#ifndef SRC_DATA_MICROBATCH_H_
+#define SRC_DATA_MICROBATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/data/sample.h"
+
+namespace msd {
+
+// One packed training sequence assembled from one or more sample subsequences.
+struct PackedSequence {
+  std::vector<uint64_t> sample_ids;
+  std::vector<int32_t> segment_lengths;  // tokens contributed by each sample
+  std::vector<int32_t> tokens;           // concatenated token ids (real mode)
+  std::vector<int32_t> position_ids;     // RoPE positions, restarting per segment
+  int32_t total_tokens = 0;              // sum of segment_lengths
+  int32_t padded_to = 0;                 // 0 until PadMicrobatch runs
+
+  int32_t PaddingTokens() const { return padded_to > 0 ? padded_to - total_tokens : 0; }
+};
+
+struct Microbatch {
+  int32_t microbatch_index = 0;
+  std::vector<PackedSequence> sequences;
+
+  int64_t TotalTokens() const;
+  int64_t TotalPaddingTokens() const;
+};
+
+// First-fit-decreasing packing of sample token counts into sequences of at
+// most max_seq_len tokens. Samples longer than max_seq_len are truncated to it
+// (the paper notes max sequence length only bounds backbone tokens).
+// Metadata-only: fills sample_ids/segment_lengths, not token payloads.
+std::vector<PackedSequence> PackSequences(const std::vector<SampleMeta>& samples,
+                                          int32_t max_seq_len);
+
+// Fills token payloads of a packed sequence from materialized samples
+// (real mode). Samples must appear in the same order as sample_ids.
+Status FillPackedTokens(PackedSequence& seq, const std::vector<Sample>& samples);
+
+// Pads every sequence in the microbatch to the batch max (or `pad_to` if
+// nonzero) and assigns RoPE position ids (restarting at each segment start).
+void PadMicrobatch(Microbatch& mb, int32_t pad_to = 0);
+
+// Positions for one packed sequence: 0..len-1 within each segment.
+std::vector<int32_t> RopePositions(const PackedSequence& seq);
+
+}  // namespace msd
+
+#endif  // SRC_DATA_MICROBATCH_H_

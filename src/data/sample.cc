@@ -1,0 +1,80 @@
+#include "src/data/sample.h"
+
+#include "src/storage/wire.h"
+
+namespace msd {
+
+const char* ModalityName(Modality m) {
+  switch (m) {
+    case Modality::kText:
+      return "text";
+    case Modality::kImageText:
+      return "image_text";
+    case Modality::kVideo:
+      return "video";
+    case Modality::kAudio:
+      return "audio";
+  }
+  return "unknown";
+}
+
+std::string SerializeSampleMeta(const SampleMeta& meta) {
+  WireWriter w;
+  w.PutU64(meta.sample_id);
+  w.PutU32(static_cast<uint32_t>(meta.source_id));
+  w.PutU8(static_cast<uint8_t>(meta.modality));
+  w.PutU32(static_cast<uint32_t>(meta.text_tokens));
+  w.PutU32(static_cast<uint32_t>(meta.image_tokens));
+  w.PutI64(meta.raw_bytes);
+  return w.Take();
+}
+
+bool DeserializeSampleMeta(const std::string& bytes, SampleMeta* out) {
+  WireReader r(bytes);
+  out->sample_id = r.GetU64();
+  out->source_id = static_cast<int32_t>(r.GetU32());
+  out->modality = static_cast<Modality>(r.GetU8());
+  out->text_tokens = static_cast<int32_t>(r.GetU32());
+  out->image_tokens = static_cast<int32_t>(r.GetU32());
+  out->raw_bytes = r.GetI64();
+  return r.Ok();
+}
+
+std::string SerializeSample(const Sample& sample) {
+  WireWriter w;
+  w.PutBytes(SerializeSampleMeta(sample.meta));
+  w.PutBytes(sample.raw_text);
+  w.PutBytes(sample.raw_image);
+  w.PutU32(static_cast<uint32_t>(sample.tokens.size()));
+  for (int32_t t : sample.tokens) {
+    w.PutU32(static_cast<uint32_t>(t));
+  }
+  w.PutU32(static_cast<uint32_t>(sample.pixels.size()));
+  for (float p : sample.pixels) {
+    w.PutF64(p);
+  }
+  return w.Take();
+}
+
+bool DeserializeSample(const std::string& bytes, Sample* out) {
+  WireReader r(bytes);
+  std::string meta_bytes = r.GetBytes();
+  if (!DeserializeSampleMeta(meta_bytes, &out->meta)) {
+    return false;
+  }
+  out->raw_text = r.GetBytes();
+  out->raw_image = r.GetBytes();
+  uint32_t n_tokens = r.GetU32();
+  out->tokens.resize(n_tokens);
+  for (uint32_t i = 0; i < n_tokens; ++i) {
+    out->tokens[i] = static_cast<int32_t>(r.GetU32());
+  }
+  uint32_t n_pixels = r.GetU32();
+  out->pixels.resize(n_pixels);
+  for (uint32_t i = 0; i < n_pixels; ++i) {
+    out->pixels[i] = static_cast<float>(r.GetF64());
+  }
+  return r.Ok();
+}
+
+}  // namespace msd

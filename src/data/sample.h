@@ -1,0 +1,57 @@
+// Sample types. SampleMeta is the lightweight record the Planner orchestrates
+// over (Sec. 3 step 4: "sample indices, source signatures, sequence length");
+// Sample carries the heavy payload and only ever lives inside Source Loaders
+// and Data Constructors.
+#ifndef SRC_DATA_SAMPLE_H_
+#define SRC_DATA_SAMPLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msd {
+
+enum class Modality : uint8_t { kText = 0, kImageText = 1, kVideo = 2, kAudio = 3 };
+
+const char* ModalityName(Modality m);
+
+struct SampleMeta {
+  uint64_t sample_id = 0;
+  int32_t source_id = 0;
+  Modality modality = Modality::kText;
+  // Length of the text subsequence in tokens.
+  int32_t text_tokens = 0;
+  // Number of image patches after encoding (0 for pure text).
+  int32_t image_tokens = 0;
+  // Encoded on-storage payload size.
+  int64_t raw_bytes = 0;
+
+  // Total tokens the LLM backbone sees for this sample (interleaved stream).
+  int32_t TotalTokens() const { return text_tokens + image_tokens; }
+
+  bool operator==(const SampleMeta&) const = default;
+};
+
+// A fully materialized training sample (real-mode payload).
+struct Sample {
+  SampleMeta meta;
+  std::string raw_text;            // pre-tokenization text
+  std::string raw_image;           // encoded ("JPEG") image bytes
+  std::vector<int32_t> tokens;     // filled by TextTokenize
+  std::vector<float> pixels;       // filled by ImageDecode (patch embeddings input)
+
+  int64_t PayloadBytes() const {
+    return static_cast<int64_t>(raw_text.size() + raw_image.size() +
+                                tokens.size() * sizeof(int32_t) + pixels.size() * sizeof(float));
+  }
+};
+
+// Wire encoding for MSDF rows and actor messages.
+std::string SerializeSampleMeta(const SampleMeta& meta);
+bool DeserializeSampleMeta(const std::string& bytes, SampleMeta* out);
+std::string SerializeSample(const Sample& sample);
+bool DeserializeSample(const std::string& bytes, Sample* out);
+
+}  // namespace msd
+
+#endif  // SRC_DATA_SAMPLE_H_

@@ -1,0 +1,154 @@
+#include "src/data/source_spec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/status.h"
+
+namespace msd {
+
+namespace {
+
+// Draws a bucket index from `weights`, then a value log-uniformly within the
+// bucket (lower bound = previous bound + 1).
+int32_t DrawFromBuckets(Rng& rng, const std::vector<int32_t>& bounds,
+                        const std::vector<double>& weights) {
+  MSD_CHECK(bounds.size() == weights.size());
+  size_t bucket = rng.Categorical(weights);
+  int32_t hi = bounds[bucket];
+  int32_t lo = bucket == 0 ? 1 : bounds[bucket - 1] + 1;
+  if (lo >= hi) {
+    return hi;
+  }
+  double u = rng.Uniform(std::log(static_cast<double>(lo)), std::log(static_cast<double>(hi)));
+  return static_cast<int32_t>(std::lround(std::exp(u)));
+}
+
+// Applies multiplicative jitter to bucket weights so the 306 navit sources are
+// heterogeneous while keeping the corpus-level mixture on target.
+std::vector<double> Jitter(Rng& rng, const std::vector<double>& base, double strength) {
+  std::vector<double> out(base.size());
+  for (size_t i = 0; i < base.size(); ++i) {
+    out[i] = base[i] * std::exp(rng.Normal(0.0, strength));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<int32_t> TextBucketBounds() {
+  return {16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768};
+}
+
+std::vector<int32_t> ImageBucketBounds() { return {1024, 2048, 4096, 8192, 16384, 32768}; }
+
+SampleMeta SourceSpec::DrawMeta(Rng& rng, uint64_t sample_id) const {
+  SampleMeta meta;
+  meta.sample_id = sample_id;
+  meta.source_id = source_id;
+  meta.modality = modality;
+  if (!text_bucket_weights.empty()) {
+    meta.text_tokens = DrawFromBuckets(rng, TextBucketBounds(), text_bucket_weights);
+  }
+  if (!image_bucket_weights.empty()) {
+    meta.image_tokens = DrawFromBuckets(rng, ImageBucketBounds(), image_bucket_weights);
+  }
+  // Encoded payload: ~4 bytes per text token; images store compressed pixels,
+  // ~48 bytes per 16x16 patch at ~25x JPEG compression.
+  meta.raw_bytes = static_cast<int64_t>(meta.text_tokens) * 4 +
+                   static_cast<int64_t>(meta.image_tokens) * 48;
+  return meta;
+}
+
+std::vector<double> CorpusSpec::UniformWeights() const {
+  return std::vector<double>(sources.size(), 1.0 / static_cast<double>(sources.size()));
+}
+
+CorpusSpec MakeCoyo700m(uint64_t seed) {
+  // Fig. 2 / Sec. 2.3 (coyo700m): 98.23% of samples hold <=64 text tokens and
+  // the >64-token tail (1.77% of samples) accounts for ~9.3% of all text
+  // tokens; image patch counts spread across 1k..32k
+  // (11.1 / 15.9 / 23.4 / 19.4 / 17.4 / 12.9).
+  const std::vector<double> text_w = {36.7, 36.1, 25.4, 1.2, 0.4, 0.15,
+                                      0.04, 0.008, 0.002, 0.0, 0.0, 0.0};
+  const std::vector<double> image_w = {11.1, 15.9, 23.4, 19.4, 17.4, 12.9};
+  Rng rng(seed);
+  CorpusSpec corpus;
+  corpus.name = "coyo700m";
+  for (int i = 0; i < 5; ++i) {
+    SourceSpec src;
+    src.source_id = i;
+    src.name = "coyo700m/part-" + std::to_string(i);
+    src.modality = Modality::kImageText;
+    src.text_bucket_weights = Jitter(rng, text_w, 0.05);
+    src.image_bucket_weights = Jitter(rng, image_w, 0.05);
+    src.transform_cost_multiplier = std::exp(rng.Normal(0.0, 0.2));
+    src.num_files = 2;
+    src.rows_per_file = 512;
+    corpus.sources.push_back(std::move(src));
+  }
+  return corpus;
+}
+
+CorpusSpec MakeNavitData(uint64_t seed, int num_sources) {
+  // Fig. 2 (navit_data): text lengths spread much wider (<=128 20%, 256 9.9%,
+  // 512 12.5%, 1k 19.2%, 2k 14.3%, 4k 9.3%, >=8k 14.8%); images skew long
+  // (<=1k 11.5%, 2k 15.1%, 4k 23.6%, 8k 22.5%, >=16k 27.3%).
+  const std::vector<double> text_w = {5.0, 5.0, 5.0, 5.0, 9.9, 12.5,
+                                      19.2, 14.3, 9.3, 8.0, 4.8, 2.0};
+  const std::vector<double> image_w = {11.5, 15.1, 23.6, 22.5, 17.0, 10.3};
+  Rng rng(seed);
+  CorpusSpec corpus;
+  corpus.name = "navit_data";
+  corpus.sources.reserve(num_sources);
+  for (int i = 0; i < num_sources; ++i) {
+    SourceSpec src;
+    src.source_id = i;
+    src.name = "navit_data/src-" + std::to_string(i);
+    // Production mix: mostly image-text, some pure text, a few video/audio —
+    // the modality mix drives the Fig. 5b transformation-latency skew.
+    double m = rng.NextDouble();
+    if (m < 0.70) {
+      src.modality = Modality::kImageText;
+      src.text_bucket_weights = Jitter(rng, text_w, 0.25);
+      src.image_bucket_weights = Jitter(rng, image_w, 0.25);
+    } else if (m < 0.88) {
+      src.modality = Modality::kText;
+      src.text_bucket_weights = Jitter(rng, text_w, 0.25);
+    } else if (m < 0.96) {
+      src.modality = Modality::kVideo;
+      src.text_bucket_weights = Jitter(rng, text_w, 0.25);
+      src.image_bucket_weights = Jitter(rng, image_w, 0.25);
+    } else {
+      src.modality = Modality::kAudio;
+      src.text_bucket_weights = Jitter(rng, text_w, 0.25);
+      src.image_bucket_weights = Jitter(rng, image_w, 0.25);
+    }
+    src.transform_cost_multiplier = std::exp(rng.Normal(0.0, 0.6));
+    src.num_files = 1 + static_cast<int64_t>(rng.UniformInt(0, 2));
+    src.rows_per_file = 256;
+    corpus.sources.push_back(std::move(src));
+  }
+  return corpus;
+}
+
+CorpusSpec MakeTextCorpus(uint64_t seed, int num_sources) {
+  const std::vector<double> text_w = {5.0, 8.0, 10.0, 12.0, 14.0, 14.0,
+                                      12.0, 10.0, 7.0, 4.0, 2.5, 1.5};
+  Rng rng(seed);
+  CorpusSpec corpus;
+  corpus.name = "text_corpus";
+  corpus.sources.reserve(num_sources);
+  for (int i = 0; i < num_sources; ++i) {
+    SourceSpec src;
+    src.source_id = i;
+    src.name = "text/src-" + std::to_string(i);
+    src.modality = Modality::kText;
+    src.text_bucket_weights = Jitter(rng, text_w, 0.15);
+    src.transform_cost_multiplier = std::exp(rng.Normal(0.0, 0.2));
+    corpus.sources.push_back(std::move(src));
+  }
+  return corpus;
+}
+
+}  // namespace msd

@@ -1,0 +1,55 @@
+// SourceSpec: the statistical description of one data source, plus the corpus
+// presets (`coyo700m`-like with 5 sources, `navit_data`-like with 306 sources)
+// fit to the token-length histograms of Fig. 2.
+#ifndef SRC_DATA_SOURCE_SPEC_H_
+#define SRC_DATA_SOURCE_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/data/sample.h"
+
+namespace msd {
+
+// Bucket upper bounds (inclusive) of the Fig. 2 histograms.
+// Text: 16, 32, ..., 32768 (12 buckets). Image patches: 1k, ..., 32k (6).
+std::vector<int32_t> TextBucketBounds();
+std::vector<int32_t> ImageBucketBounds();
+
+struct SourceSpec {
+  int32_t source_id = 0;
+  std::string name;
+  Modality modality = Modality::kImageText;
+  // Sample-ratio weight per text bucket (see TextBucketBounds). Empty => no text.
+  std::vector<double> text_bucket_weights;
+  // Sample-ratio weight per image bucket. Empty => pure text source.
+  std::vector<double> image_bucket_weights;
+  // Per-source preprocessing heterogeneity multiplier (Fig. 5b latency skew).
+  double transform_cost_multiplier = 1.0;
+  // Storage shape.
+  int64_t num_files = 1;
+  int64_t rows_per_file = 512;
+
+  // Deterministically draws one sample's metadata from the spec.
+  SampleMeta DrawMeta(Rng& rng, uint64_t sample_id) const;
+};
+
+struct CorpusSpec {
+  std::string name;
+  std::vector<SourceSpec> sources;
+
+  // Uniform mixing weights (one per source).
+  std::vector<double> UniformWeights() const;
+};
+
+// Fig. 2 presets. `seed` controls per-source heterogeneity jitter.
+CorpusSpec MakeCoyo700m(uint64_t seed = 7);
+CorpusSpec MakeNavitData(uint64_t seed = 11, int num_sources = 306);
+// Pure-text corpus used by the Fig. 20 scalability study.
+CorpusSpec MakeTextCorpus(uint64_t seed = 13, int num_sources = 32);
+
+}  // namespace msd
+
+#endif  // SRC_DATA_SOURCE_SPEC_H_

@@ -1,0 +1,70 @@
+#include "src/data/synthetic.h"
+
+#include "src/data/tokenizer.h"
+
+namespace msd {
+
+Schema SampleSchema() {
+  return Schema{{
+      {"sample", FieldType::kBytes},
+  }};
+}
+
+Sample GenerateSample(const SourceSpec& spec, Rng& rng, uint64_t sample_id) {
+  Sample sample;
+  sample.meta = spec.DrawMeta(rng, sample_id);
+  sample.raw_text = GenerateText(sample_id ^ 0xABCD, sample.meta.text_tokens);
+  if (sample.meta.image_tokens > 0) {
+    // Compressed image payload: raw_bytes sized by the spec's model.
+    int64_t image_bytes = static_cast<int64_t>(sample.meta.image_tokens) * 48;
+    sample.raw_image.resize(static_cast<size_t>(image_bytes));
+    for (auto& c : sample.raw_image) {
+      c = static_cast<char>(rng.NextU32() & 0xFF);
+    }
+  }
+  return sample;
+}
+
+std::string SourceFileName(const SourceSpec& spec, int64_t file_index) {
+  return spec.name + "/file-" + std::to_string(file_index) + ".msdf";
+}
+
+Status WriteSourceFiles(ObjectStore& store, const SourceSpec& spec, uint64_t seed,
+                        MsdfWriteOptions options) {
+  Rng rng(seed ^ (static_cast<uint64_t>(spec.source_id) * 0x9E3779B97F4A7C15ULL));
+  uint64_t next_id = static_cast<uint64_t>(spec.source_id) << 40;
+  for (int64_t f = 0; f < spec.num_files; ++f) {
+    MsdfWriter writer(SampleSchema(), options);
+    for (int64_t r = 0; r < spec.rows_per_file; ++r) {
+      Sample sample = GenerateSample(spec, rng, next_id++);
+      writer.AppendRow(SerializeSample(sample));
+    }
+    MSD_RETURN_IF_ERROR(store.Put(SourceFileName(spec, f), writer.Finish()));
+  }
+  return Status::Ok();
+}
+
+Result<int64_t> WriteCorpus(ObjectStore& store, const CorpusSpec& corpus, uint64_t seed,
+                            MsdfWriteOptions options) {
+  int64_t total_rows = 0;
+  for (const SourceSpec& spec : corpus.sources) {
+    Status s = WriteSourceFiles(store, spec, seed, options);
+    if (!s.ok()) {
+      return s;
+    }
+    total_rows += spec.num_files * spec.rows_per_file;
+  }
+  return total_rows;
+}
+
+std::vector<SampleMeta> DrawMetas(const SourceSpec& spec, Rng& rng, int64_t count,
+                                  uint64_t first_sample_id) {
+  std::vector<SampleMeta> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    out.push_back(spec.DrawMeta(rng, first_sample_id + static_cast<uint64_t>(i)));
+  }
+  return out;
+}
+
+}  // namespace msd

@@ -1,0 +1,43 @@
+// Synthetic corpus materialization: draws samples from SourceSpecs and writes
+// them as MSDF files into an ObjectStore (the HDFS stand-in), or streams
+// metadata-only for cluster-scale simulations.
+#ifndef SRC_DATA_SYNTHETIC_H_
+#define SRC_DATA_SYNTHETIC_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/data/sample.h"
+#include "src/data/source_spec.h"
+#include "src/storage/columnar.h"
+#include "src/storage/object_store.h"
+
+namespace msd {
+
+// Schema used for all sample files.
+Schema SampleSchema();
+
+// Materializes a full sample (meta + payload) for real-mode pipelines.
+Sample GenerateSample(const SourceSpec& spec, Rng& rng, uint64_t sample_id);
+
+// File name for the i-th file of a source.
+std::string SourceFileName(const SourceSpec& spec, int64_t file_index);
+
+// Writes spec.num_files MSDF files of spec.rows_per_file samples each.
+// Row-group sizing is scaled down (options) so tests stay fast.
+Status WriteSourceFiles(ObjectStore& store, const SourceSpec& spec, uint64_t seed,
+                        MsdfWriteOptions options = {.target_row_group_bytes = 4 * kMiB});
+
+// Writes every source of the corpus. Returns total rows written.
+Result<int64_t> WriteCorpus(ObjectStore& store, const CorpusSpec& corpus, uint64_t seed,
+                            MsdfWriteOptions options = {.target_row_group_bytes = 4 * kMiB});
+
+// Metadata-only stream for simulations: draws `count` SampleMetas per spec.
+std::vector<SampleMeta> DrawMetas(const SourceSpec& spec, Rng& rng, int64_t count,
+                                  uint64_t first_sample_id = 0);
+
+}  // namespace msd
+
+#endif  // SRC_DATA_SYNTHETIC_H_

@@ -1,0 +1,63 @@
+#include "src/data/tokenizer.h"
+
+#include "src/common/rng.h"
+
+namespace msd {
+
+namespace {
+// FNV-1a 64-bit.
+uint64_t Fnv1a(const char* data, size_t len) {
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+constexpr size_t kMaxWordLen = 12;  // longer words split into sub-word pieces
+}  // namespace
+
+int32_t Tokenizer::HashToken(const char* data, size_t len) const {
+  return static_cast<int32_t>(Fnv1a(data, len) % static_cast<uint64_t>(vocab_size_));
+}
+
+std::vector<int32_t> Tokenizer::Encode(const std::string& text) const {
+  std::vector<int32_t> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && text[i] == ' ') {
+      ++i;
+    }
+    size_t start = i;
+    while (i < text.size() && text[i] != ' ') {
+      ++i;
+    }
+    size_t len = i - start;
+    // Sub-word split for long words, mirroring BPE piece behaviour.
+    for (size_t off = 0; off < len; off += kMaxWordLen) {
+      size_t piece = std::min(kMaxWordLen, len - off);
+      tokens.push_back(HashToken(text.data() + start + off, piece));
+    }
+  }
+  return tokens;
+}
+
+std::string GenerateText(uint64_t seed, int32_t approx_tokens) {
+  static const char* kWords[] = {"data",  "model", "scale",  "token", "train", "batch",
+                                 "image", "text",  "mix",    "loader", "plan",  "graph",
+                                 "source", "actor", "buffer", "shard"};
+  constexpr size_t kNumWords = sizeof(kWords) / sizeof(kWords[0]);
+  Rng rng(seed);
+  std::string out;
+  out.reserve(static_cast<size_t>(approx_tokens) * 6);
+  for (int32_t i = 0; i < approx_tokens; ++i) {
+    if (i > 0) {
+      out += ' ';
+    }
+    out += kWords[rng.NextU32() % kNumWords];
+  }
+  return out;
+}
+
+}  // namespace msd

@@ -1,0 +1,31 @@
+// A real (if simple) tokenizer: whitespace-split words hashed into a fixed
+// vocabulary, with sub-word fallback for long words. Used in real-mode sample
+// transformation so examples deliver genuine token tensors.
+#ifndef SRC_DATA_TOKENIZER_H_
+#define SRC_DATA_TOKENIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msd {
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(int32_t vocab_size = 128000) : vocab_size_(vocab_size) {}
+
+  std::vector<int32_t> Encode(const std::string& text) const;
+  int32_t vocab_size() const { return vocab_size_; }
+
+ private:
+  int32_t HashToken(const char* data, size_t len) const;
+  int32_t vocab_size_;
+};
+
+// Generates `approx_tokens` of synthetic text (deterministic from the seed)
+// whose Encode() output has exactly `approx_tokens` entries.
+std::string GenerateText(uint64_t seed, int32_t approx_tokens);
+
+}  // namespace msd
+
+#endif  // SRC_DATA_TOKENIZER_H_

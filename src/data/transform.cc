@@ -1,0 +1,101 @@
+#include "src/data/transform.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace msd {
+
+SimTime SampleTransformLatency(const SampleMeta& meta, double source_cost_multiplier,
+                               const TransformCostParams& params) {
+  double us = static_cast<double>(meta.text_tokens) * params.text_us_per_token;
+  double visual_rate = 0.0;
+  switch (meta.modality) {
+    case Modality::kText:
+      break;
+    case Modality::kImageText:
+      visual_rate = params.image_us_per_token;
+      break;
+    case Modality::kVideo:
+      visual_rate = params.video_us_per_token;
+      break;
+    case Modality::kAudio:
+      visual_rate = params.audio_us_per_token;
+      break;
+  }
+  us += static_cast<double>(meta.image_tokens) * visual_rate;
+  return static_cast<SimTime>(us * source_cost_multiplier);
+}
+
+Result<SimTime> TextTokenize::Apply(Sample& sample) const {
+  sample.tokens = tokenizer_->Encode(sample.raw_text);
+  // Keep metadata authoritative: generators size raw_text so Encode() matches
+  // meta.text_tokens; enforce the contract here.
+  if (sample.meta.text_tokens != static_cast<int32_t>(sample.tokens.size())) {
+    sample.meta.text_tokens = static_cast<int32_t>(sample.tokens.size());
+  }
+  SampleMeta text_only = sample.meta;
+  text_only.image_tokens = 0;
+  text_only.modality = Modality::kText;
+  return SampleTransformLatency(text_only, 1.0, params_);
+}
+
+Result<SimTime> ImageDecode::Apply(Sample& sample) const {
+  if (sample.meta.image_tokens == 0) {
+    return SimTime{0};
+  }
+  if (sample.raw_image.empty()) {
+    return Status::FailedPrecondition("ImageDecode on sample without raw image bytes");
+  }
+  // "Decode": expand compressed bytes into one float per patch slot with a
+  // cheap deterministic kernel (stands in for JPEG->RGB + normalization).
+  sample.pixels.resize(static_cast<size_t>(sample.meta.image_tokens));
+  uint32_t state = 0x9E3779B9u ^ static_cast<uint32_t>(sample.raw_image.size());
+  for (size_t i = 0; i < sample.pixels.size(); ++i) {
+    state ^= static_cast<uint8_t>(sample.raw_image[i % sample.raw_image.size()]);
+    state = state * 1664525u + 1013904223u;
+    sample.pixels[i] = static_cast<float>(state >> 8) / 16777216.0f;
+  }
+  SampleMeta image_only = sample.meta;
+  image_only.text_tokens = 0;
+  return SampleTransformLatency(image_only, 1.0, params_);
+}
+
+Result<SimTime> CropToPatches::Apply(Sample& sample) const {
+  if (max_patches_ <= 0) {
+    return Status::InvalidArgument("max_patches must be positive");
+  }
+  if (sample.meta.image_tokens > max_patches_) {
+    sample.meta.image_tokens = max_patches_;
+    if (!sample.pixels.empty()) {
+      sample.pixels.resize(static_cast<size_t>(max_patches_));
+    }
+  }
+  // Cropping is a cheap memmove relative to decode: charge 1% of decode cost.
+  SampleMeta image_only = sample.meta;
+  image_only.text_tokens = 0;
+  return SampleTransformLatency(image_only, 0.01);
+}
+
+Result<SimTime> TransformPipeline::Apply(Sample& sample) const {
+  SimTime total = 0;
+  for (const auto& stage : stages_) {
+    Result<SimTime> cost = stage->Apply(sample);
+    if (!cost.ok()) {
+      return cost.status();
+    }
+    total += cost.value();
+  }
+  return total;
+}
+
+TransformPipeline TransformPipeline::Default(Modality modality,
+                                             std::shared_ptr<const Tokenizer> tokenizer) {
+  TransformPipeline p;
+  p.Add(std::make_unique<TextTokenize>(std::move(tokenizer)));
+  if (modality != Modality::kText) {
+    p.Add(std::make_unique<ImageDecode>());
+  }
+  return p;
+}
+
+}  // namespace msd

@@ -1,0 +1,94 @@
+// Sample-level transformations and their cost model.
+//
+// Each transform does real (small) compute on the payload AND reports a
+// calibrated virtual-time cost. The cost ratios follow Sec. 1: audio
+// processing ≈ 4× image decoding ≈ 300× text tokenization per output token,
+// and image cost scales with patch count (variable-resolution heterogeneity).
+#ifndef SRC_DATA_TRANSFORM_H_
+#define SRC_DATA_TRANSFORM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/data/sample.h"
+#include "src/data/tokenizer.h"
+
+namespace msd {
+
+struct TransformCostParams {
+  double text_us_per_token = 0.2;                      // tokenization
+  double image_us_per_token = 0.2 * 300.0;             // 300x text (Sec. 1)
+  double audio_us_per_token = 0.2 * 300.0 * 4.0;       // 4x image (Sec. 1)
+  double video_us_per_token = 0.2 * 300.0 * 2.0;       // keyframe extraction
+};
+
+// Virtual preprocessing latency of one sample on one worker.
+SimTime SampleTransformLatency(const SampleMeta& meta, double source_cost_multiplier,
+                               const TransformCostParams& params = TransformCostParams());
+
+// Abstract sample transform (Fig. 1 "Sample Transformation" stage).
+class SampleTransform {
+ public:
+  virtual ~SampleTransform() = default;
+  virtual std::string name() const = 0;
+  // Mutates the sample in place; returns the virtual cost incurred.
+  virtual Result<SimTime> Apply(Sample& sample) const = 0;
+};
+
+// raw_text -> tokens.
+class TextTokenize : public SampleTransform {
+ public:
+  explicit TextTokenize(std::shared_ptr<const Tokenizer> tokenizer,
+                        TransformCostParams params = TransformCostParams())
+      : tokenizer_(std::move(tokenizer)), params_(params) {}
+  std::string name() const override { return "TextTokenize"; }
+  Result<SimTime> Apply(Sample& sample) const override;
+
+ private:
+  std::shared_ptr<const Tokenizer> tokenizer_;
+  TransformCostParams params_;
+};
+
+// raw_image -> pixels (one float per patch embedding slot).
+class ImageDecode : public SampleTransform {
+ public:
+  explicit ImageDecode(TransformCostParams params = TransformCostParams()) : params_(params) {}
+  std::string name() const override { return "ImageDecode"; }
+  Result<SimTime> Apply(Sample& sample) const override;
+
+ private:
+  TransformCostParams params_;
+};
+
+// Crops/pads the decoded image to at most `max_patches` patches.
+class CropToPatches : public SampleTransform {
+ public:
+  explicit CropToPatches(int32_t max_patches) : max_patches_(max_patches) {}
+  std::string name() const override { return "CropToPatches"; }
+  Result<SimTime> Apply(Sample& sample) const override;
+
+ private:
+  int32_t max_patches_;
+};
+
+// A pipeline of transforms applied in order.
+class TransformPipeline {
+ public:
+  void Add(std::unique_ptr<SampleTransform> t) { stages_.push_back(std::move(t)); }
+  size_t size() const { return stages_.size(); }
+  // Applies all stages; returns total virtual cost.
+  Result<SimTime> Apply(Sample& sample) const;
+  // Default pipeline for a modality: tokenize (+decode for visual sources).
+  static TransformPipeline Default(Modality modality,
+                                   std::shared_ptr<const Tokenizer> tokenizer);
+
+ private:
+  std::vector<std::unique_ptr<SampleTransform>> stages_;
+};
+
+}  // namespace msd
+
+#endif  // SRC_DATA_TRANSFORM_H_

@@ -1,0 +1,134 @@
+#include "src/ft/fault_tolerance.h"
+
+#include "src/common/logging.h"
+#include "src/planner/planner.h"
+
+namespace msd {
+
+FaultToleranceManager::FaultToleranceManager(FaultToleranceConfig config, ActorSystem* system)
+    : config_(config), system_(system) {
+  MSD_CHECK(system_ != nullptr);
+  MSD_CHECK(config_.loader_snapshot_interval >= 1);
+}
+
+void FaultToleranceManager::RegisterPair(SourceLoader* primary, SourceLoader* shadow) {
+  MSD_CHECK(primary != nullptr);
+  pairs_[primary->name()] = Pair{primary, shadow};
+  by_id_[primary->config().loader_id] = primary;
+}
+
+std::string FaultToleranceManager::SnapshotKey(int32_t loader_id) {
+  return "ft/loader_snapshot/" + std::to_string(loader_id);
+}
+
+std::string FaultToleranceManager::SnapshotStepKey(int32_t loader_id) {
+  return "ft/loader_snapshot_step/" + std::to_string(loader_id);
+}
+
+std::vector<uint64_t> FaultToleranceManager::IdsForLoader(const LoadingPlan& plan,
+                                                          int32_t loader_id) {
+  std::vector<uint64_t> ids;
+  for (const SliceAssignment& a : plan.assignments) {
+    if (a.loader_id == loader_id) {
+      ids.push_back(a.sample_id);
+    }
+  }
+  return ids;
+}
+
+Status FaultToleranceManager::OnPlanExecuted(const LoadingPlan& plan) {
+  for (auto& [name, pair] : pairs_) {
+    int32_t loader_id = pair.primary->config().loader_id;
+    std::vector<uint64_t> ids = IdsForLoader(plan, loader_id);
+    if (!ids.empty() && pair.shadow != nullptr && pair.shadow->alive()) {
+      // Mirror the pop so the shadow's buffer tracks the primary's exactly.
+      Result<bool> mirrored = system_->AskWithTimeout<bool>(
+          *pair.shadow,
+          [shadow = pair.shadow, step = plan.step, ids] {
+            return shadow->PopSamples(step, ids).ok();
+          },
+          /*timeout_ms=*/5000);
+      if (!mirrored.ok() || !mirrored.value()) {
+        MSD_LOG_WARN("shadow of %s failed to mirror step %lld", name.c_str(),
+                     static_cast<long long>(plan.step));
+      }
+    }
+    // Low-frequency loader snapshot (differential vs. per-step plan journal).
+    if (plan.step % config_.loader_snapshot_interval == 0 && pair.primary->alive()) {
+      Result<LoaderSnapshot> snap = system_->AskWithTimeout<LoaderSnapshot>(
+          *pair.primary, [primary = pair.primary] { return primary->Snapshot(); },
+          /*timeout_ms=*/5000);
+      if (snap.ok()) {
+        system_->gcs().PutState(SnapshotKey(loader_id), snap->Serialize());
+        system_->gcs().PutState(SnapshotStepKey(loader_id), std::to_string(plan.step));
+        ++snapshots_taken_;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Result<SourceLoader*> FaultToleranceManager::PromoteShadow(const std::string& primary_name) {
+  auto it = pairs_.find(primary_name);
+  if (it == pairs_.end()) {
+    return Status::NotFound("no registered pair for " + primary_name);
+  }
+  SourceLoader* shadow = it->second.shadow;
+  if (shadow == nullptr || !shadow->alive()) {
+    return Status::Unavailable("shadow for " + primary_name + " is unavailable");
+  }
+  int32_t loader_id = it->second.primary->config().loader_id;
+  by_id_[loader_id] = shadow;
+  system_->gcs().MarkRestarted(primary_name);
+  pairs_.erase(it);
+  pairs_[shadow->name()] = Pair{shadow, nullptr};
+  ++promotions_;
+  MSD_LOG_INFO("promoted shadow %s for failed primary %s", shadow->name().c_str(),
+               primary_name.c_str());
+  return shadow;
+}
+
+Status FaultToleranceManager::RecoverFromCheckpoint(SourceLoader* fresh, int32_t loader_id,
+                                                    int64_t up_to_step) {
+  std::optional<std::string> blob = system_->gcs().GetState(SnapshotKey(loader_id));
+  std::optional<std::string> step_blob = system_->gcs().GetState(SnapshotStepKey(loader_id));
+  if (!blob.has_value() || !step_blob.has_value()) {
+    return Status::NotFound("no snapshot for loader " + std::to_string(loader_id));
+  }
+  Result<LoaderSnapshot> snap = LoaderSnapshot::Deserialize(*blob);
+  if (!snap.ok()) {
+    return snap.status();
+  }
+  int64_t snapshot_step = std::stoll(*step_blob);
+  MSD_RETURN_IF_ERROR(fresh->Restore(snap.value()));
+
+  // Deterministic replay: re-apply the journaled pops after the snapshot.
+  for (int64_t step = snapshot_step + 1; step <= up_to_step; ++step) {
+    std::optional<std::string> plan_blob =
+        system_->gcs().GetState(Planner::PlanJournalKey(step));
+    if (!plan_blob.has_value()) {
+      continue;  // step was never planned (e.g. idle interval)
+    }
+    Result<LoadingPlan> plan = LoadingPlan::Deserialize(*plan_blob);
+    if (!plan.ok()) {
+      return plan.status();
+    }
+    std::vector<uint64_t> ids = IdsForLoader(plan.value(), loader_id);
+    if (ids.empty()) {
+      continue;
+    }
+    Result<SampleSlice> replayed = fresh->PopSamples(step, ids);
+    if (!replayed.ok()) {
+      return Status::DataLoss("replay of step " + std::to_string(step) +
+                              " failed: " + replayed.status().ToString());
+    }
+  }
+  by_id_[loader_id] = fresh;
+  return Status::Ok();
+}
+
+void FailureInjector::InjectPartialYield(SourceLoader* loader, bool enabled) {
+  system_->Post(*loader, [loader, enabled] { loader->set_inject_partial_yield(enabled); });
+}
+
+}  // namespace msd

@@ -1,0 +1,88 @@
+// Fault tolerance (Sec. 6.1): shadow loaders, differential checkpointing, and
+// failure detection/recovery.
+//
+// Recovery paths:
+//  - Shadow promotion: every primary Source Loader has a hot-standby shadow
+//    that mirrors its pops; on failure the shadow is promoted instantly.
+//  - Differential checkpointing: loaders snapshot at a LOW frequency while the
+//    Planner journals every plan to the GCS at HIGH frequency; a fresh loader
+//    restores the last snapshot and replays the journaled plans to catch up.
+#ifndef SRC_FT_FAULT_TOLERANCE_H_
+#define SRC_FT_FAULT_TOLERANCE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/actor/actor_system.h"
+#include "src/loader/source_loader.h"
+#include "src/plan/dgraph.h"
+
+namespace msd {
+
+struct FaultToleranceConfig {
+  // Steps between loader snapshots (the paper's "lower frequency").
+  int64_t loader_snapshot_interval = 8;
+};
+
+class FaultToleranceManager {
+ public:
+  FaultToleranceManager(FaultToleranceConfig config, ActorSystem* system);
+
+  // Registers a primary loader with its hot-standby shadow. The shadow must
+  // be Open()ed and configured identically to the primary.
+  void RegisterPair(SourceLoader* primary, SourceLoader* shadow);
+
+  // Post-execution hook: mirrors the plan's pops into every shadow and takes
+  // periodic loader snapshots into the GCS.
+  Status OnPlanExecuted(const LoadingPlan& plan);
+
+  // Promotes the shadow of `primary_name` (the primary is killed). Returns
+  // the new primary. The caller re-registers a replacement shadow later.
+  Result<SourceLoader*> PromoteShadow(const std::string& primary_name);
+
+  // Checkpoint recovery: restores `fresh` from the latest snapshot of
+  // `loader_id` and replays journaled plans in (snapshot_step, up_to_step].
+  Status RecoverFromCheckpoint(SourceLoader* fresh, int32_t loader_id, int64_t up_to_step);
+
+  // GCS keys.
+  static std::string SnapshotKey(int32_t loader_id);
+  static std::string SnapshotStepKey(int32_t loader_id);
+
+  int64_t snapshots_taken() const { return snapshots_taken_; }
+  int64_t promotions() const { return promotions_; }
+
+ private:
+  // Sample ids assigned to `loader_id` in `plan`.
+  static std::vector<uint64_t> IdsForLoader(const LoadingPlan& plan, int32_t loader_id);
+
+  FaultToleranceConfig config_;
+  ActorSystem* system_;
+  struct Pair {
+    SourceLoader* primary = nullptr;
+    SourceLoader* shadow = nullptr;
+  };
+  std::unordered_map<std::string, Pair> pairs_;       // by primary name
+  std::unordered_map<int32_t, SourceLoader*> by_id_;  // loader_id -> primary
+  int64_t snapshots_taken_ = 0;
+  int64_t promotions_ = 0;
+};
+
+// Failure injector: abrupt kills and payload-integrity faults.
+class FailureInjector {
+ public:
+  explicit FailureInjector(ActorSystem* system) : system_(system) {}
+
+  // Abruptly kills the loader (mailbox dropped, GCS marked dead).
+  void KillLoader(SourceLoader* loader) { system_->Kill(*loader); }
+
+  // Makes future pops yield partially without an end-of-stream marker.
+  void InjectPartialYield(SourceLoader* loader, bool enabled);
+
+ private:
+  ActorSystem* system_;
+};
+
+}  // namespace msd
+
+#endif  // SRC_FT_FAULT_TOLERANCE_H_

@@ -1,0 +1,22 @@
+#include "src/ft/watchdog.h"
+
+#include "src/common/logging.h"
+
+namespace msd {
+
+std::vector<std::string> Watchdog::ScanAndRecover(int64_t now_ms) {
+  std::vector<std::string> promoted;
+  for (const std::string& name : system_->gcs().StaleActors(now_ms, timeout_ms_)) {
+    ++detections_;
+    Result<SourceLoader*> replacement = ft_->PromoteShadow(name);
+    if (replacement.ok()) {
+      system_->gcs().MarkDead(name);
+      promoted.push_back(replacement.value()->name());
+      MSD_LOG_INFO("watchdog: %s stale, promoted %s", name.c_str(),
+                   replacement.value()->name().c_str());
+    }
+  }
+  return promoted;
+}
+
+}  // namespace msd

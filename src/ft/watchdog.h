@@ -1,0 +1,42 @@
+// Watchdog: heartbeat-driven failure detection (Sec. 6.1).
+//
+// Loaders are heartbeated into the GCS whenever they answer a metadata
+// gather (see Planner::GeneratePlan). The watchdog periodically scans for
+// actors whose heartbeat went stale — RPC-timeout failures that never
+// surfaced an error — and promotes their hot-standby shadows.
+#ifndef SRC_FT_WATCHDOG_H_
+#define SRC_FT_WATCHDOG_H_
+
+#include <string>
+#include <vector>
+
+#include "src/actor/actor_system.h"
+#include "src/ft/fault_tolerance.h"
+
+namespace msd {
+
+class Watchdog {
+ public:
+  Watchdog(ActorSystem* system, FaultToleranceManager* ft, int64_t heartbeat_timeout_ms = 5000)
+      : system_(system), ft_(ft), timeout_ms_(heartbeat_timeout_ms) {
+    MSD_CHECK(system_ != nullptr);
+    MSD_CHECK(ft_ != nullptr);
+  }
+
+  // Scans the GCS for stale-heartbeat actors at virtual time `now_ms` and
+  // promotes shadows for any registered loader pairs among them. Returns the
+  // names of the promoted replacements.
+  std::vector<std::string> ScanAndRecover(int64_t now_ms);
+
+  int64_t detections() const { return detections_; }
+
+ private:
+  ActorSystem* system_;
+  FaultToleranceManager* ft_;
+  int64_t timeout_ms_;
+  int64_t detections_ = 0;
+};
+
+}  // namespace msd
+
+#endif  // SRC_FT_WATCHDOG_H_

@@ -1,0 +1,97 @@
+#include "src/graph/dataflow_graph.h"
+
+#include <cstdio>
+
+namespace msd {
+
+const char* SampleStateName(SampleState s) {
+  switch (s) {
+    case SampleState::kInBuffer:
+      return "in_buffer";
+    case SampleState::kSampled:
+      return "sampled";
+    case SampleState::kExcluded:
+      return "excluded";
+    case SampleState::kAssigned:
+      return "assigned";
+    case SampleState::kPlanned:
+      return "planned";
+  }
+  return "unknown";
+}
+
+int64_t DataflowGraph::AddNode(DataflowNode node) {
+  node.id = static_cast<int64_t>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  return nodes_.back().id;
+}
+
+void DataflowGraph::AddEdge(int64_t from, int64_t to, std::string label) {
+  MSD_CHECK(from >= 0 && from < static_cast<int64_t>(nodes_.size()));
+  MSD_CHECK(to >= 0 && to < static_cast<int64_t>(nodes_.size()));
+  edges_.push_back(DataflowEdge{from, to, std::move(label)});
+}
+
+int64_t DataflowGraph::Transition(int64_t id, SampleState state, const std::string& label) {
+  DataflowNode& current = node(id);
+  if (!track_lineage_) {
+    current.state = state;
+    return id;
+  }
+  DataflowNode next = current;  // copy annotations forward
+  next.state = state;
+  int64_t next_id = AddNode(std::move(next));
+  AddEdge(id, next_id, label);
+  return next_id;
+}
+
+DataflowNode& DataflowGraph::node(int64_t id) {
+  MSD_CHECK(id >= 0 && id < static_cast<int64_t>(nodes_.size()));
+  return nodes_[static_cast<size_t>(id)];
+}
+
+const DataflowNode& DataflowGraph::node(int64_t id) const {
+  MSD_CHECK(id >= 0 && id < static_cast<int64_t>(nodes_.size()));
+  return nodes_[static_cast<size_t>(id)];
+}
+
+std::vector<int64_t> DataflowGraph::Lineage(int64_t id) const {
+  std::vector<int64_t> out;
+  // Edge lists are short chains per sample; a reverse scan suffices.
+  int64_t current = id;
+  bool found = true;
+  while (found) {
+    found = false;
+    for (auto it = edges_.rbegin(); it != edges_.rend(); ++it) {
+      if (it->to == current) {
+        out.push_back(it->from);
+        current = it->from;
+        found = true;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string DataflowGraph::ToDot(const std::string& graph_name) const {
+  std::string out = "digraph " + graph_name + " {\n";
+  char line[256];
+  for (const DataflowNode& n : nodes_) {
+    std::snprintf(line, sizeof(line),
+                  "  n%lld [label=\"s%llu src%d %s\\ncost=%.1f bucket=%d mb=%d\"];\n",
+                  static_cast<long long>(n.id), static_cast<unsigned long long>(n.meta.sample_id),
+                  n.meta.source_id, SampleStateName(n.state), n.cost_load, n.bucket,
+                  n.microbatch);
+    out += line;
+  }
+  for (const DataflowEdge& e : edges_) {
+    std::snprintf(line, sizeof(line), "  n%lld -> n%lld [label=\"%s\"];\n",
+                  static_cast<long long>(e.from), static_cast<long long>(e.to), e.label.c_str());
+    out += line;
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace msd

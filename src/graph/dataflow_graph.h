@@ -1,0 +1,82 @@
+// DataflowGraph: the state-tracking DAG backing DGraph (Sec. 4.1).
+//
+// Each node is "a training sample in a specific processing state"; directed
+// acyclic edges encode transformations or logical dependencies. New states
+// append new nodes linked by labelled edges, so full lineage is queryable and
+// exportable to DOT ("orchestration transparency").
+#ifndef SRC_GRAPH_DATAFLOW_GRAPH_H_
+#define SRC_GRAPH_DATAFLOW_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/data/sample.h"
+
+namespace msd {
+
+enum class SampleState : uint8_t {
+  kInBuffer = 0,  // resident in a Source Loader read buffer
+  kSampled,       // selected by mix() for this step
+  kExcluded,      // not selected by mix()
+  kAssigned,      // bound to (bucket, microbatch) by balance()
+  kPlanned,       // emitted into a LoadingPlan
+};
+
+const char* SampleStateName(SampleState s);
+
+struct DataflowNode {
+  int64_t id = -1;
+  SampleMeta meta;
+  int32_t loader_id = -1;
+  SampleState state = SampleState::kInBuffer;
+  // Orchestration annotations (filled by cost/balance/plan).
+  double cost_load = 0.0;
+  double cost_mem = 0.0;
+  int32_t bucket = -1;
+  int32_t microbatch = -1;
+};
+
+struct DataflowEdge {
+  int64_t from = -1;
+  int64_t to = -1;
+  std::string label;  // "mix", "balance", "plan", or a transform name
+};
+
+class DataflowGraph {
+ public:
+  // When lineage tracking is off, state transitions mutate nodes in place
+  // (cheap mode for cluster-scale plans); when on, transitions append nodes.
+  explicit DataflowGraph(bool track_lineage = false) : track_lineage_(track_lineage) {}
+
+  int64_t AddNode(DataflowNode node);
+  void AddEdge(int64_t from, int64_t to, std::string label);
+
+  // Moves `id` to `state` via an edge labelled `label`; returns the id of the
+  // node now carrying the sample (same id unless lineage tracking is on).
+  int64_t Transition(int64_t id, SampleState state, const std::string& label);
+
+  DataflowNode& node(int64_t id);
+  const DataflowNode& node(int64_t id) const;
+  size_t node_count() const { return nodes_.size(); }
+  size_t edge_count() const { return edges_.size(); }
+  const std::vector<DataflowNode>& nodes() const { return nodes_; }
+  const std::vector<DataflowEdge>& edges() const { return edges_; }
+  bool track_lineage() const { return track_lineage_; }
+
+  // All ancestors of `id` following edges backwards (nearest first).
+  std::vector<int64_t> Lineage(int64_t id) const;
+
+  // Graphviz rendering of nodes + labelled edges.
+  std::string ToDot(const std::string& graph_name = "dgraph") const;
+
+ private:
+  bool track_lineage_;
+  std::vector<DataflowNode> nodes_;
+  std::vector<DataflowEdge> edges_;
+};
+
+}  // namespace msd
+
+#endif  // SRC_GRAPH_DATAFLOW_GRAPH_H_

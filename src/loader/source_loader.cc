@@ -1,0 +1,224 @@
+#include "src/loader/source_loader.h"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_set>
+
+#include "src/common/logging.h"
+#include "src/storage/wire.h"
+
+namespace msd {
+
+std::string LoaderSnapshot::Serialize() const {
+  WireWriter w;
+  w.PutI64(origin_file);
+  w.PutI64(origin_group);
+  w.PutU32(static_cast<uint32_t>(consumed_ids.size()));
+  for (uint64_t id : consumed_ids) {
+    w.PutU64(id);
+  }
+  return w.Take();
+}
+
+Result<LoaderSnapshot> LoaderSnapshot::Deserialize(const std::string& bytes) {
+  WireReader r(bytes);
+  LoaderSnapshot snap;
+  snap.origin_file = r.GetI64();
+  snap.origin_group = r.GetI64();
+  uint32_t n = r.GetU32();
+  snap.consumed_ids.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    snap.consumed_ids.push_back(r.GetU64());
+  }
+  if (!r.Ok()) {
+    return Status::DataLoss("truncated loader snapshot");
+  }
+  return snap;
+}
+
+int64_t SourceLoader::WorkerMemoryBytes(int32_t workers) {
+  return static_cast<int64_t>(workers) * (kWorkerContextBytes + kPrefetchPerWorkerBytes);
+}
+
+SourceLoader::SourceLoader(SourceLoaderConfig config, const ObjectStore* store,
+                           MemoryAccountant* accountant)
+    : Actor(!config.name_override.empty()
+                ? config.name_override
+                : std::string(config.is_shadow ? "shadow_loader/" : "source_loader/") +
+                      config.spec.name + "#" + std::to_string(config.loader_id)),
+      config_(std::move(config)),
+      store_(store),
+      accountant_(accountant),
+      tokenizer_(std::make_shared<Tokenizer>()) {
+  MSD_CHECK(config_.num_workers > 0);
+  if (config_.defer_image_decode) {
+    // Transformation reordering: tokenize here, decode at the constructor.
+    pipeline_ = TransformPipeline::Default(Modality::kText, tokenizer_);
+  } else {
+    pipeline_ = TransformPipeline::Default(config_.spec.modality, tokenizer_);
+  }
+  workers_ = std::make_unique<ThreadPool>(static_cast<size_t>(config_.num_workers));
+  worker_charge_ = MemCharge(
+      accountant_, config_.node,
+      config_.is_shadow ? MemCategory::kShadowLoader : MemCategory::kWorkerContext,
+      WorkerMemoryBytes(config_.num_workers));
+}
+
+SourceLoader::~SourceLoader() = default;
+
+Status SourceLoader::Open() {
+  if (config_.files.empty()) {
+    return Status::InvalidArgument("loader " + name() + " has no files assigned");
+  }
+  return RefillToWatermark();
+}
+
+Status SourceLoader::LoadNextGroup() {
+  while (next_file_ < static_cast<int64_t>(config_.files.size())) {
+    if (reader_file_ != next_file_) {
+      Result<MsdfReader> reader = MsdfReader::Open(
+          *store_, config_.files[static_cast<size_t>(next_file_)], accountant_, config_.node);
+      if (!reader.ok()) {
+        return reader.status();
+      }
+      reader_ = std::move(reader.value());
+      reader_file_ = next_file_;
+    }
+    if (next_group_ >= static_cast<int64_t>(reader_->info().row_groups.size())) {
+      ++next_file_;
+      next_group_ = 0;
+      continue;
+    }
+    Result<std::vector<std::string>> rows =
+        reader_->ReadRowGroup(static_cast<size_t>(next_group_));
+    if (!rows.ok()) {
+      return rows.status();
+    }
+    ++next_group_;
+
+    // Deserialize + transform worker-parallel across the loader's workers.
+    std::vector<Sample> samples(rows->size());
+    std::vector<SimTime> costs(rows->size(), 0);
+    std::atomic<bool> failed{false};
+    std::vector<std::future<void>> futures;
+    size_t shards = workers_->num_threads();
+    for (size_t shard = 0; shard < shards; ++shard) {
+      futures.push_back(workers_->Submit([&, shard] {
+        for (size_t i = shard; i < rows->size(); i += shards) {
+          if (!DeserializeSample(rows.value()[i], &samples[i])) {
+            failed.store(true);
+            return;
+          }
+          Result<SimTime> cost = pipeline_.Apply(samples[i]);
+          if (!cost.ok()) {
+            failed.store(true);
+            return;
+          }
+          costs[i] = static_cast<SimTime>(static_cast<double>(cost.value()) *
+                                          config_.spec.transform_cost_multiplier);
+        }
+      }));
+    }
+    for (auto& f : futures) {
+      f.wait();
+    }
+    if (failed.load()) {
+      return Status::DataLoss("corrupt row or failed transform in " + name());
+    }
+    std::unordered_set<uint64_t> consumed(consumed_ids_.begin(), consumed_ids_.end());
+    for (size_t i = 0; i < samples.size(); ++i) {
+      total_transform_cost_ += costs[i];
+      if (consumed.find(samples[i].meta.sample_id) == consumed.end()) {
+        buffer_.push_back(std::move(samples[i]));
+      }
+    }
+    return Status::Ok();
+  }
+  exhausted_ = true;
+  return Status::Ok();
+}
+
+Status SourceLoader::RefillToWatermark() {
+  while (!exhausted_ && buffer_.size() < config_.buffer_low_watermark) {
+    MSD_RETURN_IF_ERROR(LoadNextGroup());
+  }
+  return Status::Ok();
+}
+
+BufferInfo SourceLoader::SummaryBuffer() const {
+  BufferInfo info;
+  info.loader_id = config_.loader_id;
+  info.source_id = config_.spec.source_id;
+  info.samples.reserve(buffer_.size());
+  for (const Sample& s : buffer_) {
+    info.samples.push_back(s.meta);
+  }
+  return info;
+}
+
+Result<SampleSlice> SourceLoader::PopSamples(int64_t step, const std::vector<uint64_t>& ids) {
+  SampleSlice slice;
+  slice.step = step;
+  slice.loader_id = config_.loader_id;
+  std::unordered_set<uint64_t> wanted(ids.begin(), ids.end());
+  if (wanted.size() != ids.size()) {
+    return Status::InvalidArgument("duplicate sample ids in pop request");
+  }
+  for (auto it = buffer_.begin(); it != buffer_.end();) {
+    if (wanted.count(it->meta.sample_id) > 0) {
+      wanted.erase(it->meta.sample_id);
+      consumed_ids_.push_back(it->meta.sample_id);
+      slice.samples.push_back(std::move(*it));
+      it = buffer_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (!wanted.empty()) {
+    return Status::NotFound(name() + ": " + std::to_string(wanted.size()) +
+                            " requested samples not in buffer");
+  }
+  samples_served_ += static_cast<int64_t>(slice.samples.size());
+  if (config_.inject_partial_yield) {
+    // Fault injection: drop the tail and omit the end-of-stream marker.
+    if (slice.samples.size() > 1) {
+      slice.samples.resize(slice.samples.size() / 2);
+    }
+    slice.end_of_stream = false;
+    return slice;
+  }
+  if (buffer_.empty()) {
+    // Buffer origin advances: everything before the cursor is fully consumed.
+    origin_file_ = next_file_;
+    origin_group_ = next_group_;
+    consumed_ids_.clear();
+  }
+  Status refill = RefillToWatermark();
+  if (!refill.ok()) {
+    return refill;
+  }
+  return slice;
+}
+
+LoaderSnapshot SourceLoader::Snapshot() const {
+  LoaderSnapshot snap;
+  snap.origin_file = origin_file_;
+  snap.origin_group = origin_group_;
+  snap.consumed_ids = consumed_ids_;
+  return snap;
+}
+
+Status SourceLoader::Restore(const LoaderSnapshot& snapshot) {
+  buffer_.clear();
+  reader_.reset();
+  reader_file_ = -1;
+  exhausted_ = false;
+  origin_file_ = snapshot.origin_file;
+  origin_group_ = snapshot.origin_group;
+  next_file_ = snapshot.origin_file;
+  next_group_ = snapshot.origin_group;
+  consumed_ids_ = snapshot.consumed_ids;
+  return RefillToWatermark();
+}
+
+}  // namespace msd

@@ -1,0 +1,141 @@
+// SourceLoader: the per-source preprocessing actor (Sec. 3).
+//
+// Each SourceLoader owns the file-access state for exactly one data source
+// partition (sockets, footers, row-group buffers — charged to the memory
+// accountant), continuously ingests rows, applies sample-level transformations
+// with worker parallelism, and stages transformed samples in a read buffer.
+// The Planner pulls metadata summaries from the buffer; LoadingPlans then pop
+// specific samples toward Data Constructors.
+#ifndef SRC_LOADER_SOURCE_LOADER_H_
+#define SRC_LOADER_SOURCE_LOADER_H_
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/actor/actor.h"
+#include "src/common/thread_pool.h"
+#include "src/common/units.h"
+#include "src/data/source_spec.h"
+#include "src/data/synthetic.h"
+#include "src/data/transform.h"
+#include "src/plan/dgraph.h"
+#include "src/storage/columnar.h"
+#include "src/storage/object_store.h"
+
+namespace msd {
+
+// Host-side footprint constants for worker scaling (Sec. 2.3 "each worker
+// process maintains its execution context and prefetch buffer").
+inline constexpr int64_t kWorkerContextBytes = 192 * kMiB;
+inline constexpr int64_t kPrefetchPerWorkerBytes = 64 * kMiB;
+
+struct SourceLoaderConfig {
+  int32_t loader_id = 0;
+  SourceSpec spec;
+  // MSDF files this loader partition reads (subset of the source's files).
+  std::vector<std::string> files;
+  int32_t num_workers = 2;
+  // Refill target: keep at least this many transformed samples buffered.
+  size_t buffer_low_watermark = 128;
+  MemoryAccountant::NodeId node = 0;
+  // Fault-injection hook: when true, PopSamples yields without an
+  // end-of-stream marker (payload-integrity failure, Sec. 6.1).
+  bool inject_partial_yield = false;
+  // Transformation reordering (Sec. 6.2, borrowed from Pecan): defer image
+  // decoding to the Data Constructor so slices travel as compressed bytes.
+  bool defer_image_decode = false;
+  // Hot-standby replica (Sec. 6.1): gets a distinct actor name and charges
+  // its worker memory to the shadow-loader category (excluded from the
+  // paper's measurements).
+  bool is_shadow = false;
+  // Overrides the derived actor name (replacement loaders must not collide
+  // with the failed instance still registered in the ActorSystem).
+  std::string name_override;
+};
+
+// Snapshot for differential checkpointing: the read cursor at the origin of
+// the current buffer plus the ids consumed since then. Deterministic refill
+// makes (cursor, consumed-set) sufficient to rebuild the exact buffer, so
+// loaders can snapshot at a lower frequency than the Planner and bridge the
+// gap via plan replay (Sec. 6.1).
+struct LoaderSnapshot {
+  int64_t origin_file = 0;
+  int64_t origin_group = 0;
+  std::vector<uint64_t> consumed_ids;
+  std::string Serialize() const;
+  static Result<LoaderSnapshot> Deserialize(const std::string& bytes);
+};
+
+// A batch of popped samples heading to one Data Constructor.
+struct SampleSlice {
+  int64_t step = 0;
+  int32_t loader_id = -1;
+  std::vector<Sample> samples;
+  bool end_of_stream = true;  // false under partial-yield fault injection
+};
+
+class SourceLoader : public Actor {
+ public:
+  SourceLoader(SourceLoaderConfig config, const ObjectStore* store,
+               MemoryAccountant* accountant);
+  ~SourceLoader() override;
+
+  // Opens readers and fills the buffer to the watermark. Must run before use.
+  Status Open();
+
+  // Metadata summary of the current buffer (workflow step 4).
+  BufferInfo SummaryBuffer() const;
+
+  // Pops the given sample ids (transformed payloads) from the buffer, then
+  // refills. Unknown ids are reported as an error.
+  Result<SampleSlice> PopSamples(int64_t step, const std::vector<uint64_t>& ids);
+
+  // Differential checkpointing hooks.
+  LoaderSnapshot Snapshot() const;
+  Status Restore(const LoaderSnapshot& snapshot);
+
+  // Fault injection control (payload-integrity failures, Sec. 6.1).
+  void set_inject_partial_yield(bool v) { config_.inject_partial_yield = v; }
+
+  // Observability.
+  const SourceLoaderConfig& config() const { return config_; }
+  size_t buffered_samples() const { return buffer_.size(); }
+  SimTime total_transform_cost() const { return total_transform_cost_; }
+  int64_t samples_served() const { return samples_served_; }
+
+  // Static memory footprint of a loader with `workers` workers (contexts +
+  // prefetch), excluding file states.
+  static int64_t WorkerMemoryBytes(int32_t workers);
+
+ private:
+  Status RefillToWatermark();
+  Status LoadNextGroup();
+
+  SourceLoaderConfig config_;
+  const ObjectStore* store_;
+  MemoryAccountant* accountant_;
+  std::shared_ptr<const Tokenizer> tokenizer_;
+  TransformPipeline pipeline_;
+  std::unique_ptr<ThreadPool> workers_;
+  MemCharge worker_charge_;
+
+  // Reader over the file at the cursor, opened lazily.
+  std::optional<MsdfReader> reader_;
+  int64_t reader_file_ = -1;   // which file reader_ is open on
+  int64_t next_file_ = 0;      // next (file, group) to load
+  int64_t next_group_ = 0;
+  int64_t origin_file_ = 0;    // buffer origin: cursor when buffer was last empty
+  int64_t origin_group_ = 0;
+  std::deque<Sample> buffer_;
+  std::vector<uint64_t> consumed_ids_;  // consumed since origin, in order
+  SimTime total_transform_cost_ = 0;
+  int64_t samples_served_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace msd
+
+#endif  // SRC_LOADER_SOURCE_LOADER_H_

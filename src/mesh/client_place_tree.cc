@@ -1,0 +1,191 @@
+#include "src/mesh/client_place_tree.h"
+
+#include <cstdio>
+
+#include "src/common/status.h"
+
+namespace msd {
+
+namespace {
+
+// Builds one level of the tree; axes below `level` become descendants.
+std::unique_ptr<PlaceNode> BuildNode(const ParallelismSpec& spec, size_t level, int32_t index,
+                                     std::vector<int32_t> ranks) {
+  static constexpr Axis kLevels[] = {Axis::kDP, Axis::kPP, Axis::kCP, Axis::kTP};
+  auto node = std::make_unique<PlaceNode>();
+  node->index = index;
+  node->ranks = std::move(ranks);
+  if (level >= sizeof(kLevels) / sizeof(kLevels[0])) {
+    node->axis = Axis::kTP;  // leaf: a single rank
+    return node;
+  }
+  node->axis = kLevels[level];
+  int32_t fanout = spec.SizeOf(kLevels[level]);
+  MSD_CHECK(node->ranks.size() % static_cast<size_t>(fanout) == 0);
+  size_t per_child = node->ranks.size() / static_cast<size_t>(fanout);
+  for (int32_t c = 0; c < fanout; ++c) {
+    std::vector<int32_t> child_ranks(node->ranks.begin() + static_cast<int64_t>(c * per_child),
+                                     node->ranks.begin() +
+                                         static_cast<int64_t>((c + 1) * per_child));
+    node->children.push_back(BuildNode(spec, level + 1, c, std::move(child_ranks)));
+  }
+  return node;
+}
+
+}  // namespace
+
+ClientPlaceTree ClientPlaceTree::FromDeviceMesh(const ParallelismSpec& spec,
+                                                int32_t num_microbatches) {
+  MSD_CHECK(spec.dp >= 1 && spec.pp >= 1 && spec.cp >= 1 && spec.tp >= 1);
+  MSD_CHECK(num_microbatches >= 1);
+  ClientPlaceTree tree;
+  tree.num_microbatches_ = num_microbatches;
+  tree.Rebuild(spec);
+  return tree;
+}
+
+void ClientPlaceTree::Rebuild(const ParallelismSpec& spec) {
+  spec_ = spec;
+  std::vector<int32_t> all_ranks(static_cast<size_t>(spec.WorldSize()));
+  for (int32_t r = 0; r < spec.WorldSize(); ++r) {
+    all_ranks[static_cast<size_t>(r)] = r;
+  }
+  root_ = BuildNode(spec, 0, 0, std::move(all_ranks));
+}
+
+int32_t ClientPlaceTree::NumBuckets(Axis axis, int32_t group_size) const {
+  MSD_CHECK(group_size >= 1);
+  int32_t n = 0;
+  switch (axis) {
+    case Axis::kDP:
+      n = spec_.dp;
+      break;
+    case Axis::kCP:
+      // "treats DP x CP GPUs as uniform consumers for hybrid data parallelism".
+      n = spec_.dp * spec_.cp;
+      break;
+    case Axis::kWorld:
+      n = spec_.WorldSize();
+      break;
+    case Axis::kPP:
+    case Axis::kTP:
+      // Data is replicated along PP/TP; consumers remain the DP groups.
+      n = spec_.dp;
+      break;
+  }
+  return (n + group_size - 1) / group_size;
+}
+
+std::vector<int32_t> ClientPlaceTree::BucketRanks(Axis axis, int32_t bucket,
+                                                  int32_t group_size) const {
+  MSD_CHECK(bucket >= 0 && bucket < NumBuckets(axis, group_size));
+  std::vector<int32_t> ranks;
+  for (int32_t r = 0; r < spec_.WorldSize(); ++r) {
+    if (BucketOfRank(axis, r, group_size) == bucket) {
+      ranks.push_back(r);
+    }
+  }
+  return ranks;
+}
+
+int32_t ClientPlaceTree::BucketOfRank(Axis axis, int32_t rank, int32_t group_size) const {
+  RankCoord c = CoordOfRank(spec_, rank);
+  int32_t bucket = 0;
+  switch (axis) {
+    case Axis::kDP:
+    case Axis::kPP:
+    case Axis::kTP:
+      bucket = c.dp;
+      break;
+    case Axis::kCP:
+      bucket = c.dp * spec_.cp + c.cp;
+      break;
+    case Axis::kWorld:
+      bucket = rank;
+      break;
+  }
+  return bucket / group_size;
+}
+
+int32_t ClientPlaceTree::DpOfBucket(Axis axis, int32_t bucket) const {
+  MSD_CHECK(bucket >= 0 && bucket < NumBuckets(axis, 1));
+  switch (axis) {
+    case Axis::kDP:
+    case Axis::kPP:
+    case Axis::kTP:
+      return bucket;
+    case Axis::kCP:
+      return bucket / spec_.cp;
+    case Axis::kWorld:
+      return CoordOfRank(spec_, bucket).dp;
+  }
+  return bucket;
+}
+
+std::vector<int32_t> ClientPlaceTree::FetchExcludedRanks(Axis axis) const {
+  std::vector<int32_t> excluded;
+  for (int32_t r = 0; r < spec_.WorldSize(); ++r) {
+    RankCoord c = CoordOfRank(spec_, r);
+    bool exclude = false;
+    switch (axis) {
+      case Axis::kTP:
+        exclude = c.tp > 0;
+        break;
+      case Axis::kCP:
+        exclude = c.cp > 0;
+        break;
+      case Axis::kPP:
+        // PP stages > 0 receive activations peer-to-peer; they fetch only
+        // metadata, not payloads (modelled as exclusion here).
+        exclude = c.pp > 0;
+        break;
+      case Axis::kDP:
+      case Axis::kWorld:
+        exclude = false;
+        break;
+    }
+    if (exclude) {
+      excluded.push_back(r);
+    }
+  }
+  return excluded;
+}
+
+std::vector<int32_t> ClientPlaceTree::FetchingRanks(const std::vector<Axis>& broadcast_axes) const {
+  std::vector<bool> excluded(static_cast<size_t>(spec_.WorldSize()), false);
+  for (Axis axis : broadcast_axes) {
+    for (int32_t r : FetchExcludedRanks(axis)) {
+      excluded[static_cast<size_t>(r)] = true;
+    }
+  }
+  std::vector<int32_t> fetching;
+  for (int32_t r = 0; r < spec_.WorldSize(); ++r) {
+    if (!excluded[static_cast<size_t>(r)]) {
+      fetching.push_back(r);
+    }
+  }
+  return fetching;
+}
+
+namespace {
+void AppendNode(const PlaceNode& node, int depth, std::string& out) {
+  char line[128];
+  std::snprintf(line, sizeof(line), "%*s%s[%d] ranks=%zu\n", depth * 2, "", AxisName(node.axis),
+                node.index, node.ranks.size());
+  out += line;
+  for (const auto& child : node.children) {
+    if (child->children.empty()) {
+      continue;  // omit leaves: one line per GPU is too noisy
+    }
+    AppendNode(*child, depth + 1, out);
+  }
+}
+}  // namespace
+
+std::string ClientPlaceTree::ToString() const {
+  std::string out = "ClientPlaceTree " + spec_.ToString() + "\n";
+  AppendNode(*root_, 1, out);
+  return out;
+}
+
+}  // namespace msd

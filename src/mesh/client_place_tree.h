@@ -1,0 +1,83 @@
+// ClientPlaceTree (Sec. 4.1): a logical tree over the trainer device mesh.
+//
+// Levels from root to leaves follow the axis nesting DP > PP > CP > TP. The
+// tree answers the questions the orchestration primitives ask:
+//  - how many consumer buckets exist at a given axis (distribute),
+//  - which global ranks live under a bucket (plan finalization),
+//  - which ranks are broadcast targets vs. fetch-excluded (broadcast_at),
+// and it is cheap to rebuild when the mesh changes (elastic resharding).
+// Users may override construction to implement custom behaviours such as the
+// selective broadcasting of Sec. 6.
+#ifndef SRC_MESH_CLIENT_PLACE_TREE_H_
+#define SRC_MESH_CLIENT_PLACE_TREE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/mesh/parallelism.h"
+
+namespace msd {
+
+struct PlaceNode {
+  Axis axis = Axis::kWorld;  // axis of the level this node belongs to
+  int32_t index = 0;         // index within its level
+  std::vector<int32_t> ranks;  // all global ranks under this node
+  std::vector<std::unique_ptr<PlaceNode>> children;
+};
+
+class ClientPlaceTree {
+ public:
+  // Default: a single-GPU mesh. Use FromDeviceMesh or Rebuild for real ones.
+  ClientPlaceTree() { Rebuild(ParallelismSpec{}); }
+
+  // Builds the default tree for a mesh. `num_microbatches` is carried along
+  // for balance() bin construction.
+  static ClientPlaceTree FromDeviceMesh(const ParallelismSpec& spec, int32_t num_microbatches = 1);
+
+  const ParallelismSpec& spec() const { return spec_; }
+  int32_t num_microbatches() const { return num_microbatches_; }
+
+  // Number of consumer buckets when distributing along `axis`:
+  //  - kDP: dp buckets; kCP: dp*cp ("DP x CP as uniform consumers");
+  //  - kWorld: every rank; kPP/kTP degenerate to dp (data is replicated).
+  // With group_size > 1, buckets are merged into ceil(n / group_size) groups.
+  int32_t NumBuckets(Axis axis, int32_t group_size = 1) const;
+
+  // Global ranks that consume the contents of `bucket` under `axis`.
+  std::vector<int32_t> BucketRanks(Axis axis, int32_t bucket, int32_t group_size = 1) const;
+
+  // Bucket that a given rank belongs to under `axis`.
+  int32_t BucketOfRank(Axis axis, int32_t rank, int32_t group_size = 1) const;
+
+  // DP group that consumes `bucket` (group_size == 1). Data Constructors are
+  // deployed one per DP group (Fig. 7), so this maps buckets to constructors.
+  int32_t DpOfBucket(Axis axis, int32_t bucket) const;
+
+  // Ranks excluded from fetching when a broadcast exists along `axis`
+  // (e.g. broadcast_at(TP): every rank with tp > 0 stops fetching).
+  std::vector<int32_t> FetchExcludedRanks(Axis axis) const;
+
+  // Ranks that still fetch after applying all broadcast exclusions.
+  std::vector<int32_t> FetchingRanks(const std::vector<Axis>& broadcast_axes) const;
+
+  const PlaceNode& root() const { return *root_; }
+  std::string ToString() const;
+
+  // Rebuild for a changed mesh (elastic resharding, Sec. 6.1). Cheap: O(world).
+  void Rebuild(const ParallelismSpec& spec);
+
+  // Override hook: custom tree surgery after default construction (Sec. 4.1
+  // "users can override the default construction logic").
+  void Customize(const std::function<void(PlaceNode&)>& fn) { fn(*root_); }
+
+ private:
+  ParallelismSpec spec_;
+  int32_t num_microbatches_ = 1;
+  std::unique_ptr<PlaceNode> root_;
+};
+
+}  // namespace msd
+
+#endif  // SRC_MESH_CLIENT_PLACE_TREE_H_

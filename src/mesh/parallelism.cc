@@ -1,0 +1,69 @@
+#include "src/mesh/parallelism.h"
+
+#include <cstdio>
+
+#include "src/common/status.h"
+
+namespace msd {
+
+const char* AxisName(Axis axis) {
+  switch (axis) {
+    case Axis::kDP:
+      return "DP";
+    case Axis::kPP:
+      return "PP";
+    case Axis::kCP:
+      return "CP";
+    case Axis::kTP:
+      return "TP";
+    case Axis::kWorld:
+      return "WORLD";
+  }
+  return "?";
+}
+
+int32_t ParallelismSpec::SizeOf(Axis axis) const {
+  switch (axis) {
+    case Axis::kDP:
+      return dp;
+    case Axis::kPP:
+      return pp;
+    case Axis::kCP:
+      return cp;
+    case Axis::kTP:
+      return tp;
+    case Axis::kWorld:
+      return WorldSize();
+  }
+  return 1;
+}
+
+std::string ParallelismSpec::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "DP=%d PP=%d CP=%d TP=%d (world=%d)", dp, pp, cp, tp,
+                WorldSize());
+  return buf;
+}
+
+RankCoord CoordOfRank(const ParallelismSpec& spec, int32_t rank) {
+  MSD_CHECK(rank >= 0 && rank < spec.WorldSize());
+  RankCoord c;
+  c.tp = rank % spec.tp;
+  rank /= spec.tp;
+  c.cp = rank % spec.cp;
+  rank /= spec.cp;
+  c.pp = rank % spec.pp;
+  rank /= spec.pp;
+  c.dp = rank;
+  return c;
+}
+
+int32_t RankOfCoord(const ParallelismSpec& spec, const RankCoord& coord) {
+  MSD_CHECK(coord.dp >= 0 && coord.dp < spec.dp);
+  MSD_CHECK(coord.pp >= 0 && coord.pp < spec.pp);
+  MSD_CHECK(coord.cp >= 0 && coord.cp < spec.cp);
+  MSD_CHECK(coord.tp >= 0 && coord.tp < spec.tp);
+  return ((coord.dp * spec.pp + coord.pp) * spec.cp + coord.cp) * spec.tp + coord.tp;
+}
+
+}  // namespace msd

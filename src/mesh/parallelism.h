@@ -1,0 +1,43 @@
+// Hybrid-parallelism descriptors: axes, specs, and rank coordinates.
+#ifndef SRC_MESH_PARALLELISM_H_
+#define SRC_MESH_PARALLELISM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace msd {
+
+// Distribution axes accepted by DGraph::distribute (Sec. 4.2).
+enum class Axis { kDP = 0, kPP = 1, kCP = 2, kTP = 3, kWorld = 4 };
+
+const char* AxisName(Axis axis);
+
+struct ParallelismSpec {
+  int32_t dp = 1;
+  int32_t pp = 1;
+  int32_t cp = 1;
+  int32_t tp = 1;
+
+  int32_t WorldSize() const { return dp * pp * cp * tp; }
+  int32_t SizeOf(Axis axis) const;
+  std::string ToString() const;
+  bool operator==(const ParallelismSpec&) const = default;
+};
+
+// Position of one GPU rank in the 4D mesh. Axis nesting order from outermost
+// to innermost is fixed as DP > PP > CP > TP (matching the deployment in
+// Fig. 7 where a Data Constructor serves one DP group).
+struct RankCoord {
+  int32_t dp = 0;
+  int32_t pp = 0;
+  int32_t cp = 0;
+  int32_t tp = 0;
+  bool operator==(const RankCoord&) const = default;
+};
+
+RankCoord CoordOfRank(const ParallelismSpec& spec, int32_t rank);
+int32_t RankOfCoord(const ParallelismSpec& spec, const RankCoord& coord);
+
+}  // namespace msd
+
+#endif  // SRC_MESH_PARALLELISM_H_

@@ -1,0 +1,82 @@
+#include "src/mesh/selective_broadcast.h"
+
+#include <map>
+
+#include "src/common/status.h"
+
+namespace msd {
+
+namespace {
+
+// Group key for a rank at a given broadcast axis, holding all coordinates
+// EXCEPT the broadcast axis fixed.
+int64_t GroupKey(const ParallelismSpec& spec, const RankCoord& c, Axis axis) {
+  int64_t dp = c.dp;
+  int64_t pp = axis == Axis::kPP ? 0 : c.pp;
+  int64_t cp = axis == Axis::kCP ? 0 : c.cp;
+  int64_t tp = axis == Axis::kTP ? 0 : c.tp;
+  return ((dp * spec.pp + pp) * spec.cp + cp) * spec.tp + tp;
+}
+
+// True if `c` is at coordinate 0 of `axis`.
+bool IsAxisRoot(const RankCoord& c, Axis axis) {
+  switch (axis) {
+    case Axis::kPP:
+      return c.pp == 0;
+    case Axis::kCP:
+      return c.cp == 0;
+    case Axis::kTP:
+      return c.tp == 0;
+    case Axis::kDP:
+    case Axis::kWorld:
+      return true;
+  }
+  return true;
+}
+
+}  // namespace
+
+BroadcastPlan MakeSelectiveBroadcastPlan(const ClientPlaceTree& tree,
+                                         const std::vector<Axis>& axes) {
+  const ParallelismSpec& spec = tree.spec();
+  for (Axis axis : axes) {
+    MSD_CHECK(axis == Axis::kPP || axis == Axis::kCP || axis == Axis::kTP);
+  }
+  BroadcastPlan plan;
+  plan.fetching_ranks = tree.FetchingRanks(axes);
+
+  // Stage k broadcasts along axes[k]. A rank participates as a target of
+  // stage k if it is at coordinate 0 for every LATER axis (it will fan out
+  // further in subsequent stages) and nonzero at axes[k].
+  for (size_t k = 0; k < axes.size(); ++k) {
+    Axis axis = axes[k];
+    std::map<int64_t, BroadcastGroup> groups;
+    for (int32_t r = 0; r < spec.WorldSize(); ++r) {
+      RankCoord c = CoordOfRank(spec, r);
+      bool later_root = true;
+      for (size_t j = k + 1; j < axes.size(); ++j) {
+        later_root = later_root && IsAxisRoot(c, axes[j]);
+      }
+      if (!later_root) {
+        continue;  // this rank is reached in a later stage
+      }
+      int64_t key = GroupKey(spec, c, axis);
+      BroadcastGroup& group = groups[key];
+      if (IsAxisRoot(c, axis)) {
+        group.root = r;
+      } else {
+        group.targets.push_back(r);
+      }
+    }
+    std::vector<BroadcastGroup> stage;
+    for (auto& [key, group] : groups) {
+      if (!group.targets.empty()) {
+        stage.push_back(std::move(group));
+      }
+    }
+    plan.stages.push_back(std::move(stage));
+  }
+  return plan;
+}
+
+}  // namespace msd

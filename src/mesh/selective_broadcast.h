@@ -1,0 +1,43 @@
+// Selective broadcasting (Sec. 6 "Deployment"): bottom-up broadcast staging
+// over the ClientPlaceTree.
+//
+// Large clusters suffer from trainer-side client barriers: every fetching
+// rank synchronizes with its Data Constructor. Selective broadcasting lets
+// only one root per sub-communication group fetch, then re-broadcasts within
+// the group (e.g. within CP, then within TP) — trading memory/communication
+// inside fast intra-group links for far fewer synchronized clients.
+#ifndef SRC_MESH_SELECTIVE_BROADCAST_H_
+#define SRC_MESH_SELECTIVE_BROADCAST_H_
+
+#include <vector>
+
+#include "src/mesh/client_place_tree.h"
+
+namespace msd {
+
+struct BroadcastGroup {
+  int32_t root = 0;               // rank that already holds the data
+  std::vector<int32_t> targets;   // ranks it re-broadcasts to
+};
+
+// One stage of re-broadcast per axis, ordered outermost-first: stage k's
+// roots are ranks that received data in stage k-1 (or fetched directly).
+// Axes must be a subset of {kPP, kCP, kTP}; each may appear once.
+struct BroadcastPlan {
+  std::vector<int32_t> fetching_ranks;              // ranks that pull from a DC
+  std::vector<std::vector<BroadcastGroup>> stages;  // one entry per axis
+};
+
+// Computes the staged plan for broadcasting along `axes` (e.g. {kCP, kTP}).
+BroadcastPlan MakeSelectiveBroadcastPlan(const ClientPlaceTree& tree,
+                                         const std::vector<Axis>& axes);
+
+// Number of clients the Data Constructors must synchronize with under the
+// plan — the quantity selective broadcasting shrinks.
+inline size_t SynchronizedClients(const BroadcastPlan& plan) {
+  return plan.fetching_ranks.size();
+}
+
+}  // namespace msd
+
+#endif  // SRC_MESH_SELECTIVE_BROADCAST_H_

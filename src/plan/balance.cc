@@ -1,0 +1,249 @@
+#include "src/plan/balance.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+namespace msd {
+
+const char* BalanceMethodName(BalanceMethod m) {
+  switch (m) {
+    case BalanceMethod::kGreedy:
+      return "greedy";
+    case BalanceMethod::kKarmarkarKarp:
+      return "karmarkar-karp";
+    case BalanceMethod::kInterleave:
+      return "interleave";
+    case BalanceMethod::kZigZag:
+      return "zigzag";
+    case BalanceMethod::kVShape:
+      return "vshape";
+  }
+  return "unknown";
+}
+
+Result<BalanceMethod> ParseBalanceMethod(const std::string& name) {
+  if (name == "greedy") {
+    return BalanceMethod::kGreedy;
+  }
+  if (name == "karmarkar-karp" || name == "kk") {
+    return BalanceMethod::kKarmarkarKarp;
+  }
+  if (name == "interleave") {
+    return BalanceMethod::kInterleave;
+  }
+  if (name == "zigzag") {
+    return BalanceMethod::kZigZag;
+  }
+  if (name == "vshape") {
+    return BalanceMethod::kVShape;
+  }
+  return Status::InvalidArgument("unknown balance method: " + name);
+}
+
+namespace {
+
+std::vector<size_t> SortedIndicesByCostDesc(const std::vector<double>& costs) {
+  std::vector<size_t> order(costs.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return costs[a] > costs[b]; });
+  return order;
+}
+
+std::vector<int32_t> GreedyAssign(const std::vector<double>& costs, int32_t num_bins) {
+  std::vector<int32_t> assignment(costs.size(), 0);
+  // Min-heap of (load, bin).
+  using Entry = std::pair<double, int32_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> bins;
+  for (int32_t b = 0; b < num_bins; ++b) {
+    bins.emplace(0.0, b);
+  }
+  for (size_t idx : SortedIndicesByCostDesc(costs)) {
+    auto [load, bin] = bins.top();
+    bins.pop();
+    assignment[idx] = bin;
+    bins.emplace(load + costs[idx], bin);
+  }
+  return assignment;
+}
+
+// Multiway Karmarkar-Karp: maintain partial solutions as sorted load vectors;
+// repeatedly merge the two solutions with the largest spread, pairing the
+// heaviest bins of one with the lightest of the other.
+std::vector<int32_t> KarmarkarKarpAssign(const std::vector<double>& costs, int32_t num_bins) {
+  struct Partial {
+    // Bin loads sorted descending, with the item indices in each bin.
+    std::vector<double> loads;
+    std::vector<std::vector<size_t>> members;
+    double spread() const { return loads.front() - loads.back(); }
+  };
+  struct SpreadLess {
+    bool operator()(const Partial& a, const Partial& b) const { return a.spread() < b.spread(); }
+  };
+
+  std::priority_queue<Partial, std::vector<Partial>, SpreadLess> heap;
+  for (size_t i = 0; i < costs.size(); ++i) {
+    Partial p;
+    p.loads.assign(static_cast<size_t>(num_bins), 0.0);
+    p.members.assign(static_cast<size_t>(num_bins), {});
+    p.loads[0] = costs[i];
+    p.members[0].push_back(i);
+    heap.push(std::move(p));
+  }
+  if (heap.empty()) {
+    return {};
+  }
+  while (heap.size() > 1) {
+    Partial a = heap.top();
+    heap.pop();
+    Partial b = heap.top();
+    heap.pop();
+    // Merge: a's k-th largest bin with b's k-th smallest bin.
+    Partial merged;
+    merged.loads.assign(static_cast<size_t>(num_bins), 0.0);
+    merged.members.assign(static_cast<size_t>(num_bins), {});
+    for (int32_t k = 0; k < num_bins; ++k) {
+      int32_t bk = num_bins - 1 - k;
+      merged.loads[static_cast<size_t>(k)] =
+          a.loads[static_cast<size_t>(k)] + b.loads[static_cast<size_t>(bk)];
+      merged.members[static_cast<size_t>(k)] = std::move(a.members[static_cast<size_t>(k)]);
+      auto& dst = merged.members[static_cast<size_t>(k)];
+      auto& src = b.members[static_cast<size_t>(bk)];
+      dst.insert(dst.end(), src.begin(), src.end());
+    }
+    // Re-sort bins descending by load (keep members aligned).
+    std::vector<size_t> order(static_cast<size_t>(num_bins));
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t x, size_t y) { return merged.loads[x] > merged.loads[y]; });
+    Partial sorted;
+    sorted.loads.reserve(static_cast<size_t>(num_bins));
+    sorted.members.reserve(static_cast<size_t>(num_bins));
+    for (size_t o : order) {
+      sorted.loads.push_back(merged.loads[o]);
+      sorted.members.push_back(std::move(merged.members[o]));
+    }
+    heap.push(std::move(sorted));
+  }
+  const Partial& final_partial = heap.top();
+  std::vector<int32_t> assignment(costs.size(), 0);
+  for (int32_t b = 0; b < num_bins; ++b) {
+    for (size_t idx : final_partial.members[static_cast<size_t>(b)]) {
+      assignment[idx] = b;
+    }
+  }
+  return assignment;
+}
+
+// Serpentine: items in descending cost order walk bins 0..k-1, k-1..0, ...
+std::vector<int32_t> InterleaveAssign(const std::vector<double>& costs, int32_t num_bins) {
+  std::vector<int32_t> assignment(costs.size(), 0);
+  std::vector<size_t> order = SortedIndicesByCostDesc(costs);
+  int32_t pos = 0;
+  int32_t dir = 1;
+  for (size_t idx : order) {
+    assignment[idx] = pos;
+    if (num_bins == 1) {
+      continue;
+    }
+    if (pos + dir < 0 || pos + dir >= num_bins) {
+      dir = -dir;  // bounce: serpentine revisits the edge bin
+    } else {
+      pos += dir;
+    }
+  }
+  return assignment;
+}
+
+// Strict forward round-robin over sorted costs (no serpentine bounce).
+std::vector<int32_t> ZigZagAssign(const std::vector<double>& costs, int32_t num_bins) {
+  std::vector<int32_t> assignment(costs.size(), 0);
+  std::vector<size_t> order = SortedIndicesByCostDesc(costs);
+  for (size_t i = 0; i < order.size(); ++i) {
+    assignment[order[i]] = static_cast<int32_t>(i % static_cast<size_t>(num_bins));
+  }
+  return assignment;
+}
+
+// V-shape: alternate heaviest items between the two edge bins moving inward,
+// so each bin receives a heavy+light pairing pattern.
+std::vector<int32_t> VShapeAssign(const std::vector<double>& costs, int32_t num_bins) {
+  std::vector<int32_t> assignment(costs.size(), 0);
+  std::vector<size_t> order = SortedIndicesByCostDesc(costs);
+  int32_t lo = 0;
+  int32_t hi = num_bins - 1;
+  bool from_lo = true;
+  for (size_t idx : order) {
+    if (lo > hi) {
+      lo = 0;
+      hi = num_bins - 1;
+      from_lo = true;
+    }
+    if (from_lo) {
+      assignment[idx] = lo++;
+    } else {
+      assignment[idx] = hi--;
+    }
+    from_lo = !from_lo;
+  }
+  return assignment;
+}
+
+}  // namespace
+
+std::vector<int32_t> AssignToBins(const std::vector<double>& costs, int32_t num_bins,
+                                  BalanceMethod method) {
+  MSD_CHECK(num_bins > 0);
+  for (double c : costs) {
+    MSD_CHECK(c >= 0.0);
+  }
+  switch (method) {
+    case BalanceMethod::kGreedy:
+      return GreedyAssign(costs, num_bins);
+    case BalanceMethod::kKarmarkarKarp:
+      return KarmarkarKarpAssign(costs, num_bins);
+    case BalanceMethod::kInterleave:
+      return InterleaveAssign(costs, num_bins);
+    case BalanceMethod::kZigZag:
+      return ZigZagAssign(costs, num_bins);
+    case BalanceMethod::kVShape:
+      return VShapeAssign(costs, num_bins);
+  }
+  return GreedyAssign(costs, num_bins);
+}
+
+std::vector<double> BinLoads(const std::vector<double>& costs,
+                             const std::vector<int32_t>& assignment, int32_t num_bins) {
+  MSD_CHECK(costs.size() == assignment.size());
+  std::vector<double> loads(static_cast<size_t>(num_bins), 0.0);
+  for (size_t i = 0; i < costs.size(); ++i) {
+    MSD_CHECK(assignment[i] >= 0 && assignment[i] < num_bins);
+    loads[static_cast<size_t>(assignment[i])] += costs[i];
+  }
+  return loads;
+}
+
+double Imbalance(const std::vector<double>& loads) {
+  MSD_CHECK(!loads.empty());
+  double max = *std::max_element(loads.begin(), loads.end());
+  double mean = std::accumulate(loads.begin(), loads.end(), 0.0) /
+                static_cast<double>(loads.size());
+  if (mean <= 0.0) {
+    return 1.0;
+  }
+  return max / mean;
+}
+
+double MaxMinRatio(const std::vector<double>& loads) {
+  MSD_CHECK(!loads.empty());
+  double max = *std::max_element(loads.begin(), loads.end());
+  double min = *std::min_element(loads.begin(), loads.end());
+  if (min <= 0.0) {
+    return max > 0.0 ? std::numeric_limits<double>::infinity() : 1.0;
+  }
+  return max / min;
+}
+
+}  // namespace msd

@@ -1,0 +1,42 @@
+// Load-balancing algorithms used by DGraph::balance (Sec. 4.2): greedy
+// binpacking, Karmarkar-Karp multiway differencing, and interleaved
+// (serpentine / zig-zag / V-shape) placement.
+#ifndef SRC_PLAN_BALANCE_H_
+#define SRC_PLAN_BALANCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace msd {
+
+enum class BalanceMethod {
+  kGreedy = 0,        // sort desc, place into least-loaded bin (LPT)
+  kKarmarkarKarp,     // multiway largest-differencing method
+  kInterleave,        // serpentine by sorted cost across bins
+  kZigZag,            // strict forward/backward round-robin (user strategy)
+  kVShape,            // heaviest at edges, lightest in middle (user strategy)
+};
+
+const char* BalanceMethodName(BalanceMethod m);
+Result<BalanceMethod> ParseBalanceMethod(const std::string& name);
+
+// Assigns each item (by index) to one of `num_bins` bins so bin loads are as
+// even as the method achieves. Returns assignment[i] in [0, num_bins).
+std::vector<int32_t> AssignToBins(const std::vector<double>& costs, int32_t num_bins,
+                                  BalanceMethod method);
+
+// Per-bin total loads for a given assignment.
+std::vector<double> BinLoads(const std::vector<double>& costs,
+                             const std::vector<int32_t>& assignment, int32_t num_bins);
+
+// max(load) / mean(load): 1.0 is perfectly balanced.
+double Imbalance(const std::vector<double>& loads);
+// max(load) / min(load): the "3.2x" / "6.9x" ratios of Fig. 3.
+double MaxMinRatio(const std::vector<double>& loads);
+
+}  // namespace msd
+
+#endif  // SRC_PLAN_BALANCE_H_

@@ -1,0 +1,343 @@
+#include "src/plan/dgraph.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/storage/wire.h"
+
+namespace msd {
+
+std::vector<double> LoadingPlan::BucketLoads() const {
+  std::vector<double> loads(static_cast<size_t>(num_buckets), 0.0);
+  for (const SliceAssignment& a : assignments) {
+    loads[static_cast<size_t>(a.bucket)] += a.cost;
+  }
+  return loads;
+}
+
+std::vector<double> LoadingPlan::BinLoads(int32_t bucket) const {
+  std::vector<double> loads(static_cast<size_t>(num_microbatches), 0.0);
+  for (const SliceAssignment& a : assignments) {
+    if (a.bucket == bucket) {
+      loads[static_cast<size_t>(a.microbatch)] += a.cost;
+    }
+  }
+  return loads;
+}
+
+std::vector<std::vector<double>> LoadingPlan::LoadMatrix() const {
+  std::vector<std::vector<double>> matrix(
+      static_cast<size_t>(num_buckets),
+      std::vector<double>(static_cast<size_t>(num_microbatches), 0.0));
+  for (const SliceAssignment& a : assignments) {
+    matrix[static_cast<size_t>(a.bucket)][static_cast<size_t>(a.microbatch)] += a.cost;
+  }
+  return matrix;
+}
+
+std::string LoadingPlan::Serialize() const {
+  WireWriter w;
+  w.PutI64(step);
+  w.PutU8(static_cast<uint8_t>(axis));
+  w.PutU32(static_cast<uint32_t>(group_size));
+  w.PutU32(static_cast<uint32_t>(num_buckets));
+  w.PutU32(static_cast<uint32_t>(num_microbatches));
+  w.PutU32(static_cast<uint32_t>(broadcast_axes.size()));
+  for (Axis a : broadcast_axes) {
+    w.PutU8(static_cast<uint8_t>(a));
+  }
+  w.PutU32(static_cast<uint32_t>(assignments.size()));
+  for (const SliceAssignment& a : assignments) {
+    w.PutU64(a.sample_id);
+    w.PutU32(static_cast<uint32_t>(a.source_id));
+    w.PutU32(static_cast<uint32_t>(a.loader_id));
+    w.PutU32(static_cast<uint32_t>(a.bucket));
+    w.PutU32(static_cast<uint32_t>(a.microbatch));
+    w.PutF64(a.cost);
+    w.PutU32(static_cast<uint32_t>(a.total_tokens));
+    w.PutU32(static_cast<uint32_t>(a.image_tokens));
+  }
+  w.PutU32(static_cast<uint32_t>(fetching_ranks.size()));
+  for (int32_t r : fetching_ranks) {
+    w.PutU32(static_cast<uint32_t>(r));
+  }
+  w.PutU32(static_cast<uint32_t>(subplans.size()));
+  for (const auto& [name, sub] : subplans) {
+    w.PutBytes(name);
+    w.PutBytes(sub.Serialize());
+  }
+  return w.Take();
+}
+
+Result<LoadingPlan> LoadingPlan::Deserialize(const std::string& bytes) {
+  WireReader r(bytes);
+  LoadingPlan plan;
+  plan.step = r.GetI64();
+  plan.axis = static_cast<Axis>(r.GetU8());
+  plan.group_size = static_cast<int32_t>(r.GetU32());
+  plan.num_buckets = static_cast<int32_t>(r.GetU32());
+  plan.num_microbatches = static_cast<int32_t>(r.GetU32());
+  uint32_t n_axes = r.GetU32();
+  for (uint32_t i = 0; i < n_axes; ++i) {
+    plan.broadcast_axes.push_back(static_cast<Axis>(r.GetU8()));
+  }
+  uint32_t n_assign = r.GetU32();
+  plan.assignments.reserve(n_assign);
+  for (uint32_t i = 0; i < n_assign; ++i) {
+    SliceAssignment a;
+    a.sample_id = r.GetU64();
+    a.source_id = static_cast<int32_t>(r.GetU32());
+    a.loader_id = static_cast<int32_t>(r.GetU32());
+    a.bucket = static_cast<int32_t>(r.GetU32());
+    a.microbatch = static_cast<int32_t>(r.GetU32());
+    a.cost = r.GetF64();
+    a.total_tokens = static_cast<int32_t>(r.GetU32());
+    a.image_tokens = static_cast<int32_t>(r.GetU32());
+    plan.assignments.push_back(a);
+  }
+  uint32_t n_ranks = r.GetU32();
+  for (uint32_t i = 0; i < n_ranks; ++i) {
+    plan.fetching_ranks.push_back(static_cast<int32_t>(r.GetU32()));
+  }
+  uint32_t n_sub = r.GetU32();
+  for (uint32_t i = 0; i < n_sub; ++i) {
+    std::string name = r.GetBytes();
+    Result<LoadingPlan> sub = Deserialize(r.GetBytes());
+    if (!sub.ok()) {
+      return sub.status();
+    }
+    plan.subplans.emplace(std::move(name), std::move(sub.value()));
+  }
+  if (!r.Ok()) {
+    return Status::DataLoss("truncated LoadingPlan");
+  }
+  return plan;
+}
+
+DGraph DGraph::FromBufferInfos(const std::vector<BufferInfo>& buffers, MetaSelector selector,
+                               bool track_lineage) {
+  DGraph dgraph(track_lineage);
+  // Stable source index order: sorted by source_id.
+  std::map<int32_t, size_t> index_of_source;
+  for (const BufferInfo& buf : buffers) {
+    index_of_source.emplace(buf.source_id, 0);
+  }
+  size_t next = 0;
+  for (auto& [source_id, index] : index_of_source) {
+    index = next++;
+    dgraph.source_ids_.push_back(source_id);
+  }
+  dgraph.nodes_by_source_.resize(index_of_source.size());
+  for (const BufferInfo& buf : buffers) {
+    size_t src_index = index_of_source[buf.source_id];
+    for (const SampleMeta& meta : buf.samples) {
+      if (selector && !selector(meta)) {
+        continue;
+      }
+      DataflowNode node;
+      node.meta = meta;
+      node.loader_id = buf.loader_id;
+      node.state = SampleState::kInBuffer;
+      int64_t id = dgraph.graph_.AddNode(std::move(node));
+      dgraph.nodes_by_source_[src_index].push_back(id);
+    }
+  }
+  return dgraph;
+}
+
+void DGraph::Init(const ClientPlaceTree* tree) {
+  MSD_CHECK(tree != nullptr);
+  tree_ = tree;
+}
+
+std::vector<int64_t> DGraph::CandidateNodeIds() const {
+  std::vector<int64_t> out;
+  for (const DataflowNode& n : graph_.nodes()) {
+    if (mixed_ ? (n.state == SampleState::kSampled || n.state == SampleState::kAssigned ||
+                  n.state == SampleState::kPlanned)
+               : n.state != SampleState::kExcluded) {
+      out.push_back(n.id);
+    }
+  }
+  return out;
+}
+
+Status DGraph::Mix(const MixSchedule& schedule, int64_t step, int64_t sample_count, Rng& rng) {
+  if (mixed_) {
+    return Status::FailedPrecondition("Mix already applied");
+  }
+  if (schedule.num_sources() != nodes_by_source_.size()) {
+    return Status::InvalidArgument(
+        "schedule has " + std::to_string(schedule.num_sources()) + " sources, buffer has " +
+        std::to_string(nodes_by_source_.size()));
+  }
+  std::vector<int64_t> available(nodes_by_source_.size());
+  for (size_t s = 0; s < nodes_by_source_.size(); ++s) {
+    available[s] = static_cast<int64_t>(nodes_by_source_[s].size());
+  }
+  MixSampler sampler(&schedule);
+  Result<std::vector<size_t>> draws = sampler.SampleSources(step, sample_count, available, rng);
+  if (!draws.ok()) {
+    return draws.status();
+  }
+  // Pop from each source's buffer in FIFO order, matching loader semantics.
+  std::vector<size_t> cursor(nodes_by_source_.size(), 0);
+  for (size_t src : draws.value()) {
+    int64_t id = nodes_by_source_[src][cursor[src]++];
+    graph_.Transition(id, SampleState::kSampled, "mix");
+  }
+  for (size_t s = 0; s < nodes_by_source_.size(); ++s) {
+    for (size_t i = cursor[s]; i < nodes_by_source_[s].size(); ++i) {
+      graph_.Transition(nodes_by_source_[s][i], SampleState::kExcluded, "mix");
+    }
+  }
+  mixed_ = true;
+  return Status::Ok();
+}
+
+Status DGraph::Distribute(Axis axis, int32_t group_size) {
+  if (tree_ == nullptr) {
+    return Status::FailedPrecondition("Init(tree) must precede Distribute");
+  }
+  if (group_size < 1) {
+    return Status::InvalidArgument("group_size must be >= 1");
+  }
+  axis_ = axis;
+  group_size_ = group_size;
+  num_buckets_ = tree_->NumBuckets(axis, group_size);
+  return Status::Ok();
+}
+
+Status DGraph::Cost(CostFn fn) {
+  if (!fn) {
+    return Status::InvalidArgument("null cost function");
+  }
+  for (int64_t id : CandidateNodeIds()) {
+    DataflowNode& node = graph_.node(id);
+    CostEntry entry = fn(node.meta);
+    if (entry.load < 0.0 || entry.mem < 0.0) {
+      return Status::InvalidArgument("cost function returned negative cost");
+    }
+    node.cost_load = entry.load;
+    node.cost_mem = entry.mem;
+  }
+  costed_ = true;
+  return Status::Ok();
+}
+
+Status DGraph::Balance(BalanceOptions options) {
+  if (num_buckets_ == 0) {
+    return Status::FailedPrecondition("Distribute must precede Balance");
+  }
+  if (!costed_) {
+    return Status::FailedPrecondition("Cost must precede Balance");
+  }
+  std::vector<int64_t> candidates = CandidateNodeIds();
+  if (candidates.empty()) {
+    return Status::FailedPrecondition("no candidate samples to balance");
+  }
+  int32_t m = tree_->num_microbatches();
+  int32_t total_bins = num_buckets_ * m;
+
+  if (options.granularity == BalanceOptions::Granularity::kSample) {
+    std::vector<double> costs;
+    costs.reserve(candidates.size());
+    for (int64_t id : candidates) {
+      costs.push_back(graph_.node(id).cost_load);
+    }
+    std::vector<int32_t> assignment = AssignToBins(costs, total_bins, options.method);
+    // Flattened bins interleave buckets first (bin t -> bucket t mod n) so
+    // order-sensitive methods (interleave/zigzag/vshape) spread consecutive
+    // heavy items across consumers before revisiting a bucket's microbatches.
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      int64_t id = graph_.Transition(candidates[i], SampleState::kAssigned, "balance");
+      DataflowNode& node = graph_.node(id);
+      node.bucket = assignment[i] % num_buckets_;
+      node.microbatch = assignment[i] / num_buckets_;
+    }
+  } else {
+    // Microbatch granularity: consecutive chunks move as indivisible units.
+    size_t chunk_count = static_cast<size_t>(total_bins);
+    size_t per_chunk = (candidates.size() + chunk_count - 1) / chunk_count;
+    std::vector<double> chunk_costs(chunk_count, 0.0);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      chunk_costs[i / per_chunk] += graph_.node(candidates[i]).cost_load;
+    }
+    std::vector<int32_t> chunk_assignment =
+        AssignToBins(chunk_costs, total_bins, options.method);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      int32_t target = chunk_assignment[i / per_chunk];
+      int64_t id = graph_.Transition(candidates[i], SampleState::kAssigned, "balance");
+      DataflowNode& node = graph_.node(id);
+      node.bucket = target % num_buckets_;
+      node.microbatch = target / num_buckets_;
+    }
+  }
+  balanced_ = true;
+  return Status::Ok();
+}
+
+void DGraph::BroadcastAt(Axis axis) {
+  for (Axis existing : broadcast_axes_) {
+    if (existing == axis) {
+      return;
+    }
+  }
+  broadcast_axes_.push_back(axis);
+}
+
+Result<LoadingPlan> DGraph::Plan(int64_t step) {
+  if (tree_ == nullptr) {
+    return Status::FailedPrecondition("Init(tree) must precede Plan");
+  }
+  if (num_buckets_ == 0) {
+    return Status::FailedPrecondition("Distribute must precede Plan");
+  }
+  LoadingPlan plan;
+  plan.step = step;
+  plan.axis = axis_;
+  plan.group_size = group_size_;
+  plan.num_buckets = num_buckets_;
+  plan.num_microbatches = tree_->num_microbatches();
+  plan.broadcast_axes = broadcast_axes_;
+  plan.fetching_ranks = tree_->FetchingRanks(broadcast_axes_);
+
+  std::vector<int64_t> candidates = CandidateNodeIds();
+  if (!balanced_) {
+    // Without Balance, fall back to round-robin placement (the "Vanilla"
+    // baseline of Sec. 7.1's orchestration study).
+    int32_t m = plan.num_microbatches;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      int64_t id = graph_.Transition(candidates[i], SampleState::kAssigned, "round_robin");
+      DataflowNode& node = graph_.node(id);
+      int32_t target = static_cast<int32_t>(i % static_cast<size_t>(num_buckets_ * m));
+      node.bucket = target % num_buckets_;
+      node.microbatch = target / num_buckets_;
+    }
+    candidates = CandidateNodeIds();
+  }
+  for (int64_t id : candidates) {
+    int64_t planned = graph_.Transition(id, SampleState::kPlanned, "plan");
+    const DataflowNode& node = graph_.node(planned);
+    SliceAssignment a;
+    a.sample_id = node.meta.sample_id;
+    a.source_id = node.meta.source_id;
+    a.loader_id = node.loader_id;
+    a.bucket = node.bucket;
+    a.microbatch = node.microbatch;
+    a.cost = node.cost_load;
+    a.total_tokens = node.meta.TotalTokens();
+    a.image_tokens = node.meta.image_tokens;
+    plan.assignments.push_back(a);
+  }
+  std::stable_sort(plan.assignments.begin(), plan.assignments.end(),
+                   [](const SliceAssignment& x, const SliceAssignment& y) {
+                     if (x.bucket != y.bucket) {
+                       return x.bucket < y.bucket;
+                     }
+                     return x.microbatch < y.microbatch;
+                   });
+  return plan;
+}
+
+}  // namespace msd

@@ -1,0 +1,152 @@
+// DGraph: the declarative data-orchestration API (Sec. 4).
+//
+// A DGraph is built per planning round from Source Loader buffer metadata and
+// a ClientPlaceTree, then programmed with the paper's primitives:
+//
+//   dgraph = DGraph::FromBufferInfos(buffer_infos, selector);   // Extract
+//   dgraph.Init(&tree);
+//   dgraph.Mix(schedule, step, n, rng);                          // Orchestrate
+//   dgraph.Distribute(Axis::kDP);
+//   dgraph.Cost(costfn);
+//   dgraph.Balance({.method = BalanceMethod::kGreedy});
+//   dgraph.BroadcastAt(Axis::kTP);
+//   LoadingPlan plan = dgraph.Plan(step).value();                // Finalize
+//
+// The emitted LoadingPlan directs Source Loaders (which samples to pop, for
+// which consumer bucket/microbatch) and Data Constructors (how to assemble
+// and which ranks fetch).
+#ifndef SRC_PLAN_DGRAPH_H_
+#define SRC_PLAN_DGRAPH_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/graph/dataflow_graph.h"
+#include "src/mesh/client_place_tree.h"
+#include "src/plan/balance.h"
+#include "src/plan/mix.h"
+
+namespace msd {
+
+// Metadata summary of one Source Loader's read buffer (workflow step 4).
+struct BufferInfo {
+  int32_t loader_id = -1;
+  int32_t source_id = -1;
+  std::vector<SampleMeta> samples;
+};
+
+// Output of a registered cost function: compute load and memory footprint.
+struct CostEntry {
+  double load = 0.0;
+  double mem = 0.0;
+};
+using CostFn = std::function<CostEntry(const SampleMeta&)>;
+
+// Selects which buffered samples a DGraph models (e.g. only image metadata
+// for the encoder module's graph).
+using MetaSelector = std::function<bool(const SampleMeta&)>;
+
+// One sample's placement in the final plan.
+struct SliceAssignment {
+  uint64_t sample_id = 0;
+  int32_t source_id = -1;
+  int32_t loader_id = -1;
+  int32_t bucket = -1;      // consumer bucket at the distribute axis
+  int32_t microbatch = -1;  // bin within the bucket
+  double cost = 0.0;
+  int32_t total_tokens = 0;
+  int32_t image_tokens = 0;
+};
+
+struct LoadingPlan {
+  int64_t step = 0;
+  Axis axis = Axis::kDP;
+  int32_t group_size = 1;
+  int32_t num_buckets = 0;
+  int32_t num_microbatches = 1;
+  std::vector<Axis> broadcast_axes;
+  std::vector<SliceAssignment> assignments;  // sorted by (bucket, microbatch)
+  std::vector<int32_t> fetching_ranks;       // ranks that fetch after exclusions
+  std::map<std::string, LoadingPlan> subplans;  // per-module plans (e.g. "encoder")
+
+  // Total balanced cost per bucket.
+  std::vector<double> BucketLoads() const;
+  // Cost per microbatch within one bucket.
+  std::vector<double> BinLoads(int32_t bucket) const;
+  // Cost per (bucket, microbatch) as a dense matrix [bucket][mb].
+  std::vector<std::vector<double>> LoadMatrix() const;
+  size_t SampleCount() const { return assignments.size(); }
+
+  std::string Serialize() const;
+  static Result<LoadingPlan> Deserialize(const std::string& bytes);
+};
+
+struct BalanceOptions {
+  BalanceMethod method = BalanceMethod::kGreedy;
+  // kSample: the balancer places individual samples (fine-grained, default).
+  // kMicrobatch: consecutive sample chunks move as units — the coarse
+  // "microbatch-level balancing" the Fig. 14 case study shows is insufficient.
+  enum class Granularity { kSample, kMicrobatch } granularity = Granularity::kSample;
+};
+
+class DGraph {
+ public:
+  // Stage Extract: one node per buffered sample accepted by `selector`.
+  static DGraph FromBufferInfos(const std::vector<BufferInfo>& buffers,
+                                MetaSelector selector = nullptr, bool track_lineage = false);
+
+  // Binds the trainer topology. Must precede Distribute/Plan.
+  void Init(const ClientPlaceTree* tree);
+
+  // Scheduled source mixing: draws `sample_count` samples according to the
+  // schedule's weights at `step`; unsampled nodes are excluded from this plan.
+  Status Mix(const MixSchedule& schedule, int64_t step, int64_t sample_count, Rng& rng);
+
+  // Chooses the consumer axis; creates NumBuckets(axis, group_size) buckets.
+  Status Distribute(Axis axis, int32_t group_size = 1);
+
+  // Registers the cost model and annotates every candidate node.
+  Status Cost(CostFn fn);
+
+  // Distributes candidate samples into (bucket, microbatch) bins.
+  Status Balance(BalanceOptions options = {});
+
+  // Declares a trainer-side broadcast along `axis`; ranks covered by the
+  // broadcast are excluded from fetching.
+  void BroadcastAt(Axis axis);
+
+  // Stage Finalize: emits the LoadingPlan.
+  Result<LoadingPlan> Plan(int64_t step = 0);
+
+  // Introspection.
+  const DataflowGraph& graph() const { return graph_; }
+  size_t node_count() const { return graph_.node_count(); }
+  std::vector<int64_t> CandidateNodeIds() const;  // sampled (or all, pre-mix)
+  std::string ToDot() const { return graph_.ToDot(); }
+
+ private:
+  DGraph() : graph_(false) {}
+  explicit DGraph(bool track_lineage) : graph_(track_lineage) {}
+
+  DataflowGraph graph_;
+  const ClientPlaceTree* tree_ = nullptr;
+  // Node ids per schedule source index, in buffer order.
+  std::vector<std::vector<int64_t>> nodes_by_source_;
+  std::vector<int32_t> source_ids_;  // schedule index -> source_id
+  bool mixed_ = false;
+  bool costed_ = false;
+  bool balanced_ = false;
+  Axis axis_ = Axis::kDP;
+  int32_t group_size_ = 1;
+  int32_t num_buckets_ = 0;
+  std::vector<Axis> broadcast_axes_;
+};
+
+}  // namespace msd
+
+#endif  // SRC_PLAN_DGRAPH_H_

@@ -1,0 +1,92 @@
+#include "src/plan/mix.h"
+
+#include <algorithm>
+
+namespace msd {
+
+StaticMix::StaticMix(std::vector<double> weights) : weights_(std::move(weights)) {
+  MSD_CHECK(!weights_.empty());
+  double sum = 0.0;
+  for (double w : weights_) {
+    MSD_CHECK(w >= 0.0);
+    sum += w;
+  }
+  MSD_CHECK(sum > 0.0);
+}
+
+StagedMix::StagedMix(std::vector<Stage> stages) : stages_(std::move(stages)) {
+  MSD_CHECK(!stages_.empty());
+  std::sort(stages_.begin(), stages_.end(),
+            [](const Stage& a, const Stage& b) { return a.first_step < b.first_step; });
+  MSD_CHECK(stages_.front().first_step == 0);
+  for (const Stage& s : stages_) {
+    MSD_CHECK(s.weights.size() == stages_.front().weights.size());
+  }
+}
+
+std::vector<double> StagedMix::WeightsAt(int64_t step) const {
+  const Stage* active = &stages_.front();
+  for (const Stage& s : stages_) {
+    if (s.first_step <= step) {
+      active = &s;
+    } else {
+      break;
+    }
+  }
+  return active->weights;
+}
+
+size_t StagedMix::num_sources() const { return stages_.front().weights.size(); }
+
+WarmupMix::WarmupMix(std::vector<double> start, std::vector<double> end, int64_t warmup_steps)
+    : start_(std::move(start)), end_(std::move(end)), warmup_steps_(warmup_steps) {
+  MSD_CHECK(start_.size() == end_.size());
+  MSD_CHECK(warmup_steps_ > 0);
+}
+
+std::vector<double> WarmupMix::WeightsAt(int64_t step) const {
+  double t = std::min(1.0, static_cast<double>(step) / static_cast<double>(warmup_steps_));
+  std::vector<double> out(start_.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = start_[i] * (1.0 - t) + end_[i] * t;
+  }
+  return out;
+}
+
+Result<std::vector<size_t>> MixSampler::SampleSources(int64_t step, int64_t count,
+                                                      const std::vector<int64_t>& available,
+                                                      Rng& rng) const {
+  std::vector<double> weights = schedule_->WeightsAt(step);
+  if (weights.size() != available.size()) {
+    return Status::InvalidArgument("schedule covers " + std::to_string(weights.size()) +
+                                   " sources, availability lists " +
+                                   std::to_string(available.size()));
+  }
+  std::vector<int64_t> remaining = available;
+  std::vector<double> masked = weights;
+  for (size_t i = 0; i < masked.size(); ++i) {
+    if (remaining[i] <= 0) {
+      masked[i] = 0.0;
+    }
+  }
+  std::vector<size_t> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int64_t n = 0; n < count; ++n) {
+    double sum = 0.0;
+    for (double w : masked) {
+      sum += w;
+    }
+    if (sum <= 0.0) {
+      return Status::ResourceExhausted("all sources exhausted after " + std::to_string(n) +
+                                       " of " + std::to_string(count) + " draws");
+    }
+    size_t src = rng.Categorical(masked);
+    out.push_back(src);
+    if (--remaining[src] <= 0) {
+      masked[src] = 0.0;
+    }
+  }
+  return out;
+}
+
+}  // namespace msd

@@ -1,0 +1,94 @@
+// MixSchedule: multisource sampling-weight schedules for DGraph::mix
+// (Sec. 4.2) — static ratios, staged curricula, warmup interpolation, and
+// dynamic metric-driven adjustment (Sec. 2.1 "loss and entropy").
+#ifndef SRC_PLAN_MIX_H_
+#define SRC_PLAN_MIX_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace msd {
+
+// Produces per-source sampling weights for a training step. Weights need not
+// be normalized; they must be non-negative with a positive sum.
+class MixSchedule {
+ public:
+  virtual ~MixSchedule() = default;
+  virtual std::vector<double> WeightsAt(int64_t step) const = 0;
+  virtual size_t num_sources() const = 0;
+};
+
+// Constant ratios for the whole run.
+class StaticMix : public MixSchedule {
+ public:
+  explicit StaticMix(std::vector<double> weights);
+  std::vector<double> WeightsAt(int64_t step) const override { return weights_; }
+  size_t num_sources() const override { return weights_.size(); }
+
+ private:
+  std::vector<double> weights_;
+};
+
+// Piecewise-constant stages: curriculum learning / staged training (Sec. 2.1).
+class StagedMix : public MixSchedule {
+ public:
+  struct Stage {
+    int64_t first_step;  // stage applies from this step (inclusive)
+    std::vector<double> weights;
+  };
+  explicit StagedMix(std::vector<Stage> stages);
+  std::vector<double> WeightsAt(int64_t step) const override;
+  size_t num_sources() const override;
+
+ private:
+  std::vector<Stage> stages_;  // sorted by first_step
+};
+
+// Linear interpolation from `start` to `end` weights over `warmup_steps`
+// (sequence-length warmup style schedules).
+class WarmupMix : public MixSchedule {
+ public:
+  WarmupMix(std::vector<double> start, std::vector<double> end, int64_t warmup_steps);
+  std::vector<double> WeightsAt(int64_t step) const override;
+  size_t num_sources() const override { return start_.size(); }
+
+ private:
+  std::vector<double> start_;
+  std::vector<double> end_;
+  int64_t warmup_steps_;
+};
+
+// Callback-driven: weights respond to live training metrics (loss, entropy).
+class DynamicMix : public MixSchedule {
+ public:
+  using WeightFn = std::function<std::vector<double>(int64_t step)>;
+  DynamicMix(size_t num_sources, WeightFn fn) : num_sources_(num_sources), fn_(std::move(fn)) {}
+  std::vector<double> WeightsAt(int64_t step) const override { return fn_(step); }
+  size_t num_sources() const override { return num_sources_; }
+
+ private:
+  size_t num_sources_;
+  WeightFn fn_;
+};
+
+// Draws source indices according to a schedule's weights at a step.
+class MixSampler {
+ public:
+  explicit MixSampler(const MixSchedule* schedule) : schedule_(schedule) {}
+
+  // `available[s]` = samples still offered by source s; sources with zero
+  // availability are masked out. Returns `count` source indices.
+  Result<std::vector<size_t>> SampleSources(int64_t step, int64_t count,
+                                            const std::vector<int64_t>& available, Rng& rng) const;
+
+ private:
+  const MixSchedule* schedule_;
+};
+
+}  // namespace msd
+
+#endif  // SRC_PLAN_MIX_H_

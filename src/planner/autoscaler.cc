@@ -1,0 +1,151 @@
+#include "src/planner/autoscaler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace msd {
+
+std::vector<LoaderPartition> AutoPartitionSources(std::vector<SourceCostProfile> profiles,
+                                                  const ClusterResources& resources,
+                                                  const PartitionBounds& bounds) {
+  MSD_CHECK(!profiles.empty());
+  MSD_CHECK(bounds.num_clusters >= 1 && bounds.wactor >= 1 && bounds.wsrc >= 1);
+
+  // Stage 1: sort by transform cost descending, cut into G equal clusters.
+  std::sort(profiles.begin(), profiles.end(),
+            [](const SourceCostProfile& a, const SourceCostProfile& b) {
+              return a.transform_cost > b.transform_cost;
+            });
+  int32_t g = std::min<int32_t>(bounds.num_clusters, static_cast<int32_t>(profiles.size()));
+  size_t per_cluster = (profiles.size() + static_cast<size_t>(g) - 1) / static_cast<size_t>(g);
+
+  std::vector<double> cluster_mean(static_cast<size_t>(g), 0.0);
+  std::vector<int32_t> cluster_count(static_cast<size_t>(g), 0);
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    size_t c = i / per_cluster;
+    cluster_mean[c] += profiles[i].transform_cost;
+    ++cluster_count[c];
+  }
+  for (size_t c = 0; c < cluster_mean.size(); ++c) {
+    if (cluster_count[c] > 0) {
+      cluster_mean[c] /= cluster_count[c];
+    }
+  }
+
+  // Stage 2: resource levels. Workers per source scale with the cluster's
+  // mean cost relative to the cheapest cluster; the grand total is bounded by
+  // the worker blocks left after reserving constructor + planner shares.
+  double min_mean = cluster_mean.back() > 0.0 ? cluster_mean.back() : 1.0;
+  std::vector<int32_t> workers_per_source(static_cast<size_t>(g), 1);
+  for (size_t c = 0; c < cluster_mean.size(); ++c) {
+    double scale = cluster_mean[c] / min_mean;
+    workers_per_source[c] = std::clamp<int32_t>(
+        static_cast<int32_t>(std::lround(scale)), 1, bounds.wsrc);
+  }
+  int64_t available =
+      resources.total_workers - resources.constructor_workers - resources.planner_workers;
+  available = std::max<int64_t>(available, static_cast<int64_t>(profiles.size()));
+  int64_t demanded = 0;
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    demanded += workers_per_source[i / per_cluster];
+  }
+  double shrink = demanded > available ? static_cast<double>(available) /
+                                             static_cast<double>(demanded)
+                                       : 1.0;
+
+  // Stage 3: per-source configs under wactor/wsrc and memory constraints.
+  std::vector<LoaderPartition> partitions;
+  partitions.reserve(profiles.size());
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    size_t c = i / per_cluster;
+    int32_t workers = std::max<int32_t>(
+        1, static_cast<int32_t>(std::floor(workers_per_source[c] * shrink)));
+    workers = std::min(workers, bounds.wsrc);
+    LoaderPartition part;
+    part.source_id = profiles[i].source_id;
+    part.cluster = static_cast<int32_t>(c);
+    part.num_actors = (workers + bounds.wactor - 1) / bounds.wactor;
+    part.workers_per_actor = (workers + part.num_actors - 1) / part.num_actors;
+    // Memory constraint: when one actor's share of the source's file states
+    // exceeds the node budget, add actors (each actor holds M_k / num_actors).
+    if (resources.node_memory_budget > 0 && profiles[i].memory_bytes > 0) {
+      while (profiles[i].memory_bytes / part.num_actors > resources.node_memory_budget &&
+             part.num_actors < bounds.wsrc) {
+        ++part.num_actors;
+      }
+    }
+    partitions.push_back(part);
+  }
+  return partitions;
+}
+
+int64_t TotalWorkers(const std::vector<LoaderPartition>& partitions) {
+  int64_t total = 0;
+  for (const LoaderPartition& p : partitions) {
+    total += p.TotalWorkers();
+  }
+  return total;
+}
+
+MixtureDrivenScaler::MixtureDrivenScaler(std::vector<int32_t> initial_actors,
+                                         ScalerOptions options)
+    : options_(options),
+      actors_(std::move(initial_actors)),
+      ema_(actors_.size(), 0.0),
+      up_streak_(actors_.size(), 0),
+      down_streak_(actors_.size(), 0) {
+  MSD_CHECK(!actors_.empty());
+  MSD_CHECK(options_.ema_alpha > 0.0 && options_.ema_alpha <= 1.0);
+  MSD_CHECK(options_.consecutive >= 1);
+}
+
+int32_t MixtureDrivenScaler::DesiredActors(size_t source) const {
+  // Proportional share of the actor budget, clamped to bounds.
+  double desired = ema_[source] * static_cast<double>(options_.actor_budget);
+  return std::clamp<int32_t>(static_cast<int32_t>(std::lround(desired)), options_.min_actors,
+                             options_.max_actors);
+}
+
+std::vector<ScalingDecision> MixtureDrivenScaler::Observe(const std::vector<double>& weights) {
+  MSD_CHECK(weights.size() == actors_.size());
+  double sum = std::accumulate(weights.begin(), weights.end(), 0.0);
+  MSD_CHECK(sum > 0.0);
+  for (size_t s = 0; s < weights.size(); ++s) {
+    double normalized = weights[s] / sum;
+    ema_[s] = first_observation_
+                  ? normalized
+                  : options_.ema_alpha * normalized + (1.0 - options_.ema_alpha) * ema_[s];
+  }
+  first_observation_ = false;
+
+  std::vector<ScalingDecision> decisions;
+  for (size_t s = 0; s < actors_.size(); ++s) {
+    int32_t desired = DesiredActors(s);
+    if (desired > actors_[s]) {
+      ++up_streak_[s];
+      down_streak_[s] = 0;
+      if (up_streak_[s] >= options_.consecutive) {
+        decisions.push_back({static_cast<int32_t>(s), desired - actors_[s]});
+        actors_[s] = desired;
+        up_streak_[s] = 0;
+        ++total_rescales_;
+      }
+    } else if (desired < actors_[s]) {
+      ++down_streak_[s];
+      up_streak_[s] = 0;
+      if (down_streak_[s] >= options_.consecutive) {
+        decisions.push_back({static_cast<int32_t>(s), desired - actors_[s]});
+        actors_[s] = desired;
+        down_streak_[s] = 0;
+        ++total_rescales_;
+      }
+    } else {
+      up_streak_[s] = 0;
+      down_streak_[s] = 0;
+    }
+  }
+  return decisions;
+}
+
+}  // namespace msd

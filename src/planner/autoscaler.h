@@ -1,0 +1,103 @@
+// MultiSource AutoScaler (Sec. 5).
+//
+// Offline Source Auto-Partitioning: given heterogeneous per-source transform
+// costs {P_k} and memory footprints {M_k}, produce per-source loader configs
+// (data-parallel actor count x worker-parallel worker count) in three stages:
+//   (1) Source Clustering   — sort by cost desc, cut into G clusters;
+//   (2) Resource Levels     — size workers per cluster by mean-cost ratios,
+//                             bounded by available worker blocks;
+//   (3) Config Generation   — apply wsrc/wactor caps and per-node memory
+//                             constraints (splitting actors when M_k exceeds
+//                             the budget).
+//
+// Online Mixture-Driven Scaling: track the moving-average sampling weight per
+// source; when a source's demand exceeds its allocation for `consecutive`
+// intervals, emit scale-up decisions (new actors + live reshard); reclaim idle
+// actors symmetrically.
+#ifndef SRC_PLANNER_AUTOSCALER_H_
+#define SRC_PLANNER_AUTOSCALER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace msd {
+
+struct SourceCostProfile {
+  int32_t source_id = 0;
+  double transform_cost = 0.0;  // mean per-sample preprocessing cost (us)
+  int64_t memory_bytes = 0;     // per-partition file-state footprint M_k
+};
+
+struct ClusterResources {
+  int64_t total_workers = 64;          // CPU worker budget across the job
+  int64_t constructor_workers = 4;     // reserved for Data Constructors
+  int64_t planner_workers = 2;         // reserved for the Planner
+  int64_t node_memory_budget = 0;      // per-node bytes available to loaders
+};
+
+struct PartitionBounds {
+  int32_t wsrc = 32;         // per-source worker limit
+  int32_t wactor = 8;        // per-actor worker limit
+  int32_t num_clusters = 4;  // G
+};
+
+struct LoaderPartition {
+  int32_t source_id = 0;
+  int32_t num_actors = 1;         // loader data parallelism
+  int32_t workers_per_actor = 1;  // worker parallelism
+  int32_t cluster = 0;            // which cost cluster the source fell into
+
+  int32_t TotalWorkers() const { return num_actors * workers_per_actor; }
+};
+
+// Offline stage. Profiles need not be sorted. Returns one partition per source.
+std::vector<LoaderPartition> AutoPartitionSources(std::vector<SourceCostProfile> profiles,
+                                                  const ClusterResources& resources,
+                                                  const PartitionBounds& bounds);
+
+// Sum of workers across partitions.
+int64_t TotalWorkers(const std::vector<LoaderPartition>& partitions);
+
+struct ScalerOptions {
+  double ema_alpha = 0.3;        // moving-average smoothing
+  int32_t consecutive = 3;       // intervals of sustained demand before acting
+  int32_t min_actors = 1;
+  int32_t max_actors = 16;
+  int64_t actor_budget = 64;     // total actors across sources
+};
+
+struct ScalingDecision {
+  int32_t source_id = 0;
+  int32_t delta_actors = 0;  // >0 scale up, <0 reclaim
+};
+
+class MixtureDrivenScaler {
+ public:
+  MixtureDrivenScaler(std::vector<int32_t> initial_actors, ScalerOptions options);
+
+  // Feed one interval's (normalized) mixing weights; returns scaling actions
+  // applied this interval (already reflected in actor_counts()).
+  std::vector<ScalingDecision> Observe(const std::vector<double>& weights);
+
+  const std::vector<int32_t>& actor_counts() const { return actors_; }
+  const std::vector<double>& ema_weights() const { return ema_; }
+  int64_t total_rescales() const { return total_rescales_; }
+
+ private:
+  int32_t DesiredActors(size_t source) const;
+
+  ScalerOptions options_;
+  std::vector<int32_t> actors_;
+  std::vector<double> ema_;
+  std::vector<int32_t> up_streak_;
+  std::vector<int32_t> down_streak_;
+  bool first_observation_ = true;
+  int64_t total_rescales_ = 0;
+};
+
+}  // namespace msd
+
+#endif  // SRC_PLANNER_AUTOSCALER_H_

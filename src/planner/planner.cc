@@ -1,0 +1,134 @@
+#include "src/planner/planner.h"
+
+#include <chrono>
+
+#include "src/common/logging.h"
+
+namespace msd {
+
+namespace {
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+}  // namespace
+
+Planner::Planner(PlannerConfig config, ActorSystem* system, const ClientPlaceTree* tree,
+                 Strategy strategy, MemoryAccountant* accountant)
+    : Actor(config.name),
+      config_(config),
+      system_(system),
+      tree_(tree),
+      strategy_(std::move(strategy)),
+      accountant_(accountant),
+      rng_(config.seed) {
+  MSD_CHECK(system_ != nullptr);
+  MSD_CHECK(tree_ != nullptr);
+  MSD_CHECK(strategy_ != nullptr);
+}
+
+Planner::~Planner() = default;
+
+void Planner::SetLoaders(std::vector<SourceLoader*> loaders) { loaders_ = std::move(loaders); }
+
+std::string Planner::PlanJournalKey(int64_t step) {
+  return "planner/plan/" + std::to_string(step);
+}
+
+Result<LoadingPlan> Planner::GetPlan(int64_t step) {
+  auto it = cache_.find(step);
+  if (it != cache_.end()) {
+    return it->second;
+  }
+  if (config_.replay_mode) {
+    // Replay Mode: consult the journal rather than re-planning.
+    std::optional<std::string> blob = system_->gcs().GetState(PlanJournalKey(step));
+    if (!blob.has_value()) {
+      return Status::NotFound("replay mode: no precomputed plan for step " +
+                              std::to_string(step));
+    }
+    Result<LoadingPlan> plan = LoadingPlan::Deserialize(*blob);
+    if (plan.ok()) {
+      cache_[step] = plan.value();
+      TrimCache();
+    }
+    return plan;
+  }
+  return GeneratePlan(step);
+}
+
+Result<LoadingPlan> Planner::GeneratePlan(int64_t step) {
+  // Phase 1: gather buffer metadata from loaders, detecting failures via
+  // RPC timeout / dead-actor status.
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<BufferInfo> buffer_infos;
+  last_failed_loaders_.clear();
+  for (SourceLoader* loader : loaders_) {
+    Result<BufferInfo> info = system_->AskWithTimeout<BufferInfo>(
+        *loader, [loader] { return loader->SummaryBuffer(); }, config_.loader_rpc_timeout_ms);
+    if (!info.ok()) {
+      last_failed_loaders_.push_back(loader->name());
+      continue;
+    }
+    // A successful gather doubles as a liveness heartbeat (watchdog input).
+    system_->gcs().Heartbeat(
+        loader->name(),
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    buffer_infos.push_back(std::move(info.value()));
+  }
+  last_timings_.gather_ms = MsSince(t0);
+  if (!last_failed_loaders_.empty()) {
+    return Status::Unavailable(std::to_string(last_failed_loaders_.size()) +
+                               " loaders unavailable during metadata gather");
+  }
+
+  // Phase 2: run the declarative strategy.
+  auto t1 = std::chrono::steady_clock::now();
+  PlanContext ctx;
+  ctx.buffer_infos = &buffer_infos;
+  ctx.tree = tree_;
+  ctx.step = step;
+  ctx.rng = &rng_;
+  Result<LoadingPlan> plan = strategy_(ctx);
+  last_timings_.compute_ms = MsSince(t1);
+  if (!plan.ok()) {
+    return plan;
+  }
+
+  // Phase 3: journal to the GCS (differential checkpointing input).
+  auto t2 = std::chrono::steady_clock::now();
+  system_->gcs().PutState(PlanJournalKey(step), plan->Serialize());
+  last_timings_.journal_ms = MsSince(t2);
+
+  ++plans_generated_;
+  cache_[step] = plan.value();
+  TrimCache();
+  return plan;
+}
+
+Status Planner::PrecomputePlans(int64_t first, int64_t count) {
+  for (int64_t s = first; s < first + count; ++s) {
+    Result<LoadingPlan> plan = GeneratePlan(s);
+    if (!plan.ok()) {
+      return plan.status();
+    }
+  }
+  return Status::Ok();
+}
+
+void Planner::TrimCache() {
+  while (static_cast<int64_t>(cache_.size()) > config_.plan_cache_capacity) {
+    cache_.erase(cache_.begin());
+  }
+  if (accountant_ != nullptr) {
+    int64_t bytes = 0;
+    for (const auto& [step, plan] : cache_) {
+      bytes += static_cast<int64_t>(plan.assignments.size() * sizeof(SliceAssignment));
+    }
+    cache_charge_ = MemCharge(accountant_, config_.node, MemCategory::kPlannerState, bytes);
+  }
+}
+
+}  // namespace msd

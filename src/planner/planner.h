@@ -1,0 +1,96 @@
+// Planner: the centralized coordination actor (Sec. 3).
+//
+// Per planning round it (1) gathers lightweight buffer metadata from every
+// Source Loader (with RPC timeouts doubling as failure detection), (2) runs
+// the user's declarative strategy over a fresh DGraph, and (3) publishes the
+// LoadingPlan — journaling it to the GCS so differential checkpointing can
+// replay it after a loader failure. Plans are cached per step; Replay Mode
+// (Sec. 9) serves precomputed plans without re-planning.
+#ifndef SRC_PLANNER_PLANNER_H_
+#define SRC_PLANNER_PLANNER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/actor/actor_system.h"
+#include "src/common/rng.h"
+#include "src/loader/source_loader.h"
+#include "src/mesh/client_place_tree.h"
+#include "src/plan/dgraph.h"
+
+namespace msd {
+
+// Inputs a strategy sees for one planning round.
+struct PlanContext {
+  const std::vector<BufferInfo>* buffer_infos = nullptr;
+  const ClientPlaceTree* tree = nullptr;
+  int64_t step = 0;
+  Rng* rng = nullptr;
+};
+
+// A declarative strategy: composes DGraph primitives into a LoadingPlan.
+using Strategy = std::function<Result<LoadingPlan>(PlanContext&)>;
+
+struct PlannerConfig {
+  std::string name = "planner";  // actor name (unique per ActorSystem)
+  int64_t plan_cache_capacity = 16;
+  int64_t loader_rpc_timeout_ms = 2000;
+  bool replay_mode = false;  // only serve precomputed plans
+  uint64_t seed = 2026;
+  MemoryAccountant::NodeId node = 0;
+};
+
+class Planner : public Actor {
+ public:
+  Planner(PlannerConfig config, ActorSystem* system, const ClientPlaceTree* tree,
+          Strategy strategy, MemoryAccountant* accountant = nullptr);
+  ~Planner() override;
+
+  // Loaders the planner coordinates. Raw pointers: the ActorSystem owns them.
+  void SetLoaders(std::vector<SourceLoader*> loaders);
+
+  // Returns the plan for `step`, generating (and journaling) it if necessary.
+  Result<LoadingPlan> GetPlan(int64_t step);
+
+  // Replay Mode: precompute plans for steps [first, first+count).
+  Status PrecomputePlans(int64_t first, int64_t count);
+
+  // Loader names that failed to answer the last metadata gather.
+  const std::vector<std::string>& last_failed_loaders() const { return last_failed_loaders_; }
+
+  // Wall-clock phase timings of the last generated plan (Fig. 15 breakdown).
+  struct PhaseTimings {
+    double gather_ms = 0.0;
+    double compute_ms = 0.0;
+    double journal_ms = 0.0;
+  };
+  PhaseTimings last_timings() const { return last_timings_; }
+
+  int64_t plans_generated() const { return plans_generated_; }
+
+  // GCS key under which the plan for `step` is journaled.
+  static std::string PlanJournalKey(int64_t step);
+
+ private:
+  Result<LoadingPlan> GeneratePlan(int64_t step);
+  void TrimCache();
+
+  PlannerConfig config_;
+  ActorSystem* system_;
+  const ClientPlaceTree* tree_;
+  Strategy strategy_;
+  MemoryAccountant* accountant_;
+  std::vector<SourceLoader*> loaders_;
+  Rng rng_;
+  std::map<int64_t, LoadingPlan> cache_;
+  MemCharge cache_charge_;
+  std::vector<std::string> last_failed_loaders_;
+  PhaseTimings last_timings_;
+  int64_t plans_generated_ = 0;
+};
+
+}  // namespace msd
+
+#endif  // SRC_PLANNER_PLANNER_H_

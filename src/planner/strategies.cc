@@ -1,0 +1,118 @@
+#include "src/planner/strategies.h"
+
+#include <unordered_set>
+
+namespace msd {
+
+CostFn BackboneCostFn(const ModelConfig& backbone) {
+  ModelConfig config = backbone;
+  return [config](const SampleMeta& meta) {
+    CostEntry entry;
+    entry.load = BackboneSampleFlops(config, meta);
+    // Activation memory ~ tokens * hidden * bytes/elem (rough, relative only).
+    entry.mem = static_cast<double>(meta.TotalTokens()) * config.hidden * 2.0;
+    return entry;
+  };
+}
+
+CostFn EncoderCostFn(const ModelConfig& encoder) {
+  ModelConfig config = encoder;
+  return [config](const SampleMeta& meta) {
+    CostEntry entry;
+    entry.load = EncoderFlops(config, meta.image_tokens);
+    entry.mem = static_cast<double>(meta.image_tokens) * config.hidden * 2.0;
+    return entry;
+  };
+}
+
+namespace {
+
+// Shared Extract + Mix prologue.
+Status PrepareDGraph(DGraph& dgraph, const StrategyOptions& options, PlanContext& ctx) {
+  dgraph.Init(ctx.tree);
+  if (options.schedule != nullptr) {
+    MSD_RETURN_IF_ERROR(
+        dgraph.Mix(*options.schedule, ctx.step, options.samples_per_step, *ctx.rng));
+  }
+  return Status::Ok();
+}
+
+void ApplyBroadcasts(DGraph& dgraph, const StrategyOptions& options) {
+  if (options.broadcast_tp) {
+    dgraph.BroadcastAt(Axis::kTP);
+  }
+  if (options.broadcast_cp) {
+    dgraph.BroadcastAt(Axis::kCP);
+  }
+}
+
+}  // namespace
+
+Strategy MakeVanillaStrategy(StrategyOptions options) {
+  return [options](PlanContext& ctx) -> Result<LoadingPlan> {
+    DGraph dgraph = DGraph::FromBufferInfos(*ctx.buffer_infos);
+    MSD_RETURN_IF_ERROR(PrepareDGraph(dgraph, options, ctx));
+    MSD_RETURN_IF_ERROR(dgraph.Distribute(Axis::kDP, options.group_size));
+    ApplyBroadcasts(dgraph, options);
+    return dgraph.Plan(ctx.step);  // no Balance: round-robin placement
+  };
+}
+
+Strategy MakeLlmBalanceStrategy(StrategyOptions options, CostFn backbone_cost) {
+  return [options, backbone_cost](PlanContext& ctx) -> Result<LoadingPlan> {
+    DGraph dgraph = DGraph::FromBufferInfos(*ctx.buffer_infos);
+    MSD_RETURN_IF_ERROR(PrepareDGraph(dgraph, options, ctx));
+    MSD_RETURN_IF_ERROR(dgraph.Distribute(Axis::kDP, options.group_size));
+    MSD_RETURN_IF_ERROR(dgraph.Cost(backbone_cost));
+    MSD_RETURN_IF_ERROR(
+        dgraph.Balance({.method = options.method, .granularity = options.granularity}));
+    ApplyBroadcasts(dgraph, options);
+    return dgraph.Plan(ctx.step);
+  };
+}
+
+Strategy MakeVlmHybridStrategy(StrategyOptions options, CostFn backbone_cost,
+                               CostFn encoder_cost) {
+  return [options, backbone_cost, encoder_cost](PlanContext& ctx) -> Result<LoadingPlan> {
+    // Backbone graph over complete (text + image) sequences.
+    DGraph dgraph = DGraph::FromBufferInfos(*ctx.buffer_infos);
+    MSD_RETURN_IF_ERROR(PrepareDGraph(dgraph, options, ctx));
+    MSD_RETURN_IF_ERROR(dgraph.Distribute(Axis::kDP, options.group_size));
+    MSD_RETURN_IF_ERROR(dgraph.Cost(backbone_cost));
+    MSD_RETURN_IF_ERROR(
+        dgraph.Balance({.method = options.method, .granularity = options.granularity}));
+    ApplyBroadcasts(dgraph, options);
+    Result<LoadingPlan> plan = dgraph.Plan(ctx.step);
+    if (!plan.ok()) {
+      return plan;
+    }
+
+    // Encoder graph from the same shared buffers, image metadata only, and
+    // restricted to exactly the samples the backbone mix selected ("data
+    // excluded based on the sampling results", Fig. 8). Distributed
+    // world-wide: the encoder runs pure data parallelism over all GPUs.
+    std::unordered_set<uint64_t> selected;
+    selected.reserve(plan->assignments.size());
+    for (const SliceAssignment& a : plan->assignments) {
+      selected.insert(a.sample_id);
+    }
+    DGraph encoder_graph =
+        DGraph::FromBufferInfos(*ctx.buffer_infos, [&selected](const SampleMeta& meta) {
+          return meta.image_tokens > 0 && selected.count(meta.sample_id) > 0;
+        });
+    encoder_graph.Init(ctx.tree);
+    MSD_RETURN_IF_ERROR(encoder_graph.Distribute(Axis::kWorld));
+    MSD_RETURN_IF_ERROR(encoder_graph.Cost(encoder_cost));
+    // Greedy binpacking: encoder ranks see few images each, so LPT placement
+    // (not order-interleaving) minimizes the slowest rank.
+    MSD_RETURN_IF_ERROR(encoder_graph.Balance({.method = BalanceMethod::kGreedy}));
+    Result<LoadingPlan> encoder_plan = encoder_graph.Plan(ctx.step);
+    if (!encoder_plan.ok()) {
+      return encoder_plan;
+    }
+    plan->subplans.emplace("encoder", std::move(encoder_plan.value()));
+    return plan;
+  };
+}
+
+}  // namespace msd

@@ -1,0 +1,45 @@
+// Canned declarative strategies mirroring the Fig. 9 use cases:
+//  - LlmBalance: unimodal long-short-sequence balancing across DP ranks.
+//  - VlmHybridBalance: LlmBalance for the backbone plus a WORLD-distributed
+//    encoder subplan balanced on image cost ("Hybrid" in Sec. 7.1).
+//  - Vanilla: no balancing (round-robin), the paper's non-scheduling baseline.
+#ifndef SRC_PLANNER_STRATEGIES_H_
+#define SRC_PLANNER_STRATEGIES_H_
+
+#include <memory>
+
+#include "src/costmodel/flops.h"
+#include "src/planner/planner.h"
+
+namespace msd {
+
+struct StrategyOptions {
+  // Samples drawn per global step by mix().
+  int64_t samples_per_step = 64;
+  std::shared_ptr<const MixSchedule> schedule;  // null => take whole buffer
+  BalanceMethod method = BalanceMethod::kGreedy;
+  BalanceOptions::Granularity granularity = BalanceOptions::Granularity::kSample;
+  int32_t group_size = 1;
+  bool broadcast_tp = true;
+  bool broadcast_cp = false;
+};
+
+// Cost functions built from the Sec. 4.2 analytic models.
+CostFn BackboneCostFn(const ModelConfig& backbone);
+CostFn EncoderCostFn(const ModelConfig& encoder);
+
+// No orchestration: mix (if configured) then round-robin placement.
+Strategy MakeVanillaStrategy(StrategyOptions options);
+
+// Fig. 9 left: distribute(DP) -> cost -> balance -> broadcast.
+Strategy MakeLlmBalanceStrategy(StrategyOptions options, CostFn backbone_cost);
+
+// Fig. 9 right: LlmBalance for the backbone plus an encoder DGraph built from
+// image metadata, distributed WORLD-wide and balanced with the encoder cost;
+// the encoder plan is attached as subplan["encoder"].
+Strategy MakeVlmHybridStrategy(StrategyOptions options, CostFn backbone_cost,
+                               CostFn encoder_cost);
+
+}  // namespace msd
+
+#endif  // SRC_PLANNER_STRATEGIES_H_

@@ -1,0 +1,34 @@
+#include "src/sim/event_queue.h"
+
+namespace msd {
+
+void EventQueue::ScheduleAt(SimTime at, Event fn) {
+  MSD_CHECK(at >= now_);
+  heap_.push(Entry{at, next_seq_++, std::move(fn)});
+}
+
+SimTime EventQueue::Run() {
+  while (!heap_.empty()) {
+    // Copy out before pop: the event may schedule more events.
+    Entry e = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    now_ = e.at;
+    e.fn();
+  }
+  return now_;
+}
+
+SimTime EventQueue::RunUntil(SimTime deadline) {
+  while (!heap_.empty() && heap_.top().at <= deadline) {
+    Entry e = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    now_ = e.at;
+    e.fn();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return now_;
+}
+
+}  // namespace msd

@@ -1,0 +1,48 @@
+#include "src/sim/network.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/status.h"
+
+namespace msd {
+
+SimTime NetworkModel::TransferTime(int64_t bytes) const {
+  MSD_CHECK(bytes >= 0);
+  double secs = static_cast<double>(bytes) / params_.bandwidth_bytes_per_sec;
+  return static_cast<SimTime>(secs * kSecond);
+}
+
+SimTime NetworkModel::ServiceTime(int64_t connections) const {
+  MSD_CHECK(connections >= 0);
+  double growth =
+      1.0 + params_.per_1k_connection_overhead * (static_cast<double>(connections) / 1000.0);
+  return static_cast<SimTime>(static_cast<double>(params_.base_service_time) * growth);
+}
+
+double NetworkModel::Utilization(double arrivals_per_sec, int64_t connections) const {
+  MSD_CHECK(arrivals_per_sec >= 0.0);
+  double service_sec = ToSeconds(ServiceTime(connections));
+  return arrivals_per_sec * service_sec;
+}
+
+SimTime NetworkModel::RequestLatency(double arrivals_per_sec, int64_t connections,
+                                     int64_t payload_bytes, SimTime saturated_latency) const {
+  // The endpoint is busy for (CPU service + payload transmission) per
+  // request; both contribute to utilization.
+  double service_sec = ToSeconds(ServiceTime(connections)) + ToSeconds(TransferTime(payload_bytes));
+  double rho = arrivals_per_sec * service_sec;
+  if (rho >= 1.0) {
+    return saturated_latency;
+  }
+  // M/M/1 sojourn time: W = s / (1 - rho).
+  double sojourn_sec = service_sec / (1.0 - rho);
+  return FromSeconds(sojourn_sec) + params_.base_latency;
+}
+
+SimTime NetworkModel::ConnectionSetupTime(int64_t connections) const {
+  MSD_CHECK(connections >= 0);
+  return params_.connection_setup_cost * connections;
+}
+
+}  // namespace msd

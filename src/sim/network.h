@@ -1,0 +1,63 @@
+// Analytic network/connection model.
+//
+// Reproduces the connection-scalability behaviour behind Fig. 20: an endpoint's
+// effective service time grows with the number of concurrent connections it
+// terminates (descriptor polling, per-connection buffers, head-of-line
+// blocking), and queueing delay follows an M/M/1 curve that diverges as
+// utilization approaches 1 ("collapse" in the paper's terms).
+#ifndef SRC_SIM_NETWORK_H_
+#define SRC_SIM_NETWORK_H_
+
+#include <cstdint>
+
+#include "src/common/units.h"
+
+namespace msd {
+
+struct NetworkParams {
+  // One-way propagation + protocol latency per message.
+  SimTime base_latency = 200;  // 200us RPC floor (InfiniBand + software stack)
+  // Payload bandwidth per endpoint, bytes per simulated second.
+  double bandwidth_bytes_per_sec = 12.0 * kGiB;  // ~100 Gbps effective
+  // Base CPU service time an endpoint spends per request (serialization etc.).
+  SimTime base_service_time = 50;
+  // Fractional service-time growth per 1000 live connections at the endpoint.
+  double per_1k_connection_overhead = 0.9;
+  // TCP/RPC channel establishment cost per new connection.
+  SimTime connection_setup_cost = 500;
+};
+
+class NetworkModel {
+ public:
+  explicit NetworkModel(NetworkParams params = NetworkParams()) : params_(params) {}
+
+  const NetworkParams& params() const { return params_; }
+
+  // Pure payload transfer time at full endpoint bandwidth.
+  SimTime TransferTime(int64_t bytes) const;
+
+  // Effective per-request service time at an endpoint holding `connections`
+  // live connections.
+  SimTime ServiceTime(int64_t connections) const;
+
+  // Endpoint utilization for a given arrival rate (requests per simulated
+  // second); >= 1 means the endpoint cannot keep up.
+  double Utilization(double arrivals_per_sec, int64_t connections) const;
+
+  // Mean request latency (M/M/1 queueing + transfer + base latency) for an
+  // endpoint with the given arrival rate, connection count, and payload size.
+  // When utilization >= 1 the model returns `saturated_latency` to signal
+  // collapse (callers report this as failure, matching Fig. 20's 4k-GPU point).
+  SimTime RequestLatency(double arrivals_per_sec, int64_t connections, int64_t payload_bytes,
+                         SimTime saturated_latency = 3600 * kSecond) const;
+
+  // Total one-time cost of establishing `connections` channels.
+  SimTime ConnectionSetupTime(int64_t connections) const;
+
+ private:
+  NetworkParams params_;
+};
+
+}  // namespace msd
+
+#endif  // SRC_SIM_NETWORK_H_

@@ -1,0 +1,198 @@
+#include "src/storage/columnar.h"
+
+#include "src/storage/wire.h"
+
+namespace msd {
+
+namespace {
+constexpr uint32_t kMagic = 0x4D534446;  // "MSDF"
+}  // namespace
+
+std::string Schema::Serialize() const {
+  WireWriter w;
+  w.PutU32(static_cast<uint32_t>(fields.size()));
+  for (const Field& f : fields) {
+    w.PutBytes(f.name);
+    w.PutU8(static_cast<uint8_t>(f.type));
+  }
+  return w.Take();
+}
+
+Result<Schema> Schema::Deserialize(const std::string& bytes) {
+  WireReader r(bytes);
+  uint32_t n = r.GetU32();
+  Schema schema;
+  schema.fields.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Field f;
+    f.name = r.GetBytes();
+    f.type = static_cast<FieldType>(r.GetU8());
+    schema.fields.push_back(std::move(f));
+  }
+  if (!r.Ok()) {
+    return Status::DataLoss("truncated schema");
+  }
+  return schema;
+}
+
+MsdfWriter::MsdfWriter(Schema schema, MsdfWriteOptions options)
+    : schema_(std::move(schema)), options_(options) {
+  WireWriter w;
+  w.PutU32(kMagic);
+  file_ = w.Take();
+}
+
+void MsdfWriter::AppendRow(const std::string& row_bytes) {
+  MSD_CHECK(!finished_);
+  WireWriter w;
+  w.PutBytes(row_bytes);
+  current_group_.append(w.buffer());
+  ++current_group_rows_;
+  ++total_rows_;
+  if (static_cast<int64_t>(current_group_.size()) >= options_.target_row_group_bytes) {
+    FlushGroup();
+  }
+}
+
+void MsdfWriter::FlushGroup() {
+  if (current_group_rows_ == 0) {
+    return;
+  }
+  RowGroupMeta meta;
+  meta.offset = static_cast<int64_t>(file_.size());
+  WireWriter header;
+  header.PutU64(static_cast<uint64_t>(current_group_rows_));
+  file_.append(header.buffer());
+  file_.append(current_group_);
+  meta.bytes = static_cast<int64_t>(file_.size()) - meta.offset;
+  meta.row_count = current_group_rows_;
+  groups_.push_back(meta);
+  current_group_.clear();
+  current_group_rows_ = 0;
+}
+
+std::string MsdfWriter::Finish() {
+  MSD_CHECK(!finished_);
+  finished_ = true;
+  FlushGroup();
+  int64_t footer_offset = static_cast<int64_t>(file_.size());
+  WireWriter footer;
+  footer.PutBytes(schema_.Serialize());
+  footer.PutU64(static_cast<uint64_t>(groups_.size()));
+  for (const RowGroupMeta& g : groups_) {
+    footer.PutI64(g.offset);
+    footer.PutI64(g.bytes);
+    footer.PutI64(g.row_count);
+  }
+  footer.PutI64(total_rows_);
+  file_.append(footer.buffer());
+  WireWriter tail;
+  tail.PutU64(static_cast<uint64_t>(footer_offset));
+  tail.PutU32(kMagic);
+  file_.append(tail.buffer());
+  return std::move(file_);
+}
+
+Result<MsdfFileInfo> ReadMsdfFooter(const std::string& file_bytes) {
+  constexpr size_t kTailBytes = sizeof(uint64_t) + sizeof(uint32_t);
+  if (file_bytes.size() < sizeof(uint32_t) + kTailBytes) {
+    return Status::DataLoss("file too small for MSDF");
+  }
+  {
+    WireReader head(file_bytes);
+    if (head.GetU32() != kMagic) {
+      return Status::DataLoss("bad MSDF head magic");
+    }
+  }
+  WireReader tail(file_bytes, file_bytes.size() - kTailBytes);
+  uint64_t footer_offset = tail.GetU64();
+  uint32_t magic = tail.GetU32();
+  if (!tail.Ok() || magic != kMagic) {
+    return Status::DataLoss("bad MSDF tail magic");
+  }
+  if (footer_offset >= file_bytes.size()) {
+    return Status::DataLoss("bad footer offset");
+  }
+  WireReader r(file_bytes, footer_offset);
+  std::string schema_bytes = r.GetBytes();
+  Result<Schema> schema = Schema::Deserialize(schema_bytes);
+  if (!schema.ok()) {
+    return schema.status();
+  }
+  MsdfFileInfo info;
+  info.schema = std::move(schema.value());
+  uint64_t n_groups = r.GetU64();
+  info.row_groups.reserve(n_groups);
+  for (uint64_t i = 0; i < n_groups; ++i) {
+    RowGroupMeta g;
+    g.offset = r.GetI64();
+    g.bytes = r.GetI64();
+    g.row_count = r.GetI64();
+    info.row_groups.push_back(g);
+  }
+  info.total_rows = r.GetI64();
+  if (!r.Ok()) {
+    return Status::DataLoss("truncated footer");
+  }
+  info.footer_bytes = static_cast<int64_t>(file_bytes.size() - footer_offset);
+  return info;
+}
+
+Result<MsdfReader> MsdfReader::Open(const ObjectStore& store, const std::string& name,
+                                    MemoryAccountant* accountant,
+                                    MemoryAccountant::NodeId node) {
+  Result<FileHandle> handle = store.Open(name, node);
+  if (!handle.ok()) {
+    return handle.status();
+  }
+  Result<MsdfFileInfo> info = ReadMsdfFooter(handle->Contents());
+  if (!info.ok()) {
+    return info.status();
+  }
+  MsdfReader reader;
+  reader.handle_ = std::move(handle.value());
+  reader.info_ = std::move(info.value());
+  reader.accountant_ = accountant;
+  reader.node_ = node;
+  reader.metadata_charge_ =
+      MemCharge(accountant, node, MemCategory::kFileMetadata, reader.info_.footer_bytes);
+  return reader;
+}
+
+Result<std::vector<std::string>> MsdfReader::ReadRowGroup(size_t index) {
+  if (index >= info_.row_groups.size()) {
+    return Status::OutOfRange("row group " + std::to_string(index) + " of " +
+                              std::to_string(info_.row_groups.size()));
+  }
+  const RowGroupMeta& meta = info_.row_groups[index];
+  Result<std::string> bytes = handle_.Read(meta.offset, meta.bytes);
+  if (!bytes.ok()) {
+    return bytes.status();
+  }
+  ReleaseBuffer();
+  buffer_charge_ = MemCharge(accountant_, node_, MemCategory::kRowGroupBuffer, meta.bytes);
+  active_buffer_bytes_ = meta.bytes;
+
+  WireReader r(bytes.value());
+  uint64_t rows = r.GetU64();
+  std::vector<std::string> out;
+  out.reserve(rows);
+  for (uint64_t i = 0; i < rows; ++i) {
+    out.push_back(r.GetBytes());
+  }
+  if (!r.Ok() || static_cast<int64_t>(rows) != meta.row_count) {
+    return Status::DataLoss("corrupt row group " + std::to_string(index));
+  }
+  return out;
+}
+
+void MsdfReader::ReleaseBuffer() {
+  buffer_charge_.Release();
+  active_buffer_bytes_ = 0;
+}
+
+int64_t MsdfReader::ResidentBytes() const {
+  return kSocketBufferBytes + info_.footer_bytes + active_buffer_bytes_;
+}
+
+}  // namespace msd

@@ -1,0 +1,156 @@
+#include "src/storage/memory_model.h"
+
+#include <algorithm>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+
+namespace msd {
+
+const char* MemCategoryName(MemCategory c) {
+  switch (c) {
+    case MemCategory::kFileSocket:
+      return "file_socket";
+    case MemCategory::kFileMetadata:
+      return "file_metadata";
+    case MemCategory::kRowGroupBuffer:
+      return "row_group_buffer";
+    case MemCategory::kWorkerContext:
+      return "worker_context";
+    case MemCategory::kPrefetchBuffer:
+      return "prefetch_buffer";
+    case MemCategory::kBatchBuffer:
+      return "batch_buffer";
+    case MemCategory::kPlannerState:
+      return "planner_state";
+    case MemCategory::kShadowLoader:
+      return "shadow_loader";
+    case MemCategory::kCheckpoint:
+      return "checkpoint";
+    case MemCategory::kCategoryCount:
+      break;
+  }
+  return "unknown";
+}
+
+void MemoryAccountant::Add(NodeId node, MemCategory category, int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& cats = per_node_[node];
+  if (cats.empty()) {
+    cats.assign(static_cast<size_t>(MemCategory::kCategoryCount), 0);
+  }
+  cats[static_cast<size_t>(category)] += bytes;
+  MSD_CHECK(cats[static_cast<size_t>(category)] >= 0);
+  total_ += bytes;
+  peak_total_ = std::max(peak_total_, total_);
+}
+
+int64_t MemoryAccountant::NodeTotal(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = per_node_.find(node);
+  if (it == per_node_.end()) {
+    return 0;
+  }
+  int64_t sum = 0;
+  for (int64_t b : it->second) {
+    sum += b;
+  }
+  return sum;
+}
+
+int64_t MemoryAccountant::CategoryTotal(MemCategory category) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int64_t sum = 0;
+  for (const auto& [node, cats] : per_node_) {
+    sum += cats[static_cast<size_t>(category)];
+  }
+  return sum;
+}
+
+int64_t MemoryAccountant::GrandTotal() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+double MemoryAccountant::MeanPerNode() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (per_node_.empty()) {
+    return 0.0;
+  }
+  return static_cast<double>(total_) / static_cast<double>(per_node_.size());
+}
+
+std::vector<int64_t> MemoryAccountant::CategoryBreakdown() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<int64_t> out(static_cast<size_t>(MemCategory::kCategoryCount), 0);
+  for (const auto& [node, cats] : per_node_) {
+    for (size_t i = 0; i < cats.size(); ++i) {
+      out[i] += cats[i];
+    }
+  }
+  return out;
+}
+
+std::string MemoryAccountant::Report() const {
+  std::vector<int64_t> breakdown = CategoryBreakdown();
+  std::string out = "memory breakdown:\n";
+  for (size_t i = 0; i < breakdown.size(); ++i) {
+    if (breakdown[i] == 0) {
+      continue;
+    }
+    out += "  ";
+    out += MemCategoryName(static_cast<MemCategory>(i));
+    out += ": " + FormatBytes(breakdown[i]) + "\n";
+  }
+  out += "  total: " + FormatBytes(GrandTotal()) + "\n";
+  return out;
+}
+
+void MemoryAccountant::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  per_node_.clear();
+  total_ = 0;
+  peak_total_ = 0;
+}
+
+MemCharge::MemCharge(MemoryAccountant* accountant, MemoryAccountant::NodeId node,
+                     MemCategory category, int64_t bytes)
+    : accountant_(accountant), node_(node), category_(category), bytes_(bytes) {
+  if (accountant_ != nullptr && bytes_ > 0) {
+    accountant_->Add(node_, category_, bytes_);
+  }
+}
+
+MemCharge::~MemCharge() { Release(); }
+
+MemCharge::MemCharge(MemCharge&& other) noexcept
+    : accountant_(other.accountant_),
+      node_(other.node_),
+      category_(other.category_),
+      bytes_(other.bytes_) {
+  other.accountant_ = nullptr;
+  other.bytes_ = 0;
+}
+
+MemCharge& MemCharge::operator=(MemCharge&& other) noexcept {
+  if (this != &other) {
+    Release();
+    accountant_ = other.accountant_;
+    node_ = other.node_;
+    category_ = other.category_;
+    bytes_ = other.bytes_;
+    other.accountant_ = nullptr;
+    other.bytes_ = 0;
+  }
+  return *this;
+}
+
+void MemCharge::Release() {
+  if (accountant_ != nullptr && bytes_ > 0) {
+    accountant_->Sub(node_, category_, bytes_);
+  }
+  accountant_ = nullptr;
+  bytes_ = 0;
+}
+
+}  // namespace msd

@@ -1,0 +1,83 @@
+#include "src/storage/object_store.h"
+
+#include <algorithm>
+
+namespace msd {
+
+Result<std::string> FileHandle::Read(int64_t offset, int64_t length) const {
+  if (blob_ == nullptr) {
+    return Status::FailedPrecondition("read on invalid handle");
+  }
+  if (offset < 0 || length < 0 || offset + length > static_cast<int64_t>(blob_->size())) {
+    return Status::OutOfRange("read [" + std::to_string(offset) + ", " +
+                              std::to_string(offset + length) + ") beyond file of " +
+                              std::to_string(blob_->size()) + " bytes");
+  }
+  return blob_->substr(static_cast<size_t>(offset), static_cast<size_t>(length));
+}
+
+const std::string& FileHandle::Contents() const {
+  MSD_CHECK(blob_ != nullptr);
+  return *blob_;
+}
+
+Status ObjectStore::Put(const std::string& name, std::string bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  blobs_[name] = std::make_shared<const std::string>(std::move(bytes));
+  return Status::Ok();
+}
+
+bool ObjectStore::Exists(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return blobs_.find(name) != blobs_.end();
+}
+
+Status ObjectStore::Delete(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (blobs_.erase(name) == 0) {
+    return Status::NotFound("no blob named " + name);
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> ObjectStore::List(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  for (const auto& [name, blob] : blobs_) {
+    if (name.rfind(prefix, 0) == 0) {
+      names.push_back(name);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+int64_t ObjectStore::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int64_t total = 0;
+  for (const auto& [name, blob] : blobs_) {
+    total += static_cast<int64_t>(blob->size());
+  }
+  return total;
+}
+
+Result<FileHandle> ObjectStore::Open(const std::string& name,
+                                     MemoryAccountant::NodeId node) const {
+  std::shared_ptr<const std::string> blob;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = blobs_.find(name);
+    if (it == blobs_.end()) {
+      return Status::NotFound("no blob named " + name);
+    }
+    blob = it->second;
+  }
+  FileHandle handle;
+  handle.name_ = name;
+  handle.blob_ = std::move(blob);
+  handle.socket_charge_ = MemCharge(accountant_, node, MemCategory::kFileSocket,
+                                    kSocketBufferBytes);
+  return handle;
+}
+
+}  // namespace msd

@@ -1,0 +1,70 @@
+// ObjectStore: the HDFS/S3 stand-in — a flat namespace of immutable blobs.
+//
+// Opening a file produces a FileHandle, which charges the memory accountant
+// for socket buffers (the "dedicated socket to the file" of Sec. 2.3). Reads
+// go through the handle so the per-source access-state cost is explicit.
+#ifndef SRC_STORAGE_OBJECT_STORE_H_
+#define SRC_STORAGE_OBJECT_STORE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/storage/memory_model.h"
+
+namespace msd {
+
+// Socket send/receive buffers held per open connection.
+inline constexpr int64_t kSocketBufferBytes = 256 * 1024;
+
+class ObjectStore;
+
+class FileHandle {
+ public:
+  FileHandle() = default;
+  ~FileHandle() = default;
+  FileHandle(FileHandle&&) = default;
+  FileHandle& operator=(FileHandle&&) = default;
+
+  bool valid() const { return blob_ != nullptr; }
+  const std::string& name() const { return name_; }
+  int64_t size() const { return blob_ != nullptr ? static_cast<int64_t>(blob_->size()) : 0; }
+
+  // Random-access read; returns the bytes in [offset, offset+length).
+  Result<std::string> Read(int64_t offset, int64_t length) const;
+  // Zero-copy view of the whole blob (used by the reader's footer parse).
+  const std::string& Contents() const;
+
+ private:
+  friend class ObjectStore;
+  std::string name_;
+  std::shared_ptr<const std::string> blob_;
+  MemCharge socket_charge_;
+};
+
+class ObjectStore {
+ public:
+  explicit ObjectStore(MemoryAccountant* accountant = nullptr) : accountant_(accountant) {}
+
+  Status Put(const std::string& name, std::string bytes);
+  bool Exists(const std::string& name) const;
+  Status Delete(const std::string& name);
+  std::vector<std::string> List(const std::string& prefix = "") const;
+  int64_t TotalBytes() const;
+
+  // Opens a connection to the named blob; the handle charges socket buffers on
+  // `node` until destroyed.
+  Result<FileHandle> Open(const std::string& name, MemoryAccountant::NodeId node) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const std::string>> blobs_;
+  MemoryAccountant* accountant_;
+};
+
+}  // namespace msd
+
+#endif  // SRC_STORAGE_OBJECT_STORE_H_

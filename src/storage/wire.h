@@ -1,0 +1,99 @@
+// Little-endian byte-level serialization helpers for the MSDF file format and
+// checkpoint blobs.
+#ifndef SRC_STORAGE_WIRE_H_
+#define SRC_STORAGE_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace msd {
+
+class WireWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutI64(int64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutF64(double v) { PutRaw(&v, sizeof(v)); }
+  void PutBytes(const std::string& s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    buf_.append(s);
+  }
+
+  const std::string& buffer() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  void PutRaw(const void* p, size_t n) {
+    buf_.append(reinterpret_cast<const char*>(p), n);
+  }
+  std::string buf_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(const std::string& data) : data_(data) {}
+  WireReader(const std::string& data, size_t offset) : data_(data), pos_(offset) {}
+
+  bool Ok() const { return ok_; }
+  size_t pos() const { return pos_; }
+
+  uint8_t GetU8() {
+    uint8_t v = 0;
+    GetRaw(&v, sizeof(v));
+    return v;
+  }
+  uint32_t GetU32() {
+    uint32_t v = 0;
+    GetRaw(&v, sizeof(v));
+    return v;
+  }
+  uint64_t GetU64() {
+    uint64_t v = 0;
+    GetRaw(&v, sizeof(v));
+    return v;
+  }
+  int64_t GetI64() {
+    int64_t v = 0;
+    GetRaw(&v, sizeof(v));
+    return v;
+  }
+  double GetF64() {
+    double v = 0;
+    GetRaw(&v, sizeof(v));
+    return v;
+  }
+  std::string GetBytes() {
+    uint32_t n = GetU32();
+    if (!ok_ || pos_ + n > data_.size()) {
+      ok_ = false;
+      return {};
+    }
+    std::string out = data_.substr(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+ private:
+  void GetRaw(void* p, size_t n) {
+    if (!ok_ || pos_ + n > data_.size()) {
+      ok_ = false;
+      std::memset(p, 0, n);
+      return;
+    }
+    std::memcpy(p, data_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  const std::string& data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace msd
+
+#endif  // SRC_STORAGE_WIRE_H_

@@ -1,0 +1,39 @@
+// Testbed topology constants (Sec. 7.1): nodes of 16 GPUs with 1.8 TB DRAM,
+// half of host CPU/memory handed to the sidecar resource pool.
+#ifndef SRC_TRAINSIM_CLUSTER_H_
+#define SRC_TRAINSIM_CLUSTER_H_
+
+#include <cstdint>
+
+#include "src/common/units.h"
+
+namespace msd {
+
+struct NodeSpec {
+  int32_t gpus_per_node = 16;
+  int64_t dram_bytes = static_cast<int64_t>(1.8 * kTiB);
+  int32_t cpu_cores = 128;
+  // Fraction of host CPU/DRAM allocated to the sidecar pool for data work.
+  double sidecar_fraction = 0.5;
+
+  int64_t SidecarMemoryBytes() const {
+    return static_cast<int64_t>(static_cast<double>(dram_bytes) * sidecar_fraction);
+  }
+  int32_t SidecarCores() const {
+    return static_cast<int32_t>(static_cast<double>(cpu_cores) * sidecar_fraction);
+  }
+};
+
+struct ClusterSpec {
+  NodeSpec node;
+  int32_t num_gpus = 288;
+
+  int32_t NumNodes() const {
+    return (num_gpus + node.gpus_per_node - 1) / node.gpus_per_node;
+  }
+  int32_t NodeOfRank(int32_t rank) const { return rank / node.gpus_per_node; }
+};
+
+}  // namespace msd
+
+#endif  // SRC_TRAINSIM_CLUSTER_H_

@@ -1,0 +1,50 @@
+// Training-loss simulator for the Fig. 18 convergence study.
+//
+// Loss follows a power law in consumed tokens plus gradient noise. The
+// balancer preserves the global batch (inter-microbatch moves only), so the
+// balanced trajectory tracks the baseline; enabling CP adds small numerical
+// perturbations from the modified sequence partitioning during distributed
+// GEMM/summation (Sec. 7.5).
+#ifndef SRC_TRAINSIM_LOSS_SIM_H_
+#define SRC_TRAINSIM_LOSS_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace msd {
+
+struct LossSimOptions {
+  double initial_loss = 12.0;
+  double floor_loss = 1.8;
+  double decay_exponent = 0.42;       // loss ~ tokens^-alpha toward the floor
+  int64_t tokens_per_step = 1 << 20;
+  double gradient_noise = 0.05;       // per-step stochastic term
+  double cp_partition_noise = 0.03;   // extra term when balancing under CP
+};
+
+struct LossTrace {
+  std::vector<double> loss;  // one entry per step
+  double FinalLoss() const { return loss.empty() ? 0.0 : loss.back(); }
+  // Max |a - b| over the common prefix of two traces.
+  static double MaxDeviation(const LossTrace& a, const LossTrace& b);
+};
+
+class LossSimulator {
+ public:
+  explicit LossSimulator(LossSimOptions options = {}) : options_(options) {}
+
+  // Same seed => same data order => same base trajectory. `balanced` with
+  // `cp_enabled` adds the partition-noise term; `balanced` alone only
+  // re-orders microbatches, which leaves the trajectory unchanged up to
+  // rounding (modelled as zero-mean noise scaled far below gradient noise).
+  LossTrace Run(int64_t steps, uint64_t seed, bool balanced, bool cp_enabled) const;
+
+ private:
+  LossSimOptions options_;
+};
+
+}  // namespace msd
+
+#endif  // SRC_TRAINSIM_LOSS_SIM_H_

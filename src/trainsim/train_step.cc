@@ -1,0 +1,135 @@
+#include "src/trainsim/train_step.h"
+
+#include <algorithm>
+
+#include "src/common/status.h"
+#include "src/plan/balance.h"
+
+namespace msd {
+
+TrainStepSimulator::TrainStepSimulator(TrainSimConfig config)
+    : config_(std::move(config)), network_(config_.net) {
+  MSD_CHECK(config_.spec.WorldSize() >= 1);
+}
+
+ModelConfig TrainStepSimulator::EffectiveBackbone() const {
+  ModelConfig backbone = config_.backbone;
+  if (config_.backbone_layers_override > 0) {
+    backbone.layers = config_.backbone_layers_override;
+  }
+  return backbone;
+}
+
+IterationBreakdown TrainStepSimulator::SimulateStep(const LoadingPlan& plan) const {
+  IterationBreakdown out;
+  const ParallelismSpec& spec = config_.spec;
+  ModelConfig backbone = EffectiveBackbone();
+
+  // ---- Backbone: per-(dp, microbatch) FLOPs from assignment token counts.
+  // Buckets may be finer than DP groups (axis=CP); fold them into DP groups.
+  int32_t buckets_per_dp = std::max(1, plan.num_buckets / std::max(1, spec.dp));
+  std::vector<std::vector<double>> flops(
+      static_cast<size_t>(spec.dp),
+      std::vector<double>(static_cast<size_t>(plan.num_microbatches), 0.0));
+  int64_t total_image_tokens = 0;
+  for (const SliceAssignment& a : plan.assignments) {
+    int32_t dp = std::min(a.bucket / buckets_per_dp, spec.dp - 1);
+    flops[static_cast<size_t>(dp)][static_cast<size_t>(a.microbatch)] +=
+        ForwardFlops(backbone, {a.total_tokens});
+    out.total_tokens += a.total_tokens;
+    total_image_tokens += a.image_tokens;
+  }
+  // Per-stage microbatch time; pipeline makespan per DP rank.
+  double shards = static_cast<double>(spec.tp) * spec.cp * spec.pp;
+  std::vector<double> dp_times;
+  dp_times.reserve(static_cast<size_t>(spec.dp));
+  for (int32_t dp = 0; dp < spec.dp; ++dp) {
+    double sum = 0.0;
+    double max_mb = 0.0;
+    for (double f : flops[static_cast<size_t>(dp)]) {
+      double t = f * kTrainFlopsMultiplier / (config_.device.flops_per_sec * shards);
+      sum += t;
+      max_mb = std::max(max_mb, t);
+    }
+    dp_times.push_back(sum + static_cast<double>(spec.pp - 1) * max_mb);
+  }
+  out.backbone_time = FromSeconds(*std::max_element(dp_times.begin(), dp_times.end()));
+  out.max_min_dp_ratio = MaxMinRatio(dp_times);
+
+  // ---- Encoder phase (world-wide data parallel) + all-to-all.
+  // Each microbatch's encoder pass must finish (on its slowest rank) before
+  // that microbatch enters the backbone, so stragglers accumulate per
+  // microbatch: T_enc = sum_mb max_rank t[rank][mb].
+  if (config_.has_encoder) {
+    int32_t world = spec.WorldSize();
+    int32_t mbs = std::max(1, plan.num_microbatches);
+    std::vector<std::vector<double>> enc_flops(
+        static_cast<size_t>(world), std::vector<double>(static_cast<size_t>(mbs), 0.0));
+    auto subplan = plan.subplans.find("encoder");
+    if (subplan != plan.subplans.end()) {
+      // Balanced: the encoder subplan assigns images to world-rank buckets.
+      for (const SliceAssignment& a : subplan->second.assignments) {
+        int32_t rank = std::min(a.bucket, world - 1);
+        int32_t mb = std::min(a.microbatch, mbs - 1);
+        enc_flops[static_cast<size_t>(rank)][static_cast<size_t>(mb)] +=
+            EncoderFlops(config_.encoder, a.image_tokens);
+      }
+    } else {
+      // Unbalanced default: images land on the encoder ranks colocated with
+      // their bucket, round-robin within the bucket's rank group.
+      int32_t ranks_per_bucket = std::max(1, world / std::max(1, plan.num_buckets));
+      std::vector<int32_t> cursor(static_cast<size_t>(plan.num_buckets), 0);
+      for (const SliceAssignment& a : plan.assignments) {
+        if (a.image_tokens == 0) {
+          continue;
+        }
+        int32_t base = a.bucket * ranks_per_bucket;
+        int32_t offset = cursor[static_cast<size_t>(a.bucket)]++ % ranks_per_bucket;
+        int32_t rank = std::min(base + offset, world - 1);
+        int32_t mb = std::min(std::max(a.microbatch, 0), mbs - 1);
+        enc_flops[static_cast<size_t>(rank)][static_cast<size_t>(mb)] +=
+            EncoderFlops(config_.encoder, a.image_tokens);
+      }
+    }
+    double serial_flops = 0.0;  // sum over mbs of the slowest rank's share
+    std::vector<double> rank_totals(static_cast<size_t>(world), 0.0);
+    for (int32_t mb = 0; mb < mbs; ++mb) {
+      double worst = 0.0;
+      for (int32_t r = 0; r < world; ++r) {
+        worst = std::max(worst, enc_flops[static_cast<size_t>(r)][static_cast<size_t>(mb)]);
+        rank_totals[static_cast<size_t>(r)] +=
+            enc_flops[static_cast<size_t>(r)][static_cast<size_t>(mb)];
+      }
+      serial_flops += worst;
+    }
+    out.encoder_time =
+        FromSeconds(serial_flops * kTrainFlopsMultiplier / config_.device.flops_per_sec);
+    out.encoder_imbalance = Imbalance(rank_totals);
+
+    // All-to-all: every rank exchanges its share of encoded features.
+    int64_t feature_bytes =
+        total_image_tokens * static_cast<int64_t>(config_.encoder.hidden) * 2;
+    int64_t per_rank_bytes = feature_bytes / std::max(1, world);
+    out.a2a_time = network_.TransferTime(per_rank_bytes) + 2 * config_.net.base_latency;
+  }
+
+  out.total = out.encoder_time + out.a2a_time + out.backbone_time;
+  return out;
+}
+
+int64_t TrainStepSimulator::PeakMicrobatchTokens(const LoadingPlan& plan) const {
+  std::vector<int64_t> tokens(
+      static_cast<size_t>(plan.num_buckets) * static_cast<size_t>(plan.num_microbatches), 0);
+  for (const SliceAssignment& a : plan.assignments) {
+    size_t idx = static_cast<size_t>(a.bucket) * static_cast<size_t>(plan.num_microbatches) +
+                 static_cast<size_t>(a.microbatch);
+    tokens[idx] += a.total_tokens;
+  }
+  int64_t peak = 0;
+  for (int64_t t : tokens) {
+    peak = std::max(peak, t);
+  }
+  return peak;
+}
+
+}  // namespace msd

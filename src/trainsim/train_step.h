@@ -1,0 +1,71 @@
+// TrainStepSimulator: analytic iteration-time model for hybrid-parallel
+// (VLM) training steps driven by a LoadingPlan.
+//
+// Per-DP-rank backbone time uses the heterogeneous-microbatch pipeline
+// makespan  T_dp = sum_j t_j + (pp - 1) * max_j t_j  where t_j is microbatch
+// j's per-stage compute time (FLOPs / (device * tp * cp * pp)). Imbalanced
+// microbatches therefore hurt twice: through the sum AND through the bubble
+// term — which is exactly why load-time balancing pays off (Sec. 7.3).
+// The encoder (if present) runs world-wide data parallel before an
+// all-to-all hands features to the backbone (Fig. 14's timeline).
+#ifndef SRC_TRAINSIM_TRAIN_STEP_H_
+#define SRC_TRAINSIM_TRAIN_STEP_H_
+
+#include <vector>
+
+#include "src/costmodel/flops.h"
+#include "src/mesh/client_place_tree.h"
+#include "src/plan/dgraph.h"
+#include "src/sim/network.h"
+
+namespace msd {
+
+struct TrainSimConfig {
+  ModelConfig backbone;
+  ParallelismSpec spec;
+  DeviceSpec device;
+  NetworkParams net;
+  bool has_encoder = false;
+  ModelConfig encoder;
+  // Fig. 12 fits the model into HBM by truncating backbone layers.
+  int32_t backbone_layers_override = 0;
+};
+
+struct IterationBreakdown {
+  SimTime encoder_time = 0;     // slowest encoder rank
+  SimTime a2a_time = 0;         // feature exchange encoder -> backbone
+  SimTime backbone_time = 0;    // slowest DP rank's pipeline makespan
+  SimTime total = 0;
+  double max_min_dp_ratio = 1.0;      // backbone DP imbalance
+  double encoder_imbalance = 1.0;     // encoder ranks, max/mean
+  int64_t total_tokens = 0;           // backbone tokens this step
+
+  double TokensPerSecond() const {
+    return total > 0 ? static_cast<double>(total_tokens) / ToSeconds(total) : 0.0;
+  }
+};
+
+class TrainStepSimulator {
+ public:
+  explicit TrainStepSimulator(TrainSimConfig config);
+
+  // Simulates one step. `plan` carries backbone cost assignments; if it has
+  // an "encoder" subplan and the config has an encoder, the encoder phase and
+  // all-to-all are included.
+  IterationBreakdown SimulateStep(const LoadingPlan& plan) const;
+
+  // Peak activation tokens on the worst rank (OOM analysis, Sec. 7.3).
+  int64_t PeakMicrobatchTokens(const LoadingPlan& plan) const;
+
+  const TrainSimConfig& config() const { return config_; }
+
+ private:
+  ModelConfig EffectiveBackbone() const;
+
+  TrainSimConfig config_;
+  NetworkModel network_;
+};
+
+}  // namespace msd
+
+#endif  // SRC_TRAINSIM_TRAIN_STEP_H_

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "src/actor/actor_system.h"
+
+namespace msd {
+namespace {
+
+class Counter : public Actor {
+ public:
+  explicit Counter(std::string name) : Actor(std::move(name)) {}
+  void Increment() { ++count_; }
+  int count() const { return count_; }
+
+ private:
+  int count_ = 0;  // touched only on the actor's thread
+};
+
+TEST(ActorSystemTest, SpawnRegistersWithGcs) {
+  ActorSystem system;
+  auto counter = system.Spawn<Counter>("c1");
+  EXPECT_TRUE(counter->alive());
+  EXPECT_TRUE(system.gcs().IsAlive("c1"));
+  EXPECT_EQ(system.live_actor_count(), 1u);
+}
+
+TEST(ActorSystemTest, PostAndAskRunOnActorThread) {
+  ActorSystem system;
+  auto counter = system.Spawn<Counter>("c");
+  for (int i = 0; i < 100; ++i) {
+    system.Post(*counter, [c = counter.get()] { c->Increment(); });
+  }
+  int count = system.Ask<int>(*counter, [c = counter.get()] { return c->count(); });
+  EXPECT_EQ(count, 100);  // Ask serializes behind the posts
+}
+
+TEST(ActorSystemTest, AskReturnsValue) {
+  ActorSystem system;
+  auto counter = system.Spawn<Counter>("c");
+  EXPECT_EQ(system.Ask<std::string>(*counter, [] { return std::string("pong"); }), "pong");
+}
+
+TEST(ActorSystemTest, AskWithTimeoutAnswersInTime) {
+  ActorSystem system;
+  auto counter = system.Spawn<Counter>("c");
+  Result<int> r = system.AskWithTimeout<int>(*counter, [] { return 5; }, 1000);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 5);
+}
+
+TEST(ActorSystemTest, AskWithTimeoutDetectsSlowActor) {
+  ActorSystem system;
+  auto counter = system.Spawn<Counter>("c");
+  // Block the actor's thread so the subsequent ask cannot be served.
+  std::atomic<bool> release{false};
+  system.Post(*counter, [&release] {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  Result<int> r = system.AskWithTimeout<int>(*counter, [] { return 1; }, 50);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  release.store(true);
+}
+
+TEST(ActorSystemTest, KillMarksDeadAndDropsMessages) {
+  ActorSystem system;
+  auto counter = system.Spawn<Counter>("victim");
+  system.Kill(*counter);
+  EXPECT_FALSE(counter->alive());
+  EXPECT_FALSE(system.gcs().IsAlive("victim"));
+  EXPECT_FALSE(system.Post(*counter, [] {}));
+  Result<int> r = system.AskWithTimeout<int>(*counter, [] { return 1; }, 100);
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(ActorSystemTest, StopDrainsMailboxFirst) {
+  ActorSystem system;
+  auto counter = system.Spawn<Counter>("c");
+  for (int i = 0; i < 50; ++i) {
+    system.Post(*counter, [c = counter.get()] { c->Increment(); });
+  }
+  system.Stop(*counter);
+  EXPECT_EQ(counter->count(), 50);
+}
+
+TEST(ActorSystemTest, FindByName) {
+  ActorSystem system;
+  auto counter = system.Spawn<Counter>("findme");
+  EXPECT_EQ(system.Find("findme").get(), counter.get());
+  EXPECT_EQ(system.Find("nope"), nullptr);
+}
+
+TEST(ActorSystemTest, ShutdownStopsEverything) {
+  ActorSystem system;
+  system.Spawn<Counter>("a");
+  system.Spawn<Counter>("b");
+  system.Shutdown();
+  EXPECT_EQ(system.live_actor_count(), 0u);
+}
+
+TEST(GcsTest, RestartTracking) {
+  Gcs gcs;
+  gcs.RegisterActor("x", 1);
+  EXPECT_TRUE(gcs.IsAlive("x"));
+  gcs.MarkDead("x");
+  EXPECT_FALSE(gcs.IsAlive("x"));
+  gcs.MarkRestarted("x");
+  EXPECT_TRUE(gcs.IsAlive("x"));
+  EXPECT_EQ(gcs.GetRecord("x")->restarts, 1);
+}
+
+TEST(GcsTest, HeartbeatsIdentifyStaleActors) {
+  Gcs gcs;
+  gcs.RegisterActor("fresh", 1);
+  gcs.RegisterActor("stale", 2);
+  gcs.Heartbeat("fresh", 1000);
+  gcs.Heartbeat("stale", 100);
+  auto stale = gcs.StaleActors(/*now_ms=*/1100, /*timeout_ms=*/500);
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0], "stale");
+}
+
+TEST(GcsTest, StateBlobsRoundTrip) {
+  Gcs gcs;
+  gcs.PutState("k", "v1");
+  EXPECT_EQ(gcs.GetState("k").value(), "v1");
+  gcs.PutState("k", "v2");
+  EXPECT_EQ(gcs.GetState("k").value(), "v2");
+  EXPECT_EQ(gcs.state_count(), 1u);
+  gcs.DeleteState("k");
+  EXPECT_FALSE(gcs.GetState("k").has_value());
+}
+
+TEST(GcsTest, UnknownActorIsNotAlive) {
+  Gcs gcs;
+  EXPECT_FALSE(gcs.IsAlive("ghost"));
+  EXPECT_FALSE(gcs.GetRecord("ghost").has_value());
+}
+
+}  // namespace
+}  // namespace msd

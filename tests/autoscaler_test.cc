@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "src/planner/autoscaler.h"
+
+namespace msd {
+namespace {
+
+std::vector<SourceCostProfile> MakeProfiles(std::vector<double> costs) {
+  std::vector<SourceCostProfile> profiles;
+  for (size_t i = 0; i < costs.size(); ++i) {
+    profiles.push_back({static_cast<int32_t>(i), costs[i], 0});
+  }
+  return profiles;
+}
+
+TEST(AutoPartitionTest, OnePartitionPerSource) {
+  auto partitions =
+      AutoPartitionSources(MakeProfiles({100, 10, 1, 50}), ClusterResources{}, {});
+  EXPECT_EQ(partitions.size(), 4u);
+  std::set<int32_t> ids;
+  for (const LoaderPartition& p : partitions) {
+    ids.insert(p.source_id);
+    EXPECT_GE(p.num_actors, 1);
+    EXPECT_GE(p.workers_per_actor, 1);
+  }
+  EXPECT_EQ(ids.size(), 4u);
+}
+
+TEST(AutoPartitionTest, ExpensiveSourcesGetMoreWorkers) {
+  ClusterResources resources;
+  resources.total_workers = 256;
+  auto partitions =
+      AutoPartitionSources(MakeProfiles({1000, 900, 10, 8}), resources, {.num_clusters = 2});
+  int32_t expensive = 0;
+  int32_t cheap = 0;
+  for (const LoaderPartition& p : partitions) {
+    if (p.source_id <= 1) {
+      expensive += p.TotalWorkers();
+    } else {
+      cheap += p.TotalWorkers();
+    }
+  }
+  EXPECT_GT(expensive, cheap);
+}
+
+TEST(AutoPartitionTest, WactorBoundSplitsIntoActors) {
+  ClusterResources resources;
+  resources.total_workers = 1000;
+  PartitionBounds bounds;
+  bounds.wactor = 4;
+  bounds.wsrc = 32;
+  auto partitions =
+      AutoPartitionSources(MakeProfiles({1000, 1}), resources, bounds);
+  const LoaderPartition& heavy = partitions[0];  // sorted by cost desc
+  EXPECT_EQ(heavy.source_id, 0);
+  EXPECT_LE(heavy.workers_per_actor, 4);
+  EXPECT_GT(heavy.num_actors, 1);
+  EXPECT_LE(heavy.TotalWorkers(), 32 + 4);  // wsrc cap (actor rounding slack)
+}
+
+TEST(AutoPartitionTest, WorkerBudgetShrinksAllocations) {
+  ClusterResources tight;
+  tight.total_workers = 8;
+  tight.constructor_workers = 2;
+  tight.planner_workers = 1;
+  auto partitions = AutoPartitionSources(MakeProfiles({100, 80, 60, 40}), tight, {});
+  EXPECT_LE(TotalWorkers(partitions), 16);  // shrunk near the available budget
+}
+
+TEST(AutoPartitionTest, MemoryConstraintAddsActors) {
+  ClusterResources resources;
+  resources.node_memory_budget = 1000;
+  std::vector<SourceCostProfile> profiles = MakeProfiles({10});
+  profiles[0].memory_bytes = 10000;  // 10x the per-node budget
+  auto partitions = AutoPartitionSources(profiles, resources, {});
+  EXPECT_GE(partitions[0].num_actors, 10);
+}
+
+TEST(AutoPartitionTest, ClustersAssignedByCostRank) {
+  auto partitions = AutoPartitionSources(MakeProfiles({100, 90, 2, 1}), ClusterResources{},
+                                         {.num_clusters = 2});
+  EXPECT_EQ(partitions[0].cluster, 0);
+  EXPECT_EQ(partitions[1].cluster, 0);
+  EXPECT_EQ(partitions[2].cluster, 1);
+  EXPECT_EQ(partitions[3].cluster, 1);
+}
+
+TEST(MixtureScalerTest, ScaleUpAfterConsecutiveIntervals) {
+  ScalerOptions options;
+  options.consecutive = 3;
+  options.actor_budget = 10;
+  options.max_actors = 8;
+  MixtureDrivenScaler scaler({1, 1}, options);
+  // Source 0 jumps to 90% demand: desired ~9 actors (clamped to 8).
+  std::vector<ScalingDecision> d1 = scaler.Observe({0.9, 0.1});
+  std::vector<ScalingDecision> d2 = scaler.Observe({0.9, 0.1});
+  EXPECT_TRUE(d1.empty());
+  EXPECT_TRUE(d2.empty());
+  std::vector<ScalingDecision> d3 = scaler.Observe({0.9, 0.1});
+  ASSERT_FALSE(d3.empty());
+  EXPECT_EQ(d3[0].source_id, 0);
+  EXPECT_GT(d3[0].delta_actors, 0);
+  EXPECT_GT(scaler.actor_counts()[0], 1);
+}
+
+TEST(MixtureScalerTest, ReclaimOnDecliningDemand) {
+  ScalerOptions options;
+  options.consecutive = 2;
+  options.actor_budget = 10;
+  MixtureDrivenScaler scaler({8, 1}, options);
+  scaler.Observe({0.1, 0.9});
+  auto decisions = scaler.Observe({0.1, 0.9});
+  bool reclaimed = false;
+  for (const ScalingDecision& d : decisions) {
+    if (d.source_id == 0 && d.delta_actors < 0) {
+      reclaimed = true;
+    }
+  }
+  EXPECT_TRUE(reclaimed);
+  EXPECT_LT(scaler.actor_counts()[0], 8);
+}
+
+TEST(MixtureScalerTest, StableDemandNoChurn) {
+  ScalerOptions options;
+  options.consecutive = 2;
+  options.actor_budget = 4;
+  MixtureDrivenScaler scaler({2, 2}, options);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(scaler.Observe({0.5, 0.5}).empty());
+  }
+  EXPECT_EQ(scaler.total_rescales(), 0);
+}
+
+TEST(MixtureScalerTest, EmaSmoothsSpikes) {
+  ScalerOptions options;
+  options.ema_alpha = 0.2;
+  options.consecutive = 3;
+  options.actor_budget = 10;
+  MixtureDrivenScaler scaler({5, 5}, options);
+  scaler.Observe({0.5, 0.5});
+  // One-interval spike does not move the EMA much...
+  scaler.Observe({1.0, 0.0});
+  EXPECT_LT(scaler.ema_weights()[0], 0.65);
+  // ...and certainly does not trigger scaling.
+  EXPECT_EQ(scaler.total_rescales(), 0);
+}
+
+TEST(MixtureScalerTest, BoundsRespected) {
+  ScalerOptions options;
+  options.consecutive = 1;
+  options.actor_budget = 100;
+  options.min_actors = 2;
+  options.max_actors = 6;
+  MixtureDrivenScaler scaler({4, 4}, options);
+  scaler.Observe({1.0, 0.0001});
+  EXPECT_LE(scaler.actor_counts()[0], 6);
+  scaler.Observe({1.0, 0.0001});
+  EXPECT_GE(scaler.actor_counts()[1], 2);
+}
+
+TEST(MixtureScalerTest, WeightsNormalizedInternally) {
+  ScalerOptions options;
+  options.consecutive = 1;
+  options.actor_budget = 10;
+  MixtureDrivenScaler scaler({5, 5}, options);
+  // Unnormalized weights behave like their normalized form.
+  scaler.Observe({900.0, 100.0});
+  EXPECT_NEAR(scaler.ema_weights()[0], 0.9, 1e-9);
+}
+
+}  // namespace
+}  // namespace msd

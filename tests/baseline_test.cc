@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "src/baseline/loader_models.h"
+
+namespace msd {
+namespace {
+
+LoaderWorkloadConfig Config288() {
+  LoaderWorkloadConfig config;
+  config.num_sources = 306;
+  config.spec = {.dp = 9, .pp = 8, .cp = 1, .tp = 4};  // 288 GPUs
+  config.cluster.num_gpus = config.spec.WorldSize();
+  return config;
+}
+
+LoaderWorkloadConfig Config576() {
+  LoaderWorkloadConfig config;
+  config.num_sources = 306;
+  config.spec = {.dp = 9, .pp = 4, .cp = 4, .tp = 4};  // 576 GPUs
+  config.cluster.num_gpus = config.spec.WorldSize();
+  return config;
+}
+
+TEST(LoaderModelsTest, AllArchsProduceSaneNumbers) {
+  for (LoaderArch arch : AllLoaderArchs()) {
+    LoaderSimResult r = SimulateLoaderArch(arch, Config288(), /*train_iteration_s=*/20.0);
+    EXPECT_GT(r.memory_per_node, 0) << LoaderArchName(arch);
+    EXPECT_GT(r.fetch_latency_s, 0.0) << LoaderArchName(arch);
+    EXPECT_GT(r.cpu_cores_per_node, 0.0) << LoaderArchName(arch);
+  }
+}
+
+TEST(LoaderModelsTest, MegaScaleUsesLeastMemory) {
+  LoaderSimResult msd =
+      SimulateLoaderArch(LoaderArch::kMegaScaleData, Config288(), 20.0);
+  for (LoaderArch arch : AllLoaderArchs()) {
+    if (arch == LoaderArch::kMegaScaleData) {
+      continue;
+    }
+    LoaderSimResult other = SimulateLoaderArch(arch, Config288(), 20.0);
+    EXPECT_GT(other.memory_per_node, 2 * msd.memory_per_node) << LoaderArchName(arch);
+  }
+}
+
+TEST(LoaderModelsTest, MemoryAdvantageGrowsWithCpPp) {
+  // Fig. 12: the reduction factor grows from the 288-GPU (PP8) to the
+  // 576-GPU (PP4 CP4) configuration because baselines replicate loaders
+  // per CP/PP rank while MegaScale-Data shares them.
+  auto ratio = [](const LoaderWorkloadConfig& config) {
+    double torch = static_cast<double>(
+        SimulateLoaderArch(LoaderArch::kTorch, config, 20.0).memory_per_node);
+    double msd = static_cast<double>(
+        SimulateLoaderArch(LoaderArch::kMegaScaleData, config, 20.0).memory_per_node);
+    return torch / msd;
+  };
+  double r288 = ratio(Config288());
+  double r576 = ratio(Config576());
+  EXPECT_GT(r288, 2.0);
+  EXPECT_GT(r576, r288);
+  EXPECT_GT(r576, 8.0);
+}
+
+TEST(LoaderModelsTest, MemoryScalesWithSources) {
+  LoaderWorkloadConfig few = Config288();
+  few.num_sources = 10;
+  LoaderWorkloadConfig many = Config288();
+  many.num_sources = 500;
+  for (LoaderArch arch : AllLoaderArchs()) {
+    int64_t m_few = SimulateLoaderArch(arch, few, 20.0).memory_per_node;
+    int64_t m_many = SimulateLoaderArch(arch, many, 20.0).memory_per_node;
+    EXPECT_GT(m_many, m_few) << LoaderArchName(arch);
+  }
+}
+
+TEST(LoaderModelsTest, SourceScalingHurtsBaselinesMore) {
+  // Adding sources multiplies baseline memory once per loader instance, but
+  // MegaScale-Data only once globally.
+  auto growth = [](LoaderArch arch) {
+    LoaderWorkloadConfig few = Config288();
+    few.num_sources = 50;
+    LoaderWorkloadConfig many = Config288();
+    many.num_sources = 500;
+    return static_cast<double>(SimulateLoaderArch(arch, many, 20.0).memory_per_node) -
+           static_cast<double>(SimulateLoaderArch(arch, few, 20.0).memory_per_node);
+  };
+  EXPECT_GT(growth(LoaderArch::kTorch), 10.0 * growth(LoaderArch::kMegaScaleData));
+}
+
+TEST(LoaderModelsTest, PecanUsesFewerCoresThanTfData) {
+  LoaderSimResult pecan = SimulateLoaderArch(LoaderArch::kPecan, Config288(), 20.0);
+  LoaderSimResult tfdata = SimulateLoaderArch(LoaderArch::kTfData, Config288(), 20.0);
+  EXPECT_LT(pecan.cpu_cores_per_node, tfdata.cpu_cores_per_node);
+  EXPECT_LT(pecan.fetch_latency_s, tfdata.fetch_latency_s);
+}
+
+TEST(LoaderModelsTest, InputBoundFlagAgainstShortIterations) {
+  LoaderSimResult r = SimulateLoaderArch(LoaderArch::kTorch, Config288(), 0.001);
+  EXPECT_TRUE(r.input_bound);
+  LoaderSimResult r2 = SimulateLoaderArch(LoaderArch::kTorch, Config288(), 1000.0);
+  EXPECT_FALSE(r2.input_bound);
+}
+
+TEST(LoaderModelsTest, ArchNamesUnique) {
+  std::set<std::string> names;
+  for (LoaderArch arch : AllLoaderArchs()) {
+    EXPECT_TRUE(names.insert(LoaderArchName(arch)).second);
+  }
+  EXPECT_EQ(names.size(), 6u);
+}
+
+TEST(ClusterSpecTest, NodeMath) {
+  ClusterSpec cluster;
+  cluster.num_gpus = 288;
+  EXPECT_EQ(cluster.NumNodes(), 18);
+  EXPECT_EQ(cluster.NodeOfRank(0), 0);
+  EXPECT_EQ(cluster.NodeOfRank(17), 1);
+  EXPECT_GT(cluster.node.SidecarMemoryBytes(), 0);
+  EXPECT_GT(cluster.node.SidecarCores(), 0);
+}
+
+}  // namespace
+}  // namespace msd

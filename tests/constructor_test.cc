@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/constructor/data_constructor.h"
+
+namespace msd {
+namespace {
+
+// Builds a plan plus matching slices over synthetic samples.
+struct Fixture {
+  explicit Fixture(ParallelismSpec spec, int32_t num_microbatches = 2,
+                   int32_t samples_per_bucket = 6) {
+    tree = ClientPlaceTree::FromDeviceMesh(spec, num_microbatches);
+    plan.axis = Axis::kDP;
+    plan.num_buckets = tree.NumBuckets(Axis::kDP);
+    plan.num_microbatches = num_microbatches;
+    plan.step = 0;
+    uint64_t id = 1;
+    SampleSlice slice;
+    slice.loader_id = 0;
+    for (int32_t b = 0; b < plan.num_buckets; ++b) {
+      for (int32_t i = 0; i < samples_per_bucket; ++i) {
+        SliceAssignment a;
+        a.sample_id = id;
+        a.source_id = 0;
+        a.loader_id = 0;
+        a.bucket = b;
+        a.microbatch = i % num_microbatches;
+        a.total_tokens = 64 + 32 * i;
+        a.cost = a.total_tokens;
+        plan.assignments.push_back(a);
+
+        Sample sample;
+        sample.meta.sample_id = id;
+        sample.meta.text_tokens = a.total_tokens;
+        sample.tokens.assign(static_cast<size_t>(a.total_tokens), static_cast<int32_t>(id));
+        slice.samples.push_back(std::move(sample));
+        ++id;
+      }
+    }
+    slices.push_back(std::move(slice));
+  }
+
+  ClientPlaceTree tree;
+  LoadingPlan plan;
+  std::vector<SampleSlice> slices;
+  MemoryAccountant memory;
+};
+
+TEST(CpSliceRangesTest, SingleRankTakesAll) {
+  auto ranges = CpSliceRanges(100, 1, 0, CpSplitMode::kZigZag);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0], (std::pair<int32_t, int32_t>{0, 100}));
+}
+
+TEST(CpSliceRangesTest, ContiguousPartitions) {
+  std::set<int32_t> covered;
+  for (int32_t r = 0; r < 4; ++r) {
+    for (auto [b, e] : CpSliceRanges(100, 4, r, CpSplitMode::kContiguous)) {
+      for (int32_t i = b; i < e; ++i) {
+        EXPECT_TRUE(covered.insert(i).second);
+      }
+    }
+  }
+  EXPECT_EQ(covered.size(), 100u);
+}
+
+TEST(CpSliceRangesTest, ZigZagCoversDisjointly) {
+  // Padded length divisible by 2*cp: exact coverage, two chunks per rank.
+  std::set<int32_t> covered;
+  for (int32_t r = 0; r < 4; ++r) {
+    auto ranges = CpSliceRanges(160, 4, r, CpSplitMode::kZigZag);
+    EXPECT_EQ(ranges.size(), 2u);
+    for (auto [b, e] : ranges) {
+      EXPECT_EQ(e - b, 20);
+      for (int32_t i = b; i < e; ++i) {
+        EXPECT_TRUE(covered.insert(i).second);
+      }
+    }
+  }
+  EXPECT_EQ(covered.size(), 160u);
+}
+
+TEST(CpSliceRangesTest, ZigZagPairsEarlyAndLateChunks) {
+  auto ranges = CpSliceRanges(160, 4, 0, CpSplitMode::kZigZag);
+  // Rank 0 owns chunk 0 (earliest) and chunk 7 (latest): causal balance.
+  EXPECT_EQ(ranges[0].first, 0);
+  EXPECT_EQ(ranges[1].second, 160);
+}
+
+TEST(DataConstructorTest, OwnedBucketsFollowDp) {
+  Fixture f({.dp = 3, .pp = 1, .cp = 1, .tp = 1});
+  DataConstructorConfig config;
+  config.constructor_id = 1;
+  DataConstructor dc(config, &f.tree, &f.memory);
+  EXPECT_EQ(dc.OwnedBuckets(f.plan), (std::vector<int32_t>{1}));
+}
+
+TEST(DataConstructorTest, BuildAndServeBatch) {
+  Fixture f({.dp = 2, .pp = 1, .cp = 1, .tp = 1});
+  DataConstructorConfig config;
+  config.constructor_id = 0;
+  config.max_seq_len = 512;
+  DataConstructor dc(config, &f.tree, &f.memory);
+  ASSERT_TRUE(dc.BuildStep(f.plan, f.slices).ok());
+  Result<RankBatch> batch = dc.GetBatch(0, 0);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_FALSE(batch->metadata_only);
+  EXPECT_EQ(batch->microbatches.size(), 2u);
+  EXPECT_GT(batch->payload_bytes, 0);
+  // All bucket-0 sample ids appear exactly once across microbatches.
+  std::set<uint64_t> seen;
+  for (const Microbatch& mb : batch->microbatches) {
+    for (const PackedSequence& seq : mb.sequences) {
+      for (uint64_t id : seq.sample_ids) {
+        EXPECT_TRUE(seen.insert(id).second);
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(DataConstructorTest, UnbuiltStepNotFound) {
+  Fixture f({.dp = 1, .pp = 1, .cp = 1, .tp = 1});
+  DataConstructor dc({}, &f.tree, &f.memory);
+  EXPECT_EQ(dc.GetBatch(0, 99).status().code(), StatusCode::kNotFound);
+}
+
+TEST(DataConstructorTest, MissingSampleIsDataLoss) {
+  Fixture f({.dp = 1, .pp = 1, .cp = 1, .tp = 1});
+  f.slices[0].samples.pop_back();
+  DataConstructor dc({}, &f.tree, &f.memory);
+  EXPECT_EQ(dc.BuildStep(f.plan, f.slices).code(), StatusCode::kDataLoss);
+}
+
+TEST(DataConstructorTest, PartialYieldSliceRejected) {
+  Fixture f({.dp = 1, .pp = 1, .cp = 1, .tp = 1});
+  f.slices[0].end_of_stream = false;
+  DataConstructor dc({}, &f.tree, &f.memory);
+  EXPECT_EQ(dc.BuildStep(f.plan, f.slices).code(), StatusCode::kDataLoss);
+}
+
+TEST(DataConstructorTest, PpStagesGetMetadataOnly) {
+  Fixture f({.dp = 1, .pp = 2, .cp = 1, .tp = 1});
+  DataConstructor dc({}, &f.tree, &f.memory);
+  ASSERT_TRUE(dc.BuildStep(f.plan, f.slices).ok());
+  RankBatch pp0 = dc.GetBatch(0, 0).value();
+  RankBatch pp1 = dc.GetBatch(1, 0).value();
+  EXPECT_FALSE(pp0.metadata_only);
+  EXPECT_TRUE(pp1.metadata_only);
+  EXPECT_GT(pp0.payload_bytes, 0);
+  EXPECT_EQ(pp1.payload_bytes, 0);  // lengths/ids only, no token payloads
+  // Metadata view still describes the same sequences.
+  ASSERT_EQ(pp1.microbatches.size(), pp0.microbatches.size());
+  EXPECT_EQ(pp1.microbatches[0].sequences.size(), pp0.microbatches[0].sequences.size());
+}
+
+TEST(DataConstructorTest, CpRanksShareBatchWithSlicedTokens) {
+  Fixture f({.dp = 1, .pp = 1, .cp = 2, .tp = 1});
+  DataConstructor dc({}, &f.tree, &f.memory);
+  ASSERT_TRUE(dc.BuildStep(f.plan, f.slices).ok());
+  RankBatch cp0 = dc.GetBatch(0, 0).value();
+  RankBatch cp1 = dc.GetBatch(1, 0).value();
+  ASSERT_FALSE(cp0.microbatches.empty());
+  const PackedSequence& s0 = cp0.microbatches[0].sequences[0];
+  const PackedSequence& s1 = cp1.microbatches[0].sequences[0];
+  EXPECT_EQ(s0.sample_ids, s1.sample_ids);  // same logical sequence
+  EXPECT_EQ(s0.tokens.size(), s1.tokens.size());
+  EXPECT_EQ(static_cast<int32_t>(s0.tokens.size() + s1.tokens.size()), s0.padded_to);
+}
+
+TEST(DataConstructorTest, TpRanksGetIdenticalViews) {
+  Fixture f({.dp = 1, .pp = 1, .cp = 1, .tp = 2});
+  DataConstructor dc({}, &f.tree, &f.memory);
+  ASSERT_TRUE(dc.BuildStep(f.plan, f.slices).ok());
+  RankBatch tp0 = dc.GetBatch(0, 0).value();
+  RankBatch tp1 = dc.GetBatch(1, 0).value();
+  ASSERT_EQ(tp0.microbatches.size(), tp1.microbatches.size());
+  EXPECT_EQ(tp0.microbatches[0].sequences[0].tokens,
+            tp1.microbatches[0].sequences[0].tokens);
+}
+
+TEST(DataConstructorTest, PaddingAlignedToTwiceCp) {
+  Fixture f({.dp = 1, .pp = 1, .cp = 4, .tp = 1});
+  DataConstructor dc({}, &f.tree, &f.memory);
+  ASSERT_TRUE(dc.BuildStep(f.plan, f.slices).ok());
+  RankBatch batch = dc.GetBatch(0, 0).value();
+  for (const Microbatch& mb : batch.microbatches) {
+    for (const PackedSequence& seq : mb.sequences) {
+      EXPECT_EQ(seq.padded_to % 8, 0);  // 2 * cp
+    }
+  }
+}
+
+TEST(DataConstructorTest, BatchBufferChargedAndEvicted) {
+  Fixture f({.dp = 1, .pp = 1, .cp = 1, .tp = 1});
+  DataConstructorConfig config;
+  config.resident_steps = 1;
+  DataConstructor dc(config, &f.tree, &f.memory);
+  ASSERT_TRUE(dc.BuildStep(f.plan, f.slices).ok());
+  int64_t charged = f.memory.CategoryTotal(MemCategory::kBatchBuffer);
+  EXPECT_GT(charged, 0);
+  // Build step 1 with resident_steps=1: step 0 evicted.
+  Fixture g({.dp = 1, .pp = 1, .cp = 1, .tp = 1});
+  g.plan.step = 1;
+  ASSERT_TRUE(dc.BuildStep(g.plan, g.slices).ok());
+  EXPECT_EQ(dc.GetBatch(0, 0).status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(dc.GetBatch(0, 1).ok());
+}
+
+TEST(DataConstructorTest, ReshardDropsResidentSteps) {
+  Fixture f({.dp = 2, .pp = 1, .cp = 1, .tp = 1});
+  DataConstructor dc({}, &f.tree, &f.memory);
+  ASSERT_TRUE(dc.BuildStep(f.plan, f.slices).ok());
+  auto new_tree = ClientPlaceTree::FromDeviceMesh({.dp = 2, .pp = 1, .cp = 2, .tp = 1}, 2);
+  dc.Reshard(&new_tree);
+  EXPECT_EQ(dc.GetBatch(0, 0).status().code(), StatusCode::kNotFound);
+}
+
+TEST(DataConstructorTest, InvalidRankRejected) {
+  Fixture f({.dp = 1, .pp = 1, .cp = 1, .tp = 1});
+  DataConstructor dc({}, &f.tree, &f.memory);
+  ASSERT_TRUE(dc.BuildStep(f.plan, f.slices).ok());
+  EXPECT_EQ(dc.GetBatch(99, 0).status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace msd

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "src/costmodel/flops.h"
+#include "src/costmodel/model_config.h"
+
+namespace msd {
+namespace {
+
+TEST(ModelConfigTest, Table1Values) {
+  EXPECT_EQ(ViT1B().layers, 39);
+  EXPECT_EQ(ViT1B().hidden, 1408);
+  EXPECT_EQ(ViT2B().layers, 48);
+  EXPECT_EQ(ViT2B().hidden, 1664);
+  EXPECT_EQ(Llama12B().layers, 45);
+  EXPECT_EQ(Llama12B().heads, 36);
+  EXPECT_EQ(Llama12B().hidden, 4608);
+  EXPECT_EQ(TMoE25B().layers, 42);
+  EXPECT_EQ(TMoE25B().moe_topk, 2);
+  EXPECT_EQ(Mixtral8x7B().layers, 32);
+  EXPECT_EQ(Mixtral8x7B().hidden, 4096);
+  EXPECT_EQ(Mixtral8x7B().moe_topk, 2);
+}
+
+TEST(ModelConfigTest, TableRenderingIncludesAllModels) {
+  std::string table = ModelConfigTable();
+  for (const char* name : {"ViT-1B", "ViT-2B", "Llama-12B", "tMoE-25B", "Mixtral-8x7B"}) {
+    EXPECT_NE(table.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(ModelConfigTest, FfnDefaultsTo4xHidden) {
+  ModelConfig c;
+  c.hidden = 100;
+  EXPECT_EQ(c.EffectiveFfn(), 400);
+  c.ffn_hidden = 123;
+  EXPECT_EQ(c.EffectiveFfn(), 123);
+}
+
+TEST(AttentionFlopsTest, PaperSixteenPercentExample) {
+  // Sec. 1: a sequence packed from 30+70-token subsequences costs 16% more
+  // attention compute than two 50-token subsequences.
+  ModelConfig m = Llama12B();
+  double unbalanced = AttentionFlops(m, {30, 70});
+  double balanced = AttentionFlops(m, {50, 50});
+  EXPECT_NEAR(unbalanced / balanced, 1.16, 1e-9);
+}
+
+TEST(AttentionFlopsTest, QuadraticInSegmentLength) {
+  ModelConfig m = Llama12B();
+  double one = AttentionFlops(m, {1000});
+  double two = AttentionFlops(m, {2000});
+  EXPECT_NEAR(two / one, 4.0, 1e-9);
+}
+
+TEST(AttentionFlopsTest, PackingMasksLimitQuadraticTerm) {
+  // Two packed 1k segments cost half the attention of one contiguous 2k.
+  ModelConfig m = Llama12B();
+  EXPECT_NEAR(AttentionFlops(m, {1000, 1000}) / AttentionFlops(m, {2000}), 0.5, 1e-9);
+}
+
+TEST(ForwardFlopsTest, MonotonicInTokens) {
+  ModelConfig m = Llama12B();
+  EXPECT_LT(ForwardFlopsUniform(m, 1024), ForwardFlopsUniform(m, 2048));
+}
+
+TEST(ForwardFlopsTest, MoeActivatesTopkExperts) {
+  ModelConfig dense = Mixtral8x7B();
+  dense.moe_topk = 0;
+  ModelConfig moe = Mixtral8x7B();
+  double dense_flops = ForwardFlopsUniform(dense, 4096);
+  double moe_flops = ForwardFlopsUniform(moe, 4096);
+  EXPECT_GT(moe_flops, dense_flops);  // topk=2 doubles the MLP term
+  ModelConfig top4 = moe;
+  top4.moe_topk = 4;
+  EXPECT_GT(ForwardFlopsUniform(top4, 4096), moe_flops);
+}
+
+TEST(ForwardFlopsTest, VocabHeadMatters) {
+  ModelConfig with_head = Llama12B();
+  ModelConfig no_head = Llama12B();
+  no_head.vocab = 0;
+  EXPECT_GT(ForwardFlopsUniform(with_head, 1024), ForwardFlopsUniform(no_head, 1024));
+}
+
+TEST(ForwardFlopsTest, EmptySegmentsCostNothing) {
+  EXPECT_DOUBLE_EQ(ForwardFlops(Llama12B(), {}), 0.0);
+  EXPECT_DOUBLE_EQ(ForwardFlops(Llama12B(), {0}), 0.0);
+}
+
+TEST(EncoderFlopsTest, ViT2BCostsMoreThanViT1B) {
+  EXPECT_GT(EncoderFlops(ViT2B(), 4096), EncoderFlops(ViT1B(), 4096));
+}
+
+TEST(EncoderFlopsTest, SuperlinearInPatches) {
+  // Attention makes doubling patches more than double cost.
+  double one = EncoderFlops(ViT1B(), 8192);
+  double two = EncoderFlops(ViT1B(), 16384);
+  EXPECT_GT(two / one, 2.0);
+}
+
+TEST(BackboneSampleFlopsTest, UsesInterleavedLength) {
+  SampleMeta meta;
+  meta.text_tokens = 100;
+  meta.image_tokens = 900;
+  EXPECT_DOUBLE_EQ(BackboneSampleFlops(Llama12B(), meta),
+                   ForwardFlopsUniform(Llama12B(), 1000));
+}
+
+TEST(FlopsLatencyTest, ScalesInverselyWithDeviceSpeed) {
+  DeviceSpec slow{.flops_per_sec = 1e12};
+  DeviceSpec fast{.flops_per_sec = 2e12};
+  EXPECT_NEAR(static_cast<double>(FlopsLatency(1e12, slow)), kSecond, kSecond * 0.001);
+  EXPECT_NEAR(static_cast<double>(FlopsLatency(1e12, fast)), kSecond / 2.0, kSecond * 0.001);
+}
+
+// Property sweep: imbalance between packed microbatches measured by the cost
+// model matches the analytic quadratic expectation across scales.
+class AttentionScaleTest : public ::testing::TestWithParam<int32_t> {};
+
+TEST_P(AttentionScaleTest, SplitIntoEqualHalvesAlwaysCheaper) {
+  int32_t len = GetParam();
+  ModelConfig m = Llama12B();
+  double whole = AttentionFlops(m, {len});
+  double halves = AttentionFlops(m, {len / 2, len / 2});
+  EXPECT_NEAR(halves / whole, 0.5, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, AttentionScaleTest,
+                         ::testing::Values(128, 1024, 4096, 16384, 32768));
+
+}  // namespace
+}  // namespace msd

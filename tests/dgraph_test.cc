@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include "src/plan/dgraph.h"
+
+namespace msd {
+namespace {
+
+// Two loaders / two sources, deterministic token lengths.
+std::vector<BufferInfo> MakeBuffers(int per_source = 8) {
+  std::vector<BufferInfo> buffers(2);
+  uint64_t id = 0;
+  for (int32_t s = 0; s < 2; ++s) {
+    buffers[s].loader_id = s;
+    buffers[s].source_id = s;
+    for (int i = 0; i < per_source; ++i) {
+      SampleMeta meta;
+      meta.sample_id = id++;
+      meta.source_id = s;
+      meta.text_tokens = 100 * (i + 1);
+      meta.image_tokens = s == 0 ? 50 * (i + 1) : 0;
+      meta.modality = s == 0 ? Modality::kImageText : Modality::kText;
+      buffers[s].samples.push_back(meta);
+    }
+  }
+  return buffers;
+}
+
+CostFn TokenCost() {
+  return [](const SampleMeta& meta) {
+    return CostEntry{static_cast<double>(meta.TotalTokens()), 0.0};
+  };
+}
+
+TEST(DGraphTest, FromBufferInfosCreatesNodes) {
+  DGraph g = DGraph::FromBufferInfos(MakeBuffers());
+  EXPECT_EQ(g.node_count(), 16u);
+  EXPECT_EQ(g.CandidateNodeIds().size(), 16u);
+}
+
+TEST(DGraphTest, SelectorFilters) {
+  DGraph g = DGraph::FromBufferInfos(
+      MakeBuffers(), [](const SampleMeta& meta) { return meta.image_tokens > 0; });
+  EXPECT_EQ(g.node_count(), 8u);  // only source 0 has images
+}
+
+TEST(DGraphTest, MixSelectsExactCount) {
+  DGraph g = DGraph::FromBufferInfos(MakeBuffers());
+  auto tree = ClientPlaceTree::FromDeviceMesh({.dp = 2, .pp = 1, .cp = 1, .tp = 1}, 2);
+  g.Init(&tree);
+  StaticMix mix({1.0, 1.0});
+  Rng rng(1);
+  ASSERT_TRUE(g.Mix(mix, 0, 10, rng).ok());
+  EXPECT_EQ(g.CandidateNodeIds().size(), 10u);
+}
+
+TEST(DGraphTest, MixTwiceFails) {
+  DGraph g = DGraph::FromBufferInfos(MakeBuffers());
+  StaticMix mix({1.0, 1.0});
+  Rng rng(1);
+  ASSERT_TRUE(g.Mix(mix, 0, 4, rng).ok());
+  EXPECT_EQ(g.Mix(mix, 0, 4, rng).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DGraphTest, MixScheduleSizeMismatch) {
+  DGraph g = DGraph::FromBufferInfos(MakeBuffers());
+  StaticMix mix({1.0});
+  Rng rng(1);
+  EXPECT_EQ(g.Mix(mix, 0, 4, rng).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DGraphTest, DistributeRequiresInit) {
+  DGraph g = DGraph::FromBufferInfos(MakeBuffers());
+  EXPECT_EQ(g.Distribute(Axis::kDP).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DGraphTest, BalanceRequiresDistributeAndCost) {
+  DGraph g = DGraph::FromBufferInfos(MakeBuffers());
+  auto tree = ClientPlaceTree::FromDeviceMesh({.dp = 2, .pp = 1, .cp = 1, .tp = 1}, 2);
+  g.Init(&tree);
+  EXPECT_EQ(g.Balance().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(g.Distribute(Axis::kDP).ok());
+  EXPECT_EQ(g.Balance().code(), StatusCode::kFailedPrecondition);  // no cost yet
+  ASSERT_TRUE(g.Cost(TokenCost()).ok());
+  EXPECT_TRUE(g.Balance().ok());
+}
+
+TEST(DGraphTest, BalancedPlanHasLowImbalance) {
+  DGraph g = DGraph::FromBufferInfos(MakeBuffers(32));
+  auto tree = ClientPlaceTree::FromDeviceMesh({.dp = 4, .pp = 1, .cp = 1, .tp = 1}, 2);
+  g.Init(&tree);
+  ASSERT_TRUE(g.Distribute(Axis::kDP).ok());
+  ASSERT_TRUE(g.Cost(TokenCost()).ok());
+  ASSERT_TRUE(g.Balance({.method = BalanceMethod::kGreedy}).ok());
+  LoadingPlan plan = g.Plan(0).value();
+  EXPECT_EQ(plan.num_buckets, 4);
+  EXPECT_EQ(plan.num_microbatches, 2);
+  EXPECT_LT(Imbalance(plan.BucketLoads()), 1.1);
+}
+
+TEST(DGraphTest, PlanWithoutBalanceRoundRobins) {
+  DGraph g = DGraph::FromBufferInfos(MakeBuffers());
+  auto tree = ClientPlaceTree::FromDeviceMesh({.dp = 2, .pp = 1, .cp = 1, .tp = 1}, 2);
+  g.Init(&tree);
+  ASSERT_TRUE(g.Distribute(Axis::kDP).ok());
+  LoadingPlan plan = g.Plan(5).value();
+  EXPECT_EQ(plan.step, 5);
+  EXPECT_EQ(plan.assignments.size(), 16u);
+  // Round-robin: buckets get equal sample counts.
+  std::vector<int> counts(2, 0);
+  for (const SliceAssignment& a : plan.assignments) {
+    ++counts[static_cast<size_t>(a.bucket)];
+  }
+  EXPECT_EQ(counts[0], counts[1]);
+}
+
+TEST(DGraphTest, MicrobatchGranularityKeepsChunksTogether) {
+  DGraph g = DGraph::FromBufferInfos(MakeBuffers(16));
+  auto tree = ClientPlaceTree::FromDeviceMesh({.dp = 2, .pp = 1, .cp = 1, .tp = 1}, 2);
+  g.Init(&tree);
+  ASSERT_TRUE(g.Distribute(Axis::kDP).ok());
+  ASSERT_TRUE(g.Cost(TokenCost()).ok());
+  ASSERT_TRUE(g.Balance({.method = BalanceMethod::kGreedy,
+                         .granularity = BalanceOptions::Granularity::kMicrobatch})
+                  .ok());
+  LoadingPlan plan = g.Plan(0).value();
+  // 32 samples over 4 slots => consecutive chunks of 8 share a target.
+  std::map<std::pair<int32_t, int32_t>, int> slot_counts;
+  for (const SliceAssignment& a : plan.assignments) {
+    ++slot_counts[{a.bucket, a.microbatch}];
+  }
+  for (const auto& [slot, count] : slot_counts) {
+    EXPECT_EQ(count, 8);
+  }
+}
+
+TEST(DGraphTest, BroadcastAtExcludesRanks) {
+  DGraph g = DGraph::FromBufferInfos(MakeBuffers());
+  auto tree = ClientPlaceTree::FromDeviceMesh({.dp = 2, .pp = 1, .cp = 1, .tp = 2}, 1);
+  g.Init(&tree);
+  ASSERT_TRUE(g.Distribute(Axis::kDP).ok());
+  g.BroadcastAt(Axis::kTP);
+  g.BroadcastAt(Axis::kTP);  // idempotent
+  LoadingPlan plan = g.Plan(0).value();
+  ASSERT_EQ(plan.broadcast_axes.size(), 1u);
+  EXPECT_EQ(plan.fetching_ranks.size(), 2u);  // tp0 of each DP group
+}
+
+TEST(DGraphTest, CostRejectsNegative) {
+  DGraph g = DGraph::FromBufferInfos(MakeBuffers());
+  EXPECT_EQ(g.Cost([](const SampleMeta&) { return CostEntry{-1.0, 0.0}; }).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DGraphTest, ExcludedSamplesStayOutOfPlan) {
+  DGraph g = DGraph::FromBufferInfos(MakeBuffers());
+  auto tree = ClientPlaceTree::FromDeviceMesh({.dp = 2, .pp = 1, .cp = 1, .tp = 1}, 1);
+  g.Init(&tree);
+  StaticMix mix({1.0, 0.0});  // only source 0
+  Rng rng(2);
+  ASSERT_TRUE(g.Mix(mix, 0, 6, rng).ok());
+  ASSERT_TRUE(g.Distribute(Axis::kDP).ok());
+  ASSERT_TRUE(g.Cost(TokenCost()).ok());
+  ASSERT_TRUE(g.Balance().ok());
+  LoadingPlan plan = g.Plan(0).value();
+  EXPECT_EQ(plan.assignments.size(), 6u);
+  for (const SliceAssignment& a : plan.assignments) {
+    EXPECT_EQ(a.source_id, 0);
+    EXPECT_EQ(a.loader_id, 0);
+  }
+}
+
+TEST(DGraphTest, CpAxisUsesDpTimesCpBuckets) {
+  DGraph g = DGraph::FromBufferInfos(MakeBuffers(32));
+  auto tree = ClientPlaceTree::FromDeviceMesh({.dp = 2, .pp = 1, .cp = 2, .tp = 1}, 1);
+  g.Init(&tree);
+  ASSERT_TRUE(g.Distribute(Axis::kCP).ok());
+  ASSERT_TRUE(g.Cost(TokenCost()).ok());
+  ASSERT_TRUE(g.Balance().ok());
+  LoadingPlan plan = g.Plan(0).value();
+  EXPECT_EQ(plan.num_buckets, 4);
+}
+
+TEST(DGraphTest, GroupSizeReducesBuckets) {
+  DGraph g = DGraph::FromBufferInfos(MakeBuffers(32));
+  auto tree = ClientPlaceTree::FromDeviceMesh({.dp = 8, .pp = 1, .cp = 1, .tp = 1}, 1);
+  g.Init(&tree);
+  ASSERT_TRUE(g.Distribute(Axis::kDP, 4).ok());
+  ASSERT_TRUE(g.Cost(TokenCost()).ok());
+  ASSERT_TRUE(g.Balance().ok());
+  LoadingPlan plan = g.Plan(0).value();
+  EXPECT_EQ(plan.num_buckets, 2);
+  EXPECT_EQ(plan.group_size, 4);
+}
+
+TEST(LoadingPlanTest, SerializationRoundTrip) {
+  DGraph g = DGraph::FromBufferInfos(MakeBuffers());
+  auto tree = ClientPlaceTree::FromDeviceMesh({.dp = 2, .pp = 1, .cp = 1, .tp = 2}, 2);
+  g.Init(&tree);
+  ASSERT_TRUE(g.Distribute(Axis::kDP).ok());
+  ASSERT_TRUE(g.Cost(TokenCost()).ok());
+  ASSERT_TRUE(g.Balance().ok());
+  g.BroadcastAt(Axis::kTP);
+  LoadingPlan plan = g.Plan(3).value();
+  LoadingPlan sub = plan;
+  sub.subplans.clear();
+  plan.subplans.emplace("encoder", sub);
+
+  Result<LoadingPlan> parsed = LoadingPlan::Deserialize(plan.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->step, 3);
+  EXPECT_EQ(parsed->num_buckets, plan.num_buckets);
+  EXPECT_EQ(parsed->assignments.size(), plan.assignments.size());
+  EXPECT_EQ(parsed->fetching_ranks, plan.fetching_ranks);
+  ASSERT_EQ(parsed->subplans.size(), 1u);
+  EXPECT_EQ(parsed->subplans.at("encoder").assignments.size(), sub.assignments.size());
+  for (size_t i = 0; i < plan.assignments.size(); ++i) {
+    EXPECT_EQ(parsed->assignments[i].sample_id, plan.assignments[i].sample_id);
+    EXPECT_EQ(parsed->assignments[i].bucket, plan.assignments[i].bucket);
+    EXPECT_DOUBLE_EQ(parsed->assignments[i].cost, plan.assignments[i].cost);
+  }
+}
+
+TEST(LoadingPlanTest, CorruptBytesRejected) {
+  EXPECT_FALSE(LoadingPlan::Deserialize("nonsense").ok());
+}
+
+TEST(LoadingPlanTest, LoadMatrixShape) {
+  DGraph g = DGraph::FromBufferInfos(MakeBuffers(16));
+  auto tree = ClientPlaceTree::FromDeviceMesh({.dp = 2, .pp = 1, .cp = 1, .tp = 1}, 4);
+  g.Init(&tree);
+  ASSERT_TRUE(g.Distribute(Axis::kDP).ok());
+  ASSERT_TRUE(g.Cost(TokenCost()).ok());
+  ASSERT_TRUE(g.Balance().ok());
+  LoadingPlan plan = g.Plan(0).value();
+  auto matrix = plan.LoadMatrix();
+  ASSERT_EQ(matrix.size(), 2u);
+  ASSERT_EQ(matrix[0].size(), 4u);
+  double total = 0.0;
+  for (const auto& row : matrix) {
+    for (double v : row) {
+      total += v;
+    }
+  }
+  double bucket_total = 0.0;
+  for (double v : plan.BucketLoads()) {
+    bucket_total += v;
+  }
+  EXPECT_NEAR(total, bucket_total, 1e-6);
+}
+
+TEST(DGraphTest, LineageModeRecordsTransitions) {
+  DGraph g = DGraph::FromBufferInfos(MakeBuffers(2), nullptr, /*track_lineage=*/true);
+  auto tree = ClientPlaceTree::FromDeviceMesh({.dp = 2, .pp = 1, .cp = 1, .tp = 1}, 1);
+  g.Init(&tree);
+  ASSERT_TRUE(g.Distribute(Axis::kDP).ok());
+  ASSERT_TRUE(g.Cost(TokenCost()).ok());
+  ASSERT_TRUE(g.Balance().ok());
+  ASSERT_TRUE(g.Plan(0).ok());
+  EXPECT_GT(g.graph().edge_count(), 0u);
+  EXPECT_NE(g.ToDot().find("balance"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace msd

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "src/data/synthetic.h"
+#include "src/ft/fault_tolerance.h"
+#include "src/planner/planner.h"
+#include "src/planner/strategies.h"
+
+namespace msd {
+namespace {
+
+class FtTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    spec_ = MakeCoyo700m().sources[0];
+    spec_.num_files = 2;
+    spec_.rows_per_file = 48;
+    ASSERT_TRUE(WriteSourceFiles(store_, spec_, 7).ok());
+  }
+
+  SourceLoaderConfig LoaderConfig(bool shadow) {
+    SourceLoaderConfig config;
+    config.loader_id = 0;
+    config.spec = spec_;
+    config.files = {SourceFileName(spec_, 0), SourceFileName(spec_, 1)};
+    config.num_workers = 1;
+    config.buffer_low_watermark = 24;
+    config.is_shadow = shadow;
+    return config;
+  }
+
+  // A plan popping the first `n` buffered ids from loader 0 at `step`.
+  LoadingPlan PlanFor(SourceLoader& loader, int64_t step, int n) {
+    LoadingPlan plan;
+    plan.step = step;
+    plan.num_buckets = 1;
+    plan.num_microbatches = 1;
+    BufferInfo info = loader.SummaryBuffer();
+    for (int i = 0; i < n; ++i) {
+      SliceAssignment a;
+      a.sample_id = info.samples[static_cast<size_t>(i)].sample_id;
+      a.loader_id = 0;
+      a.bucket = 0;
+      a.microbatch = 0;
+      plan.assignments.push_back(a);
+    }
+    return plan;
+  }
+
+  SourceSpec spec_;
+  MemoryAccountant memory_;
+  ObjectStore store_{&memory_};
+  ActorSystem system_;
+};
+
+TEST_F(FtTest, ShadowMirrorsPrimaryBuffer) {
+  auto primary = system_.Spawn<SourceLoader>(LoaderConfig(false), &store_, &memory_);
+  auto shadow = system_.Spawn<SourceLoader>(LoaderConfig(true), &store_, &memory_);
+  ASSERT_TRUE(system_.Ask<Status>(*primary, [l = primary.get()] { return l->Open(); }).ok());
+  ASSERT_TRUE(system_.Ask<Status>(*shadow, [l = shadow.get()] { return l->Open(); }).ok());
+
+  FaultToleranceManager ft({.loader_snapshot_interval = 2}, &system_);
+  ft.RegisterPair(primary.get(), shadow.get());
+
+  for (int64_t step = 0; step < 4; ++step) {
+    LoadingPlan plan = PlanFor(*primary, step, 4);
+    ASSERT_TRUE(primary->PopSamples(step, {plan.assignments[0].sample_id,
+                                           plan.assignments[1].sample_id,
+                                           plan.assignments[2].sample_id,
+                                           plan.assignments[3].sample_id})
+                    .ok());
+    ASSERT_TRUE(ft.OnPlanExecuted(plan).ok());
+  }
+  // Shadow's buffer front must equal the primary's.
+  BufferInfo p = primary->SummaryBuffer();
+  BufferInfo s = shadow->SummaryBuffer();
+  ASSERT_GE(s.samples.size(), 8u);
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(p.samples[i].sample_id, s.samples[i].sample_id);
+  }
+  EXPECT_GT(ft.snapshots_taken(), 0);
+}
+
+TEST_F(FtTest, PromoteShadowAfterKill) {
+  auto primary = system_.Spawn<SourceLoader>(LoaderConfig(false), &store_, &memory_);
+  auto shadow = system_.Spawn<SourceLoader>(LoaderConfig(true), &store_, &memory_);
+  ASSERT_TRUE(system_.Ask<Status>(*primary, [l = primary.get()] { return l->Open(); }).ok());
+  ASSERT_TRUE(system_.Ask<Status>(*shadow, [l = shadow.get()] { return l->Open(); }).ok());
+  FaultToleranceManager ft({}, &system_);
+  ft.RegisterPair(primary.get(), shadow.get());
+
+  std::string name = primary->name();
+  system_.Kill(*primary);
+  Result<SourceLoader*> promoted = ft.PromoteShadow(name);
+  ASSERT_TRUE(promoted.ok());
+  EXPECT_EQ(promoted.value(), shadow.get());
+  EXPECT_EQ(ft.promotions(), 1);
+  // The promoted loader serves data immediately (hot standby).
+  BufferInfo info = promoted.value()->SummaryBuffer();
+  EXPECT_FALSE(info.samples.empty());
+  // GCS recorded the restart.
+  EXPECT_EQ(system_.gcs().GetRecord(name)->restarts, 1);
+}
+
+TEST_F(FtTest, PromoteWithoutShadowFails) {
+  auto primary = system_.Spawn<SourceLoader>(LoaderConfig(false), &store_, &memory_);
+  FaultToleranceManager ft({}, &system_);
+  ft.RegisterPair(primary.get(), nullptr);
+  EXPECT_EQ(ft.PromoteShadow(primary->name()).status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(ft.PromoteShadow("unknown").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(FtTest, CheckpointRecoveryReplaysJournal) {
+  auto primary = system_.Spawn<SourceLoader>(LoaderConfig(false), &store_, &memory_);
+  ASSERT_TRUE(system_.Ask<Status>(*primary, [l = primary.get()] { return l->Open(); }).ok());
+  FaultToleranceManager ft({.loader_snapshot_interval = 2}, &system_);
+  ft.RegisterPair(primary.get(), nullptr);
+
+  // Execute steps 0..4, journaling plans like the Planner would.
+  for (int64_t step = 0; step <= 4; ++step) {
+    LoadingPlan plan = PlanFor(*primary, step, 3);
+    std::vector<uint64_t> ids;
+    for (const SliceAssignment& a : plan.assignments) {
+      ids.push_back(a.sample_id);
+    }
+    system_.gcs().PutState(Planner::PlanJournalKey(step), plan.Serialize());
+    ASSERT_TRUE(primary->PopSamples(step, ids).ok());
+    ASSERT_TRUE(ft.OnPlanExecuted(plan).ok());
+  }
+  BufferInfo expected = primary->SummaryBuffer();
+
+  // A fresh replacement recovers from snapshot (step 4) + journal replay.
+  SourceLoaderConfig fresh_config = LoaderConfig(false);
+  fresh_config.name_override = "source_loader/replacement#0";
+  auto fresh = system_.Spawn<SourceLoader>(fresh_config, &store_, &memory_);
+  ASSERT_TRUE(system_.Ask<Status>(*fresh, [l = fresh.get()] { return l->Open(); }).ok());
+  ASSERT_TRUE(ft.RecoverFromCheckpoint(fresh.get(), 0, 4).ok());
+  BufferInfo recovered = fresh->SummaryBuffer();
+  ASSERT_GE(recovered.samples.size(), 8u);
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(recovered.samples[i].sample_id, expected.samples[i].sample_id);
+  }
+}
+
+TEST_F(FtTest, RecoveryWithoutSnapshotFails) {
+  auto fresh = system_.Spawn<SourceLoader>(LoaderConfig(false), &store_, &memory_);
+  FaultToleranceManager ft({}, &system_);
+  EXPECT_EQ(ft.RecoverFromCheckpoint(fresh.get(), 99, 0).code(), StatusCode::kNotFound);
+}
+
+TEST_F(FtTest, InjectorTogglesPartialYield) {
+  auto loader = system_.Spawn<SourceLoader>(LoaderConfig(false), &store_, &memory_);
+  ASSERT_TRUE(system_.Ask<Status>(*loader, [l = loader.get()] { return l->Open(); }).ok());
+  FailureInjector injector(&system_);
+  injector.InjectPartialYield(loader.get(), true);
+  // Drain the injection post, then pop.
+  system_.Ask<bool>(*loader, [] { return true; });
+  BufferInfo info = loader->SummaryBuffer();
+  Result<SampleSlice> slice =
+      loader->PopSamples(0, {info.samples[0].sample_id, info.samples[1].sample_id});
+  ASSERT_TRUE(slice.ok());
+  EXPECT_FALSE(slice->end_of_stream);
+}
+
+}  // namespace
+}  // namespace msd

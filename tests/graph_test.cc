@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "src/graph/dataflow_graph.h"
+
+namespace msd {
+namespace {
+
+DataflowNode MakeNode(uint64_t sample_id) {
+  DataflowNode node;
+  node.meta.sample_id = sample_id;
+  node.loader_id = 1;
+  return node;
+}
+
+TEST(DataflowGraphTest, AddNodeAssignsSequentialIds) {
+  DataflowGraph g;
+  EXPECT_EQ(g.AddNode(MakeNode(10)), 0);
+  EXPECT_EQ(g.AddNode(MakeNode(11)), 1);
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.node(0).meta.sample_id, 10u);
+}
+
+TEST(DataflowGraphTest, InPlaceTransitionWithoutLineage) {
+  DataflowGraph g(/*track_lineage=*/false);
+  int64_t id = g.AddNode(MakeNode(1));
+  int64_t next = g.Transition(id, SampleState::kSampled, "mix");
+  EXPECT_EQ(next, id);
+  EXPECT_EQ(g.node(id).state, SampleState::kSampled);
+  EXPECT_EQ(g.node_count(), 1u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(DataflowGraphTest, LineageTransitionAppendsNodes) {
+  DataflowGraph g(/*track_lineage=*/true);
+  int64_t id = g.AddNode(MakeNode(1));
+  int64_t sampled = g.Transition(id, SampleState::kSampled, "mix");
+  int64_t assigned = g.Transition(sampled, SampleState::kAssigned, "balance");
+  EXPECT_NE(sampled, id);
+  EXPECT_NE(assigned, sampled);
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.node(id).state, SampleState::kInBuffer);  // original untouched
+  EXPECT_EQ(g.node(assigned).state, SampleState::kAssigned);
+  EXPECT_EQ(g.node(assigned).meta.sample_id, 1u);  // annotations copied
+}
+
+TEST(DataflowGraphTest, LineageQueryWalksBackwards) {
+  DataflowGraph g(true);
+  int64_t a = g.AddNode(MakeNode(1));
+  int64_t b = g.Transition(a, SampleState::kSampled, "mix");
+  int64_t c = g.Transition(b, SampleState::kPlanned, "plan");
+  std::vector<int64_t> lineage = g.Lineage(c);
+  ASSERT_EQ(lineage.size(), 2u);
+  EXPECT_EQ(lineage[0], b);
+  EXPECT_EQ(lineage[1], a);
+  EXPECT_TRUE(g.Lineage(a).empty());
+}
+
+TEST(DataflowGraphTest, DotExportContainsNodesAndEdges) {
+  DataflowGraph g(true);
+  int64_t a = g.AddNode(MakeNode(42));
+  g.Transition(a, SampleState::kSampled, "mix");
+  std::string dot = g.ToDot("test");
+  EXPECT_NE(dot.find("digraph test"), std::string::npos);
+  EXPECT_NE(dot.find("s42"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"mix\""), std::string::npos);
+}
+
+TEST(DataflowGraphTest, StateNamesAreStable) {
+  EXPECT_STREQ(SampleStateName(SampleState::kInBuffer), "in_buffer");
+  EXPECT_STREQ(SampleStateName(SampleState::kSampled), "sampled");
+  EXPECT_STREQ(SampleStateName(SampleState::kExcluded), "excluded");
+  EXPECT_STREQ(SampleStateName(SampleState::kAssigned), "assigned");
+  EXPECT_STREQ(SampleStateName(SampleState::kPlanned), "planned");
+}
+
+}  // namespace
+}  // namespace msd

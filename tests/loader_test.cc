@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "src/data/synthetic.h"
+#include "src/loader/source_loader.h"
+
+namespace msd {
+namespace {
+
+class LoaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    spec_ = MakeCoyo700m().sources[0];
+    spec_.num_files = 2;
+    spec_.rows_per_file = 24;
+    ASSERT_TRUE(WriteSourceFiles(store_, spec_, /*seed=*/7,
+                                 {.target_row_group_bytes = 256 * kKiB})
+                    .ok());
+  }
+
+  SourceLoaderConfig MakeConfig(int32_t loader_id = 0) {
+    SourceLoaderConfig config;
+    config.loader_id = loader_id;
+    config.spec = spec_;
+    config.files = {SourceFileName(spec_, 0), SourceFileName(spec_, 1)};
+    config.num_workers = 2;
+    config.buffer_low_watermark = 16;
+    return config;
+  }
+
+  MemoryAccountant memory_;
+  ObjectStore store_{&memory_};
+  SourceSpec spec_;
+};
+
+TEST_F(LoaderTest, OpenFillsBufferToWatermark) {
+  SourceLoader loader(MakeConfig(), &store_, &memory_);
+  ASSERT_TRUE(loader.Open().ok());
+  EXPECT_GE(loader.buffered_samples(), 16u);
+  EXPECT_GT(loader.total_transform_cost(), 0);
+}
+
+TEST_F(LoaderTest, OpenWithoutFilesFails) {
+  SourceLoaderConfig config = MakeConfig();
+  config.files.clear();
+  SourceLoader loader(config, &store_, &memory_);
+  EXPECT_EQ(loader.Open().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(LoaderTest, SummaryBufferReportsMetadata) {
+  SourceLoader loader(MakeConfig(3), &store_, &memory_);
+  ASSERT_TRUE(loader.Open().ok());
+  BufferInfo info = loader.SummaryBuffer();
+  EXPECT_EQ(info.loader_id, 3);
+  EXPECT_EQ(info.source_id, spec_.source_id);
+  EXPECT_EQ(info.samples.size(), loader.buffered_samples());
+  for (const SampleMeta& meta : info.samples) {
+    EXPECT_GT(meta.TotalTokens(), 0);
+  }
+}
+
+TEST_F(LoaderTest, PopReturnsRequestedTransformedSamples) {
+  SourceLoader loader(MakeConfig(), &store_, &memory_);
+  ASSERT_TRUE(loader.Open().ok());
+  BufferInfo info = loader.SummaryBuffer();
+  std::vector<uint64_t> ids = {info.samples[0].sample_id, info.samples[3].sample_id};
+  Result<SampleSlice> slice = loader.PopSamples(0, ids);
+  ASSERT_TRUE(slice.ok());
+  EXPECT_TRUE(slice->end_of_stream);
+  ASSERT_EQ(slice->samples.size(), 2u);
+  for (const Sample& s : slice->samples) {
+    EXPECT_FALSE(s.tokens.empty());            // tokenized
+    if (s.meta.image_tokens > 0) {
+      EXPECT_FALSE(s.pixels.empty());          // decoded
+    }
+  }
+  EXPECT_EQ(loader.samples_served(), 2);
+}
+
+TEST_F(LoaderTest, PopUnknownIdFails) {
+  SourceLoader loader(MakeConfig(), &store_, &memory_);
+  ASSERT_TRUE(loader.Open().ok());
+  Result<SampleSlice> slice = loader.PopSamples(0, {0xDEAD});
+  EXPECT_EQ(slice.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(LoaderTest, PopDuplicateIdsRejected) {
+  SourceLoader loader(MakeConfig(), &store_, &memory_);
+  ASSERT_TRUE(loader.Open().ok());
+  uint64_t id = loader.SummaryBuffer().samples[0].sample_id;
+  EXPECT_EQ(loader.PopSamples(0, {id, id}).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(LoaderTest, BufferRefillsAfterPop) {
+  SourceLoader loader(MakeConfig(), &store_, &memory_);
+  ASSERT_TRUE(loader.Open().ok());
+  BufferInfo info = loader.SummaryBuffer();
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(info.samples[static_cast<size_t>(i)].sample_id);
+  }
+  ASSERT_TRUE(loader.PopSamples(0, ids).ok());
+  EXPECT_GE(loader.buffered_samples(), 16u);  // refilled to watermark
+}
+
+TEST_F(LoaderTest, DrainsToExhaustion) {
+  SourceLoader loader(MakeConfig(), &store_, &memory_);
+  ASSERT_TRUE(loader.Open().ok());
+  int64_t total = 0;
+  while (loader.buffered_samples() > 0) {
+    BufferInfo info = loader.SummaryBuffer();
+    std::vector<uint64_t> ids;
+    for (const SampleMeta& meta : info.samples) {
+      ids.push_back(meta.sample_id);
+    }
+    ASSERT_TRUE(loader.PopSamples(0, ids).ok());
+    total += static_cast<int64_t>(ids.size());
+  }
+  EXPECT_EQ(total, 48);  // 2 files x 24 rows
+}
+
+TEST_F(LoaderTest, WorkerMemoryCharged) {
+  int64_t before = memory_.CategoryTotal(MemCategory::kWorkerContext);
+  {
+    SourceLoader loader(MakeConfig(), &store_, &memory_);
+    EXPECT_EQ(memory_.CategoryTotal(MemCategory::kWorkerContext) - before,
+              SourceLoader::WorkerMemoryBytes(2));
+  }
+  EXPECT_EQ(memory_.CategoryTotal(MemCategory::kWorkerContext), before);
+}
+
+TEST_F(LoaderTest, ShadowChargesShadowCategory) {
+  SourceLoaderConfig config = MakeConfig();
+  config.is_shadow = true;
+  SourceLoader loader(config, &store_, &memory_);
+  EXPECT_EQ(memory_.CategoryTotal(MemCategory::kShadowLoader),
+            SourceLoader::WorkerMemoryBytes(2));
+  EXPECT_EQ(memory_.CategoryTotal(MemCategory::kWorkerContext), 0);
+  EXPECT_NE(loader.name().find("shadow_loader/"), std::string::npos);
+}
+
+TEST_F(LoaderTest, SnapshotRestoreReproducesBuffer) {
+  SourceLoader loader(MakeConfig(), &store_, &memory_);
+  ASSERT_TRUE(loader.Open().ok());
+  // Consume a few samples, snapshot, consume more, then restore.
+  BufferInfo before = loader.SummaryBuffer();
+  ASSERT_TRUE(loader
+                  .PopSamples(0, {before.samples[0].sample_id, before.samples[1].sample_id})
+                  .ok());
+  LoaderSnapshot snap = loader.Snapshot();
+  BufferInfo at_snapshot = loader.SummaryBuffer();
+
+  ASSERT_TRUE(loader.PopSamples(1, {at_snapshot.samples[0].sample_id}).ok());
+
+  SourceLoader restored(MakeConfig(), &store_, &memory_);
+  ASSERT_TRUE(restored.Open().ok());
+  ASSERT_TRUE(restored.Restore(snap).ok());
+  BufferInfo after = restored.SummaryBuffer();
+  ASSERT_GE(after.samples.size(), at_snapshot.samples.size());
+  for (size_t i = 0; i < at_snapshot.samples.size(); ++i) {
+    EXPECT_EQ(after.samples[i].sample_id, at_snapshot.samples[i].sample_id);
+  }
+}
+
+TEST_F(LoaderTest, SnapshotSerializationRoundTrip) {
+  LoaderSnapshot snap;
+  snap.origin_file = 1;
+  snap.origin_group = 5;
+  snap.consumed_ids = {10, 20, 30};
+  Result<LoaderSnapshot> parsed = LoaderSnapshot::Deserialize(snap.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->origin_file, 1);
+  EXPECT_EQ(parsed->origin_group, 5);
+  EXPECT_EQ(parsed->consumed_ids, snap.consumed_ids);
+  EXPECT_FALSE(LoaderSnapshot::Deserialize("junk").ok());
+}
+
+TEST_F(LoaderTest, PartialYieldInjection) {
+  SourceLoaderConfig config = MakeConfig();
+  config.inject_partial_yield = true;
+  SourceLoader loader(config, &store_, &memory_);
+  ASSERT_TRUE(loader.Open().ok());
+  BufferInfo info = loader.SummaryBuffer();
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(info.samples[static_cast<size_t>(i)].sample_id);
+  }
+  Result<SampleSlice> slice = loader.PopSamples(0, ids);
+  ASSERT_TRUE(slice.ok());
+  EXPECT_FALSE(slice->end_of_stream);          // missing end-of-stream marker
+  EXPECT_LT(slice->samples.size(), ids.size());  // truncated payload
+}
+
+TEST_F(LoaderTest, FileStateChargesReleasedOnDestruction) {
+  int64_t baseline = memory_.GrandTotal();
+  {
+    SourceLoader loader(MakeConfig(), &store_, &memory_);
+    ASSERT_TRUE(loader.Open().ok());
+    EXPECT_GT(memory_.CategoryTotal(MemCategory::kFileMetadata), 0);
+    EXPECT_GT(memory_.CategoryTotal(MemCategory::kFileSocket), 0);
+  }
+  EXPECT_EQ(memory_.GrandTotal(), baseline);
+}
+
+}  // namespace
+}  // namespace msd

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/mesh/client_place_tree.h"
+#include "src/mesh/parallelism.h"
+
+namespace msd {
+namespace {
+
+TEST(ParallelismSpecTest, WorldSizeAndAxisSizes) {
+  ParallelismSpec spec{.dp = 2, .pp = 3, .cp = 4, .tp = 5};
+  EXPECT_EQ(spec.WorldSize(), 120);
+  EXPECT_EQ(spec.SizeOf(Axis::kDP), 2);
+  EXPECT_EQ(spec.SizeOf(Axis::kPP), 3);
+  EXPECT_EQ(spec.SizeOf(Axis::kCP), 4);
+  EXPECT_EQ(spec.SizeOf(Axis::kTP), 5);
+  EXPECT_EQ(spec.SizeOf(Axis::kWorld), 120);
+}
+
+TEST(ParallelismSpecTest, AxisNames) {
+  EXPECT_STREQ(AxisName(Axis::kDP), "DP");
+  EXPECT_STREQ(AxisName(Axis::kWorld), "WORLD");
+}
+
+class RankCoordTest : public ::testing::TestWithParam<ParallelismSpec> {};
+
+TEST_P(RankCoordTest, CoordRankRoundTrip) {
+  ParallelismSpec spec = GetParam();
+  for (int32_t r = 0; r < spec.WorldSize(); ++r) {
+    RankCoord c = CoordOfRank(spec, r);
+    EXPECT_EQ(RankOfCoord(spec, c), r);
+    EXPECT_LT(c.dp, spec.dp);
+    EXPECT_LT(c.pp, spec.pp);
+    EXPECT_LT(c.cp, spec.cp);
+    EXPECT_LT(c.tp, spec.tp);
+  }
+}
+
+TEST_P(RankCoordTest, TpIsInnermost) {
+  ParallelismSpec spec = GetParam();
+  if (spec.tp < 2) {
+    GTEST_SKIP();
+  }
+  RankCoord c0 = CoordOfRank(spec, 0);
+  RankCoord c1 = CoordOfRank(spec, 1);
+  EXPECT_EQ(c0.tp + 1, c1.tp);
+  EXPECT_EQ(c0.dp, c1.dp);
+}
+
+INSTANTIATE_TEST_SUITE_P(Specs, RankCoordTest,
+                         ::testing::Values(ParallelismSpec{1, 1, 1, 1},
+                                           ParallelismSpec{2, 1, 1, 1},
+                                           ParallelismSpec{2, 2, 2, 2},
+                                           ParallelismSpec{9, 8, 1, 4},
+                                           ParallelismSpec{9, 4, 4, 4},
+                                           ParallelismSpec{3, 5, 2, 7}));
+
+TEST(ClientPlaceTreeTest, BucketCountsPerAxis) {
+  ParallelismSpec spec{.dp = 4, .pp = 2, .cp = 3, .tp = 2};
+  auto tree = ClientPlaceTree::FromDeviceMesh(spec, 8);
+  EXPECT_EQ(tree.NumBuckets(Axis::kDP), 4);
+  EXPECT_EQ(tree.NumBuckets(Axis::kCP), 12);  // DP x CP uniform consumers
+  EXPECT_EQ(tree.NumBuckets(Axis::kWorld), 48);
+  EXPECT_EQ(tree.NumBuckets(Axis::kPP), 4);   // replicated along PP
+  EXPECT_EQ(tree.NumBuckets(Axis::kTP), 4);   // replicated along TP
+  EXPECT_EQ(tree.num_microbatches(), 8);
+}
+
+TEST(ClientPlaceTreeTest, GroupSizeCeils) {
+  ParallelismSpec spec{.dp = 10, .pp = 1, .cp = 1, .tp = 1};
+  auto tree = ClientPlaceTree::FromDeviceMesh(spec);
+  EXPECT_EQ(tree.NumBuckets(Axis::kDP, 3), 4);  // ceil(10/3)
+  EXPECT_EQ(tree.NumBuckets(Axis::kDP, 10), 1);
+  EXPECT_EQ(tree.NumBuckets(Axis::kDP, 100), 1);
+}
+
+TEST(ClientPlaceTreeTest, BucketsPartitionTheWorld) {
+  ParallelismSpec spec{.dp = 3, .pp = 2, .cp = 2, .tp = 2};
+  auto tree = ClientPlaceTree::FromDeviceMesh(spec);
+  for (Axis axis : {Axis::kDP, Axis::kCP, Axis::kWorld}) {
+    std::set<int32_t> seen;
+    for (int32_t b = 0; b < tree.NumBuckets(axis); ++b) {
+      for (int32_t r : tree.BucketRanks(axis, b)) {
+        EXPECT_TRUE(seen.insert(r).second) << "rank " << r << " in two buckets";
+      }
+    }
+    EXPECT_EQ(seen.size(), static_cast<size_t>(spec.WorldSize()));
+  }
+}
+
+TEST(ClientPlaceTreeTest, CpBucketGroupsDpCpPairs) {
+  ParallelismSpec spec{.dp = 2, .pp = 1, .cp = 2, .tp = 2};
+  auto tree = ClientPlaceTree::FromDeviceMesh(spec);
+  // Bucket 0 = (dp0, cp0): its ranks must share dp=0, cp=0 across tp.
+  for (int32_t r : tree.BucketRanks(Axis::kCP, 0)) {
+    RankCoord c = CoordOfRank(spec, r);
+    EXPECT_EQ(c.dp, 0);
+    EXPECT_EQ(c.cp, 0);
+  }
+  EXPECT_EQ(tree.BucketRanks(Axis::kCP, 0).size(), 2u);  // tp ranks
+}
+
+TEST(ClientPlaceTreeTest, BucketOfRankConsistentWithBucketRanks) {
+  ParallelismSpec spec{.dp = 2, .pp = 2, .cp = 2, .tp = 1};
+  auto tree = ClientPlaceTree::FromDeviceMesh(spec);
+  for (Axis axis : {Axis::kDP, Axis::kCP, Axis::kWorld}) {
+    for (int32_t r = 0; r < spec.WorldSize(); ++r) {
+      int32_t b = tree.BucketOfRank(axis, r);
+      auto ranks = tree.BucketRanks(axis, b);
+      EXPECT_NE(std::find(ranks.begin(), ranks.end(), r), ranks.end());
+    }
+  }
+}
+
+TEST(ClientPlaceTreeTest, FetchExclusionsPerAxis) {
+  ParallelismSpec spec{.dp = 2, .pp = 2, .cp = 2, .tp = 2};
+  auto tree = ClientPlaceTree::FromDeviceMesh(spec);
+  // TP broadcast: tp>0 ranks excluded = world/2.
+  EXPECT_EQ(tree.FetchExcludedRanks(Axis::kTP).size(),
+            static_cast<size_t>(spec.WorldSize() / 2));
+  for (int32_t r : tree.FetchExcludedRanks(Axis::kTP)) {
+    EXPECT_GT(CoordOfRank(spec, r).tp, 0);
+  }
+  // No exclusions along DP.
+  EXPECT_TRUE(tree.FetchExcludedRanks(Axis::kDP).empty());
+}
+
+TEST(ClientPlaceTreeTest, FetchingRanksComposeExclusions) {
+  ParallelismSpec spec{.dp = 2, .pp = 2, .cp = 2, .tp = 2};
+  auto tree = ClientPlaceTree::FromDeviceMesh(spec);
+  auto fetching = tree.FetchingRanks({Axis::kTP, Axis::kCP, Axis::kPP});
+  // Only (tp=0, cp=0, pp=0) ranks remain: one per DP group.
+  EXPECT_EQ(fetching.size(), 2u);
+  for (int32_t r : fetching) {
+    RankCoord c = CoordOfRank(spec, r);
+    EXPECT_EQ(c.tp, 0);
+    EXPECT_EQ(c.cp, 0);
+    EXPECT_EQ(c.pp, 0);
+  }
+}
+
+TEST(ClientPlaceTreeTest, DpOfBucketMapsConsumersToConstructors) {
+  ParallelismSpec spec{.dp = 3, .pp = 1, .cp = 2, .tp = 1};
+  auto tree = ClientPlaceTree::FromDeviceMesh(spec);
+  EXPECT_EQ(tree.DpOfBucket(Axis::kDP, 2), 2);
+  EXPECT_EQ(tree.DpOfBucket(Axis::kCP, 0), 0);
+  EXPECT_EQ(tree.DpOfBucket(Axis::kCP, 1), 0);
+  EXPECT_EQ(tree.DpOfBucket(Axis::kCP, 2), 1);
+  EXPECT_EQ(tree.DpOfBucket(Axis::kWorld, spec.WorldSize() - 1), 2);
+}
+
+TEST(ClientPlaceTreeTest, RebuildAdoptsNewMesh) {
+  auto tree = ClientPlaceTree::FromDeviceMesh({.dp = 2, .pp = 1, .cp = 1, .tp = 1});
+  EXPECT_EQ(tree.NumBuckets(Axis::kDP), 2);
+  tree.Rebuild({.dp = 8, .pp = 1, .cp = 1, .tp = 1});
+  EXPECT_EQ(tree.NumBuckets(Axis::kDP), 8);
+  EXPECT_EQ(tree.root().ranks.size(), 8u);
+}
+
+TEST(ClientPlaceTreeTest, CustomizeHookSeesRoot) {
+  auto tree = ClientPlaceTree::FromDeviceMesh({.dp = 2, .pp = 2, .cp = 1, .tp = 1});
+  bool called = false;
+  tree.Customize([&called](PlaceNode& root) {
+    called = true;
+    EXPECT_EQ(root.ranks.size(), 4u);
+  });
+  EXPECT_TRUE(called);
+}
+
+TEST(ClientPlaceTreeTest, ToStringMentionsSpec) {
+  auto tree = ClientPlaceTree::FromDeviceMesh({.dp = 2, .pp = 1, .cp = 1, .tp = 1});
+  EXPECT_NE(tree.ToString().find("DP=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace msd

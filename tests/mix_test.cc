@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "src/plan/mix.h"
+
+namespace msd {
+namespace {
+
+TEST(StaticMixTest, ConstantWeights) {
+  StaticMix mix({1.0, 2.0, 3.0});
+  EXPECT_EQ(mix.num_sources(), 3u);
+  EXPECT_EQ(mix.WeightsAt(0), mix.WeightsAt(1000));
+}
+
+TEST(StagedMixTest, StagesSwitchAtBoundaries) {
+  StagedMix mix({{0, {1.0, 0.0}}, {100, {0.5, 0.5}}, {200, {0.0, 1.0}}});
+  EXPECT_EQ(mix.WeightsAt(0), (std::vector<double>{1.0, 0.0}));
+  EXPECT_EQ(mix.WeightsAt(99), (std::vector<double>{1.0, 0.0}));
+  EXPECT_EQ(mix.WeightsAt(100), (std::vector<double>{0.5, 0.5}));
+  EXPECT_EQ(mix.WeightsAt(150), (std::vector<double>{0.5, 0.5}));
+  EXPECT_EQ(mix.WeightsAt(5000), (std::vector<double>{0.0, 1.0}));
+}
+
+TEST(StagedMixTest, UnsortedStagesAreSorted) {
+  StagedMix mix({{100, {0.0, 1.0}}, {0, {1.0, 0.0}}});
+  EXPECT_EQ(mix.WeightsAt(0), (std::vector<double>{1.0, 0.0}));
+  EXPECT_EQ(mix.WeightsAt(100), (std::vector<double>{0.0, 1.0}));
+}
+
+TEST(WarmupMixTest, InterpolatesLinearly) {
+  WarmupMix mix({1.0, 0.0}, {0.0, 1.0}, 10);
+  EXPECT_EQ(mix.WeightsAt(0), (std::vector<double>{1.0, 0.0}));
+  auto mid = mix.WeightsAt(5);
+  EXPECT_NEAR(mid[0], 0.5, 1e-12);
+  EXPECT_NEAR(mid[1], 0.5, 1e-12);
+  EXPECT_EQ(mix.WeightsAt(10), (std::vector<double>{0.0, 1.0}));
+  EXPECT_EQ(mix.WeightsAt(99), (std::vector<double>{0.0, 1.0}));  // clamped
+}
+
+TEST(DynamicMixTest, CallbackDrivesWeights) {
+  DynamicMix mix(2, [](int64_t step) {
+    return std::vector<double>{1.0, static_cast<double>(step)};
+  });
+  EXPECT_EQ(mix.WeightsAt(0)[1], 0.0);
+  EXPECT_EQ(mix.WeightsAt(7)[1], 7.0);
+}
+
+TEST(MixSamplerTest, ProportionsFollowWeights) {
+  StaticMix mix({3.0, 1.0});
+  MixSampler sampler(&mix);
+  Rng rng(1);
+  std::vector<int64_t> available = {100000, 100000};
+  auto draws = sampler.SampleSources(0, 8000, available, rng);
+  ASSERT_TRUE(draws.ok());
+  int64_t first = 0;
+  for (size_t s : draws.value()) {
+    if (s == 0) {
+      ++first;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(first) / 8000.0, 0.75, 0.02);
+}
+
+TEST(MixSamplerTest, ExhaustedSourceMasked) {
+  StaticMix mix({1.0, 1.0});
+  MixSampler sampler(&mix);
+  Rng rng(2);
+  std::vector<int64_t> available = {3, 100};
+  auto draws = sampler.SampleSources(0, 50, available, rng);
+  ASSERT_TRUE(draws.ok());
+  int64_t first = 0;
+  for (size_t s : draws.value()) {
+    if (s == 0) {
+      ++first;
+    }
+  }
+  EXPECT_EQ(first, 3);  // exactly the available supply
+}
+
+TEST(MixSamplerTest, TotalExhaustionFails) {
+  StaticMix mix({1.0, 1.0});
+  MixSampler sampler(&mix);
+  Rng rng(3);
+  std::vector<int64_t> available = {2, 2};
+  auto draws = sampler.SampleSources(0, 10, available, rng);
+  EXPECT_EQ(draws.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(MixSamplerTest, SizeMismatchRejected) {
+  StaticMix mix({1.0, 1.0});
+  MixSampler sampler(&mix);
+  Rng rng(4);
+  std::vector<int64_t> available = {5};
+  EXPECT_EQ(sampler.SampleSources(0, 1, available, rng).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MixSamplerTest, ZeroWeightSourceNeverDrawn) {
+  StaticMix mix({1.0, 0.0});
+  MixSampler sampler(&mix);
+  Rng rng(5);
+  std::vector<int64_t> available = {1000, 1000};
+  auto draws = sampler.SampleSources(0, 200, available, rng);
+  ASSERT_TRUE(draws.ok());
+  for (size_t s : draws.value()) {
+    EXPECT_EQ(s, 0u);
+  }
+}
+
+TEST(MixSamplerTest, CurriculumShiftsDrawsOverSteps) {
+  StagedMix mix({{0, {1.0, 0.0}}, {10, {0.0, 1.0}}});
+  MixSampler sampler(&mix);
+  Rng rng(6);
+  std::vector<int64_t> available = {1000, 1000};
+  auto early = sampler.SampleSources(0, 100, available, rng);
+  auto late = sampler.SampleSources(20, 100, available, rng);
+  ASSERT_TRUE(early.ok());
+  ASSERT_TRUE(late.ok());
+  for (size_t s : early.value()) {
+    EXPECT_EQ(s, 0u);
+  }
+  for (size_t s : late.value()) {
+    EXPECT_EQ(s, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace msd

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "src/data/synthetic.h"
+#include "src/planner/planner.h"
+#include "src/planner/strategies.h"
+
+namespace msd {
+namespace {
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    corpus_ = MakeCoyo700m();
+    for (SourceSpec& src : corpus_.sources) {
+      src.num_files = 1;
+      src.rows_per_file = 64;
+    }
+    ASSERT_TRUE(WriteCorpus(store_, corpus_, 7).ok());
+    tree_ = ClientPlaceTree::FromDeviceMesh({.dp = 2, .pp = 1, .cp = 1, .tp = 2}, 2);
+    for (size_t s = 0; s < corpus_.sources.size(); ++s) {
+      SourceLoaderConfig config;
+      config.loader_id = static_cast<int32_t>(s);
+      config.spec = corpus_.sources[s];
+      config.files = {SourceFileName(corpus_.sources[s], 0)};
+      config.num_workers = 1;
+      config.buffer_low_watermark = 32;
+      auto loader = system_.Spawn<SourceLoader>(config, &store_, &memory_);
+      Status open = system_.Ask<Status>(*loader, [l = loader.get()] { return l->Open(); });
+      ASSERT_TRUE(open.ok());
+      loaders_.push_back(loader);
+    }
+  }
+
+  StrategyOptions DefaultOptions() {
+    StrategyOptions so;
+    so.samples_per_step = 16;
+    so.schedule = std::make_shared<StaticMix>(corpus_.UniformWeights());
+    return so;
+  }
+
+  std::shared_ptr<Planner> MakePlanner(Strategy strategy, PlannerConfig config = {}) {
+    auto planner = system_.Spawn<Planner>(config, &system_, &tree_, std::move(strategy),
+                                          &memory_);
+    std::vector<SourceLoader*> raw;
+    for (auto& l : loaders_) {
+      raw.push_back(l.get());
+    }
+    planner->SetLoaders(raw);
+    return planner;
+  }
+
+  CorpusSpec corpus_;
+  MemoryAccountant memory_;
+  ObjectStore store_{&memory_};
+  ActorSystem system_;
+  ClientPlaceTree tree_;
+  std::vector<std::shared_ptr<SourceLoader>> loaders_;
+};
+
+TEST_F(PlannerTest, GeneratesAndCachesPlans) {
+  auto planner = MakePlanner(MakeLlmBalanceStrategy(DefaultOptions(),
+                                                    BackboneCostFn(Llama12B())));
+  Result<LoadingPlan> p1 = planner->GetPlan(0);
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(p1->assignments.size(), 16u);
+  EXPECT_EQ(planner->plans_generated(), 1);
+  Result<LoadingPlan> again = planner->GetPlan(0);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(planner->plans_generated(), 1);  // cache hit
+}
+
+TEST_F(PlannerTest, PlansAreJournaledToGcs) {
+  auto planner = MakePlanner(MakeVanillaStrategy(DefaultOptions()));
+  ASSERT_TRUE(planner->GetPlan(5).ok());
+  auto blob = system_.gcs().GetState(Planner::PlanJournalKey(5));
+  ASSERT_TRUE(blob.has_value());
+  Result<LoadingPlan> parsed = LoadingPlan::Deserialize(*blob);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->step, 5);
+}
+
+TEST_F(PlannerTest, ReplayModeServesJournaledPlansOnly) {
+  auto live = MakePlanner(MakeVanillaStrategy(DefaultOptions()));
+  ASSERT_TRUE(live->PrecomputePlans(0, 3).ok());
+
+  PlannerConfig replay_config;
+  replay_config.name = "planner-replay";
+  replay_config.replay_mode = true;
+  // Fresh planner, same GCS: serves journaled plans without re-planning.
+  auto replay = system_.Spawn<Planner>(replay_config, &system_, &tree_,
+                                       MakeVanillaStrategy(DefaultOptions()), &memory_);
+  Result<LoadingPlan> plan = replay->GetPlan(1);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->step, 1);
+  EXPECT_EQ(replay->plans_generated(), 0);  // never re-planned
+}
+
+TEST_F(PlannerTest, ReplayModeMissesUnplannedSteps) {
+  PlannerConfig config;
+  config.replay_mode = true;
+  auto planner = MakePlanner(MakeVanillaStrategy(DefaultOptions()), config);
+  EXPECT_EQ(planner->GetPlan(42).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(PlannerTest, DeadLoaderDetectedDuringGather) {
+  auto planner = MakePlanner(MakeVanillaStrategy(DefaultOptions()));
+  system_.Kill(*loaders_[2]);
+  Result<LoadingPlan> plan = planner->GetPlan(0);
+  EXPECT_EQ(plan.status().code(), StatusCode::kUnavailable);
+  ASSERT_EQ(planner->last_failed_loaders().size(), 1u);
+  EXPECT_EQ(planner->last_failed_loaders()[0], loaders_[2]->name());
+}
+
+TEST_F(PlannerTest, BalancedStrategyBeatsVanilla) {
+  auto vanilla = MakePlanner(MakeVanillaStrategy(DefaultOptions()));
+  LoadingPlan vanilla_plan = vanilla->GetPlan(0).value();
+  // Vanilla has no cost annotations; recompute loads by token count.
+  auto token_load = [](const LoadingPlan& plan) {
+    std::vector<double> loads(static_cast<size_t>(plan.num_buckets), 0.0);
+    for (const SliceAssignment& a : plan.assignments) {
+      loads[static_cast<size_t>(a.bucket)] +=
+          BackboneSampleFlops(Llama12B(), SampleMeta{.text_tokens = a.total_tokens});
+    }
+    return loads;
+  };
+  PlannerConfig balanced_config;
+  balanced_config.name = "planner-balanced";
+  auto balanced_planner = system_.Spawn<Planner>(
+      balanced_config, &system_, &tree_,
+      MakeLlmBalanceStrategy(DefaultOptions(), BackboneCostFn(Llama12B())), &memory_);
+  std::vector<SourceLoader*> raw;
+  for (auto& l : loaders_) {
+    raw.push_back(l.get());
+  }
+  balanced_planner->SetLoaders(raw);
+  LoadingPlan balanced_plan = balanced_planner->GetPlan(0).value();
+  EXPECT_LE(Imbalance(token_load(balanced_plan)), Imbalance(token_load(vanilla_plan)));
+}
+
+TEST_F(PlannerTest, HybridStrategyAttachesEncoderSubplan) {
+  auto planner = MakePlanner(MakeVlmHybridStrategy(
+      DefaultOptions(), BackboneCostFn(Llama12B()), EncoderCostFn(ViT1B())));
+  LoadingPlan plan = planner->GetPlan(0).value();
+  ASSERT_EQ(plan.subplans.count("encoder"), 1u);
+  const LoadingPlan& encoder = plan.subplans.at("encoder");
+  EXPECT_EQ(encoder.axis, Axis::kWorld);
+  EXPECT_EQ(encoder.num_buckets, tree_.spec().WorldSize());
+  // Encoder subplan covers exactly the sampled image-bearing samples.
+  EXPECT_LE(encoder.assignments.size(), plan.assignments.size());
+  EXPECT_GT(encoder.assignments.size(), 0u);
+}
+
+TEST_F(PlannerTest, PhaseTimingsPopulated) {
+  auto planner = MakePlanner(MakeLlmBalanceStrategy(DefaultOptions(),
+                                                    BackboneCostFn(Llama12B())));
+  ASSERT_TRUE(planner->GetPlan(0).ok());
+  Planner::PhaseTimings timings = planner->last_timings();
+  EXPECT_GE(timings.gather_ms, 0.0);
+  EXPECT_GT(timings.compute_ms, 0.0);
+}
+
+TEST_F(PlannerTest, BroadcastTpShrinksFetchingSet) {
+  StrategyOptions so = DefaultOptions();
+  so.broadcast_tp = true;
+  auto planner = MakePlanner(MakeLlmBalanceStrategy(so, BackboneCostFn(Llama12B())));
+  LoadingPlan plan = planner->GetPlan(0).value();
+  EXPECT_EQ(plan.fetching_ranks.size(), 2u);  // world=4, tp=2 -> 2 fetchers
+}
+
+}  // namespace
+}  // namespace msd

@@ -1,0 +1,274 @@
+// Property-style parameterized sweeps over the core invariants:
+//  - sequence packing never overflows and never loses samples,
+//  - CP slicing covers every token exactly once for any (length, cp, mode),
+//  - every balancer conserves mass and respects bin bounds across skews,
+//  - MSDF files round-trip arbitrary row content,
+//  - plans round-trip serialization for arbitrary mesh shapes,
+//  - the watchdog promotes shadows exactly for stale loaders.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "src/constructor/data_constructor.h"
+#include "src/data/microbatch.h"
+#include "src/ft/watchdog.h"
+#include "src/plan/dgraph.h"
+#include "src/storage/columnar.h"
+
+namespace msd {
+namespace {
+
+// ---------------------------------------------------------------- packing --
+struct PackParam {
+  int32_t max_seq_len;
+  int32_t samples;
+  double sigma;  // lognormal length skew
+  uint64_t seed;
+};
+
+class PackingSweep : public ::testing::TestWithParam<PackParam> {};
+
+TEST_P(PackingSweep, NoOverflowNoLossAndPositions) {
+  PackParam p = GetParam();
+  Rng rng(p.seed);
+  std::vector<SampleMeta> metas;
+  for (int32_t i = 0; i < p.samples; ++i) {
+    SampleMeta meta;
+    meta.sample_id = static_cast<uint64_t>(i + 1);
+    meta.text_tokens =
+        std::max<int32_t>(1, static_cast<int32_t>(rng.LogNormal(4.0, p.sigma)));
+    metas.push_back(meta);
+  }
+  auto sequences = PackSequences(metas, p.max_seq_len);
+  std::set<uint64_t> placed;
+  for (const PackedSequence& seq : sequences) {
+    EXPECT_LE(seq.total_tokens, p.max_seq_len);
+    EXPECT_GT(seq.total_tokens, 0);
+    EXPECT_EQ(seq.total_tokens,
+              std::accumulate(seq.segment_lengths.begin(), seq.segment_lengths.end(), 0));
+    for (uint64_t id : seq.sample_ids) {
+      EXPECT_TRUE(placed.insert(id).second) << "sample packed twice";
+    }
+    auto positions = RopePositions(seq);
+    EXPECT_EQ(static_cast<int32_t>(positions.size()), seq.total_tokens);
+    // Positions restart at 0 on each segment and never exceed segment length.
+    size_t cursor = 0;
+    for (int32_t len : seq.segment_lengths) {
+      EXPECT_EQ(positions[cursor], 0);
+      EXPECT_EQ(positions[cursor + static_cast<size_t>(len) - 1], len - 1);
+      cursor += static_cast<size_t>(len);
+    }
+  }
+  EXPECT_EQ(placed.size(), static_cast<size_t>(p.samples));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PackingSweep,
+                         ::testing::Values(PackParam{128, 50, 0.5, 1},
+                                           PackParam{1024, 200, 1.0, 2},
+                                           PackParam{1024, 200, 2.5, 3},
+                                           PackParam{4096, 500, 1.5, 4},
+                                           PackParam{32768, 100, 3.0, 5},
+                                           PackParam{64, 300, 2.0, 6}));
+
+// ------------------------------------------------------------- CP slicing --
+struct CpParam {
+  int32_t padded_len;
+  int32_t cp;
+  CpSplitMode mode;
+};
+
+class CpSliceSweep : public ::testing::TestWithParam<CpParam> {};
+
+TEST_P(CpSliceSweep, ExactDisjointCoverage) {
+  CpParam p = GetParam();
+  std::vector<int> owner(static_cast<size_t>(p.padded_len), -1);
+  for (int32_t rank = 0; rank < p.cp; ++rank) {
+    for (auto [begin, end] : CpSliceRanges(p.padded_len, p.cp, rank, p.mode)) {
+      for (int32_t i = begin; i < end; ++i) {
+        EXPECT_EQ(owner[static_cast<size_t>(i)], -1) << "token " << i << " double-owned";
+        owner[static_cast<size_t>(i)] = rank;
+      }
+    }
+  }
+  for (int32_t i = 0; i < p.padded_len; ++i) {
+    EXPECT_NE(owner[static_cast<size_t>(i)], -1) << "token " << i << " unowned";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CpSliceSweep,
+    ::testing::Values(CpParam{160, 4, CpSplitMode::kZigZag},
+                      CpParam{160, 4, CpSplitMode::kContiguous},
+                      CpParam{1024, 8, CpSplitMode::kZigZag},
+                      CpParam{1024, 8, CpSplitMode::kContiguous},
+                      CpParam{64, 2, CpSplitMode::kZigZag},
+                      CpParam{4096, 16, CpSplitMode::kZigZag},
+                      CpParam{12, 2, CpSplitMode::kContiguous}));
+
+// -------------------------------------------------------------- balancers --
+struct BalParam {
+  BalanceMethod method;
+  int32_t bins;
+  uint64_t seed;
+};
+
+class BalancerSweep : public ::testing::TestWithParam<BalParam> {};
+
+TEST_P(BalancerSweep, MassConservedAndBounded) {
+  BalParam p = GetParam();
+  Rng rng(p.seed);
+  std::vector<double> costs;
+  for (int i = 0; i < 333; ++i) {
+    costs.push_back(rng.LogNormal(0.0, 1.7));
+  }
+  auto assignment = AssignToBins(costs, p.bins, p.method);
+  auto loads = BinLoads(costs, assignment, p.bins);
+  EXPECT_NEAR(std::accumulate(loads.begin(), loads.end(), 0.0),
+              std::accumulate(costs.begin(), costs.end(), 0.0), 1e-9);
+  // Any sane balancer beats the worst case of one hot bin.
+  EXPECT_LT(Imbalance(loads), static_cast<double>(p.bins));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BalancerSweep,
+    ::testing::Values(BalParam{BalanceMethod::kGreedy, 7, 11},
+                      BalParam{BalanceMethod::kKarmarkarKarp, 7, 11},
+                      BalParam{BalanceMethod::kInterleave, 7, 11},
+                      BalParam{BalanceMethod::kZigZag, 7, 11},
+                      BalParam{BalanceMethod::kVShape, 7, 11},
+                      BalParam{BalanceMethod::kGreedy, 64, 13},
+                      BalParam{BalanceMethod::kKarmarkarKarp, 64, 13},
+                      BalParam{BalanceMethod::kInterleave, 64, 13}));
+
+// ------------------------------------------------------------------- MSDF --
+class MsdfRoundTripSweep : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(MsdfRoundTripSweep, ArbitraryRowsSurvive) {
+  int64_t group_bytes = GetParam();
+  Rng rng(static_cast<uint64_t>(group_bytes));
+  Schema schema{{{"blob", FieldType::kBytes}}};
+  MsdfWriter writer(schema, {.target_row_group_bytes = group_bytes});
+  std::vector<std::string> rows;
+  for (int i = 0; i < 100; ++i) {
+    std::string row(static_cast<size_t>(rng.UniformInt(0, 200)), '\0');
+    for (char& c : row) {
+      c = static_cast<char>(rng.NextU32() & 0xFF);  // arbitrary binary content
+    }
+    rows.push_back(row);
+    writer.AppendRow(row);
+  }
+  MemoryAccountant acc;
+  ObjectStore store(&acc);
+  ASSERT_TRUE(store.Put("f", writer.Finish()).ok());
+  MsdfReader reader = MsdfReader::Open(store, "f", &acc, 0).value();
+  EXPECT_EQ(reader.info().total_rows, 100);
+  size_t next = 0;
+  for (size_t g = 0; g < reader.info().row_groups.size(); ++g) {
+    Result<std::vector<std::string>> group = reader.ReadRowGroup(g);
+    ASSERT_TRUE(group.ok());
+    for (const std::string& row : group.value()) {
+      ASSERT_LT(next, rows.size());
+      EXPECT_EQ(row, rows[next++]);
+    }
+  }
+  EXPECT_EQ(next, rows.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MsdfRoundTripSweep,
+                         ::testing::Values(64, 512, 4096, 65536, 16777216));
+
+// ------------------------------------------------------------------ plans --
+class PlanRoundTripSweep : public ::testing::TestWithParam<ParallelismSpec> {};
+
+TEST_P(PlanRoundTripSweep, SerializeDeserializeIdentity) {
+  ParallelismSpec spec = GetParam();
+  auto tree = ClientPlaceTree::FromDeviceMesh(spec, 4);
+  std::vector<BufferInfo> buffers(2);
+  Rng rng(3);
+  uint64_t id = 1;
+  for (int32_t s = 0; s < 2; ++s) {
+    buffers[s].loader_id = s;
+    buffers[s].source_id = s;
+    for (int i = 0; i < 24; ++i) {
+      SampleMeta meta;
+      meta.sample_id = id++;
+      meta.source_id = s;
+      meta.text_tokens = static_cast<int32_t>(rng.UniformInt(1, 4096));
+      buffers[s].samples.push_back(meta);
+    }
+  }
+  DGraph g = DGraph::FromBufferInfos(buffers);
+  g.Init(&tree);
+  ASSERT_TRUE(g.Distribute(Axis::kCP).ok());
+  ASSERT_TRUE(g.Cost([](const SampleMeta& m) {
+                 return CostEntry{static_cast<double>(m.TotalTokens()), 0.0};
+               }).ok());
+  ASSERT_TRUE(g.Balance().ok());
+  g.BroadcastAt(Axis::kTP);
+  LoadingPlan plan = g.Plan(9).value();
+  Result<LoadingPlan> parsed = LoadingPlan::Deserialize(plan.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Serialize(), plan.Serialize());  // byte-identical fixpoint
+  EXPECT_EQ(parsed->num_buckets, tree.NumBuckets(Axis::kCP));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PlanRoundTripSweep,
+                         ::testing::Values(ParallelismSpec{1, 1, 1, 1},
+                                           ParallelismSpec{2, 2, 2, 2},
+                                           ParallelismSpec{3, 1, 4, 2},
+                                           ParallelismSpec{8, 2, 1, 4}));
+
+// --------------------------------------------------------------- watchdog --
+TEST(WatchdogTest, PromotesOnlyStaleLoaders) {
+  MemoryAccountant memory;
+  ObjectStore store(&memory);
+  SourceSpec spec = MakeCoyo700m().sources[0];
+  spec.num_files = 1;
+  spec.rows_per_file = 16;
+  ASSERT_TRUE(WriteSourceFiles(store, spec, 7).ok());
+
+  ActorSystem system;
+  auto make = [&](int32_t id, bool shadow) {
+    SourceLoaderConfig config;
+    config.loader_id = id;
+    config.spec = spec;
+    config.files = {SourceFileName(spec, 0)};
+    config.num_workers = 1;
+    config.buffer_low_watermark = 4;
+    config.is_shadow = shadow;
+    config.name_override = (shadow ? std::string("shadow#") : std::string("primary#")) +
+                           std::to_string(id);
+    auto loader = system.Spawn<SourceLoader>(config, &store, &memory);
+    EXPECT_TRUE(system.Ask<Status>(*loader, [l = loader.get()] { return l->Open(); }).ok());
+    return loader;
+  };
+  auto p0 = make(0, false);
+  auto s0 = make(0, true);
+  auto p1 = make(1, false);
+  auto s1 = make(1, true);
+
+  FaultToleranceManager ft({}, &system);
+  ft.RegisterPair(p0.get(), s0.get());
+  ft.RegisterPair(p1.get(), s1.get());
+  Watchdog watchdog(&system, &ft, /*heartbeat_timeout_ms=*/1000);
+
+  // p0 heartbeats recently; p1 went silent long ago.
+  system.gcs().Heartbeat("primary#0", 10'000);
+  system.gcs().Heartbeat("primary#1", 1'000);
+  // Shadows and other actors heartbeat too, so only primaries can go stale.
+  system.gcs().Heartbeat("shadow#0", 10'000);
+  system.gcs().Heartbeat("shadow#1", 10'000);
+
+  std::vector<std::string> promoted = watchdog.ScanAndRecover(/*now_ms=*/10'500);
+  ASSERT_EQ(promoted.size(), 1u);
+  EXPECT_EQ(promoted[0], "shadow#1");
+  EXPECT_EQ(watchdog.detections(), 1);
+  EXPECT_FALSE(system.gcs().IsAlive("primary#1"));
+  EXPECT_TRUE(system.gcs().IsAlive("primary#0"));
+  // Second scan: nothing new (the dead primary is excluded from staleness).
+  EXPECT_TRUE(watchdog.ScanAndRecover(10'600).empty());
+}
+
+}  // namespace
+}  // namespace msd

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/mesh/selective_broadcast.h"
+
+namespace msd {
+namespace {
+
+// Every rank must end up with data exactly once: either as a fetcher or as a
+// target of exactly one broadcast group.
+void CheckCoverage(const ParallelismSpec& spec, const BroadcastPlan& plan) {
+  std::set<int32_t> covered(plan.fetching_ranks.begin(), plan.fetching_ranks.end());
+  EXPECT_EQ(covered.size(), plan.fetching_ranks.size());
+  for (const auto& stage : plan.stages) {
+    for (const BroadcastGroup& group : stage) {
+      // Roots must already hold the data when their stage runs.
+      EXPECT_TRUE(covered.count(group.root) > 0)
+          << "root " << group.root << " broadcasts before receiving";
+      for (int32_t t : group.targets) {
+        EXPECT_TRUE(covered.insert(t).second) << "rank " << t << " covered twice";
+      }
+    }
+  }
+  EXPECT_EQ(covered.size(), static_cast<size_t>(spec.WorldSize()));
+}
+
+TEST(SelectiveBroadcastTest, TpOnly) {
+  ParallelismSpec spec{.dp = 2, .pp = 1, .cp = 1, .tp = 4};
+  auto tree = ClientPlaceTree::FromDeviceMesh(spec);
+  BroadcastPlan plan = MakeSelectiveBroadcastPlan(tree, {Axis::kTP});
+  EXPECT_EQ(plan.fetching_ranks.size(), 2u);  // one per DP group
+  ASSERT_EQ(plan.stages.size(), 1u);
+  EXPECT_EQ(plan.stages[0].size(), 2u);  // one TP group per DP group
+  for (const BroadcastGroup& g : plan.stages[0]) {
+    EXPECT_EQ(g.targets.size(), 3u);  // tp 1..3
+  }
+  CheckCoverage(spec, plan);
+}
+
+TEST(SelectiveBroadcastTest, CpThenTpStages) {
+  ParallelismSpec spec{.dp = 2, .pp = 1, .cp = 2, .tp = 2};
+  auto tree = ClientPlaceTree::FromDeviceMesh(spec);
+  BroadcastPlan plan = MakeSelectiveBroadcastPlan(tree, {Axis::kCP, Axis::kTP});
+  // Only (cp0, tp0) of each DP group fetches: 2 clients instead of 8.
+  EXPECT_EQ(plan.fetching_ranks.size(), 2u);
+  ASSERT_EQ(plan.stages.size(), 2u);
+  // Stage 0 (CP): 2 groups (one per DP), each root sends to its cp1/tp0 peer.
+  EXPECT_EQ(plan.stages[0].size(), 2u);
+  for (const BroadcastGroup& g : plan.stages[0]) {
+    EXPECT_EQ(g.targets.size(), 1u);
+  }
+  // Stage 1 (TP): 4 groups (per dp x cp), each reaching the tp1 rank.
+  EXPECT_EQ(plan.stages[1].size(), 4u);
+  CheckCoverage(spec, plan);
+}
+
+TEST(SelectiveBroadcastTest, FullFourAxisMesh) {
+  ParallelismSpec spec{.dp = 3, .pp = 2, .cp = 2, .tp = 2};
+  auto tree = ClientPlaceTree::FromDeviceMesh(spec);
+  BroadcastPlan plan = MakeSelectiveBroadcastPlan(tree, {Axis::kPP, Axis::kCP, Axis::kTP});
+  EXPECT_EQ(plan.fetching_ranks.size(), 3u);  // one per DP group
+  CheckCoverage(spec, plan);
+  // Synchronized clients shrink 8x vs. per-rank fetching.
+  EXPECT_EQ(SynchronizedClients(plan) * 8, static_cast<size_t>(spec.WorldSize()));
+}
+
+TEST(SelectiveBroadcastTest, NoAxesMeansEveryoneFetches) {
+  ParallelismSpec spec{.dp = 2, .pp = 2, .cp = 1, .tp = 1};
+  auto tree = ClientPlaceTree::FromDeviceMesh(spec);
+  BroadcastPlan plan = MakeSelectiveBroadcastPlan(tree, {});
+  EXPECT_EQ(plan.fetching_ranks.size(), 4u);
+  EXPECT_TRUE(plan.stages.empty());
+}
+
+TEST(SelectiveBroadcastTest, DegenerateAxisProducesNoGroups) {
+  // tp == 1: a TP broadcast stage has nothing to do.
+  ParallelismSpec spec{.dp = 2, .pp = 1, .cp = 1, .tp = 1};
+  auto tree = ClientPlaceTree::FromDeviceMesh(spec);
+  BroadcastPlan plan = MakeSelectiveBroadcastPlan(tree, {Axis::kTP});
+  ASSERT_EQ(plan.stages.size(), 1u);
+  EXPECT_TRUE(plan.stages[0].empty());
+  CheckCoverage(spec, plan);
+}
+
+class BroadcastSweep : public ::testing::TestWithParam<ParallelismSpec> {};
+
+TEST_P(BroadcastSweep, CoverageAcrossMeshes) {
+  ParallelismSpec spec = GetParam();
+  auto tree = ClientPlaceTree::FromDeviceMesh(spec);
+  for (const std::vector<Axis>& axes :
+       {std::vector<Axis>{Axis::kTP}, std::vector<Axis>{Axis::kCP, Axis::kTP},
+        std::vector<Axis>{Axis::kPP, Axis::kCP, Axis::kTP}}) {
+    BroadcastPlan plan = MakeSelectiveBroadcastPlan(tree, axes);
+    CheckCoverage(spec, plan);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BroadcastSweep,
+                         ::testing::Values(ParallelismSpec{1, 1, 1, 1},
+                                           ParallelismSpec{4, 2, 2, 4},
+                                           ParallelismSpec{2, 3, 4, 2},
+                                           ParallelismSpec{9, 4, 4, 4}));
+
+}  // namespace
+}  // namespace msd

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/network.h"
+
+namespace msd {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(30, [&] { order.push_back(3); });
+  q.ScheduleAt(10, [&] { order.push_back(1); });
+  q.ScheduleAt(20, [&] { order.push_back(2); });
+  EXPECT_EQ(q.Run(), 30);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, EqualTimestampsRunInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  q.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventQueueTest, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(1, [&] {
+    ++fired;
+    q.ScheduleAfter(5, [&] { ++fired; });
+  });
+  EXPECT_EQ(q.Run(), 6);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(10, [&] { ++fired; });
+  q.ScheduleAt(100, [&] { ++fired; });
+  EXPECT_EQ(q.RunUntil(50), 50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending(), 1u);
+  q.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, ClockNeverGoesBackward) {
+  EventQueue q;
+  q.ScheduleAt(10, [] {});
+  q.Run();
+  EXPECT_EQ(q.now(), 10);
+  q.ScheduleAfter(0, [] {});
+  q.Run();
+  EXPECT_EQ(q.now(), 10);
+}
+
+TEST(NetworkModelTest, TransferTimeScalesWithBytes) {
+  NetworkModel net;
+  EXPECT_EQ(net.TransferTime(0), 0);
+  SimTime t1 = net.TransferTime(kGiB);
+  SimTime t2 = net.TransferTime(2 * kGiB);
+  EXPECT_NEAR(static_cast<double>(t2), 2.0 * static_cast<double>(t1),
+              static_cast<double>(t1) * 0.01 + 2);
+}
+
+TEST(NetworkModelTest, ServiceTimeGrowsWithConnections) {
+  NetworkModel net;
+  EXPECT_LT(net.ServiceTime(0), net.ServiceTime(10000));
+  EXPECT_LE(net.ServiceTime(100), net.ServiceTime(1000));
+}
+
+TEST(NetworkModelTest, UtilizationLinearInArrivals) {
+  NetworkModel net;
+  double u1 = net.Utilization(1000.0, 100);
+  double u2 = net.Utilization(2000.0, 100);
+  EXPECT_NEAR(u2, 2.0 * u1, 1e-9);
+}
+
+TEST(NetworkModelTest, LatencyDivergesNearSaturation) {
+  NetworkModel net;
+  // Find an arrival rate that gives utilization ~0.5 and another ~0.95.
+  double service_sec = ToSeconds(net.ServiceTime(1000));
+  SimTime low = net.RequestLatency(0.5 / service_sec, 1000, 0);
+  SimTime high = net.RequestLatency(0.95 / service_sec, 1000, 0);
+  EXPECT_GT(high, low);
+  EXPECT_GT(static_cast<double>(high), 5.0 * service_sec * kSecond);
+}
+
+TEST(NetworkModelTest, SaturationReturnsSentinel) {
+  NetworkModel net;
+  double service_sec = ToSeconds(net.ServiceTime(1000));
+  SimTime sat = net.RequestLatency(2.0 / service_sec, 1000, 0, 42 * kSecond);
+  EXPECT_EQ(sat, 42 * kSecond);
+}
+
+TEST(NetworkModelTest, MoreConnectionsSaturateEarlier) {
+  NetworkModel net;
+  // At a fixed arrival rate, a heavily-connected endpoint collapses while a
+  // lightly-connected one still answers (the Fig. 20 mechanism).
+  double rate = 0.9 / ToSeconds(net.ServiceTime(0));
+  SimTime light = net.RequestLatency(rate, 0, 0, 3600 * kSecond);
+  SimTime heavy = net.RequestLatency(rate, 1'000'000, 0, 3600 * kSecond);
+  EXPECT_LT(light, 3600 * kSecond);
+  EXPECT_EQ(heavy, 3600 * kSecond);
+}
+
+TEST(NetworkModelTest, ConnectionSetupLinear) {
+  NetworkModel net;
+  EXPECT_EQ(net.ConnectionSetupTime(0), 0);
+  EXPECT_EQ(net.ConnectionSetupTime(10), 10 * net.params().connection_setup_cost);
+}
+
+}  // namespace
+}  // namespace msd

@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include "src/storage/columnar.h"
+#include "src/storage/memory_model.h"
+#include "src/storage/object_store.h"
+#include "src/storage/wire.h"
+
+namespace msd {
+namespace {
+
+TEST(WireTest, RoundTripAllTypes) {
+  WireWriter w;
+  w.PutU8(200);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x123456789ABCDEF0ULL);
+  w.PutI64(-42);
+  w.PutF64(3.25);
+  w.PutBytes("hello");
+  std::string buf = w.Take();
+  WireReader r(buf);
+  EXPECT_EQ(r.GetU8(), 200);
+  EXPECT_EQ(r.GetU32(), 0xDEADBEEF);
+  EXPECT_EQ(r.GetU64(), 0x123456789ABCDEF0ULL);
+  EXPECT_EQ(r.GetI64(), -42);
+  EXPECT_DOUBLE_EQ(r.GetF64(), 3.25);
+  EXPECT_EQ(r.GetBytes(), "hello");
+  EXPECT_TRUE(r.Ok());
+}
+
+TEST(WireTest, TruncationSetsError) {
+  WireWriter w;
+  w.PutU32(7);
+  std::string buf = w.Take();
+  WireReader r(buf);
+  r.GetU64();  // longer than what was written
+  EXPECT_FALSE(r.Ok());
+}
+
+TEST(WireTest, OversizedBytesLengthFails) {
+  WireWriter w;
+  w.PutU32(1000);  // claims 1000 bytes follow, but none do
+  std::string buf = w.Take();
+  WireReader r(buf);
+  r.GetBytes();
+  EXPECT_FALSE(r.Ok());
+}
+
+TEST(MemoryAccountantTest, AddAndSubPerNode) {
+  MemoryAccountant acc;
+  acc.Add(0, MemCategory::kFileSocket, 100);
+  acc.Add(1, MemCategory::kFileSocket, 50);
+  acc.Add(0, MemCategory::kBatchBuffer, 25);
+  EXPECT_EQ(acc.NodeTotal(0), 125);
+  EXPECT_EQ(acc.NodeTotal(1), 50);
+  EXPECT_EQ(acc.GrandTotal(), 175);
+  EXPECT_EQ(acc.CategoryTotal(MemCategory::kFileSocket), 150);
+  acc.Sub(0, MemCategory::kFileSocket, 100);
+  EXPECT_EQ(acc.NodeTotal(0), 25);
+}
+
+TEST(MemoryAccountantTest, PeakTracksHighWater) {
+  MemoryAccountant acc;
+  acc.Add(0, MemCategory::kRowGroupBuffer, 1000);
+  acc.Sub(0, MemCategory::kRowGroupBuffer, 900);
+  acc.Add(0, MemCategory::kRowGroupBuffer, 200);
+  EXPECT_EQ(acc.GrandTotal(), 300);
+  EXPECT_EQ(acc.PeakGrandTotal(), 1000);
+}
+
+TEST(MemoryAccountantTest, MeanPerNode) {
+  MemoryAccountant acc;
+  acc.Add(0, MemCategory::kFileSocket, 100);
+  acc.Add(1, MemCategory::kFileSocket, 300);
+  EXPECT_DOUBLE_EQ(acc.MeanPerNode(), 200.0);
+}
+
+TEST(MemoryAccountantTest, ReportNamesCategories) {
+  MemoryAccountant acc;
+  acc.Add(0, MemCategory::kShadowLoader, kMiB);
+  std::string report = acc.Report();
+  EXPECT_NE(report.find("shadow_loader"), std::string::npos);
+}
+
+TEST(MemChargeTest, RaiiReleasesOnDestruction) {
+  MemoryAccountant acc;
+  {
+    MemCharge charge(&acc, 0, MemCategory::kWorkerContext, 500);
+    EXPECT_EQ(acc.GrandTotal(), 500);
+  }
+  EXPECT_EQ(acc.GrandTotal(), 0);
+}
+
+TEST(MemChargeTest, MoveTransfersOwnership) {
+  MemoryAccountant acc;
+  MemCharge a(&acc, 0, MemCategory::kWorkerContext, 500);
+  MemCharge b = std::move(a);
+  EXPECT_EQ(acc.GrandTotal(), 500);
+  b.Release();
+  EXPECT_EQ(acc.GrandTotal(), 0);
+}
+
+TEST(MemChargeTest, MoveAssignReleasesOld) {
+  MemoryAccountant acc;
+  MemCharge a(&acc, 0, MemCategory::kWorkerContext, 500);
+  MemCharge b(&acc, 0, MemCategory::kWorkerContext, 300);
+  b = std::move(a);
+  EXPECT_EQ(acc.GrandTotal(), 500);
+}
+
+TEST(ObjectStoreTest, PutGetDeleteList) {
+  ObjectStore store;
+  EXPECT_TRUE(store.Put("a/1", "xx").ok());
+  EXPECT_TRUE(store.Put("a/2", "yyy").ok());
+  EXPECT_TRUE(store.Put("b/1", "z").ok());
+  EXPECT_TRUE(store.Exists("a/1"));
+  EXPECT_EQ(store.List("a/").size(), 2u);
+  EXPECT_EQ(store.TotalBytes(), 6);
+  EXPECT_TRUE(store.Delete("a/1").ok());
+  EXPECT_FALSE(store.Exists("a/1"));
+  EXPECT_EQ(store.Delete("a/1").code(), StatusCode::kNotFound);
+}
+
+TEST(ObjectStoreTest, OpenChargesSocketBuffers) {
+  MemoryAccountant acc;
+  ObjectStore store(&acc);
+  ASSERT_TRUE(store.Put("f", "data").ok());
+  {
+    Result<FileHandle> handle = store.Open("f", 3);
+    ASSERT_TRUE(handle.ok());
+    EXPECT_EQ(acc.NodeTotal(3), kSocketBufferBytes);
+    EXPECT_EQ(acc.CategoryTotal(MemCategory::kFileSocket), kSocketBufferBytes);
+  }
+  EXPECT_EQ(acc.GrandTotal(), 0);
+}
+
+TEST(ObjectStoreTest, OpenMissingFails) {
+  ObjectStore store;
+  EXPECT_EQ(store.Open("ghost", 0).status().code(), StatusCode::kNotFound);
+}
+
+TEST(FileHandleTest, RangeReads) {
+  ObjectStore store;
+  ASSERT_TRUE(store.Put("f", "0123456789").ok());
+  FileHandle handle = store.Open("f", 0).value();
+  EXPECT_EQ(handle.Read(2, 3).value(), "234");
+  EXPECT_EQ(handle.Read(0, 10).value(), "0123456789");
+  EXPECT_EQ(handle.Read(5, 6).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SchemaTest, RoundTrip) {
+  Schema schema{{{"id", FieldType::kInt64}, {"blob", FieldType::kBytes}}};
+  Result<Schema> parsed = Schema::Deserialize(schema.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), schema);
+}
+
+class MsdfTest : public ::testing::Test {
+ protected:
+  Schema schema_{{{"row", FieldType::kBytes}}};
+
+  std::string WriteFile(int rows, int64_t group_bytes) {
+    MsdfWriter writer(schema_, {.target_row_group_bytes = group_bytes});
+    for (int i = 0; i < rows; ++i) {
+      writer.AppendRow("row-" + std::to_string(i));
+    }
+    return writer.Finish();
+  }
+};
+
+TEST_F(MsdfTest, FooterDescribesFile) {
+  std::string file = WriteFile(100, 64);
+  Result<MsdfFileInfo> info = ReadMsdfFooter(file);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->total_rows, 100);
+  EXPECT_GT(info->row_groups.size(), 1u);
+  EXPECT_EQ(info->schema, schema_);
+  int64_t rows = 0;
+  for (const RowGroupMeta& g : info->row_groups) {
+    rows += g.row_count;
+  }
+  EXPECT_EQ(rows, 100);
+}
+
+TEST_F(MsdfTest, SingleGroupWhenLarge) {
+  std::string file = WriteFile(10, kMiB);
+  Result<MsdfFileInfo> info = ReadMsdfFooter(file);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->row_groups.size(), 1u);
+}
+
+TEST_F(MsdfTest, ReaderReturnsRowsInOrder) {
+  MemoryAccountant acc;
+  ObjectStore store(&acc);
+  ASSERT_TRUE(store.Put("f.msdf", WriteFile(50, 128)).ok());
+  Result<MsdfReader> reader = MsdfReader::Open(store, "f.msdf", &acc, 0);
+  ASSERT_TRUE(reader.ok());
+  int next = 0;
+  for (size_t g = 0; g < reader->info().row_groups.size(); ++g) {
+    auto rows = reader->ReadRowGroup(g);
+    ASSERT_TRUE(rows.ok());
+    for (const std::string& row : rows.value()) {
+      EXPECT_EQ(row, "row-" + std::to_string(next++));
+    }
+  }
+  EXPECT_EQ(next, 50);
+}
+
+TEST_F(MsdfTest, ReaderChargesMetadataAndBuffer) {
+  MemoryAccountant acc;
+  ObjectStore store(&acc);
+  ASSERT_TRUE(store.Put("f.msdf", WriteFile(50, 128)).ok());
+  {
+    MsdfReader reader = MsdfReader::Open(store, "f.msdf", &acc, 0).value();
+    EXPECT_GT(acc.CategoryTotal(MemCategory::kFileMetadata), 0);
+    EXPECT_EQ(acc.CategoryTotal(MemCategory::kRowGroupBuffer), 0);
+    ASSERT_TRUE(reader.ReadRowGroup(0).ok());
+    EXPECT_GT(acc.CategoryTotal(MemCategory::kRowGroupBuffer), 0);
+    EXPECT_GT(reader.ResidentBytes(), kSocketBufferBytes);
+    reader.ReleaseBuffer();
+    EXPECT_EQ(acc.CategoryTotal(MemCategory::kRowGroupBuffer), 0);
+  }
+  EXPECT_EQ(acc.GrandTotal(), 0);
+}
+
+TEST_F(MsdfTest, ReadingNewGroupReplacesBufferCharge) {
+  MemoryAccountant acc;
+  ObjectStore store(&acc);
+  ASSERT_TRUE(store.Put("f.msdf", WriteFile(100, 64)).ok());
+  MsdfReader reader = MsdfReader::Open(store, "f.msdf", &acc, 0).value();
+  ASSERT_GE(reader.info().row_groups.size(), 2u);
+  ASSERT_TRUE(reader.ReadRowGroup(0).ok());
+  int64_t after_first = acc.CategoryTotal(MemCategory::kRowGroupBuffer);
+  ASSERT_TRUE(reader.ReadRowGroup(1).ok());
+  int64_t after_second = acc.CategoryTotal(MemCategory::kRowGroupBuffer);
+  // One buffer resident at a time: totals stay within one group's size.
+  EXPECT_EQ(after_second, reader.info().row_groups[1].bytes);
+  EXPECT_EQ(after_first, reader.info().row_groups[0].bytes);
+}
+
+TEST_F(MsdfTest, CorruptFilesAreRejected) {
+  EXPECT_FALSE(ReadMsdfFooter("short").ok());
+  std::string file = WriteFile(10, kMiB);
+  file[0] ^= 0x1;  // break head magic
+  EXPECT_FALSE(ReadMsdfFooter(file).ok());
+  std::string file2 = WriteFile(10, kMiB);
+  file2[file2.size() - 1] ^= 0x1;  // break tail magic
+  EXPECT_FALSE(ReadMsdfFooter(file2).ok());
+}
+
+TEST_F(MsdfTest, OutOfRangeGroupFails) {
+  MemoryAccountant acc;
+  ObjectStore store(&acc);
+  ASSERT_TRUE(store.Put("f.msdf", WriteFile(10, kMiB)).ok());
+  MsdfReader reader = MsdfReader::Open(store, "f.msdf", &acc, 0).value();
+  EXPECT_EQ(reader.ReadRowGroup(99).status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace msd

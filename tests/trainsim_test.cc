@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/plan/balance.h"
+#include "src/trainsim/loss_sim.h"
+#include "src/trainsim/train_step.h"
+
+namespace msd {
+namespace {
+
+// Builds a plan with the given per-(bucket, mb) token placement.
+LoadingPlan MakePlan(int32_t buckets, int32_t microbatches,
+                     const std::vector<std::vector<int32_t>>& tokens_per_slot,
+                     int32_t image_fraction_pct = 0) {
+  LoadingPlan plan;
+  plan.num_buckets = buckets;
+  plan.num_microbatches = microbatches;
+  uint64_t id = 1;
+  for (int32_t b = 0; b < buckets; ++b) {
+    for (int32_t m = 0; m < microbatches; ++m) {
+      SliceAssignment a;
+      a.sample_id = id++;
+      a.bucket = b;
+      a.microbatch = m;
+      a.total_tokens = tokens_per_slot[static_cast<size_t>(b)][static_cast<size_t>(m)];
+      a.image_tokens = a.total_tokens * image_fraction_pct / 100;
+      plan.assignments.push_back(a);
+    }
+  }
+  return plan;
+}
+
+TrainSimConfig BaseConfig(ParallelismSpec spec) {
+  TrainSimConfig config;
+  config.backbone = Llama12B();
+  config.spec = spec;
+  return config;
+}
+
+TEST(TrainStepTest, BalancedPlanFasterThanImbalanced) {
+  TrainSimConfig config = BaseConfig({.dp = 2, .pp = 1, .cp = 1, .tp = 1});
+  TrainStepSimulator sim(config);
+  LoadingPlan balanced = MakePlan(2, 2, {{1000, 1000}, {1000, 1000}});
+  LoadingPlan skewed = MakePlan(2, 2, {{1900, 1900}, {100, 100}});
+  IterationBreakdown fast = sim.SimulateStep(balanced);
+  IterationBreakdown slow = sim.SimulateStep(skewed);
+  EXPECT_LT(fast.total, slow.total);
+  EXPECT_NEAR(fast.max_min_dp_ratio, 1.0, 1e-9);
+  EXPECT_GT(slow.max_min_dp_ratio, 2.0);
+}
+
+TEST(TrainStepTest, PipelineBubblesPenalizeMicrobatchSkew) {
+  // Same total tokens per DP rank, but one microbatch dominates: the
+  // (pp-1)*max_mb bubble term grows.
+  TrainSimConfig config = BaseConfig({.dp = 1, .pp = 4, .cp = 1, .tp = 1});
+  TrainStepSimulator sim(config);
+  LoadingPlan even = MakePlan(1, 4, {{1000, 1000, 1000, 1000}});
+  LoadingPlan spiky = MakePlan(1, 4, {{2500, 500, 500, 500}});
+  EXPECT_LT(sim.SimulateStep(even).total, sim.SimulateStep(spiky).total);
+}
+
+TEST(TrainStepTest, MoreShardsFasterCompute) {
+  LoadingPlan plan = MakePlan(1, 2, {{2000, 2000}});
+  TrainStepSimulator small(BaseConfig({.dp = 1, .pp = 1, .cp = 1, .tp = 1}));
+  TrainStepSimulator big(BaseConfig({.dp = 1, .pp = 1, .cp = 2, .tp = 2}));
+  EXPECT_GT(small.SimulateStep(plan).total, big.SimulateStep(plan).total);
+}
+
+TEST(TrainStepTest, EncoderPhaseAddsTime) {
+  LoadingPlan plan = MakePlan(2, 2, {{1000, 1000}, {1000, 1000}}, /*image pct=*/50);
+  TrainSimConfig no_encoder = BaseConfig({.dp = 2, .pp = 1, .cp = 1, .tp = 1});
+  TrainSimConfig with_encoder = no_encoder;
+  with_encoder.has_encoder = true;
+  with_encoder.encoder = ViT1B();
+  IterationBreakdown plain = TrainStepSimulator(no_encoder).SimulateStep(plan);
+  IterationBreakdown vlm = TrainStepSimulator(with_encoder).SimulateStep(plan);
+  EXPECT_EQ(plain.encoder_time, 0);
+  EXPECT_GT(vlm.encoder_time, 0);
+  EXPECT_GT(vlm.a2a_time, 0);
+  EXPECT_GT(vlm.total, plain.total);
+}
+
+TEST(TrainStepTest, EncoderSubplanBalancesEncoderPhase) {
+  // An "encoder" subplan spreading images evenly beats the default
+  // colocated round-robin placement when images are skewed.
+  TrainSimConfig config = BaseConfig({.dp = 2, .pp = 1, .cp = 1, .tp = 1});
+  config.has_encoder = true;
+  config.encoder = ViT2B();
+  TrainStepSimulator sim(config);
+
+  LoadingPlan plan;
+  plan.num_buckets = 2;
+  plan.num_microbatches = 1;
+  // Bucket 0 holds all heavy images.
+  for (int i = 0; i < 8; ++i) {
+    SliceAssignment a;
+    a.sample_id = static_cast<uint64_t>(i + 1);
+    a.bucket = i < 4 ? 0 : 1;
+    a.microbatch = 0;
+    a.total_tokens = 4096;
+    a.image_tokens = i < 4 ? 4000 : 10;
+    plan.assignments.push_back(a);
+  }
+  IterationBreakdown unbalanced = sim.SimulateStep(plan);
+
+  LoadingPlan with_subplan = plan;
+  LoadingPlan encoder;
+  encoder.axis = Axis::kWorld;
+  encoder.num_buckets = 2;
+  encoder.num_microbatches = 1;
+  for (int i = 0; i < 8; ++i) {
+    SliceAssignment a = plan.assignments[static_cast<size_t>(i)];
+    a.bucket = i % 2;  // interleave heavy images across ranks
+    encoder.assignments.push_back(a);
+  }
+  with_subplan.subplans.emplace("encoder", encoder);
+  IterationBreakdown balanced = sim.SimulateStep(with_subplan);
+  EXPECT_LT(balanced.encoder_time, unbalanced.encoder_time);
+  EXPECT_LT(balanced.encoder_imbalance, unbalanced.encoder_imbalance);
+}
+
+TEST(TrainStepTest, LayerOverrideShrinksCompute) {
+  LoadingPlan plan = MakePlan(1, 1, {{4000}});
+  TrainSimConfig full = BaseConfig({.dp = 1, .pp = 1, .cp = 1, .tp = 1});
+  TrainSimConfig truncated = full;
+  truncated.backbone_layers_override = 8;
+  EXPECT_GT(TrainStepSimulator(full).SimulateStep(plan).total,
+            TrainStepSimulator(truncated).SimulateStep(plan).total);
+}
+
+TEST(TrainStepTest, TokensPerSecondPositive) {
+  LoadingPlan plan = MakePlan(1, 1, {{4000}});
+  IterationBreakdown r =
+      TrainStepSimulator(BaseConfig({.dp = 1, .pp = 1, .cp = 1, .tp = 1})).SimulateStep(plan);
+  EXPECT_EQ(r.total_tokens, 4000);
+  EXPECT_GT(r.TokensPerSecond(), 0.0);
+}
+
+TEST(TrainStepTest, PeakMicrobatchTokens) {
+  LoadingPlan plan = MakePlan(2, 2, {{100, 900}, {400, 400}});
+  TrainStepSimulator sim(BaseConfig({.dp = 2, .pp = 1, .cp = 1, .tp = 1}));
+  EXPECT_EQ(sim.PeakMicrobatchTokens(plan), 900);
+}
+
+TEST(TrainStepTest, CpAxisBucketsFoldIntoDp) {
+  // axis=CP plans have dp*cp buckets; simulation folds them into DP groups.
+  LoadingPlan plan;
+  plan.axis = Axis::kCP;
+  plan.num_buckets = 4;  // dp=2, cp=2
+  plan.num_microbatches = 1;
+  for (int b = 0; b < 4; ++b) {
+    SliceAssignment a;
+    a.sample_id = static_cast<uint64_t>(b + 1);
+    a.bucket = b;
+    a.microbatch = 0;
+    a.total_tokens = 1000;
+    plan.assignments.push_back(a);
+  }
+  TrainStepSimulator sim(BaseConfig({.dp = 2, .pp = 1, .cp = 2, .tp = 1}));
+  IterationBreakdown r = sim.SimulateStep(plan);
+  EXPECT_NEAR(r.max_min_dp_ratio, 1.0, 1e-9);
+}
+
+TEST(LossSimTest, LossDecreasesOverTraining) {
+  LossSimulator sim;
+  LossTrace trace = sim.Run(50, 1, false, false);
+  ASSERT_EQ(trace.loss.size(), 50u);
+  EXPECT_GT(trace.loss.front(), trace.FinalLoss());
+  EXPECT_GT(trace.FinalLoss(), 0.0);
+}
+
+TEST(LossSimTest, SameSeedSameTrace) {
+  LossSimulator sim;
+  LossTrace a = sim.Run(30, 7, false, false);
+  LossTrace b = sim.Run(30, 7, false, false);
+  EXPECT_DOUBLE_EQ(LossTrace::MaxDeviation(a, b), 0.0);
+}
+
+TEST(LossSimTest, BalancerWithoutCpTracksBaselineTightly) {
+  // Fig. 18a: without CP the balanced loss tightly mirrors the baseline.
+  LossSimulator sim;
+  LossTrace base = sim.Run(50, 3, false, false);
+  LossTrace balanced = sim.Run(50, 3, true, false);
+  EXPECT_LT(LossTrace::MaxDeviation(base, balanced), 0.01);
+}
+
+TEST(LossSimTest, BalancerWithCpAddsBoundedFluctuation) {
+  // Fig. 18b: with CP the deviation is visible but bounded; still converges.
+  LossSimulator sim;
+  LossTrace base = sim.Run(50, 3, false, false);
+  LossTrace balanced_cp = sim.Run(50, 3, true, true);
+  double dev = LossTrace::MaxDeviation(base, balanced_cp);
+  EXPECT_GT(dev, 0.005);
+  EXPECT_LT(dev, 0.3);
+  EXPECT_NEAR(balanced_cp.FinalLoss(), base.FinalLoss(), 0.3);
+}
+
+TEST(LossSimTest, ConvergenceUnaffectedByBalancer) {
+  LossSimulator sim;
+  double base_final = sim.Run(200, 5, false, false).FinalLoss();
+  double cp_final = sim.Run(200, 5, true, true).FinalLoss();
+  EXPECT_NEAR(base_final, cp_final, 0.25);
+}
+
+}  // namespace
+}  // namespace msd
