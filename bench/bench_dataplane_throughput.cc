@@ -1,0 +1,307 @@
+// Data-plane throughput: zero-copy loader->constructor->rank-batch pipeline
+// versus the scalar reference plane (src/constructor/reference_assembly.h,
+// the frozen pre-refactor implementation).
+//
+// For each scenario the harness materializes a synthetic corpus, opens one
+// Source Loader per source, builds a plan covering every buffered sample,
+// pops the slices once (shared by both planes), then repeatedly runs
+// build-step + get-batch for every rank of the world and reports:
+//   - tokens/sec through each plane (the paper's "data path must never be
+//     the bottleneck" quantity),
+//   - bytes of token payload materialized per iteration (TokenPlaneStats),
+//   - Sample deep copies per iteration (zero on the zero-copy plane),
+//   - staged re-broadcast payload for the mesh (selective broadcasting).
+//
+// `--smoke` runs the smallest scenario with 2 iterations and exits nonzero
+// if the zero-copy plane ever copies a Sample or diverges from the reference
+// payload accounting — wired into ctest so the bench can never silently rot.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/constructor/reference_assembly.h"
+#include "src/loader/source_loader.h"
+#include "src/mesh/selective_broadcast.h"
+
+namespace msd {
+namespace {
+
+struct Scenario {
+  const char* label;
+  int num_sources;
+  ParallelismSpec spec;
+  int32_t max_seq_len;
+  int64_t rows_per_file;
+  int32_t num_microbatches;
+};
+
+double Seconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+struct PlaneResult {
+  double tokens_per_sec = 0.0;
+  int64_t tokens_per_iter = 0;
+  int64_t payload_bytes = 0;
+  int64_t materialized_per_iter = 0;
+  int64_t sample_copies_per_iter = 0;
+};
+
+// One full pass: build every constructor's step from (a cheap alias copy of)
+// its slices, then fetch every rank's batch. Returns tokens and payload
+// bytes delivered.
+template <typename Plane, typename Slices>
+std::pair<int64_t, int64_t> RunPass(std::vector<std::unique_ptr<Plane>>& planes,
+                                    const LoadingPlan& plan, const Slices& slices_per_dp,
+                                    const ParallelismSpec& spec) {
+  int64_t tokens = 0;
+  int64_t payload = 0;
+  for (size_t dp = 0; dp < planes.size(); ++dp) {
+    Status built = planes[dp]->BuildStep(plan, slices_per_dp[dp]);
+    MSD_CHECK(built.ok());
+  }
+  for (int32_t rank = 0; rank < spec.WorldSize(); ++rank) {
+    int32_t dp = CoordOfRank(spec, rank).dp;
+    Result<RankBatch> batch = planes[static_cast<size_t>(dp)]->GetBatch(rank, plan.step);
+    MSD_CHECK(batch.ok());
+    payload += batch->payload_bytes;
+    for (const Microbatch& mb : batch->microbatches) {
+      for (const PackedSequence& seq : mb.sequences) {
+        tokens += static_cast<int64_t>(seq.tokens.size());
+      }
+    }
+  }
+  return {tokens, payload};
+}
+
+template <typename Plane, typename MakePlane, typename Slices>
+PlaneResult MeasurePlane(MakePlane make_plane, const LoadingPlan& plan,
+                         const Slices& slices_per_dp, const ParallelismSpec& spec,
+                         int iters) {
+  std::vector<std::unique_ptr<Plane>> planes;
+  for (int32_t dp = 0; dp < spec.dp; ++dp) {
+    planes.push_back(make_plane(dp));
+  }
+  // Warm-up pass (first-touch allocations), then measured passes.
+  RunPass(planes, plan, slices_per_dp, spec);
+  ResetSampleCopyCount();
+  TokenPlaneStats::Reset();
+  auto t0 = std::chrono::steady_clock::now();
+  int64_t tokens = 0;
+  int64_t payload = 0;
+  for (int i = 0; i < iters; ++i) {
+    auto [t, p] = RunPass(planes, plan, slices_per_dp, spec);
+    tokens += t;
+    payload = p;
+  }
+  double elapsed = Seconds(t0);
+  PlaneResult r;
+  r.tokens_per_iter = tokens / iters;
+  r.tokens_per_sec = static_cast<double>(tokens) / elapsed;
+  r.payload_bytes = payload;
+  r.materialized_per_iter =
+      TokenPlaneStats::MaterializedBytes().load(std::memory_order_relaxed) / iters;
+  r.sample_copies_per_iter = SampleCopyCount() / iters;
+  return r;
+}
+
+// The zero-copy constructor consumes its slices; hand it a fresh alias copy
+// (shared_ptr bumps, no payload copies) each pass.
+struct ZeroCopyAdapter {
+  explicit ZeroCopyAdapter(DataConstructorConfig config, const ClientPlaceTree* tree,
+                           MemoryAccountant* memory)
+      : dc(config, tree, memory) {}
+  Status BuildStep(const LoadingPlan& plan, const std::vector<SampleSlice>& slices) {
+    return dc.BuildStep(plan, slices);  // vector copy = refcount bumps only
+  }
+  Result<RankBatch> GetBatch(int32_t rank, int64_t step) { return dc.GetBatch(rank, step); }
+  DataConstructor dc;
+};
+
+int RunScenario(const Scenario& s, int iters, bool smoke) {
+  bench::PrintHeader(
+      std::string("data plane throughput — ") + s.label,
+      "the disaggregated loader feeds training without the data path becoming "
+      "the bottleneck (zero redundant copies on the hot path)");
+  std::printf("  sources=%d mesh={dp=%d pp=%d cp=%d tp=%d} seq_len=%d rows/src=%lld\n",
+              s.num_sources, s.spec.dp, s.spec.pp, s.spec.cp, s.spec.tp, s.max_seq_len,
+              static_cast<long long>(s.rows_per_file));
+
+  MemoryAccountant memory;
+  ObjectStore store(&memory);
+  CorpusSpec corpus = MakeNavitData(11, s.num_sources);
+  ClientPlaceTree tree = ClientPlaceTree::FromDeviceMesh(s.spec, s.num_microbatches);
+
+  // Materialize + open one loader per source.
+  std::vector<std::unique_ptr<SourceLoader>> loaders;
+  for (SourceSpec& spec : corpus.sources) {
+    spec.num_files = 1;
+    spec.rows_per_file = s.rows_per_file;
+    Status wrote = WriteSourceFiles(store, spec, 11, {.target_row_group_bytes = 256 * kKiB});
+    MSD_CHECK(wrote.ok());
+    SourceLoaderConfig config;
+    config.loader_id = spec.source_id;
+    config.spec = spec;
+    config.files = {SourceFileName(spec, 0)};
+    config.num_workers = 1;
+    config.buffer_low_watermark = static_cast<size_t>(s.rows_per_file) * 2;
+    auto loader = std::make_unique<SourceLoader>(config, &store, &memory);
+    MSD_CHECK(loader->Open().ok());
+    loaders.push_back(std::move(loader));
+  }
+
+  // Plan: round-robin every buffered sample over (bucket, microbatch) bins.
+  LoadingPlan plan;
+  plan.step = 0;
+  plan.axis = Axis::kDP;
+  plan.num_buckets = tree.NumBuckets(Axis::kDP);
+  plan.num_microbatches = s.num_microbatches;
+  int32_t i = 0;
+  for (auto& loader : loaders) {
+    for (const SampleMeta& meta : loader->SummaryBuffer().samples) {
+      SliceAssignment a;
+      a.sample_id = meta.sample_id;
+      a.source_id = meta.source_id;
+      a.loader_id = loader->config().loader_id;
+      a.bucket = i % plan.num_buckets;
+      a.microbatch = (i / plan.num_buckets) % plan.num_microbatches;
+      a.total_tokens = meta.TotalTokens();
+      a.image_tokens = meta.image_tokens;
+      a.cost = a.total_tokens;
+      plan.assignments.push_back(a);
+      ++i;
+    }
+  }
+
+  // Pop every constructor's slices once (timed; both planes then share them).
+  DataConstructorConfig dc_config;
+  dc_config.max_seq_len = s.max_seq_len;
+  std::vector<std::vector<SampleSlice>> slices_per_dp(static_cast<size_t>(s.spec.dp));
+  auto pop_t0 = std::chrono::steady_clock::now();
+  int64_t popped = 0;
+  for (int32_t dp = 0; dp < s.spec.dp; ++dp) {
+    dc_config.constructor_id = dp;
+    DataConstructor owned_probe(dc_config, &tree, &memory);
+    std::vector<int32_t> owned = owned_probe.OwnedBuckets(plan);
+    for (auto& loader : loaders) {
+      std::vector<uint64_t> ids;
+      for (const SliceAssignment& a : plan.assignments) {
+        bool mine = false;
+        for (int32_t b : owned) {
+          mine = mine || (b == a.bucket);
+        }
+        if (mine && a.loader_id == loader->config().loader_id) {
+          ids.push_back(a.sample_id);
+        }
+      }
+      if (ids.empty()) {
+        continue;
+      }
+      Result<SampleSlice> slice = loader->PopSamples(plan.step, ids);
+      MSD_CHECK(slice.ok());
+      popped += static_cast<int64_t>(slice->samples.size());
+      slices_per_dp[static_cast<size_t>(dp)].push_back(std::move(slice.value()));
+    }
+  }
+  double pop_s = Seconds(pop_t0);
+  bench::PrintRow("samples popped (single-pass compaction)", static_cast<double>(popped), "");
+  bench::PrintRow("pop wall time", pop_s * 1e3, "ms");
+
+  // Measure both planes over identical inputs.
+  PlaneResult zero = MeasurePlane<ZeroCopyAdapter>(
+      [&](int32_t dp) {
+        DataConstructorConfig c = dc_config;
+        c.constructor_id = dp;
+        return std::make_unique<ZeroCopyAdapter>(c, &tree, &memory);
+      },
+      plan, slices_per_dp, s.spec, iters);
+  PlaneResult ref = MeasurePlane<ReferenceDataPlane>(
+      [&](int32_t dp) {
+        DataConstructorConfig c = dc_config;
+        c.constructor_id = dp;
+        return std::make_unique<ReferenceDataPlane>(c, &tree);
+      },
+      plan, slices_per_dp, s.spec, iters);
+
+  bench::PrintRow("tokens delivered / iteration", static_cast<double>(zero.tokens_per_iter), "");
+  bench::PrintRow("zero-copy plane", zero.tokens_per_sec / 1e6, "Mtok/s");
+  bench::PrintRow("reference scalar plane", ref.tokens_per_sec / 1e6, "Mtok/s");
+  double speedup = zero.tokens_per_sec / ref.tokens_per_sec;
+  bench::PrintRow("speedup (zero-copy / reference)", speedup, "x");
+  bench::PrintRow("bytes materialized / iter (zero-copy)",
+                  static_cast<double>(zero.materialized_per_iter) / 1e6, "MB");
+  bench::PrintRow("bytes materialized / iter (reference)",
+                  static_cast<double>(ref.materialized_per_iter) / 1e6, "MB");
+  bench::PrintRow("Sample deep copies / iter (zero-copy)",
+                  static_cast<double>(zero.sample_copies_per_iter), "");
+  bench::PrintRow("Sample deep copies / iter (reference)",
+                  static_cast<double>(ref.sample_copies_per_iter), "");
+
+  // Staged re-broadcast accounting: only the roots fetch; the per-stage wire
+  // bytes are what a deployment would move inside fast intra-group links.
+  BroadcastPlan bcast = MakeSelectiveBroadcastPlan(tree, {Axis::kCP, Axis::kTP});
+  int64_t per_rank = zero.payload_bytes / std::max(1, s.spec.WorldSize());
+  bench::PrintRow("synchronized clients (selective bcast)",
+                  static_cast<double>(SynchronizedClients(bcast)), "");
+  bench::PrintRow("staged re-broadcast payload",
+                  static_cast<double>(TotalShippedBytes(bcast, per_rank) -
+                                      static_cast<int64_t>(SynchronizedClients(bcast)) *
+                                          per_rank) /
+                      1e6,
+                  "MB");
+
+  int failures = 0;
+  if (zero.sample_copies_per_iter != 0) {
+    std::printf("  FAIL: zero-copy plane performed %lld Sample deep copies\n",
+                static_cast<long long>(zero.sample_copies_per_iter));
+    ++failures;
+  }
+  if (zero.payload_bytes != ref.payload_bytes) {
+    std::printf("  FAIL: payload accounting diverged (%lld vs %lld bytes)\n",
+                static_cast<long long>(zero.payload_bytes),
+                static_cast<long long>(ref.payload_bytes));
+    ++failures;
+  }
+  if (!smoke && speedup < 2.0) {
+    std::printf("  WARN: speedup below the 2x acceptance bar\n");
+  }
+  return failures;
+}
+
+}  // namespace
+}  // namespace msd
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    smoke = smoke || std::strcmp(argv[i], "--smoke") == 0;
+  }
+  using msd::Scenario;
+  std::vector<Scenario> scenarios;
+  if (smoke) {
+    scenarios.push_back({"smoke (2 sources, dp=1)", 2,
+                         {.dp = 1, .pp = 1, .cp = 2, .tp = 2}, 1024, 24, 2});
+  } else {
+    scenarios.push_back({"small (2 sources, dp=1 cp=1)", 2,
+                         {.dp = 1, .pp = 1, .cp = 1, .tp = 1}, 1024, 32, 2});
+    scenarios.push_back({"medium (4 sources, dp=2 cp=2)", 4,
+                         {.dp = 2, .pp = 1, .cp = 2, .tp = 1}, 2048, 32, 2});
+    scenarios.push_back({"large (8 sources, dp=4 cp=2 pp=2 tp=2)", 8,
+                         {.dp = 4, .pp = 2, .cp = 2, .tp = 2}, 4096, 48, 4});
+  }
+  int iters = smoke ? 2 : 20;
+  int failures = 0;
+  for (const Scenario& s : scenarios) {
+    failures += msd::RunScenario(s, iters, smoke);
+  }
+  if (failures > 0) {
+    std::printf("\n%d data-plane invariant failure(s)\n", failures);
+    return 1;
+  }
+  std::printf("\nall data-plane invariants held\n");
+  return 0;
+}

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <map>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "src/common/logging.h"
 #include "src/common/stats.h"
@@ -180,25 +182,32 @@ Status Session::AdvanceStep() {
   }
   const LoadingPlan& plan = plan_result.value();
 
-  // Group the plan's pops by (constructor, loader).
+  // Group the plan's pops by (constructor, loader). Loaders are indexed once
+  // per step; bucket ownership tests are O(1).
+  std::unordered_map<int32_t, SourceLoader*> loader_by_id;
+  loader_by_id.reserve(loaders_.size());
+  for (auto& l : loaders_) {
+    loader_by_id.emplace(l->config().loader_id, l.get());
+  }
   for (auto& constructor : constructors_) {
     std::vector<int32_t> owned = constructor->OwnedBuckets(plan);
+    std::unordered_set<int32_t> owned_set(owned.begin(), owned.end());
     std::map<int32_t, std::vector<uint64_t>> ids_by_loader;
     for (const SliceAssignment& a : plan.assignments) {
-      if (std::find(owned.begin(), owned.end(), a.bucket) != owned.end()) {
+      if (owned_set.count(a.bucket) > 0) {
         ids_by_loader[a.loader_id].push_back(a.sample_id);
       }
     }
     std::vector<SampleSlice> slices;
-    for (const auto& [loader_id, ids] : ids_by_loader) {
-      auto it = std::find_if(loaders_.begin(), loaders_.end(), [&](const auto& l) {
-        return l->config().loader_id == loader_id;
-      });
-      if (it == loaders_.end()) {
+    slices.reserve(ids_by_loader.size());
+    for (auto& [loader_id, ids] : ids_by_loader) {
+      auto it = loader_by_id.find(loader_id);
+      if (it == loader_by_id.end()) {
         return Status::NotFound("plan references unknown loader " + std::to_string(loader_id));
       }
       Result<SampleSlice> slice = system_.Ask<Result<SampleSlice>>(
-          **it, [l = it->get(), step, ids = ids] { return l->PopSamples(step, ids); });
+          *it->second,
+          [l = it->second, step, ids = std::move(ids)] { return l->PopSamples(step, ids); });
       if (!slice.ok()) {
         return slice.status();
       }

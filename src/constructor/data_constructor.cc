@@ -62,74 +62,96 @@ std::vector<int32_t> DataConstructor::OwnedBuckets(const LoadingPlan& plan) cons
   return buckets;
 }
 
-Status DataConstructor::AssembleBucket(const LoadingPlan& plan,
-                                       const std::map<uint64_t, Sample>& samples_by_id,
-                                       int32_t bucket, std::vector<Microbatch>* out) const {
+Status DataConstructor::AssembleBucket(const SampleMap& samples_by_id, const BucketBins& bins,
+                                       std::vector<Microbatch>* out) const {
   out->clear();
-  out->resize(static_cast<size_t>(plan.num_microbatches));
-  for (int32_t mb = 0; mb < plan.num_microbatches; ++mb) {
+  out->resize(bins.size());
+  for (size_t mb = 0; mb < bins.size(); ++mb) {
     std::vector<SampleMeta> metas;
-    for (const SliceAssignment& a : plan.assignments) {
-      if (a.bucket != bucket || a.microbatch != mb) {
-        continue;
-      }
-      auto it = samples_by_id.find(a.sample_id);
+    metas.reserve(bins[mb].size());
+    for (const SliceAssignment* a : bins[mb]) {
+      auto it = samples_by_id.find(a->sample_id);
       if (it == samples_by_id.end()) {
-        return Status::DataLoss("sample " + std::to_string(a.sample_id) +
+        return Status::DataLoss("sample " + std::to_string(a->sample_id) +
                                 " missing from slices (partial yield?)");
       }
-      metas.push_back(it->second.meta);
+      metas.push_back(it->second->meta);
     }
-    Microbatch& micro = (*out)[static_cast<size_t>(mb)];
-    micro.microbatch_index = mb;
+    Microbatch& micro = (*out)[mb];
+    micro.microbatch_index = static_cast<int32_t>(mb);
     micro.sequences = PackSequences(metas, config_.max_seq_len);
-    for (PackedSequence& seq : micro.sequences) {
-      std::vector<Sample> seq_samples;
-      seq_samples.reserve(seq.sample_ids.size());
-      for (uint64_t id : seq.sample_ids) {
-        seq_samples.push_back(samples_by_id.at(id));
-      }
-      MSD_RETURN_IF_ERROR(FillPackedTokens(seq, seq_samples));
-    }
-    // Pad to a multiple of 2*cp so CP slicing is exact.
+    // Pad to a multiple of 2*cp so CP slicing is exact. Packed lengths are
+    // metadata, so the padded width is known before any payload exists and
+    // each sequence is materialized exactly once, already padded.
     int32_t align = 2 * tree_->spec().cp;
     int32_t max_len = 0;
     for (const PackedSequence& s : micro.sequences) {
       max_len = std::max(max_len, s.total_tokens);
     }
     int32_t padded = ((max_len + align - 1) / align) * align;
-    PadMicrobatch(micro, padded);
+    std::vector<const Sample*> seq_samples;
+    for (PackedSequence& seq : micro.sequences) {
+      seq_samples.clear();
+      seq_samples.reserve(seq.sample_ids.size());
+      for (uint64_t id : seq.sample_ids) {
+        seq_samples.push_back(samples_by_id.at(id).get());
+      }
+      MSD_RETURN_IF_ERROR(FillPackedTokens(seq, seq_samples, padded));
+    }
   }
   return Status::Ok();
 }
 
 Status DataConstructor::BuildStep(const LoadingPlan& plan, std::vector<SampleSlice> slices) {
-  std::map<uint64_t, Sample> samples_by_id;
+  SampleMap samples_by_id;
   ImageDecode deferred_decode;
   for (SampleSlice& slice : slices) {
     if (!slice.end_of_stream) {
       return Status::DataLoss("slice from loader " + std::to_string(slice.loader_id) +
                               " lacks end-of-stream marker");
     }
-    for (Sample& s : slice.samples) {
-      if (config_.decode_deferred_images && s.meta.image_tokens > 0 && s.pixels.empty()) {
+    samples_by_id.reserve(samples_by_id.size() + slice.samples.size());
+    for (std::shared_ptr<Sample>& s : slice.samples) {
+      if (config_.decode_deferred_images && s->meta.image_tokens > 0 && s->pixels.empty()) {
         // Transformation reordering: the loader shipped compressed bytes.
-        Result<SimTime> decoded = deferred_decode.Apply(s);
+        // The loader dropped its reference at pop, so the decode mutates the
+        // sole owner before the sample is frozen into the const map.
+        Result<SimTime> decoded = deferred_decode.Apply(*s);
         if (!decoded.ok()) {
           return decoded.status();
         }
       }
-      samples_by_id.emplace(s.meta.sample_id, std::move(s));
+      uint64_t id = s->meta.sample_id;
+      samples_by_id.emplace(id, std::move(s));
     }
   }
   StepData data;
   data.plan = plan;
   data.buckets = OwnedBuckets(plan);
   data.microbatches.resize(data.buckets.size());
+
+  // One pass over the plan: group this constructor's assignments by
+  // (bucket, microbatch), preserving plan order within each bin.
+  std::unordered_map<int32_t, size_t> bucket_pos;
+  bucket_pos.reserve(data.buckets.size());
+  for (size_t i = 0; i < data.buckets.size(); ++i) {
+    bucket_pos.emplace(data.buckets[i], i);
+  }
+  std::vector<BucketBins> bins(data.buckets.size());
+  for (BucketBins& b : bins) {
+    b.resize(static_cast<size_t>(std::max<int32_t>(plan.num_microbatches, 0)));
+  }
+  for (const SliceAssignment& a : plan.assignments) {
+    auto pos = bucket_pos.find(a.bucket);
+    if (pos == bucket_pos.end() || a.microbatch < 0 || a.microbatch >= plan.num_microbatches) {
+      continue;  // another constructor's bucket (or malformed bin index)
+    }
+    bins[pos->second][static_cast<size_t>(a.microbatch)].push_back(&a);
+  }
+
   int64_t payload = 0;
   for (size_t i = 0; i < data.buckets.size(); ++i) {
-    MSD_RETURN_IF_ERROR(
-        AssembleBucket(plan, samples_by_id, data.buckets[i], &data.microbatches[i]));
+    MSD_RETURN_IF_ERROR(AssembleBucket(samples_by_id, bins[i], &data.microbatches[i]));
     for (const Microbatch& mb : data.microbatches[i]) {
       for (const PackedSequence& seq : mb.sequences) {
         payload += static_cast<int64_t>(seq.tokens.size() * sizeof(int32_t) +
@@ -146,7 +168,95 @@ Status DataConstructor::BuildStep(const LoadingPlan& plan, std::vector<SampleSli
   return Status::Ok();
 }
 
-RankBatch DataConstructor::MakeRankView(const StepData& data, int32_t rank) const {
+namespace {
+
+// Slices one canonical payload view for a CP coordinate. Adjacent chunks are
+// coalesced first (e.g. zig-zag pieces 1 and 2 of 4 form one window), so a
+// coordinate whose chunks touch is an O(1) alias over the step's frozen
+// buffer; only truly disjoint chunks are concatenated into a fresh buffer
+// (once per coordinate — the caller caches the result for every rank sharing
+// it). Materialized bytes are reported through `materialized_bytes`.
+TokenView SliceForRanges(const TokenView& full,
+                         const std::vector<std::pair<int32_t, int32_t>>& ranges,
+                         int64_t* materialized_bytes) {
+  std::vector<std::pair<int32_t, int32_t>> merged;
+  size_t total = 0;
+  for (auto [begin, end] : ranges) {
+    if (end <= begin) {
+      continue;
+    }
+    total += static_cast<size_t>(end - begin);
+    if (!merged.empty() && merged.back().second == begin) {
+      merged.back().second = end;
+    } else {
+      merged.emplace_back(begin, end);
+    }
+  }
+  if (merged.empty()) {
+    return TokenView();
+  }
+  if (merged.size() == 1) {
+    auto [begin, end] = merged.front();
+    return full.Slice(static_cast<size_t>(begin), static_cast<size_t>(end - begin));
+  }
+  std::vector<int32_t> out;
+  out.reserve(total);
+  for (auto [begin, end] : merged) {
+    out.insert(out.end(), full.begin() + begin, full.begin() + end);
+  }
+  *materialized_bytes += static_cast<int64_t>(total * sizeof(int32_t));
+  return TokenView(std::move(out));
+}
+
+}  // namespace
+
+const DataConstructor::CachedView& DataConstructor::SliceViewFor(StepData& data,
+                                                                 size_t bucket_pos,
+                                                                 int32_t cp_coord) const {
+  auto key = std::make_pair(bucket_pos, cp_coord);
+  auto cached = data.views.find(key);
+  if (cached != data.views.end()) {
+    return *cached->second;
+  }
+  const std::vector<Microbatch>& built = data.microbatches[bucket_pos];
+  auto view = std::make_shared<CachedView>();
+  view->microbatches.reserve(built.size());
+  bool metadata_only = cp_coord < 0;
+  int64_t materialized = 0;
+  for (const Microbatch& mb : built) {
+    Microbatch v;
+    v.microbatch_index = mb.microbatch_index;
+    v.sequences.reserve(mb.sequences.size());
+    for (const PackedSequence& seq : mb.sequences) {
+      PackedSequence out;
+      out.sample_ids = seq.sample_ids;
+      out.segment_lengths = seq.segment_lengths;
+      out.total_tokens = seq.total_tokens;
+      out.padded_to = seq.padded_to;
+      if (!metadata_only) {
+        std::vector<std::pair<int32_t, int32_t>> ranges =
+            CpSliceRanges(seq.padded_to, tree_->spec().cp, cp_coord, config_.cp_split);
+        out.tokens = SliceForRanges(seq.tokens, ranges, &materialized);
+        out.position_ids = SliceForRanges(seq.position_ids, ranges, &materialized);
+      }
+      view->payload_bytes += static_cast<int64_t>(
+          out.tokens.size() * sizeof(int32_t) + out.position_ids.size() * sizeof(int32_t));
+      v.sequences.push_back(std::move(out));
+    }
+    view->microbatches.push_back(std::move(v));
+  }
+  if (materialized > 0) {
+    // Disjoint-chunk slices add resident payload beyond the canonical
+    // buffers; account for them so the memory model sees what is held.
+    data.view_charges.emplace_back(accountant_, config_.node, MemCategory::kBatchBuffer,
+                                   materialized);
+  }
+  const CachedView& ref = *view;
+  data.views.emplace(key, std::move(view));
+  return ref;
+}
+
+RankBatch DataConstructor::MakeRankView(StepData& data, int32_t rank) const {
   RankBatch batch;
   batch.rank = rank;
   batch.step = data.plan.step;
@@ -158,33 +268,12 @@ RankBatch DataConstructor::MakeRankView(const StepData& data, int32_t rank) cons
   if (it == data.buckets.end()) {
     return batch;  // rank's bucket not owned here; empty view
   }
-  const std::vector<Microbatch>& built =
-      data.microbatches[static_cast<size_t>(it - data.buckets.begin())];
-
-  for (const Microbatch& mb : built) {
-    Microbatch view;
-    view.microbatch_index = mb.microbatch_index;
-    for (const PackedSequence& seq : mb.sequences) {
-      PackedSequence out;
-      out.sample_ids = seq.sample_ids;
-      out.segment_lengths = seq.segment_lengths;
-      out.total_tokens = seq.total_tokens;
-      out.padded_to = seq.padded_to;
-      if (!batch.metadata_only) {
-        for (auto [begin, end] : CpSliceRanges(seq.padded_to, tree_->spec().cp, coord.cp,
-                                               config_.cp_split)) {
-          out.tokens.insert(out.tokens.end(), seq.tokens.begin() + begin,
-                            seq.tokens.begin() + end);
-          out.position_ids.insert(out.position_ids.end(), seq.position_ids.begin() + begin,
-                                  seq.position_ids.begin() + end);
-        }
-      }
-      batch.payload_bytes += static_cast<int64_t>(
-          out.tokens.size() * sizeof(int32_t) + out.position_ids.size() * sizeof(int32_t));
-      view.sequences.push_back(std::move(out));
-    }
-    batch.microbatches.push_back(std::move(view));
-  }
+  size_t bucket_pos = static_cast<size_t>(it - data.buckets.begin());
+  const CachedView& view = SliceViewFor(data, bucket_pos, batch.metadata_only ? -1 : coord.cp);
+  // The copy is metadata-deep only: token payloads inside the microbatches
+  // are views, so every rank sharing this (bucket, cp) aliases one buffer.
+  batch.microbatches = view.microbatches;
+  batch.payload_bytes = view.payload_bytes;
   return batch;
 }
 

@@ -7,11 +7,29 @@
 //  - PP stages > 0 receive metadata-only views,
 //  - TP ranks > 0 are excluded entirely when broadcast_at(TP) is declared.
 // This sharing is what removes the per-rank loader redundancy of Fig. 6.
+//
+// Zero-copy data plane (ownership model):
+//  - BuildStep takes the loaders' `shared_ptr<Sample>`s, indexes them by id,
+//    and materializes each padded sequence payload exactly once into frozen
+//    TokenBuffers (see token_buffer.h). No Sample is copied on this path.
+//  - Plan assembly groups `plan.assignments` by (bucket, microbatch) in one
+//    pass; per-bin assembly then walks only its own assignment slice instead
+//    of rescanning the whole plan per bin.
+//  - GetBatch serves TokenView-carrying RankBatches. The CP-sliced view of a
+//    (bucket, cp-coordinate) pair is computed on first fetch and cached in
+//    StepData, so all ranks sharing that coordinate (TP replicas, and every
+//    later fetch) alias the same storage. Contiguous slices are O(1) windows
+//    into the canonical buffer; only zig-zag CP slices (two disjoint chunks)
+//    are materialized, once per coordinate rather than once per rank.
+//  - PP stages > 0 get the cached metadata-only variant: sequence shapes and
+//    ids, zero payload bytes.
 #ifndef SRC_CONSTRUCTOR_DATA_CONSTRUCTOR_H_
 #define SRC_CONSTRUCTOR_DATA_CONSTRUCTOR_H_
 
 #include <map>
 #include <memory>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/actor/actor.h"
@@ -40,7 +58,9 @@ struct DataConstructorConfig {
   bool decode_deferred_images = true;
 };
 
-// The batch view one rank fetches for one step.
+// The batch view one rank fetches for one step. Token payloads inside the
+// microbatches are views aliasing the constructor's frozen step buffers;
+// fetching is metadata-cost only.
 struct RankBatch {
   int32_t rank = -1;
   int64_t step = -1;
@@ -75,18 +95,36 @@ class DataConstructor : public Actor {
   int64_t batches_served() const { return batches_served_; }
 
  private:
-  struct StepData {
-    LoadingPlan plan;
-    // microbatches[bucket_pos][mb] for OwnedBuckets order.
-    std::vector<int32_t> buckets;
-    std::vector<std::vector<Microbatch>> microbatches;
-    MemCharge charge;
+  using SampleMap = std::unordered_map<uint64_t, std::shared_ptr<const Sample>>;
+  // Assignments of one owned bucket grouped per microbatch, in plan order.
+  using BucketBins = std::vector<std::vector<const SliceAssignment*>>;
+
+  // One cached parallelism-transformed view of a bucket: the microbatch list
+  // as served to every rank at a given CP coordinate (or metadata-only).
+  struct CachedView {
+    std::vector<Microbatch> microbatches;
+    int64_t payload_bytes = 0;
   };
 
-  Status AssembleBucket(const LoadingPlan& plan,
-                        const std::map<uint64_t, Sample>& samples_by_id, int32_t bucket,
+  struct StepData {
+    LoadingPlan plan;
+    // microbatches[bucket_pos][mb] for OwnedBuckets order (canonical padded
+    // sequences; every served view aliases these buffers).
+    std::vector<int32_t> buckets;
+    std::vector<std::vector<Microbatch>> microbatches;
+    // Keyed by (bucket_pos, cp coordinate); cp == -1 is the metadata-only
+    // variant for pp > 0 ranks. Shared so repeat fetches are refcount bumps.
+    std::map<std::pair<size_t, int32_t>, std::shared_ptr<const CachedView>> views;
+    MemCharge charge;
+    // One extra charge per cached view that had to materialize disjoint CP
+    // chunks (released with the step, like `charge`).
+    std::vector<MemCharge> view_charges;
+  };
+
+  Status AssembleBucket(const SampleMap& samples_by_id, const BucketBins& bins,
                         std::vector<Microbatch>* out) const;
-  RankBatch MakeRankView(const StepData& data, int32_t rank) const;
+  RankBatch MakeRankView(StepData& data, int32_t rank) const;
+  const CachedView& SliceViewFor(StepData& data, size_t bucket_pos, int32_t cp_coord) const;
   void EvictOldSteps(int64_t current_step);
 
   DataConstructorConfig config_;

@@ -1,0 +1,195 @@
+#include "src/constructor/reference_assembly.h"
+
+#include <algorithm>
+#include <string>
+
+#include "src/common/logging.h"
+#include "src/data/transform.h"
+
+namespace msd {
+
+ReferenceDataPlane::ReferenceDataPlane(DataConstructorConfig config,
+                                       const ClientPlaceTree* tree)
+    : config_(config), tree_(tree) {
+  MSD_CHECK(tree_ != nullptr);
+}
+
+std::vector<int32_t> ReferenceDataPlane::OwnedBuckets(const LoadingPlan& plan) const {
+  std::vector<int32_t> buckets;
+  if (plan.group_size != 1) {
+    for (int32_t b = 0; b < plan.num_buckets; ++b) {
+      if (b % tree_->spec().dp == config_.constructor_id) {
+        buckets.push_back(b);
+      }
+    }
+    return buckets;
+  }
+  for (int32_t b = 0; b < plan.num_buckets; ++b) {
+    if (tree_->DpOfBucket(plan.axis, b) == config_.constructor_id) {
+      buckets.push_back(b);
+    }
+  }
+  return buckets;
+}
+
+Status ReferenceDataPlane::AssembleBucket(const LoadingPlan& plan,
+                                          const std::map<uint64_t, Sample>& samples_by_id,
+                                          int32_t bucket, std::vector<Microbatch>* out) const {
+  out->clear();
+  out->resize(static_cast<size_t>(plan.num_microbatches));
+  for (int32_t mb = 0; mb < plan.num_microbatches; ++mb) {
+    // Scalar plane: full assignment rescan per (bucket, microbatch).
+    std::vector<SampleMeta> metas;
+    for (const SliceAssignment& a : plan.assignments) {
+      if (a.bucket != bucket || a.microbatch != mb) {
+        continue;
+      }
+      auto it = samples_by_id.find(a.sample_id);
+      if (it == samples_by_id.end()) {
+        return Status::DataLoss("sample " + std::to_string(a.sample_id) +
+                                " missing from slices (partial yield?)");
+      }
+      metas.push_back(it->second.meta);
+    }
+    Microbatch& micro = (*out)[static_cast<size_t>(mb)];
+    micro.microbatch_index = mb;
+    micro.sequences = PackSequences(metas, config_.max_seq_len);
+    int32_t align = 2 * tree_->spec().cp;
+    int32_t max_len = 0;
+    for (const PackedSequence& s : micro.sequences) {
+      max_len = std::max(max_len, s.total_tokens);
+    }
+    int32_t padded = ((max_len + align - 1) / align) * align;
+    for (PackedSequence& seq : micro.sequences) {
+      // Scalar plane: samples are value-copied out of the map per sequence.
+      std::vector<Sample> seq_samples;
+      seq_samples.reserve(seq.sample_ids.size());
+      for (uint64_t id : seq.sample_ids) {
+        seq_samples.push_back(samples_by_id.at(id));
+      }
+      std::vector<int32_t> tokens;
+      tokens.reserve(static_cast<size_t>(seq.total_tokens));
+      for (size_t i = 0; i < seq_samples.size(); ++i) {
+        if (seq_samples[i].meta.sample_id != seq.sample_ids[i]) {
+          return Status::InvalidArgument("sample order mismatch at segment " +
+                                         std::to_string(i));
+        }
+        int32_t want = seq.segment_lengths[i];
+        int32_t emitted = 0;
+        for (int32_t t : seq_samples[i].tokens) {
+          if (emitted >= want) {
+            break;
+          }
+          tokens.push_back(t);
+          ++emitted;
+        }
+        while (emitted < want) {
+          tokens.push_back(kImagePatchToken);
+          ++emitted;
+        }
+      }
+      std::vector<int32_t> positions = RopePositions(seq);
+      tokens.resize(static_cast<size_t>(padded), kPadToken);
+      positions.resize(static_cast<size_t>(padded), 0);
+      seq.tokens = std::move(tokens);
+      seq.position_ids = std::move(positions);
+      seq.padded_to = padded;
+    }
+  }
+  return Status::Ok();
+}
+
+Status ReferenceDataPlane::BuildStep(const LoadingPlan& plan,
+                                     const std::vector<SampleSlice>& slices) {
+  // Scalar plane: every sample is value-copied into the per-step map.
+  std::map<uint64_t, Sample> samples_by_id;
+  ImageDecode deferred_decode;
+  for (const SampleSlice& slice : slices) {
+    if (!slice.end_of_stream) {
+      return Status::DataLoss("slice from loader " + std::to_string(slice.loader_id) +
+                              " lacks end-of-stream marker");
+    }
+    for (const std::shared_ptr<Sample>& s : slice.samples) {
+      Sample copy = *s;
+      if (config_.decode_deferred_images && copy.meta.image_tokens > 0 &&
+          copy.pixels.empty()) {
+        Result<SimTime> decoded = deferred_decode.Apply(copy);
+        if (!decoded.ok()) {
+          return decoded.status();
+        }
+      }
+      samples_by_id.emplace(copy.meta.sample_id, std::move(copy));
+    }
+  }
+  StepData data;
+  data.plan = plan;
+  data.buckets = OwnedBuckets(plan);
+  data.microbatches.resize(data.buckets.size());
+  for (size_t i = 0; i < data.buckets.size(); ++i) {
+    MSD_RETURN_IF_ERROR(
+        AssembleBucket(plan, samples_by_id, data.buckets[i], &data.microbatches[i]));
+  }
+  int64_t step = plan.step;
+  steps_.erase(step);
+  steps_.emplace(step, std::move(data));
+  return Status::Ok();
+}
+
+RankBatch ReferenceDataPlane::MakeRankView(const StepData& data, int32_t rank) const {
+  RankBatch batch;
+  batch.rank = rank;
+  batch.step = data.plan.step;
+  RankCoord coord = CoordOfRank(tree_->spec(), rank);
+  batch.metadata_only = coord.pp > 0;
+
+  int32_t bucket = tree_->BucketOfRank(data.plan.axis, rank, data.plan.group_size);
+  auto it = std::find(data.buckets.begin(), data.buckets.end(), bucket);
+  if (it == data.buckets.end()) {
+    return batch;
+  }
+  const std::vector<Microbatch>& built =
+      data.microbatches[static_cast<size_t>(it - data.buckets.begin())];
+
+  for (const Microbatch& mb : built) {
+    Microbatch view;
+    view.microbatch_index = mb.microbatch_index;
+    for (const PackedSequence& seq : mb.sequences) {
+      PackedSequence out;
+      out.sample_ids = seq.sample_ids;
+      out.segment_lengths = seq.segment_lengths;
+      out.total_tokens = seq.total_tokens;
+      out.padded_to = seq.padded_to;
+      if (!batch.metadata_only) {
+        // Scalar plane: fresh slice copies per requesting rank.
+        std::vector<int32_t> tokens;
+        std::vector<int32_t> positions;
+        for (auto [begin, end] : CpSliceRanges(seq.padded_to, tree_->spec().cp, coord.cp,
+                                               config_.cp_split)) {
+          tokens.insert(tokens.end(), seq.tokens.begin() + begin, seq.tokens.begin() + end);
+          positions.insert(positions.end(), seq.position_ids.begin() + begin,
+                           seq.position_ids.begin() + end);
+        }
+        out.tokens = std::move(tokens);
+        out.position_ids = std::move(positions);
+      }
+      batch.payload_bytes += static_cast<int64_t>(
+          out.tokens.size() * sizeof(int32_t) + out.position_ids.size() * sizeof(int32_t));
+      view.sequences.push_back(std::move(out));
+    }
+    batch.microbatches.push_back(std::move(view));
+  }
+  return batch;
+}
+
+Result<RankBatch> ReferenceDataPlane::GetBatch(int32_t rank, int64_t step) const {
+  auto it = steps_.find(step);
+  if (it == steps_.end()) {
+    return Status::NotFound("step " + std::to_string(step) + " not built on reference plane");
+  }
+  if (rank < 0 || rank >= tree_->spec().WorldSize()) {
+    return Status::InvalidArgument("rank " + std::to_string(rank) + " outside world");
+  }
+  return MakeRankView(it->second, rank);
+}
+
+}  // namespace msd

@@ -1,0 +1,55 @@
+// ReferenceDataPlane: a frozen copy of the pre-zero-copy constructor data
+// plane, kept on purpose as (a) the correctness oracle for the golden
+// equivalence tests — DataConstructor must serve byte-identical RankBatches —
+// and (b) the baseline that bench_dataplane_throughput measures the zero-copy
+// plane against.
+//
+// It reproduces the scalar plane's cost structure faithfully:
+//   - every popped Sample is value-copied into the per-step sample map,
+//   - per-sequence assembly value-copies the samples again before filling,
+//   - AssembleBucket rescans the full assignment list once per
+//     (bucket, microbatch) pair,
+//   - every GetBatch re-runs CP slicing and materializes fresh token/position
+//     copies for the requesting rank.
+// Do not "optimize" this class; its inefficiency is its specification.
+#ifndef SRC_CONSTRUCTOR_REFERENCE_ASSEMBLY_H_
+#define SRC_CONSTRUCTOR_REFERENCE_ASSEMBLY_H_
+
+#include <map>
+#include <vector>
+
+#include "src/constructor/data_constructor.h"
+
+namespace msd {
+
+class ReferenceDataPlane {
+ public:
+  ReferenceDataPlane(DataConstructorConfig config, const ClientPlaceTree* tree);
+
+  // Reads (and deep-copies) the slices; the caller keeps ownership.
+  Status BuildStep(const LoadingPlan& plan, const std::vector<SampleSlice>& slices);
+
+  Result<RankBatch> GetBatch(int32_t rank, int64_t step) const;
+
+  std::vector<int32_t> OwnedBuckets(const LoadingPlan& plan) const;
+
+ private:
+  struct StepData {
+    LoadingPlan plan;
+    std::vector<int32_t> buckets;
+    std::vector<std::vector<Microbatch>> microbatches;
+  };
+
+  Status AssembleBucket(const LoadingPlan& plan,
+                        const std::map<uint64_t, Sample>& samples_by_id, int32_t bucket,
+                        std::vector<Microbatch>* out) const;
+  RankBatch MakeRankView(const StepData& data, int32_t rank) const;
+
+  DataConstructorConfig config_;
+  const ClientPlaceTree* tree_;
+  std::map<int64_t, StepData> steps_;
+};
+
+}  // namespace msd
+
+#endif  // SRC_CONSTRUCTOR_REFERENCE_ASSEMBLY_H_

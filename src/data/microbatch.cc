@@ -56,18 +56,23 @@ std::vector<PackedSequence> PackSequences(const std::vector<SampleMeta>& samples
   return sequences;
 }
 
-Status FillPackedTokens(PackedSequence& seq, const std::vector<Sample>& samples) {
+Status FillPackedTokens(PackedSequence& seq, const std::vector<const Sample*>& samples,
+                        int32_t pad_to) {
   if (samples.size() != seq.sample_ids.size()) {
     return Status::InvalidArgument("sample count mismatch");
   }
-  seq.tokens.clear();
-  seq.tokens.reserve(static_cast<size_t>(seq.total_tokens));
+  if (pad_to > 0 && pad_to < seq.total_tokens) {
+    return Status::InvalidArgument("pad_to below packed length");
+  }
+  size_t width = static_cast<size_t>(pad_to > 0 ? pad_to : seq.total_tokens);
+  std::vector<int32_t> tokens;
+  tokens.reserve(width);
   for (size_t i = 0; i < samples.size(); ++i) {
-    if (samples[i].meta.sample_id != seq.sample_ids[i]) {
+    if (samples[i]->meta.sample_id != seq.sample_ids[i]) {
       return Status::InvalidArgument("sample order mismatch at segment " + std::to_string(i));
     }
     int32_t want = seq.segment_lengths[i];
-    const std::vector<int32_t>& toks = samples[i].tokens;
+    const TokenBuffer& toks = samples[i]->tokens;
     // Text tokens first, then a sentinel id per image patch (interleaved
     // stream; patch embeddings are injected model-side).
     int32_t emitted = 0;
@@ -75,17 +80,32 @@ Status FillPackedTokens(PackedSequence& seq, const std::vector<Sample>& samples)
       if (emitted >= want) {
         break;
       }
-      seq.tokens.push_back(t);
+      tokens.push_back(t);
       ++emitted;
     }
-    constexpr int32_t kImagePatchToken = -1;
     while (emitted < want) {
-      seq.tokens.push_back(kImagePatchToken);
+      tokens.push_back(kImagePatchToken);
       ++emitted;
     }
   }
-  seq.position_ids = RopePositions(seq);
+  std::vector<int32_t> positions = RopePositions(seq);
+  tokens.resize(width, kPadToken);
+  positions.resize(width, 0);
+  seq.tokens = std::move(tokens);
+  seq.position_ids = std::move(positions);
+  if (pad_to > 0) {
+    seq.padded_to = pad_to;
+  }
   return Status::Ok();
+}
+
+Status FillPackedTokens(PackedSequence& seq, const std::vector<Sample>& samples) {
+  std::vector<const Sample*> ptrs;
+  ptrs.reserve(samples.size());
+  for (const Sample& s : samples) {
+    ptrs.push_back(&s);
+  }
+  return FillPackedTokens(seq, ptrs);
 }
 
 std::vector<int32_t> RopePositions(const PackedSequence& seq) {
@@ -106,13 +126,17 @@ void PadMicrobatch(Microbatch& mb, int32_t pad_to) {
       target = std::max(target, s.total_tokens);
     }
   }
-  constexpr int32_t kPadToken = -2;
   for (PackedSequence& s : mb.sequences) {
     MSD_CHECK(s.total_tokens <= target);
     s.padded_to = target;
-    if (!s.tokens.empty()) {
-      s.tokens.resize(static_cast<size_t>(target), kPadToken);
-      s.position_ids.resize(static_cast<size_t>(target), 0);
+    // Views are immutable; a width change means re-freezing the payload once.
+    if (!s.tokens.empty() && s.tokens.size() != static_cast<size_t>(target)) {
+      std::vector<int32_t> tokens = s.tokens.ToVector();
+      std::vector<int32_t> positions = s.position_ids.ToVector();
+      tokens.resize(static_cast<size_t>(target), kPadToken);
+      positions.resize(static_cast<size_t>(target), 0);
+      s.tokens = std::move(tokens);
+      s.position_ids = std::move(positions);
     }
   }
 }

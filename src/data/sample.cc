@@ -1,8 +1,39 @@
 #include "src/data/sample.h"
 
+#include <atomic>
+
 #include "src/storage/wire.h"
 
 namespace msd {
+
+namespace {
+std::atomic<int64_t> g_sample_copies{0};
+}  // namespace
+
+Sample::Sample(const Sample& other)
+    : meta(other.meta),
+      raw_text(other.raw_text),
+      raw_image(other.raw_image),
+      tokens(other.tokens),
+      pixels(other.pixels) {
+  g_sample_copies.fetch_add(1, std::memory_order_relaxed);
+}
+
+Sample& Sample::operator=(const Sample& other) {
+  if (this != &other) {
+    meta = other.meta;
+    raw_text = other.raw_text;
+    raw_image = other.raw_image;
+    tokens = other.tokens;
+    pixels = other.pixels;
+    g_sample_copies.fetch_add(1, std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+int64_t SampleCopyCount() { return g_sample_copies.load(std::memory_order_relaxed); }
+
+void ResetSampleCopyCount() { g_sample_copies.store(0, std::memory_order_relaxed); }
 
 const char* ModalityName(Modality m) {
   switch (m) {
@@ -29,7 +60,7 @@ std::string SerializeSampleMeta(const SampleMeta& meta) {
   return w.Take();
 }
 
-bool DeserializeSampleMeta(const std::string& bytes, SampleMeta* out) {
+bool DeserializeSampleMeta(std::string_view bytes, SampleMeta* out) {
   WireReader r(bytes);
   out->sample_id = r.GetU64();
   out->source_id = static_cast<int32_t>(r.GetU32());
@@ -56,19 +87,23 @@ std::string SerializeSample(const Sample& sample) {
   return w.Take();
 }
 
-bool DeserializeSample(const std::string& bytes, Sample* out) {
+bool DeserializeSample(std::string_view bytes, Sample* out) {
   WireReader r(bytes);
-  std::string meta_bytes = r.GetBytes();
-  if (!DeserializeSampleMeta(meta_bytes, &out->meta)) {
+  // Parse-only sub-record: borrow the bytes instead of copying them out.
+  if (!DeserializeSampleMeta(r.GetBytesView(), &out->meta)) {
     return false;
   }
   out->raw_text = r.GetBytes();
   out->raw_image = r.GetBytes();
   uint32_t n_tokens = r.GetU32();
-  out->tokens.resize(n_tokens);
-  for (uint32_t i = 0; i < n_tokens; ++i) {
-    out->tokens[i] = static_cast<int32_t>(r.GetU32());
+  if (!r.Ok()) {
+    return false;
   }
+  std::vector<int32_t> tokens(n_tokens);
+  for (uint32_t i = 0; i < n_tokens; ++i) {
+    tokens[i] = static_cast<int32_t>(r.GetU32());
+  }
+  out->tokens = std::move(tokens);
   uint32_t n_pixels = r.GetU32();
   out->pixels.resize(n_pixels);
   for (uint32_t i = 0; i < n_pixels; ++i) {

@@ -7,7 +7,10 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "src/data/token_buffer.h"
 
 namespace msd {
 
@@ -32,13 +35,23 @@ struct SampleMeta {
   bool operator==(const SampleMeta&) const = default;
 };
 
-// A fully materialized training sample (real-mode payload).
+// A fully materialized training sample (real-mode payload). Samples travel
+// the hot path (pop -> build -> get-batch) behind `std::shared_ptr`, and their
+// token payload is a refcounted TokenBuffer, so the data plane only ever
+// moves/shares them. Copying a Sample is legal but accounted (see
+// SampleCopyCount) so benches and tests can prove the hot path is copy-free.
 struct Sample {
   SampleMeta meta;
   std::string raw_text;            // pre-tokenization text
   std::string raw_image;           // encoded ("JPEG") image bytes
-  std::vector<int32_t> tokens;     // filled by TextTokenize
+  TokenBuffer tokens;              // frozen by TextTokenize
   std::vector<float> pixels;       // filled by ImageDecode (patch embeddings input)
+
+  Sample() = default;
+  Sample(const Sample& other);
+  Sample& operator=(const Sample& other);
+  Sample(Sample&&) = default;
+  Sample& operator=(Sample&&) = default;
 
   int64_t PayloadBytes() const {
     return static_cast<int64_t>(raw_text.size() + raw_image.size() +
@@ -46,11 +59,17 @@ struct Sample {
   }
 };
 
+// Process-wide count of Sample copy-constructions/assignments (moves are
+// free and uncounted). The zero-copy data plane keeps this at zero between
+// PopSamples and GetBatch.
+int64_t SampleCopyCount();
+void ResetSampleCopyCount();
+
 // Wire encoding for MSDF rows and actor messages.
 std::string SerializeSampleMeta(const SampleMeta& meta);
-bool DeserializeSampleMeta(const std::string& bytes, SampleMeta* out);
+bool DeserializeSampleMeta(std::string_view bytes, SampleMeta* out);
 std::string SerializeSample(const Sample& sample);
-bool DeserializeSample(const std::string& bytes, Sample* out);
+bool DeserializeSample(std::string_view bytes, Sample* out);
 
 }  // namespace msd
 

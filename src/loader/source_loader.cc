@@ -11,6 +11,7 @@ namespace msd {
 
 std::string LoaderSnapshot::Serialize() const {
   WireWriter w;
+  w.Reserve(2 * sizeof(int64_t) + sizeof(uint32_t) + consumed_ids.size() * sizeof(uint64_t));
   w.PutI64(origin_file);
   w.PutI64(origin_group);
   w.PutU32(static_cast<uint32_t>(consumed_ids.size()));
@@ -20,7 +21,7 @@ std::string LoaderSnapshot::Serialize() const {
   return w.Take();
 }
 
-Result<LoaderSnapshot> LoaderSnapshot::Deserialize(const std::string& bytes) {
+Result<LoaderSnapshot> LoaderSnapshot::Deserialize(std::string_view bytes) {
   WireReader r(bytes);
   LoaderSnapshot snap;
   snap.origin_file = r.GetI64();
@@ -97,7 +98,12 @@ Status SourceLoader::LoadNextGroup() {
     ++next_group_;
 
     // Deserialize + transform worker-parallel across the loader's workers.
-    std::vector<Sample> samples(rows->size());
+    // Samples are heap-allocated once here and then only ever shared: the
+    // same allocation flows buffer -> SampleSlice -> constructor sample map.
+    std::vector<std::shared_ptr<Sample>> samples(rows->size());
+    for (auto& s : samples) {
+      s = std::make_shared<Sample>();
+    }
     std::vector<SimTime> costs(rows->size(), 0);
     std::atomic<bool> failed{false};
     std::vector<std::future<void>> futures;
@@ -105,11 +111,11 @@ Status SourceLoader::LoadNextGroup() {
     for (size_t shard = 0; shard < shards; ++shard) {
       futures.push_back(workers_->Submit([&, shard] {
         for (size_t i = shard; i < rows->size(); i += shards) {
-          if (!DeserializeSample(rows.value()[i], &samples[i])) {
+          if (!DeserializeSample(rows.value()[i], samples[i].get())) {
             failed.store(true);
             return;
           }
-          Result<SimTime> cost = pipeline_.Apply(samples[i]);
+          Result<SimTime> cost = pipeline_.Apply(*samples[i]);
           if (!cost.ok()) {
             failed.store(true);
             return;
@@ -125,10 +131,9 @@ Status SourceLoader::LoadNextGroup() {
     if (failed.load()) {
       return Status::DataLoss("corrupt row or failed transform in " + name());
     }
-    std::unordered_set<uint64_t> consumed(consumed_ids_.begin(), consumed_ids_.end());
     for (size_t i = 0; i < samples.size(); ++i) {
       total_transform_cost_ += costs[i];
-      if (consumed.find(samples[i].meta.sample_id) == consumed.end()) {
+      if (consumed_set_.find(samples[i]->meta.sample_id) == consumed_set_.end()) {
         buffer_.push_back(std::move(samples[i]));
       }
     }
@@ -150,8 +155,8 @@ BufferInfo SourceLoader::SummaryBuffer() const {
   info.loader_id = config_.loader_id;
   info.source_id = config_.spec.source_id;
   info.samples.reserve(buffer_.size());
-  for (const Sample& s : buffer_) {
-    info.samples.push_back(s.meta);
+  for (const std::shared_ptr<Sample>& s : buffer_) {
+    info.samples.push_back(s->meta);
   }
   return info;
 }
@@ -164,16 +169,20 @@ Result<SampleSlice> SourceLoader::PopSamples(int64_t step, const std::vector<uin
   if (wanted.size() != ids.size()) {
     return Status::InvalidArgument("duplicate sample ids in pop request");
   }
-  for (auto it = buffer_.begin(); it != buffer_.end();) {
-    if (wanted.count(it->meta.sample_id) > 0) {
-      wanted.erase(it->meta.sample_id);
-      consumed_ids_.push_back(it->meta.sample_id);
-      slice.samples.push_back(std::move(*it));
-      it = buffer_.erase(it);
+  // Single compaction pass: extract the wanted samples (in buffer order) and
+  // keep the rest, instead of an erase() per hit (O(buffer * ids)).
+  slice.samples.reserve(ids.size());
+  std::deque<std::shared_ptr<Sample>> kept;
+  for (std::shared_ptr<Sample>& s : buffer_) {
+    if (wanted.erase(s->meta.sample_id) > 0) {
+      consumed_ids_.push_back(s->meta.sample_id);
+      consumed_set_.insert(s->meta.sample_id);
+      slice.samples.push_back(std::move(s));
     } else {
-      ++it;
+      kept.push_back(std::move(s));
     }
   }
+  buffer_.swap(kept);
   if (!wanted.empty()) {
     return Status::NotFound(name() + ": " + std::to_string(wanted.size()) +
                             " requested samples not in buffer");
@@ -192,6 +201,7 @@ Result<SampleSlice> SourceLoader::PopSamples(int64_t step, const std::vector<uin
     origin_file_ = next_file_;
     origin_group_ = next_group_;
     consumed_ids_.clear();
+    consumed_set_.clear();
   }
   Status refill = RefillToWatermark();
   if (!refill.ok()) {
@@ -218,6 +228,7 @@ Status SourceLoader::Restore(const LoaderSnapshot& snapshot) {
   next_file_ = snapshot.origin_file;
   next_group_ = snapshot.origin_group;
   consumed_ids_ = snapshot.consumed_ids;
+  consumed_set_ = std::unordered_set<uint64_t>(consumed_ids_.begin(), consumed_ids_.end());
   return RefillToWatermark();
 }
 

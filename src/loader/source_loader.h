@@ -13,6 +13,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "src/actor/actor.h"
@@ -66,14 +67,17 @@ struct LoaderSnapshot {
   int64_t origin_group = 0;
   std::vector<uint64_t> consumed_ids;
   std::string Serialize() const;
-  static Result<LoaderSnapshot> Deserialize(const std::string& bytes);
+  static Result<LoaderSnapshot> Deserialize(std::string_view bytes);
 };
 
-// A batch of popped samples heading to one Data Constructor.
+// A batch of popped samples heading to one Data Constructor. Samples are
+// shared, not copied: the loader hands over its buffered `shared_ptr`s, so a
+// slice travelling through the actor system (and any retained reference on
+// the constructor side) aliases the same payloads the workers materialized.
 struct SampleSlice {
   int64_t step = 0;
   int32_t loader_id = -1;
-  std::vector<Sample> samples;
+  std::vector<std::shared_ptr<Sample>> samples;
   bool end_of_stream = true;  // false under partial-yield fault injection
 };
 
@@ -129,8 +133,11 @@ class SourceLoader : public Actor {
   int64_t next_group_ = 0;
   int64_t origin_file_ = 0;    // buffer origin: cursor when buffer was last empty
   int64_t origin_group_ = 0;
-  std::deque<Sample> buffer_;
+  std::deque<std::shared_ptr<Sample>> buffer_;
   std::vector<uint64_t> consumed_ids_;  // consumed since origin, in order
+  // Same ids as consumed_ids_, kept as a set so refills dedup in O(1) instead
+  // of rebuilding a set per row group.
+  std::unordered_set<uint64_t> consumed_set_;
   SimTime total_transform_cost_ = 0;
   int64_t samples_served_ = 0;
   bool exhausted_ = false;

@@ -79,4 +79,27 @@ BroadcastPlan MakeSelectiveBroadcastPlan(const ClientPlaceTree& tree,
   return plan;
 }
 
+std::vector<int64_t> StageShippedBytes(const BroadcastPlan& plan,
+                                       int64_t per_rank_payload_bytes) {
+  std::vector<int64_t> bytes;
+  bytes.reserve(plan.stages.size());
+  for (const std::vector<BroadcastGroup>& stage : plan.stages) {
+    int64_t targets = 0;
+    for (const BroadcastGroup& group : stage) {
+      targets += static_cast<int64_t>(group.targets.size());
+    }
+    bytes.push_back(targets * per_rank_payload_bytes);
+  }
+  return bytes;
+}
+
+int64_t TotalShippedBytes(const BroadcastPlan& plan, int64_t per_rank_payload_bytes) {
+  int64_t total =
+      static_cast<int64_t>(plan.fetching_ranks.size()) * per_rank_payload_bytes;
+  for (int64_t stage : StageShippedBytes(plan, per_rank_payload_bytes)) {
+    total += stage;
+  }
+  return total;
+}
+
 }  // namespace msd

@@ -9,6 +9,7 @@
 #ifndef SRC_MESH_SELECTIVE_BROADCAST_H_
 #define SRC_MESH_SELECTIVE_BROADCAST_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "src/mesh/client_place_tree.h"
@@ -37,6 +38,18 @@ BroadcastPlan MakeSelectiveBroadcastPlan(const ClientPlaceTree& tree,
 inline size_t SynchronizedClients(const BroadcastPlan& plan) {
   return plan.fetching_ranks.size();
 }
+
+// Bytes each re-broadcast stage moves across trainer links, given the payload
+// one rank's batch carries. With the zero-copy data plane a root's RankBatch
+// holds views into the constructor's frozen buffers, so the constructor side
+// serves `fetching_ranks` metadata-cost fetches and only these staged bytes
+// ever need materializing for the wire (one copy per target, none per alias).
+std::vector<int64_t> StageShippedBytes(const BroadcastPlan& plan,
+                                       int64_t per_rank_payload_bytes);
+
+// Sum of StageShippedBytes plus the root fetches themselves: total payload
+// movement to feed the whole world one step.
+int64_t TotalShippedBytes(const BroadcastPlan& plan, int64_t per_rank_payload_bytes);
 
 }  // namespace msd
 

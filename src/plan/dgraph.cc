@@ -35,8 +35,14 @@ std::vector<std::vector<double>> LoadingPlan::LoadMatrix() const {
   return matrix;
 }
 
+// Serialized footprint of one SliceAssignment (see the loop below).
+constexpr size_t kWireBytesPerAssignment =
+    sizeof(uint64_t) + 4 * sizeof(uint32_t) + sizeof(double) + 2 * sizeof(uint32_t);
+
 std::string LoadingPlan::Serialize() const {
   WireWriter w;
+  w.Reserve(64 + broadcast_axes.size() + assignments.size() * kWireBytesPerAssignment +
+            fetching_ranks.size() * sizeof(uint32_t));
   w.PutI64(step);
   w.PutU8(static_cast<uint8_t>(axis));
   w.PutU32(static_cast<uint32_t>(group_size));
@@ -69,7 +75,7 @@ std::string LoadingPlan::Serialize() const {
   return w.Take();
 }
 
-Result<LoadingPlan> LoadingPlan::Deserialize(const std::string& bytes) {
+Result<LoadingPlan> LoadingPlan::Deserialize(std::string_view bytes) {
   WireReader r(bytes);
   LoadingPlan plan;
   plan.step = r.GetI64();
@@ -102,7 +108,8 @@ Result<LoadingPlan> LoadingPlan::Deserialize(const std::string& bytes) {
   uint32_t n_sub = r.GetU32();
   for (uint32_t i = 0; i < n_sub; ++i) {
     std::string name = r.GetBytes();
-    Result<LoadingPlan> sub = Deserialize(r.GetBytes());
+    // Subplans recurse over a borrowed view of the enclosing record.
+    Result<LoadingPlan> sub = Deserialize(r.GetBytesView());
     if (!sub.ok()) {
       return sub.status();
     }

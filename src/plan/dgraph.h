@@ -22,6 +22,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -83,7 +84,7 @@ struct LoadingPlan {
   size_t SampleCount() const { return assignments.size(); }
 
   std::string Serialize() const;
-  static Result<LoadingPlan> Deserialize(const std::string& bytes);
+  static Result<LoadingPlan> Deserialize(std::string_view bytes);
 };
 
 struct BalanceOptions {

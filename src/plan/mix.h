@@ -26,7 +26,7 @@ class MixSchedule {
 class StaticMix : public MixSchedule {
  public:
   explicit StaticMix(std::vector<double> weights);
-  std::vector<double> WeightsAt(int64_t step) const override { return weights_; }
+  std::vector<double> WeightsAt(int64_t /*step*/) const override { return weights_; }
   size_t num_sources() const override { return weights_.size(); }
 
  private:

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <string_view>
 
 #include "src/common/status.h"
 
@@ -13,6 +14,10 @@ namespace msd {
 
 class WireWriter {
  public:
+  // Pre-sizes the buffer for writers that know their payload size up front
+  // (plan/snapshot serialization), avoiding repeated growth reallocations.
+  void Reserve(size_t n) { buf_.reserve(buf_.size() + n); }
+
   void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
   void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
   void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
@@ -34,10 +39,12 @@ class WireWriter {
   std::string buf_;
 };
 
+// Reads over borrowed bytes: the reader holds a view, so the backing string
+// (or sub-record view from GetBytesView) must outlive it.
 class WireReader {
  public:
-  explicit WireReader(const std::string& data) : data_(data) {}
-  WireReader(const std::string& data, size_t offset) : data_(data), pos_(offset) {}
+  explicit WireReader(std::string_view data) : data_(data) {}
+  WireReader(std::string_view data, size_t offset) : data_(data), pos_(offset) {}
 
   bool Ok() const { return ok_; }
   size_t pos() const { return pos_; }
@@ -67,13 +74,17 @@ class WireReader {
     GetRaw(&v, sizeof(v));
     return v;
   }
-  std::string GetBytes() {
+  std::string GetBytes() { return std::string(GetBytesView()); }
+
+  // Non-copying variant for readers that only parse the record in place; the
+  // returned view borrows from this reader's backing bytes.
+  std::string_view GetBytesView() {
     uint32_t n = GetU32();
     if (!ok_ || pos_ + n > data_.size()) {
       ok_ = false;
       return {};
     }
-    std::string out = data_.substr(pos_, n);
+    std::string_view out = data_.substr(pos_, n);
     pos_ += n;
     return out;
   }
@@ -89,7 +100,7 @@ class WireReader {
     pos_ += n;
   }
 
-  const std::string& data_;
+  std::string_view data_;
   size_t pos_ = 0;
   bool ok_ = true;
 };

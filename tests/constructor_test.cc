@@ -31,10 +31,11 @@ struct Fixture {
         a.cost = a.total_tokens;
         plan.assignments.push_back(a);
 
-        Sample sample;
-        sample.meta.sample_id = id;
-        sample.meta.text_tokens = a.total_tokens;
-        sample.tokens.assign(static_cast<size_t>(a.total_tokens), static_cast<int32_t>(id));
+        auto sample = std::make_shared<Sample>();
+        sample->meta.sample_id = id;
+        sample->meta.text_tokens = a.total_tokens;
+        sample->tokens =
+            std::vector<int32_t>(static_cast<size_t>(a.total_tokens), static_cast<int32_t>(id));
         slice.samples.push_back(std::move(sample));
         ++id;
       }

@@ -419,13 +419,13 @@ TEST(PaddingTest, PadsToBatchMax) {
   PackedSequence a;
   a.segment_lengths = {10};
   a.total_tokens = 10;
-  a.tokens.assign(10, 1);
-  a.position_ids.assign(10, 0);
+  a.tokens = std::vector<int32_t>(10, 1);
+  a.position_ids = std::vector<int32_t>(10, 0);
   PackedSequence b;
   b.segment_lengths = {4};
   b.total_tokens = 4;
-  b.tokens.assign(4, 2);
-  b.position_ids.assign(4, 0);
+  b.tokens = std::vector<int32_t>(4, 2);
+  b.position_ids = std::vector<int32_t>(4, 0);
   mb.sequences = {a, b};
   PadMicrobatch(mb);
   EXPECT_EQ(mb.sequences[0].padded_to, 10);

@@ -67,10 +67,10 @@ TEST_F(LoaderTest, PopReturnsRequestedTransformedSamples) {
   ASSERT_TRUE(slice.ok());
   EXPECT_TRUE(slice->end_of_stream);
   ASSERT_EQ(slice->samples.size(), 2u);
-  for (const Sample& s : slice->samples) {
-    EXPECT_FALSE(s.tokens.empty());            // tokenized
-    if (s.meta.image_tokens > 0) {
-      EXPECT_FALSE(s.pixels.empty());          // decoded
+  for (const std::shared_ptr<Sample>& s : slice->samples) {
+    EXPECT_FALSE(s->tokens.empty());           // tokenized
+    if (s->meta.image_tokens > 0) {
+      EXPECT_FALSE(s->pixels.empty());         // decoded
     }
   }
   EXPECT_EQ(loader.samples_served(), 2);

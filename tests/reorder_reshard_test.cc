@@ -38,7 +38,7 @@ TEST_F(DeferredDecodeTest, LoaderShipsCompressedBytes) {
   BufferInfo info = loader.SummaryBuffer();
   Result<SampleSlice> slice = loader.PopSamples(0, {info.samples[0].sample_id});
   ASSERT_TRUE(slice.ok());
-  const Sample& s = slice->samples[0];
+  const Sample& s = *slice->samples[0];
   EXPECT_FALSE(s.tokens.empty());   // tokenization still ran in the loader
   EXPECT_TRUE(s.pixels.empty());    // decode deferred
   EXPECT_FALSE(s.raw_image.empty());
@@ -52,8 +52,8 @@ TEST_F(DeferredDecodeTest, DeferredSliceIsSmallerThanDecoded) {
   ASSERT_TRUE(deferred.Open().ok());
   ASSERT_TRUE(eager.Open().ok());
   uint64_t id = deferred.SummaryBuffer().samples[0].sample_id;
-  int64_t deferred_bytes = deferred.PopSamples(0, {id})->samples[0].PayloadBytes();
-  int64_t eager_bytes = eager.PopSamples(0, {id})->samples[0].PayloadBytes();
+  int64_t deferred_bytes = deferred.PopSamples(0, {id})->samples[0]->PayloadBytes();
+  int64_t eager_bytes = eager.PopSamples(0, {id})->samples[0]->PayloadBytes();
   EXPECT_LT(deferred_bytes, eager_bytes);  // the point of reordering (Sec. 6.2)
 }
 
