@@ -1,7 +1,10 @@
 // Curriculum learning with dynamic data mixing (Sec. 2.1 / Sec. 5): a staged
 // schedule shifts the mixture from "easy" to "hard" sources during training;
 // the mixture-driven AutoScaler reallocates loader actors as demand moves.
+// Batches are consumed through streaming DataClients — the prefetch pipeline
+// plans ahead with the stage weights of each future step.
 #include <cstdio>
+#include <vector>
 
 #include "src/api/session.h"
 
@@ -14,13 +17,14 @@ int main() {
       {6, {1, 1, 1, 6, 6, 6}},   // late: mostly hard
   });
 
-  msd::Session::Options options;
-  options.corpus = corpus;
-  options.spec = {.dp = 2, .pp = 1, .cp = 1, .tp = 1};
-  options.samples_per_step = 12;
-  options.schedule = schedule;
-  options.rows_per_file_override = 64;
-  auto session = msd::Session::Create(options);
+  auto session = msd::SessionBuilder()
+                     .WithCorpus(corpus)
+                     .WithMesh({.dp = 2, .pp = 1, .cp = 1, .tp = 1})
+                     .WithSamplesPerStep(12)
+                     .WithSchedule(schedule)
+                     .WithRowsPerFile(64)
+                     .WithPrefetchDepth(2)
+                     .Build();
   MSD_CHECK(session.ok());
 
   // The online scaler watches the same schedule the Planner samples from.
@@ -29,12 +33,24 @@ int main() {
   scaler_options.actor_budget = 12;
   msd::MixtureDrivenScaler scaler(std::vector<int32_t>(6, 2), scaler_options);
 
+  const int32_t world = (*session)->tree().spec().WorldSize();
   for (int64_t step = 0; step < 14; ++step) {
-    MSD_CHECK((*session)->AdvanceStep().ok());
+    // Stats for the upcoming step (blocks until the pipeline produced it —
+    // with depth 2 it usually already has).
+    msd::Result<msd::Session::StepStats> stats = (*session)->StepStatsFor(step);
+    MSD_CHECK(stats.ok());
+    size_t samples = 0;
+    for (int32_t rank = 0; rank < world; ++rank) {
+      msd::Result<msd::RankBatch> batch = (*session)->client(rank).value()->NextBatch();
+      MSD_CHECK(batch.ok());
+      if (rank == 0) {
+        samples = stats->samples;
+      }
+    }
     std::vector<double> weights = schedule->WeightsAt(step);
     std::vector<msd::ScalingDecision> decisions = scaler.Observe(weights);
-    std::printf("step %lld: served %zu samples; weights [", static_cast<long long>(step),
-                (*session)->last_stats().samples);
+    std::printf("step %lld: served %zu samples (build-ahead %.2f ms); weights [",
+                static_cast<long long>(step), samples, stats->build_ahead_ms);
     for (size_t s = 0; s < weights.size(); ++s) {
       std::printf("%s%.0f", s ? " " : "", weights[s]);
     }
@@ -50,5 +66,9 @@ int main() {
   }
   std::printf("\ntotal rescale events: %lld\n",
               static_cast<long long>(scaler.total_rescales()));
+  msd::PrefetchPipeline::Stats pipeline = (*session)->pipeline_stats();
+  std::printf("pipeline: %lld hits / %lld stalls over 14 streamed steps\n",
+              static_cast<long long>(pipeline.prefetch_hits),
+              static_cast<long long>(pipeline.prefetch_stalls));
   return 0;
 }

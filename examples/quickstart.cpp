@@ -1,58 +1,113 @@
 // Quickstart: build a small multisource VLM corpus, start a MegaScale-Data
 // session (source loaders + data constructors + planner as in-process
-// actors), and pull real, packed, parallelism-transformed batches.
+// actors), and stream real, packed, parallelism-transformed batches through
+// per-rank DataClient handles while the prefetch pipeline builds ahead.
 //
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
 #include <cstdio>
+#include <thread>
+#include <vector>
 
 #include "src/api/session.h"
 
-int main() {
-  msd::Session::Options options;
-  options.corpus = msd::MakeCoyo700m();       // 5 image-text sources (Fig. 2 fit)
-  options.spec = {.dp = 2, .pp = 1, .cp = 1, .tp = 1};
-  options.num_microbatches = 2;
-  options.samples_per_step = 16;
-  options.max_seq_len = 2048;
-  options.strategy = msd::Session::StrategyKind::kBackboneBalance;
-  options.rows_per_file_override = 64;
+namespace {
 
-  auto session = msd::Session::Create(std::move(options));
+// One trainer rank: pull `steps` batches off this rank's stream. On the hot
+// path the pull is a prefetch hit — the pipeline built the step while the
+// previous one was being consumed.
+void RunRank(msd::DataClient* client, int steps, int64_t* tokens_out) {
+  int64_t tokens = 0;
+  for (int step = 0; step < steps; ++step) {
+    msd::Result<msd::RankBatch> batch = client->NextBatch();
+    MSD_CHECK(batch.ok());
+    for (const msd::Microbatch& mb : batch->microbatches) {
+      tokens += mb.TotalTokens();
+    }
+  }
+  *tokens_out = tokens;
+}
+
+}  // namespace
+
+int main() {
+  auto session = msd::SessionBuilder()
+                     .WithCorpus(msd::MakeCoyo700m())  // 5 image-text sources
+                     .WithMesh({.dp = 2, .pp = 1, .cp = 1, .tp = 1})
+                     .WithMicrobatches(2)
+                     .WithSamplesPerStep(16)
+                     .WithMaxSeqLen(2048)
+                     .WithStrategy(msd::Session::StrategyKind::kBackboneBalance)
+                     .WithRowsPerFile(64)
+                     .WithPrefetchDepth(2)
+                     .Build();
   if (!session.ok()) {
     std::fprintf(stderr, "session creation failed: %s\n",
                  session.status().ToString().c_str());
     return 1;
   }
-  std::printf("session up: %zu source loaders, mesh %s\n", (*session)->num_loaders(),
-              (*session)->tree().spec().ToString().c_str());
+  std::printf("session up: %zu source loaders, mesh %s, prefetch depth 2\n",
+              (*session)->num_loaders(), (*session)->tree().spec().ToString().c_str());
 
-  for (int step = 0; step < 3; ++step) {
-    msd::Status advanced = (*session)->AdvanceStep();
-    if (!advanced.ok()) {
-      std::fprintf(stderr, "step failed: %s\n", advanced.ToString().c_str());
-      return 1;
-    }
-    const msd::Session::StepStats& stats = (*session)->last_stats();
-    std::printf("\nstep %lld: %zu samples, DP imbalance %.3f, plan %.2f ms\n",
-                static_cast<long long>(stats.step), stats.samples, stats.dp_imbalance,
-                stats.plan_compute_ms);
+  // Streaming consumption: one thread per rank, each pulling its own stream.
+  constexpr int kSteps = 3;
+  const int32_t world = (*session)->tree().spec().WorldSize();
+  std::vector<int64_t> tokens(static_cast<size_t>(world), 0);
+  std::vector<std::thread> ranks;
+  for (int32_t rank = 0; rank < world; ++rank) {
+    msd::DataClient* client = (*session)->client(rank).value();
+    ranks.emplace_back(RunRank, client, kSteps, &tokens[static_cast<size_t>(rank)]);
+  }
+  for (std::thread& t : ranks) {
+    t.join();
+  }
+  for (int32_t rank = 0; rank < world; ++rank) {
+    std::printf("  rank %d streamed %d steps, %lld tokens\n", rank, kSteps,
+                static_cast<long long>(tokens[static_cast<size_t>(rank)]));
+  }
+  msd::PrefetchPipeline::Stats stats = (*session)->pipeline_stats();
+  std::printf("pipeline: %lld steps produced, %lld retired, %lld hits / %lld stalls\n",
+              static_cast<long long>(stats.steps_produced),
+              static_cast<long long>(stats.steps_retired),
+              static_cast<long long>(stats.prefetch_hits),
+              static_cast<long long>(stats.prefetch_stalls));
+
+  // The async variant overlaps the fetch with caller compute.
+  msd::DataClient* client0 = (*session)->client(0).value();
+  std::future<msd::Result<msd::RankBatch>> pending = client0->NextBatchAsync();
+  //   ... training compute for the previous step would run here ...
+  msd::Result<msd::RankBatch> async_batch = pending.get();
+  MSD_CHECK(async_batch.ok());
+  std::printf("async pull served step %lld for rank 0\n",
+              static_cast<long long>(async_batch->step));
+
+  // ------------------------------------------------------------------
+  // Deprecated lockstep loop (AdvanceStep/GetBatch), kept as a migration
+  // reference. It is a shim over the same pipeline and serves byte-identical
+  // batches; new code should stream through client(rank) instead.
+  // ------------------------------------------------------------------
+  auto legacy = msd::SessionBuilder()
+                    .WithCorpus(msd::MakeCoyo700m())
+                    .WithMesh({.dp = 2, .pp = 1, .cp = 1, .tp = 1})
+                    .WithMicrobatches(2)
+                    .WithSamplesPerStep(16)
+                    .WithMaxSeqLen(2048)
+                    .WithRowsPerFile(64)
+                    .Build();
+  MSD_CHECK(legacy.ok());
+  for (int step = 0; step < 2; ++step) {
+    msd::Status advanced = (*legacy)->AdvanceStep();  // deprecated shim
+    MSD_CHECK(advanced.ok());
+    const msd::Session::StepStats& stats2 = (*legacy)->last_stats();
+    std::printf("\n[legacy] step %lld: %zu samples, DP imbalance %.3f, plan %.2f ms, "
+                "build-ahead %.2f ms\n",
+                static_cast<long long>(stats2.step), stats2.samples, stats2.dp_imbalance,
+                stats2.plan_compute_ms, stats2.build_ahead_ms);
     for (int32_t rank = 0; rank < 2; ++rank) {
-      msd::Result<msd::RankBatch> batch = (*session)->GetBatch(rank);
-      if (!batch.ok()) {
-        std::fprintf(stderr, "fetch failed: %s\n", batch.status().ToString().c_str());
-        return 1;
-      }
-      int64_t tokens = 0;
-      size_t sequences = 0;
-      for (const msd::Microbatch& mb : batch->microbatches) {
-        sequences += mb.sequences.size();
-        tokens += mb.TotalTokens();
-      }
-      std::printf("  rank %d: %zu microbatches, %zu packed sequences, %lld tokens, "
-                  "%lld payload bytes\n",
-                  rank, batch->microbatches.size(), sequences,
-                  static_cast<long long>(tokens),
+      msd::Result<msd::RankBatch> batch = (*legacy)->GetBatch(rank);  // deprecated shim
+      MSD_CHECK(batch.ok());
+      std::printf("[legacy]   rank %d: %zu microbatches, %lld payload bytes\n", rank,
+                  batch->microbatches.size(),
                   static_cast<long long>(batch->payload_bytes));
     }
   }

@@ -39,6 +39,16 @@ class ActorSystem {
   // Runs fn on the actor's thread and waits for the result (no deadline).
   template <typename R>
   R Ask(Actor& actor, std::function<R()> fn) {
+    return AskAsync<R>(actor, std::move(fn)).get();
+  }
+
+  // Asynchronous Ask: posts fn to the actor and returns a future for its
+  // result. Lets callers fan a round of requests out over many actors and
+  // gather them (the prefetch pipeline pops every loader concurrently this
+  // way). Posting order is preserved per actor, so two AskAsync calls to the
+  // same actor from one thread execute in issue order.
+  template <typename R>
+  std::future<R> AskAsync(Actor& actor, std::function<R()> fn) {
     auto prom = std::make_shared<std::promise<R>>();
     std::future<R> fut = prom->get_future();
     bool posted = Post(actor, [prom, fn = std::move(fn)]() mutable {
@@ -49,12 +59,8 @@ class ActorSystem {
         prom->set_value(fn());
       }
     });
-    if (!posted) {
-      // Dead actor: surface as a broken promise -> caller sees exception-free
-      // default by waiting on a promise we fail now.
-      MSD_CHECK(posted && "Ask() on dead actor; use AskWithTimeout for fallible calls");
-    }
-    return fut.get();
+    MSD_CHECK(posted && "Ask/AskAsync on dead actor; use AskWithTimeout for fallible calls");
+    return fut;
   }
 
   // Ask with a wall-clock deadline: models RPC timeout detection. Returns

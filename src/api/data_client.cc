@@ -1,0 +1,13 @@
+#include "src/api/data_client.h"
+
+namespace msd {
+
+Result<RankBatch> DataClient::NextBatch() { return pipeline_->NextBatch(rank_); }
+
+std::future<Result<RankBatch>> DataClient::NextBatchAsync() {
+  return pipeline_->NextBatchAsync(rank_);
+}
+
+int64_t DataClient::next_step() const { return pipeline_->cursor(rank_); }
+
+}  // namespace msd

@@ -1,0 +1,62 @@
+// DataClient: one training rank's streaming handle onto a Session.
+//
+// The paper's pull model gives every rank a continuous stream of batches
+// while the Planner/Loaders/Constructors work ahead of consumption. A
+// DataClient is that stream's consumer end: NextBatch() blocks until the
+// rank's next step is produced by the session's prefetch pipeline (usually it
+// already is — that's the point) and NextBatchAsync() returns a future so the
+// caller can overlap the fetch with its own compute.
+//
+//   auto session = msd::SessionBuilder().WithCorpus(...).WithMesh(spec).Build();
+//   msd::DataClient* client = (*session)->client(rank).value();
+//   while (training) {
+//     msd::RankBatch batch = client->NextBatch().value();  // hot: prefetch hit
+//     ...
+//   }
+//
+// A DataClient is bound to its rank and owned by the Session; handles stay
+// valid for the session's lifetime. One consumer per rank: a single
+// DataClient must not be shared across threads (different ranks' clients may
+// be driven concurrently — that is the intended use).
+#ifndef SRC_API_DATA_CLIENT_H_
+#define SRC_API_DATA_CLIENT_H_
+
+#include <future>
+
+#include "src/api/prefetch_pipeline.h"
+#include "src/constructor/data_constructor.h"
+
+namespace msd {
+
+class DataClient {
+ public:
+  DataClient(const DataClient&) = delete;
+  DataClient& operator=(const DataClient&) = delete;
+
+  // Blocking pull of this rank's next batch; advances the rank's cursor.
+  Result<RankBatch> NextBatch();
+
+  // Future-returning pull, for overlapping the fetch with caller compute.
+  // Keep at most one pull (sync or async) outstanding per rank: the step is
+  // claimed when the pull executes, so concurrent pulls on one rank would
+  // claim steps in a nondeterministic order. Backed by a short-lived thread
+  // per call — negligible at step granularity, but hot loops should prefer
+  // NextBatch() on a persistent consumer thread.
+  std::future<Result<RankBatch>> NextBatchAsync();
+
+  int32_t rank() const { return rank_; }
+  // The step the next NextBatch() call will serve, or -1 if this rank was
+  // dropped from the mesh by a shrinking Reshard().
+  int64_t next_step() const;
+
+ private:
+  friend class Session;
+  DataClient(PrefetchPipeline* pipeline, int32_t rank) : pipeline_(pipeline), rank_(rank) {}
+
+  PrefetchPipeline* pipeline_;
+  int32_t rank_;
+};
+
+}  // namespace msd
+
+#endif  // SRC_API_DATA_CLIENT_H_

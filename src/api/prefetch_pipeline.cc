@@ -1,0 +1,367 @@
+#include "src/api/prefetch_pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <string>
+
+#include "src/common/logging.h"
+
+namespace msd {
+
+namespace {
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+}  // namespace
+
+PrefetchPipeline::PrefetchPipeline(Config config, int32_t world_size, ProduceFn produce,
+                                   FetchFn fetch, RebuildFn rebuild, ReleaseFn release)
+    : config_(config),
+      produce_(std::move(produce)),
+      fetch_(std::move(fetch)),
+      rebuild_(std::move(rebuild)),
+      release_(std::move(release)),
+      world_size_(world_size),
+      cursors_(static_cast<size_t>(world_size), 0),
+      window_(static_cast<size_t>(std::max(config.depth, 1))) {
+  MSD_CHECK(config_.depth >= 0);
+  MSD_CHECK(world_size_ >= 1);
+  MSD_CHECK(produce_ != nullptr && fetch_ != nullptr);
+}
+
+PrefetchPipeline::~PrefetchPipeline() { Stop(); }
+
+void PrefetchPipeline::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  if (config_.depth > 0) {
+    producer_ = std::thread([this] { ProducerLoop(); });
+  }
+}
+
+void PrefetchPipeline::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) {
+      return;
+    }
+    running_ = false;
+  }
+  window_.Close();
+  cv_.notify_all();
+  if (producer_.joinable()) {
+    producer_.join();
+  }
+}
+
+void PrefetchPipeline::ProducerLoop() {
+  for (;;) {
+    // Claim a live-step slot first: this is the backpressure point. The push
+    // blocks until retirement frees a slot (or Stop closes the queue).
+    if (!window_.Push(0)) {
+      return;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !running_ || (!paused_ && !halted_.has_value()); });
+    if (!running_) {
+      return;
+    }
+    ProduceOne(lock);
+    if (halted_.has_value()) {
+      return;  // terminal: waiting consumers observe the stored status
+    }
+  }
+}
+
+void PrefetchPipeline::ProduceOne(std::unique_lock<std::mutex>& lock) {
+  const int64_t step = next_produce_;
+  in_produce_ = true;
+  lock.unlock();
+  auto t0 = std::chrono::steady_clock::now();
+  Result<ProducedStep> produced = produce_(step);
+  double elapsed_ms = MsSince(t0);
+  lock.lock();
+  in_produce_ = false;
+  if (!produced.ok()) {
+    halted_ = std::make_pair(step, produced.status());
+  } else {
+    Ticket ticket;
+    ticket.data = std::move(produced.value());
+    ticket.data.build_ahead_ms = elapsed_ms;
+    ticket.fetched.assign(static_cast<size_t>(world_size_), 0);
+    tickets_.emplace(step, std::move(ticket));
+    next_produce_ = step + 1;
+    ++stats_.steps_produced;
+    stats_.last_build_ahead_ms = elapsed_ms;
+  }
+  cv_.notify_all();
+}
+
+Status PrefetchPipeline::HaltStatusLocked(int64_t step) const {
+  const auto& [halt_step, status] = *halted_;
+  return Status(status.code(), "prefetch pipeline halted at step " +
+                                   std::to_string(halt_step) + " (requested " +
+                                   std::to_string(step) + "): " + status.message());
+}
+
+Status PrefetchPipeline::WaitProducedLocked(std::unique_lock<std::mutex>& lock, int64_t step,
+                                            bool count_stats) {
+  if (step < next_produce_) {
+    if (count_stats) {
+      ++stats_.prefetch_hits;
+    }
+    return Status::Ok();
+  }
+  if (halted_.has_value()) {
+    return HaltStatusLocked(step);
+  }
+  if (count_stats) {
+    ++stats_.prefetch_stalls;
+  }
+  if (config_.depth == 0) {
+    // Synchronous mode: produce inline on this thread, in step order. Another
+    // consumer may already be producing (or a drain may be in effect); wait
+    // rather than double-run or race the control operation.
+    while (next_produce_ <= step && !halted_.has_value() && running_) {
+      if (in_produce_ || paused_) {
+        cv_.wait(lock, [&] { return (!in_produce_ && !paused_) || !running_ ||
+                                    halted_.has_value() || step < next_produce_; });
+      } else {
+        ProduceOne(lock);
+      }
+    }
+  } else {
+    cv_.wait(lock, [&] { return !running_ || halted_.has_value() || step < next_produce_; });
+  }
+  if (step < next_produce_) {
+    return Status::Ok();
+  }
+  if (halted_.has_value()) {
+    return HaltStatusLocked(step);
+  }
+  return Status::Unavailable("prefetch pipeline stopped before step " + std::to_string(step));
+}
+
+int64_t PrefetchPipeline::ConsumptionFloorLocked() const {
+  int64_t floor = std::numeric_limits<int64_t>::max();
+  for (int64_t c : cursors_) {
+    floor = std::min(floor, c);
+  }
+  return floor;
+}
+
+void PrefetchPipeline::MaybeRetireLocked() {
+  const int64_t floor = ConsumptionFloorLocked();
+  for (;;) {
+    auto it = tickets_.find(retire_floor_);
+    if (it == tickets_.end()) {
+      break;  // oldest live step not produced yet
+    }
+    Ticket& ticket = it->second;
+    bool fully_fetched = ticket.fetch_count >= world_size_;
+    if (!fully_fetched && floor <= retire_floor_) {
+      break;
+    }
+    if (fully_fetched && !ticket.released && release_ != nullptr) {
+      release_(retire_floor_);
+      ticket.released = true;
+    }
+    tickets_.erase(it);
+    ++retire_floor_;
+    ++stats_.steps_retired;
+    if (config_.depth > 0) {
+      window_.TryPop();  // return the slot; wakes the blocked producer
+    }
+  }
+}
+
+// Runs fetch_ outside the lock, bracketed by active_fetches_ so Pause() can
+// wait out in-flight fetches; new fetches block while a drain is in effect.
+Result<RankBatch> PrefetchPipeline::GatedFetch(std::unique_lock<std::mutex>& lock,
+                                               int32_t rank, int64_t step) {
+  cv_.wait(lock, [&] { return !paused_ || !running_; });
+  if (!running_) {
+    return Status::Unavailable("prefetch pipeline stopped");
+  }
+  ++active_fetches_;
+  lock.unlock();
+  Result<RankBatch> batch = fetch_(rank, step);
+  lock.lock();
+  --active_fetches_;
+  cv_.notify_all();
+  return batch;
+}
+
+Result<RankBatch> PrefetchPipeline::NextBatch(int32_t rank) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (rank < 0 || rank >= world_size_) {
+    return Status::InvalidArgument("rank " + std::to_string(rank) + " outside world of " +
+                                   std::to_string(world_size_));
+  }
+  int64_t step = cursors_[static_cast<size_t>(rank)];
+  cursors_[static_cast<size_t>(rank)] = step + 1;
+  MaybeRetireLocked();  // claiming may raise the consumption floor
+  Status produced = WaitProducedLocked(lock, step, /*count_stats=*/true);
+  if (!produced.ok()) {
+    return produced;
+  }
+  Result<RankBatch> batch = GatedFetch(lock, rank, step);
+  auto it = tickets_.find(step);
+  // Bounds re-check: a shrinking reshard may have resized the fetch bitmap
+  // while this rank's fetch was in flight.
+  if (it != tickets_.end() && static_cast<size_t>(rank) < it->second.fetched.size() &&
+      !it->second.fetched[static_cast<size_t>(rank)]) {
+    it->second.fetched[static_cast<size_t>(rank)] = 1;
+    ++it->second.fetch_count;
+    MaybeRetireLocked();
+  }
+  return batch;
+}
+
+std::future<Result<RankBatch>> PrefetchPipeline::NextBatchAsync(int32_t rank) {
+  // The cursor is claimed inside NextBatch on the async thread; keep one pull
+  // outstanding per rank or step claim order becomes nondeterministic.
+  return std::async(std::launch::async, [this, rank] { return NextBatch(rank); });
+}
+
+Status PrefetchPipeline::WaitProduced(int64_t step) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // The lockstep shim consumes in unison: every rank lagging behind `step`
+  // is fast-forwarded, which retires (frees) all steps before it.
+  for (int64_t& cursor : cursors_) {
+    cursor = std::max(cursor, step);
+  }
+  MaybeRetireLocked();
+  return WaitProducedLocked(lock, step, /*count_stats=*/true);
+}
+
+void PrefetchPipeline::MarkShimConsumed(int64_t step) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int64_t& cursor : cursors_) {
+    cursor = std::max(cursor, step + 1);
+  }
+  MaybeRetireLocked();
+}
+
+Result<RankBatch> PrefetchPipeline::FetchStep(int32_t rank, int64_t step) {
+  // No cursor movement and no refcount: the deprecated GetBatch may fetch a
+  // step any number of times (or not at all); constructor eviction bounds it.
+  std::unique_lock<std::mutex> lock(mu_);
+  return GatedFetch(lock, rank, step);
+}
+
+void PrefetchPipeline::Pause() {
+  std::unique_lock<std::mutex> lock(mu_);
+  paused_ = true;
+  // Drain both the producer and every consumer fetch: after this, no
+  // loader/constructor Ask originating from the pipeline is in flight, and
+  // none can start until Resume().
+  cv_.wait(lock, [&] { return !in_produce_ && active_fetches_ == 0; });
+}
+
+void PrefetchPipeline::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+Status PrefetchPipeline::RebuildLive(int32_t new_world_size) {
+  MSD_CHECK(new_world_size >= 1);
+  std::unique_lock<std::mutex> lock(mu_);
+  MSD_CHECK(paused_ || config_.depth == 0);
+  world_size_ = new_world_size;
+  // Ranks added by the reshard start at the oldest live step; ranks removed
+  // simply drop out of the consumption floor.
+  cursors_.resize(static_cast<size_t>(new_world_size), retire_floor_);
+  if (rebuild_ == nullptr) {
+    return Status::Ok();
+  }
+  for (auto& [step, ticket] : tickets_) {
+    Status rebuilt = rebuild_(ticket.data.plan, ticket.data.slices_per_constructor);
+    if (!rebuilt.ok()) {
+      return Status(rebuilt.code(), "rebuilding prefetched step " + std::to_string(step) +
+                                        " after reshard: " + rebuilt.message());
+    }
+    // The step's content changed: every rank (old and new) refetches it.
+    ticket.fetched.assign(static_cast<size_t>(new_world_size), 0);
+    ticket.fetch_count = 0;
+    ticket.released = false;
+  }
+  return Status::Ok();
+}
+
+PrefetchPipeline::Stats PrefetchPipeline::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.queue_depth = tickets_.size();
+  return s;
+}
+
+Result<PrefetchPipeline::StepMeta> PrefetchPipeline::StepInfo(int64_t step) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tickets_.find(step);
+  if (it == tickets_.end()) {
+    return Status::NotFound("step " + std::to_string(step) + " is not live in the pipeline");
+  }
+  StepMeta meta;
+  meta.step = step;
+  meta.samples = it->second.data.samples;
+  meta.dp_imbalance = it->second.data.dp_imbalance;
+  meta.plan_compute_ms = it->second.data.plan_compute_ms;
+  meta.build_ahead_ms = it->second.data.build_ahead_ms;
+  return meta;
+}
+
+Result<PrefetchPipeline::StepMeta> PrefetchPipeline::WaitStepInfo(int64_t step) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Pure observability: never classified as a prefetch hit or stall.
+    Status produced = WaitProducedLocked(lock, step, /*count_stats=*/false);
+    if (!produced.ok()) {
+      return produced;
+    }
+  }
+  return StepInfo(step);
+}
+
+Result<PrefetchPipeline::Capture> PrefetchPipeline::CaptureStep(int64_t step) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (step < retire_floor_) {
+    return Status::FailedPrecondition("step " + std::to_string(step) +
+                                      " already retired; capture before consuming it");
+  }
+  Status produced = WaitProducedLocked(lock, step, /*count_stats=*/false);
+  if (!produced.ok()) {
+    return produced;
+  }
+  auto it = tickets_.find(step);
+  if (it == tickets_.end()) {
+    return Status::NotFound("step " + std::to_string(step) + " retired while capturing");
+  }
+  Capture capture;
+  capture.plan = it->second.data.plan;
+  capture.slices_per_constructor = it->second.data.slices_per_constructor;
+  return capture;
+}
+
+int64_t PrefetchPipeline::cursor(int32_t rank) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (rank < 0 || rank >= world_size_) {
+    return -1;  // rank dropped by a shrinking reshard; handles must not abort
+  }
+  return cursors_[static_cast<size_t>(rank)];
+}
+
+int32_t PrefetchPipeline::world_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return world_size_;
+}
+
+}  // namespace msd

@@ -1,0 +1,219 @@
+// PrefetchPipeline: the bounded build-ahead engine behind the streaming
+// Session API (the paper's pull model, Sec. 3, made continuous).
+//
+// A single in-order producer drives plan -> pop -> build for steps
+// N .. N+depth-1 while training ranks consume step N. The moving parts:
+//
+//   - Backpressure: the producer claims a slot from a bounded MpmcQueue
+//     before producing a step and retirement returns the slot, so at most
+//     `depth` steps are ever live (produced or in flight) ahead of the
+//     slowest consumer. `depth == 0` degenerates to fully synchronous
+//     production on the consumer's thread (the lockstep baseline).
+//   - Per-rank cursors: every rank of the world has a cursor; NextBatch(rank)
+//     claims the cursor's step, blocks until it is produced, fetches the
+//     rank's view, and advances. The deprecated lockstep shim instead raises
+//     every lagging cursor at once via WaitProduced (AdvanceStep).
+//   - Refcounted retirement: a step's resources are released once all
+//     world-size ranks have fetched their view (constructor StepData is
+//     dropped eagerly via the release hook) or once every cursor has moved
+//     past it; retirement is strictly in step order so the slot queue and the
+//     retained slices stay consistent.
+//   - Drain/invalidate: Pause() quiesces the producer (waits out the
+//     in-flight step, so no actor Ask can race a loader kill), and
+//     RebuildLive() re-runs constructor assembly for every live step from the
+//     slices retained at pop time — this is how Reshard() re-targets already
+//     prefetched steps to a new mesh instead of racing or discarding them.
+//
+// Determinism: the producer is strictly sequential in step order and issues
+// per-loader pops in the same relative order as the old lockstep loop, so a
+// pipelined session serves byte-identical batches to the synchronous shim
+// (asserted by tests/pipeline_test.cc against ReferenceDataPlane).
+//
+// Thread-safety: NextBatch/WaitProduced/FetchStep/stats are safe to call from
+// any thread (one consumer per rank; a DataClient itself is not shared).
+// Control operations (Pause/Resume/RebuildLive/Stop) must not run
+// concurrently with each other — Session serializes them.
+#ifndef SRC_API_PREFETCH_PIPELINE_H_
+#define SRC_API_PREFETCH_PIPELINE_H_
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/mpmc_queue.h"
+#include "src/common/status.h"
+#include "src/constructor/data_constructor.h"
+#include "src/loader/source_loader.h"
+#include "src/plan/dgraph.h"
+
+namespace msd {
+
+// One fully produced step. The popped slices are retained (shared_ptr
+// aliases, never Sample copies) until retirement so a reshard can rebuild the
+// step's constructor data without re-popping loaders.
+struct ProducedStep {
+  LoadingPlan plan;
+  std::vector<std::vector<SampleSlice>> slices_per_constructor;
+  size_t samples = 0;
+  double dp_imbalance = 1.0;
+  double plan_compute_ms = 0.0;
+  double build_ahead_ms = 0.0;  // wall time of plan+pop+build for this step
+};
+
+class PrefetchPipeline {
+ public:
+  struct Config {
+    // Max steps live (produced or in production) ahead of retirement.
+    // 0 = synchronous: steps are produced inline on the consuming thread.
+    int32_t depth = 2;
+  };
+
+  // Cumulative pipeline counters (all fetch paths: clients and shims).
+  struct Stats {
+    int64_t steps_produced = 0;
+    int64_t steps_retired = 0;
+    int64_t prefetch_hits = 0;    // waits satisfied without blocking
+    int64_t prefetch_stalls = 0;  // waits that blocked on production
+    size_t queue_depth = 0;       // produced-but-unretired steps right now
+    double last_build_ahead_ms = 0.0;
+  };
+
+  // Lightweight per-step stats for a live (unretired) step.
+  struct StepMeta {
+    int64_t step = 0;
+    size_t samples = 0;
+    double dp_imbalance = 1.0;
+    double plan_compute_ms = 0.0;
+    double build_ahead_ms = 0.0;
+  };
+
+  // Test/tooling view of a live step: the plan plus slice aliases.
+  struct Capture {
+    LoadingPlan plan;
+    std::vector<std::vector<SampleSlice>> slices_per_constructor;
+  };
+
+  // Runs plan+pop+build for `step`; called only from the producer (strictly
+  // sequential, one call per step ever).
+  using ProduceFn = std::function<Result<ProducedStep>(int64_t step)>;
+  // Fetches one rank's view of a produced step (actor Ask; thread-safe).
+  using FetchFn = std::function<Result<RankBatch>(int32_t rank, int64_t step)>;
+  // Re-runs constructor assembly for a live step from its retained slices
+  // (after the mesh changed). Must not re-pop loaders.
+  using RebuildFn = std::function<Status(const LoadingPlan& plan,
+                                         const std::vector<std::vector<SampleSlice>>& slices)>;
+  // Drops a fully fetched step's constructor data.
+  using ReleaseFn = std::function<void(int64_t step)>;
+
+  PrefetchPipeline(Config config, int32_t world_size, ProduceFn produce, FetchFn fetch,
+                   RebuildFn rebuild, ReleaseFn release);
+  ~PrefetchPipeline();
+
+  PrefetchPipeline(const PrefetchPipeline&) = delete;
+  PrefetchPipeline& operator=(const PrefetchPipeline&) = delete;
+
+  // Starts the producer (no-op in synchronous mode). Idempotent.
+  void Start();
+  // Stops the producer and unblocks every waiter. Idempotent.
+  void Stop();
+
+  // Streaming consumption: claims rank's cursor step, blocks until produced,
+  // fetches the view, advances the cursor. One consumer per rank.
+  Result<RankBatch> NextBatch(int32_t rank);
+  // Future-returning variant; consecutive calls claim consecutive steps.
+  std::future<Result<RankBatch>> NextBatchAsync(int32_t rank);
+
+  // Deprecated-shim support: blocks until `step` is produced and raises every
+  // cursor lagging behind `step` (the lockstep loop consumes in unison).
+  Status WaitProduced(int64_t step);
+  // Deprecated-shim support: declares `step` delivered — every cursor moves
+  // past it, retiring it from the pipeline (constructor data stays within the
+  // resident window for late GetBatch calls, but a Reshard will no longer
+  // rebuild it — matching the old "resident data dropped" semantics).
+  void MarkShimConsumed(int64_t step);
+  // Deprecated-shim fetch: no cursor movement, no retirement refcount.
+  Result<RankBatch> FetchStep(int32_t rank, int64_t step);
+
+  // Drain: stop claiming new steps, block new fetches, and wait out both the
+  // in-flight production round and every in-flight fetch, so no
+  // loader/constructor Ask is mid-air (safe to kill/promote/reshard).
+  void Pause();
+  void Resume();
+
+  // Rebuilds every live step's constructor data from retained slices against
+  // the current mesh and resets fetch accounting to `new_world_size` ranks.
+  // Call only while paused.
+  Status RebuildLive(int32_t new_world_size);
+
+  Stats stats() const;
+  Result<StepMeta> StepInfo(int64_t step) const;
+  // Like StepInfo but blocks until `step` is produced (for streaming
+  // consumers that want a step's stats before pulling it).
+  Result<StepMeta> WaitStepInfo(int64_t step);
+  Result<Capture> CaptureStep(int64_t step);
+
+  int64_t cursor(int32_t rank) const;
+  int32_t world_size() const;
+
+ private:
+  struct Ticket {
+    ProducedStep data;
+    std::vector<uint8_t> fetched;  // one flag per rank (streaming path only)
+    int32_t fetch_count = 0;
+    bool released = false;  // constructor data already dropped via release_
+  };
+
+  void ProducerLoop();
+  // Produces the next step; `lock` is held on entry/exit, dropped during the
+  // produce callback.
+  void ProduceOne(std::unique_lock<std::mutex>& lock);
+  // Blocks until `step` is produced (inline-producing in synchronous mode).
+  // `count_stats` classifies the wait as a prefetch hit or stall; pure
+  // observability callers pass false so they don't skew the counters.
+  Status WaitProducedLocked(std::unique_lock<std::mutex>& lock, int64_t step,
+                            bool count_stats);
+  // Runs fetch_ outside the lock, bracketed by the in-flight-fetch counter
+  // that Pause() drains; blocks while paused.
+  Result<RankBatch> GatedFetch(std::unique_lock<std::mutex>& lock, int32_t rank, int64_t step);
+  // Retires in-order every leading step that is fully fetched or passed by
+  // all cursors; returns freed slots to the producer.
+  void MaybeRetireLocked();
+  int64_t ConsumptionFloorLocked() const;
+  Status HaltStatusLocked(int64_t step) const;
+
+  Config config_;
+  ProduceFn produce_;
+  FetchFn fetch_;
+  RebuildFn rebuild_;
+  ReleaseFn release_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int32_t world_size_;
+  std::vector<int64_t> cursors_;  // next unconsumed step per rank
+  int64_t next_produce_ = 0;      // first unproduced step
+  int64_t retire_floor_ = 0;      // first unretired step
+  std::map<int64_t, Ticket> tickets_;
+  // Set when production failed: every wait for >= halted_->first errors.
+  std::optional<std::pair<int64_t, Status>> halted_;
+  bool running_ = false;
+  bool paused_ = false;
+  bool in_produce_ = false;
+  int32_t active_fetches_ = 0;  // fetch_ calls in flight (drained by Pause)
+  Stats stats_;
+
+  // Slot tokens bounding live steps; Push blocks the producer (backpressure),
+  // retirement TryPops to free a slot. Unused in synchronous mode.
+  MpmcQueue<int64_t> window_;
+  std::thread producer_;
+};
+
+}  // namespace msd
+
+#endif  // SRC_API_PREFETCH_PIPELINE_H_

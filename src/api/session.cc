@@ -4,6 +4,7 @@
 #include <map>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "src/common/logging.h"
 #include "src/common/stats.h"
@@ -16,11 +17,19 @@ Session::Session(Options options)
     : options_(std::move(options)),
       tree_(ClientPlaceTree::FromDeviceMesh(options_.spec, options_.num_microbatches)) {}
 
-Session::~Session() { system_.Shutdown(); }
+Session::~Session() {
+  if (pipeline_ != nullptr) {
+    pipeline_->Stop();  // join the producer before tearing down the actors
+  }
+  system_.Shutdown();
+}
 
 Result<std::unique_ptr<Session>> Session::Create(Options options) {
   if (options.corpus.sources.empty()) {
     return Status::InvalidArgument("corpus has no sources");
+  }
+  if (options.prefetch_depth < 0) {
+    return Status::InvalidArgument("prefetch_depth must be >= 0");
   }
   if (options.backbone.layers == 0) {
     options.backbone = Llama12B();
@@ -138,11 +147,15 @@ Status Session::Initialize() {
     }
   }
 
-  // 4. One Data Constructor per DP group.
+  // 4. One Data Constructor per DP group. The resident window must cover the
+  // whole prefetch pipeline plus the late-fetch margin of the deprecated
+  // lockstep shim, or eviction could race consumption at high depths.
   for (int32_t dp = 0; dp < options_.spec.dp; ++dp) {
     DataConstructorConfig config;
     config.constructor_id = dp;
     config.max_seq_len = options_.max_seq_len;
+    config.resident_steps =
+        std::max<int64_t>(config.resident_steps, options_.prefetch_depth + 2);
     constructors_.push_back(system_.Spawn<DataConstructor>(config, &tree_, &memory_));
   }
 
@@ -170,67 +183,193 @@ Status Session::Initialize() {
       ft_->RegisterPair(loaders_[i].get(), shadows_[i].get());
     }
   }
+
+  // 7. The prefetch pipeline: builds steps ahead of consumption and retires
+  // them by rank refcount. Starts producing immediately (warmup).
+  PrefetchPipeline::Config pipeline_config;
+  pipeline_config.depth = options_.prefetch_depth;
+  pipeline_ = std::make_unique<PrefetchPipeline>(
+      pipeline_config, options_.spec.WorldSize(),
+      [this](int64_t step) { return ProduceStep(step); },
+      [this](int32_t rank, int64_t step) { return FetchFromConstructor(rank, step); },
+      [this](const LoadingPlan& plan, const std::vector<std::vector<SampleSlice>>& slices) {
+        return BuildConstructors(plan, slices);
+      },
+      [this](int64_t step) { ReleaseStepOnConstructors(step); });
+  pipeline_->Start();
   return Status::Ok();
 }
 
-Status Session::AdvanceStep() {
-  int64_t step = next_step_++;
+// One production round: plan the step, pop every constructor's slices from
+// the loaders (fanned out with AskAsync; per-loader order matches the old
+// lockstep loop so results are byte-identical), build all constructors
+// concurrently, and retain the slices for rebuild-after-reshard.
+Result<ProducedStep> Session::ProduceStep(int64_t step) {
   Result<LoadingPlan> plan_result = system_.Ask<Result<LoadingPlan>>(
       *planner_, [p = planner_.get(), step] { return p->GetPlan(step); });
   if (!plan_result.ok()) {
     return plan_result.status();
   }
-  const LoadingPlan& plan = plan_result.value();
+  ProducedStep produced;
+  produced.plan = std::move(plan_result.value());
+  const LoadingPlan& plan = produced.plan;
 
-  // Group the plan's pops by (constructor, loader). Loaders are indexed once
-  // per step; bucket ownership tests are O(1).
   std::unordered_map<int32_t, SourceLoader*> loader_by_id;
   loader_by_id.reserve(loaders_.size());
   for (auto& l : loaders_) {
     loader_by_id.emplace(l->config().loader_id, l.get());
   }
-  for (auto& constructor : constructors_) {
-    std::vector<int32_t> owned = constructor->OwnedBuckets(plan);
-    std::unordered_set<int32_t> owned_set(owned.begin(), owned.end());
-    std::map<int32_t, std::vector<uint64_t>> ids_by_loader;
-    for (const SliceAssignment& a : plan.assignments) {
-      if (owned_set.count(a.bucket) > 0) {
-        ids_by_loader[a.loader_id].push_back(a.sample_id);
-      }
-    }
-    std::vector<SampleSlice> slices;
-    slices.reserve(ids_by_loader.size());
-    for (auto& [loader_id, ids] : ids_by_loader) {
-      auto it = loader_by_id.find(loader_id);
-      if (it == loader_by_id.end()) {
-        return Status::NotFound("plan references unknown loader " + std::to_string(loader_id));
-      }
-      Result<SampleSlice> slice = system_.Ask<Result<SampleSlice>>(
-          *it->second,
-          [l = it->second, step, ids = std::move(ids)] { return l->PopSamples(step, ids); });
-      if (!slice.ok()) {
-        return slice.status();
-      }
-      slices.push_back(std::move(slice.value()));
-    }
-    Status built = system_.Ask<Status>(
-        *constructor, [c = constructor.get(), &plan, slices = std::move(slices)]() mutable {
-          return c->BuildStep(plan, std::move(slices));
-        });
-    if (!built.ok()) {
-      return built;
+
+  // Route each planned sample to the constructor owning its bucket.
+  std::unordered_map<int32_t, size_t> ci_of_bucket;
+  for (size_t ci = 0; ci < constructors_.size(); ++ci) {
+    for (int32_t bucket : constructors_[ci]->OwnedBuckets(plan)) {
+      ci_of_bucket.emplace(bucket, ci);
     }
   }
+
+  // One pop per loader per step, ids in plan order — exactly the pop the
+  // fault-tolerance manager mirrors into shadows (OnPlanExecuted), so a
+  // promoted shadow's buffer refills are byte-for-byte the primary's. The
+  // pops fan out concurrently across loaders via AskAsync.
+  std::map<int32_t, std::vector<uint64_t>> ids_by_loader;
+  std::unordered_map<uint64_t, size_t> ci_of_sample;
+  ci_of_sample.reserve(plan.assignments.size());
+  for (const SliceAssignment& a : plan.assignments) {
+    auto owner = ci_of_bucket.find(a.bucket);
+    if (owner == ci_of_bucket.end()) {
+      continue;  // bucket outside this session's constructors (malformed plan)
+    }
+    ids_by_loader[a.loader_id].push_back(a.sample_id);
+    ci_of_sample.emplace(a.sample_id, owner->second);
+  }
+  std::vector<std::pair<int32_t, std::future<Result<SampleSlice>>>> pops;
+  for (auto& [loader_id, ids] : ids_by_loader) {
+    auto it = loader_by_id.find(loader_id);
+    if (it == loader_by_id.end()) {
+      return Status::NotFound("plan references unknown loader " + std::to_string(loader_id));
+    }
+    pops.emplace_back(loader_id, system_.AskAsync<Result<SampleSlice>>(
+                                     *it->second, [l = it->second, step, ids = std::move(ids)] {
+                                       return l->PopSamples(step, ids);
+                                     }));
+  }
+
+  // Split each loader slice per constructor (shared_ptr bumps, no copies).
+  produced.slices_per_constructor.resize(constructors_.size());
+  for (auto& [loader_id, future] : pops) {
+    Result<SampleSlice> slice = future.get();
+    if (!slice.ok()) {
+      return slice.status();
+    }
+    std::vector<SampleSlice> split(constructors_.size());
+    for (SampleSlice& s : split) {
+      s.step = slice->step;
+      s.loader_id = slice->loader_id;
+      s.end_of_stream = slice->end_of_stream;
+    }
+    for (std::shared_ptr<Sample>& sample : slice->samples) {
+      auto owner = ci_of_sample.find(sample->meta.sample_id);
+      if (owner != ci_of_sample.end()) {
+        split[owner->second].samples.push_back(std::move(sample));
+      }
+    }
+    for (size_t ci = 0; ci < split.size(); ++ci) {
+      if (!split[ci].samples.empty()) {
+        produced.slices_per_constructor[ci].push_back(std::move(split[ci]));
+      }
+    }
+  }
+
+  MSD_RETURN_IF_ERROR(BuildConstructors(plan, produced.slices_per_constructor));
 
   if (ft_ != nullptr) {
     MSD_RETURN_IF_ERROR(ft_->OnPlanExecuted(plan));
   }
 
-  last_stats_.step = step;
-  last_stats_.samples = plan.assignments.size();
-  last_stats_.dp_imbalance = Imbalance(plan.BucketLoads());
-  last_stats_.plan_compute_ms = system_.Ask<double>(
+  produced.samples = plan.assignments.size();
+  produced.dp_imbalance = Imbalance(plan.BucketLoads());
+  produced.plan_compute_ms = system_.Ask<double>(
       *planner_, [p = planner_.get()] { return p->last_timings().compute_ms; });
+  return produced;
+}
+
+Status Session::BuildConstructors(
+    const LoadingPlan& plan, const std::vector<std::vector<SampleSlice>>& slices_per_dp) {
+  // Each constructor gets an alias copy of its slices (shared_ptr bumps, no
+  // Sample copies) so the pipeline can keep the originals for rebuilds.
+  std::vector<std::future<Status>> builds;
+  builds.reserve(constructors_.size());
+  for (size_t ci = 0; ci < constructors_.size(); ++ci) {
+    DataConstructor* dc = constructors_[ci].get();
+    builds.push_back(system_.AskAsync<Status>(
+        *dc, [dc, &plan, slices = slices_per_dp[ci]]() mutable {
+          return dc->BuildStep(plan, std::move(slices));
+        }));
+  }
+  Status result = Status::Ok();
+  for (std::future<Status>& f : builds) {
+    Status built = f.get();  // gather every future before &plan goes away
+    if (result.ok() && !built.ok()) {
+      result = built;
+    }
+  }
+  return result;
+}
+
+Result<RankBatch> Session::FetchFromConstructor(int32_t rank, int64_t step) {
+  if (rank < 0 || rank >= options_.spec.WorldSize()) {
+    return Status::InvalidArgument("rank " + std::to_string(rank) + " outside world of " +
+                                   std::to_string(options_.spec.WorldSize()));
+  }
+  RankCoord coord = CoordOfRank(options_.spec, rank);
+  DataConstructor* constructor = constructors_[static_cast<size_t>(coord.dp)].get();
+  return system_.Ask<Result<RankBatch>>(
+      *constructor, [constructor, rank, step] { return constructor->GetBatch(rank, step); });
+}
+
+void Session::ReleaseStepOnConstructors(int64_t step) {
+  for (auto& constructor : constructors_) {
+    system_.Post(*constructor, [c = constructor.get(), step] { c->ReleaseStep(step); });
+  }
+}
+
+Result<DataClient*> Session::client(int32_t rank) {
+  if (rank < 0 || rank >= options_.spec.WorldSize()) {
+    return Status::InvalidArgument("rank " + std::to_string(rank) + " outside world of " +
+                                   std::to_string(options_.spec.WorldSize()));
+  }
+  std::lock_guard<std::mutex> lock(clients_mu_);
+  auto it = clients_.find(rank);
+  if (it == clients_.end()) {
+    it = clients_.emplace(rank, std::unique_ptr<DataClient>(new DataClient(pipeline_.get(), rank)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Status Session::AdvanceStep() {
+  int64_t step = next_step_++;
+  Status produced = pipeline_->WaitProduced(step);
+  if (!produced.ok()) {
+    return produced;
+  }
+  last_stats_.step = step;
+  Result<PrefetchPipeline::StepMeta> meta = pipeline_->StepInfo(step);
+  if (meta.ok()) {
+    last_stats_.samples = meta->samples;
+    last_stats_.dp_imbalance = meta->dp_imbalance;
+    last_stats_.plan_compute_ms = meta->plan_compute_ms;
+    last_stats_.build_ahead_ms = meta->build_ahead_ms;
+  }
+  PrefetchPipeline::Stats stats = pipeline_->stats();
+  last_stats_.prefetch_depth = options_.prefetch_depth;
+  last_stats_.prefetch_queue_depth = stats.queue_depth;
+  last_stats_.prefetch_hits = stats.prefetch_hits;
+  last_stats_.prefetch_stalls = stats.prefetch_stalls;
+  // The lockstep loop delivered this step; retire it so the producer can move
+  // on (GetBatch still serves it from the constructors' resident window).
+  pipeline_->MarkShimConsumed(step);
   return Status::Ok();
 }
 
@@ -238,11 +377,32 @@ Result<RankBatch> Session::GetBatch(int32_t rank) {
   if (next_step_ == 0) {
     return Status::FailedPrecondition("AdvanceStep() before GetBatch()");
   }
-  RankCoord coord = CoordOfRank(options_.spec, rank);
-  DataConstructor* constructor = constructors_[static_cast<size_t>(coord.dp)].get();
-  int64_t step = next_step_ - 1;
-  return system_.Ask<Result<RankBatch>>(
-      *constructor, [constructor, rank, step] { return constructor->GetBatch(rank, step); });
+  return pipeline_->FetchStep(rank, next_step_ - 1);
+}
+
+PrefetchPipeline::Stats Session::pipeline_stats() const { return pipeline_->stats(); }
+
+Result<Session::StepStats> Session::StepStatsFor(int64_t step) {
+  Result<PrefetchPipeline::StepMeta> meta = pipeline_->WaitStepInfo(step);
+  if (!meta.ok()) {
+    return meta.status();
+  }
+  PrefetchPipeline::Stats pipeline = pipeline_->stats();
+  StepStats stats;
+  stats.step = step;
+  stats.samples = meta->samples;
+  stats.dp_imbalance = meta->dp_imbalance;
+  stats.plan_compute_ms = meta->plan_compute_ms;
+  stats.build_ahead_ms = meta->build_ahead_ms;
+  stats.prefetch_depth = options_.prefetch_depth;
+  stats.prefetch_queue_depth = pipeline.queue_depth;
+  stats.prefetch_hits = pipeline.prefetch_hits;
+  stats.prefetch_stalls = pipeline.prefetch_stalls;
+  return stats;
+}
+
+Result<PrefetchPipeline::Capture> Session::CaptureStep(int64_t step) {
+  return pipeline_->CaptureStep(step);
 }
 
 Status Session::Reshard(const ParallelismSpec& new_spec) {
@@ -251,6 +411,9 @@ Status Session::Reshard(const ParallelismSpec& new_spec) {
         "elastic resharding keeps the DP degree (constructors map 1:1 to DP groups); got dp=" +
         std::to_string(new_spec.dp) + " vs " + std::to_string(options_.spec.dp));
   }
+  // Drain: wait out any in-flight production so no pop/build races the mesh
+  // swap, then rebuild every prefetched step against the new topology.
+  pipeline_->Pause();
   options_.spec = new_spec;
   tree_.Rebuild(new_spec);
   for (auto& constructor : constructors_) {
@@ -259,10 +422,13 @@ Status Session::Reshard(const ParallelismSpec& new_spec) {
       return true;
     });
     if (!ok) {
+      pipeline_->Resume();
       return Status::Internal("constructor failed to reshard");
     }
   }
-  return Status::Ok();
+  Status rebuilt = pipeline_->RebuildLive(new_spec.WorldSize());
+  pipeline_->Resume();
+  return rebuilt;
 }
 
 Result<std::string> Session::KillAndRecoverLoader(size_t loader_index) {
@@ -272,11 +438,15 @@ Result<std::string> Session::KillAndRecoverLoader(size_t loader_index) {
   if (loader_index >= loaders_.size()) {
     return Status::OutOfRange("loader index out of range");
   }
+  // Drain first: an in-flight production round may be mid-Ask to the very
+  // loader we are about to kill.
+  pipeline_->Pause();
   SourceLoader* primary = loaders_[loader_index].get();
   std::string primary_name = primary->name();
   system_.Kill(*primary);
   Result<SourceLoader*> promoted = ft_->PromoteShadow(primary_name);
   if (!promoted.ok()) {
+    pipeline_->Resume();
     return promoted.status();
   }
   loaders_[loader_index] = shadows_[loader_index];
@@ -288,7 +458,81 @@ Result<std::string> Session::KillAndRecoverLoader(size_t loader_index) {
     p->SetLoaders(raw_loaders);
     return true;
   });
+  pipeline_->Resume();
   return promoted.value()->name();
+}
+
+SessionBuilder& SessionBuilder::WithCorpus(CorpusSpec corpus) {
+  options_.corpus = std::move(corpus);
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithMesh(const ParallelismSpec& spec) {
+  options_.spec = spec;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithMicrobatches(int32_t num_microbatches) {
+  options_.num_microbatches = num_microbatches;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithSamplesPerStep(int64_t samples_per_step) {
+  options_.samples_per_step = samples_per_step;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithMaxSeqLen(int32_t max_seq_len) {
+  options_.max_seq_len = max_seq_len;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithStrategy(Session::StrategyKind kind) {
+  options_.strategy = kind;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithBackbone(ModelConfig backbone) {
+  options_.backbone = backbone;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithEncoder(ModelConfig encoder) {
+  options_.encoder = encoder;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithSchedule(std::shared_ptr<const MixSchedule> schedule) {
+  options_.schedule = std::move(schedule);
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithBalanceMethod(BalanceMethod method) {
+  options_.balance_method = method;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithSeed(uint64_t seed) {
+  options_.seed = seed;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithLoaderWorkers(int32_t workers) {
+  options_.loader_workers = workers;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithFaultTolerance(bool enabled) {
+  options_.enable_fault_tolerance = enabled;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithSnapshotInterval(int64_t steps) {
+  options_.loader_snapshot_interval = steps;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithRowsPerFile(int64_t rows) {
+  options_.rows_per_file_override = rows;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithDeferredImageDecode(bool enabled) {
+  options_.defer_image_decode = enabled;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithPrefetchDepth(int32_t depth) {
+  options_.prefetch_depth = depth;
+  return *this;
+}
+
+Result<std::unique_ptr<Session>> SessionBuilder::Build() {
+  return Session::Create(std::move(options_));
 }
 
 }  // namespace msd

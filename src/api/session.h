@@ -1,16 +1,35 @@
-// msd::Session — the public entry point.
+// msd::Session — the public entry point, redesigned around streaming clients.
 //
 // A Session materializes a synthetic (or caller-provided) corpus into the
 // object store, auto-partitions sources into Source Loader actors, deploys
 // one Data Constructor per DP group plus a central Planner, and then serves
-// real batches:
+// every training rank a continuous stream of batches: an internal prefetch
+// pipeline (src/api/prefetch_pipeline.h) drives plan -> pop -> build for
+// steps N .. N+depth-1 while ranks consume step N, so on the hot path a
+// rank's pull is a prefetch hit — the loader disappears from step time.
 //
-//   msd::Session::Options options;
-//   options.corpus = msd::MakeCoyo700m();
-//   options.spec = {.dp = 2, .pp = 1, .cp = 2, .tp = 2};
-//   auto session = msd::Session::Create(std::move(options)).value();
-//   session->AdvanceStep();                        // plan + pop + build
-//   msd::RankBatch batch = session->GetBatch(0).value();
+//   auto session = msd::SessionBuilder()
+//                      .WithCorpus(msd::MakeCoyo700m())
+//                      .WithMesh({.dp = 2, .pp = 1, .cp = 2, .tp = 2})
+//                      .WithPrefetchDepth(2)
+//                      .Build()
+//                      .value();
+//   msd::DataClient* client = session->client(rank).value();   // per rank
+//   msd::RankBatch batch = client->NextBatch().value();        // blocking pull
+//   auto future = client->NextBatchAsync();                    // overlap compute
+//
+// Steps are retired by refcount: once all dp*pp*cp*tp ranks have fetched a
+// step, its resident data is released and the pipeline moves the window
+// forward (bounded by the prefetch depth — natural backpressure if training
+// consumes slower than the loader produces). Reshard() and
+// KillAndRecoverLoader() drain the pipeline first and rebuild (not discard)
+// any prefetched steps, so elasticity and failure recovery never race
+// in-flight work.
+//
+// The pre-streaming lockstep API survives as deprecated shims implemented on
+// top of the pipeline — AdvanceStep() waits for the next step to be produced
+// and GetBatch(rank) fetches a view of it. Existing call sites keep working
+// and serve byte-identical batches; new code should use client(rank).
 //
 // All components run as actors on an in-process ActorSystem; the flow follows
 // the paper's pull model (client -> Data Constructor -> Planner -> Source
@@ -19,10 +38,14 @@
 #define SRC_API_SESSION_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/actor/actor_system.h"
+#include "src/api/data_client.h"
+#include "src/api/prefetch_pipeline.h"
 #include "src/constructor/data_constructor.h"
 #include "src/data/source_spec.h"
 #include "src/ft/fault_tolerance.h"
@@ -59,6 +82,10 @@ class Session {
     // Transformation reordering (Sec. 6.2): ship compressed image bytes from
     // loaders and decode at the Data Constructor.
     bool defer_image_decode = false;
+    // Steps the pipeline works ahead of consumption (>= 2 hides the data
+    // plane behind training compute). 0 = fully synchronous lockstep
+    // production — the baseline bench_pipeline_throughput measures against.
+    int32_t prefetch_depth = 2;
   };
 
   struct StepStats {
@@ -66,6 +93,12 @@ class Session {
     double dp_imbalance = 1.0;     // max/mean across DP bucket loads
     size_t samples = 0;
     double plan_compute_ms = 0.0;
+    // Pipeline observability.
+    int32_t prefetch_depth = 0;       // configured build-ahead window
+    size_t prefetch_queue_depth = 0;  // produced-but-unretired steps right now
+    int64_t prefetch_hits = 0;        // cumulative pulls served without waiting
+    int64_t prefetch_stalls = 0;      // cumulative pulls that blocked on build
+    double build_ahead_ms = 0.0;      // plan+pop+build wall time of this step
   };
 
   static Result<std::unique_ptr<Session>> Create(Options options);
@@ -74,24 +107,43 @@ class Session {
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
-  // Plans the next step, pops samples from loaders, builds constructors.
+  // Streaming handle for `rank`. Owned by the Session; valid for its
+  // lifetime. One consumer per rank (handles for different ranks may be
+  // driven from different threads — that is the intended use).
+  Result<DataClient*> client(int32_t rank);
+
+  // Deprecated lockstep shim: blocks until the next step is produced by the
+  // pipeline (usually a prefetch hit) and publishes its stats. Prefer
+  // client(rank)->NextBatch(), which needs no global step driver.
   Status AdvanceStep();
 
-  // Batch view for `rank` at the most recently advanced step.
+  // Deprecated lockstep shim: batch view for `rank` at the most recently
+  // advanced step. Does not advance the rank's stream or retire steps.
   Result<RankBatch> GetBatch(int32_t rank);
 
   // Injects a loader failure and recovers via shadow promotion (requires
-  // enable_fault_tolerance). Returns the promoted loader's name.
+  // enable_fault_tolerance). Drains the prefetch pipeline first so no
+  // in-flight pop can race the kill. Returns the promoted loader's name.
   Result<std::string> KillAndRecoverLoader(size_t loader_index);
 
   // Elastic resharding (Sec. 6.1): adopts a new parallelism layout on the
   // fly. The DP degree must be unchanged (Data Constructors map 1:1 to DP
-  // groups); CP/PP/TP may change freely. Resident constructor data for old
-  // steps is dropped; the next AdvanceStep plans against the new mesh.
+  // groups); CP/PP/TP may change freely. The pipeline is drained and every
+  // prefetched step is rebuilt against the new mesh from its retained pop
+  // slices — no samples are re-popped and none are dropped.
   Status Reshard(const ParallelismSpec& new_spec);
 
   int64_t current_step() const { return next_step_ - 1; }
   const StepStats& last_stats() const { return last_stats_; }
+  // Streaming observability: stats of `step`, blocking until it is produced.
+  // Call before the step is fully consumed (it retires afterwards).
+  Result<StepStats> StepStatsFor(int64_t step);
+  // Live pipeline counters (prefetch hits/stalls, queue depth, retirement).
+  PrefetchPipeline::Stats pipeline_stats() const;
+  // Test/tooling hook: the plan and pop slices of a live (unretired) step,
+  // e.g. to replay the step through ReferenceDataPlane. Slice aliases only.
+  Result<PrefetchPipeline::Capture> CaptureStep(int64_t step);
+
   const ClientPlaceTree& tree() const { return tree_; }
   const MemoryAccountant& memory() const { return memory_; }
   const std::vector<LoaderPartition>& partitions() const { return partitions_; }
@@ -102,6 +154,13 @@ class Session {
   explicit Session(Options options);
   Status Initialize();
   Strategy BuildStrategy() const;
+
+  // Producer callbacks wired into the prefetch pipeline.
+  Result<ProducedStep> ProduceStep(int64_t step);
+  Status BuildConstructors(const LoadingPlan& plan,
+                           const std::vector<std::vector<SampleSlice>>& slices_per_dp);
+  Result<RankBatch> FetchFromConstructor(int32_t rank, int64_t step);
+  void ReleaseStepOnConstructors(int64_t step);
 
   Options options_;
   MemoryAccountant memory_;
@@ -114,8 +173,48 @@ class Session {
   std::vector<std::shared_ptr<DataConstructor>> constructors_;
   std::shared_ptr<Planner> planner_;
   std::unique_ptr<FaultToleranceManager> ft_;
-  int64_t next_step_ = 0;
+  std::unique_ptr<PrefetchPipeline> pipeline_;
+  std::mutex clients_mu_;
+  std::unordered_map<int32_t, std::unique_ptr<DataClient>> clients_;
+  int64_t next_step_ = 0;  // deprecated-shim cursor (AdvanceStep/GetBatch)
   StepStats last_stats_;
+};
+
+// Fluent construction path for the streaming API. Every setter mirrors one
+// Session::Options field; unset fields keep their defaults.
+//
+//   auto session = msd::SessionBuilder()
+//                      .WithCorpus(corpus)
+//                      .WithMesh(spec)
+//                      .WithSamplesPerStep(16)
+//                      .WithFaultTolerance()
+//                      .Build();
+class SessionBuilder {
+ public:
+  SessionBuilder() = default;
+
+  SessionBuilder& WithCorpus(CorpusSpec corpus);
+  SessionBuilder& WithMesh(const ParallelismSpec& spec);
+  SessionBuilder& WithMicrobatches(int32_t num_microbatches);
+  SessionBuilder& WithSamplesPerStep(int64_t samples_per_step);
+  SessionBuilder& WithMaxSeqLen(int32_t max_seq_len);
+  SessionBuilder& WithStrategy(Session::StrategyKind kind);
+  SessionBuilder& WithBackbone(ModelConfig backbone);
+  SessionBuilder& WithEncoder(ModelConfig encoder);
+  SessionBuilder& WithSchedule(std::shared_ptr<const MixSchedule> schedule);
+  SessionBuilder& WithBalanceMethod(BalanceMethod method);
+  SessionBuilder& WithSeed(uint64_t seed);
+  SessionBuilder& WithLoaderWorkers(int32_t workers);
+  SessionBuilder& WithFaultTolerance(bool enabled = true);
+  SessionBuilder& WithSnapshotInterval(int64_t steps);
+  SessionBuilder& WithRowsPerFile(int64_t rows);
+  SessionBuilder& WithDeferredImageDecode(bool enabled = true);
+  SessionBuilder& WithPrefetchDepth(int32_t depth);
+
+  Result<std::unique_ptr<Session>> Build();
+
+ private:
+  Session::Options options_;
 };
 
 }  // namespace msd

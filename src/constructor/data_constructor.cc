@@ -44,6 +44,11 @@ DataConstructor::DataConstructor(DataConstructorConfig config, const ClientPlace
 DataConstructor::~DataConstructor() = default;
 
 std::vector<int32_t> DataConstructor::OwnedBuckets(const LoadingPlan& plan) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return OwnedBucketsLocked(plan);
+}
+
+std::vector<int32_t> DataConstructor::OwnedBucketsLocked(const LoadingPlan& plan) const {
   std::vector<int32_t> buckets;
   if (plan.group_size != 1) {
     // Grouped buckets span DP groups; ownership falls back to round-robin.
@@ -103,6 +108,7 @@ Status DataConstructor::AssembleBucket(const SampleMap& samples_by_id, const Buc
 }
 
 Status DataConstructor::BuildStep(const LoadingPlan& plan, std::vector<SampleSlice> slices) {
+  std::lock_guard<std::mutex> lock(mu_);
   SampleMap samples_by_id;
   ImageDecode deferred_decode;
   for (SampleSlice& slice : slices) {
@@ -127,7 +133,7 @@ Status DataConstructor::BuildStep(const LoadingPlan& plan, std::vector<SampleSli
   }
   StepData data;
   data.plan = plan;
-  data.buckets = OwnedBuckets(plan);
+  data.buckets = OwnedBucketsLocked(plan);
   data.microbatches.resize(data.buckets.size());
 
   // One pass over the plan: group this constructor's assignments by
@@ -278,6 +284,7 @@ RankBatch DataConstructor::MakeRankView(StepData& data, int32_t rank) const {
 }
 
 Result<RankBatch> DataConstructor::GetBatch(int32_t rank, int64_t step) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = steps_.find(step);
   if (it == steps_.end()) {
     return Status::NotFound("step " + std::to_string(step) + " not built on constructor " +
@@ -292,11 +299,19 @@ Result<RankBatch> DataConstructor::GetBatch(int32_t rank, int64_t step) {
 
 void DataConstructor::Reshard(const ClientPlaceTree* tree) {
   MSD_CHECK(tree != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
   tree_ = tree;
   // Resident data built for the old mesh is dropped; the next BuildStep uses
   // the new topology (the paper's "fast resharding of resident data" re-keys
   // partitions, which for token-sliced views is equivalent to a rebuild).
+  // Under the streaming API the prefetch pipeline immediately rebuilds its
+  // live steps from retained slices, so prefetched data survives the reshard.
   steps_.clear();
+}
+
+void DataConstructor::ReleaseStep(int64_t step) {
+  std::lock_guard<std::mutex> lock(mu_);
+  steps_.erase(step);
 }
 
 void DataConstructor::EvictOldSteps(int64_t current_step) {

@@ -23,11 +23,24 @@
 //    are materialized, once per coordinate rather than once per rank.
 //  - PP stages > 0 get the cached metadata-only variant: sequence shapes and
 //    ids, zero payload bytes.
+//
+// Step lifetime under the streaming API: the prefetch pipeline builds steps
+// ahead of consumption and retires them by refcount — once every rank of the
+// mesh has fetched a step, ReleaseStep drops its StepData eagerly. The
+// resident_steps window remains as the backstop for consumers that never
+// complete a step (the deprecated lockstep shim, partial fetchers).
+//
+// Thread-safety: all public methods are safe to call concurrently. In the
+// actor deployment calls are already serialized through the mailbox; the
+// internal mutex additionally covers direct multi-threaded use (benches,
+// tests) so pipelined GetBatch can never race BuildStep/Reshard.
 #ifndef SRC_CONSTRUCTOR_DATA_CONSTRUCTOR_H_
 #define SRC_CONSTRUCTOR_DATA_CONSTRUCTOR_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -90,9 +103,13 @@ class DataConstructor : public Actor {
   // re-targeted to the new mesh on their next fetch.
   void Reshard(const ClientPlaceTree* tree);
 
+  // Streaming retirement: drops `step`'s resident data. Called by the
+  // prefetch pipeline once every rank has fetched its view of the step.
+  void ReleaseStep(int64_t step);
+
   const DataConstructorConfig& config() const { return config_; }
-  int64_t steps_built() const { return steps_built_; }
-  int64_t batches_served() const { return batches_served_; }
+  int64_t steps_built() const { return steps_built_.load(std::memory_order_relaxed); }
+  int64_t batches_served() const { return batches_served_.load(std::memory_order_relaxed); }
 
  private:
   using SampleMap = std::unordered_map<uint64_t, std::shared_ptr<const Sample>>;
@@ -121,6 +138,7 @@ class DataConstructor : public Actor {
     std::vector<MemCharge> view_charges;
   };
 
+  std::vector<int32_t> OwnedBucketsLocked(const LoadingPlan& plan) const;
   Status AssembleBucket(const SampleMap& samples_by_id, const BucketBins& bins,
                         std::vector<Microbatch>* out) const;
   RankBatch MakeRankView(StepData& data, int32_t rank) const;
@@ -128,11 +146,13 @@ class DataConstructor : public Actor {
   void EvictOldSteps(int64_t current_step);
 
   DataConstructorConfig config_;
+  // Guards tree_ and steps_ for direct (non-actor) multi-threaded use.
+  mutable std::mutex mu_;
   const ClientPlaceTree* tree_;
   MemoryAccountant* accountant_;
   std::map<int64_t, StepData> steps_;
-  int64_t steps_built_ = 0;
-  int64_t batches_served_ = 0;
+  std::atomic<int64_t> steps_built_{0};
+  std::atomic<int64_t> batches_served_{0};
 };
 
 // Splits a padded sequence's token range across cp ranks. Returns the token

@@ -54,7 +54,28 @@ Result<LoadingPlan> Planner::GetPlan(int64_t step) {
     }
     return plan;
   }
-  return GeneratePlan(step);
+  if (step < next_unplanned_) {
+    // The plan existed once but fell out of the cache. Regenerating it here
+    // would fork the RNG-dependent plan history; fail loudly instead (the
+    // journal still has it — see Replay Mode).
+    return Status::NotFound("plan for step " + std::to_string(step) +
+                            " was generated and evicted; monotonic plan history cannot "
+                            "be replayed outside replay mode");
+  }
+  // Plan-ahead: generate every step up to the requested one in order, so the
+  // resulting plans are identical no matter which future step was asked for.
+  while (next_unplanned_ < step) {
+    Result<LoadingPlan> intermediate = GeneratePlan(next_unplanned_);
+    if (!intermediate.ok()) {
+      return intermediate.status();
+    }
+    next_unplanned_ += 1;
+  }
+  Result<LoadingPlan> plan = GeneratePlan(step);
+  if (plan.ok()) {
+    next_unplanned_ = step + 1;
+  }
+  return plan;
 }
 
 Result<LoadingPlan> Planner::GeneratePlan(int64_t step) {
@@ -110,7 +131,9 @@ Result<LoadingPlan> Planner::GeneratePlan(int64_t step) {
 
 Status Planner::PrecomputePlans(int64_t first, int64_t count) {
   for (int64_t s = first; s < first + count; ++s) {
-    Result<LoadingPlan> plan = GeneratePlan(s);
+    // GetPlan (not GeneratePlan): already-generated steps must be cache hits,
+    // or precompute would advance the RNG twice and fork the plan history.
+    Result<LoadingPlan> plan = GetPlan(s);
     if (!plan.ok()) {
       return plan.status();
     }

@@ -52,6 +52,14 @@ class Planner : public Actor {
   void SetLoaders(std::vector<SourceLoader*> loaders);
 
   // Returns the plan for `step`, generating (and journaling) it if necessary.
+  //
+  // Plan-ahead reentrancy: plans are generated exactly once each, in a single
+  // monotonic step order, no matter how callers interleave. Asking for a
+  // future step generates every intermediate plan first (so the RNG-dependent
+  // plan history cannot fork), a repeated ask is a cache hit, and an ask for
+  // a step that already fell out of the cache fails loudly (NotFound) instead
+  // of silently regenerating a divergent plan. This is what lets the prefetch
+  // pipeline plan steps N..N+depth while the trainer consumes step N.
   Result<LoadingPlan> GetPlan(int64_t step);
 
   // Replay Mode: precompute plans for steps [first, first+count).
@@ -85,6 +93,7 @@ class Planner : public Actor {
   std::vector<SourceLoader*> loaders_;
   Rng rng_;
   std::map<int64_t, LoadingPlan> cache_;
+  int64_t next_unplanned_ = 0;  // lowest step never generated (monotonic)
   MemCharge cache_charge_;
   std::vector<std::string> last_failed_loaders_;
   PhaseTimings last_timings_;

@@ -1,0 +1,265 @@
+// Streaming API equivalence and pipeline behavior: batches served through
+// per-rank DataClients at prefetch depth >= 2 must be byte-identical to the
+// deprecated synchronous shim path (AdvanceStep/GetBatch at depth 0) and to
+// the scalar ReferenceDataPlane — including across a mid-stream Reshard()
+// and a KillAndRecoverLoader() drain. Plus refcounted step retirement,
+// async pulls, and backpressure bounds.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "src/api/session.h"
+#include "src/constructor/reference_assembly.h"
+
+namespace msd {
+namespace {
+
+Session::Options PipelineOptions(int32_t prefetch_depth) {
+  Session::Options options;
+  options.corpus = MakeCoyo700m();
+  options.spec = {.dp = 2, .pp = 2, .cp = 2, .tp = 1};
+  options.num_microbatches = 2;
+  options.samples_per_step = 16;
+  options.max_seq_len = 1024;
+  options.rows_per_file_override = 96;
+  options.loader_workers = 1;
+  options.prefetch_depth = prefetch_depth;
+  return options;
+}
+
+void ExpectBatchesIdentical(const RankBatch& got, const RankBatch& want) {
+  EXPECT_EQ(got.rank, want.rank);
+  EXPECT_EQ(got.step, want.step);
+  EXPECT_EQ(got.metadata_only, want.metadata_only);
+  EXPECT_EQ(got.payload_bytes, want.payload_bytes);
+  ASSERT_EQ(got.microbatches.size(), want.microbatches.size());
+  for (size_t m = 0; m < got.microbatches.size(); ++m) {
+    const Microbatch& gm = got.microbatches[m];
+    const Microbatch& wm = want.microbatches[m];
+    EXPECT_EQ(gm.microbatch_index, wm.microbatch_index);
+    ASSERT_EQ(gm.sequences.size(), wm.sequences.size());
+    for (size_t s = 0; s < gm.sequences.size(); ++s) {
+      const PackedSequence& gs = gm.sequences[s];
+      const PackedSequence& ws = wm.sequences[s];
+      EXPECT_EQ(gs.sample_ids, ws.sample_ids);
+      EXPECT_EQ(gs.segment_lengths, ws.segment_lengths);
+      EXPECT_EQ(gs.total_tokens, ws.total_tokens);
+      EXPECT_EQ(gs.padded_to, ws.padded_to);
+      EXPECT_EQ(gs.tokens.ToVector(), ws.tokens.ToVector());
+      EXPECT_EQ(gs.position_ids.ToVector(), ws.position_ids.ToVector());
+    }
+  }
+}
+
+// Replays a captured step (plan + pop slices) through the frozen scalar
+// reference plane and checks every rank's streamed batch against it.
+void ExpectMatchesReference(const PrefetchPipeline::Capture& capture,
+                            const ParallelismSpec& spec, int32_t num_microbatches,
+                            int32_t max_seq_len,
+                            const std::vector<RankBatch>& streamed) {
+  ClientPlaceTree tree = ClientPlaceTree::FromDeviceMesh(spec, num_microbatches);
+  for (int32_t dp = 0; dp < spec.dp; ++dp) {
+    DataConstructorConfig config;
+    config.constructor_id = dp;
+    config.max_seq_len = max_seq_len;
+    ReferenceDataPlane reference(config, &tree);
+    ASSERT_TRUE(
+        reference.BuildStep(capture.plan, capture.slices_per_constructor[static_cast<size_t>(dp)])
+            .ok());
+    for (int32_t rank = 0; rank < spec.WorldSize(); ++rank) {
+      if (CoordOfRank(spec, rank).dp != dp) {
+        continue;
+      }
+      Result<RankBatch> want = reference.GetBatch(rank, capture.plan.step);
+      ASSERT_TRUE(want.ok());
+      ExpectBatchesIdentical(streamed[static_cast<size_t>(rank)], want.value());
+    }
+  }
+}
+
+// Pulls one step's batch for every rank through the streaming clients.
+std::vector<RankBatch> StreamStep(Session& session) {
+  std::vector<RankBatch> batches(static_cast<size_t>(session.tree().spec().WorldSize()));
+  for (int32_t rank = 0; rank < session.tree().spec().WorldSize(); ++rank) {
+    Result<RankBatch> batch = session.client(rank).value()->NextBatch();
+    EXPECT_TRUE(batch.ok()) << batch.status().ToString();
+    batches[static_cast<size_t>(rank)] = std::move(batch.value());
+  }
+  return batches;
+}
+
+// Advances the deprecated lockstep shim one step and fetches every rank.
+std::vector<RankBatch> ShimStep(Session& session) {
+  EXPECT_TRUE(session.AdvanceStep().ok());
+  std::vector<RankBatch> batches(static_cast<size_t>(session.tree().spec().WorldSize()));
+  for (int32_t rank = 0; rank < session.tree().spec().WorldSize(); ++rank) {
+    Result<RankBatch> batch = session.GetBatch(rank);
+    EXPECT_TRUE(batch.ok()) << batch.status().ToString();
+    batches[static_cast<size_t>(rank)] = std::move(batch.value());
+  }
+  return batches;
+}
+
+TEST(PipelineEquivalenceTest, StreamingMatchesShimAndReference) {
+  auto shim = Session::Create(PipelineOptions(/*prefetch_depth=*/0));
+  auto stream = Session::Create(PipelineOptions(/*prefetch_depth=*/2));
+  ASSERT_TRUE(shim.ok());
+  ASSERT_TRUE(stream.ok());
+  const ParallelismSpec spec = PipelineOptions(0).spec;
+  for (int64_t step = 0; step < 3; ++step) {
+    // Capture before consuming: the step retires once every rank fetched it.
+    Result<PrefetchPipeline::Capture> capture = (*stream)->CaptureStep(step);
+    ASSERT_TRUE(capture.ok()) << capture.status().ToString();
+    std::vector<RankBatch> streamed = StreamStep(**stream);
+    std::vector<RankBatch> lockstep = ShimStep(**shim);
+    for (int32_t rank = 0; rank < spec.WorldSize(); ++rank) {
+      ExpectBatchesIdentical(streamed[static_cast<size_t>(rank)],
+                             lockstep[static_cast<size_t>(rank)]);
+    }
+    ExpectMatchesReference(capture.value(), spec, /*num_microbatches=*/2,
+                           /*max_seq_len=*/1024, streamed);
+  }
+}
+
+TEST(PipelineEquivalenceTest, ReshardMidStreamRebuildsPrefetchedSteps) {
+  auto shim = Session::Create(PipelineOptions(0));
+  auto stream = Session::Create(PipelineOptions(2));
+  ASSERT_TRUE(shim.ok());
+  ASSERT_TRUE(stream.ok());
+  const ParallelismSpec before = PipelineOptions(0).spec;
+  for (int64_t step = 0; step < 2; ++step) {
+    std::vector<RankBatch> streamed = StreamStep(**stream);
+    std::vector<RankBatch> lockstep = ShimStep(**shim);
+    for (int32_t rank = 0; rank < before.WorldSize(); ++rank) {
+      ExpectBatchesIdentical(streamed[static_cast<size_t>(rank)],
+                             lockstep[static_cast<size_t>(rank)]);
+    }
+  }
+  // Mid-stream reshard: CP 2 -> 1 (world 8 -> 4). The streaming session has
+  // steps 2..3 already prefetched; they must be rebuilt for the new mesh from
+  // retained slices, not re-popped or dropped.
+  ParallelismSpec after{.dp = 2, .pp = 2, .cp = 1, .tp = 1};
+  ASSERT_TRUE((*stream)->Reshard(after).ok());
+  ASSERT_TRUE((*shim)->Reshard(after).ok());
+  for (int64_t step = 2; step < 4; ++step) {
+    Result<PrefetchPipeline::Capture> capture = (*stream)->CaptureStep(step);
+    ASSERT_TRUE(capture.ok()) << capture.status().ToString();
+    std::vector<RankBatch> streamed = StreamStep(**stream);
+    std::vector<RankBatch> lockstep = ShimStep(**shim);
+    for (int32_t rank = 0; rank < after.WorldSize(); ++rank) {
+      ExpectBatchesIdentical(streamed[static_cast<size_t>(rank)],
+                             lockstep[static_cast<size_t>(rank)]);
+    }
+    ExpectMatchesReference(capture.value(), after, 2, 1024, streamed);
+  }
+  // Full sequences are served post-reshard (cp=1: no slicing).
+  Result<RankBatch> whole = (*stream)->client(0).value()->NextBatch();
+  ASSERT_TRUE(whole.ok());
+  const PackedSequence& seq = whole->microbatches[0].sequences[0];
+  EXPECT_EQ(static_cast<int32_t>(seq.tokens.size()), seq.padded_to);
+}
+
+TEST(PipelineEquivalenceTest, RecoveryDrainKeepsEquivalence) {
+  Session::Options shim_options = PipelineOptions(0);
+  shim_options.enable_fault_tolerance = true;
+  Session::Options stream_options = PipelineOptions(2);
+  stream_options.enable_fault_tolerance = true;
+  auto shim = Session::Create(shim_options);
+  auto stream = Session::Create(stream_options);
+  ASSERT_TRUE(shim.ok());
+  ASSERT_TRUE(stream.ok());
+  const ParallelismSpec spec = shim_options.spec;
+  for (int64_t step = 0; step < 2; ++step) {
+    StreamStep(**stream);
+    ShimStep(**shim);
+  }
+  // The drain quiesces the producer mid-stream, so the kill cannot race an
+  // in-flight pop; the shadow was mirrored for every produced (not just
+  // consumed) step, so post-promotion pops match the shim session exactly.
+  Result<std::string> stream_promoted = (*stream)->KillAndRecoverLoader(0);
+  Result<std::string> shim_promoted = (*shim)->KillAndRecoverLoader(0);
+  ASSERT_TRUE(stream_promoted.ok()) << stream_promoted.status().ToString();
+  ASSERT_TRUE(shim_promoted.ok());
+  EXPECT_NE(stream_promoted->find("shadow_loader/"), std::string::npos);
+  for (int64_t step = 2; step < 4; ++step) {
+    std::vector<RankBatch> streamed = StreamStep(**stream);
+    std::vector<RankBatch> lockstep = ShimStep(**shim);
+    for (int32_t rank = 0; rank < spec.WorldSize(); ++rank) {
+      ExpectBatchesIdentical(streamed[static_cast<size_t>(rank)],
+                             lockstep[static_cast<size_t>(rank)]);
+    }
+  }
+}
+
+TEST(DataClientTest, RefcountedRetirementReleasesConsumedSteps) {
+  Session::Options options = PipelineOptions(2);
+  options.spec = {.dp = 1, .pp = 1, .cp = 1, .tp = 1};
+  auto session = Session::Create(options);
+  ASSERT_TRUE(session.ok());
+  DataClient* client = (*session)->client(0).value();
+  EXPECT_EQ(client->rank(), 0);
+  EXPECT_EQ(client->next_step(), 0);
+  ASSERT_TRUE(client->NextBatch().ok());  // world=1: step 0 fully fetched
+  ASSERT_TRUE(client->NextBatch().ok());
+  EXPECT_EQ(client->next_step(), 2);
+  PrefetchPipeline::Stats stats = (*session)->pipeline_stats();
+  EXPECT_GE(stats.steps_produced, 2);
+  EXPECT_GE(stats.steps_retired, 2);  // refcount complete => retired
+  EXPECT_LE(stats.queue_depth, 2u);   // bounded by the prefetch depth
+  // A retired step's plan/slices are gone; capture must fail loudly.
+  EXPECT_EQ((*session)->CaptureStep(0).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DataClientTest, AsyncPullsDeliverInStreamOrder) {
+  Session::Options options = PipelineOptions(2);
+  options.spec = {.dp = 1, .pp = 1, .cp = 1, .tp = 1};
+  auto session = Session::Create(options);
+  ASSERT_TRUE(session.ok());
+  DataClient* client = (*session)->client(0).value();
+  std::future<Result<RankBatch>> pending = client->NextBatchAsync();
+  Result<RankBatch> first = pending.get();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->step, 0);
+  Result<RankBatch> second = client->NextBatch();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->step, 1);
+}
+
+TEST(DataClientTest, RankBoundsAreChecked) {
+  Session::Options options = PipelineOptions(2);
+  options.spec = {.dp = 1, .pp = 1, .cp = 1, .tp = 1};
+  auto session = Session::Create(options);
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ((*session)->client(99).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ((*session)->client(-1).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SessionBuilderTest, FluentPathMatchesOptionsPath) {
+  auto built = SessionBuilder()
+                   .WithCorpus(MakeCoyo700m())
+                   .WithMesh({.dp = 2, .pp = 1, .cp = 1, .tp = 1})
+                   .WithMicrobatches(2)
+                   .WithSamplesPerStep(16)
+                   .WithMaxSeqLen(1024)
+                   .WithRowsPerFile(48)
+                   .WithLoaderWorkers(1)
+                   .WithPrefetchDepth(1)
+                   .Build();
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ((*built)->tree().spec().WorldSize(), 2);
+  ASSERT_TRUE((*built)->client(0).ok());
+  Result<RankBatch> batch = (*built)->client(0).value()->NextBatch();
+  ASSERT_TRUE(batch.ok());
+  EXPECT_FALSE(batch->microbatches.empty());
+}
+
+TEST(SessionBuilderTest, InvalidPrefetchDepthRejected) {
+  Session::Options options = PipelineOptions(-1);
+  EXPECT_EQ(Session::Create(std::move(options)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace msd

@@ -165,6 +165,37 @@ TEST(SessionTest, CurriculumScheduleShiftsSources) {
   EXPECT_EQ(late.count(0), 0u);
 }
 
+TEST(SessionTest, StepStatsExposePipelineObservability) {
+  auto session = Session::Create(SmallOptions());
+  ASSERT_TRUE(session.ok());
+  const int kSteps = 3;
+  for (int step = 0; step < kSteps; ++step) {
+    ASSERT_TRUE((*session)->AdvanceStep().ok());
+    const Session::StepStats& stats = (*session)->last_stats();
+    EXPECT_EQ(stats.prefetch_depth, 2);  // SmallOptions default
+    EXPECT_LE(stats.prefetch_queue_depth, 2u);  // bounded by the depth
+    EXPECT_GT(stats.build_ahead_ms, 0.0);       // plan+pop+build was measured
+    // Every AdvanceStep wait is classified as exactly one hit or stall.
+    EXPECT_EQ(stats.prefetch_hits + stats.prefetch_stalls, step + 1);
+  }
+  PrefetchPipeline::Stats pipeline = (*session)->pipeline_stats();
+  EXPECT_GE(pipeline.steps_produced, kSteps);
+  EXPECT_GE(pipeline.steps_retired, kSteps - 1);  // lockstep retires as it goes
+}
+
+TEST(SessionTest, SynchronousDepthZeroAlwaysStalls) {
+  Session::Options options = SmallOptions();
+  options.prefetch_depth = 0;
+  auto session = Session::Create(options);
+  ASSERT_TRUE(session.ok());
+  for (int step = 0; step < 2; ++step) {
+    ASSERT_TRUE((*session)->AdvanceStep().ok());
+  }
+  // No build-ahead: every step was produced on demand.
+  EXPECT_EQ((*session)->last_stats().prefetch_hits, 0);
+  EXPECT_EQ((*session)->last_stats().prefetch_stalls, 2);
+}
+
 TEST(SessionTest, MemoryAccountedPerCategory) {
   auto session = Session::Create(SmallOptions());
   ASSERT_TRUE(session.ok());
