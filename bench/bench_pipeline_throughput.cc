@@ -86,6 +86,9 @@ struct ArmResult {
   int64_t sample_copies = 0;
   int64_t hits = 0;
   int64_t stalls = 0;
+  // Per-rank stall histogram (count + total wait): localizes which consumer
+  // ranks outran the build-ahead window.
+  std::vector<PrefetchPipeline::RankStall> rank_stalls;
 };
 
 // Lockstep arm: AdvanceStep serializes plan+pop+build with consumption; the
@@ -157,30 +160,8 @@ ArmResult RunPipelined(const Scenario& s, int32_t depth) {
   PrefetchPipeline::Stats stats = (*session)->pipeline_stats();
   r.hits = stats.prefetch_hits;
   r.stalls = stats.prefetch_stalls;
+  r.rank_stalls = stats.rank_stalls;
   return r;
-}
-
-bool BatchesIdentical(const RankBatch& a, const RankBatch& b) {
-  if (a.metadata_only != b.metadata_only || a.payload_bytes != b.payload_bytes ||
-      a.microbatches.size() != b.microbatches.size()) {
-    return false;
-  }
-  for (size_t m = 0; m < a.microbatches.size(); ++m) {
-    const Microbatch& am = a.microbatches[m];
-    const Microbatch& bm = b.microbatches[m];
-    if (am.sequences.size() != bm.sequences.size()) {
-      return false;
-    }
-    for (size_t q = 0; q < am.sequences.size(); ++q) {
-      const PackedSequence& as = am.sequences[q];
-      const PackedSequence& bs = bm.sequences[q];
-      if (as.sample_ids != bs.sample_ids || as.padded_to != bs.padded_to ||
-          !(as.tokens == bs.tokens) || !(as.position_ids == bs.position_ids)) {
-        return false;
-      }
-    }
-  }
-  return true;
 }
 
 // Byte-identity gate: every batch of a depth-2 streaming session must equal
@@ -196,7 +177,7 @@ int CheckEquivalence(const Scenario& s) {
       Result<RankBatch> want = (*lockstep)->GetBatch(rank);
       Result<RankBatch> got = (*pipelined)->client(rank).value()->NextBatch();
       MSD_CHECK(want.ok() && got.ok());
-      if (!BatchesIdentical(got.value(), want.value())) {
+      if (!bench::BatchesIdentical(got.value(), want.value())) {
         std::printf("  FAIL: step %d rank %d diverged from the lockstep shim\n", step, rank);
         ++failures;
       }
@@ -226,6 +207,13 @@ int RunScenario(const Scenario& s, bool smoke) {
     std::printf("      speedup %.2fx, %lld hits / %lld stalls\n",
                 arm.tokens_per_sec / lockstep.tokens_per_sec,
                 static_cast<long long>(arm.hits), static_cast<long long>(arm.stalls));
+    // Per-rank stall histogram: stalled/total pulls and cumulative wait.
+    for (size_t rank = 0; rank < arm.rank_stalls.size(); ++rank) {
+      const PrefetchPipeline::RankStall& rs = arm.rank_stalls[rank];
+      std::printf("        rank %2zu: %lld/%lld stalled, %.2f ms waiting\n", rank,
+                  static_cast<long long>(rs.stalls), static_cast<long long>(rs.pulls),
+                  rs.wait_ms);
+    }
     if (depth == 2) {
       depth2_tokens_per_sec = arm.tokens_per_sec;
     }

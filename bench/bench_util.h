@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/constructor/data_constructor.h"
 #include "src/data/source_spec.h"
 #include "src/data/synthetic.h"
 #include "src/plan/dgraph.h"
@@ -42,6 +43,32 @@ inline std::vector<BufferInfo> MakeBufferInfos(const CorpusSpec& corpus,
     buffers.push_back(std::move(info));
   }
   return buffers;
+}
+
+// Deep byte-level equality of two served RankBatches — the invariant gate
+// shared by the pipeline and checkpoint benches (divergence => exit nonzero).
+inline bool BatchesIdentical(const RankBatch& a, const RankBatch& b) {
+  if (a.metadata_only != b.metadata_only || a.payload_bytes != b.payload_bytes ||
+      a.microbatches.size() != b.microbatches.size()) {
+    return false;
+  }
+  for (size_t m = 0; m < a.microbatches.size(); ++m) {
+    const Microbatch& am = a.microbatches[m];
+    const Microbatch& bm = b.microbatches[m];
+    if (am.sequences.size() != bm.sequences.size()) {
+      return false;
+    }
+    for (size_t q = 0; q < am.sequences.size(); ++q) {
+      const PackedSequence& as = am.sequences[q];
+      const PackedSequence& bs = bm.sequences[q];
+      if (as.sample_ids != bs.sample_ids || as.total_tokens != bs.total_tokens ||
+          as.padded_to != bs.padded_to || !(as.tokens == bs.tokens) ||
+          !(as.position_ids == bs.position_ids)) {
+        return false;
+      }
+    }
+  }
+  return true;
 }
 
 }  // namespace bench

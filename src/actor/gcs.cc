@@ -1,5 +1,8 @@
 #include "src/actor/gcs.h"
 
+#include "src/common/logging.h"
+#include "src/storage/object_store.h"
+
 namespace msd {
 
 void Gcs::RegisterActor(const std::string& name, uint64_t id) {
@@ -56,27 +59,103 @@ std::vector<std::string> Gcs::StaleActors(int64_t now_ms, int64_t timeout_ms) co
 }
 
 void Gcs::PutState(const std::string& key, std::string blob) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  state_[key] = std::move(blob);
+  // Writers serialize on durable_mutex_ for the whole memory+disk commit, so
+  // concurrent puts to one key land in the same order in both places (an
+  // unordered disk write could persist a stale value and feed it to the next
+  // process). Readers only take mutex_ and are never blocked behind disk
+  // I/O. The store's own staging keeps the on-disk blob atomic; a failed
+  // write degrades durability but never the in-memory view.
+  std::lock_guard<std::mutex> write_order(durable_mutex_);
+  ObjectStore* durable;
+  std::string durable_key;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    durable = durable_store_;
+    if (durable != nullptr) {
+      durable_key = durable_prefix_ + key;
+      state_[key] = blob;
+    } else {
+      state_[key] = std::move(blob);
+    }
+  }
+  if (durable != nullptr) {
+    Status put = durable->Put(durable_key, std::move(blob));
+    if (!put.ok()) {
+      // Degraded durability must be observable: a restarted process would
+      // find a journal with holes, hours after the writes actually failed.
+      MSD_LOG_WARN("durable GCS write-through failed for %s: %s", durable_key.c_str(),
+                   put.ToString().c_str());
+    }
+  }
 }
 
 std::optional<std::string> Gcs::GetState(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = state_.find(key);
-  if (it == state_.end()) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = state_.find(key);
+    if (it != state_.end()) {
+      return it->second;
+    }
+    if (durable_store_ == nullptr) {
+      return std::nullopt;
+    }
+  }
+  // Cache miss with a durable store attached: the disk read and the cache
+  // fill happen under the writers' ordering lock, so a concurrent
+  // DeleteState cannot be interleaved into re-caching a value it deleted.
+  std::lock_guard<std::mutex> write_order(durable_mutex_);
+  ObjectStore* durable;
+  std::string durable_key;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = state_.find(key);  // a racing PutState may have filled it
+    if (it != state_.end()) {
+      return it->second;
+    }
+    durable = durable_store_;
+    if (durable == nullptr) {
+      return std::nullopt;
+    }
+    durable_key = durable_prefix_ + key;
+  }
+  Result<FileHandle> handle = durable->Open(durable_key, 0);
+  if (!handle.ok()) {
     return std::nullopt;
   }
-  return it->second;
+  std::string blob = handle.value().Contents();
+  std::lock_guard<std::mutex> lock(mutex_);
+  state_.emplace(key, blob);
+  return blob;
 }
 
 void Gcs::DeleteState(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  state_.erase(key);
+  // Same ordering discipline as PutState — and the durable copy must go too,
+  // or GetState's disk fallback would resurrect the deleted value.
+  std::lock_guard<std::mutex> write_order(durable_mutex_);
+  ObjectStore* durable;
+  std::string durable_key;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    state_.erase(key);
+    durable = durable_store_;
+    if (durable != nullptr) {
+      durable_key = durable_prefix_ + key;
+    }
+  }
+  if (durable != nullptr) {
+    durable->Delete(durable_key);
+  }
 }
 
 size_t Gcs::state_count() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return state_.size();
+}
+
+void Gcs::AttachDurableStore(ObjectStore* store, std::string prefix) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  durable_store_ = store;
+  durable_prefix_ = std::move(prefix);
 }
 
 }  // namespace msd

@@ -15,6 +15,8 @@
 
 namespace msd {
 
+class ObjectStore;
+
 class Gcs {
  public:
   struct ActorRecord {
@@ -40,10 +42,24 @@ class Gcs {
   void DeleteState(const std::string& key);
   size_t state_count() const;
 
+  // Write-through durability: every PutState also lands in `store` under
+  // `prefix` + key (ObjectStore::Put is atomic, so a crash mid-write can
+  // never leave a half-written snapshot behind), and GetState falls back to
+  // the store on a miss — this is how a restarted process sees the journal a
+  // dead one left. The store must outlive the Gcs; pass nullptr to detach.
+  void AttachDurableStore(ObjectStore* store, std::string prefix = "gcs/");
+
  private:
   mutable std::mutex mutex_;
+  // Serializes durable write-through commits (memory + disk in one order)
+  // without holding mutex_ across disk I/O. Always acquired before mutex_.
+  // Mutable: GetState's fallback read takes it too.
+  mutable std::mutex durable_mutex_;
   std::unordered_map<std::string, ActorRecord> records_;
-  std::unordered_map<std::string, std::string> state_;
+  // Mutable: GetState caches durable-store fallback reads.
+  mutable std::unordered_map<std::string, std::string> state_;
+  ObjectStore* durable_store_ = nullptr;
+  std::string durable_prefix_;
 };
 
 }  // namespace msd

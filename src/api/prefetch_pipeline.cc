@@ -24,11 +24,23 @@ PrefetchPipeline::PrefetchPipeline(Config config, int32_t world_size, ProduceFn 
       rebuild_(std::move(rebuild)),
       release_(std::move(release)),
       world_size_(world_size),
-      cursors_(static_cast<size_t>(world_size), 0),
+      cursors_(static_cast<size_t>(world_size), config.start_step),
+      inflight_claims_(static_cast<size_t>(world_size), -1),
+      next_produce_(config.start_step),
+      retire_floor_(config.start_step),
+      rank_stalls_(static_cast<size_t>(world_size)),
       window_(static_cast<size_t>(std::max(config.depth, 1))) {
   MSD_CHECK(config_.depth >= 0);
+  MSD_CHECK(config_.start_step >= 0);
   MSD_CHECK(world_size_ >= 1);
   MSD_CHECK(produce_ != nullptr && fetch_ != nullptr);
+  if (!config_.initial_cursors.empty()) {
+    MSD_CHECK(config_.initial_cursors.size() == cursors_.size());
+    for (size_t i = 0; i < cursors_.size(); ++i) {
+      MSD_CHECK(config_.initial_cursors[i] >= config_.start_step);
+      cursors_[i] = config_.initial_cursors[i];
+    }
+  }
 }
 
 PrefetchPipeline::~PrefetchPipeline() { Stop(); }
@@ -205,12 +217,29 @@ Result<RankBatch> PrefetchPipeline::NextBatch(int32_t rank) {
   }
   int64_t step = cursors_[static_cast<size_t>(rank)];
   cursors_[static_cast<size_t>(rank)] = step + 1;
+  inflight_claims_[static_cast<size_t>(rank)] = step;  // claimed, not yet handed
   MaybeRetireLocked();  // claiming may raise the consumption floor
+  // Per-rank stall accounting: classify before waiting (the wait itself
+  // changes next_produce_), measure the blocked time after.
+  const bool ready = step < next_produce_;
+  auto wait_t0 = std::chrono::steady_clock::now();
   Status produced = WaitProducedLocked(lock, step, /*count_stats=*/true);
+  if (static_cast<size_t>(rank) < rank_stalls_.size()) {
+    RankStall& stall = rank_stalls_[static_cast<size_t>(rank)];
+    ++stall.pulls;
+    if (!ready) {
+      ++stall.stalls;
+      stall.wait_ms += MsSince(wait_t0);
+    }
+  }
   if (!produced.ok()) {
     return produced;
   }
   Result<RankBatch> batch = GatedFetch(lock, rank, step);
+  if (batch.ok() && static_cast<size_t>(rank) < inflight_claims_.size() &&
+      inflight_claims_[static_cast<size_t>(rank)] == step) {
+    inflight_claims_[static_cast<size_t>(rank)] = -1;  // delivered
+  }
   auto it = tickets_.find(step);
   // Bounds re-check: a shrinking reshard may have resized the fetch bitmap
   // while this rank's fetch was in flight.
@@ -232,9 +261,13 @@ std::future<Result<RankBatch>> PrefetchPipeline::NextBatchAsync(int32_t rank) {
 Status PrefetchPipeline::WaitProduced(int64_t step) {
   std::unique_lock<std::mutex> lock(mu_);
   // The lockstep shim consumes in unison: every rank lagging behind `step`
-  // is fast-forwarded, which retires (frees) all steps before it.
-  for (int64_t& cursor : cursors_) {
-    cursor = std::max(cursor, step);
+  // is fast-forwarded, which retires (frees) all steps before it. Shim
+  // delivery is declared, not claimed, so stale streaming claims are voided.
+  for (size_t rank = 0; rank < cursors_.size(); ++rank) {
+    if (cursors_[rank] < step) {
+      cursors_[rank] = step;
+      inflight_claims_[rank] = -1;
+    }
   }
   MaybeRetireLocked();
   return WaitProducedLocked(lock, step, /*count_stats=*/true);
@@ -242,8 +275,11 @@ Status PrefetchPipeline::WaitProduced(int64_t step) {
 
 void PrefetchPipeline::MarkShimConsumed(int64_t step) {
   std::lock_guard<std::mutex> lock(mu_);
-  for (int64_t& cursor : cursors_) {
-    cursor = std::max(cursor, step + 1);
+  for (size_t rank = 0; rank < cursors_.size(); ++rank) {
+    if (cursors_[rank] < step + 1) {
+      cursors_[rank] = step + 1;
+      inflight_claims_[rank] = -1;
+    }
   }
   MaybeRetireLocked();
 }
@@ -280,6 +316,8 @@ Status PrefetchPipeline::RebuildLive(int32_t new_world_size) {
   // Ranks added by the reshard start at the oldest live step; ranks removed
   // simply drop out of the consumption floor.
   cursors_.resize(static_cast<size_t>(new_world_size), retire_floor_);
+  inflight_claims_.resize(static_cast<size_t>(new_world_size), -1);
+  rank_stalls_.resize(static_cast<size_t>(new_world_size));
   if (rebuild_ == nullptr) {
     return Status::Ok();
   }
@@ -301,7 +339,34 @@ PrefetchPipeline::Stats PrefetchPipeline::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats s = stats_;
   s.queue_depth = tickets_.size();
+  s.rank_stalls = rank_stalls_;
   return s;
+}
+
+std::vector<PrefetchPipeline::RankStall> PrefetchPipeline::rank_stalls() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rank_stalls_;
+}
+
+PrefetchPipeline::Frontier PrefetchPipeline::frontier() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Frontier f;
+  f.commit_step = retire_floor_;
+  f.produce_frontier = next_produce_;
+  f.cursors = cursors_;
+  // A rank parked inside NextBatch claimed its step but never received it
+  // (Pause drains in-flight fetches, so the only parked ranks are waiting on
+  // production or on the pause gate). Report it at the undelivered step so a
+  // resume re-serves the batch instead of skipping it — and hold the commit
+  // frontier at or below it: retirement advances on claims, so the retire
+  // floor may already have passed a step an about-to-fetch rank never got.
+  for (size_t rank = 0; rank < f.cursors.size(); ++rank) {
+    if (inflight_claims_[rank] >= 0) {
+      f.cursors[rank] = inflight_claims_[rank];
+      f.commit_step = std::min(f.commit_step, inflight_claims_[rank]);
+    }
+  }
+  return f;
 }
 
 Result<PrefetchPipeline::StepMeta> PrefetchPipeline::StepInfo(int64_t step) const {

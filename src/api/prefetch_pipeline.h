@@ -72,6 +72,23 @@ class PrefetchPipeline {
     // Max steps live (produced or in production) ahead of retirement.
     // 0 = synchronous: steps are produced inline on the consuming thread.
     int32_t depth = 2;
+    // First step this pipeline produces/retires (job resume starts mid-
+    // stream; a fresh session starts at 0).
+    int64_t start_step = 0;
+    // Per-rank starting cursors (>= start_step each); empty = all ranks at
+    // start_step. A resumed job restores the exact per-rank positions so no
+    // rank re-receives or skips a step.
+    std::vector<int64_t> initial_cursors;
+  };
+
+  // Per-rank stall histogram over the streaming path (NextBatch): how often
+  // this rank's pull blocked on production, and for how long in total. A
+  // skewed histogram localizes the straggler (slow consumer ranks show zero
+  // stalls; the rank that always arrives before the build-ahead shows many).
+  struct RankStall {
+    int64_t pulls = 0;     // NextBatch calls by this rank
+    int64_t stalls = 0;    // pulls that blocked on production
+    double wait_ms = 0.0;  // total time blocked
   };
 
   // Cumulative pipeline counters (all fetch paths: clients and shims).
@@ -82,6 +99,20 @@ class PrefetchPipeline {
     int64_t prefetch_stalls = 0;  // waits that blocked on production
     size_t queue_depth = 0;       // produced-but-unretired steps right now
     double last_build_ahead_ms = 0.0;
+    // Cumulative per-rank stall histogram, indexed by rank.
+    std::vector<RankStall> rank_stalls;
+  };
+
+  // The pipeline's checkpointable position: the commit step (first step not
+  // yet fully consumed — everything below it is retired, so a resume may
+  // start there), the produce frontier (first step never planned/popped),
+  // and every rank's *delivered* cursor — a rank blocked inside NextBatch
+  // has claimed its step but not received it, and is reported at the claimed
+  // step (not past it) so a resume re-serves the batch it never got.
+  struct Frontier {
+    int64_t commit_step = 0;
+    int64_t produce_frontier = 0;
+    std::vector<int64_t> cursors;
   };
 
   // Lightweight per-step stats for a live (unretired) step.
@@ -152,6 +183,8 @@ class PrefetchPipeline {
   Status RebuildLive(int32_t new_world_size);
 
   Stats stats() const;
+  std::vector<RankStall> rank_stalls() const;
+  Frontier frontier() const;
   Result<StepMeta> StepInfo(int64_t step) const;
   // Like StepInfo but blocks until `step` is produced (for streaming
   // consumers that want a step's stats before pulling it).
@@ -197,6 +230,9 @@ class PrefetchPipeline {
   std::condition_variable cv_;
   int32_t world_size_;
   std::vector<int64_t> cursors_;  // next unconsumed step per rank
+  // Step a rank has claimed inside NextBatch but not yet been handed (-1 =
+  // none). frontier() reports such ranks at the claimed step, not past it.
+  std::vector<int64_t> inflight_claims_;
   int64_t next_produce_ = 0;      // first unproduced step
   int64_t retire_floor_ = 0;      // first unretired step
   std::map<int64_t, Ticket> tickets_;
@@ -207,6 +243,7 @@ class PrefetchPipeline {
   bool in_produce_ = false;
   int32_t active_fetches_ = 0;  // fetch_ calls in flight (drained by Pause)
   Stats stats_;
+  std::vector<RankStall> rank_stalls_;  // one per rank (streaming path)
 
   // Slot tokens bounding live steps; Push blocks the producer (backpressure),
   // retirement TryPops to free a slot. Unused in synchronous mode.

@@ -10,6 +10,7 @@
 #include "src/common/stats.h"
 #include "src/data/synthetic.h"
 #include "src/data/transform.h"
+#include "src/storage/wire.h"
 
 namespace msd {
 
@@ -42,6 +43,16 @@ Result<std::unique_ptr<Session>> Session::Create(Options options) {
         std::make_shared<StaticMix>(options.corpus.UniformWeights());
   }
   std::unique_ptr<Session> session(new Session(std::move(options)));
+  if (!session->options_.resume_dir.empty()) {
+    // Durable resume: load (and checksum-verify) the checkpoint before any
+    // heavy initialization; Initialize() then rewinds the data plane to it.
+    ObjectStore ckpt_store(session->options_.resume_dir);
+    Result<CheckpointState> loaded = CheckpointReader::Load(ckpt_store);
+    if (!loaded.ok()) {
+      return loaded.status();
+    }
+    session->resume_ = std::make_unique<CheckpointState>(std::move(loaded.value()));
+  }
   Status init = session->Initialize();
   if (!init.ok()) {
     return init;
@@ -67,6 +78,14 @@ Strategy Session::BuildStrategy() const {
 }
 
 Status Session::Initialize() {
+  // 0. Durable GCS: attach the disk-backed write-through before anything
+  // journals state, so every plan/snapshot write from step 0 on survives
+  // the process.
+  if (!options_.gcs_spill_dir.empty()) {
+    gcs_spill_ = std::make_unique<ObjectStore>(options_.gcs_spill_dir);
+    system_.gcs().AttachDurableStore(gcs_spill_.get());
+  }
+
   // 1. Materialize the corpus into the object store.
   CorpusSpec corpus = options_.corpus;
   if (options_.rows_per_file_override > 0) {
@@ -184,10 +203,30 @@ Status Session::Initialize() {
     }
   }
 
-  // 7. The prefetch pipeline: builds steps ahead of consumption and retires
-  // them by rank refcount. Starts producing immediately (warmup).
+  // 7. Checkpoint support: the per-step rewind ring (spans the build-ahead
+  // window), then — when resuming — rewind the freshly built data plane to
+  // the loaded checkpoint before the pipeline starts producing.
+  state_journal_ =
+      std::make_unique<StepStateJournal>(static_cast<size_t>(options_.prefetch_depth) + 4);
+  if (resume_ != nullptr) {
+    MSD_RETURN_IF_ERROR(ApplyResumeState());
+    start_step_ = resume_->commit_step;
+    next_step_ = start_step_;
+  }
+
+  // 8. The prefetch pipeline: builds steps ahead of consumption and retires
+  // them by rank refcount. Starts producing immediately (warmup) — from the
+  // resumed commit frontier when this session was built via ResumeFrom.
   PrefetchPipeline::Config pipeline_config;
   pipeline_config.depth = options_.prefetch_depth;
+  pipeline_config.start_step = start_step_;
+  if (resume_ != nullptr && options_.spec == resume_->mesh &&
+      resume_->cursors.size() == static_cast<size_t>(options_.spec.WorldSize())) {
+    // Same mesh: every rank resumes at its exact cursor, so no rank
+    // re-receives or skips a step. On a changed mesh ranks have no stable
+    // identity across the resume; everyone starts at the commit frontier.
+    pipeline_config.initial_cursors = resume_->cursors;
+  }
   pipeline_ = std::make_unique<PrefetchPipeline>(
       pipeline_config, options_.spec.WorldSize(),
       [this](int64_t step) { return ProduceStep(step); },
@@ -198,6 +237,212 @@ Status Session::Initialize() {
       [this](int64_t step) { ReleaseStepOnConstructors(step); });
   pipeline_->Start();
   return Status::Ok();
+}
+
+CheckpointFingerprint Session::ComputeFingerprint() const {
+  CheckpointFingerprint fp;
+  // Everything that determines the byte stream must be hashed: the resumed
+  // job replays pops against a corpus it re-materializes from these specs.
+  WireWriter w;
+  for (const SourceSpec& src : options_.corpus.sources) {
+    w.PutU32(static_cast<uint32_t>(src.source_id));
+    w.PutBytes(src.name);
+    w.PutU8(static_cast<uint8_t>(src.modality));
+    w.PutI64(src.num_files);
+    w.PutI64(options_.rows_per_file_override > 0 ? options_.rows_per_file_override
+                                                 : src.rows_per_file);
+    w.PutF64(src.transform_cost_multiplier);
+    w.PutU32(static_cast<uint32_t>(src.text_bucket_weights.size()));
+    for (double weight : src.text_bucket_weights) {
+      w.PutF64(weight);
+    }
+    w.PutU32(static_cast<uint32_t>(src.image_bucket_weights.size()));
+    for (double weight : src.image_bucket_weights) {
+      w.PutF64(weight);
+    }
+  }
+  // The MixSchedule is an opaque callable, but its weight trajectory is
+  // observable: probe it at a spread of steps so a resume with different
+  // stage weights (or a missing curriculum) fails validation instead of
+  // silently forking the stream. A custom schedule that differs only at
+  // unprobed steps still slips through — supply the identical schedule.
+  for (int64_t probe : {0, 1, 7, 50, 400, 3000, 20000}) {
+    for (double weight : options_.schedule->WeightsAt(probe)) {
+      w.PutF64(weight);
+    }
+  }
+  fp.corpus_hash = Fnv1a64(w.buffer());
+  fp.seed = options_.seed;
+  fp.samples_per_step = options_.samples_per_step;
+  fp.max_seq_len = options_.max_seq_len;
+  fp.num_microbatches = options_.num_microbatches;
+  fp.loader_workers = options_.loader_workers;
+  fp.strategy = static_cast<uint8_t>(options_.strategy);
+  fp.balance_method = static_cast<uint8_t>(options_.balance_method);
+  fp.defer_image_decode = options_.defer_image_decode ? 1 : 0;
+  return fp;
+}
+
+Status Session::ApplyResumeState() {
+  const CheckpointState& ckpt = *resume_;
+  if (!(ComputeFingerprint() == ckpt.fingerprint)) {
+    return Status::FailedPrecondition(
+        "resume options incompatible with checkpoint: corpus/seed/step-shape "
+        "must match the checkpointed job (only mesh and prefetch depth may "
+        "change)");
+  }
+  const int64_t commit = ckpt.commit_step;
+  const bool dp_same = options_.spec.dp == ckpt.mesh.dp;
+  if (!dp_same && ckpt.planner_at_commit.next_unplanned != commit) {
+    // The commit frontier sits inside a window that was itself replayed from
+    // an older checkpoint's journal, so no replayable planner state exists
+    // at exactly `commit` — and a DP change cannot reuse the journaled plans
+    // (their bucketing is bound to the old DP degree).
+    return Status::FailedPrecondition(
+        "cannot change the DP degree while resuming inside a replayed plan "
+        "window; consume past step " +
+        std::to_string(ckpt.planner_at_commit.next_unplanned) +
+        " and checkpoint again first");
+  }
+
+  // Rewind every loader (and its shadow) to its read-state after the pops of
+  // step commit-1; deterministic refill rebuilds the exact buffer.
+  if (commit > 0) {
+    for (size_t i = 0; i < loaders_.size(); ++i) {
+      const int32_t loader_id = loaders_[i]->config().loader_id;
+      auto it = ckpt.loader_snapshots.find(loader_id);
+      if (it == ckpt.loader_snapshots.end()) {
+        return Status::DataLoss("checkpoint has no snapshot for loader " +
+                                std::to_string(loader_id));
+      }
+      Result<LoaderSnapshot> snap = LoaderSnapshot::Deserialize(it->second);
+      if (!snap.ok()) {
+        return snap.status();
+      }
+      Status restored = system_.Ask<Status>(
+          *loaders_[i],
+          [l = loaders_[i].get(), s = snap.value()] { return l->Restore(s); });
+      if (!restored.ok()) {
+        return restored;
+      }
+      if (i < shadows_.size() && shadows_[i] != nullptr) {
+        Status shadow_restored = system_.Ask<Status>(
+            *shadows_[i],
+            [l = shadows_[i].get(), s = std::move(snap.value())] { return l->Restore(s); });
+        if (!shadow_restored.ok()) {
+          return shadow_restored;
+        }
+      }
+    }
+  }
+
+  // Rewind the planner. Same DP degree: restore the produce-frontier state
+  // and install the journaled in-flight plans [commit, P) — they are served
+  // as cache hits and rebuilt against whatever mesh is now bound, the same
+  // machinery Reshard() uses. Different DP degree: the journaled bucketing
+  // is unusable, so restore the commit-frontier state and deterministically
+  // replan everything from `commit` against the new mesh.
+  if (dp_same) {
+    std::map<int64_t, LoadingPlan> replay;
+    for (const auto& [step, bytes] : ckpt.plan_journal) {
+      Result<LoadingPlan> plan = LoadingPlan::Deserialize(bytes);
+      if (!plan.ok()) {
+        return plan.status();
+      }
+      replay.emplace(step, std::move(plan.value()));
+    }
+    system_.Ask<bool>(*planner_, [p = planner_.get(), state = ckpt.planner_at_frontier,
+                                  replay = std::move(replay)]() mutable {
+      p->RestoreCheckpoint(state, std::move(replay));
+      return true;
+    });
+  } else {
+    system_.Ask<bool>(*planner_, [p = planner_.get(), state = ckpt.planner_at_commit] {
+      p->RestoreCheckpoint(state);
+      return true;
+    });
+  }
+
+  // Seed the FT machinery: the loader snapshots double as the differential-
+  // checkpoint frontier (post-resume recovery replays plans after commit-1).
+  if (ft_ != nullptr) {
+    if (commit > 0) {
+      ft_->SeedSnapshots(commit - 1, ckpt.loader_snapshots);
+    }
+    ft_->RestoreCounters(ckpt.ft_snapshots_taken, ckpt.ft_promotions);
+  }
+
+  // Seed the rewind ring so an immediate re-checkpoint at the same frontier
+  // still finds its commit-state entry.
+  if (commit > 0) {
+    StepStateEntry entry;
+    entry.step = commit - 1;
+    entry.planner = ckpt.planner_at_commit;
+    entry.loader_snapshots = ckpt.loader_snapshots;
+    state_journal_->Record(std::move(entry));
+  }
+  return Status::Ok();
+}
+
+Result<std::string> Session::Checkpoint(const std::string& dir,
+                                        CheckpointWriter::Options writer_options) {
+  if (!options_.enable_checkpoint_journal) {
+    return Status::FailedPrecondition(
+        "checkpointing disabled for this session (enable_checkpoint_journal)");
+  }
+  // Drain production so no pop/build is mid-air, then commit the pipeline's
+  // retirement frontier C: steps below it are fully consumed by every rank;
+  // steps in [C, P) were popped but not consumed — the resumed job re-pops
+  // them from the rewound loaders using the journaled plans.
+  pipeline_->Pause();
+  PrefetchPipeline::Frontier frontier = pipeline_->frontier();
+  CheckpointState state;
+  state.commit_step = frontier.commit_step;
+  state.produce_frontier = frontier.produce_frontier;
+  state.mesh = options_.spec;
+  state.prefetch_depth = options_.prefetch_depth;
+  state.cursors = frontier.cursors;
+  state.planner_at_frontier = system_.Ask<PlannerCheckpoint>(
+      *planner_, [p = planner_.get()] { return p->CheckpointState(); });
+  if (frontier.commit_step > 0) {
+    std::optional<StepStateEntry> entry = state_journal_->EntryFor(frontier.commit_step - 1);
+    if (!entry.has_value()) {
+      pipeline_->Resume();
+      return Status::Internal("no rewind point recorded for step " +
+                              std::to_string(frontier.commit_step - 1) +
+                              " (state-journal window exceeded)");
+    }
+    state.planner_at_commit = entry->planner;
+    state.loader_snapshots = std::move(entry->loader_snapshots);
+  } else {
+    // Nothing consumed yet: the commit state is the seed state.
+    state.planner_at_commit.rng_state = Rng(options_.seed).state();
+  }
+  // The in-flight plan window, straight from the high-frequency GCS journal.
+  // A hole here would make a same-DP resume fail at restore time, when the
+  // original process may already be gone — fail the save loudly instead.
+  for (int64_t s = frontier.commit_step; s < state.planner_at_frontier.next_unplanned; ++s) {
+    std::optional<std::string> blob = system_.gcs().GetState(Planner::PlanJournalKey(s));
+    if (!blob.has_value()) {
+      pipeline_->Resume();
+      return Status::DataLoss("plan journal has no entry for in-flight step " +
+                              std::to_string(s) + "; refusing to publish a checkpoint "
+                              "that could not be resumed");
+    }
+    state.plan_journal.emplace(s, std::move(blob.value()));
+  }
+  state.fault_tolerance = ft_ != nullptr;
+  if (ft_ != nullptr) {
+    state.ft_snapshots_taken = ft_->snapshots_taken();
+    state.ft_promotions = ft_->promotions();
+  }
+  state.fingerprint = ComputeFingerprint();
+
+  ObjectStore ckpt_store(dir);
+  CheckpointWriter writer(&ckpt_store, writer_options);
+  Result<std::string> id = writer.Write(state);
+  pipeline_->Resume();
+  return id;
 }
 
 // One production round: plan the step, pop every constructor's slices from
@@ -287,6 +532,29 @@ Result<ProducedStep> Session::ProduceStep(int64_t step) {
     MSD_RETURN_IF_ERROR(ft_->OnPlanExecuted(plan));
   }
 
+  // Record this step's rewind point for Checkpoint(): the planner cursor and
+  // every loader's differential snapshot as of "step produced". Small state
+  // (cursor + consumed ids); the asks fan out like the pops above so the
+  // producer pays one round-trip, not one per loader.
+  if (options_.enable_checkpoint_journal) {
+    StepStateEntry rewind;
+    rewind.step = step;
+    std::future<PlannerCheckpoint> planner_state = system_.AskAsync<PlannerCheckpoint>(
+        *planner_, [p = planner_.get()] { return p->CheckpointState(); });
+    std::vector<std::pair<int32_t, std::future<LoaderSnapshot>>> snapshots;
+    snapshots.reserve(loaders_.size());
+    for (auto& loader : loaders_) {
+      snapshots.emplace_back(loader->config().loader_id,
+                             system_.AskAsync<LoaderSnapshot>(
+                                 *loader, [l = loader.get()] { return l->Snapshot(); }));
+    }
+    rewind.planner = planner_state.get();
+    for (auto& [loader_id, future] : snapshots) {
+      rewind.loader_snapshots.emplace(loader_id, future.get().Serialize());
+    }
+    state_journal_->Record(std::move(rewind));
+  }
+
   produced.samples = plan.assignments.size();
   produced.dp_imbalance = Imbalance(plan.BucketLoads());
   produced.plan_compute_ms = system_.Ask<double>(
@@ -367,6 +635,7 @@ Status Session::AdvanceStep() {
   last_stats_.prefetch_queue_depth = stats.queue_depth;
   last_stats_.prefetch_hits = stats.prefetch_hits;
   last_stats_.prefetch_stalls = stats.prefetch_stalls;
+  last_stats_.rank_stalls = pipeline_->rank_stalls();
   // The lockstep loop delivered this step; retire it so the producer can move
   // on (GetBatch still serves it from the constructors' resident window).
   pipeline_->MarkShimConsumed(step);
@@ -374,7 +643,7 @@ Status Session::AdvanceStep() {
 }
 
 Result<RankBatch> Session::GetBatch(int32_t rank) {
-  if (next_step_ == 0) {
+  if (next_step_ == start_step_) {
     return Status::FailedPrecondition("AdvanceStep() before GetBatch()");
   }
   return pipeline_->FetchStep(rank, next_step_ - 1);
@@ -398,6 +667,7 @@ Result<Session::StepStats> Session::StepStatsFor(int64_t step) {
   stats.prefetch_queue_depth = pipeline.queue_depth;
   stats.prefetch_hits = pipeline.prefetch_hits;
   stats.prefetch_stalls = pipeline.prefetch_stalls;
+  stats.rank_stalls = pipeline_->rank_stalls();
   return stats;
 }
 
@@ -528,6 +798,18 @@ SessionBuilder& SessionBuilder::WithDeferredImageDecode(bool enabled) {
 }
 SessionBuilder& SessionBuilder::WithPrefetchDepth(int32_t depth) {
   options_.prefetch_depth = depth;
+  return *this;
+}
+SessionBuilder& SessionBuilder::ResumeFrom(std::string dir) {
+  options_.resume_dir = std::move(dir);
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithDurableGcs(std::string dir) {
+  options_.gcs_spill_dir = std::move(dir);
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithCheckpointJournal(bool enabled) {
+  options_.enable_checkpoint_journal = enabled;
   return *this;
 }
 

@@ -46,6 +46,8 @@
 #include "src/actor/actor_system.h"
 #include "src/api/data_client.h"
 #include "src/api/prefetch_pipeline.h"
+#include "src/checkpoint/checkpoint.h"
+#include "src/checkpoint/state_journal.h"
 #include "src/constructor/data_constructor.h"
 #include "src/data/source_spec.h"
 #include "src/ft/fault_tolerance.h"
@@ -86,6 +88,22 @@ class Session {
     // plane behind training compute). 0 = fully synchronous lockstep
     // production — the baseline bench_pipeline_throughput measures against.
     int32_t prefetch_depth = 2;
+    // Durable resume (src/checkpoint/): directory of a checkpoint written by
+    // Checkpoint(). The corpus/seed/step-shape options must match the
+    // checkpointed job (validated via fingerprint); the mesh and prefetch
+    // depth may differ — that is the elastic part. Empty = fresh start.
+    std::string resume_dir;
+    // When set, every GCS state write (plan journal, FT loader snapshots)
+    // also lands atomically in a disk-backed ObjectStore under this
+    // directory, so the journal survives the process even between explicit
+    // Checkpoint() calls. Empty = in-memory GCS only.
+    std::string gcs_spill_dir;
+    // Records a per-step rewind point (planner cursor + loader snapshots,
+    // one fanned-out actor round-trip per produced step) so Checkpoint()
+    // can commit at the consumption frontier. Disable for jobs that will
+    // never checkpoint and want the producer path at its leanest;
+    // Checkpoint() then fails with FailedPrecondition.
+    bool enable_checkpoint_journal = true;
   };
 
   struct StepStats {
@@ -99,6 +117,10 @@ class Session {
     int64_t prefetch_hits = 0;        // cumulative pulls served without waiting
     int64_t prefetch_stalls = 0;      // cumulative pulls that blocked on build
     double build_ahead_ms = 0.0;      // plan+pop+build wall time of this step
+    // Per-rank stall histogram (streaming path): cumulative blocked pulls
+    // and total blocked time per rank — localizes which ranks outrun the
+    // build-ahead. Indexed by rank; empty before any streaming pull.
+    std::vector<PrefetchPipeline::RankStall> rank_stalls;
   };
 
   static Result<std::unique_ptr<Session>> Create(Options options);
@@ -133,6 +155,24 @@ class Session {
   // slices — no samples are re-popped and none are dropped.
   Status Reshard(const ParallelismSpec& new_spec);
 
+  // Durable checkpoint (src/checkpoint/): commits the data-plane position at
+  // the pipeline's retirement frontier into `dir` on disk — planner RNG and
+  // plan cursor, every loader's read-state, the journaled in-flight plans,
+  // and the per-rank *delivered* cursors — with two-phase staging, so a
+  // crash mid-save never corrupts the previous checkpoint. The pipeline is
+  // drained during the save and resumes after. Returns the published id.
+  // Deprecated-shim caveat: AdvanceStep() IS the shim's consumption point,
+  // so a checkpoint taken between AdvanceStep() and the GetBatch() calls
+  // commits past that step (streaming DataClients have exact per-rank
+  // delivery tracking and no such window).
+  // A dead process resumes via SessionBuilder::ResumeFrom(dir), on the same
+  // mesh (byte-identical continuation) or a different dp/pp/cp/tp mesh and
+  // prefetch depth (elastic resume: in-flight plans replayed against the new
+  // mesh when the DP degree is unchanged, deterministically replanned from
+  // the commit frontier when it is not).
+  Result<std::string> Checkpoint(const std::string& dir,
+                                 CheckpointWriter::Options writer_options = {});
+
   int64_t current_step() const { return next_step_ - 1; }
   const StepStats& last_stats() const { return last_stats_; }
   // Streaming observability: stats of `step`, blocking until it is produced.
@@ -154,6 +194,11 @@ class Session {
   explicit Session(Options options);
   Status Initialize();
   Strategy BuildStrategy() const;
+  // Fingerprint of the options that must match across checkpoint/resume.
+  CheckpointFingerprint ComputeFingerprint() const;
+  // Applies a loaded checkpoint during Initialize (rewinds loaders/planner,
+  // seeds the FT frontier and the plan journal).
+  Status ApplyResumeState();
 
   // Producer callbacks wired into the prefetch pipeline.
   Result<ProducedStep> ProduceStep(int64_t step);
@@ -165,6 +210,9 @@ class Session {
   Options options_;
   MemoryAccountant memory_;
   ObjectStore store_{&memory_};
+  // Disk-backed write-through target for the GCS (gcs_spill_dir option).
+  // Declared before system_ so it outlives the Gcs holding a pointer to it.
+  std::unique_ptr<ObjectStore> gcs_spill_;
   ActorSystem system_;
   ClientPlaceTree tree_;
   std::vector<LoaderPartition> partitions_;
@@ -174,6 +222,11 @@ class Session {
   std::shared_ptr<Planner> planner_;
   std::unique_ptr<FaultToleranceManager> ft_;
   std::unique_ptr<PrefetchPipeline> pipeline_;
+  // Per-step rewind points feeding Checkpoint(); spans the build-ahead window.
+  std::unique_ptr<StepStateJournal> state_journal_;
+  // Loaded checkpoint when this session was built via ResumeFrom.
+  std::unique_ptr<CheckpointState> resume_;
+  int64_t start_step_ = 0;  // first step this session produces (0 unless resumed)
   std::mutex clients_mu_;
   std::unordered_map<int32_t, std::unique_ptr<DataClient>> clients_;
   int64_t next_step_ = 0;  // deprecated-shim cursor (AdvanceStep/GetBatch)
@@ -210,6 +263,15 @@ class SessionBuilder {
   SessionBuilder& WithRowsPerFile(int64_t rows);
   SessionBuilder& WithDeferredImageDecode(bool enabled = true);
   SessionBuilder& WithPrefetchDepth(int32_t depth);
+  // Resumes the data stream from a durable checkpoint written by
+  // Session::Checkpoint(dir). Supply the same corpus/seed/step-shape options
+  // as the checkpointed job; the mesh (WithMesh) and prefetch depth may
+  // differ — elastic resume replays or replans the stream accordingly.
+  SessionBuilder& ResumeFrom(std::string dir);
+  // Spills every GCS state write (plan journal, FT snapshots) to disk.
+  SessionBuilder& WithDurableGcs(std::string dir);
+  // Disables the per-step rewind recording (and with it Checkpoint()).
+  SessionBuilder& WithCheckpointJournal(bool enabled = true);
 
   Result<std::unique_ptr<Session>> Build();
 

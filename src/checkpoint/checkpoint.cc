@@ -1,0 +1,290 @@
+#include "src/checkpoint/checkpoint.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/common/logging.h"
+#include "src/storage/wire.h"
+
+namespace msd {
+
+namespace {
+
+constexpr uint64_t kManifestMagic = 0x314B504344534DULL;  // "MSDCPK1"
+
+std::string ManifestKey(const std::string& id) { return id + "/manifest"; }
+std::string LoaderKey(const std::string& id, int32_t loader_id) {
+  return id + "/loader/" + std::to_string(loader_id);
+}
+std::string JournalKey(const std::string& id, int64_t step) {
+  return id + "/journal/" + std::to_string(step);
+}
+
+void PutPlannerState(WireWriter& w, const PlannerCheckpoint& p) {
+  w.PutU64(p.rng_state);
+  w.PutI64(p.next_unplanned);
+  w.PutI64(p.plans_generated);
+}
+
+PlannerCheckpoint GetPlannerState(WireReader& r) {
+  PlannerCheckpoint p;
+  p.rng_state = r.GetU64();
+  p.next_unplanned = r.GetI64();
+  p.plans_generated = r.GetI64();
+  return p;
+}
+
+Result<std::string> ReadBlob(const ObjectStore& store, const std::string& key) {
+  Result<FileHandle> handle = store.Open(key, 0);
+  if (!handle.ok()) {
+    return handle.status();
+  }
+  return handle.value().Contents();
+}
+
+}  // namespace
+
+uint64_t Fnv1a64(std::string_view bytes, uint64_t seed) {
+  uint64_t hash = seed;
+  for (char c : bytes) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+CheckpointWriter::CheckpointWriter(ObjectStore* store, Options options)
+    : store_(store), options_(options) {
+  MSD_CHECK(store_ != nullptr);
+}
+
+Result<std::string> CheckpointWriter::Write(const CheckpointState& state) {
+  // Checkpoint ids are ordered by a monotonic sequence number so LATEST can
+  // be re-derived by a human (or a cleanup tool) even if the pointer blob is
+  // lost: ckpt-<seq>-s<commit_step>.
+  int64_t seq = 0;
+  for (const std::string& name : store_->List("ckpt-")) {
+    // name = "ckpt-<seq>-s<step>/...": parse the sequence field.
+    size_t dash = name.find('-', 5);
+    if (name.rfind("ckpt-", 0) == 0 && dash != std::string::npos) {
+      seq = std::max<int64_t>(seq, std::strtoll(name.c_str() + 5, nullptr, 10));
+    }
+  }
+  const std::string id =
+      "ckpt-" + std::to_string(seq + 1) + "-s" + std::to_string(state.commit_step);
+
+  // Phase 1: stage every component blob (each Put is itself atomic).
+  struct BlobRecord {
+    std::string key;
+    uint64_t size = 0;
+    uint64_t checksum = 0;
+  };
+  std::vector<BlobRecord> loader_blobs;
+  for (const auto& [loader_id, bytes] : state.loader_snapshots) {
+    BlobRecord rec{LoaderKey(id, loader_id), bytes.size(), Fnv1a64(bytes)};
+    MSD_RETURN_IF_ERROR(store_->Put(rec.key, bytes));
+    loader_blobs.push_back(std::move(rec));
+  }
+  std::vector<BlobRecord> journal_blobs;
+  for (const auto& [step, bytes] : state.plan_journal) {
+    BlobRecord rec{JournalKey(id, step), bytes.size(), Fnv1a64(bytes)};
+    MSD_RETURN_IF_ERROR(store_->Put(rec.key, bytes));
+    journal_blobs.push_back(std::move(rec));
+  }
+
+  // Phase 2: the manifest, carrying the frontier, both planner states, the
+  // fingerprint, and size+checksum for every staged blob.
+  WireWriter w;
+  w.PutU64(kManifestMagic);
+  w.PutU32(kCheckpointFormatVersion);
+  w.PutI64(state.commit_step);
+  w.PutI64(state.produce_frontier);
+  w.PutU32(static_cast<uint32_t>(state.mesh.dp));
+  w.PutU32(static_cast<uint32_t>(state.mesh.pp));
+  w.PutU32(static_cast<uint32_t>(state.mesh.cp));
+  w.PutU32(static_cast<uint32_t>(state.mesh.tp));
+  w.PutU32(static_cast<uint32_t>(state.prefetch_depth));
+  w.PutU32(static_cast<uint32_t>(state.cursors.size()));
+  for (int64_t cursor : state.cursors) {
+    w.PutI64(cursor);
+  }
+  PutPlannerState(w, state.planner_at_commit);
+  PutPlannerState(w, state.planner_at_frontier);
+  w.PutU8(state.fault_tolerance ? 1 : 0);
+  w.PutI64(state.ft_snapshots_taken);
+  w.PutI64(state.ft_promotions);
+  w.PutU64(state.fingerprint.corpus_hash);
+  w.PutU64(state.fingerprint.seed);
+  w.PutI64(state.fingerprint.samples_per_step);
+  w.PutU32(static_cast<uint32_t>(state.fingerprint.max_seq_len));
+  w.PutU32(static_cast<uint32_t>(state.fingerprint.num_microbatches));
+  w.PutU32(static_cast<uint32_t>(state.fingerprint.loader_workers));
+  w.PutU8(state.fingerprint.strategy);
+  w.PutU8(state.fingerprint.balance_method);
+  w.PutU8(state.fingerprint.defer_image_decode);
+  w.PutU32(static_cast<uint32_t>(loader_blobs.size()));
+  {
+    size_t i = 0;  // loader_blobs was built in loader_snapshots order
+    for (const auto& [loader_id, bytes] : state.loader_snapshots) {
+      (void)bytes;
+      w.PutU32(static_cast<uint32_t>(loader_id));
+      w.PutU64(loader_blobs[i].size);
+      w.PutU64(loader_blobs[i].checksum);
+      ++i;
+    }
+  }
+  w.PutU32(static_cast<uint32_t>(journal_blobs.size()));
+  {
+    size_t i = 0;
+    for (const auto& [step, bytes] : state.plan_journal) {
+      (void)bytes;
+      w.PutI64(step);
+      w.PutU64(journal_blobs[i].size);
+      w.PutU64(journal_blobs[i].checksum);
+      ++i;
+    }
+  }
+  // Self-checksum over everything above, appended last: the manifest is the
+  // one blob nothing else can vouch for.
+  w.PutU64(Fnv1a64(w.buffer()));
+  MSD_RETURN_IF_ERROR(store_->Put(ManifestKey(id), w.Take()));
+
+  // Phase 3: atomically flip LATEST. Everything before this line is
+  // invisible to readers; a crash here costs nothing but orphaned blobs.
+  if (options_.abort_before_publish) {
+    MSD_LOG_WARN("checkpoint %s staged but NOT published (crash injection)", id.c_str());
+    return id;
+  }
+  MSD_RETURN_IF_ERROR(store_->Put(kCheckpointLatestKey, id));
+  return id;
+}
+
+Result<std::string> CheckpointReader::LatestId(const ObjectStore& store) {
+  Result<std::string> latest = ReadBlob(store, kCheckpointLatestKey);
+  if (!latest.ok()) {
+    return Status::NotFound("no published checkpoint (missing LATEST pointer)");
+  }
+  return latest;
+}
+
+Result<CheckpointState> CheckpointReader::Load(const ObjectStore& store) {
+  Result<std::string> id = LatestId(store);
+  if (!id.ok()) {
+    return id.status();
+  }
+  return LoadId(store, id.value());
+}
+
+Result<CheckpointState> CheckpointReader::LoadId(const ObjectStore& store,
+                                                const std::string& id) {
+  Result<std::string> manifest = ReadBlob(store, ManifestKey(id));
+  if (!manifest.ok()) {
+    return Status::NotFound("checkpoint " + id + " has no manifest: " +
+                            manifest.status().ToString());
+  }
+  const std::string& manifest_bytes = manifest.value();
+  if (manifest_bytes.size() < sizeof(uint64_t)) {
+    return Status::DataLoss("checkpoint " + id + ": manifest too small");
+  }
+  // Verify the trailing self-checksum before trusting any field: a bit flip
+  // in a cursor or frontier must surface as DataLoss, not a wrong restore.
+  const size_t body_size = manifest_bytes.size() - sizeof(uint64_t);
+  WireReader tail(manifest_bytes, body_size);
+  if (tail.GetU64() != Fnv1a64(std::string_view(manifest_bytes).substr(0, body_size))) {
+    return Status::DataLoss("checkpoint " + id + ": manifest checksum mismatch");
+  }
+  WireReader r(std::string_view(manifest_bytes).substr(0, body_size));
+  if (r.GetU64() != kManifestMagic) {
+    return Status::DataLoss("checkpoint " + id + ": bad manifest magic");
+  }
+  uint32_t version = r.GetU32();
+  if (version != kCheckpointFormatVersion) {
+    return Status::DataLoss("checkpoint " + id + ": format version " +
+                            std::to_string(version) + " unsupported (expected " +
+                            std::to_string(kCheckpointFormatVersion) + ")");
+  }
+  CheckpointState state;
+  state.commit_step = r.GetI64();
+  state.produce_frontier = r.GetI64();
+  state.mesh.dp = static_cast<int32_t>(r.GetU32());
+  state.mesh.pp = static_cast<int32_t>(r.GetU32());
+  state.mesh.cp = static_cast<int32_t>(r.GetU32());
+  state.mesh.tp = static_cast<int32_t>(r.GetU32());
+  state.prefetch_depth = static_cast<int32_t>(r.GetU32());
+  uint32_t n_cursors = r.GetU32();
+  if (static_cast<uint64_t>(n_cursors) * sizeof(int64_t) > r.remaining()) {
+    return Status::DataLoss("checkpoint " + id + ": cursor count exceeds manifest");
+  }
+  state.cursors.reserve(n_cursors);
+  for (uint32_t i = 0; i < n_cursors; ++i) {
+    state.cursors.push_back(r.GetI64());
+  }
+  state.planner_at_commit = GetPlannerState(r);
+  state.planner_at_frontier = GetPlannerState(r);
+  state.fault_tolerance = r.GetU8() != 0;
+  state.ft_snapshots_taken = r.GetI64();
+  state.ft_promotions = r.GetI64();
+  state.fingerprint.corpus_hash = r.GetU64();
+  state.fingerprint.seed = r.GetU64();
+  state.fingerprint.samples_per_step = r.GetI64();
+  state.fingerprint.max_seq_len = static_cast<int32_t>(r.GetU32());
+  state.fingerprint.num_microbatches = static_cast<int32_t>(r.GetU32());
+  state.fingerprint.loader_workers = static_cast<int32_t>(r.GetU32());
+  state.fingerprint.strategy = r.GetU8();
+  state.fingerprint.balance_method = r.GetU8();
+  state.fingerprint.defer_image_decode = r.GetU8();
+
+  struct PendingBlob {
+    std::string key;
+    uint64_t size = 0;
+    uint64_t checksum = 0;
+  };
+  uint32_t n_loaders = r.GetU32();
+  if (static_cast<uint64_t>(n_loaders) * 20 > r.remaining()) {
+    return Status::DataLoss("checkpoint " + id + ": loader table exceeds manifest");
+  }
+  std::map<int32_t, PendingBlob> loader_table;
+  for (uint32_t i = 0; i < n_loaders; ++i) {
+    int32_t loader_id = static_cast<int32_t>(r.GetU32());
+    PendingBlob blob{LoaderKey(id, loader_id), r.GetU64(), r.GetU64()};
+    loader_table.emplace(loader_id, std::move(blob));
+  }
+  uint32_t n_journal = r.GetU32();
+  if (static_cast<uint64_t>(n_journal) * 24 > r.remaining()) {
+    return Status::DataLoss("checkpoint " + id + ": journal table exceeds manifest");
+  }
+  std::map<int64_t, PendingBlob> journal_table;
+  for (uint32_t i = 0; i < n_journal; ++i) {
+    int64_t step = r.GetI64();
+    PendingBlob blob{JournalKey(id, step), r.GetU64(), r.GetU64()};
+    journal_table.emplace(step, std::move(blob));
+  }
+  if (!r.Ok()) {
+    return Status::DataLoss("checkpoint " + id + ": truncated manifest");
+  }
+
+  // Fetch + verify every referenced blob.
+  for (const auto& [loader_id, blob] : loader_table) {
+    Result<std::string> bytes = ReadBlob(store, blob.key);
+    if (!bytes.ok()) {
+      return Status::DataLoss("checkpoint " + id + ": missing blob " + blob.key);
+    }
+    if (bytes.value().size() != blob.size || Fnv1a64(bytes.value()) != blob.checksum) {
+      return Status::DataLoss("checkpoint " + id + ": checksum mismatch in " + blob.key);
+    }
+    state.loader_snapshots.emplace(loader_id, std::move(bytes.value()));
+  }
+  for (const auto& [step, blob] : journal_table) {
+    Result<std::string> bytes = ReadBlob(store, blob.key);
+    if (!bytes.ok()) {
+      return Status::DataLoss("checkpoint " + id + ": missing blob " + blob.key);
+    }
+    if (bytes.value().size() != blob.size || Fnv1a64(bytes.value()) != blob.checksum) {
+      return Status::DataLoss("checkpoint " + id + ": checksum mismatch in " + blob.key);
+    }
+    state.plan_journal.emplace(step, std::move(bytes.value()));
+  }
+  return state;
+}
+
+}  // namespace msd

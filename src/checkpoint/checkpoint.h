@@ -1,0 +1,131 @@
+// Durable checkpoint & elastic resume (job-level differential checkpointing).
+//
+// MegaScale-Data's Sec. 6.1 recovery story — low-frequency loader snapshots
+// plus a high-frequency plan journal — only survives as long as the process
+// does. This subsystem makes the whole data-plane position durable: a
+// CheckpointWriter serializes it through the wire.h codec into an
+// ObjectStore (disk-backed for real durability), and a CheckpointReader
+// restores it into a brand-new Session, possibly on a *different* mesh
+// (dp/pp/cp/tp and prefetch depth may all change — elastic resume).
+//
+// What is committed (see CheckpointState):
+//   - the pipeline's committed-step frontier C (first step not fully
+//     consumed) and produce frontier P (first step never planned), plus the
+//     per-rank cursors;
+//   - the Planner's replayable state twice: as of step C-1 (for resumes
+//     that must replan, e.g. a DP-degree change re-buckets every plan) and
+//     as of P-1 (for resumes that replay the journaled in-flight plans
+//     [C, P) against the new mesh — the same machinery Reshard() uses);
+//   - every Source Loader's differential snapshot as of step C-1 (read
+//     cursor + consumed ids; deterministic refill rebuilds the buffer);
+//   - the journaled LoadingPlans for the in-flight window [C, P);
+//   - a fingerprint of the options that must match at resume (corpus,
+//     seed, step shape) — the mesh intentionally excluded.
+//
+// Constructors hold no checkpointable state: their resident StepData is
+// derived (plan x slices) and is reconstructed by normal production.
+//
+// Two-phase commit: every component blob is staged first (each Put is
+// itself atomic), the manifest — carrying sizes + FNV-1a checksums of every
+// blob — is written next, and only then is the LATEST pointer atomically
+// flipped to the new checkpoint id. A crash anywhere before the flip leaves
+// the previous checkpoint intact and discoverable; a corrupt blob is caught
+// by checksum at load time.
+#ifndef SRC_CHECKPOINT_CHECKPOINT_H_
+#define SRC_CHECKPOINT_CHECKPOINT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/mesh/parallelism.h"
+#include "src/planner/planner.h"
+#include "src/storage/object_store.h"
+
+namespace msd {
+
+inline constexpr uint32_t kCheckpointFormatVersion = 1;
+// Pointer blob naming the latest fully published checkpoint id.
+inline constexpr char kCheckpointLatestKey[] = "LATEST";
+
+// FNV-1a 64-bit: blob checksums and the options fingerprint.
+uint64_t Fnv1a64(std::string_view bytes, uint64_t seed = 0xcbf29ce484222325ULL);
+
+// Options that must be identical between the checkpointed job and the
+// resuming one for the replay to be byte-faithful. The mesh and prefetch
+// depth are deliberately NOT part of it — those may change elastically.
+struct CheckpointFingerprint {
+  uint64_t corpus_hash = 0;  // sources: id, name, shape, effective rows/file
+  uint64_t seed = 0;
+  int64_t samples_per_step = 0;
+  int32_t max_seq_len = 0;
+  int32_t num_microbatches = 0;
+  int32_t loader_workers = 0;  // drives auto-partitioning => loader identity
+  uint8_t strategy = 0;
+  uint8_t balance_method = 0;
+  uint8_t defer_image_decode = 0;
+
+  bool operator==(const CheckpointFingerprint&) const = default;
+};
+
+// Everything a resumed job needs. See the file comment for the roles.
+struct CheckpointState {
+  int64_t commit_step = 0;       // C: resume consumes/produces from here
+  int64_t produce_frontier = 0;  // P: first step never planned before save
+  ParallelismSpec mesh;          // mesh at checkpoint time (informational)
+  int32_t prefetch_depth = 0;
+  std::vector<int64_t> cursors;  // per-rank next unconsumed step
+
+  PlannerCheckpoint planner_at_commit;    // as of after plan C-1
+  PlannerCheckpoint planner_at_frontier;  // as of after plan P-1
+
+  // loader_id -> LoaderSnapshot bytes, state as of after the pops of C-1.
+  std::map<int32_t, std::string> loader_snapshots;
+  // step -> serialized LoadingPlan for the in-flight window [C, P).
+  std::map<int64_t, std::string> plan_journal;
+
+  bool fault_tolerance = false;  // FT counters carried for observability
+  int64_t ft_snapshots_taken = 0;
+  int64_t ft_promotions = 0;
+
+  CheckpointFingerprint fingerprint;
+};
+
+class CheckpointWriter {
+ public:
+  struct Options {
+    // Crash injection for tests: stage every blob and the manifest, but
+    // never flip the LATEST pointer — exactly the window a real crash
+    // between blob write and manifest publish would hit.
+    bool abort_before_publish = false;
+  };
+
+  CheckpointWriter(ObjectStore* store, Options options);
+  explicit CheckpointWriter(ObjectStore* store) : CheckpointWriter(store, Options{}) {}
+
+  // Two-phase commit of `state`; returns the published checkpoint id.
+  // Under abort_before_publish the staged id is returned but LATEST still
+  // names the previous checkpoint (or nothing).
+  Result<std::string> Write(const CheckpointState& state);
+
+ private:
+  ObjectStore* store_;
+  Options options_;
+};
+
+class CheckpointReader {
+ public:
+  // Loads the checkpoint LATEST points to, verifying format version and
+  // every blob checksum. NotFound when the store has no published
+  // checkpoint; DataLoss on version/checksum mismatch.
+  static Result<CheckpointState> Load(const ObjectStore& store);
+  static Result<CheckpointState> LoadId(const ObjectStore& store, const std::string& id);
+  static Result<std::string> LatestId(const ObjectStore& store);
+};
+
+}  // namespace msd
+
+#endif  // SRC_CHECKPOINT_CHECKPOINT_H_

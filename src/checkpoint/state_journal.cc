@@ -1,0 +1,35 @@
+#include "src/checkpoint/state_journal.h"
+
+#include "src/common/logging.h"
+
+namespace msd {
+
+StepStateJournal::StepStateJournal(size_t capacity) : capacity_(capacity) {
+  MSD_CHECK(capacity_ >= 1);
+}
+
+void StepStateJournal::Record(StepStateEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MSD_CHECK(entries_.empty() || entry.step > entries_.back().step);
+  entries_.push_back(std::move(entry));
+  while (entries_.size() > capacity_) {
+    entries_.pop_front();
+  }
+}
+
+std::optional<StepStateEntry> StepStateJournal::EntryFor(int64_t step) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const StepStateEntry& entry : entries_) {
+    if (entry.step == step) {
+      return entry;
+    }
+  }
+  return std::nullopt;
+}
+
+int64_t StepStateJournal::newest_step() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.empty() ? -1 : entries_.back().step;
+}
+
+}  // namespace msd

@@ -1,0 +1,60 @@
+// StepStateJournal: a bounded ring of per-step data-plane rewind points.
+//
+// The prefetch pipeline produces (plans + pops) steps ahead of what training
+// has consumed, so at checkpoint time the loaders' live read-state is
+// *newer* than the step the job may safely commit (the retirement frontier
+// C: everything below it fully consumed, everything at or above it not yet).
+// A durable checkpoint must therefore rewind the data plane to "state after
+// step C-1". Reconstructing that from scratch would mean replaying every
+// plan since step 0; instead the Session records, after producing each step
+// s, the tiny replayable state the plane had at that point:
+//   - the Planner's PCG32 word + monotonic plan cursor, and
+//   - every Source Loader's differential snapshot (read cursor + consumed
+//     ids — deterministic refill rebuilds the exact buffer from these).
+// The ring only needs to span the build-ahead window (prefetch depth), so a
+// checkpoint at any commit frontier finds its rewind point in O(1).
+#ifndef SRC_CHECKPOINT_STATE_JOURNAL_H_
+#define SRC_CHECKPOINT_STATE_JOURNAL_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "src/planner/planner.h"
+
+namespace msd {
+
+// State of the whole data plane as of "step s fully produced": what a job
+// resuming at step s+1 restores before replanning/re-popping.
+struct StepStateEntry {
+  int64_t step = -1;
+  PlannerCheckpoint planner;                        // as of after plan `step`
+  std::map<int32_t, std::string> loader_snapshots;  // loader_id -> snapshot bytes
+};
+
+class StepStateJournal {
+ public:
+  // `capacity` must cover the maximum distance between the commit frontier
+  // and the produce frontier (prefetch depth) plus slack.
+  explicit StepStateJournal(size_t capacity);
+
+  // Records the state after producing `entry.step`. Steps must arrive in
+  // increasing order (the pipeline producer is strictly sequential); the
+  // oldest entry falls off once the ring is full.
+  void Record(StepStateEntry entry);
+
+  std::optional<StepStateEntry> EntryFor(int64_t step) const;
+  int64_t newest_step() const;
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::deque<StepStateEntry> entries_;
+};
+
+}  // namespace msd
+
+#endif  // SRC_CHECKPOINT_STATE_JOURNAL_H_

@@ -78,6 +78,12 @@ class Rng {
   // Samples an index proportionally to non-negative weights. Requires sum > 0.
   size_t Categorical(const std::vector<double>& weights);
 
+  // Checkpointing: PCG32's full generator state is a single u64, so saving
+  // and restoring it replays the exact draw sequence (differential
+  // checkpointing and job resume both rely on this).
+  uint64_t state() const { return state_; }
+  void set_state(uint64_t state) { state_ = state; }
+
  private:
   uint64_t state_ = 0;
 };

@@ -127,6 +127,19 @@ Status FaultToleranceManager::RecoverFromCheckpoint(SourceLoader* fresh, int32_t
   return Status::Ok();
 }
 
+void FaultToleranceManager::SeedSnapshots(int64_t step,
+                                          const std::map<int32_t, std::string>& snapshots) {
+  for (const auto& [loader_id, bytes] : snapshots) {
+    system_->gcs().PutState(SnapshotKey(loader_id), bytes);
+    system_->gcs().PutState(SnapshotStepKey(loader_id), std::to_string(step));
+  }
+}
+
+void FaultToleranceManager::RestoreCounters(int64_t snapshots_taken, int64_t promotions) {
+  snapshots_taken_ = snapshots_taken;
+  promotions_ = promotions;
+}
+
 void FailureInjector::InjectPartialYield(SourceLoader* loader, bool enabled) {
   system_->Post(*loader, [loader, enabled] { loader->set_inject_partial_yield(enabled); });
 }

@@ -10,6 +10,7 @@
 #ifndef SRC_FT_FAULT_TOLERANCE_H_
 #define SRC_FT_FAULT_TOLERANCE_H_
 
+#include <map>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -44,6 +45,16 @@ class FaultToleranceManager {
   // Checkpoint recovery: restores `fresh` from the latest snapshot of
   // `loader_id` and replays journaled plans in (snapshot_step, up_to_step].
   Status RecoverFromCheckpoint(SourceLoader* fresh, int32_t loader_id, int64_t up_to_step);
+
+  // Job resume (src/checkpoint/): seeds the GCS with externally restored
+  // loader snapshots, making `step` the differential-checkpoint frontier —
+  // post-resume recovery replays only plans journaled after it. The old
+  // process's snapshots died with its GCS; without this seed the first
+  // in-session snapshot would not exist until the next interval boundary.
+  void SeedSnapshots(int64_t step, const std::map<int32_t, std::string>& snapshots);
+
+  // Carries the lifetime counters across a job resume (observability only).
+  void RestoreCounters(int64_t snapshots_taken, int64_t promotions);
 
   // GCS keys.
   static std::string SnapshotKey(int32_t loader_id);

@@ -27,6 +27,9 @@ Result<LoaderSnapshot> LoaderSnapshot::Deserialize(std::string_view bytes) {
   snap.origin_file = r.GetI64();
   snap.origin_group = r.GetI64();
   uint32_t n = r.GetU32();
+  if (static_cast<uint64_t>(n) * sizeof(uint64_t) > r.remaining()) {
+    return Status::DataLoss("corrupt loader snapshot: id count exceeds payload");
+  }
   snap.consumed_ids.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
     snap.consumed_ids.push_back(r.GetU64());

@@ -84,10 +84,19 @@ Result<LoadingPlan> LoadingPlan::Deserialize(std::string_view bytes) {
   plan.num_buckets = static_cast<int32_t>(r.GetU32());
   plan.num_microbatches = static_cast<int32_t>(r.GetU32());
   uint32_t n_axes = r.GetU32();
+  if (n_axes > r.remaining()) {
+    return Status::DataLoss("corrupt LoadingPlan: broadcast-axis count exceeds payload");
+  }
   for (uint32_t i = 0; i < n_axes; ++i) {
     plan.broadcast_axes.push_back(static_cast<Axis>(r.GetU8()));
   }
   uint32_t n_assign = r.GetU32();
+  // Bound the count against the bytes that could possibly back it before
+  // reserving — a corrupt count must fail cleanly, not drive a huge
+  // allocation.
+  if (static_cast<uint64_t>(n_assign) * kWireBytesPerAssignment > r.remaining()) {
+    return Status::DataLoss("corrupt LoadingPlan: assignment count exceeds payload");
+  }
   plan.assignments.reserve(n_assign);
   for (uint32_t i = 0; i < n_assign; ++i) {
     SliceAssignment a;
@@ -102,11 +111,18 @@ Result<LoadingPlan> LoadingPlan::Deserialize(std::string_view bytes) {
     plan.assignments.push_back(a);
   }
   uint32_t n_ranks = r.GetU32();
+  if (static_cast<uint64_t>(n_ranks) * sizeof(uint32_t) > r.remaining()) {
+    return Status::DataLoss("corrupt LoadingPlan: fetching-rank count exceeds payload");
+  }
+  plan.fetching_ranks.reserve(n_ranks);
   for (uint32_t i = 0; i < n_ranks; ++i) {
     plan.fetching_ranks.push_back(static_cast<int32_t>(r.GetU32()));
   }
   uint32_t n_sub = r.GetU32();
-  for (uint32_t i = 0; i < n_sub; ++i) {
+  if (n_sub > r.remaining()) {
+    return Status::DataLoss("corrupt LoadingPlan: subplan count exceeds payload");
+  }
+  for (uint32_t i = 0; i < n_sub && r.Ok(); ++i) {
     std::string name = r.GetBytes();
     // Subplans recurse over a borrowed view of the enclosing record.
     Result<LoadingPlan> sub = Deserialize(r.GetBytesView());

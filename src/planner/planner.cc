@@ -129,6 +129,31 @@ Result<LoadingPlan> Planner::GeneratePlan(int64_t step) {
   return plan;
 }
 
+PlannerCheckpoint Planner::CheckpointState() const {
+  PlannerCheckpoint ckpt;
+  ckpt.rng_state = rng_.state();
+  ckpt.next_unplanned = next_unplanned_;
+  ckpt.plans_generated = plans_generated_;
+  return ckpt;
+}
+
+void Planner::RestoreCheckpoint(const PlannerCheckpoint& ckpt,
+                                std::map<int64_t, LoadingPlan> replay_plans) {
+  rng_.set_state(ckpt.rng_state);
+  next_unplanned_ = ckpt.next_unplanned;
+  plans_generated_ = ckpt.plans_generated;
+  cache_ = std::move(replay_plans);
+  // The replay window must survive until consumed: TrimCache evicts from the
+  // front, which is exactly the steps a resumed pipeline asks for first.
+  config_.plan_cache_capacity = std::max<int64_t>(config_.plan_cache_capacity,
+                                                  static_cast<int64_t>(cache_.size()) + 2);
+  for (const auto& [step, plan] : cache_) {
+    MSD_CHECK(step < next_unplanned_);
+    system_->gcs().PutState(PlanJournalKey(step), plan.Serialize());
+  }
+  TrimCache();
+}
+
 Status Planner::PrecomputePlans(int64_t first, int64_t count) {
   for (int64_t s = first; s < first + count; ++s) {
     // GetPlan (not GeneratePlan): already-generated steps must be cache hits,

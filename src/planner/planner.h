@@ -33,6 +33,15 @@ struct PlanContext {
 // A declarative strategy: composes DGraph primitives into a LoadingPlan.
 using Strategy = std::function<Result<LoadingPlan>(PlanContext&)>;
 
+// The planner's replayable state: one PCG32 word plus the monotonic plan
+// cursor. Restoring it (plus the loaders' read-state) replays the exact
+// RNG-dependent plan history — the heart of job-level checkpoint/resume.
+struct PlannerCheckpoint {
+  uint64_t rng_state = 0;
+  int64_t next_unplanned = 0;
+  int64_t plans_generated = 0;
+};
+
 struct PlannerConfig {
   std::string name = "planner";  // actor name (unique per ActorSystem)
   int64_t plan_cache_capacity = 16;
@@ -64,6 +73,17 @@ class Planner : public Actor {
 
   // Replay Mode: precompute plans for steps [first, first+count).
   Status PrecomputePlans(int64_t first, int64_t count);
+
+  // Job-level checkpointing (src/checkpoint/): the replayable state as of
+  // the last generated plan.
+  PlannerCheckpoint CheckpointState() const;
+  // Restores the plan cursor and RNG, discarding the cache. `replay_plans`
+  // (keyed by step, all < next_unplanned) are installed into the cache and
+  // re-journaled to the GCS, so in-flight steps of a resumed job are served
+  // from the journal instead of being regenerated — the same plans the
+  // checkpointed job produced, rebuilt against whatever mesh is now bound.
+  void RestoreCheckpoint(const PlannerCheckpoint& ckpt,
+                         std::map<int64_t, LoadingPlan> replay_plans = {});
 
   // Loader names that failed to answer the last metadata gather.
   const std::vector<std::string>& last_failed_loaders() const { return last_failed_loaders_; }

@@ -21,6 +21,11 @@ std::string Schema::Serialize() const {
 Result<Schema> Schema::Deserialize(const std::string& bytes) {
   WireReader r(bytes);
   uint32_t n = r.GetU32();
+  // Each field is at least a length prefix + type byte; a count claiming
+  // more than the payload could hold is corruption, not a big schema.
+  if (static_cast<uint64_t>(n) * (sizeof(uint32_t) + 1) > r.remaining()) {
+    return Status::DataLoss("corrupt schema: field count exceeds payload");
+  }
   Schema schema;
   schema.fields.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
@@ -122,6 +127,9 @@ Result<MsdfFileInfo> ReadMsdfFooter(const std::string& file_bytes) {
   MsdfFileInfo info;
   info.schema = std::move(schema.value());
   uint64_t n_groups = r.GetU64();
+  if (n_groups > r.remaining() / (3 * sizeof(int64_t))) {
+    return Status::DataLoss("corrupt footer: row-group count exceeds payload");
+  }
   info.row_groups.reserve(n_groups);
   for (uint64_t i = 0; i < n_groups; ++i) {
     RowGroupMeta g;
@@ -175,6 +183,10 @@ Result<std::vector<std::string>> MsdfReader::ReadRowGroup(size_t index) {
 
   WireReader r(bytes.value());
   uint64_t rows = r.GetU64();
+  if (rows > r.remaining() / sizeof(uint32_t)) {
+    return Status::DataLoss("corrupt row group " + std::to_string(index) +
+                            ": row count exceeds payload");
+  }
   std::vector<std::string> out;
   out.reserve(rows);
   for (uint64_t i = 0; i < rows; ++i) {

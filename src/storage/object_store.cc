@@ -1,8 +1,59 @@
 #include "src/storage/object_store.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
 
 namespace msd {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Prefix of in-flight staging files; hidden from List and rejected as a blob
+// name so a reader can never pick up a half-written temp.
+constexpr char kStagingPrefix[] = ".staging-";
+
+bool IsStagingFile(const std::string& filename) {
+  return filename.rfind(kStagingPrefix, 0) == 0;
+}
+
+// Writes `bytes` to `path` and fsyncs the file descriptor, so the data is on
+// stable storage before the caller publishes it via rename. Returns false on
+// any failure (caller reports; the temp file is removed).
+bool WriteFileDurably(const fs::path& path, const std::string& bytes) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return false;
+  }
+  size_t written = 0;
+  while (written < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n <= 0) {
+      ::close(fd);
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  bool synced = ::fsync(fd) == 0;
+  return (::close(fd) == 0) && synced;
+}
+
+// Fsyncs a directory so a just-committed rename within it survives a system
+// crash, not merely a process crash.
+void SyncDirectory(const fs::path& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
 
 Result<std::string> FileHandle::Read(int64_t offset, int64_t length) const {
   if (blob_ == nullptr) {
@@ -21,38 +72,156 @@ const std::string& FileHandle::Contents() const {
   return *blob_;
 }
 
+ObjectStore::ObjectStore(std::string root_dir, MemoryAccountant* accountant)
+    : accountant_(accountant), root_(std::move(root_dir)) {
+  std::error_code ec;
+  fs::create_directories(root_, ec);  // surfaced on first Put if it failed
+}
+
+Result<std::string> ObjectStore::DiskPathFor(const std::string& name) const {
+  if (name.empty() || name.front() == '/') {
+    return Status::InvalidArgument("blob name must be a relative path: '" + name + "'");
+  }
+  fs::path rel(name);
+  for (const fs::path& part : rel) {
+    if (part == ".." || part == ".") {
+      return Status::InvalidArgument("blob name must not contain '.' or '..': '" + name + "'");
+    }
+    if (IsStagingFile(part.string())) {
+      return Status::InvalidArgument("blob name collides with staging prefix: '" + name + "'");
+    }
+  }
+  return (fs::path(root_) / rel).string();
+}
+
 Status ObjectStore::Put(const std::string& name, std::string bytes) {
+  // Stage fully before publishing: the blob is built (and, on disk, written
+  // to a hidden temp file) outside any reader-visible state, then made
+  // visible in one atomic step — map swap in memory, rename(2) on disk.
+  auto blob = std::make_shared<const std::string>(std::move(bytes));
+  if (disk_backed()) {
+    Result<std::string> path = DiskPathFor(name);
+    if (!path.ok()) {
+      return path.status();
+    }
+    fs::path final_path(path.value());
+    std::error_code ec;
+    fs::create_directories(final_path.parent_path(), ec);
+    if (ec) {
+      return Status::Internal("mkdir for blob " + name + ": " + ec.message());
+    }
+    // Unique temp in the same directory so the rename cannot cross devices.
+    static std::atomic<uint64_t> counter{0};
+    fs::path tmp_path = final_path.parent_path() /
+                        (std::string(kStagingPrefix) + final_path.filename().string() + "." +
+                         std::to_string(counter.fetch_add(1)));
+    // Stage + fsync before publishing: the guarantee must hold across a
+    // system crash (power loss), not just a process crash — an unsynced
+    // rename could otherwise commit metadata naming a file whose data never
+    // reached the disk, tearing the single in-place LATEST pointer.
+    if (!WriteFileDurably(tmp_path, *blob)) {
+      fs::remove(tmp_path, ec);
+      return Status::Internal("cannot stage blob " + name + " at " + tmp_path.string());
+    }
+    // Publish rename and cache insert commit under one lock, so concurrent
+    // Puts to the same name leave cache and disk agreeing on the winner
+    // (staging above stays unlocked — temp names are unique).
+    std::lock_guard<std::mutex> lock(mutex_);
+    fs::rename(tmp_path, final_path, ec);  // atomic publish
+    if (ec) {
+      std::error_code rename_ec = ec;  // keep the real cause; cleanup may clear ec
+      fs::remove(tmp_path, ec);
+      return Status::Internal("publish rename for blob " + name + ": " + rename_ec.message());
+    }
+    SyncDirectory(final_path.parent_path());  // make the rename itself durable
+    blobs_[name] = std::move(blob);
+    return Status::Ok();
+  }
   std::lock_guard<std::mutex> lock(mutex_);
-  blobs_[name] = std::make_shared<const std::string>(std::move(bytes));
+  blobs_[name] = std::move(blob);
   return Status::Ok();
 }
 
 bool ObjectStore::Exists(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return blobs_.find(name) != blobs_.end();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (blobs_.find(name) != blobs_.end()) {
+      return true;
+    }
+  }
+  if (disk_backed()) {
+    Result<std::string> path = DiskPathFor(name);
+    return path.ok() && fs::is_regular_file(path.value());
+  }
+  return false;
 }
 
 Status ObjectStore::Delete(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (blobs_.erase(name) == 0) {
+  bool erased;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    erased = blobs_.erase(name) > 0;
+  }
+  if (disk_backed()) {
+    Result<std::string> path = DiskPathFor(name);
+    if (path.ok()) {
+      std::error_code ec;
+      erased = fs::remove(path.value(), ec) || erased;
+    }
+  }
+  if (!erased) {
     return Status::NotFound("no blob named " + name);
   }
   return Status::Ok();
 }
 
 std::vector<std::string> ObjectStore::List(const std::string& prefix) const {
-  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> names;
-  for (const auto& [name, blob] : blobs_) {
-    if (name.rfind(prefix, 0) == 0) {
-      names.push_back(name);
+  if (disk_backed()) {
+    // The filesystem is authoritative (another process may have written).
+    std::error_code ec;
+    fs::recursive_directory_iterator it(root_, ec);
+    if (!ec) {
+      for (const fs::directory_entry& entry : it) {
+        if (!entry.is_regular_file(ec) || IsStagingFile(entry.path().filename().string())) {
+          continue;
+        }
+        std::string name = fs::relative(entry.path(), root_, ec).generic_string();
+        if (!ec && name.rfind(prefix, 0) == 0) {
+          names.push_back(std::move(name));
+        }
+      }
+    }
+  } else {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, blob] : blobs_) {
+      if (name.rfind(prefix, 0) == 0) {
+        names.push_back(name);
+      }
     }
   }
   std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
   return names;
 }
 
 int64_t ObjectStore::TotalBytes() const {
+  if (disk_backed()) {
+    int64_t total = 0;
+    std::error_code ec;
+    fs::recursive_directory_iterator it(root_, ec);
+    if (!ec) {
+      for (const fs::directory_entry& entry : it) {
+        if (entry.is_regular_file(ec) && !IsStagingFile(entry.path().filename().string())) {
+          uintmax_t size = entry.file_size(ec);
+          if (!ec) {  // file may vanish between iteration and stat
+            total += static_cast<int64_t>(size);
+          }
+        }
+      }
+    }
+    return total;
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   int64_t total = 0;
   for (const auto& [name, blob] : blobs_) {
@@ -67,10 +236,28 @@ Result<FileHandle> ObjectStore::Open(const std::string& name,
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = blobs_.find(name);
-    if (it == blobs_.end()) {
-      return Status::NotFound("no blob named " + name);
+    if (it != blobs_.end()) {
+      blob = it->second;
     }
-    blob = it->second;
+  }
+  if (blob == nullptr && disk_backed()) {
+    // Lazy load from disk into the cache (e.g. a checkpoint written by an
+    // earlier process).
+    Result<std::string> path = DiskPathFor(name);
+    if (!path.ok()) {
+      return path.status();
+    }
+    std::ifstream in(path.value(), std::ios::binary);
+    if (in) {
+      std::string bytes((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+      blob = std::make_shared<const std::string>(std::move(bytes));
+      std::lock_guard<std::mutex> lock(mutex_);
+      blobs_[name] = blob;
+    }
+  }
+  if (blob == nullptr) {
+    return Status::NotFound("no blob named " + name);
   }
   FileHandle handle;
   handle.name_ = name;

@@ -1,5 +1,18 @@
 // ObjectStore: the HDFS/S3 stand-in — a flat namespace of immutable blobs.
 //
+// Two backing modes:
+//  - In-memory (default): blobs live in a map, as before. Used for the
+//    materialized corpus and anything whose lifetime is the process.
+//  - Disk-backed: constructed with a root directory, every blob is also a
+//    real file under it and survives the process — this is what the durable
+//    checkpoint subsystem (src/checkpoint/) writes through.
+//
+// Put is atomic in both modes: the blob is fully staged before it becomes
+// visible (write-temp-then-rename on disk, fully-built-then-swapped in
+// memory), so a reader — or a crash — can never observe a half-written blob.
+// This is the property the checkpoint manifest publish and GCS snapshot
+// write-through rely on.
+//
 // Opening a file produces a FileHandle, which charges the memory accountant
 // for socket buffers (the "dedicated socket to the file" of Sec. 2.3). Reads
 // go through the handle so the per-source access-state cost is explicit.
@@ -48,21 +61,36 @@ class FileHandle {
 class ObjectStore {
  public:
   explicit ObjectStore(MemoryAccountant* accountant = nullptr) : accountant_(accountant) {}
+  // Disk-backed store rooted at `root_dir` (created if missing). Blob names
+  // map to relative file paths; '/' separators become directories. Existing
+  // files under the root are visible immediately (loaded lazily on Open).
+  explicit ObjectStore(std::string root_dir, MemoryAccountant* accountant = nullptr);
 
+  // Atomic publish: the name either maps to the complete new bytes or to its
+  // previous content, never to a partial write (temp file + rename on disk).
   Status Put(const std::string& name, std::string bytes);
   bool Exists(const std::string& name) const;
   Status Delete(const std::string& name);
   std::vector<std::string> List(const std::string& prefix = "") const;
   int64_t TotalBytes() const;
 
+  bool disk_backed() const { return !root_.empty(); }
+  const std::string& root_dir() const { return root_; }
+
   // Opens a connection to the named blob; the handle charges socket buffers on
   // `node` until destroyed.
   Result<FileHandle> Open(const std::string& name, MemoryAccountant::NodeId node) const;
 
  private:
+  // Absolute path for `name` under the disk root; errors on names that would
+  // escape the root ("..", absolute paths) or collide with staging files.
+  Result<std::string> DiskPathFor(const std::string& name) const;
+
   mutable std::mutex mutex_;
-  std::unordered_map<std::string, std::shared_ptr<const std::string>> blobs_;
+  // Write-through cache in disk mode; the authoritative namespace otherwise.
+  mutable std::unordered_map<std::string, std::shared_ptr<const std::string>> blobs_;
   MemoryAccountant* accountant_;
+  std::string root_;
 };
 
 }  // namespace msd

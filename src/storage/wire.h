@@ -48,6 +48,13 @@ class WireReader {
 
   bool Ok() const { return ok_; }
   size_t pos() const { return pos_; }
+  // Bytes left to read. Decoders must bound element counts against this
+  // before reserving (a corrupt count would otherwise drive a huge
+  // allocation or an out-of-bounds scan long before the read fails).
+  size_t remaining() const { return ok_ ? data_.size() - pos_ : 0; }
+  // Marks the reader failed (decoder-detected corruption, e.g. an element
+  // count larger than the bytes that could possibly back it).
+  void MarkCorrupt() { ok_ = false; }
 
   uint8_t GetU8() {
     uint8_t v = 0;

@@ -227,6 +227,28 @@ TEST(DataClientTest, AsyncPullsDeliverInStreamOrder) {
   EXPECT_EQ(second->step, 1);
 }
 
+TEST(DataClientTest, RankStallHistogramCountsStreamingPulls) {
+  Session::Options options = PipelineOptions(2);
+  options.spec = {.dp = 1, .pp = 1, .cp = 1, .tp = 1};
+  auto session = Session::Create(options);
+  ASSERT_TRUE(session.ok());
+  DataClient* client = (*session)->client(0).value();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(client->NextBatch().ok());
+  }
+  Result<Session::StepStats> stats = (*session)->StepStatsFor(client->next_step());
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats->rank_stalls.size(), 1u);
+  EXPECT_EQ(stats->rank_stalls[0].pulls, 3);
+  EXPECT_LE(stats->rank_stalls[0].stalls, 3);
+  EXPECT_GE(stats->rank_stalls[0].wait_ms, 0.0);
+  // Stalled pulls and hit/stall counters agree in aggregate (the
+  // StepStatsFor wait is pure observability and is not counted).
+  PrefetchPipeline::Stats pipeline = (*session)->pipeline_stats();
+  EXPECT_EQ(pipeline.prefetch_hits + pipeline.prefetch_stalls, 3);
+  EXPECT_EQ(stats->rank_stalls[0].stalls, pipeline.prefetch_stalls);
+}
+
 TEST(DataClientTest, RankBoundsAreChecked) {
   Session::Options options = PipelineOptions(2);
   options.spec = {.dp = 1, .pp = 1, .cp = 1, .tp = 1};

@@ -1,0 +1,28 @@
+// Shared test helper: fresh per-call scratch directories under the system
+// temp root, unique across processes (pid) and within one (counter).
+#ifndef TESTS_SCRATCH_DIR_H_
+#define TESTS_SCRATCH_DIR_H_
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+
+namespace msd {
+namespace testing {
+
+inline std::string ScratchDir(const std::string& tag) {
+  static std::atomic<int> counter{0};
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     ("msd_" + tag + "_" + std::to_string(::getpid()) + "_" +
+                      std::to_string(counter.fetch_add(1))))
+                        .string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+}  // namespace testing
+}  // namespace msd
+
+#endif  // TESTS_SCRATCH_DIR_H_

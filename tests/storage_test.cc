@@ -1,12 +1,24 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <atomic>
+#include <filesystem>
+
+#include "src/actor/gcs.h"
+#include "src/loader/source_loader.h"
+#include "src/plan/dgraph.h"
 #include "src/storage/columnar.h"
 #include "src/storage/memory_model.h"
 #include "src/storage/object_store.h"
 #include "src/storage/wire.h"
+#include "tests/scratch_dir.h"
 
 namespace msd {
 namespace {
+
+namespace fs = std::filesystem;
+
+std::string ScratchDir() { return testing::ScratchDir("store"); }
 
 TEST(WireTest, RoundTripAllTypes) {
   WireWriter w;
@@ -43,6 +55,107 @@ TEST(WireTest, OversizedBytesLengthFails) {
   WireReader r(buf);
   r.GetBytes();
   EXPECT_FALSE(r.Ok());
+}
+
+TEST(WireTest, GetBytesViewOversizedReturnsEmptyAndFails) {
+  WireWriter w;
+  w.PutU32(0xFFFFFFFF);  // absurd length prefix
+  w.PutU64(7);           // trailing bytes the view must NOT reach into
+  std::string buf = w.Take();
+  WireReader r(buf);
+  std::string_view view = r.GetBytesView();
+  EXPECT_TRUE(view.empty());
+  EXPECT_FALSE(r.Ok());
+  EXPECT_EQ(r.remaining(), 0u);  // a failed reader yields nothing further
+  EXPECT_EQ(r.GetU64(), 0u);     // subsequent reads are zeroed, not OOB
+}
+
+TEST(WireTest, RemainingTracksPosition) {
+  WireWriter w;
+  w.PutU32(1);
+  w.PutU64(2);
+  std::string buf = w.Take();
+  WireReader r(buf);
+  EXPECT_EQ(r.remaining(), 12u);
+  r.GetU32();
+  EXPECT_EQ(r.remaining(), 8u);
+  r.GetU64();
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_TRUE(r.Ok());
+}
+
+// Every decode path must return Status on truncated or corrupt input —
+// never read out of bounds, never let a hostile count drive a huge
+// allocation.
+TEST(WireDecodeTest, LoadingPlanTruncationFailsAtEveryPrefix) {
+  LoadingPlan plan;
+  plan.step = 9;
+  plan.num_buckets = 2;
+  plan.num_microbatches = 2;
+  plan.broadcast_axes = {Axis::kTP};
+  for (uint64_t id = 1; id <= 8; ++id) {
+    SliceAssignment a;
+    a.sample_id = id;
+    a.bucket = static_cast<int32_t>(id % 2);
+    a.microbatch = static_cast<int32_t>(id % 2);
+    plan.assignments.push_back(a);
+  }
+  plan.fetching_ranks = {0, 1, 2, 3};
+  plan.subplans["encoder"] = LoadingPlan{};
+  std::string bytes = plan.Serialize();
+  ASSERT_TRUE(LoadingPlan::Deserialize(bytes).ok());
+  for (size_t len = 0; len < bytes.size(); len += 3) {
+    Result<LoadingPlan> truncated =
+        LoadingPlan::Deserialize(std::string_view(bytes).substr(0, len));
+    EXPECT_FALSE(truncated.ok()) << "prefix of " << len << " bytes decoded";
+    EXPECT_EQ(truncated.status().code(), StatusCode::kDataLoss);
+  }
+}
+
+TEST(WireDecodeTest, LoadingPlanCorruptCountsFailCleanly) {
+  LoadingPlan plan;
+  plan.step = 3;
+  std::string bytes = plan.Serialize();
+  // Offset of the assignment count: step(8) + axis(1) + group(4) +
+  // buckets(4) + microbatches(4) + axis-count(4, == 0 here).
+  const size_t count_offset = 8 + 1 + 4 + 4 + 4 + 4;
+  std::string corrupt = bytes;
+  for (size_t i = 0; i < 4; ++i) {
+    corrupt[count_offset + i] = static_cast<char>(0xFF);
+  }
+  Result<LoadingPlan> decoded = LoadingPlan::Deserialize(corrupt);
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(WireDecodeTest, LoaderSnapshotCorruptAndTruncatedInputFails) {
+  LoaderSnapshot snap;
+  snap.origin_file = 2;
+  snap.origin_group = 5;
+  snap.consumed_ids = {10, 11, 12};
+  std::string bytes = snap.Serialize();
+  Result<LoaderSnapshot> ok = LoaderSnapshot::Deserialize(bytes);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->consumed_ids, snap.consumed_ids);
+  // Truncate mid-id-list.
+  EXPECT_EQ(LoaderSnapshot::Deserialize(std::string_view(bytes).substr(0, bytes.size() - 5))
+                .status()
+                .code(),
+            StatusCode::kDataLoss);
+  // Corrupt the id count to an absurd value.
+  std::string corrupt = bytes;
+  for (size_t i = 0; i < 4; ++i) {
+    corrupt[16 + i] = static_cast<char>(0xFF);  // count follows two i64 cursors
+  }
+  EXPECT_EQ(LoaderSnapshot::Deserialize(corrupt).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(WireDecodeTest, SchemaCorruptFieldCountFails) {
+  Schema schema{{{"id", FieldType::kInt64}}};
+  std::string bytes = schema.Serialize();
+  for (size_t i = 0; i < 4; ++i) {
+    bytes[i] = static_cast<char>(0xFF);
+  }
+  EXPECT_EQ(Schema::Deserialize(bytes).status().code(), StatusCode::kDataLoss);
 }
 
 TEST(MemoryAccountantTest, AddAndSubPerNode) {
@@ -145,6 +258,76 @@ TEST(FileHandleTest, RangeReads) {
   EXPECT_EQ(handle.Read(2, 3).value(), "234");
   EXPECT_EQ(handle.Read(0, 10).value(), "0123456789");
   EXPECT_EQ(handle.Read(5, 6).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ObjectStoreDiskTest, BlobsSurviveTheStoreInstance) {
+  std::string dir = ScratchDir();
+  {
+    ObjectStore store(dir);
+    ASSERT_TRUE(store.disk_backed());
+    ASSERT_TRUE(store.Put("ckpt/a", "alpha").ok());
+    ASSERT_TRUE(store.Put("ckpt/b", "beta").ok());
+    ASSERT_TRUE(store.Put("top", "gamma").ok());
+  }
+  // A brand-new instance (a restarted process) sees everything.
+  ObjectStore reopened(dir);
+  EXPECT_TRUE(reopened.Exists("ckpt/a"));
+  EXPECT_EQ(reopened.List("ckpt/"), (std::vector<std::string>{"ckpt/a", "ckpt/b"}));
+  EXPECT_EQ(reopened.Open("ckpt/b", 0).value().Contents(), "beta");
+  EXPECT_EQ(reopened.TotalBytes(), 14);
+  EXPECT_TRUE(reopened.Delete("top").ok());
+  EXPECT_FALSE(reopened.Exists("top"));
+  fs::remove_all(dir);
+}
+
+TEST(ObjectStoreDiskTest, PutIsAtomicAndLeavesNoStagingDebris) {
+  std::string dir = ScratchDir();
+  ObjectStore store(dir);
+  ASSERT_TRUE(store.Put("manifest", std::string(1 << 16, 'x')).ok());
+  ASSERT_TRUE(store.Put("manifest", std::string(1 << 16, 'y')).ok());  // overwrite
+  EXPECT_EQ(store.Open("manifest", 0).value().Contents()[0], 'y');
+  // No temp files remain and none are listed: a reader can only ever see a
+  // fully published blob (write-temp-then-rename).
+  size_t files = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (entry.is_regular_file()) {
+      ++files;
+      EXPECT_EQ(entry.path().filename().string().rfind(".staging-", 0), std::string::npos);
+    }
+  }
+  EXPECT_EQ(files, 1u);
+  fs::remove_all(dir);
+}
+
+TEST(ObjectStoreDiskTest, EscapingNamesAreRejected) {
+  std::string dir = ScratchDir();
+  ObjectStore store(dir);
+  EXPECT_EQ(store.Put("../evil", "x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(store.Put("/abs", "x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(store.Put("a/../b", "x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(store.Put(".staging-sneaky", "x").code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(store.Put("fine/name-1", "x").ok());
+  fs::remove_all(dir);
+}
+
+TEST(GcsDurabilityTest, StateWritesThroughToAttachedStoreAtomically) {
+  std::string dir = ScratchDir();
+  ObjectStore durable(dir);
+  {
+    Gcs gcs;
+    gcs.AttachDurableStore(&durable);
+    gcs.PutState("ft/loader_snapshot/3", "snapshot-bytes");
+    EXPECT_EQ(durable.Open("gcs/ft/loader_snapshot/3", 0).value().Contents(),
+              "snapshot-bytes");
+  }
+  // A fresh Gcs (restarted coordinator) reads back through the store.
+  ObjectStore reopened(dir);
+  Gcs recovered;
+  recovered.AttachDurableStore(&reopened);
+  ASSERT_TRUE(recovered.GetState("ft/loader_snapshot/3").has_value());
+  EXPECT_EQ(*recovered.GetState("ft/loader_snapshot/3"), "snapshot-bytes");
+  EXPECT_FALSE(recovered.GetState("ft/loader_snapshot/9").has_value());
+  fs::remove_all(dir);
 }
 
 TEST(SchemaTest, RoundTrip) {
