@@ -26,6 +26,7 @@ PrefetchPipeline::PrefetchPipeline(Config config, int32_t world_size, ProduceFn 
       world_size_(world_size),
       cursors_(static_cast<size_t>(world_size), config.start_step),
       inflight_claims_(static_cast<size_t>(world_size), -1),
+      claim_fetch_failed_(static_cast<size_t>(world_size), 0),
       next_produce_(config.start_step),
       retire_floor_(config.start_step),
       rank_stalls_(static_cast<size_t>(world_size)),
@@ -78,14 +79,23 @@ void PrefetchPipeline::ProducerLoop() {
     if (!window_.Push(0)) {
       return;
     }
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return !running_ || (!paused_ && !halted_.has_value()); });
-    if (!running_) {
-      return;
+    int64_t produced_step;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return !running_ || (!paused_ && !halted_.has_value()); });
+      if (!running_) {
+        return;
+      }
+      ProduceOne(lock);
+      if (halted_.has_value()) {
+        return;  // terminal: waiting consumers observe the stored status
+      }
+      produced_step = next_produce_ - 1;
     }
-    ProduceOne(lock);
-    if (halted_.has_value()) {
-      return;  // terminal: waiting consumers observe the stored status
+    if (config_.on_produced) {
+      // Outside the lock and outside in_produce_: the hook may run control
+      // operations (e.g. a periodic checkpoint pausing this pipeline).
+      config_.on_produced(produced_step);
     }
   }
 }
@@ -182,12 +192,68 @@ void PrefetchPipeline::MaybeRetireLocked() {
     if (fully_fetched && !ticket.released && release_ != nullptr) {
       release_(retire_floor_);
       ticket.released = true;
+      ++stats_.steps_released;
+    }
+    if (!fully_fetched && !ticket.released && release_ != nullptr) {
+      // Floor-retired with fetches still in flight (a claim advances the
+      // cursor before its fetch lands). If those in-flight fetches are the
+      // only ones missing, remember them: the last one to land releases the
+      // step eagerly instead of waiting for the eviction backstop.
+      PendingRelease pending;
+      pending.awaiting.assign(static_cast<size_t>(world_size_), 0);
+      for (size_t rank = 0; rank < inflight_claims_.size() &&
+                            rank < static_cast<size_t>(world_size_); ++rank) {
+        if (inflight_claims_[rank] == retire_floor_ &&
+            (rank >= claim_fetch_failed_.size() || !claim_fetch_failed_[rank]) &&
+            (rank >= ticket.fetched.size() || !ticket.fetched[rank])) {
+          pending.awaiting[rank] = 1;
+          ++pending.remaining;
+        }
+      }
+      if (pending.remaining > 0 &&
+          ticket.fetch_count + pending.remaining >= world_size_) {
+        pending_release_.emplace(retire_floor_, std::move(pending));
+      }
     }
     tickets_.erase(it);
     ++retire_floor_;
     ++stats_.steps_retired;
     if (config_.depth > 0) {
       window_.TryPop();  // return the slot; wakes the blocked producer
+    }
+  }
+}
+
+void PrefetchPipeline::ResolvePendingReleaseLocked(int64_t step, int32_t rank,
+                                                   bool fetch_ok) {
+  auto it = pending_release_.find(step);
+  if (it == pending_release_.end()) {
+    return;
+  }
+  PendingRelease& pending = it->second;
+  if (static_cast<size_t>(rank) >= pending.awaiting.size() ||
+      !pending.awaiting[static_cast<size_t>(rank)]) {
+    return;
+  }
+  if (!fetch_ok) {
+    // This rank never received the step; the eviction backstop takes over.
+    pending_release_.erase(it);
+    return;
+  }
+  pending.awaiting[static_cast<size_t>(rank)] = 0;
+  if (--pending.remaining == 0) {
+    release_(step);
+    ++stats_.steps_released;
+    pending_release_.erase(it);
+  }
+}
+
+void PrefetchPipeline::AbandonPendingReleaseForRankLocked(size_t rank) {
+  for (auto it = pending_release_.begin(); it != pending_release_.end();) {
+    if (rank < it->second.awaiting.size() && it->second.awaiting[rank]) {
+      it = pending_release_.erase(it);
+    } else {
+      ++it;
     }
   }
 }
@@ -218,6 +284,7 @@ Result<RankBatch> PrefetchPipeline::NextBatch(int32_t rank) {
   int64_t step = cursors_[static_cast<size_t>(rank)];
   cursors_[static_cast<size_t>(rank)] = step + 1;
   inflight_claims_[static_cast<size_t>(rank)] = step;  // claimed, not yet handed
+  claim_fetch_failed_[static_cast<size_t>(rank)] = 0;
   MaybeRetireLocked();  // claiming may raise the consumption floor
   // Per-rank stall accounting: classify before waiting (the wait itself
   // changes next_produce_), measure the blocked time after.
@@ -236,9 +303,15 @@ Result<RankBatch> PrefetchPipeline::NextBatch(int32_t rank) {
     return produced;
   }
   Result<RankBatch> batch = GatedFetch(lock, rank, step);
-  if (batch.ok() && static_cast<size_t>(rank) < inflight_claims_.size() &&
+  if (static_cast<size_t>(rank) < inflight_claims_.size() &&
       inflight_claims_[static_cast<size_t>(rank)] == step) {
-    inflight_claims_[static_cast<size_t>(rank)] = -1;  // delivered
+    if (batch.ok()) {
+      inflight_claims_[static_cast<size_t>(rank)] = -1;  // delivered
+    } else {
+      // Undelivered (the claim stays for frontier()), but no fetch remains
+      // in flight — retirement must not register an eager release on it.
+      claim_fetch_failed_[static_cast<size_t>(rank)] = 1;
+    }
   }
   auto it = tickets_.find(step);
   // Bounds re-check: a shrinking reshard may have resized the fetch bitmap
@@ -248,6 +321,10 @@ Result<RankBatch> PrefetchPipeline::NextBatch(int32_t rank) {
     it->second.fetched[static_cast<size_t>(rank)] = 1;
     ++it->second.fetch_count;
     MaybeRetireLocked();
+  } else if (it == tickets_.end()) {
+    // The cursor floor retired this step while the fetch was in flight; if
+    // that fetch was the last one missing, release the constructor data now.
+    ResolvePendingReleaseLocked(step, rank, batch.ok());
   }
   return batch;
 }
@@ -262,11 +339,15 @@ Status PrefetchPipeline::WaitProduced(int64_t step) {
   std::unique_lock<std::mutex> lock(mu_);
   // The lockstep shim consumes in unison: every rank lagging behind `step`
   // is fast-forwarded, which retires (frees) all steps before it. Shim
-  // delivery is declared, not claimed, so stale streaming claims are voided.
+  // delivery is declared, not claimed, so stale streaming claims are voided
+  // (and any eager release awaiting them falls back to the backstop).
   for (size_t rank = 0; rank < cursors_.size(); ++rank) {
     if (cursors_[rank] < step) {
       cursors_[rank] = step;
-      inflight_claims_[rank] = -1;
+      if (inflight_claims_[rank] >= 0) {
+        AbandonPendingReleaseForRankLocked(rank);
+        inflight_claims_[rank] = -1;
+      }
     }
   }
   MaybeRetireLocked();
@@ -278,7 +359,10 @@ void PrefetchPipeline::MarkShimConsumed(int64_t step) {
   for (size_t rank = 0; rank < cursors_.size(); ++rank) {
     if (cursors_[rank] < step + 1) {
       cursors_[rank] = step + 1;
-      inflight_claims_[rank] = -1;
+      if (inflight_claims_[rank] >= 0) {
+        AbandonPendingReleaseForRankLocked(rank);
+        inflight_claims_[rank] = -1;
+      }
     }
   }
   MaybeRetireLocked();
@@ -314,9 +398,12 @@ Status PrefetchPipeline::RebuildLive(int32_t new_world_size) {
   MSD_CHECK(paused_ || config_.depth == 0);
   world_size_ = new_world_size;
   // Ranks added by the reshard start at the oldest live step; ranks removed
-  // simply drop out of the consumption floor.
+  // simply drop out of the consumption floor. Pending eager releases are
+  // tied to the old mesh's in-flight fetches — abandon them (backstop).
+  pending_release_.clear();
   cursors_.resize(static_cast<size_t>(new_world_size), retire_floor_);
   inflight_claims_.resize(static_cast<size_t>(new_world_size), -1);
+  claim_fetch_failed_.resize(static_cast<size_t>(new_world_size), 0);
   rank_stalls_.resize(static_cast<size_t>(new_world_size));
   if (rebuild_ == nullptr) {
     return Status::Ok();

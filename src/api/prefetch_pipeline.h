@@ -79,6 +79,11 @@ class PrefetchPipeline {
     // start_step. A resumed job restores the exact per-rank positions so no
     // rank re-receives or skips a step.
     std::vector<int64_t> initial_cursors;
+    // Invoked from the producer thread after each step is produced, outside
+    // the pipeline lock and outside in_produce_ — so the callback may run
+    // control operations (Session's periodic auto-checkpoint pauses the
+    // pipeline from here). Asynchronous-producer mode only (depth >= 1).
+    std::function<void(int64_t step)> on_produced;
   };
 
   // Per-rank stall histogram over the streaming path (NextBatch): how often
@@ -95,6 +100,12 @@ class PrefetchPipeline {
   struct Stats {
     int64_t steps_produced = 0;
     int64_t steps_retired = 0;
+    // Steps whose constructor data was dropped eagerly via the release hook —
+    // at retirement when every rank had already fetched, or (the sequential-
+    // streaming case) right after the last claimed fetch landed on a step the
+    // cursor floor had retired first. Steps not counted here fall back to the
+    // constructors' resident_steps eviction backstop.
+    int64_t steps_released = 0;
     int64_t prefetch_hits = 0;    // waits satisfied without blocking
     int64_t prefetch_stalls = 0;  // waits that blocked on production
     size_t queue_depth = 0;       // produced-but-unretired steps right now
@@ -202,6 +213,16 @@ class PrefetchPipeline {
     bool released = false;  // constructor data already dropped via release_
   };
 
+  // Bookkeeping for a ticket the cursor floor retired while its last fetches
+  // were still in flight (in sequential per-rank streaming the final rank's
+  // claim advances the floor before its fetch lands). Once every awaited
+  // fetch completes, the step's constructor data is released eagerly instead
+  // of lingering until the resident_steps eviction backstop.
+  struct PendingRelease {
+    std::vector<uint8_t> awaiting;  // ranks whose fetch was in flight
+    int32_t remaining = 0;
+  };
+
   void ProducerLoop();
   // Produces the next step; `lock` is held on entry/exit, dropped during the
   // produce callback.
@@ -217,6 +238,12 @@ class PrefetchPipeline {
   // Retires in-order every leading step that is fully fetched or passed by
   // all cursors; returns freed slots to the producer.
   void MaybeRetireLocked();
+  // Post-fetch bookkeeping for a floor-retired step: marks `rank`'s fetch
+  // done and fires the eager release once no fetch is awaited.
+  void ResolvePendingReleaseLocked(int64_t step, int32_t rank, bool fetch_ok);
+  // Drops the pending-release entry whose awaited rank was voided (shim
+  // fast-forward, reshard): the eviction backstop takes over.
+  void AbandonPendingReleaseForRankLocked(size_t rank);
   int64_t ConsumptionFloorLocked() const;
   Status HaltStatusLocked(int64_t step) const;
 
@@ -233,9 +260,14 @@ class PrefetchPipeline {
   // Step a rank has claimed inside NextBatch but not yet been handed (-1 =
   // none). frontier() reports such ranks at the claimed step, not past it.
   std::vector<int64_t> inflight_claims_;
+  // Set when the rank's fetch for its claimed step already returned an
+  // error: the claim is kept (a resume must re-serve the undelivered batch)
+  // but no fetch is outstanding, so retirement must not await it.
+  std::vector<uint8_t> claim_fetch_failed_;
   int64_t next_produce_ = 0;      // first unproduced step
   int64_t retire_floor_ = 0;      // first unretired step
   std::map<int64_t, Ticket> tickets_;
+  std::map<int64_t, PendingRelease> pending_release_;
   // Set when production failed: every wait for >= halted_->first errors.
   std::optional<std::pair<int64_t, Status>> halted_;
   bool running_ = false;

@@ -32,6 +32,34 @@ Result<std::unique_ptr<Session>> Session::Create(Options options) {
   if (options.prefetch_depth < 0) {
     return Status::InvalidArgument("prefetch_depth must be >= 0");
   }
+  if (options.block_cache_bytes < 0 || options.read_ahead_groups < 0 ||
+      options.storage_get_latency < 0 || options.row_group_bytes < 0) {
+    return Status::InvalidArgument("io options must be >= 0");
+  }
+  if (options.read_ahead_groups > 0 && options.block_cache_bytes <= 0) {
+    return Status::InvalidArgument(
+        "read-ahead needs the block cache (WithBlockCache) to land its "
+        "prefetched groups somewhere");
+  }
+  if (!options.cache_spill_dir.empty() && options.block_cache_bytes <= 0) {
+    return Status::InvalidArgument("cache spill needs the block cache enabled");
+  }
+  if (!options.auto_checkpoint_dir.empty() || options.auto_checkpoint_every > 0) {
+    if (options.auto_checkpoint_dir.empty() || options.auto_checkpoint_every <= 0) {
+      return Status::InvalidArgument(
+          "auto-checkpoint needs both a directory and a positive step interval");
+    }
+    if (!options.enable_checkpoint_journal) {
+      return Status::InvalidArgument(
+          "auto-checkpoint requires the checkpoint journal (WithCheckpointJournal)");
+    }
+    if (options.prefetch_depth < 1) {
+      // The periodic save fires from the producer thread; synchronous mode
+      // has no producer thread to fire it from.
+      return Status::InvalidArgument(
+          "auto-checkpoint requires an asynchronous pipeline (prefetch_depth >= 1)");
+    }
+  }
   if (options.backbone.layers == 0) {
     options.backbone = Llama12B();
   }
@@ -93,9 +121,46 @@ Status Session::Initialize() {
       src.rows_per_file = options_.rows_per_file_override;
     }
   }
-  Result<int64_t> rows = WriteCorpus(store_, corpus, options_.seed);
+  MsdfWriteOptions write_options;
+  if (options_.row_group_bytes > 0) {
+    write_options.target_row_group_bytes = options_.row_group_bytes;
+  } else {
+    write_options.target_row_group_bytes = 4 * kMiB;  // synthetic default
+  }
+  Result<int64_t> rows = WriteCorpus(store_, corpus, options_.seed, write_options);
   if (!rows.ok()) {
     return rows.status();
+  }
+
+  // 1b. Remote-storage I/O subsystem: optionally wrap the store in the
+  // latency decorator (remote semantics), then stand up the shared block
+  // cache + scheduler every loader read routes through.
+  ObjectStore* loader_store = &store_;
+  if (options_.storage_get_latency > 0) {
+    RemoteStorageParams params;
+    params.get_latency = options_.storage_get_latency;
+    if (options_.storage_bandwidth_bytes_per_sec > 0) {
+      params.bandwidth_bytes_per_sec = options_.storage_bandwidth_bytes_per_sec;
+    }
+    remote_store_ = std::make_unique<LatencyInjectingStore>(&store_, params);
+    loader_store = remote_store_.get();
+  }
+  if (options_.block_cache_bytes > 0) {
+    BlockCache::Config cache_config;
+    cache_config.capacity_bytes = options_.block_cache_bytes;
+    if (!options_.cache_spill_dir.empty()) {
+      cache_spill_store_ = std::make_unique<ObjectStore>(options_.cache_spill_dir);
+      cache_config.spill = cache_spill_store_.get();
+    }
+    block_cache_ = std::make_unique<BlockCache>(cache_config);
+    IoScheduler::Config io_config;
+    // Deep read-ahead windows need matching issue depth or the prefetches
+    // serialize behind each other; the pool threads spend their time parked
+    // in (simulated) storage latency, so scaling them is cheap.
+    io_config.threads = static_cast<size_t>(
+        std::clamp(options_.read_ahead_groups * 2, 4, 32));
+    io_config.max_inflight = static_cast<int32_t>(io_config.threads);
+    io_ = std::make_unique<IoScheduler>(loader_store, block_cache_.get(), io_config);
   }
 
   // 2. Offline source auto-partitioning from per-source cost profiles.
@@ -144,9 +209,11 @@ Status Session::Initialize() {
       }
       config.num_workers = std::max(1, part.workers_per_actor);
       config.defer_image_decode = options_.defer_image_decode;
+      config.read_ahead_groups = options_.read_ahead_groups;
+      config.ranged_reads = remote_store_ != nullptr;
       config.buffer_low_watermark =
           static_cast<size_t>(options_.samples_per_step) * 2 / std::max<size_t>(1, actors) + 8;
-      auto loader = system_.Spawn<SourceLoader>(config, &store_, &memory_);
+      auto loader = system_.Spawn<SourceLoader>(config, loader_store, &memory_, io_.get());
       Status open = system_.Ask<Status>(*loader, [l = loader.get()] { return l->Open(); });
       if (!open.ok()) {
         return open;
@@ -155,7 +222,8 @@ Status Session::Initialize() {
       if (options_.enable_fault_tolerance) {
         SourceLoaderConfig shadow_config = config;
         shadow_config.is_shadow = true;
-        auto shadow = system_.Spawn<SourceLoader>(shadow_config, &store_, &memory_);
+        auto shadow =
+            system_.Spawn<SourceLoader>(shadow_config, loader_store, &memory_, io_.get());
         Status shadow_open =
             system_.Ask<Status>(*shadow, [s = shadow.get()] { return s->Open(); });
         if (!shadow_open.ok()) {
@@ -220,6 +288,22 @@ Status Session::Initialize() {
   PrefetchPipeline::Config pipeline_config;
   pipeline_config.depth = options_.prefetch_depth;
   pipeline_config.start_step = start_step_;
+  if (options_.auto_checkpoint_every > 0) {
+    // Fires on the producer thread between steps (outside in_produce_), so
+    // the Checkpoint() pause/drain cannot deadlock with production.
+    pipeline_config.on_produced = [this](int64_t step) {
+      if ((step + 1) % options_.auto_checkpoint_every != 0) {
+        return;
+      }
+      CheckpointWriter::Options writer_options;
+      writer_options.keep_generations = options_.checkpoint_keep_generations;
+      Result<std::string> saved = Checkpoint(options_.auto_checkpoint_dir, writer_options);
+      if (!saved.ok()) {
+        MSD_LOG_WARN("auto-checkpoint after step %lld failed: %s",
+                     static_cast<long long>(step), saved.status().ToString().c_str());
+      }
+    };
+  }
   if (resume_ != nullptr && options_.spec == resume_->mesh &&
       resume_->cursors.size() == static_cast<size_t>(options_.spec.WorldSize())) {
     // Same mesh: every rank resumes at its exact cursor, so no rank
@@ -261,6 +345,11 @@ CheckpointFingerprint Session::ComputeFingerprint() const {
       w.PutF64(weight);
     }
   }
+  // Row-group sizing shapes the refill granularity and with it the buffer
+  // contents the planner sees — a resume must re-materialize identically.
+  // (Cache/read-ahead/latency options are deliberately NOT hashed: they
+  // change timing, never bytes.)
+  w.PutI64(options_.row_group_bytes);
   // The MixSchedule is an opaque callable, but its weight trajectory is
   // observable: probe it at a spread of steps so a resume with different
   // stage weights (or a missing curriculum) fails validation instead of
@@ -390,6 +479,10 @@ Result<std::string> Session::Checkpoint(const std::string& dir,
     return Status::FailedPrecondition(
         "checkpointing disabled for this session (enable_checkpoint_journal)");
   }
+  // Serialize with the other control operations: a user-called Checkpoint and
+  // the periodic auto-checkpoint (producer thread) must not interleave their
+  // pause/resume brackets with each other or with Reshard/loader recovery.
+  std::lock_guard<std::mutex> control(control_mu_);
   // Drain production so no pop/build is mid-air, then commit the pipeline's
   // retirement frontier C: steps below it are fully consumed by every rank;
   // steps in [C, P) were popped but not consumed — the resumed job re-pops
@@ -636,10 +729,56 @@ Status Session::AdvanceStep() {
   last_stats_.prefetch_hits = stats.prefetch_hits;
   last_stats_.prefetch_stalls = stats.prefetch_stalls;
   last_stats_.rank_stalls = pipeline_->rank_stalls();
+  FillIoCounters(&last_stats_);
   // The lockstep loop delivered this step; retire it so the producer can move
   // on (GetBatch still serves it from the constructors' resident window).
   pipeline_->MarkShimConsumed(step);
   return Status::Ok();
+}
+
+void Session::FillIoCounters(StepStats* stats) const {
+  if (block_cache_ != nullptr) {
+    BlockCache::Stats cache = block_cache_->stats();
+    stats->cache_hits = cache.hits;
+    stats->cache_misses = cache.misses;
+    stats->cache_evictions = cache.evictions;
+  }
+  if (io_ != nullptr) {
+    IoScheduler::Stats scheduler = io_->stats();
+    stats->io_coalesced = scheduler.coalesced;
+    stats->readahead_issued = scheduler.prefetch_issues;
+  }
+  if (remote_store_ != nullptr) {
+    stats->storage_gets = remote_store_->gets();
+  }
+}
+
+Session::IoStats Session::io_stats() const {
+  IoStats stats;
+  stats.enabled = io_ != nullptr;
+  if (block_cache_ != nullptr) {
+    stats.cache = block_cache_->stats();
+  }
+  if (io_ != nullptr) {
+    stats.scheduler = io_->stats();
+  }
+  if (remote_store_ != nullptr) {
+    stats.storage_gets = remote_store_->gets();
+    stats.storage_bytes_served = remote_store_->bytes_served();
+  }
+  return stats;
+}
+
+std::vector<std::vector<int64_t>> Session::ConstructorResidentSteps() {
+  std::vector<std::vector<int64_t>> resident;
+  resident.reserve(constructors_.size());
+  for (auto& constructor : constructors_) {
+    // Ask (not a direct call) so posted releases queued ahead of us land
+    // first — the mailbox is FIFO.
+    resident.push_back(system_.Ask<std::vector<int64_t>>(
+        *constructor, [c = constructor.get()] { return c->ResidentSteps(); }));
+  }
+  return resident;
 }
 
 Result<RankBatch> Session::GetBatch(int32_t rank) {
@@ -668,6 +807,7 @@ Result<Session::StepStats> Session::StepStatsFor(int64_t step) {
   stats.prefetch_hits = pipeline.prefetch_hits;
   stats.prefetch_stalls = pipeline.prefetch_stalls;
   stats.rank_stalls = pipeline_->rank_stalls();
+  FillIoCounters(&stats);
   return stats;
 }
 
@@ -681,6 +821,7 @@ Status Session::Reshard(const ParallelismSpec& new_spec) {
         "elastic resharding keeps the DP degree (constructors map 1:1 to DP groups); got dp=" +
         std::to_string(new_spec.dp) + " vs " + std::to_string(options_.spec.dp));
   }
+  std::lock_guard<std::mutex> control(control_mu_);
   // Drain: wait out any in-flight production so no pop/build races the mesh
   // swap, then rebuild every prefetched step against the new topology.
   pipeline_->Pause();
@@ -708,6 +849,7 @@ Result<std::string> Session::KillAndRecoverLoader(size_t loader_index) {
   if (loader_index >= loaders_.size()) {
     return Status::OutOfRange("loader index out of range");
   }
+  std::lock_guard<std::mutex> control(control_mu_);
   // Drain first: an in-flight production round may be mid-Ask to the very
   // loader we are about to kill.
   pipeline_->Pause();
@@ -810,6 +952,37 @@ SessionBuilder& SessionBuilder::WithDurableGcs(std::string dir) {
 }
 SessionBuilder& SessionBuilder::WithCheckpointJournal(bool enabled) {
   options_.enable_checkpoint_journal = enabled;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithBlockCache(int64_t bytes) {
+  options_.block_cache_bytes = bytes;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithCacheSpill(std::string dir) {
+  options_.cache_spill_dir = std::move(dir);
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithReadAhead(int32_t groups) {
+  options_.read_ahead_groups = groups;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithRemoteStorage(SimTime get_latency,
+                                                  double bandwidth_bytes_per_sec) {
+  options_.storage_get_latency = get_latency;
+  options_.storage_bandwidth_bytes_per_sec = bandwidth_bytes_per_sec;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithRowGroupBytes(int64_t bytes) {
+  options_.row_group_bytes = bytes;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithAutoCheckpoint(std::string dir, int64_t every_n_steps) {
+  options_.auto_checkpoint_dir = std::move(dir);
+  options_.auto_checkpoint_every = every_n_steps;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithCheckpointRetention(int32_t generations) {
+  options_.checkpoint_keep_generations = generations;
   return *this;
 }
 

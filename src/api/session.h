@@ -51,6 +51,9 @@
 #include "src/constructor/data_constructor.h"
 #include "src/data/source_spec.h"
 #include "src/ft/fault_tolerance.h"
+#include "src/io/block_cache.h"
+#include "src/io/io_scheduler.h"
+#include "src/io/latency_store.h"
 #include "src/loader/source_loader.h"
 #include "src/mesh/client_place_tree.h"
 #include "src/planner/autoscaler.h"
@@ -104,6 +107,35 @@ class Session {
     // never checkpoint and want the producer path at its leanest;
     // Checkpoint() then fails with FailedPrecondition.
     bool enable_checkpoint_journal = true;
+    // ---- Remote-storage I/O subsystem (src/io/) ----
+    // Shared block-cache budget for loader reads; > 0 routes every loader
+    // read (footers + row groups) through a sharded, checksummed LRU with
+    // request coalescing. 0 = legacy direct whole-blob reads.
+    int64_t block_cache_bytes = 0;
+    // Optional disk tier: blocks evicted from the memory cache spill to a
+    // disk-backed ObjectStore under this directory. Empty = no spill.
+    std::string cache_spill_dir;
+    // Row groups each loader prefetches past its read cursor (needs
+    // block_cache_bytes > 0). 0 = no read-ahead.
+    int32_t read_ahead_groups = 0;
+    // Simulated remote storage: > 0 wraps the corpus store in a
+    // LatencyInjectingStore charging this many microseconds per Get.
+    SimTime storage_get_latency = 0;
+    // Transfer rate for the latency model; 0 = sim/network default.
+    double storage_bandwidth_bytes_per_sec = 0;
+    // MSDF row-group target size for the materialized corpus; 0 = the
+    // synthetic default (4 MiB). Smaller groups = more Gets per step —
+    // the knob bench_io_cache turns to make storage latency bite.
+    int64_t row_group_bytes = 0;
+    // ---- Periodic auto-checkpoint ----
+    // Every `auto_checkpoint_every` produced steps the session checkpoints
+    // into `auto_checkpoint_dir` (piggybacking on the per-step rewind ring;
+    // requires enable_checkpoint_journal and prefetch_depth >= 1).
+    std::string auto_checkpoint_dir;
+    int64_t auto_checkpoint_every = 0;
+    // Retention for auto-checkpoints: keep the newest N ckpt-* generations
+    // (0 = keep all). Applied after each successful publish.
+    int32_t checkpoint_keep_generations = 0;
   };
 
   struct StepStats {
@@ -121,6 +153,22 @@ class Session {
     // and total blocked time per rank — localizes which ranks outrun the
     // build-ahead. Indexed by rank; empty before any streaming pull.
     std::vector<PrefetchPipeline::RankStall> rank_stalls;
+    // Remote-storage I/O counters (cumulative; zero when src/io/ disabled).
+    int64_t cache_hits = 0;
+    int64_t cache_misses = 0;
+    int64_t cache_evictions = 0;
+    int64_t io_coalesced = 0;       // reads that joined an in-flight Get
+    int64_t readahead_issued = 0;   // prefetch fetches issued by loaders
+    int64_t storage_gets = 0;       // backing Gets the (latency) store saw
+  };
+
+  // Snapshot of the remote-storage I/O subsystem's counters.
+  struct IoStats {
+    bool enabled = false;           // block cache + scheduler active
+    BlockCache::Stats cache;
+    IoScheduler::Stats scheduler;
+    int64_t storage_gets = 0;       // LatencyInjectingStore only (else 0)
+    int64_t storage_bytes_served = 0;
   };
 
   static Result<std::unique_ptr<Session>> Create(Options options);
@@ -180,9 +228,14 @@ class Session {
   Result<StepStats> StepStatsFor(int64_t step);
   // Live pipeline counters (prefetch hits/stalls, queue depth, retirement).
   PrefetchPipeline::Stats pipeline_stats() const;
+  // Remote-storage I/O counters (cache, scheduler, backing store).
+  IoStats io_stats() const;
   // Test/tooling hook: the plan and pop slices of a live (unretired) step,
   // e.g. to replay the step through ReferenceDataPlane. Slice aliases only.
   Result<PrefetchPipeline::Capture> CaptureStep(int64_t step);
+  // Test/tooling hook: steps with resident StepData per Data Constructor
+  // (flushes each constructor's mailbox — pending releases land first).
+  std::vector<std::vector<int64_t>> ConstructorResidentSteps();
 
   const ClientPlaceTree& tree() const { return tree_; }
   const MemoryAccountant& memory() const { return memory_; }
@@ -200,6 +253,9 @@ class Session {
   // seeds the FT frontier and the plan journal).
   Status ApplyResumeState();
 
+  // Copies the cumulative io-subsystem counters into `stats`.
+  void FillIoCounters(StepStats* stats) const;
+
   // Producer callbacks wired into the prefetch pipeline.
   Result<ProducedStep> ProduceStep(int64_t step);
   Status BuildConstructors(const LoadingPlan& plan,
@@ -210,6 +266,12 @@ class Session {
   Options options_;
   MemoryAccountant memory_;
   ObjectStore store_{&memory_};
+  // Remote-storage I/O subsystem (src/io/). Declared before system_ so the
+  // loaders (actors) holding pointers die first.
+  std::unique_ptr<LatencyInjectingStore> remote_store_;  // latency decorator
+  std::unique_ptr<ObjectStore> cache_spill_store_;       // disk spill tier
+  std::unique_ptr<BlockCache> block_cache_;
+  std::unique_ptr<IoScheduler> io_;
   // Disk-backed write-through target for the GCS (gcs_spill_dir option).
   // Declared before system_ so it outlives the Gcs holding a pointer to it.
   std::unique_ptr<ObjectStore> gcs_spill_;
@@ -227,6 +289,10 @@ class Session {
   // Loaded checkpoint when this session was built via ResumeFrom.
   std::unique_ptr<CheckpointState> resume_;
   int64_t start_step_ = 0;  // first step this session produces (0 unless resumed)
+  // Serializes control operations (Checkpoint — user-called or the periodic
+  // auto-checkpoint firing on the producer thread — Reshard, loader
+  // recovery) so their pause/resume brackets never interleave.
+  std::mutex control_mu_;
   std::mutex clients_mu_;
   std::unordered_map<int32_t, std::unique_ptr<DataClient>> clients_;
   int64_t next_step_ = 0;  // deprecated-shim cursor (AdvanceStep/GetBatch)
@@ -272,6 +338,22 @@ class SessionBuilder {
   SessionBuilder& WithDurableGcs(std::string dir);
   // Disables the per-step rewind recording (and with it Checkpoint()).
   SessionBuilder& WithCheckpointJournal(bool enabled = true);
+  // Routes loader reads through a shared block cache of this many bytes.
+  SessionBuilder& WithBlockCache(int64_t bytes);
+  // Disk tier for blocks evicted from the memory cache.
+  SessionBuilder& WithCacheSpill(std::string dir);
+  // Prefetches `groups` row groups past each loader's cursor.
+  SessionBuilder& WithReadAhead(int32_t groups);
+  // Simulates remote storage: every Get pays `get_latency` microseconds plus
+  // size/bandwidth (0 bandwidth = the sim/network default).
+  SessionBuilder& WithRemoteStorage(SimTime get_latency,
+                                    double bandwidth_bytes_per_sec = 0);
+  // MSDF row-group target size for the materialized corpus.
+  SessionBuilder& WithRowGroupBytes(int64_t bytes);
+  // Checkpoints into `dir` every `every_n_steps` produced steps.
+  SessionBuilder& WithAutoCheckpoint(std::string dir, int64_t every_n_steps);
+  // Keeps only the newest `generations` ckpt-* generations after each publish.
+  SessionBuilder& WithCheckpointRetention(int32_t generations);
 
   Result<std::unique_ptr<Session>> Build();
 

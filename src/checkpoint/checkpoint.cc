@@ -44,15 +44,6 @@ Result<std::string> ReadBlob(const ObjectStore& store, const std::string& key) {
 
 }  // namespace
 
-uint64_t Fnv1a64(std::string_view bytes, uint64_t seed) {
-  uint64_t hash = seed;
-  for (char c : bytes) {
-    hash ^= static_cast<uint8_t>(c);
-    hash *= 0x100000001b3ULL;
-  }
-  return hash;
-}
-
 CheckpointWriter::CheckpointWriter(ObjectStore* store, Options options)
     : store_(store), options_(options) {
   MSD_CHECK(store_ != nullptr);
@@ -156,7 +147,50 @@ Result<std::string> CheckpointWriter::Write(const CheckpointState& state) {
     return id;
   }
   MSD_RETURN_IF_ERROR(store_->Put(kCheckpointLatestKey, id));
+
+  // Phase 4 (optional): retention GC, only after the flip succeeded — an
+  // aborted publish must never cost the previous checkpoint its blobs.
+  if (options_.keep_generations > 0) {
+    GarbageCollect();
+  }
   return id;
+}
+
+void CheckpointWriter::GarbageCollect() const {
+  // Generations are the distinct "ckpt-<seq>-s<step>" prefixes; order by seq.
+  Result<std::string> latest = CheckpointReader::LatestId(*store_);
+  std::map<int64_t, std::string> generations;
+  std::vector<std::string> names = store_->List("ckpt-");
+  for (const std::string& name : names) {
+    size_t slash = name.find('/');
+    size_t dash = name.find('-', 5);
+    if (slash == std::string::npos || dash == std::string::npos || dash > slash) {
+      continue;
+    }
+    generations.emplace(std::strtoll(name.c_str() + 5, nullptr, 10),
+                        name.substr(0, slash));
+  }
+  if (static_cast<int64_t>(generations.size()) <= options_.keep_generations) {
+    return;
+  }
+  int64_t to_delete =
+      static_cast<int64_t>(generations.size()) - options_.keep_generations;
+  for (const auto& [seq, gen] : generations) {
+    if (to_delete <= 0) {
+      break;
+    }
+    --to_delete;  // generations iterates oldest-first
+    if (latest.ok() && gen == latest.value()) {
+      // Never delete what LATEST names, even if newer staged (unpublished)
+      // generations outrank it by sequence number.
+      continue;
+    }
+    for (const std::string& name : names) {
+      if (name.rfind(gen + "/", 0) == 0) {
+        store_->Delete(name);  // best-effort; leftovers retried next GC
+      }
+    }
+  }
 }
 
 Result<std::string> CheckpointReader::LatestId(const ObjectStore& store) {

@@ -40,6 +40,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/common/hash.h"
 #include "src/common/status.h"
 #include "src/mesh/parallelism.h"
 #include "src/planner/planner.h"
@@ -50,9 +51,6 @@ namespace msd {
 inline constexpr uint32_t kCheckpointFormatVersion = 1;
 // Pointer blob naming the latest fully published checkpoint id.
 inline constexpr char kCheckpointLatestKey[] = "LATEST";
-
-// FNV-1a 64-bit: blob checksums and the options fingerprint.
-uint64_t Fnv1a64(std::string_view bytes, uint64_t seed = 0xcbf29ce484222325ULL);
 
 // Options that must be identical between the checkpointed job and the
 // resuming one for the replay to be byte-faithful. The mesh and prefetch
@@ -101,6 +99,11 @@ class CheckpointWriter {
     // never flip the LATEST pointer — exactly the window a real crash
     // between blob write and manifest publish would hit.
     bool abort_before_publish = false;
+    // Retention: after a successful LATEST flip, delete all but the newest
+    // `keep_generations` ckpt-* generations (orphans from aborted publishes
+    // included). The generation LATEST names is never deleted. 0 keeps
+    // everything; GC never runs on an aborted (unpublished) write.
+    int32_t keep_generations = 0;
   };
 
   CheckpointWriter(ObjectStore* store, Options options);
@@ -112,6 +115,11 @@ class CheckpointWriter {
   Result<std::string> Write(const CheckpointState& state);
 
  private:
+  // Deletes every blob of ckpt-* generations older than the newest
+  // keep_generations, sparing the generation LATEST points at. Best-effort:
+  // a failed delete is skipped (retried by the next write's GC).
+  void GarbageCollect() const;
+
   ObjectStore* store_;
   Options options_;
 };

@@ -1,0 +1,22 @@
+// FNV-1a 64-bit: the repository's integrity hash — checkpoint blob checksums,
+// the options fingerprint, and block-cache entry verification all use it.
+#ifndef SRC_COMMON_HASH_H_
+#define SRC_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace msd {
+
+inline uint64_t Fnv1a64(std::string_view bytes, uint64_t seed = 0xcbf29ce484222325ULL) {
+  uint64_t hash = seed;
+  for (char c : bytes) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace msd
+
+#endif  // SRC_COMMON_HASH_H_

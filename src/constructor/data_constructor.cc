@@ -314,6 +314,16 @@ void DataConstructor::ReleaseStep(int64_t step) {
   steps_.erase(step);
 }
 
+std::vector<int64_t> DataConstructor::ResidentSteps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int64_t> steps;
+  steps.reserve(steps_.size());
+  for (const auto& [step, data] : steps_) {
+    steps.push_back(step);
+  }
+  return steps;
+}
+
 void DataConstructor::EvictOldSteps(int64_t current_step) {
   while (!steps_.empty() && steps_.begin()->first <= current_step - config_.resident_steps) {
     steps_.erase(steps_.begin());

@@ -110,6 +110,8 @@ class DataConstructor : public Actor {
   const DataConstructorConfig& config() const { return config_; }
   int64_t steps_built() const { return steps_built_.load(std::memory_order_relaxed); }
   int64_t batches_served() const { return batches_served_.load(std::memory_order_relaxed); }
+  // Steps whose StepData is currently resident (tests assert eager release).
+  std::vector<int64_t> ResidentSteps() const;
 
  private:
   using SampleMap = std::unordered_map<uint64_t, std::shared_ptr<const Sample>>;

@@ -1,0 +1,211 @@
+#include "src/io/block_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/hash.h"
+#include "src/common/logging.h"
+
+namespace msd {
+
+std::string FlattenBlockKey(const BlockKey& key) {
+  return key.name + ":" + std::to_string(key.offset) + "+" + std::to_string(key.length);
+}
+
+BlockCache::BlockCache(Config config) : config_(config) {
+  MSD_CHECK(config_.capacity_bytes > 0);
+  MSD_CHECK(config_.shards >= 1);
+  per_shard_budget_ =
+      std::max<int64_t>(1, config_.capacity_bytes / static_cast<int64_t>(config_.shards));
+  shards_.reserve(static_cast<size_t>(config_.shards));
+  for (int32_t i = 0; i < config_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+BlockCache::Shard& BlockCache::ShardFor(const std::string& flat_key) {
+  return *shards_[Fnv1a64(flat_key) % shards_.size()];
+}
+
+std::string BlockCache::SpillBlobName(const std::string& flat_key) const {
+  // ':' and '+' are path-safe; keep keys under one prefix so the spill store
+  // can host other blobs (e.g. a checkpoint) without collisions.
+  return "block-spill/" + flat_key;
+}
+
+// Memory-tier probe shared by Lookup and PeekResident; shard.mu held.
+// Returns the bytes, or nullptr after dropping a checksum-corrupt entry.
+std::shared_ptr<const std::string> BlockCache::ResidentLocked(Shard& shard,
+                                                              const std::string& flat) {
+  auto it = shard.index.find(flat);
+  if (it == shard.index.end()) {
+    return nullptr;
+  }
+  Entry& entry = *it->second;
+  if (Fnv1a64(*entry.bytes) != entry.checksum) {
+    // Bit rot (or a hostile test): drop the entry and read as a miss so the
+    // caller re-fetches authoritative bytes.
+    ++shard.stats.corruptions;
+    shard.resident_bytes -= static_cast<int64_t>(entry.bytes->size());
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return entry.bytes;
+}
+
+std::shared_ptr<const std::string> BlockCache::PeekResident(const BlockKey& key) {
+  const std::string flat = FlattenBlockKey(key);
+  Shard& shard = ShardFor(flat);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return ResidentLocked(shard, flat);
+}
+
+std::shared_ptr<const std::string> BlockCache::Lookup(const BlockKey& key) {
+  const std::string flat = FlattenBlockKey(key);
+  Shard& shard = ShardFor(flat);
+  std::vector<Entry> victims;
+  std::shared_ptr<const std::string> result;
+  {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    ++shard.stats.lookups;
+    if (std::shared_ptr<const std::string> resident = ResidentLocked(shard, flat)) {
+      ++shard.stats.hits;
+      return resident;
+    }
+    // Second chance: the disk spill tier. The entry is claimed (erased)
+    // before the read so the disk I/O can run unlocked; a concurrent Lookup
+    // of the same block during that window misses and re-fetches from
+    // backing storage — correct, just one wasted Get.
+    auto spilled = shard.spilled.find(flat);
+    if (spilled != shard.spilled.end() && config_.spill != nullptr) {
+      const SpillMeta meta = spilled->second;
+      shard.spilled.erase(spilled);
+      lock.unlock();
+      Result<FileHandle> handle = config_.spill->Open(SpillBlobName(flat), 0);
+      std::shared_ptr<const std::string> bytes;
+      bool verified = false;
+      bool corrupt = false;
+      if (handle.ok()) {
+        bytes = std::make_shared<const std::string>(handle->Contents());
+        verified = bytes->size() == meta.size && Fnv1a64(*bytes) == meta.checksum;
+        corrupt = !verified;
+      }
+      lock.lock();
+      if (verified) {
+        ++shard.stats.hits;
+        ++shard.stats.spill_hits;
+        // Promote back into memory (may immediately re-evict others) —
+        // unless a racing Insert repopulated the key while the lock was
+        // dropped, in which case the resident copy stays authoritative and
+        // the verified bytes are simply served.
+        if (shard.index.find(flat) == shard.index.end()) {
+          shard.lru.push_front(Entry{flat, bytes, meta.checksum});
+          shard.index[flat] = shard.lru.begin();
+          shard.resident_bytes += static_cast<int64_t>(bytes->size());
+          victims = EvictLocked(shard);
+        }
+        result = bytes;
+      } else {
+        // Unreadable or corrupt spill entry: already forgotten above.
+        if (corrupt) {
+          ++shard.stats.corruptions;
+        }
+        ++shard.stats.misses;
+      }
+    } else {
+      ++shard.stats.misses;
+    }
+  }
+  SpillOutsideLock(shard, std::move(victims));
+  return result;
+}
+
+void BlockCache::Insert(const BlockKey& key, std::shared_ptr<const std::string> bytes) {
+  MSD_CHECK(bytes != nullptr);
+  const std::string flat = FlattenBlockKey(key);
+  Shard& shard = ShardFor(flat);
+  std::vector<Entry> victims;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(flat);
+    if (it != shard.index.end()) {
+      shard.resident_bytes -= static_cast<int64_t>(it->second->bytes->size());
+      shard.lru.erase(it->second);
+      shard.index.erase(it);
+    }
+    shard.spilled.erase(flat);  // the fresh copy supersedes any spilled one
+    shard.lru.push_front(Entry{flat, bytes, Fnv1a64(*bytes)});
+    shard.index[flat] = shard.lru.begin();
+    shard.resident_bytes += static_cast<int64_t>(bytes->size());
+    ++shard.stats.insertions;
+    victims = EvictLocked(shard);
+  }
+  SpillOutsideLock(shard, std::move(victims));
+}
+
+std::vector<BlockCache::Entry> BlockCache::EvictLocked(Shard& shard) {
+  std::vector<Entry> victims;
+  while (shard.resident_bytes > per_shard_budget_ && shard.lru.size() > 1) {
+    Entry& victim = shard.lru.back();
+    shard.resident_bytes -= static_cast<int64_t>(victim.bytes->size());
+    shard.index.erase(victim.key);
+    if (config_.spill != nullptr) {
+      victims.push_back(std::move(victim));
+    }
+    shard.lru.pop_back();
+    ++shard.stats.evictions;
+  }
+  return victims;
+}
+
+void BlockCache::SpillOutsideLock(Shard& shard, std::vector<Entry> victims) {
+  // The spill Put fsyncs; doing it under shard.mu would stall every reader
+  // of the shard per eviction. Between the eviction and the index write
+  // below the block is in neither tier — a concurrent Lookup re-fetches
+  // from backing storage, and verify-on-promote catches any racing
+  // blob/index divergence as a plain miss.
+  for (Entry& victim : victims) {
+    if (config_.spill->Put(SpillBlobName(victim.key), *victim.bytes).ok()) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.spilled[victim.key] = SpillMeta{victim.checksum, victim.bytes->size()};
+      ++shard.stats.spill_writes;
+    }
+  }
+}
+
+BlockCache::Stats BlockCache::stats() const {
+  Stats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.lookups += shard->stats.lookups;
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.insertions += shard->stats.insertions;
+    total.evictions += shard->stats.evictions;
+    total.spill_writes += shard->stats.spill_writes;
+    total.spill_hits += shard->stats.spill_hits;
+    total.corruptions += shard->stats.corruptions;
+    total.resident_bytes += shard->resident_bytes;
+  }
+  return total;
+}
+
+bool BlockCache::CorruptResidentBlockForTest(const BlockKey& key) {
+  const std::string flat = FlattenBlockKey(key);
+  Shard& shard = ShardFor(flat);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(flat);
+  if (it == shard.index.end() || it->second->bytes->empty()) {
+    return false;
+  }
+  std::string mutated = *it->second->bytes;
+  mutated[mutated.size() / 2] = static_cast<char>(mutated[mutated.size() / 2] ^ 0x40);
+  // Swap in the flipped copy but keep the original checksum, so verification
+  // must catch it.
+  it->second->bytes = std::make_shared<const std::string>(std::move(mutated));
+  return true;
+}
+
+}  // namespace msd

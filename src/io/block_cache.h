@@ -1,0 +1,129 @@
+// BlockCache: a sharded, checksummed LRU over byte-range blocks.
+//
+// The read-through tier between the loaders and (simulated-)remote storage:
+// blocks are keyed by (object, offset, length) — exactly the ranges the MSDF
+// readers request (row groups, footers, tails), so a hit returns the same
+// bytes a backing Get would, and the data plane stays byte-identical with the
+// cache on or off.
+//
+//  - Sharded: the key hash picks a shard; each shard has its own mutex, LRU
+//    list, and slice of the memory budget, so concurrent loaders do not
+//    serialize on one lock.
+//  - Checksummed: every entry carries its FNV-1a at insert time and is
+//    re-verified on hit. A mismatch (bit rot, stray write) drops the entry,
+//    counts a corruption, and reads as a miss — the caller re-fetches from
+//    backing storage instead of serving poison.
+//  - Spill tier (optional): evicted blocks are written to a disk-backed
+//    ObjectStore and promoted back on demand, checksum-verified against the
+//    in-memory spill index — a second-chance tier bigger than RAM.
+#ifndef SRC_IO_BLOCK_CACHE_H_
+#define SRC_IO_BLOCK_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/storage/object_store.h"
+
+namespace msd {
+
+struct BlockKey {
+  std::string name;  // object the block belongs to
+  int64_t offset = 0;
+  int64_t length = 0;
+};
+
+class BlockCache {
+ public:
+  struct Config {
+    int64_t capacity_bytes = 256 * kMiB;
+    int32_t shards = 8;
+    // Evicted blocks spill here when set (disk-backed ObjectStore); nullptr
+    // disables the tier. Not owned.
+    ObjectStore* spill = nullptr;
+  };
+
+  struct Stats {
+    int64_t lookups = 0;
+    int64_t hits = 0;         // served from memory (includes spill promotions)
+    int64_t misses = 0;
+    int64_t insertions = 0;
+    int64_t evictions = 0;
+    int64_t spill_writes = 0;  // evictions that landed in the disk tier
+    int64_t spill_hits = 0;    // misses rescued by the disk tier
+    int64_t corruptions = 0;   // checksum mismatches dropped (memory or spill)
+    int64_t resident_bytes = 0;
+  };
+
+  explicit BlockCache(Config config);
+
+  // The cached bytes for `key`, or nullptr on miss. Verifies the entry
+  // checksum (corrupt entries are dropped and read as a miss) and consults
+  // the spill tier before giving up.
+  std::shared_ptr<const std::string> Lookup(const BlockKey& key);
+
+  // Memory-tier-only probe that leaves the hit/miss counters untouched (the
+  // checksum is still verified; corruption still counts). The IoScheduler
+  // uses it for the re-check under its own mutex, where touching the spill
+  // tier's disk would serialize every concurrent fetch.
+  std::shared_ptr<const std::string> PeekResident(const BlockKey& key);
+
+  // Inserts (or refreshes) the block, evicting LRU entries over budget.
+  void Insert(const BlockKey& key, std::shared_ptr<const std::string> bytes);
+
+  Stats stats() const;
+  const Config& config() const { return config_; }
+
+  // Test hook: flips one bit of the resident copy of `key` without updating
+  // its checksum, so the next Lookup must detect the corruption. Returns
+  // false if the block is not resident in memory.
+  bool CorruptResidentBlockForTest(const BlockKey& key);
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const std::string> bytes;
+    uint64_t checksum = 0;
+  };
+  struct SpillMeta {
+    uint64_t checksum = 0;
+    uint64_t size = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    // Blocks currently living only in the spill tier.
+    std::unordered_map<std::string, SpillMeta> spilled;
+    int64_t resident_bytes = 0;
+    Stats stats;
+  };
+
+  Shard& ShardFor(const std::string& flat_key);
+  // Memory-tier probe (checksum-verified, corruption dropped); shard.mu held.
+  std::shared_ptr<const std::string> ResidentLocked(Shard& shard, const std::string& flat_key);
+  // Evicts from the back of `shard` until it fits its budget slice; returns
+  // the victims destined for the spill tier. Called with shard.mu held.
+  std::vector<Entry> EvictLocked(Shard& shard);
+  // Writes the victims to the spill tier and records their metadata. Must
+  // be called WITHOUT shard.mu held — the Put fsyncs.
+  void SpillOutsideLock(Shard& shard, std::vector<Entry> victims);
+  std::string SpillBlobName(const std::string& flat_key) const;
+
+  Config config_;
+  int64_t per_shard_budget_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+// Canonical flat form of a key ("name:offset+length"), shared by the cache
+// and the scheduler's in-flight dedup map.
+std::string FlattenBlockKey(const BlockKey& key);
+
+}  // namespace msd
+
+#endif  // SRC_IO_BLOCK_CACHE_H_

@@ -1,0 +1,109 @@
+#include "src/io/io_scheduler.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace msd {
+
+IoScheduler::IoScheduler(const ObjectStore* store, BlockCache* cache, Config config)
+    : store_(store), cache_(cache), config_(config) {
+  MSD_CHECK(store_ != nullptr && cache_ != nullptr);
+  MSD_CHECK(config_.threads >= 1);
+  MSD_CHECK(config_.max_inflight >= 1);
+  pool_ = std::make_unique<ThreadPool>(config_.threads);
+}
+
+IoScheduler::~IoScheduler() { pool_->Shutdown(); }
+
+std::shared_future<IoScheduler::BlockResult> IoScheduler::Fetch(const std::string& name,
+                                                                int64_t offset, int64_t length,
+                                                                bool is_prefetch) {
+  const BlockKey key{name, offset, length};
+  const std::string flat = FlattenBlockKey(key);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.requests;
+    auto it = inflight_.find(flat);
+    if (it != inflight_.end()) {
+      ++stats_.coalesced;
+      if (is_prefetch) {
+        ++stats_.prefetch_issues;
+      }
+      return it->second;
+    }
+  }
+  // Full cache probe outside mu_: with a spill tier this can touch the disk
+  // (read + promotion writes), and holding the scheduler-global lock across
+  // that would serialize every concurrent fetch and worker completion.
+  if (std::shared_ptr<const std::string> cached = cache_->Lookup(key)) {
+    std::promise<BlockResult> ready;
+    ready.set_value(std::move(cached));
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.cache_hits;
+    return ready.get_future().share();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // Re-check both maps: a fetch that completed between the probes above has
+  // moved its block from the in-flight map into the cache. The memory-only
+  // peek keeps the unlikely re-check off the spill tier's disk.
+  auto it = inflight_.find(flat);
+  if (it != inflight_.end()) {
+    ++stats_.coalesced;
+    if (is_prefetch) {
+      ++stats_.prefetch_issues;
+    }
+    return it->second;
+  }
+  if (std::shared_ptr<const std::string> cached = cache_->PeekResident(key)) {
+    std::promise<BlockResult> ready;
+    ready.set_value(std::move(cached));
+    ++stats_.cache_hits;
+    return ready.get_future().share();
+  }
+  if (is_prefetch) {
+    ++stats_.prefetch_issues;
+  }
+  auto promise = std::make_shared<std::promise<BlockResult>>();
+  std::shared_future<BlockResult> future = promise->get_future().share();
+  inflight_.emplace(flat, future);
+  ++stats_.issued_gets;
+  pool_->Submit([this, key, flat, promise] {
+    {
+      // Bounded depth: wait for a slot before touching the store.
+      std::unique_lock<std::mutex> lock(mu_);
+      depth_cv_.wait(lock, [&] { return active_gets_ < config_.max_inflight; });
+      ++active_gets_;
+    }
+    Result<std::string> bytes = store_->Get(key.name, key.offset, key.length);
+    BlockResult result =
+        bytes.ok()
+            ? BlockResult(std::make_shared<const std::string>(std::move(bytes.value())))
+            : BlockResult(bytes.status());
+    if (result.ok()) {
+      // Insert before clearing the in-flight entry: a concurrent Fetch must
+      // always find the block in the cache or the in-flight map.
+      cache_->Insert(key, result.value());
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_gets_;
+      inflight_.erase(flat);
+    }
+    depth_cv_.notify_one();
+    promise->set_value(std::move(result));
+  });
+  return future;
+}
+
+IoScheduler::BlockResult IoScheduler::ReadBlock(const std::string& name, int64_t offset,
+                                                int64_t length) {
+  return Fetch(name, offset, length).get();
+}
+
+IoScheduler::Stats IoScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace msd

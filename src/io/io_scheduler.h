@@ -1,0 +1,88 @@
+// IoScheduler: the async read engine between the block cache and storage.
+//
+// Every loader-side byte-range read funnels through here:
+//
+//   Fetch(name, offset, length)
+//     -> BlockCache hit        => ready future, no I/O
+//     -> already in flight     => join the existing future (coalescing: N
+//                                 concurrent requesters, exactly one Get)
+//     -> otherwise             => enqueue a bounded-depth async Get on the
+//                                 ThreadPool; the result lands in the cache
+//                                 before the future resolves.
+//
+// Bounded depth: at most `max_inflight` backing Gets run concurrently —
+// read-ahead can queue far more than the (simulated) storage endpoint should
+// see at once. Completion inserts into the cache first and only then clears
+// the in-flight entry, so a concurrent requester always finds the block in
+// one of the two maps and a backing read is never duplicated.
+#ifndef SRC_IO_IO_SCHEDULER_H_
+#define SRC_IO_IO_SCHEDULER_H_
+
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/thread_pool.h"
+#include "src/io/block_cache.h"
+#include "src/storage/object_store.h"
+
+namespace msd {
+
+class IoScheduler {
+ public:
+  struct Config {
+    size_t threads = 4;        // pool executing the backing Gets
+    int32_t max_inflight = 8;  // concurrent backing Gets (queue depth bound)
+  };
+
+  struct Stats {
+    int64_t requests = 0;        // Fetch calls
+    int64_t cache_hits = 0;      // served straight from the cache
+    int64_t coalesced = 0;       // joined an already in-flight read
+    int64_t issued_gets = 0;     // backing reads actually issued
+    // Prefetch Fetches that issued or joined a backing read (cache hits are
+    // excluded: a warm re-issued window performs no I/O and counts nothing).
+    int64_t prefetch_issues = 0;
+  };
+
+  using BlockResult = Result<std::shared_ptr<const std::string>>;
+
+  // Neither the store nor the cache is owned; both must outlive the scheduler.
+  IoScheduler(const ObjectStore* store, BlockCache* cache, Config config);
+  ~IoScheduler();  // drains in-flight reads
+
+  IoScheduler(const IoScheduler&) = delete;
+  IoScheduler& operator=(const IoScheduler&) = delete;
+
+  // Async read of [offset, offset+length) of `name`. `is_prefetch` only tags
+  // the stats (read-ahead accounting).
+  std::shared_future<BlockResult> Fetch(const std::string& name, int64_t offset,
+                                        int64_t length, bool is_prefetch = false);
+
+  // Blocking convenience: Fetch + wait.
+  BlockResult ReadBlock(const std::string& name, int64_t offset, int64_t length);
+
+  Stats stats() const;
+  BlockCache* cache() { return cache_; }
+  const ObjectStore* store() const { return store_; }
+
+ private:
+  const ObjectStore* store_;
+  BlockCache* cache_;
+  Config config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable depth_cv_;
+  int32_t active_gets_ = 0;
+  std::unordered_map<std::string, std::shared_future<BlockResult>> inflight_;
+  Stats stats_;
+  // Last member: its destructor drains tasks that touch the fields above.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace msd
+
+#endif  // SRC_IO_IO_SCHEDULER_H_

@@ -1,0 +1,71 @@
+// LatencyInjectingStore: an ObjectStore decorator that makes storage remote.
+//
+// MegaScale-Data reads from HDFS/S3-class storage, where every Get pays an
+// RPC floor plus payload transfer at endpoint bandwidth. The in-memory
+// ObjectStore answers in nanoseconds, which hides exactly the stall the
+// src/io/ cache + read-ahead subsystem exists to remove. This decorator
+// wraps any ObjectStore and charges each data read (Get, Open) a configurable
+// latency + size/bandwidth delay — defaults reuse the sim/network constants —
+// so remote-storage behaviour is benchmarkable in-process (bench_io_cache).
+//
+// Only data-plane reads are charged; metadata ops (Exists, SizeOf, List) and
+// writes pass through untouched, so corpus materialization stays fast and the
+// Get counters cleanly measure the loader read path.
+#ifndef SRC_IO_LATENCY_STORE_H_
+#define SRC_IO_LATENCY_STORE_H_
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/sim/network.h"
+#include "src/storage/object_store.h"
+
+namespace msd {
+
+struct RemoteStorageParams {
+  // Wall-clock delay charged per Get/Open, before transfer. Defaults to the
+  // network model's RPC floor.
+  SimTime get_latency = NetworkParams().base_latency;
+  // Payload transfer rate; <= 0 disables the bandwidth term.
+  double bandwidth_bytes_per_sec = NetworkParams().bandwidth_bytes_per_sec;
+};
+
+// Pure decorator: every virtual member forwards to `base`; the inherited
+// in-memory storage of the ObjectStore base subobject is never used.
+class LatencyInjectingStore final : public ObjectStore {
+ public:
+  LatencyInjectingStore(ObjectStore* base, RemoteStorageParams params);
+
+  Status Put(const std::string& name, std::string bytes) override;
+  bool Exists(const std::string& name) const override;
+  Status Delete(const std::string& name) override;
+  std::vector<std::string> List(const std::string& prefix = "") const override;
+  int64_t TotalBytes() const override;
+  bool disk_backed() const override;
+  const std::string& root_dir() const override;
+  Result<FileHandle> Open(const std::string& name, MemoryAccountant::NodeId node) const override;
+  Result<std::string> Get(const std::string& name, int64_t offset,
+                          int64_t length) const override;
+  Result<int64_t> SizeOf(const std::string& name) const override;
+
+  const RemoteStorageParams& params() const { return params_; }
+  // Backing reads issued (Get + Open) — the dedup assertions in
+  // tests/io_test.cc count these.
+  int64_t gets() const { return gets_.load(std::memory_order_relaxed); }
+  int64_t bytes_served() const { return bytes_served_.load(std::memory_order_relaxed); }
+
+ private:
+  // Sleeps get_latency + bytes/bandwidth and bumps the counters.
+  void ChargeGet(int64_t bytes) const;
+
+  ObjectStore* base_;
+  RemoteStorageParams params_;
+  mutable std::atomic<int64_t> gets_{0};
+  mutable std::atomic<int64_t> bytes_served_{0};
+};
+
+}  // namespace msd
+
+#endif  // SRC_IO_LATENCY_STORE_H_

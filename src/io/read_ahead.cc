@@ -1,0 +1,137 @@
+#include "src/io/read_ahead.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/common/logging.h"
+
+namespace msd {
+
+namespace {
+
+// Non-blocking readiness probe for a shared_future.
+template <typename T>
+bool Ready(const std::shared_future<T>& f) {
+  return f.valid() &&
+         f.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+}
+
+}  // namespace
+
+ReadAhead::ReadAhead(IoScheduler* io, int32_t groups_ahead) : io_(io), k_(groups_ahead) {
+  MSD_CHECK(io_ != nullptr);
+  MSD_CHECK(k_ >= 0);
+}
+
+const MsdfFileInfo* ReadAhead::InfoFor(const std::string& name) {
+  auto ready = infos_.find(name);
+  if (ready != infos_.end()) {
+    return &ready->second;
+  }
+  if (failed_.count(name) > 0) {
+    return nullptr;
+  }
+  auto it = pending_.find(name);
+  if (it == pending_.end()) {
+    Result<int64_t> size = io_->store()->SizeOf(name);
+    if (!size.ok() ||
+        size.value() < static_cast<int64_t>(sizeof(uint32_t) + kMsdfTailBytes)) {
+      failed_.insert(name);
+      return nullptr;
+    }
+    PendingFooter pending;
+    pending.file_size = size.value();
+    pending.tail = io_->Fetch(name, size.value() - static_cast<int64_t>(kMsdfTailBytes),
+                              static_cast<int64_t>(kMsdfTailBytes), /*is_prefetch=*/true);
+    it = pending_.emplace(name, std::move(pending)).first;
+  }
+  PendingFooter& pending = it->second;
+  if (!pending.body.valid()) {
+    if (!Ready(pending.tail)) {
+      return nullptr;  // harvest on a later Advance
+    }
+    const IoScheduler::BlockResult& tail = pending.tail.get();
+    Result<uint64_t> footer_offset =
+        tail.ok() ? ParseMsdfTail(**tail, static_cast<uint64_t>(pending.file_size))
+                  : Result<uint64_t>(tail.status());
+    if (!footer_offset.ok()) {
+      MSD_LOG_WARN("read-ahead: footer of %s unreadable (%s); prefetch skips this file",
+                   name.c_str(), footer_offset.status().ToString().c_str());
+      failed_.insert(name);
+      pending_.erase(it);
+      return nullptr;
+    }
+    pending.body_offset = static_cast<int64_t>(footer_offset.value());
+    pending.body = io_->Fetch(
+        name, pending.body_offset,
+        pending.file_size - static_cast<int64_t>(kMsdfTailBytes) - pending.body_offset,
+        /*is_prefetch=*/true);
+  }
+  if (!Ready(pending.body)) {
+    return nullptr;
+  }
+  const IoScheduler::BlockResult& body = pending.body.get();
+  Result<MsdfFileInfo> info =
+      body.ok() ? ParseMsdfFooterBody(**body, pending.file_size - pending.body_offset)
+                : Result<MsdfFileInfo>(body.status());
+  pending_.erase(it);
+  if (!info.ok()) {
+    failed_.insert(name);
+    return nullptr;
+  }
+  return &infos_.emplace(name, std::move(info.value())).first->second;
+}
+
+int64_t ReadAhead::Advance(const std::vector<std::string>& files, int64_t file_index,
+                           int64_t group_index) {
+  // Drop per-file state the cursor has moved past (it never returns outside
+  // a Reset), so retained footers stay bounded by the lookahead window.
+  for (int64_t f = pruned_below_; f < file_index && f < static_cast<int64_t>(files.size());
+       ++f) {
+    infos_.erase(files[static_cast<size_t>(f)]);
+    pending_.erase(files[static_cast<size_t>(f)]);
+    failed_.erase(files[static_cast<size_t>(f)]);
+  }
+  pruned_below_ = std::max(pruned_below_, file_index);
+
+  int64_t issued = 0;
+  int64_t budget = k_;
+  int64_t file = file_index;
+  int64_t group = group_index;
+  while (budget > 0 && file < static_cast<int64_t>(files.size())) {
+    const std::string& name = files[static_cast<size_t>(file)];
+    const MsdfFileInfo* info = InfoFor(name);
+    if (info == nullptr) {
+      // Footer still in flight (its fetches were just issued) or unreadable;
+      // either way do not stall the loader here.
+      break;
+    }
+    if (group >= static_cast<int64_t>(info->row_groups.size())) {
+      ++file;
+      group = 0;
+      continue;
+    }
+    const bool already_issued =
+        file < hwm_file_ || (file == hwm_file_ && group <= hwm_group_);
+    if (!already_issued) {
+      const RowGroupMeta& meta = info->row_groups[static_cast<size_t>(group)];
+      io_->Fetch(name, meta.offset, meta.bytes, /*is_prefetch=*/true);
+      ++issued;
+      hwm_file_ = file;
+      hwm_group_ = group;
+    }
+    --budget;  // the lookahead window is consumed either way
+    ++group;
+  }
+  groups_prefetched_ += issued;
+  return issued;
+}
+
+void ReadAhead::Reset() {
+  hwm_file_ = -1;
+  hwm_group_ = -1;
+  pruned_below_ = 0;
+  failed_.clear();  // a transient storage error gets a retry after a rewind
+}
+
+}  // namespace msd

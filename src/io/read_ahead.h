@@ -1,0 +1,87 @@
+// ReadAhead: cursor-driven row-group prefetch for one SourceLoader.
+//
+// A loader consumes row groups strictly in (file, group) order, so its cursor
+// predicts its next reads exactly. Each time the cursor advances, this policy
+// issues async fetches (through the IoScheduler, into the BlockCache) for the
+// next K row groups ahead of it — crossing file boundaries by resolving the
+// next file's footer through the same cache.
+//
+// Non-blocking by design: footers that are not yet resident are requested as
+// prefetches and harvested on a later Advance() call instead of stalling the
+// loader. The loader's own synchronous read of a prefetched block then either
+// hits the cache or coalesces onto the in-flight fetch — either way the
+// storage round-trip overlaps transform work instead of serializing with it.
+//
+// Checkpoint resume re-warms the pipeline by calling Advance() from
+// SourceLoader::Restore() with the restored cursor before the first refill.
+#ifndef SRC_IO_READ_AHEAD_H_
+#define SRC_IO_READ_AHEAD_H_
+
+#include <cstdint>
+#include <future>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/io/io_scheduler.h"
+#include "src/storage/columnar.h"
+
+namespace msd {
+
+class ReadAhead {
+ public:
+  // Prefetches up to `groups_ahead` row groups past the cursor. `io` is not
+  // owned and must outlive this policy.
+  ReadAhead(IoScheduler* io, int32_t groups_ahead);
+
+  // Called with the loader's cursor: the next (file_index, group_index) it
+  // will read. Issues prefetches for that position and the K-1 following
+  // groups (skipping positions already issued — consecutive calls each add
+  // the newly exposed tail of the window); returns the fetches issued.
+  int64_t Advance(const std::vector<std::string>& files, int64_t file_index,
+                  int64_t group_index);
+
+  // Forgets the issued-position high-water mark — and any footer-failure
+  // blacklist — so the next Advance re-issues from the cursor. Call after a
+  // rewind (checkpoint restore): the cursor moves backwards, the old
+  // window's blocks may have been evicted, and a transient storage error
+  // from the previous life deserves a retry.
+  void Reset();
+
+  int64_t groups_prefetched() const { return groups_prefetched_; }
+
+ private:
+  // Non-blocking footer resolution state machine. Returns the file's info if
+  // resident, nullptr while its tail/body fetches are still in flight (or the
+  // file is unreadable — the loader's own open surfaces that error).
+  const MsdfFileInfo* InfoFor(const std::string& name);
+
+  struct PendingFooter {
+    int64_t file_size = 0;
+    std::shared_future<IoScheduler::BlockResult> tail;
+    std::shared_future<IoScheduler::BlockResult> body;  // valid once tail parsed
+    int64_t body_offset = 0;
+  };
+
+  IoScheduler* io_;
+  int32_t k_;
+  std::unordered_map<std::string, MsdfFileInfo> infos_;
+  std::unordered_map<std::string, PendingFooter> pending_;
+  // Files whose footer could not be resolved; skipped (the loader's own open
+  // surfaces the real error) until a Reset() grants a retry.
+  std::unordered_set<std::string> failed_;
+  // Highest (file, group) already issued; positions at or below it are
+  // counted against the window but not re-fetched.
+  int64_t hwm_file_ = -1;
+  int64_t hwm_group_ = -1;
+  // Files below this index are behind the cursor: their cached footers (and
+  // failure marks) have been dropped — the cursor only moves forward, so
+  // retained state would grow with every file ever visited.
+  int64_t pruned_below_ = 0;
+  int64_t groups_prefetched_ = 0;
+};
+
+}  // namespace msd
+
+#endif  // SRC_IO_READ_AHEAD_H_

@@ -45,7 +45,7 @@ int64_t SourceLoader::WorkerMemoryBytes(int32_t workers) {
 }
 
 SourceLoader::SourceLoader(SourceLoaderConfig config, const ObjectStore* store,
-                           MemoryAccountant* accountant)
+                           MemoryAccountant* accountant, IoScheduler* io)
     : Actor(!config.name_override.empty()
                 ? config.name_override
                 : std::string(config.is_shadow ? "shadow_loader/" : "source_loader/") +
@@ -53,8 +53,12 @@ SourceLoader::SourceLoader(SourceLoaderConfig config, const ObjectStore* store,
       config_(std::move(config)),
       store_(store),
       accountant_(accountant),
+      io_(io),
       tokenizer_(std::make_shared<Tokenizer>()) {
   MSD_CHECK(config_.num_workers > 0);
+  if (io_ != nullptr && config_.read_ahead_groups > 0) {
+    read_ahead_ = std::make_unique<ReadAhead>(io_, config_.read_ahead_groups);
+  }
   if (config_.defer_image_decode) {
     // Transformation reordering: tokenize here, decode at the constructor.
     pipeline_ = TransformPipeline::Default(Modality::kText, tokenizer_);
@@ -80,8 +84,16 @@ Status SourceLoader::Open() {
 Status SourceLoader::LoadNextGroup() {
   while (next_file_ < static_cast<int64_t>(config_.files.size())) {
     if (reader_file_ != next_file_) {
-      Result<MsdfReader> reader = MsdfReader::Open(
-          *store_, config_.files[static_cast<size_t>(next_file_)], accountant_, config_.node);
+      const std::string& file = config_.files[static_cast<size_t>(next_file_)];
+      // Through the io layer when present: footer + row groups come from the
+      // shared block cache (one backing Get per block across all loaders).
+      // Ranged mode pays one uncached Get per block; legacy mode aliases the
+      // whole blob (local-storage semantics).
+      Result<MsdfReader> reader =
+          io_ != nullptr ? MsdfReader::OpenCached(io_, file, accountant_, config_.node)
+          : config_.ranged_reads
+              ? MsdfReader::OpenRanged(*store_, file, accountant_, config_.node)
+              : MsdfReader::Open(*store_, file, accountant_, config_.node);
       if (!reader.ok()) {
         return reader.status();
       }
@@ -99,6 +111,11 @@ Status SourceLoader::LoadNextGroup() {
       return rows.status();
     }
     ++next_group_;
+    if (read_ahead_ != nullptr) {
+      // The cursor moved: prefetch the groups it will need next, so their
+      // storage round-trips overlap the transform work below.
+      read_ahead_->Advance(config_.files, next_file_, next_group_);
+    }
 
     // Deserialize + transform worker-parallel across the loader's workers.
     // Samples are heap-allocated once here and then only ever shared: the
@@ -232,6 +249,12 @@ Status SourceLoader::Restore(const LoaderSnapshot& snapshot) {
   next_group_ = snapshot.origin_group;
   consumed_ids_ = snapshot.consumed_ids;
   consumed_set_ = std::unordered_set<uint64_t>(consumed_ids_.begin(), consumed_ids_.end());
+  if (read_ahead_ != nullptr) {
+    // Re-warm the window from the restored cursor: the rewind may point below
+    // the old high-water mark, and a resumed process starts cache-cold.
+    read_ahead_->Reset();
+    read_ahead_->Advance(config_.files, next_file_, next_group_);
+  }
   return RefillToWatermark();
 }
 

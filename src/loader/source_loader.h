@@ -22,6 +22,7 @@
 #include "src/data/source_spec.h"
 #include "src/data/synthetic.h"
 #include "src/data/transform.h"
+#include "src/io/read_ahead.h"
 #include "src/plan/dgraph.h"
 #include "src/storage/columnar.h"
 #include "src/storage/object_store.h"
@@ -55,6 +56,13 @@ struct SourceLoaderConfig {
   // Overrides the derived actor name (replacement loaders must not collide
   // with the failed instance still registered in the ActorSystem).
   std::string name_override;
+  // Row groups to prefetch past the read cursor (src/io/ read-ahead). Only
+  // effective when the loader is built with an IoScheduler.
+  int32_t read_ahead_groups = 0;
+  // Remote-storage semantics without a cache: read via one ranged Get per
+  // row group/footer (what an uncached Parquet reader pays) instead of
+  // aliasing the whole blob. Implied by the cached mode; ignored with it.
+  bool ranged_reads = false;
 };
 
 // Snapshot for differential checkpointing: the read cursor at the origin of
@@ -83,8 +91,11 @@ struct SampleSlice {
 
 class SourceLoader : public Actor {
  public:
+  // With an IoScheduler the loader reads through the shared block cache
+  // (coalesced with other loaders) and drives cursor-based read-ahead;
+  // without one it issues direct whole-blob reads as before.
   SourceLoader(SourceLoaderConfig config, const ObjectStore* store,
-               MemoryAccountant* accountant);
+               MemoryAccountant* accountant, IoScheduler* io = nullptr);
   ~SourceLoader() override;
 
   // Opens readers and fills the buffer to the watermark. Must run before use.
@@ -109,6 +120,10 @@ class SourceLoader : public Actor {
   size_t buffered_samples() const { return buffer_.size(); }
   SimTime total_transform_cost() const { return total_transform_cost_; }
   int64_t samples_served() const { return samples_served_; }
+  // Row groups the read-ahead policy has prefetched (0 without an io layer).
+  int64_t groups_prefetched() const {
+    return read_ahead_ != nullptr ? read_ahead_->groups_prefetched() : 0;
+  }
 
   // Static memory footprint of a loader with `workers` workers (contexts +
   // prefetch), excluding file states.
@@ -121,6 +136,8 @@ class SourceLoader : public Actor {
   SourceLoaderConfig config_;
   const ObjectStore* store_;
   MemoryAccountant* accountant_;
+  IoScheduler* io_;  // nullable: cached ranged reads when present
+  std::unique_ptr<ReadAhead> read_ahead_;
   std::shared_ptr<const Tokenizer> tokenizer_;
   TransformPipeline pipeline_;
   std::unique_ptr<ThreadPool> workers_;

@@ -1,5 +1,9 @@
 #include "src/storage/columnar.h"
 
+#include <functional>
+#include <utility>
+
+#include "src/io/io_scheduler.h"
 #include "src/storage/wire.h"
 
 namespace msd {
@@ -98,27 +102,24 @@ std::string MsdfWriter::Finish() {
   return std::move(file_);
 }
 
-Result<MsdfFileInfo> ReadMsdfFooter(const std::string& file_bytes) {
-  constexpr size_t kTailBytes = sizeof(uint64_t) + sizeof(uint32_t);
-  if (file_bytes.size() < sizeof(uint32_t) + kTailBytes) {
-    return Status::DataLoss("file too small for MSDF");
+Result<uint64_t> ParseMsdfTail(std::string_view tail, uint64_t file_size) {
+  if (tail.size() != kMsdfTailBytes) {
+    return Status::DataLoss("bad MSDF tail size");
   }
-  {
-    WireReader head(file_bytes);
-    if (head.GetU32() != kMagic) {
-      return Status::DataLoss("bad MSDF head magic");
-    }
-  }
-  WireReader tail(file_bytes, file_bytes.size() - kTailBytes);
-  uint64_t footer_offset = tail.GetU64();
-  uint32_t magic = tail.GetU32();
-  if (!tail.Ok() || magic != kMagic) {
+  WireReader r(tail);
+  uint64_t footer_offset = r.GetU64();
+  uint32_t magic = r.GetU32();
+  if (!r.Ok() || magic != kMagic) {
     return Status::DataLoss("bad MSDF tail magic");
   }
-  if (footer_offset >= file_bytes.size()) {
+  if (footer_offset > file_size - kMsdfTailBytes) {
     return Status::DataLoss("bad footer offset");
   }
-  WireReader r(file_bytes, footer_offset);
+  return footer_offset;
+}
+
+Result<MsdfFileInfo> ParseMsdfFooterBody(std::string_view body, int64_t footer_bytes_total) {
+  WireReader r(body);
   std::string schema_bytes = r.GetBytes();
   Result<Schema> schema = Schema::Deserialize(schema_bytes);
   if (!schema.ok()) {
@@ -142,8 +143,30 @@ Result<MsdfFileInfo> ReadMsdfFooter(const std::string& file_bytes) {
   if (!r.Ok()) {
     return Status::DataLoss("truncated footer");
   }
-  info.footer_bytes = static_cast<int64_t>(file_bytes.size() - footer_offset);
+  info.footer_bytes = footer_bytes_total;
   return info;
+}
+
+Result<MsdfFileInfo> ReadMsdfFooter(const std::string& file_bytes) {
+  if (file_bytes.size() < sizeof(uint32_t) + kMsdfTailBytes) {
+    return Status::DataLoss("file too small for MSDF");
+  }
+  {
+    WireReader head(file_bytes);
+    if (head.GetU32() != kMagic) {
+      return Status::DataLoss("bad MSDF head magic");
+    }
+  }
+  std::string_view bytes(file_bytes);
+  Result<uint64_t> footer_offset =
+      ParseMsdfTail(bytes.substr(bytes.size() - kMsdfTailBytes), bytes.size());
+  if (!footer_offset.ok()) {
+    return footer_offset.status();
+  }
+  return ParseMsdfFooterBody(
+      bytes.substr(footer_offset.value(),
+                   bytes.size() - kMsdfTailBytes - footer_offset.value()),
+      static_cast<int64_t>(bytes.size() - footer_offset.value()));
 }
 
 Result<MsdfReader> MsdfReader::Open(const ObjectStore& store, const std::string& name,
@@ -167,13 +190,113 @@ Result<MsdfReader> MsdfReader::Open(const ObjectStore& store, const std::string&
   return reader;
 }
 
+namespace {
+
+// Footer via two ranged reads: the tail (offset + magic), then the footer
+// body. The head magic is not checked — that would cost a third Get; the tail
+// magic plus the footer self-consistency checks carry the validation.
+Result<MsdfFileInfo> ReadFooterViaRanges(
+    const std::function<Result<std::shared_ptr<const std::string>>(int64_t, int64_t)>& fetch,
+    int64_t file_size) {
+  if (file_size < static_cast<int64_t>(sizeof(uint32_t) + kMsdfTailBytes)) {
+    return Status::DataLoss("file too small for MSDF");
+  }
+  Result<std::shared_ptr<const std::string>> tail =
+      fetch(file_size - static_cast<int64_t>(kMsdfTailBytes),
+            static_cast<int64_t>(kMsdfTailBytes));
+  if (!tail.ok()) {
+    return tail.status();
+  }
+  Result<uint64_t> footer_offset =
+      ParseMsdfTail(**tail, static_cast<uint64_t>(file_size));
+  if (!footer_offset.ok()) {
+    return footer_offset.status();
+  }
+  const int64_t body_begin = static_cast<int64_t>(footer_offset.value());
+  const int64_t body_bytes = file_size - static_cast<int64_t>(kMsdfTailBytes) - body_begin;
+  Result<std::shared_ptr<const std::string>> body = fetch(body_begin, body_bytes);
+  if (!body.ok()) {
+    return body.status();
+  }
+  return ParseMsdfFooterBody(**body, file_size - body_begin);
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const std::string>> MsdfReader::FetchRange(int64_t offset,
+                                                                  int64_t length) const {
+  if (io_ != nullptr) {
+    return io_->ReadBlock(name_, offset, length);
+  }
+  if (range_store_ != nullptr) {
+    Result<std::string> bytes = range_store_->Get(name_, offset, length);
+    if (!bytes.ok()) {
+      return bytes.status();
+    }
+    return std::make_shared<const std::string>(std::move(bytes.value()));
+  }
+  Result<std::string> bytes = handle_.Read(offset, length);
+  if (!bytes.ok()) {
+    return bytes.status();
+  }
+  return std::make_shared<const std::string>(std::move(bytes.value()));
+}
+
+// Shared tail of OpenRanged/OpenCached: `reader` arrives with its backing
+// fields (range_store_ or io_, plus name) already set.
+Result<MsdfReader> MsdfReader::FinishRangedOpen(MsdfReader reader, int64_t file_size,
+                                                MemoryAccountant* accountant,
+                                                MemoryAccountant::NodeId node) {
+  reader.accountant_ = accountant;
+  reader.node_ = node;
+  Result<MsdfFileInfo> info = ReadFooterViaRanges(
+      [&reader](int64_t offset, int64_t length) { return reader.FetchRange(offset, length); },
+      file_size);
+  if (!info.ok()) {
+    return info.status();
+  }
+  reader.info_ = std::move(info.value());
+  reader.socket_charge_ =
+      MemCharge(accountant, node, MemCategory::kFileSocket, kSocketBufferBytes);
+  reader.metadata_charge_ =
+      MemCharge(accountant, node, MemCategory::kFileMetadata, reader.info_.footer_bytes);
+  return reader;
+}
+
+Result<MsdfReader> MsdfReader::OpenRanged(const ObjectStore& store, const std::string& name,
+                                          MemoryAccountant* accountant,
+                                          MemoryAccountant::NodeId node) {
+  Result<int64_t> size = store.SizeOf(name);
+  if (!size.ok()) {
+    return size.status();
+  }
+  MsdfReader reader;
+  reader.range_store_ = &store;
+  reader.name_ = name;
+  return FinishRangedOpen(std::move(reader), size.value(), accountant, node);
+}
+
+Result<MsdfReader> MsdfReader::OpenCached(IoScheduler* io, const std::string& name,
+                                          MemoryAccountant* accountant,
+                                          MemoryAccountant::NodeId node) {
+  MSD_CHECK(io != nullptr);
+  Result<int64_t> size = io->store()->SizeOf(name);
+  if (!size.ok()) {
+    return size.status();
+  }
+  MsdfReader reader;
+  reader.io_ = io;
+  reader.name_ = name;
+  return FinishRangedOpen(std::move(reader), size.value(), accountant, node);
+}
+
 Result<std::vector<std::string>> MsdfReader::ReadRowGroup(size_t index) {
   if (index >= info_.row_groups.size()) {
     return Status::OutOfRange("row group " + std::to_string(index) + " of " +
                               std::to_string(info_.row_groups.size()));
   }
   const RowGroupMeta& meta = info_.row_groups[index];
-  Result<std::string> bytes = handle_.Read(meta.offset, meta.bytes);
+  Result<std::shared_ptr<const std::string>> bytes = FetchRange(meta.offset, meta.bytes);
   if (!bytes.ok()) {
     return bytes.status();
   }
@@ -181,7 +304,7 @@ Result<std::vector<std::string>> MsdfReader::ReadRowGroup(size_t index) {
   buffer_charge_ = MemCharge(accountant_, node_, MemCategory::kRowGroupBuffer, meta.bytes);
   active_buffer_bytes_ = meta.bytes;
 
-  WireReader r(bytes.value());
+  WireReader r(**bytes);
   uint64_t rows = r.GetU64();
   if (rows > r.remaining() / sizeof(uint32_t)) {
     return Status::DataLoss("corrupt row group " + std::to_string(index) +

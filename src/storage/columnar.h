@@ -27,6 +27,8 @@
 
 namespace msd {
 
+class IoScheduler;  // src/io/io_scheduler.h — cached ranged-read mode
+
 enum class FieldType : uint8_t { kInt64 = 0, kFloat64 = 1, kBytes = 2 };
 
 struct Field {
@@ -84,13 +86,28 @@ class MsdfWriter {
   bool finished_ = false;
 };
 
-// Reads an MSDF file through a FileHandle. Holds:
-//  - footer metadata (charged as kFileMetadata) for its lifetime, and
+// Reads an MSDF file in one of three modes. All hold:
+//  - footer metadata (charged as kFileMetadata) for the reader's lifetime, and
 //  - one row-group buffer (charged as kRowGroupBuffer) while a group is open.
+//
+//  - Open: the legacy whole-blob mode — a FileHandle aliasing the full blob,
+//    row groups are free in-memory slices. Local-storage semantics.
+//  - OpenRanged: remote-storage semantics — every row-group (and footer) read
+//    is one synchronous ObjectStore::Get, the unit a LatencyInjectingStore
+//    charges. This is what the paper's uncached Parquet reader pays.
+//  - OpenCached: OpenRanged routed through an IoScheduler, so reads are
+//    served from the BlockCache, coalesced with concurrent readers of the
+//    same block, and overlap with read-ahead prefetches.
 class MsdfReader {
  public:
   static Result<MsdfReader> Open(const ObjectStore& store, const std::string& name,
                                  MemoryAccountant* accountant, MemoryAccountant::NodeId node);
+  static Result<MsdfReader> OpenRanged(const ObjectStore& store, const std::string& name,
+                                       MemoryAccountant* accountant,
+                                       MemoryAccountant::NodeId node);
+  static Result<MsdfReader> OpenCached(IoScheduler* io, const std::string& name,
+                                       MemoryAccountant* accountant,
+                                       MemoryAccountant::NodeId node);
 
   const MsdfFileInfo& info() const { return info_; }
 
@@ -106,10 +123,21 @@ class MsdfReader {
  private:
   MsdfReader() = default;
 
-  FileHandle handle_;
+  // Footer parse + memory charges shared by the ranged/cached factories.
+  static Result<MsdfReader> FinishRangedOpen(MsdfReader reader, int64_t file_size,
+                                             MemoryAccountant* accountant,
+                                             MemoryAccountant::NodeId node);
+  // [offset, offset+length) through whichever backing this reader has.
+  Result<std::shared_ptr<const std::string>> FetchRange(int64_t offset, int64_t length) const;
+
+  FileHandle handle_;              // whole-blob mode
+  const ObjectStore* range_store_ = nullptr;  // ranged mode
+  IoScheduler* io_ = nullptr;      // cached mode
+  std::string name_;
   MsdfFileInfo info_;
   MemoryAccountant* accountant_ = nullptr;
   MemoryAccountant::NodeId node_ = 0;
+  MemCharge socket_charge_;        // ranged/cached modes (no FileHandle)
   MemCharge metadata_charge_;
   MemCharge buffer_charge_;
   int64_t active_buffer_bytes_ = 0;
@@ -118,6 +146,15 @@ class MsdfReader {
 // Parses only the footer (cheaply) — used to build loading plans without
 // opening a full reader.
 Result<MsdfFileInfo> ReadMsdfFooter(const std::string& file_bytes);
+
+// Ranged-footer building blocks (shared by the readers above and the
+// read-ahead policy, which resolves footers through the block cache).
+inline constexpr size_t kMsdfTailBytes = sizeof(uint64_t) + sizeof(uint32_t);
+// Parses the trailing kMsdfTailBytes; returns the footer offset.
+Result<uint64_t> ParseMsdfTail(std::string_view tail, uint64_t file_size);
+// Parses the footer body [footer_offset, file_size - kMsdfTailBytes).
+// `footer_bytes_total` is the resident-metadata charge (tail included).
+Result<MsdfFileInfo> ParseMsdfFooterBody(std::string_view body, int64_t footer_bytes_total);
 
 }  // namespace msd
 

@@ -59,9 +59,12 @@ Result<std::string> FileHandle::Read(int64_t offset, int64_t length) const {
   if (blob_ == nullptr) {
     return Status::FailedPrecondition("read on invalid handle");
   }
-  if (offset < 0 || length < 0 || offset + length > static_cast<int64_t>(blob_->size())) {
-    return Status::OutOfRange("read [" + std::to_string(offset) + ", " +
-                              std::to_string(offset + length) + ") beyond file of " +
+  // Overflow-safe bounds check: offset/length come from untrusted footers,
+  // so `offset + length` must never be computed on hostile values.
+  const int64_t size = static_cast<int64_t>(blob_->size());
+  if (offset < 0 || length < 0 || offset > size || length > size - offset) {
+    return Status::OutOfRange("read [" + std::to_string(offset) + ", +" +
+                              std::to_string(length) + ") beyond file of " +
                               std::to_string(blob_->size()) + " bytes");
   }
   return blob_->substr(static_cast<size_t>(offset), static_cast<size_t>(length));
@@ -167,6 +170,26 @@ Status ObjectStore::Delete(const std::string& name) {
     if (path.ok()) {
       std::error_code ec;
       erased = fs::remove(path.value(), ec) || erased;
+      // Prune directories the delete emptied, up to (not including) the
+      // root — otherwise bulk deletes (checkpoint retention GC) leave one
+      // empty ckpt-<seq>/ tree per generation ever written. Best effort: a
+      // concurrent writer re-creating the directory just wins the race.
+      // Trailing separators are stripped before comparing, or a root of
+      // "/data/ckpts/" would never equal the walked parent "/data/ckpts"
+      // and the walk would delete the store root and keep ascending.
+      std::string root_str = root_;
+      while (root_str.size() > 1 && root_str.back() == fs::path::preferred_separator) {
+        root_str.pop_back();
+      }
+      const fs::path root(root_str);
+      fs::path parent = fs::path(path.value()).parent_path();
+      while (parent != root && !parent.empty() && parent != parent.root_path() &&
+             fs::is_empty(parent, ec) && !ec) {
+        if (!fs::remove(parent, ec) || ec) {
+          break;
+        }
+        parent = parent.parent_path();
+      }
     }
   }
   if (!erased) {
@@ -230,8 +253,8 @@ int64_t ObjectStore::TotalBytes() const {
   return total;
 }
 
-Result<FileHandle> ObjectStore::Open(const std::string& name,
-                                     MemoryAccountant::NodeId node) const {
+Result<std::shared_ptr<const std::string>> ObjectStore::FindBlob(
+    const std::string& name) const {
   std::shared_ptr<const std::string> blob;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -259,6 +282,42 @@ Result<FileHandle> ObjectStore::Open(const std::string& name,
   if (blob == nullptr) {
     return Status::NotFound("no blob named " + name);
   }
+  return blob;
+}
+
+Result<std::string> ObjectStore::Get(const std::string& name, int64_t offset,
+                                     int64_t length) const {
+  Result<std::shared_ptr<const std::string>> blob = FindBlob(name);
+  if (!blob.ok()) {
+    return blob.status();
+  }
+  const std::string& bytes = **blob;
+  // Overflow-safe: a corrupt MSDF footer can carry offsets near INT64_MAX,
+  // and `offset + length` on those is UB before the comparison ever runs.
+  const int64_t size = static_cast<int64_t>(bytes.size());
+  if (offset < 0 || length < 0 || offset > size || length > size - offset) {
+    return Status::OutOfRange("get [" + std::to_string(offset) + ", +" +
+                              std::to_string(length) + ") beyond blob " + name + " of " +
+                              std::to_string(bytes.size()) + " bytes");
+  }
+  return bytes.substr(static_cast<size_t>(offset), static_cast<size_t>(length));
+}
+
+Result<int64_t> ObjectStore::SizeOf(const std::string& name) const {
+  Result<std::shared_ptr<const std::string>> blob = FindBlob(name);
+  if (!blob.ok()) {
+    return blob.status();
+  }
+  return static_cast<int64_t>((*blob)->size());
+}
+
+Result<FileHandle> ObjectStore::Open(const std::string& name,
+                                     MemoryAccountant::NodeId node) const {
+  Result<std::shared_ptr<const std::string>> found = FindBlob(name);
+  if (!found.ok()) {
+    return found.status();
+  }
+  std::shared_ptr<const std::string> blob = std::move(found.value());
   FileHandle handle;
   handle.name_ = name;
   handle.blob_ = std::move(blob);

@@ -65,23 +65,36 @@ class ObjectStore {
   // map to relative file paths; '/' separators become directories. Existing
   // files under the root are visible immediately (loaded lazily on Open).
   explicit ObjectStore(std::string root_dir, MemoryAccountant* accountant = nullptr);
+  virtual ~ObjectStore() = default;
 
   // Atomic publish: the name either maps to the complete new bytes or to its
   // previous content, never to a partial write (temp file + rename on disk).
-  Status Put(const std::string& name, std::string bytes);
-  bool Exists(const std::string& name) const;
-  Status Delete(const std::string& name);
-  std::vector<std::string> List(const std::string& prefix = "") const;
-  int64_t TotalBytes() const;
+  virtual Status Put(const std::string& name, std::string bytes);
+  virtual bool Exists(const std::string& name) const;
+  virtual Status Delete(const std::string& name);
+  virtual std::vector<std::string> List(const std::string& prefix = "") const;
+  virtual int64_t TotalBytes() const;
 
-  bool disk_backed() const { return !root_.empty(); }
-  const std::string& root_dir() const { return root_; }
+  virtual bool disk_backed() const { return !root_.empty(); }
+  virtual const std::string& root_dir() const { return root_; }
 
   // Opens a connection to the named blob; the handle charges socket buffers on
   // `node` until destroyed.
-  Result<FileHandle> Open(const std::string& name, MemoryAccountant::NodeId node) const;
+  virtual Result<FileHandle> Open(const std::string& name, MemoryAccountant::NodeId node) const;
+
+  // Remote-storage read path: one ranged Get per call — the unit the
+  // src/io/ block cache stores and the LatencyInjectingStore charges.
+  // Returns the bytes in [offset, offset+length) of the named blob.
+  virtual Result<std::string> Get(const std::string& name, int64_t offset,
+                                  int64_t length) const;
+  // Size of the named blob, without transferring it (a metadata op: the
+  // latency decorator does not charge Gets for it).
+  virtual Result<int64_t> SizeOf(const std::string& name) const;
 
  private:
+  // Shared lookup for Open/Get/SizeOf: the cached blob, lazily loaded from
+  // disk in disk-backed mode.
+  Result<std::shared_ptr<const std::string>> FindBlob(const std::string& name) const;
   // Absolute path for `name` under the disk root; errors on names that would
   // escape the root ("..", absolute paths) or collide with staging files.
   Result<std::string> DiskPathFor(const std::string& name) const;

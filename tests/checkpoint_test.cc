@@ -422,6 +422,157 @@ TEST_F(CheckpointTest, DisabledJournalLeansOutTheProducerAndRejectsCheckpoint) {
             StatusCode::kFailedPrecondition);
 }
 
+// Distinct "ckpt-<seq>-s<step>" generation prefixes currently in the store.
+std::vector<std::string> Generations(const ObjectStore& store) {
+  std::vector<std::string> generations;
+  for (const std::string& name : store.List("ckpt-")) {
+    size_t slash = name.find('/');
+    if (slash == std::string::npos) {
+      continue;
+    }
+    std::string gen = name.substr(0, slash);
+    if (std::find(generations.begin(), generations.end(), gen) == generations.end()) {
+      generations.push_back(std::move(gen));
+    }
+  }
+  return generations;
+}
+
+TEST_F(CheckpointTest, RetentionKeepsNewestGenerationsAndSparesLatest) {
+  ObjectStore store;
+  CheckpointState state;
+  state.loader_snapshots[0] = "snapshot";
+  CheckpointWriter::Options keep2;
+  keep2.keep_generations = 2;
+  CheckpointWriter writer(&store, keep2);
+  for (int64_t step = 1; step <= 4; ++step) {
+    state.commit_step = step;
+    ASSERT_TRUE(writer.Write(state).ok());
+  }
+  // Only the two newest generations survive, and LATEST still loads.
+  EXPECT_EQ(Generations(store).size(), 2u);
+  Result<CheckpointState> loaded = CheckpointReader::Load(store);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->commit_step, 4);
+}
+
+TEST_F(CheckpointTest, RetentionNeverRunsOnAbortedPublishAndSparesLatest) {
+  ObjectStore store;
+  CheckpointState state;
+  state.commit_step = 1;
+  CheckpointWriter published(&store);
+  ASSERT_TRUE(published.Write(state).ok());  // gen 1, LATEST -> 1
+
+  // A crash-injected write with aggressive retention must not GC: the flip
+  // never happened, so deleting would orphan the only good checkpoint.
+  CheckpointWriter::Options crash_keep1;
+  crash_keep1.abort_before_publish = true;
+  crash_keep1.keep_generations = 1;
+  state.commit_step = 2;
+  ASSERT_TRUE(CheckpointWriter(&store, crash_keep1).Write(state).ok());
+  EXPECT_EQ(Generations(store).size(), 2u);  // staged orphan + good gen
+  ASSERT_TRUE(CheckpointReader::Load(store).ok());
+  EXPECT_EQ(CheckpointReader::Load(store)->commit_step, 1);
+
+  // The next successful publish GCs both the orphan and the old generation,
+  // keeping exactly what LATEST names.
+  CheckpointWriter::Options keep1;
+  keep1.keep_generations = 1;
+  state.commit_step = 3;
+  Result<std::string> id = CheckpointWriter(&store, keep1).Write(state);
+  ASSERT_TRUE(id.ok());
+  std::vector<std::string> generations = Generations(store);
+  ASSERT_EQ(generations.size(), 1u);
+  EXPECT_EQ(generations[0], id.value());
+  EXPECT_EQ(CheckpointReader::Load(store)->commit_step, 3);
+}
+
+TEST_F(CheckpointTest, AutoCheckpointResumesFromLatestGenerationAfterKill) {
+  const int64_t kSteps = 6;
+  const int64_t kReferenceSteps = kSteps + 6;  // covers resumed re-serves
+  Session::Options options = BaseOptions();
+  options.auto_checkpoint_dir = dir_;
+  options.auto_checkpoint_every = 2;
+  options.checkpoint_keep_generations = 2;
+  const int32_t world = options.spec.WorldSize();
+
+  // Reference: an uninterrupted run of the same stream, batches kept per
+  // (step, rank) so resumed ranks can be checked wherever their cursor lands.
+  auto reference = Session::Create(BaseOptions());
+  ASSERT_TRUE(reference.ok());
+  std::vector<std::vector<RankBatch>> want;
+  for (int64_t s = 0; s < kReferenceSteps; ++s) {
+    want.push_back(StreamStep(**reference));
+  }
+
+  {
+    auto session = Session::Create(options);
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    for (int64_t s = 0; s < kSteps; ++s) {
+      StreamStep(**session);
+    }
+  }  // mid-stream kill: no explicit Checkpoint() call anywhere
+
+  // The periodic save published at least one generation, retention kept at
+  // most the configured two, and the newest loads cleanly.
+  ObjectStore ckpt_store(dir_);
+  std::vector<std::string> generations = Generations(ckpt_store);
+  ASSERT_FALSE(generations.empty());
+  EXPECT_LE(generations.size(), 2u);
+  Result<CheckpointState> latest = CheckpointReader::Load(ckpt_store);
+  ASSERT_TRUE(latest.ok()) << latest.status().ToString();
+
+  // Resume from the latest auto-saved generation; every rank continues from
+  // its saved cursor and the re-served stream matches the reference bytes.
+  // Drain step-by-step ACROSS ranks: a single rank pulled kSteps ahead of
+  // parked neighbours would pin the retire floor and exhaust the bounded
+  // prefetch window — a consumer-side deadlock, not a pipeline bug.
+  Session::Options resumed_options = options;
+  resumed_options.resume_dir = dir_;
+  auto resumed = Session::Create(resumed_options);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  std::vector<DataClient*> clients;
+  for (int32_t rank = 0; rank < world; ++rank) {
+    clients.push_back((*resumed)->client(rank).value());
+    ASSERT_GE(clients.back()->next_step(), latest->commit_step);
+  }
+  bool drained = false;
+  while (!drained) {
+    drained = true;
+    for (int32_t rank = 0; rank < world; ++rank) {
+      if (clients[static_cast<size_t>(rank)]->next_step() > kSteps) {
+        continue;
+      }
+      drained = false;
+      Result<RankBatch> got = clients[static_cast<size_t>(rank)]->NextBatch();
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ASSERT_LT(got->step, kReferenceSteps);
+      ExpectBatchesIdentical(got.value(),
+                             want[static_cast<size_t>(got->step)][static_cast<size_t>(rank)]);
+    }
+  }
+}
+
+TEST_F(CheckpointTest, AutoCheckpointRejectsUnsupportedConfigurations) {
+  Session::Options missing_interval = BaseOptions();
+  missing_interval.auto_checkpoint_dir = dir_;
+  EXPECT_EQ(Session::Create(std::move(missing_interval)).status().code(),
+            StatusCode::kInvalidArgument);
+
+  Session::Options no_journal = BaseOptions();
+  no_journal.auto_checkpoint_dir = dir_;
+  no_journal.auto_checkpoint_every = 2;
+  no_journal.enable_checkpoint_journal = false;
+  EXPECT_EQ(Session::Create(std::move(no_journal)).status().code(),
+            StatusCode::kInvalidArgument);
+
+  Session::Options synchronous = BaseOptions(/*prefetch_depth=*/0);
+  synchronous.auto_checkpoint_dir = dir_;
+  synchronous.auto_checkpoint_every = 2;
+  EXPECT_EQ(Session::Create(std::move(synchronous)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST_F(CheckpointTest, ResumeRejectsMismatchedOptions) {
   {
     auto session = Session::Create(BaseOptions());

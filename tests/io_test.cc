@@ -1,0 +1,421 @@
+// Remote-storage I/O subsystem (src/io/):
+//  - BlockCache LRU/eviction/spill behaviour and checksum verification — a
+//    corrupted cached block is detected and re-fetched, never served;
+//  - IoScheduler request coalescing: concurrent readers of one block cost
+//    exactly one backing Get;
+//  - LatencyInjectingStore charges per-Get latency (remote semantics);
+//  - MsdfReader ranged/cached modes return the same rows as the whole-blob
+//    reader;
+//  - Session-level byte-identity: cache + read-ahead + injected latency —
+//    including eviction-thrashing tiny budgets and the disk spill tier —
+//    serve exactly the bytes an uncached session serves (checked against
+//    ReferenceDataPlane), and checkpoint resume re-warms the read-ahead.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/api/session.h"
+#include "src/constructor/reference_assembly.h"
+#include "src/data/synthetic.h"
+#include "src/io/block_cache.h"
+#include "src/io/io_scheduler.h"
+#include "src/io/latency_store.h"
+#include "tests/scratch_dir.h"
+
+namespace msd {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::shared_ptr<const std::string> Block(char fill, size_t n) {
+  return std::make_shared<const std::string>(std::string(n, fill));
+}
+
+TEST(BlockCacheTest, LruEvictionAndStats) {
+  BlockCache::Config config;
+  config.capacity_bytes = 64;
+  config.shards = 1;
+  BlockCache cache(config);
+  BlockKey a{"f", 0, 32};
+  BlockKey b{"f", 32, 32};
+  BlockKey c{"f", 64, 32};
+  cache.Insert(a, Block('a', 32));
+  cache.Insert(b, Block('b', 32));
+  ASSERT_NE(cache.Lookup(a), nullptr);  // touches a: b becomes LRU
+  cache.Insert(c, Block('c', 32));      // 96 > 64: evicts b
+  EXPECT_EQ(cache.Lookup(b), nullptr);
+  ASSERT_NE(cache.Lookup(a), nullptr);
+  EXPECT_EQ(*cache.Lookup(c), std::string(32, 'c'));
+  BlockCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.insertions, 3);
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_GE(stats.hits, 3);
+  EXPECT_EQ(stats.resident_bytes, 64);
+}
+
+TEST(BlockCacheTest, SpillTierRoundTrip) {
+  const std::string dir = testing::ScratchDir("spill");
+  ObjectStore spill(dir);
+  BlockCache::Config config;
+  config.capacity_bytes = 48;
+  config.shards = 1;
+  config.spill = &spill;
+  BlockCache cache(config);
+  BlockKey a{"f", 0, 32};
+  BlockKey b{"f", 32, 32};
+  cache.Insert(a, Block('a', 32));
+  cache.Insert(b, Block('b', 32));  // 64 > 48: a spills to disk
+  EXPECT_EQ(cache.stats().spill_writes, 1);
+  // The spilled block comes back checksum-verified and is promoted.
+  std::shared_ptr<const std::string> restored = cache.Lookup(a);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(*restored, std::string(32, 'a'));
+  EXPECT_EQ(cache.stats().spill_hits, 1);
+  // The promotion displaced b in turn; it round-trips from the tier too.
+  ASSERT_NE(cache.Lookup(b), nullptr);
+  EXPECT_EQ(cache.stats().spill_hits, 2);
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+}
+
+TEST(BlockCacheTest, CorruptedResidentBlockReadsAsMiss) {
+  BlockCache::Config config;
+  config.capacity_bytes = 1024;
+  config.shards = 1;
+  BlockCache cache(config);
+  BlockKey key{"f", 0, 64};
+  cache.Insert(key, Block('x', 64));
+  ASSERT_TRUE(cache.CorruptResidentBlockForTest(key));
+  EXPECT_EQ(cache.Lookup(key), nullptr);  // detected, dropped, miss
+  EXPECT_EQ(cache.stats().corruptions, 1);
+  // A fresh insert (the re-fetch) serves clean bytes again.
+  cache.Insert(key, Block('x', 64));
+  ASSERT_NE(cache.Lookup(key), nullptr);
+  EXPECT_EQ(cache.stats().corruptions, 1);
+}
+
+TEST(LatencyStoreTest, ChargesPerGetLatency) {
+  ObjectStore base;
+  ASSERT_TRUE(base.Put("f", std::string(1024, 'x')).ok());
+  RemoteStorageParams params;
+  params.get_latency = 5 * kMillisecond;
+  params.bandwidth_bytes_per_sec = 0;  // isolate the latency term
+  LatencyInjectingStore remote(&base, params);
+  auto t0 = std::chrono::steady_clock::now();
+  Result<std::string> bytes = remote.Get("f", 0, 512);
+  double elapsed_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(bytes->size(), 512u);
+  EXPECT_GE(elapsed_ms, 4.5);
+  EXPECT_EQ(remote.gets(), 1);
+  EXPECT_EQ(remote.bytes_served(), 512);
+  // Metadata ops are free: no Get charged.
+  EXPECT_EQ(remote.SizeOf("f").value(), 1024);
+  EXPECT_TRUE(remote.Exists("f"));
+  EXPECT_EQ(remote.gets(), 1);
+}
+
+TEST(IoSchedulerTest, ConcurrentRequestsCoalesceToOneBackingGet) {
+  ObjectStore base;
+  ASSERT_TRUE(base.Put("f", std::string(4096, 'q')).ok());
+  RemoteStorageParams params;
+  params.get_latency = 20 * kMillisecond;  // wide in-flight window
+  params.bandwidth_bytes_per_sec = 0;
+  LatencyInjectingStore remote(&base, params);
+  BlockCache cache(BlockCache::Config{});
+  IoScheduler io(&remote, &cache, IoScheduler::Config{});
+  // Second request lands while the first's Get is sleeping: it must join the
+  // in-flight read, not issue its own.
+  auto first = io.Fetch("f", 0, 4096);
+  auto second = io.Fetch("f", 0, 4096);
+  ASSERT_TRUE(first.get().ok());
+  ASSERT_TRUE(second.get().ok());
+  EXPECT_EQ(*first.get().value(), *second.get().value());
+  EXPECT_EQ(remote.gets(), 1);  // exactly one backing Get
+  IoScheduler::Stats stats = io.stats();
+  EXPECT_EQ(stats.issued_gets, 1);
+  EXPECT_EQ(stats.coalesced, 1);
+  // A third request after completion is a pure cache hit.
+  ASSERT_TRUE(io.ReadBlock("f", 0, 4096).ok());
+  EXPECT_EQ(remote.gets(), 1);
+  EXPECT_GE(io.stats().cache_hits, 1);
+}
+
+TEST(IoSchedulerTest, CorruptedCachedBlockIsDetectedAndRefetched) {
+  ObjectStore base;
+  const std::string payload(256, 'p');
+  ASSERT_TRUE(base.Put("f", payload).ok());
+  BlockCache cache(BlockCache::Config{});
+  IoScheduler io(&base, &cache, IoScheduler::Config{});
+  IoScheduler::BlockResult first = io.ReadBlock("f", 0, 256);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(cache.CorruptResidentBlockForTest(BlockKey{"f", 0, 256}));
+  // The checksum catches the flip; the scheduler re-fetches authoritative
+  // bytes instead of serving poison.
+  IoScheduler::BlockResult second = io.ReadBlock("f", 0, 256);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second.value(), payload);
+  EXPECT_EQ(cache.stats().corruptions, 1);
+  EXPECT_EQ(io.stats().issued_gets, 2);
+}
+
+TEST(MsdfReaderTest, RangedAndCachedModesMatchWholeBlobReader) {
+  ObjectStore store;
+  MemoryAccountant memory;
+  SourceSpec spec = MakeCoyo700m().sources[0];
+  spec.num_files = 1;
+  spec.rows_per_file = 48;
+  ASSERT_TRUE(
+      WriteSourceFiles(store, spec, /*seed=*/7, {.target_row_group_bytes = 8 * kKiB}).ok());
+  const std::string name = SourceFileName(spec, 0);
+
+  MsdfReader whole = MsdfReader::Open(store, name, &memory, 0).value();
+  MsdfReader ranged = MsdfReader::OpenRanged(store, name, &memory, 0).value();
+  BlockCache cache(BlockCache::Config{});
+  IoScheduler io(&store, &cache, IoScheduler::Config{});
+  MsdfReader cached = MsdfReader::OpenCached(&io, name, &memory, 0).value();
+
+  ASSERT_GT(whole.info().row_groups.size(), 1u);  // the test must span groups
+  ASSERT_EQ(ranged.info().row_groups.size(), whole.info().row_groups.size());
+  ASSERT_EQ(cached.info().row_groups.size(), whole.info().row_groups.size());
+  for (size_t g = 0; g < whole.info().row_groups.size(); ++g) {
+    std::vector<std::string> want = whole.ReadRowGroup(g).value();
+    EXPECT_EQ(ranged.ReadRowGroup(g).value(), want);
+    EXPECT_EQ(cached.ReadRowGroup(g).value(), want);
+  }
+  // The cached reader populated the shared cache: footer + every group.
+  EXPECT_GE(cache.stats().insertions,
+            static_cast<int64_t>(whole.info().row_groups.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Session-level: the cache must be invisible in the bytes.
+// ---------------------------------------------------------------------------
+
+Session::Options IoOptions() {
+  Session::Options options;
+  options.corpus = MakeCoyo700m();
+  options.spec = {.dp = 2, .pp = 1, .cp = 2, .tp = 1};
+  options.num_microbatches = 2;
+  options.samples_per_step = 16;
+  options.max_seq_len = 1024;
+  options.rows_per_file_override = 96;
+  options.loader_workers = 1;
+  options.prefetch_depth = 2;
+  options.row_group_bytes = 8 * kKiB;  // several groups per file
+  return options;
+}
+
+void ExpectBatchesIdentical(const RankBatch& got, const RankBatch& want) {
+  EXPECT_EQ(got.rank, want.rank);
+  EXPECT_EQ(got.step, want.step);
+  EXPECT_EQ(got.metadata_only, want.metadata_only);
+  EXPECT_EQ(got.payload_bytes, want.payload_bytes);
+  ASSERT_EQ(got.microbatches.size(), want.microbatches.size());
+  for (size_t m = 0; m < got.microbatches.size(); ++m) {
+    const Microbatch& gm = got.microbatches[m];
+    const Microbatch& wm = want.microbatches[m];
+    ASSERT_EQ(gm.sequences.size(), wm.sequences.size());
+    for (size_t s = 0; s < gm.sequences.size(); ++s) {
+      const PackedSequence& gs = gm.sequences[s];
+      const PackedSequence& ws = wm.sequences[s];
+      EXPECT_EQ(gs.sample_ids, ws.sample_ids);
+      EXPECT_EQ(gs.total_tokens, ws.total_tokens);
+      EXPECT_EQ(gs.padded_to, ws.padded_to);
+      EXPECT_EQ(gs.tokens.ToVector(), ws.tokens.ToVector());
+      EXPECT_EQ(gs.position_ids.ToVector(), ws.position_ids.ToVector());
+    }
+  }
+}
+
+std::vector<RankBatch> StreamStep(Session& session) {
+  const int32_t world = session.tree().spec().WorldSize();
+  std::vector<RankBatch> batches(static_cast<size_t>(world));
+  for (int32_t rank = 0; rank < world; ++rank) {
+    Result<RankBatch> batch = session.client(rank).value()->NextBatch();
+    EXPECT_TRUE(batch.ok()) << batch.status().ToString();
+    batches[static_cast<size_t>(rank)] = std::move(batch.value());
+  }
+  return batches;
+}
+
+void ExpectMatchesReference(const PrefetchPipeline::Capture& capture,
+                            const ParallelismSpec& spec, int32_t num_microbatches,
+                            int32_t max_seq_len, const std::vector<RankBatch>& streamed) {
+  ClientPlaceTree tree = ClientPlaceTree::FromDeviceMesh(spec, num_microbatches);
+  for (int32_t dp = 0; dp < spec.dp; ++dp) {
+    DataConstructorConfig config;
+    config.constructor_id = dp;
+    config.max_seq_len = max_seq_len;
+    ReferenceDataPlane reference(config, &tree);
+    ASSERT_TRUE(reference
+                    .BuildStep(capture.plan,
+                               capture.slices_per_constructor[static_cast<size_t>(dp)])
+                    .ok());
+    for (int32_t rank = 0; rank < spec.WorldSize(); ++rank) {
+      if (CoordOfRank(spec, rank).dp != dp) {
+        continue;
+      }
+      Result<RankBatch> want = reference.GetBatch(rank, capture.plan.step);
+      ASSERT_TRUE(want.ok());
+      ExpectBatchesIdentical(streamed[static_cast<size_t>(rank)], want.value());
+    }
+  }
+}
+
+// Streams `steps` from both sessions, asserting byte-identity per rank and,
+// for the cached session, equivalence to the scalar reference plane.
+void ExpectCachedMatchesPlain(Session& cached, Session& plain, int64_t steps) {
+  const ParallelismSpec spec = cached.tree().spec();
+  for (int64_t s = 0; s < steps; ++s) {
+    const int64_t step = cached.client(0).value()->next_step();
+    Result<PrefetchPipeline::Capture> capture = cached.CaptureStep(step);
+    ASSERT_TRUE(capture.ok()) << capture.status().ToString();
+    std::vector<RankBatch> got = StreamStep(cached);
+    std::vector<RankBatch> want = StreamStep(plain);
+    for (size_t rank = 0; rank < got.size(); ++rank) {
+      ExpectBatchesIdentical(got[rank], want[rank]);
+    }
+    ExpectMatchesReference(capture.value(), spec, 2, 1024, got);
+  }
+}
+
+TEST(IoSessionTest, CacheAndReadAheadServeByteIdenticalBatches) {
+  auto plain = Session::Create(IoOptions());
+  Session::Options cached_options = IoOptions();
+  cached_options.block_cache_bytes = 64 * kMiB;
+  cached_options.read_ahead_groups = 4;
+  cached_options.storage_get_latency = 500;  // 0.5 ms: remote, but test-fast
+  auto cached = Session::Create(cached_options);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+  for (int64_t step = 0; step < 3; ++step) {
+    Result<PrefetchPipeline::Capture> capture = (*cached)->CaptureStep(step);
+    ASSERT_TRUE(capture.ok()) << capture.status().ToString();
+    std::vector<RankBatch> got = StreamStep(**cached);
+    std::vector<RankBatch> want = StreamStep(**plain);
+    for (size_t rank = 0; rank < got.size(); ++rank) {
+      ExpectBatchesIdentical(got[rank], want[rank]);
+    }
+    ExpectMatchesReference(capture.value(), IoOptions().spec, 2, 1024, got);
+  }
+  // The io layer actually ran: counters surface through io_stats and
+  // StepStats alike.
+  Session::IoStats io = (*cached)->io_stats();
+  EXPECT_TRUE(io.enabled);
+  EXPECT_GT(io.cache.lookups, 0);
+  EXPECT_GT(io.scheduler.prefetch_issues, 0);
+  EXPECT_GT(io.storage_gets, 0);
+  Result<Session::StepStats> stats = (*cached)->StepStatsFor(3);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->cache_hits + stats->cache_misses, 0);
+  EXPECT_GT(stats->readahead_issued, 0);
+  EXPECT_GT(stats->storage_gets, 0);
+  // The plain session reports a disabled subsystem, not garbage.
+  EXPECT_FALSE((*plain)->io_stats().enabled);
+}
+
+TEST(IoSessionTest, TinyBudgetEvictionThrashStaysByteIdentical) {
+  auto plain = Session::Create(IoOptions());
+  Session::Options cached_options = IoOptions();
+  cached_options.block_cache_bytes = 32 * kKiB;  // far below the working set
+  cached_options.read_ahead_groups = 4;
+  auto cached = Session::Create(cached_options);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+  ExpectCachedMatchesPlain(**cached, **plain, 4);
+  EXPECT_GT((*cached)->io_stats().cache.evictions, 0);
+}
+
+TEST(IoSessionTest, SpillTierStaysByteIdentical) {
+  const std::string dir = testing::ScratchDir("spill_session");
+  {
+    auto plain = Session::Create(IoOptions());
+    Session::Options cached_options = IoOptions();
+    cached_options.block_cache_bytes = 32 * kKiB;
+    cached_options.read_ahead_groups = 2;
+    cached_options.cache_spill_dir = dir;
+    auto cached = Session::Create(cached_options);
+    ASSERT_TRUE(plain.ok());
+    ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+    ExpectCachedMatchesPlain(**cached, **plain, 3);
+    EXPECT_GT((*cached)->io_stats().cache.spill_writes, 0);
+  }
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+}
+
+TEST(IoSessionTest, ShadowLoadersShareBackingGets) {
+  // FT shadows read exactly the blocks their primaries read; through the
+  // shared cache that must not double the backing Gets.
+  Session::Options options = IoOptions();
+  options.enable_fault_tolerance = true;
+  options.block_cache_bytes = 64 * kMiB;
+  options.read_ahead_groups = 2;
+  options.storage_get_latency = 200;
+  auto session = Session::Create(options);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  StreamStep(**session);
+  Session::IoStats io = (*session)->io_stats();
+  EXPECT_GT(io.scheduler.cache_hits + io.scheduler.coalesced, 0);
+  EXPECT_LT(io.scheduler.issued_gets, io.scheduler.requests);
+}
+
+TEST(IoSessionTest, ResumeRewarmsReadAheadAndStaysByteIdentical) {
+  const std::string dir = testing::ScratchDir("io_resume");
+  Session::Options cached_options = IoOptions();
+  cached_options.block_cache_bytes = 64 * kMiB;
+  cached_options.read_ahead_groups = 4;
+  cached_options.storage_get_latency = 200;
+  auto uninterrupted = Session::Create(cached_options);
+  ASSERT_TRUE(uninterrupted.ok());
+  {
+    auto session = Session::Create(cached_options);
+    ASSERT_TRUE(session.ok());
+    for (int64_t s = 0; s < 2; ++s) {
+      std::vector<RankBatch> got = StreamStep(**session);
+      std::vector<RankBatch> want = StreamStep(**uninterrupted);
+      for (size_t rank = 0; rank < got.size(); ++rank) {
+        ExpectBatchesIdentical(got[rank], want[rank]);
+      }
+    }
+    ASSERT_TRUE((*session)->Checkpoint(dir).ok());
+  }  // process dies; the resumed one starts cache-cold
+
+  Session::Options resumed_options = cached_options;
+  resumed_options.resume_dir = dir;
+  auto resumed = Session::Create(resumed_options);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  for (int64_t s = 0; s < 2; ++s) {
+    std::vector<RankBatch> got = StreamStep(**resumed);
+    std::vector<RankBatch> want = StreamStep(**uninterrupted);
+    for (size_t rank = 0; rank < got.size(); ++rank) {
+      ExpectBatchesIdentical(got[rank], want[rank]);
+    }
+  }
+  // Restore() re-warmed the window from the restored cursors.
+  EXPECT_GT((*resumed)->io_stats().scheduler.prefetch_issues, 0);
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+}
+
+TEST(IoSessionTest, InvalidIoOptionsAreRejected) {
+  Session::Options no_cache = IoOptions();
+  no_cache.read_ahead_groups = 2;  // read-ahead without a cache
+  EXPECT_EQ(Session::Create(std::move(no_cache)).status().code(),
+            StatusCode::kInvalidArgument);
+  Session::Options spill_only = IoOptions();
+  spill_only.cache_spill_dir = "/tmp/never-used";
+  EXPECT_EQ(Session::Create(std::move(spill_only)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace msd

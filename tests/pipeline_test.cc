@@ -212,6 +212,30 @@ TEST(DataClientTest, RefcountedRetirementReleasesConsumedSteps) {
   EXPECT_EQ((*session)->CaptureStep(0).status().code(), StatusCode::kFailedPrecondition);
 }
 
+TEST(DataClientTest, FloorRetiredStepReleasesEagerlyAfterFinalFetch) {
+  // Sequential per-rank streaming: the final rank's claim advances the cursor
+  // floor and retires the ticket *before* its fetch lands. The post-fetch
+  // bookkeeping must still release the step's StepData right after that fetch
+  // completes — one step earlier than the resident_steps eviction backstop.
+  Session::Options options = PipelineOptions(2);
+  options.spec = {.dp = 1, .pp = 2, .cp = 1, .tp = 1};  // world 2
+  auto session = Session::Create(options);
+  ASSERT_TRUE(session.ok());
+  for (int64_t step = 0; step < 3; ++step) {
+    for (int32_t rank = 0; rank < 2; ++rank) {
+      ASSERT_TRUE((*session)->client(rank).value()->NextBatch().ok());
+    }
+    // Every fully consumed step must already be gone from the constructors
+    // (the release lands in the mailbox before this Ask).
+    for (const std::vector<int64_t>& resident : (*session)->ConstructorResidentSteps()) {
+      for (int64_t s : resident) {
+        EXPECT_GT(s, step) << "step " << step << " survived its final fetch";
+      }
+    }
+  }
+  EXPECT_GE((*session)->pipeline_stats().steps_released, 3);
+}
+
 TEST(DataClientTest, AsyncPullsDeliverInStreamOrder) {
   Session::Options options = PipelineOptions(2);
   options.spec = {.dp = 1, .pp = 1, .cp = 1, .tp = 1};

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <filesystem>
+#include <limits>
 
 #include "src/actor/gcs.h"
 #include "src/loader/source_loader.h"
@@ -258,6 +259,24 @@ TEST(FileHandleTest, RangeReads) {
   EXPECT_EQ(handle.Read(2, 3).value(), "234");
   EXPECT_EQ(handle.Read(0, 10).value(), "0123456789");
   EXPECT_EQ(handle.Read(5, 6).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ObjectStoreTest, RangedGetsAreOverflowSafe) {
+  // A corrupt MSDF footer can carry row-group offsets near INT64_MAX; the
+  // bounds check must reject them without computing offset + length.
+  ObjectStore store;
+  ASSERT_TRUE(store.Put("f", "0123456789").ok());
+  EXPECT_EQ(store.Get("f", 2, 3).value(), "234");
+  constexpr int64_t kHuge = std::numeric_limits<int64_t>::max() - 1;
+  EXPECT_EQ(store.Get("f", kHuge, 100).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(store.Get("f", 2, kHuge).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(store.Get("f", -1, 2).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(store.Get("f", 2, -2).status().code(), StatusCode::kOutOfRange);
+  FileHandle handle = store.Open("f", 0).value();
+  EXPECT_EQ(handle.Read(kHuge, 100).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(handle.Read(2, kHuge).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(store.SizeOf("f").value(), 10);
+  EXPECT_EQ(store.SizeOf("ghost").status().code(), StatusCode::kNotFound);
 }
 
 TEST(ObjectStoreDiskTest, BlobsSurviveTheStoreInstance) {
