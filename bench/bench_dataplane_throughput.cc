@@ -1,20 +1,28 @@
 // Data-plane throughput: zero-copy loader->constructor->rank-batch pipeline
 // versus the scalar reference plane (src/constructor/reference_assembly.h,
-// the frozen pre-refactor implementation).
+// the frozen pre-refactor implementation), over text-heavy AND image-heavy
+// corpora.
 //
 // For each scenario the harness materializes a synthetic corpus, opens one
-// Source Loader per source, builds a plan covering every buffered sample,
-// pops the slices once (shared by both planes), then repeatedly runs
-// build-step + get-batch for every rank of the world and reports:
-//   - tokens/sec through each plane (the paper's "data path must never be
-//     the bottleneck" quantity),
-//   - bytes of token payload materialized per iteration (TokenPlaneStats),
+// Source Loader per source (arena-backed row decode on), builds a plan
+// covering every buffered sample, pops the slices once (shared by both
+// planes), then repeatedly runs build-step + get-batch for every rank of the
+// world and reports:
+//   - tokens/sec and payload bytes/sec (tokens + positions + pixels) through
+//     each plane (the paper's "data path must never be the bottleneck"
+//     quantity),
+//   - bytes of token payload materialized per iteration (PayloadPlaneStats),
+//   - pixel bytes materialized per iteration — ZERO on the zero-copy plane:
+//     pixel views alias the loaders' frozen decode slabs end-to-end,
 //   - Sample deep copies per iteration (zero on the zero-copy plane),
 //   - staged re-broadcast payload for the mesh (selective broadcasting).
 //
-// `--smoke` runs the smallest scenario with 2 iterations and exits nonzero
-// if the zero-copy plane ever copies a Sample or diverges from the reference
-// payload accounting — wired into ctest so the bench can never silently rot.
+// `--smoke` runs the smallest text and image scenarios with 2 iterations and
+// exits nonzero if the zero-copy plane ever copies a Sample, materializes a
+// pixel byte, diverges from the reference payload accounting, misses the 2x
+// payload-bytes/s bar on the image corpus, or (arena on vs off vs reference)
+// serves a byte-divergent batch — wired into ctest so the bench can never
+// silently rot.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -37,29 +45,39 @@ struct Scenario {
   int32_t max_seq_len;
   int64_t rows_per_file;
   int32_t num_microbatches;
+  // Coyo700m-like image-text sources (heavy pixel payloads) instead of the
+  // navit mixed corpus.
+  bool image_corpus = false;
 };
 
 double Seconds(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
 
+struct PassTotals {
+  int64_t tokens = 0;
+  int64_t pixels = 0;
+  int64_t payload_bytes = 0;
+};
+
 struct PlaneResult {
   double tokens_per_sec = 0.0;
+  double payload_bytes_per_sec = 0.0;
   int64_t tokens_per_iter = 0;
+  int64_t pixels_per_iter = 0;
   int64_t payload_bytes = 0;
-  int64_t materialized_per_iter = 0;
+  int64_t materialized_per_iter = 0;        // token bytes (freeze + copy-out)
+  int64_t pixel_materialized_per_iter = 0;  // pixel bytes (freeze + copy-out)
   int64_t sample_copies_per_iter = 0;
 };
 
 // One full pass: build every constructor's step from (a cheap alias copy of)
-// its slices, then fetch every rank's batch. Returns tokens and payload
-// bytes delivered.
+// its slices, then fetch every rank's batch. Returns tokens, pixels, and
+// payload bytes delivered.
 template <typename Plane, typename Slices>
-std::pair<int64_t, int64_t> RunPass(std::vector<std::unique_ptr<Plane>>& planes,
-                                    const LoadingPlan& plan, const Slices& slices_per_dp,
-                                    const ParallelismSpec& spec) {
-  int64_t tokens = 0;
-  int64_t payload = 0;
+PassTotals RunPass(std::vector<std::unique_ptr<Plane>>& planes, const LoadingPlan& plan,
+                   const Slices& slices_per_dp, const ParallelismSpec& spec) {
+  PassTotals totals;
   for (size_t dp = 0; dp < planes.size(); ++dp) {
     Status built = planes[dp]->BuildStep(plan, slices_per_dp[dp]);
     MSD_CHECK(built.ok());
@@ -68,14 +86,15 @@ std::pair<int64_t, int64_t> RunPass(std::vector<std::unique_ptr<Plane>>& planes,
     int32_t dp = CoordOfRank(spec, rank).dp;
     Result<RankBatch> batch = planes[static_cast<size_t>(dp)]->GetBatch(rank, plan.step);
     MSD_CHECK(batch.ok());
-    payload += batch->payload_bytes;
+    totals.payload_bytes += batch->payload_bytes;
     for (const Microbatch& mb : batch->microbatches) {
       for (const PackedSequence& seq : mb.sequences) {
-        tokens += static_cast<int64_t>(seq.tokens.size());
+        totals.tokens += static_cast<int64_t>(seq.tokens.size());
+        totals.pixels += seq.PixelCount();
       }
     }
   }
-  return {tokens, payload};
+  return totals;
 }
 
 template <typename Plane, typename MakePlane, typename Slices>
@@ -89,22 +108,28 @@ PlaneResult MeasurePlane(MakePlane make_plane, const LoadingPlan& plan,
   // Warm-up pass (first-touch allocations), then measured passes.
   RunPass(planes, plan, slices_per_dp, spec);
   ResetSampleCopyCount();
-  TokenPlaneStats::Reset();
+  PayloadPlaneStats::Reset();
   auto t0 = std::chrono::steady_clock::now();
   int64_t tokens = 0;
-  int64_t payload = 0;
+  PassTotals last;
   for (int i = 0; i < iters; ++i) {
-    auto [t, p] = RunPass(planes, plan, slices_per_dp, spec);
-    tokens += t;
-    payload = p;
+    last = RunPass(planes, plan, slices_per_dp, spec);
+    tokens += last.tokens;
   }
   double elapsed = Seconds(t0);
   PlaneResult r;
   r.tokens_per_iter = tokens / iters;
+  r.pixels_per_iter = last.pixels;
   r.tokens_per_sec = static_cast<double>(tokens) / elapsed;
-  r.payload_bytes = payload;
+  r.payload_bytes_per_sec =
+      static_cast<double>(last.payload_bytes) * static_cast<double>(iters) / elapsed;
+  r.payload_bytes = last.payload_bytes;
   r.materialized_per_iter =
-      TokenPlaneStats::MaterializedBytes().load(std::memory_order_relaxed) / iters;
+      PayloadPlaneStats::MaterializedBytes(PayloadKind::kTokens).load(std::memory_order_relaxed) /
+      iters;
+  r.pixel_materialized_per_iter =
+      PayloadPlaneStats::MaterializedBytes(PayloadKind::kPixels).load(std::memory_order_relaxed) /
+      iters;
   r.sample_copies_per_iter = SampleCopyCount() / iters;
   return r;
 }
@@ -122,37 +147,139 @@ struct ZeroCopyAdapter {
   DataConstructor dc;
 };
 
+// Opens one loader per source over the already-materialized corpus files.
+std::vector<std::unique_ptr<SourceLoader>> OpenLoaders(const CorpusSpec& corpus,
+                                                       ObjectStore& store,
+                                                       MemoryAccountant& memory,
+                                                       int64_t rows_per_file,
+                                                       bool arena_decode) {
+  std::vector<std::unique_ptr<SourceLoader>> loaders;
+  for (const SourceSpec& spec : corpus.sources) {
+    SourceLoaderConfig config;
+    config.loader_id = spec.source_id;
+    config.spec = spec;
+    config.spec.num_files = 1;
+    config.spec.rows_per_file = rows_per_file;
+    config.files = {SourceFileName(spec, 0)};
+    config.num_workers = 1;
+    config.buffer_low_watermark = static_cast<size_t>(rows_per_file) * 2;
+    config.arena_decode = arena_decode;
+    // Distinct actor names for the arena-off replica set.
+    config.name_override = std::string(arena_decode ? "bench_arena/" : "bench_legacy/") +
+                           spec.name + "#" + std::to_string(spec.source_id);
+    auto loader = std::make_unique<SourceLoader>(config, &store, &memory);
+    MSD_CHECK(loader->Open().ok());
+    loaders.push_back(std::move(loader));
+  }
+  return loaders;
+}
+
+// Pops every constructor's slices for `plan` from `loaders`.
+std::vector<std::vector<SampleSlice>> PopSlices(
+    const LoadingPlan& plan, std::vector<std::unique_ptr<SourceLoader>>& loaders,
+    const ClientPlaceTree& tree, MemoryAccountant& memory,
+    const DataConstructorConfig& dc_config, int32_t dp_degree, int64_t* popped) {
+  std::vector<std::vector<SampleSlice>> slices_per_dp(static_cast<size_t>(dp_degree));
+  for (int32_t dp = 0; dp < dp_degree; ++dp) {
+    DataConstructorConfig c = dc_config;
+    c.constructor_id = dp;
+    DataConstructor owned_probe(c, &tree, &memory);
+    std::vector<int32_t> owned = owned_probe.OwnedBuckets(plan);
+    for (auto& loader : loaders) {
+      std::vector<uint64_t> ids;
+      for (const SliceAssignment& a : plan.assignments) {
+        bool mine = false;
+        for (int32_t b : owned) {
+          mine = mine || (b == a.bucket);
+        }
+        if (mine && a.loader_id == loader->config().loader_id) {
+          ids.push_back(a.sample_id);
+        }
+      }
+      if (ids.empty()) {
+        continue;
+      }
+      Result<SampleSlice> slice = loader->PopSamples(plan.step, ids);
+      MSD_CHECK(slice.ok());
+      if (popped != nullptr) {
+        *popped += static_cast<int64_t>(slice->samples.size());
+      }
+      slices_per_dp[static_cast<size_t>(dp)].push_back(std::move(slice.value()));
+    }
+  }
+  return slices_per_dp;
+}
+
+// Byte-level batch comparison across planes (tokens, positions, pixels).
+int CompareBatches(const RankBatch& got, const RankBatch& want, const char* label) {
+  int failures = 0;
+  auto fail = [&](const char* what) {
+    std::printf("  FAIL [%s]: rank %d diverges on %s\n", label, got.rank, what);
+    ++failures;
+  };
+  if (got.payload_bytes != want.payload_bytes) {
+    fail("payload_bytes");
+  }
+  if (got.microbatches.size() != want.microbatches.size()) {
+    fail("microbatch count");
+    return failures;
+  }
+  for (size_t m = 0; m < got.microbatches.size(); ++m) {
+    const Microbatch& gm = got.microbatches[m];
+    const Microbatch& wm = want.microbatches[m];
+    if (gm.sequences.size() != wm.sequences.size()) {
+      fail("sequence count");
+      return failures;
+    }
+    for (size_t s = 0; s < gm.sequences.size(); ++s) {
+      const PackedSequence& gs = gm.sequences[s];
+      const PackedSequence& ws = wm.sequences[s];
+      if (gs.sample_ids != ws.sample_ids || gs.tokens.ToVector() != ws.tokens.ToVector() ||
+          gs.position_ids.ToVector() != ws.position_ids.ToVector()) {
+        fail("token payload");
+      }
+      if (gs.pixel_segments.size() != ws.pixel_segments.size()) {
+        fail("pixel segment count");
+        continue;
+      }
+      for (size_t p = 0; p < gs.pixel_segments.size(); ++p) {
+        if (gs.pixel_segments[p].ToVector() != ws.pixel_segments[p].ToVector()) {
+          fail("pixel payload");
+          break;
+        }
+      }
+    }
+  }
+  return failures;
+}
+
 int RunScenario(const Scenario& s, int iters, bool smoke) {
   bench::PrintHeader(
       std::string("data plane throughput — ") + s.label,
       "the disaggregated loader feeds training without the data path becoming "
       "the bottleneck (zero redundant copies on the hot path)");
-  std::printf("  sources=%d mesh={dp=%d pp=%d cp=%d tp=%d} seq_len=%d rows/src=%lld\n",
+  std::printf("  sources=%d mesh={dp=%d pp=%d cp=%d tp=%d} seq_len=%d rows/src=%lld corpus=%s\n",
               s.num_sources, s.spec.dp, s.spec.pp, s.spec.cp, s.spec.tp, s.max_seq_len,
-              static_cast<long long>(s.rows_per_file));
+              static_cast<long long>(s.rows_per_file), s.image_corpus ? "image" : "mixed");
 
   MemoryAccountant memory;
   ObjectStore store(&memory);
-  CorpusSpec corpus = MakeNavitData(11, s.num_sources);
+  CorpusSpec corpus =
+      s.image_corpus ? MakeCoyo700m(11) : MakeNavitData(11, s.num_sources);
+  if (s.image_corpus) {
+    corpus.sources.resize(static_cast<size_t>(s.num_sources));
+  }
   ClientPlaceTree tree = ClientPlaceTree::FromDeviceMesh(s.spec, s.num_microbatches);
 
-  // Materialize + open one loader per source.
-  std::vector<std::unique_ptr<SourceLoader>> loaders;
+  // Materialize the corpus files once; every loader set reads the same bytes.
   for (SourceSpec& spec : corpus.sources) {
     spec.num_files = 1;
     spec.rows_per_file = s.rows_per_file;
     Status wrote = WriteSourceFiles(store, spec, 11, {.target_row_group_bytes = 256 * kKiB});
     MSD_CHECK(wrote.ok());
-    SourceLoaderConfig config;
-    config.loader_id = spec.source_id;
-    config.spec = spec;
-    config.files = {SourceFileName(spec, 0)};
-    config.num_workers = 1;
-    config.buffer_low_watermark = static_cast<size_t>(s.rows_per_file) * 2;
-    auto loader = std::make_unique<SourceLoader>(config, &store, &memory);
-    MSD_CHECK(loader->Open().ok());
-    loaders.push_back(std::move(loader));
   }
+  std::vector<std::unique_ptr<SourceLoader>> loaders =
+      OpenLoaders(corpus, store, memory, s.rows_per_file, /*arena_decode=*/true);
 
   // Plan: round-robin every buffered sample over (bucket, microbatch) bins.
   LoadingPlan plan;
@@ -180,33 +307,10 @@ int RunScenario(const Scenario& s, int iters, bool smoke) {
   // Pop every constructor's slices once (timed; both planes then share them).
   DataConstructorConfig dc_config;
   dc_config.max_seq_len = s.max_seq_len;
-  std::vector<std::vector<SampleSlice>> slices_per_dp(static_cast<size_t>(s.spec.dp));
   auto pop_t0 = std::chrono::steady_clock::now();
   int64_t popped = 0;
-  for (int32_t dp = 0; dp < s.spec.dp; ++dp) {
-    dc_config.constructor_id = dp;
-    DataConstructor owned_probe(dc_config, &tree, &memory);
-    std::vector<int32_t> owned = owned_probe.OwnedBuckets(plan);
-    for (auto& loader : loaders) {
-      std::vector<uint64_t> ids;
-      for (const SliceAssignment& a : plan.assignments) {
-        bool mine = false;
-        for (int32_t b : owned) {
-          mine = mine || (b == a.bucket);
-        }
-        if (mine && a.loader_id == loader->config().loader_id) {
-          ids.push_back(a.sample_id);
-        }
-      }
-      if (ids.empty()) {
-        continue;
-      }
-      Result<SampleSlice> slice = loader->PopSamples(plan.step, ids);
-      MSD_CHECK(slice.ok());
-      popped += static_cast<int64_t>(slice->samples.size());
-      slices_per_dp[static_cast<size_t>(dp)].push_back(std::move(slice.value()));
-    }
-  }
+  std::vector<std::vector<SampleSlice>> slices_per_dp =
+      PopSlices(plan, loaders, tree, memory, dc_config, s.spec.dp, &popped);
   double pop_s = Seconds(pop_t0);
   bench::PrintRow("samples popped (single-pass compaction)", static_cast<double>(popped), "");
   bench::PrintRow("pop wall time", pop_s * 1e3, "ms");
@@ -228,14 +332,23 @@ int RunScenario(const Scenario& s, int iters, bool smoke) {
       plan, slices_per_dp, s.spec, iters);
 
   bench::PrintRow("tokens delivered / iteration", static_cast<double>(zero.tokens_per_iter), "");
+  bench::PrintRow("pixels delivered / iteration", static_cast<double>(zero.pixels_per_iter), "");
   bench::PrintRow("zero-copy plane", zero.tokens_per_sec / 1e6, "Mtok/s");
   bench::PrintRow("reference scalar plane", ref.tokens_per_sec / 1e6, "Mtok/s");
+  bench::PrintRow("zero-copy payload throughput", zero.payload_bytes_per_sec / 1e6, "MB/s");
+  bench::PrintRow("reference payload throughput", ref.payload_bytes_per_sec / 1e6, "MB/s");
   double speedup = zero.tokens_per_sec / ref.tokens_per_sec;
-  bench::PrintRow("speedup (zero-copy / reference)", speedup, "x");
-  bench::PrintRow("bytes materialized / iter (zero-copy)",
+  double bytes_speedup = zero.payload_bytes_per_sec / ref.payload_bytes_per_sec;
+  bench::PrintRow("speedup (zero-copy / reference, tokens/s)", speedup, "x");
+  bench::PrintRow("speedup (tokens+pixels bytes/s)", bytes_speedup, "x");
+  bench::PrintRow("token bytes materialized / iter (zero-copy)",
                   static_cast<double>(zero.materialized_per_iter) / 1e6, "MB");
-  bench::PrintRow("bytes materialized / iter (reference)",
+  bench::PrintRow("token bytes materialized / iter (reference)",
                   static_cast<double>(ref.materialized_per_iter) / 1e6, "MB");
+  bench::PrintRow("pixel bytes materialized / iter (zero-copy)",
+                  static_cast<double>(zero.pixel_materialized_per_iter) / 1e6, "MB");
+  bench::PrintRow("pixel bytes materialized / iter (reference)",
+                  static_cast<double>(ref.pixel_materialized_per_iter) / 1e6, "MB");
   bench::PrintRow("Sample deep copies / iter (zero-copy)",
                   static_cast<double>(zero.sample_copies_per_iter), "");
   bench::PrintRow("Sample deep copies / iter (reference)",
@@ -266,8 +379,56 @@ int RunScenario(const Scenario& s, int iters, bool smoke) {
                 static_cast<long long>(ref.payload_bytes));
     ++failures;
   }
+  if (zero.pixel_materialized_per_iter != 0) {
+    std::printf("  FAIL: zero-copy plane materialized %lld pixel bytes (must be 0:\n"
+                "        pixel views alias the loaders' frozen decode slabs)\n",
+                static_cast<long long>(zero.pixel_materialized_per_iter));
+    ++failures;
+  }
+  if (s.image_corpus && bytes_speedup < 2.0) {
+    if (smoke) {
+      std::printf("  FAIL: payload-bytes/s speedup %.2fx below the 2x acceptance bar\n",
+                  bytes_speedup);
+      ++failures;
+    } else {
+      std::printf("  WARN: payload-bytes/s speedup below the 2x acceptance bar\n");
+    }
+  }
   if (!smoke && speedup < 2.0) {
-    std::printf("  WARN: speedup below the 2x acceptance bar\n");
+    std::printf("  WARN: tokens/s speedup below the 2x acceptance bar\n");
+  }
+
+  // Arena on/off byte-identity: a second loader set decodes the same corpus
+  // with the legacy per-row allocator; every rank's batch must be identical
+  // across arena-on, arena-off, and the scalar reference plane.
+  {
+    std::vector<std::unique_ptr<SourceLoader>> legacy =
+        OpenLoaders(corpus, store, memory, s.rows_per_file, /*arena_decode=*/false);
+    std::vector<std::vector<SampleSlice>> legacy_slices =
+        PopSlices(plan, legacy, tree, memory, dc_config, s.spec.dp, nullptr);
+    for (int32_t dp = 0; dp < s.spec.dp; ++dp) {
+      DataConstructorConfig c = dc_config;
+      c.constructor_id = dp;
+      ZeroCopyAdapter on(c, &tree, &memory);
+      ZeroCopyAdapter off(c, &tree, &memory);
+      ReferenceDataPlane reference(c, &tree);
+      MSD_CHECK(on.BuildStep(plan, slices_per_dp[static_cast<size_t>(dp)]).ok());
+      MSD_CHECK(off.BuildStep(plan, legacy_slices[static_cast<size_t>(dp)]).ok());
+      MSD_CHECK(reference.BuildStep(plan, slices_per_dp[static_cast<size_t>(dp)]).ok());
+      for (int32_t rank = 0; rank < s.spec.WorldSize(); ++rank) {
+        if (CoordOfRank(s.spec, rank).dp != dp) {
+          continue;
+        }
+        RankBatch got_on = on.GetBatch(rank, plan.step).value();
+        RankBatch got_off = off.GetBatch(rank, plan.step).value();
+        RankBatch want = reference.GetBatch(rank, plan.step).value();
+        failures += CompareBatches(got_on, want, "arena-on vs reference");
+        failures += CompareBatches(got_off, want, "arena-off vs reference");
+      }
+    }
+    if (failures == 0) {
+      std::printf("  byte-identity held: arena-on == arena-off == reference plane\n");
+    }
   }
   return failures;
 }
@@ -284,14 +445,18 @@ int main(int argc, char** argv) {
   std::vector<Scenario> scenarios;
   if (smoke) {
     scenarios.push_back({"smoke (2 sources, dp=1)", 2,
-                         {.dp = 1, .pp = 1, .cp = 2, .tp = 2}, 1024, 24, 2});
+                         {.dp = 1, .pp = 1, .cp = 2, .tp = 2}, 1024, 24, 2, false});
+    scenarios.push_back({"smoke image (2 sources, dp=1 cp=2 tp=2)", 2,
+                         {.dp = 1, .pp = 1, .cp = 2, .tp = 2}, 1024, 24, 2, true});
   } else {
     scenarios.push_back({"small (2 sources, dp=1 cp=1)", 2,
-                         {.dp = 1, .pp = 1, .cp = 1, .tp = 1}, 1024, 32, 2});
+                         {.dp = 1, .pp = 1, .cp = 1, .tp = 1}, 1024, 32, 2, false});
     scenarios.push_back({"medium (4 sources, dp=2 cp=2)", 4,
-                         {.dp = 2, .pp = 1, .cp = 2, .tp = 1}, 2048, 32, 2});
+                         {.dp = 2, .pp = 1, .cp = 2, .tp = 1}, 2048, 32, 2, false});
     scenarios.push_back({"large (8 sources, dp=4 cp=2 pp=2 tp=2)", 8,
-                         {.dp = 4, .pp = 2, .cp = 2, .tp = 2}, 4096, 48, 4});
+                         {.dp = 4, .pp = 2, .cp = 2, .tp = 2}, 4096, 48, 4, false});
+    scenarios.push_back({"image-heavy (4 sources, dp=2 cp=2 tp=2)", 4,
+                         {.dp = 2, .pp = 1, .cp = 2, .tp = 2}, 2048, 32, 2, true});
   }
   int iters = smoke ? 2 : 20;
   int failures = 0;

@@ -69,6 +69,35 @@ int main() {
   const msd::PackedSequence& s1 = cp1.microbatches[0].sequences[0];
   std::printf("\nCP slicing: sequence of %d padded tokens -> rank slices of %zu + %zu\n",
               s0.padded_to, s0.tokens.size(), s1.tokens.size());
+
+  // Multimodal payload plane: pixels ride whole with the sequence at every
+  // CP coordinate, as views aliasing ONE loader-frozen buffer — no copies.
+  auto first_pixels = [](const msd::RankBatch& batch) -> const msd::PixelView* {
+    for (const msd::Microbatch& mb : batch.microbatches) {
+      for (const msd::PackedSequence& seq : mb.sequences) {
+        for (const msd::PixelView& v : seq.pixel_segments) {
+          if (!v.empty()) {
+            return &v;
+          }
+        }
+      }
+    }
+    return nullptr;
+  };
+  const msd::PixelView* px0 = first_pixels(cp0);
+  const msd::PixelView* px1 = first_pixels(cp1);
+  if (px0 != nullptr && px1 != nullptr) {
+    int64_t pixels = 0;
+    for (const msd::Microbatch& mb : cp0.microbatches) {
+      for (const msd::PackedSequence& seq : mb.sequences) {
+        pixels += seq.PixelCount();
+      }
+    }
+    std::printf("pixel plane: %lld patch-embedding floats on cp0; cp0/cp1 alias one "
+                "frozen buffer: %s\n",
+                static_cast<long long>(pixels),
+                px0->AliasesStorageOf(*px1) ? "yes" : "NO (bug!)");
+  }
   std::printf("hybrid-balance mean DP imbalance over 4 steps: %.3f\n", hybrid_imbalance);
   msd::PrefetchPipeline::Stats pipeline = (*session)->pipeline_stats();
   std::printf("pipeline: %lld hits / %lld stalls, %lld steps retired by rank refcount\n",

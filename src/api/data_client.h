@@ -33,20 +33,23 @@ class DataClient {
   DataClient(const DataClient&) = delete;
   DataClient& operator=(const DataClient&) = delete;
 
-  // Blocking pull of this rank's next batch; advances the rank's cursor.
+  /// Blocking pull of this rank's next batch; advances the rank's cursor.
+  /// Token and pixel payloads inside the batch are zero-copy views of the
+  /// session's frozen step buffers.
   Result<RankBatch> NextBatch();
 
-  // Future-returning pull, for overlapping the fetch with caller compute.
-  // Keep at most one pull (sync or async) outstanding per rank: the step is
-  // claimed when the pull executes, so concurrent pulls on one rank would
-  // claim steps in a nondeterministic order. Backed by a short-lived thread
-  // per call — negligible at step granularity, but hot loops should prefer
-  // NextBatch() on a persistent consumer thread.
+  /// Future-returning pull, for overlapping the fetch with caller compute.
+  /// Keep at most one pull (sync or async) outstanding per rank: the step is
+  /// claimed when the pull executes, so concurrent pulls on one rank would
+  /// claim steps in a nondeterministic order. Backed by a short-lived thread
+  /// per call — negligible at step granularity, but hot loops should prefer
+  /// NextBatch() on a persistent consumer thread.
   std::future<Result<RankBatch>> NextBatchAsync();
 
+  /// The training rank this handle is bound to.
   int32_t rank() const { return rank_; }
-  // The step the next NextBatch() call will serve, or -1 if this rank was
-  // dropped from the mesh by a shrinking Reshard().
+  /// The step the next NextBatch() call will serve, or -1 if this rank was
+  /// dropped from the mesh by a shrinking Reshard().
   int64_t next_step() const;
 
  private:

@@ -209,6 +209,7 @@ Status Session::Initialize() {
       }
       config.num_workers = std::max(1, part.workers_per_actor);
       config.defer_image_decode = options_.defer_image_decode;
+      config.arena_decode = options_.arena_decode;
       config.read_ahead_groups = options_.read_ahead_groups;
       config.ranged_reads = remote_store_ != nullptr;
       config.buffer_low_watermark =
@@ -730,10 +731,29 @@ Status Session::AdvanceStep() {
   last_stats_.prefetch_stalls = stats.prefetch_stalls;
   last_stats_.rank_stalls = pipeline_->rank_stalls();
   FillIoCounters(&last_stats_);
+  FillPayloadCounters(&last_stats_);
   // The lockstep loop delivered this step; retire it so the producer can move
   // on (GetBatch still serves it from the constructors' resident window).
   pipeline_->MarkShimConsumed(step);
   return Status::Ok();
+}
+
+void Session::FillPayloadCounters(StepStats* stats) {
+  // Process-wide payload-plane accounting (payload_buffer.h). Materialized
+  // bytes include explicit copy-outs; report the freeze-only share and the
+  // copy share separately so "zero copies on the hot path" is checkable.
+  int64_t token_copies =
+      PayloadPlaneStats::CopiedOutBytes(PayloadKind::kTokens).load(std::memory_order_relaxed);
+  int64_t pixel_copies =
+      PayloadPlaneStats::CopiedOutBytes(PayloadKind::kPixels).load(std::memory_order_relaxed);
+  stats->token_bytes_frozen =
+      PayloadPlaneStats::MaterializedBytes(PayloadKind::kTokens).load(std::memory_order_relaxed) -
+      token_copies;
+  stats->pixel_bytes_frozen =
+      PayloadPlaneStats::MaterializedBytes(PayloadKind::kPixels).load(std::memory_order_relaxed) -
+      pixel_copies;
+  stats->payload_copy_bytes = token_copies + pixel_copies;
+  stats->arena_slabs_frozen = PayloadPlaneStats::ArenaSlabsFrozen().load(std::memory_order_relaxed);
 }
 
 void Session::FillIoCounters(StepStats* stats) const {
@@ -808,6 +828,7 @@ Result<Session::StepStats> Session::StepStatsFor(int64_t step) {
   stats.prefetch_stalls = pipeline.prefetch_stalls;
   stats.rank_stalls = pipeline_->rank_stalls();
   FillIoCounters(&stats);
+  FillPayloadCounters(&stats);
   return stats;
 }
 
@@ -936,6 +957,10 @@ SessionBuilder& SessionBuilder::WithRowsPerFile(int64_t rows) {
 }
 SessionBuilder& SessionBuilder::WithDeferredImageDecode(bool enabled) {
   options_.defer_image_decode = enabled;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithArenaDecode(bool enabled) {
+  options_.arena_decode = enabled;
   return *this;
 }
 SessionBuilder& SessionBuilder::WithPrefetchDepth(int32_t depth) {

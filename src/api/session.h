@@ -87,6 +87,12 @@ class Session {
     // Transformation reordering (Sec. 6.2): ship compressed image bytes from
     // loaders and decode at the Data Constructor.
     bool defer_image_decode = false;
+    // Arena-backed row-group decode (src/data/payload_arena.h): loaders
+    // allocate each group's Samples as one shared block and freeze decoded
+    // payloads as per-shard slabs — O(1) allocations per group instead of
+    // per row, freed as a unit when the group's last sample retires. The
+    // byte stream is identical with it off (the legacy per-row path).
+    bool arena_decode = true;
     // Steps the pipeline works ahead of consumption (>= 2 hides the data
     // plane behind training compute). 0 = fully synchronous lockstep
     // production — the baseline bench_pipeline_throughput measures against.
@@ -138,36 +144,66 @@ class Session {
     int32_t checkpoint_keep_generations = 0;
   };
 
+  // Per-step observability snapshot: planner quality, pipeline progress,
+  // io-subsystem counters, and payload-plane allocation/copy accounting.
   struct StepStats {
+    /// Step index these stats describe.
     int64_t step = 0;
-    double dp_imbalance = 1.0;     // max/mean across DP bucket loads
+    /// Max/mean load across DP buckets for this step's plan (1.0 = perfect).
+    double dp_imbalance = 1.0;
+    /// Samples the plan assigned across all buckets.
     size_t samples = 0;
+    /// Wall time the Planner spent computing this step's plan.
     double plan_compute_ms = 0.0;
-    // Pipeline observability.
-    int32_t prefetch_depth = 0;       // configured build-ahead window
-    size_t prefetch_queue_depth = 0;  // produced-but-unretired steps right now
-    int64_t prefetch_hits = 0;        // cumulative pulls served without waiting
-    int64_t prefetch_stalls = 0;      // cumulative pulls that blocked on build
-    double build_ahead_ms = 0.0;      // plan+pop+build wall time of this step
-    // Per-rank stall histogram (streaming path): cumulative blocked pulls
-    // and total blocked time per rank — localizes which ranks outrun the
-    // build-ahead. Indexed by rank; empty before any streaming pull.
+    /// Configured build-ahead window (SessionBuilder::WithPrefetchDepth).
+    int32_t prefetch_depth = 0;
+    /// Produced-but-unretired steps resident in the pipeline right now.
+    size_t prefetch_queue_depth = 0;
+    /// Cumulative rank pulls served without waiting (the hot-path case).
+    int64_t prefetch_hits = 0;
+    /// Cumulative rank pulls that blocked on an unfinished build.
+    int64_t prefetch_stalls = 0;
+    /// Plan+pop+build wall time of this step on the producer thread.
+    double build_ahead_ms = 0.0;
+    /// Per-rank blocked-pull histogram (count + total wait), indexed by rank;
+    /// empty before any streaming pull. Localizes which ranks outrun builds.
     std::vector<PrefetchPipeline::RankStall> rank_stalls;
-    // Remote-storage I/O counters (cumulative; zero when src/io/ disabled).
+    /// Cumulative block-cache hits (zero when src/io/ is disabled).
     int64_t cache_hits = 0;
+    /// Cumulative block-cache misses.
     int64_t cache_misses = 0;
+    /// Cumulative block-cache evictions (memory tier).
     int64_t cache_evictions = 0;
-    int64_t io_coalesced = 0;       // reads that joined an in-flight Get
-    int64_t readahead_issued = 0;   // prefetch fetches issued by loaders
-    int64_t storage_gets = 0;       // backing Gets the (latency) store saw
+    /// Reads that coalesced onto an already-in-flight backing Get.
+    int64_t io_coalesced = 0;
+    /// Read-ahead prefetch fetches issued by the loaders.
+    int64_t readahead_issued = 0;
+    /// Backing Gets the (latency-injecting) store actually served.
+    int64_t storage_gets = 0;
+    /// Cumulative token bytes frozen into immutable buffers (payload plane).
+    int64_t token_bytes_frozen = 0;
+    /// Cumulative pixel bytes frozen into immutable buffers. With arena
+    /// decode this grows by whole row-group slabs, not per sample.
+    int64_t pixel_bytes_frozen = 0;
+    /// Cumulative bytes explicitly copied OUT of payload views (ToVector).
+    /// Zero on the hot path: the data plane serves aliases, never copies.
+    int64_t payload_copy_bytes = 0;
+    /// Row-group arena slabs frozen so far (payload_arena.h). The allocator
+    /// win is rows-per-group / slabs-per-group buffers saved.
+    int64_t arena_slabs_frozen = 0;
   };
 
   // Snapshot of the remote-storage I/O subsystem's counters.
   struct IoStats {
-    bool enabled = false;           // block cache + scheduler active
+    /// True when the block cache + io scheduler are active for this session.
+    bool enabled = false;
+    /// Block-cache counters (hits/misses/evictions/spills/corruption drops).
     BlockCache::Stats cache;
+    /// Scheduler counters (issued, coalesced, prefetch issues).
     IoScheduler::Stats scheduler;
-    int64_t storage_gets = 0;       // LatencyInjectingStore only (else 0)
+    /// Backing Gets observed by the LatencyInjectingStore (0 without one).
+    int64_t storage_gets = 0;
+    /// Payload bytes the LatencyInjectingStore served (0 without one).
     int64_t storage_bytes_served = 0;
   };
 
@@ -255,6 +291,8 @@ class Session {
 
   // Copies the cumulative io-subsystem counters into `stats`.
   void FillIoCounters(StepStats* stats) const;
+  // Copies the process-wide payload-plane freeze/copy counters into `stats`.
+  static void FillPayloadCounters(StepStats* stats);
 
   // Producer callbacks wired into the prefetch pipeline.
   Result<ProducedStep> ProduceStep(int64_t step);
@@ -312,49 +350,75 @@ class SessionBuilder {
  public:
   SessionBuilder() = default;
 
+  /// Corpus to materialize into the object store (presets: MakeCoyo700m,
+  /// MakeNavitData, MakeTextCorpus — or hand-built SourceSpecs).
   SessionBuilder& WithCorpus(CorpusSpec corpus);
+  /// Parallelism mesh dp×pp×cp×tp; one DataClient per rank of it.
   SessionBuilder& WithMesh(const ParallelismSpec& spec);
+  /// Microbatches per step (gradient-accumulation bins the plan fills).
   SessionBuilder& WithMicrobatches(int32_t num_microbatches);
+  /// Samples the Planner assigns per step across all buckets.
   SessionBuilder& WithSamplesPerStep(int64_t samples_per_step);
+  /// Packing bound: max backbone tokens per packed sequence.
   SessionBuilder& WithMaxSeqLen(int32_t max_seq_len);
+  /// Orchestration strategy (vanilla / backbone-balance / hybrid-balance).
   SessionBuilder& WithStrategy(Session::StrategyKind kind);
+  /// Backbone model for the cost-model balancers (default Llama12B()).
   SessionBuilder& WithBackbone(ModelConfig backbone);
+  /// Vision encoder for the encoder subplan (default ViT1B()).
   SessionBuilder& WithEncoder(ModelConfig encoder);
+  /// Source-mixing schedule (default: uniform static weights).
   SessionBuilder& WithSchedule(std::shared_ptr<const MixSchedule> schedule);
+  /// Balancer algorithm for the balance strategies (default greedy).
   SessionBuilder& WithBalanceMethod(BalanceMethod method);
+  /// Seed for the Planner's RNG (the whole stream is deterministic in it).
   SessionBuilder& WithSeed(uint64_t seed);
+  /// Transform worker threads per Source Loader actor.
   SessionBuilder& WithLoaderWorkers(int32_t workers);
+  /// Spawns a hot-standby shadow per loader and enables KillAndRecoverLoader.
   SessionBuilder& WithFaultTolerance(bool enabled = true);
+  /// Steps between differential loader snapshots (fault tolerance).
   SessionBuilder& WithSnapshotInterval(int64_t steps);
+  /// Overrides rows materialized per source file (small = fast startup).
   SessionBuilder& WithRowsPerFile(int64_t rows);
+  /// Ships compressed image bytes from loaders; constructors decode
+  /// (transformation reordering, Sec. 6.2).
   SessionBuilder& WithDeferredImageDecode(bool enabled = true);
+  /// Arena-backed row-group decode in the loaders: one shared Sample block +
+  /// per-shard payload slabs per group instead of per-row allocations.
+  /// Byte-identical output; on by default.
+  SessionBuilder& WithArenaDecode(bool enabled = true);
+  /// Steps the pipeline builds ahead of consumption (>= 2 hides the data
+  /// plane behind training compute; 0 = lockstep baseline).
   SessionBuilder& WithPrefetchDepth(int32_t depth);
-  // Resumes the data stream from a durable checkpoint written by
-  // Session::Checkpoint(dir). Supply the same corpus/seed/step-shape options
-  // as the checkpointed job; the mesh (WithMesh) and prefetch depth may
-  // differ — elastic resume replays or replans the stream accordingly.
+  /// Resumes the data stream from a durable checkpoint written by
+  /// Session::Checkpoint(dir). Supply the same corpus/seed/step-shape options
+  /// as the checkpointed job; the mesh (WithMesh) and prefetch depth may
+  /// differ — elastic resume replays or replans the stream accordingly.
   SessionBuilder& ResumeFrom(std::string dir);
-  // Spills every GCS state write (plan journal, FT snapshots) to disk.
+  /// Spills every GCS state write (plan journal, FT snapshots) to disk.
   SessionBuilder& WithDurableGcs(std::string dir);
-  // Disables the per-step rewind recording (and with it Checkpoint()).
+  /// Disables the per-step rewind recording (and with it Checkpoint()).
   SessionBuilder& WithCheckpointJournal(bool enabled = true);
-  // Routes loader reads through a shared block cache of this many bytes.
+  /// Routes loader reads through a shared block cache of this many bytes.
   SessionBuilder& WithBlockCache(int64_t bytes);
-  // Disk tier for blocks evicted from the memory cache.
+  /// Disk tier for blocks evicted from the memory cache.
   SessionBuilder& WithCacheSpill(std::string dir);
-  // Prefetches `groups` row groups past each loader's cursor.
+  /// Prefetches `groups` row groups past each loader's cursor.
   SessionBuilder& WithReadAhead(int32_t groups);
-  // Simulates remote storage: every Get pays `get_latency` microseconds plus
-  // size/bandwidth (0 bandwidth = the sim/network default).
+  /// Simulates remote storage: every Get pays `get_latency` microseconds plus
+  /// size/bandwidth (0 bandwidth = the sim/network default).
   SessionBuilder& WithRemoteStorage(SimTime get_latency,
                                     double bandwidth_bytes_per_sec = 0);
-  // MSDF row-group target size for the materialized corpus.
+  /// MSDF row-group target size for the materialized corpus.
   SessionBuilder& WithRowGroupBytes(int64_t bytes);
-  // Checkpoints into `dir` every `every_n_steps` produced steps.
+  /// Checkpoints into `dir` every `every_n_steps` produced steps.
   SessionBuilder& WithAutoCheckpoint(std::string dir, int64_t every_n_steps);
-  // Keeps only the newest `generations` ckpt-* generations after each publish.
+  /// Keeps only the newest `generations` ckpt-* generations after each publish.
   SessionBuilder& WithCheckpointRetention(int32_t generations);
 
+  /// Materializes the corpus, spawns the actors, starts the prefetch
+  /// pipeline, and returns the ready Session.
   Result<std::unique_ptr<Session>> Build();
 
  private:

@@ -160,8 +160,11 @@ Status DataConstructor::BuildStep(const LoadingPlan& plan, std::vector<SampleSli
     MSD_RETURN_IF_ERROR(AssembleBucket(samples_by_id, bins[i], &data.microbatches[i]));
     for (const Microbatch& mb : data.microbatches[i]) {
       for (const PackedSequence& seq : mb.sequences) {
+        // Pixels are retained by the step via views into the loaders' frozen
+        // decode buffers; charge them with the step's resident payload.
         payload += static_cast<int64_t>(seq.tokens.size() * sizeof(int32_t) +
-                                        seq.position_ids.size() * sizeof(int32_t));
+                                        seq.position_ids.size() * sizeof(int32_t) +
+                                        seq.PixelCount() * static_cast<int64_t>(sizeof(float)));
       }
     }
   }
@@ -244,9 +247,15 @@ const DataConstructor::CachedView& DataConstructor::SliceViewFor(StepData& data,
             CpSliceRanges(seq.padded_to, tree_->spec().cp, cp_coord, config_.cp_split);
         out.tokens = SliceForRanges(seq.tokens, ranges, &materialized);
         out.position_ids = SliceForRanges(seq.position_ids, ranges, &materialized);
+        // Pixel payloads ride whole at every CP coordinate (CP slices the
+        // token stream; patch embeddings inject at sentinel positions), so
+        // the cached view aliases the loaders' frozen buffers — zero pixel
+        // bytes are ever materialized on this plane.
+        out.pixel_segments = seq.pixel_segments;
       }
       view->payload_bytes += static_cast<int64_t>(
-          out.tokens.size() * sizeof(int32_t) + out.position_ids.size() * sizeof(int32_t));
+          out.tokens.size() * sizeof(int32_t) + out.position_ids.size() * sizeof(int32_t) +
+          out.PixelCount() * static_cast<int64_t>(sizeof(float)));
       v.sequences.push_back(std::move(out));
     }
     view->microbatches.push_back(std::move(v));

@@ -69,6 +69,7 @@ Status ReferenceDataPlane::AssembleBucket(const LoadingPlan& plan,
       }
       std::vector<int32_t> tokens;
       tokens.reserve(static_cast<size_t>(seq.total_tokens));
+      seq.pixel_segments.clear();
       for (size_t i = 0; i < seq_samples.size(); ++i) {
         if (seq_samples[i].meta.sample_id != seq.sample_ids[i]) {
           return Status::InvalidArgument("sample order mismatch at segment " +
@@ -83,10 +84,18 @@ Status ReferenceDataPlane::AssembleBucket(const LoadingPlan& plan,
           tokens.push_back(t);
           ++emitted;
         }
+        int32_t patches = want - emitted;
         while (emitted < want) {
           tokens.push_back(kImagePatchToken);
           ++emitted;
         }
+        // Scalar plane: the segment's patch pixels are value-copied into a
+        // fresh owned buffer (the pre-zero-copy cost structure).
+        const PixelView& pixels = seq_samples[i].pixels;
+        size_t patch_count =
+            std::min(static_cast<size_t>(std::max(patches, 0)), pixels.size());
+        seq.pixel_segments.push_back(
+            std::vector<float>(pixels.begin(), pixels.begin() + patch_count));
       }
       std::vector<int32_t> positions = RopePositions(seq);
       tokens.resize(static_cast<size_t>(padded), kPadToken);
@@ -171,9 +180,18 @@ RankBatch ReferenceDataPlane::MakeRankView(const StepData& data, int32_t rank) c
         }
         out.tokens = std::move(tokens);
         out.position_ids = std::move(positions);
+        // Scalar plane: pixel payloads are value-copied again per requesting
+        // rank (the zero-copy plane serves aliases of one frozen buffer).
+        // Copy via the raw range so the traffic is accounted once (as the
+        // freeze), mirroring the token path above.
+        out.pixel_segments.reserve(seq.pixel_segments.size());
+        for (const PixelView& segment : seq.pixel_segments) {
+          out.pixel_segments.push_back(std::vector<float>(segment.begin(), segment.end()));
+        }
       }
       batch.payload_bytes += static_cast<int64_t>(
-          out.tokens.size() * sizeof(int32_t) + out.position_ids.size() * sizeof(int32_t));
+          out.tokens.size() * sizeof(int32_t) + out.position_ids.size() * sizeof(int32_t) +
+          out.PixelCount() * static_cast<int64_t>(sizeof(float)));
       view.sequences.push_back(std::move(out));
     }
     batch.microbatches.push_back(std::move(view));

@@ -5,6 +5,14 @@
 
 namespace msd {
 
+int64_t PackedSequence::PixelCount() const {
+  int64_t total = 0;
+  for (const PixelView& v : pixel_segments) {
+    total += static_cast<int64_t>(v.size());
+  }
+  return total;
+}
+
 int64_t Microbatch::TotalTokens() const {
   int64_t total = 0;
   for (const PackedSequence& s : sequences) {
@@ -67,12 +75,14 @@ Status FillPackedTokens(PackedSequence& seq, const std::vector<const Sample*>& s
   size_t width = static_cast<size_t>(pad_to > 0 ? pad_to : seq.total_tokens);
   std::vector<int32_t> tokens;
   tokens.reserve(width);
+  seq.pixel_segments.clear();
+  seq.pixel_segments.reserve(samples.size());
   for (size_t i = 0; i < samples.size(); ++i) {
     if (samples[i]->meta.sample_id != seq.sample_ids[i]) {
       return Status::InvalidArgument("sample order mismatch at segment " + std::to_string(i));
     }
     int32_t want = seq.segment_lengths[i];
-    const TokenBuffer& toks = samples[i]->tokens;
+    const TokenView& toks = samples[i]->tokens;
     // Text tokens first, then a sentinel id per image patch (interleaved
     // stream; patch embeddings are injected model-side).
     int32_t emitted = 0;
@@ -83,10 +93,16 @@ Status FillPackedTokens(PackedSequence& seq, const std::vector<const Sample*>& s
       tokens.push_back(t);
       ++emitted;
     }
+    int32_t patches = want - emitted;
     while (emitted < want) {
       tokens.push_back(kImagePatchToken);
       ++emitted;
     }
+    // The pixels backing this segment's sentinels: an O(1) alias of the
+    // sample's frozen decode output, truncated with the segment.
+    const PixelView& pixels = samples[i]->pixels;
+    seq.pixel_segments.push_back(
+        pixels.Slice(0, std::min(static_cast<size_t>(std::max(patches, 0)), pixels.size())));
   }
   std::vector<int32_t> positions = RopePositions(seq);
   tokens.resize(width, kPadToken);

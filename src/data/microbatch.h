@@ -19,19 +19,29 @@ inline constexpr int32_t kImagePatchToken = -1;
 inline constexpr int32_t kPadToken = -2;
 
 // One packed training sequence assembled from one or more sample subsequences.
-// Token payloads are zero-copy views (see token_buffer.h): the constructor
+// Token payloads are zero-copy views (see payload_buffer.h): the constructor
 // materializes each padded sequence exactly once, and every rank batch that
 // shares the sequence (TP replicas, CP slices, resident steps) aliases that
-// frozen storage instead of copying it.
+// frozen storage instead of copying it. Pixel payloads never materialize at
+// all on the zero-copy plane: each visual segment's view aliases the frozen
+// buffer the loader's decode produced (usually a whole row-group arena slab).
 struct PackedSequence {
   std::vector<uint64_t> sample_ids;
   std::vector<int32_t> segment_lengths;  // tokens contributed by each sample
   TokenView tokens;                      // concatenated token ids (real mode)
   TokenView position_ids;                // RoPE positions, restarting per segment
+  // Patch-embedding inputs per segment (parallel to sample_ids; empty views
+  // for pure-text segments). Slot i backs the kImagePatchToken sentinels of
+  // segment i, truncated with it. Pixels ride whole with the sequence at
+  // every CP coordinate — the token stream is what CP slices; patch
+  // embeddings are injected model-side at sentinel positions.
+  std::vector<PixelView> pixel_segments;
   int32_t total_tokens = 0;              // sum of segment_lengths
   int32_t padded_to = 0;                 // 0 until padding runs
 
   int32_t PaddingTokens() const { return padded_to > 0 ? padded_to - total_tokens : 0; }
+  // Patch-embedding slots carried by this sequence's pixel views.
+  int64_t PixelCount() const;
 };
 
 struct Microbatch {

@@ -1,0 +1,51 @@
+#include "src/data/payload_arena.h"
+
+#include <algorithm>
+
+#include "src/common/status.h"
+#include "src/data/sample.h"
+
+namespace msd {
+
+void RowGroupArena::CommitTokens(Sample* sample, size_t begin) {
+  MSD_CHECK(!frozen_);
+  MSD_CHECK(begin <= tokens_.size());
+  token_spans_.push_back({sample, begin, tokens_.size() - begin});
+}
+
+float* RowGroupArena::AllocPixels(Sample* sample, size_t count) {
+  MSD_CHECK(!frozen_);
+  size_t begin = pixels_.size();
+  pixels_.resize(begin + count);
+  pixel_spans_.push_back({sample, begin, count});
+  return pixels_.data() + begin;
+}
+
+void RowGroupArena::Freeze() {
+  if (frozen_) {
+    return;
+  }
+  frozen_ = true;
+  if (!token_spans_.empty()) {
+    TokenBuffer slab(std::move(tokens_));
+    PayloadPlaneStats::ArenaSlabsFrozen().fetch_add(1, std::memory_order_relaxed);
+    for (const Span& span : token_spans_) {
+      span.sample->tokens = TokenView(slab, span.offset, span.length);
+    }
+  }
+  if (!pixel_spans_.empty()) {
+    PixelBuffer slab(std::move(pixels_));
+    PayloadPlaneStats::ArenaSlabsFrozen().fetch_add(1, std::memory_order_relaxed);
+    for (const Span& span : pixel_spans_) {
+      // A post-decode crop shrinks meta.image_tokens before payloads exist;
+      // the view never exceeds what the metadata declares.
+      size_t length = std::min(
+          span.length, static_cast<size_t>(std::max<int32_t>(span.sample->meta.image_tokens, 0)));
+      span.sample->pixels = PixelView(slab, span.offset, length);
+    }
+  }
+  token_spans_.clear();
+  pixel_spans_.clear();
+}
+
+}  // namespace msd

@@ -1,0 +1,97 @@
+// Arena-backed row-group decode (the allocator-pressure half of the
+// multimodal payload plane).
+//
+// Without an arena, decoding a row group costs one heap Sample plus one
+// freshly frozen buffer per payload per row — thousands of allocations per
+// group at production row counts. A RowGroupArena amortizes that to O(1)
+// allocations per (row group, worker shard): payload bytes append into
+// contiguous typed slabs while workers decode, and Freeze() turns each slab
+// into ONE immutable PayloadBuffer, handing every recorded sample an O(1)
+// sub-window of it.
+//
+// Lifetime: the frozen slab is refcounted storage shared by every sample view
+// carved from it, so the slab is freed as a unit exactly when the group's
+// last surviving sample payload retires (popped slice released, step retired,
+// rank batch dropped) — the freeze-once TokenBuffer model, extended to whole
+// row groups. The companion trick for the Sample objects themselves lives in
+// SourceLoader::LoadNextGroup: one shared block of Samples per group, each
+// handed out as an aliasing shared_ptr.
+//
+// Threading: an arena is single-writer. Loader workers each own one arena per
+// row group (shard-private slabs); Freeze() runs on the loader thread after
+// the workers join.
+#ifndef SRC_DATA_PAYLOAD_ARENA_H_
+#define SRC_DATA_PAYLOAD_ARENA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/payload_buffer.h"
+
+namespace msd {
+
+struct Sample;
+
+// Per-(row group, worker shard) decode arena. Usage:
+//
+//   RowGroupArena arena;
+//   for (each row) {
+//     size_t begin = arena.TokenSlabSize();
+//     tokenizer.EncodeInto(text, &arena.TokenSlab());   // append in place
+//     arena.CommitTokens(&sample, begin);
+//     float* px = arena.AllocPixels(&sample, patches);  // write in place
+//   }
+//   arena.Freeze();  // one buffer per slab; spans become sample views
+class RowGroupArena {
+ public:
+  RowGroupArena() = default;
+  RowGroupArena(const RowGroupArena&) = delete;
+  RowGroupArena& operator=(const RowGroupArena&) = delete;
+  RowGroupArena(RowGroupArena&&) = default;
+  RowGroupArena& operator=(RowGroupArena&&) = default;
+
+  // The token slab producers append into (e.g. Tokenizer::EncodeInto). The
+  // vector may reallocate while the group decodes, so no pointer into it is
+  // stable until Freeze(); spans are recorded as offsets.
+  std::vector<int32_t>& TokenSlab() { return tokens_; }
+  size_t TokenSlabSize() const { return tokens_.size(); }
+
+  // Records [begin, current-end) of the token slab as `sample`'s token
+  // payload, resolved into a view at Freeze().
+  void CommitTokens(Sample* sample, size_t begin);
+
+  // Appends `count` uninitialized floats to the pixel slab, records them as
+  // `sample`'s pixel payload, and returns the write pointer (valid only until
+  // the next arena call).
+  float* AllocPixels(Sample* sample, size_t count);
+
+  // Freezes each non-empty slab into one immutable buffer and assigns every
+  // recorded span back to its sample as an O(1) view of that buffer. Pixel
+  // spans are clamped to meta.image_tokens so a post-decode crop (which only
+  // shrinks metadata before payloads exist) stays consistent. Idempotent no
+  // further appends are allowed afterwards.
+  void Freeze();
+
+  // Observability: payload bytes currently staged in the slabs.
+  int64_t StagedBytes() const {
+    return static_cast<int64_t>(tokens_.size() * sizeof(int32_t) +
+                                pixels_.size() * sizeof(float));
+  }
+
+ private:
+  struct Span {
+    Sample* sample = nullptr;
+    size_t offset = 0;
+    size_t length = 0;
+  };
+
+  std::vector<int32_t> tokens_;
+  std::vector<float> pixels_;
+  std::vector<Span> token_spans_;
+  std::vector<Span> pixel_spans_;
+  bool frozen_ = false;
+};
+
+}  // namespace msd
+
+#endif  // SRC_DATA_PAYLOAD_ARENA_H_

@@ -1,0 +1,236 @@
+// Refcounted immutable payload storage — the backbone of the zero-copy data
+// plane (loader -> constructor -> rank batch), generalized over the payload
+// element type so token streams (int32) and pixel/patch-embedding payloads
+// (float) share one ownership model.
+//
+// Ownership model
+//   PayloadBuffer<T>  owns a frozen `std::vector<T>` behind a
+//                     `std::shared_ptr<const ...>`. Once wrapped, the payload
+//                     is immutable for its whole life; "copying" a buffer only
+//                     bumps the refcount.
+//   PayloadView<T>    is a (buffer, offset, length) triple: a borrowed window
+//                     into a PayloadBuffer. Views are what travel inside
+//                     Sample, PackedSequence, and RankBatch; slicing a view is
+//                     O(1) and allocation-free.
+//
+// Aliasing invariants
+//   - A buffer's payload is never mutated after construction, so any number
+//     of views (across threads, actors, and rank batches) may alias it
+//     concurrently without synchronization.
+//   - Producers (tokenizer, image decode, constructor assembly, row-group
+//     arenas) build a plain `std::vector<T>` privately and freeze it exactly
+//     once; the freeze is the only materialization the data plane pays per
+//     payload. Arena-backed decode freezes one slab per row group and hands
+//     each sample an O(1) sub-window of it (see payload_arena.h).
+//   - Consumers that need contiguous owned storage (wire serialization,
+//     golden tests) call ToVector(), which is an explicit, accounted copy.
+//
+// Accounting: every freeze and every ToVector() adds to the per-kind
+// PayloadPlaneStats counters, which is how bench_dataplane_throughput proves
+// the zero-copy plane materializes strictly fewer bytes than the scalar
+// reference plane — and that the pixel path copies nothing at all.
+#ifndef SRC_DATA_PAYLOAD_BUFFER_H_
+#define SRC_DATA_PAYLOAD_BUFFER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace msd {
+
+// Payload families tracked separately by the copy/freeze accounting.
+enum class PayloadKind : int { kTokens = 0, kPixels = 1 };
+inline constexpr int kNumPayloadKinds = 2;
+
+// Maps an element type to its accounting family.
+template <typename T>
+struct PayloadTraits;
+template <>
+struct PayloadTraits<int32_t> {
+  static constexpr PayloadKind kKind = PayloadKind::kTokens;
+};
+template <>
+struct PayloadTraits<float> {
+  static constexpr PayloadKind kKind = PayloadKind::kPixels;
+};
+
+// Global counters for payload materialization, per payload kind. Cheap
+// relaxed atomics; used by benches and tests to assert copy budgets.
+//   MaterializedBytes  bytes frozen into immutable buffers plus bytes copied
+//                      out via ToVector() (the scalar plane's total traffic).
+//   BuffersFrozen      freeze events (one per immutable buffer created).
+//   CopiedOutBytes     explicit copy-outs only (ToVector). Zero on the hot
+//                      path: the zero-copy plane serves views, never copies.
+//   ArenaSlabsFrozen   slabs frozen by row-group arenas (payload_arena.h);
+//                      the allocator-pressure win is rows-per-group / slabs.
+struct PayloadPlaneStats {
+  static std::atomic<int64_t>& MaterializedBytes(PayloadKind kind) {
+    static std::atomic<int64_t> bytes[kNumPayloadKinds];
+    return bytes[static_cast<int>(kind)];
+  }
+  static std::atomic<int64_t>& BuffersFrozen(PayloadKind kind) {
+    static std::atomic<int64_t> count[kNumPayloadKinds];
+    return count[static_cast<int>(kind)];
+  }
+  static std::atomic<int64_t>& CopiedOutBytes(PayloadKind kind) {
+    static std::atomic<int64_t> bytes[kNumPayloadKinds];
+    return bytes[static_cast<int>(kind)];
+  }
+  static std::atomic<int64_t>& ArenaSlabsFrozen() {
+    static std::atomic<int64_t> count{0};
+    return count;
+  }
+  static void Reset() {
+    for (int k = 0; k < kNumPayloadKinds; ++k) {
+      MaterializedBytes(static_cast<PayloadKind>(k)).store(0, std::memory_order_relaxed);
+      BuffersFrozen(static_cast<PayloadKind>(k)).store(0, std::memory_order_relaxed);
+      CopiedOutBytes(static_cast<PayloadKind>(k)).store(0, std::memory_order_relaxed);
+    }
+    ArenaSlabsFrozen().store(0, std::memory_order_relaxed);
+  }
+};
+
+template <typename T>
+class PayloadBuffer {
+ public:
+  using value_type = T;
+  using const_iterator = typename std::vector<T>::const_iterator;
+  static constexpr PayloadKind kKind = PayloadTraits<T>::kKind;
+
+  PayloadBuffer() = default;
+
+  // Freezes a vector into an immutable shared payload. Implicit on purpose:
+  // `sample.tokens = tokenizer.Encode(text);` is the producer idiom.
+  PayloadBuffer(std::vector<T> values)
+      : data_(std::make_shared<const std::vector<T>>(std::move(values))) {
+    PayloadPlaneStats::MaterializedBytes(kKind).fetch_add(
+        static_cast<int64_t>(data_->size() * sizeof(T)), std::memory_order_relaxed);
+    PayloadPlaneStats::BuffersFrozen(kKind).fetch_add(1, std::memory_order_relaxed);
+  }
+  PayloadBuffer(std::initializer_list<T> values)
+      : PayloadBuffer(std::vector<T>(values)) {}
+
+  size_t size() const { return data_ ? data_->size() : 0; }
+  bool empty() const { return size() == 0; }
+  const T* data() const { return data_ ? data_->data() : nullptr; }
+  T operator[](size_t i) const { return (*data_)[i]; }
+
+  const_iterator begin() const { return data_ ? data_->begin() : EmptyVec().begin(); }
+  const_iterator end() const { return data_ ? data_->end() : EmptyVec().end(); }
+
+  const std::vector<T>& vec() const { return data_ ? *data_ : EmptyVec(); }
+
+  // Number of owners of the underlying payload (0 for the null buffer).
+  long use_count() const { return data_.use_count(); }
+  bool SharesStorageWith(const PayloadBuffer& other) const {
+    return data_ != nullptr && data_ == other.data_;
+  }
+
+  // Content equality (not identity).
+  friend bool operator==(const PayloadBuffer& a, const PayloadBuffer& b) {
+    return a.vec() == b.vec();
+  }
+
+ private:
+  static const std::vector<T>& EmptyVec() {
+    static const std::vector<T> empty;
+    return empty;
+  }
+
+  std::shared_ptr<const std::vector<T>> data_;
+};
+
+template <typename T>
+class PayloadView {
+ public:
+  using value_type = T;
+  using const_iterator = const T*;
+  static constexpr PayloadKind kKind = PayloadTraits<T>::kKind;
+
+  PayloadView() = default;
+
+  // Whole-buffer view. Implicit: a frozen buffer is trivially viewable.
+  PayloadView(PayloadBuffer<T> buffer) : buffer_(std::move(buffer)) {
+    length_ = buffer_.size();
+  }
+
+  // Freeze-and-view, the producer shorthand (`seq.tokens = std::move(vec);`).
+  PayloadView(std::vector<T> values) : PayloadView(PayloadBuffer<T>(std::move(values))) {}
+  PayloadView(std::initializer_list<T> values)
+      : PayloadView(PayloadBuffer<T>(std::vector<T>(values))) {}
+
+  PayloadView(PayloadBuffer<T> buffer, size_t offset, size_t length)
+      : buffer_(std::move(buffer)), offset_(offset), length_(length) {}
+
+  size_t size() const { return length_; }
+  bool empty() const { return length_ == 0; }
+  const T* data() const { return buffer_.data() + offset_; }
+  T operator[](size_t i) const { return buffer_[offset_ + i]; }
+
+  const_iterator begin() const { return buffer_.data() + offset_; }
+  const_iterator end() const { return buffer_.data() + offset_ + length_; }
+
+  // O(1) sub-window sharing the same storage.
+  PayloadView Slice(size_t offset, size_t length) const {
+    return PayloadView(buffer_, offset_ + offset, length);
+  }
+
+  // Explicit, accounted copy-out for consumers that must own the payload.
+  std::vector<T> ToVector() const {
+    PayloadPlaneStats::MaterializedBytes(kKind).fetch_add(
+        static_cast<int64_t>(length_ * sizeof(T)), std::memory_order_relaxed);
+    PayloadPlaneStats::CopiedOutBytes(kKind).fetch_add(
+        static_cast<int64_t>(length_ * sizeof(T)), std::memory_order_relaxed);
+    return std::vector<T>(begin(), end());
+  }
+
+  const PayloadBuffer<T>& buffer() const { return buffer_; }
+  size_t offset() const { return offset_; }
+  bool AliasesStorageOf(const PayloadView& other) const {
+    return buffer_.SharesStorageWith(other.buffer_);
+  }
+
+  // Content equality (not identity) — two views over different buffers with
+  // the same payload compare equal.
+  friend bool operator==(const PayloadView& a, const PayloadView& b) {
+    if (a.length_ != b.length_) {
+      return false;
+    }
+    for (size_t i = 0; i < a.length_; ++i) {
+      if (a[i] != b[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  PayloadBuffer<T> buffer_;
+  size_t offset_ = 0;
+  size_t length_ = 0;
+};
+
+// The two payload families of the data plane.
+using TokenBuffer = PayloadBuffer<int32_t>;
+using TokenView = PayloadView<int32_t>;
+using PixelBuffer = PayloadBuffer<float>;
+using PixelView = PayloadView<float>;
+
+// Back-compat shims for the pre-PayloadBuffer token-only accounting: the
+// token-plane counters now read the kTokens family (freeze + copy-out).
+struct TokenPlaneStats {
+  static std::atomic<int64_t>& MaterializedBytes() {
+    return PayloadPlaneStats::MaterializedBytes(PayloadKind::kTokens);
+  }
+  static std::atomic<int64_t>& BuffersFrozen() {
+    return PayloadPlaneStats::BuffersFrozen(PayloadKind::kTokens);
+  }
+  static void Reset() { PayloadPlaneStats::Reset(); }
+};
+
+}  // namespace msd
+
+#endif  // SRC_DATA_PAYLOAD_BUFFER_H_

@@ -76,14 +76,10 @@ std::string SerializeSample(const Sample& sample) {
   w.PutBytes(SerializeSampleMeta(sample.meta));
   w.PutBytes(sample.raw_text);
   w.PutBytes(sample.raw_image);
-  w.PutU32(static_cast<uint32_t>(sample.tokens.size()));
-  for (int32_t t : sample.tokens) {
-    w.PutU32(static_cast<uint32_t>(t));
-  }
-  w.PutU32(static_cast<uint32_t>(sample.pixels.size()));
-  for (float p : sample.pixels) {
-    w.PutF64(p);
-  }
+  // Payload blobs go out as one bulk record each (count + raw bytes), not a
+  // per-element loop; the views' backing storage is contiguous by contract.
+  w.PutPodArray(sample.tokens.data(), sample.tokens.size());
+  w.PutPodArray(sample.pixels.data(), sample.pixels.size());
   return w.Take();
 }
 
@@ -95,21 +91,21 @@ bool DeserializeSample(std::string_view bytes, Sample* out) {
   }
   out->raw_text = r.GetBytes();
   out->raw_image = r.GetBytes();
-  uint32_t n_tokens = r.GetU32();
+  // Bulk-decode both payload blobs (counts bounded against remaining() by
+  // the reader, so corrupt rows fail loudly instead of allocating). Freezing
+  // only happens when a blob is present: synthetic MSDF rows carry raw
+  // payloads and leave tokens/pixels to the transform pipeline, which
+  // (in arena mode) freezes whole row groups at a time instead.
+  std::vector<int32_t> tokens;
+  r.GetPodArray(&tokens);
+  std::vector<float> pixels;
+  r.GetPodArray(&pixels);
   if (!r.Ok()) {
     return false;
   }
-  std::vector<int32_t> tokens(n_tokens);
-  for (uint32_t i = 0; i < n_tokens; ++i) {
-    tokens[i] = static_cast<int32_t>(r.GetU32());
-  }
-  out->tokens = std::move(tokens);
-  uint32_t n_pixels = r.GetU32();
-  out->pixels.resize(n_pixels);
-  for (uint32_t i = 0; i < n_pixels; ++i) {
-    out->pixels[i] = static_cast<float>(r.GetF64());
-  }
-  return r.Ok();
+  out->tokens = tokens.empty() ? TokenView() : TokenView(std::move(tokens));
+  out->pixels = pixels.empty() ? PixelView() : PixelView(std::move(pixels));
+  return true;
 }
 
 }  // namespace msd

@@ -10,7 +10,7 @@
 #include <string_view>
 #include <vector>
 
-#include "src/data/token_buffer.h"
+#include "src/data/payload_buffer.h"
 
 namespace msd {
 
@@ -36,16 +36,18 @@ struct SampleMeta {
 };
 
 // A fully materialized training sample (real-mode payload). Samples travel
-// the hot path (pop -> build -> get-batch) behind `std::shared_ptr`, and their
-// token payload is a refcounted TokenBuffer, so the data plane only ever
-// moves/shares them. Copying a Sample is legal but accounted (see
-// SampleCopyCount) so benches and tests can prove the hot path is copy-free.
+// the hot path (pop -> build -> get-batch) behind `std::shared_ptr`, and both
+// heavy payloads are frozen refcounted views (payload_buffer.h) — either a
+// private per-sample buffer, or an O(1) window into a shared row-group arena
+// slab (payload_arena.h) — so the data plane only ever moves/shares them.
+// Copying a Sample is legal but accounted (see SampleCopyCount) so benches
+// and tests can prove the hot path is copy-free.
 struct Sample {
   SampleMeta meta;
   std::string raw_text;            // pre-tokenization text
   std::string raw_image;           // encoded ("JPEG") image bytes
-  TokenBuffer tokens;              // frozen by TextTokenize
-  std::vector<float> pixels;       // filled by ImageDecode (patch embeddings input)
+  TokenView tokens;                // frozen by TextTokenize
+  PixelView pixels;                // frozen by ImageDecode (patch embeddings input)
 
   Sample() = default;
   Sample(const Sample& other);

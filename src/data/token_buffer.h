@@ -1,166 +1,11 @@
-// Refcounted immutable token storage — the backbone of the zero-copy data
-// plane (loader -> constructor -> rank batch).
-//
-// Ownership model
-//   TokenBuffer  owns a frozen `std::vector<int32_t>` behind a
-//                `std::shared_ptr<const ...>`. Once wrapped, the payload is
-//                immutable for its whole life; "copying" a TokenBuffer only
-//                bumps the refcount.
-//   TokenView    is a (buffer, offset, length) triple: a borrowed window into
-//                a TokenBuffer. Views are what travel inside PackedSequence
-//                and RankBatch; slicing a view is O(1) and allocation-free.
-//
-// Aliasing invariants
-//   - A buffer's payload is never mutated after construction, so any number
-//     of views (across threads, actors, and rank batches) may alias it
-//     concurrently without synchronization.
-//   - Producers (tokenizer, constructor assembly) build a plain
-//     `std::vector<int32_t>` privately and freeze it exactly once; the freeze
-//     is the only full copy the data plane pays per payload.
-//   - Consumers that need contiguous owned storage (wire serialization,
-//     golden tests) call ToVector(), which is an explicit, accounted copy.
-//
-// Accounting: every freeze and every ToVector() adds to the global
-// TokenPlaneStats counters, which is how bench_dataplane_throughput proves
-// the zero-copy plane materializes strictly fewer bytes than the scalar
-// reference plane.
+// Token payload storage. Since the multimodal payload plane landed, the token
+// types are instantiations of the generic PayloadBuffer/PayloadView family —
+// see payload_buffer.h for the ownership model, aliasing invariants, and
+// accounting. This header survives as the historical include path for
+// token-only call sites.
 #ifndef SRC_DATA_TOKEN_BUFFER_H_
 #define SRC_DATA_TOKEN_BUFFER_H_
 
-#include <atomic>
-#include <cstdint>
-#include <initializer_list>
-#include <memory>
-#include <utility>
-#include <vector>
-
-namespace msd {
-
-// Global counters for token-payload materialization (freeze + copy-out).
-// Cheap relaxed atomics; used by benches and tests to assert copy budgets.
-struct TokenPlaneStats {
-  static std::atomic<int64_t>& MaterializedBytes() {
-    static std::atomic<int64_t> bytes{0};
-    return bytes;
-  }
-  static std::atomic<int64_t>& BuffersFrozen() {
-    static std::atomic<int64_t> count{0};
-    return count;
-  }
-  static void Reset() {
-    MaterializedBytes().store(0, std::memory_order_relaxed);
-    BuffersFrozen().store(0, std::memory_order_relaxed);
-  }
-};
-
-class TokenBuffer {
- public:
-  using const_iterator = std::vector<int32_t>::const_iterator;
-
-  TokenBuffer() = default;
-
-  // Freezes a vector into an immutable shared payload. Implicit on purpose:
-  // `sample.tokens = tokenizer.Encode(text);` is the producer idiom.
-  TokenBuffer(std::vector<int32_t> values)
-      : data_(std::make_shared<const std::vector<int32_t>>(std::move(values))) {
-    TokenPlaneStats::MaterializedBytes().fetch_add(
-        static_cast<int64_t>(data_->size() * sizeof(int32_t)), std::memory_order_relaxed);
-    TokenPlaneStats::BuffersFrozen().fetch_add(1, std::memory_order_relaxed);
-  }
-  TokenBuffer(std::initializer_list<int32_t> values)
-      : TokenBuffer(std::vector<int32_t>(values)) {}
-
-  size_t size() const { return data_ ? data_->size() : 0; }
-  bool empty() const { return size() == 0; }
-  const int32_t* data() const { return data_ ? data_->data() : nullptr; }
-  int32_t operator[](size_t i) const { return (*data_)[i]; }
-
-  const_iterator begin() const { return data_ ? data_->begin() : EmptyVec().begin(); }
-  const_iterator end() const { return data_ ? data_->end() : EmptyVec().end(); }
-
-  const std::vector<int32_t>& vec() const { return data_ ? *data_ : EmptyVec(); }
-
-  // Number of owners of the underlying payload (0 for the null buffer).
-  long use_count() const { return data_.use_count(); }
-  bool SharesStorageWith(const TokenBuffer& other) const {
-    return data_ != nullptr && data_ == other.data_;
-  }
-
-  // Content equality (not identity).
-  friend bool operator==(const TokenBuffer& a, const TokenBuffer& b) {
-    return a.vec() == b.vec();
-  }
-
- private:
-  static const std::vector<int32_t>& EmptyVec() {
-    static const std::vector<int32_t> empty;
-    return empty;
-  }
-
-  std::shared_ptr<const std::vector<int32_t>> data_;
-};
-
-class TokenView {
- public:
-  using const_iterator = const int32_t*;
-
-  TokenView() = default;
-
-  // Whole-buffer view. Implicit: a frozen buffer is trivially viewable.
-  TokenView(TokenBuffer buffer) : buffer_(std::move(buffer)) { length_ = buffer_.size(); }
-
-  // Freeze-and-view, the producer shorthand (`seq.tokens = std::move(vec);`).
-  TokenView(std::vector<int32_t> values) : TokenView(TokenBuffer(std::move(values))) {}
-
-  TokenView(TokenBuffer buffer, size_t offset, size_t length)
-      : buffer_(std::move(buffer)), offset_(offset), length_(length) {}
-
-  size_t size() const { return length_; }
-  bool empty() const { return length_ == 0; }
-  const int32_t* data() const { return buffer_.data() + offset_; }
-  int32_t operator[](size_t i) const { return buffer_[offset_ + i]; }
-
-  const_iterator begin() const { return buffer_.data() + offset_; }
-  const_iterator end() const { return buffer_.data() + offset_ + length_; }
-
-  // O(1) sub-window sharing the same storage.
-  TokenView Slice(size_t offset, size_t length) const {
-    return TokenView(buffer_, offset_ + offset, length);
-  }
-
-  // Explicit, accounted copy-out for consumers that must own the payload.
-  std::vector<int32_t> ToVector() const {
-    TokenPlaneStats::MaterializedBytes().fetch_add(
-        static_cast<int64_t>(length_ * sizeof(int32_t)), std::memory_order_relaxed);
-    return std::vector<int32_t>(begin(), end());
-  }
-
-  const TokenBuffer& buffer() const { return buffer_; }
-  size_t offset() const { return offset_; }
-  bool AliasesStorageOf(const TokenView& other) const {
-    return buffer_.SharesStorageWith(other.buffer_);
-  }
-
-  // Content equality (not identity) — two views over different buffers with
-  // the same token stream compare equal.
-  friend bool operator==(const TokenView& a, const TokenView& b) {
-    if (a.length_ != b.length_) {
-      return false;
-    }
-    for (size_t i = 0; i < a.length_; ++i) {
-      if (a[i] != b[i]) {
-        return false;
-      }
-    }
-    return true;
-  }
-
- private:
-  TokenBuffer buffer_;
-  size_t offset_ = 0;
-  size_t length_ = 0;
-};
-
-}  // namespace msd
+#include "src/data/payload_buffer.h"
 
 #endif  // SRC_DATA_TOKEN_BUFFER_H_

@@ -24,6 +24,12 @@ int32_t Tokenizer::HashToken(const char* data, size_t len) const {
 
 std::vector<int32_t> Tokenizer::Encode(const std::string& text) const {
   std::vector<int32_t> tokens;
+  EncodeInto(text, &tokens);
+  return tokens;
+}
+
+size_t Tokenizer::EncodeInto(const std::string& text, std::vector<int32_t>* out) const {
+  size_t before = out->size();
   size_t i = 0;
   while (i < text.size()) {
     while (i < text.size() && text[i] == ' ') {
@@ -37,10 +43,10 @@ std::vector<int32_t> Tokenizer::Encode(const std::string& text) const {
     // Sub-word split for long words, mirroring BPE piece behaviour.
     for (size_t off = 0; off < len; off += kMaxWordLen) {
       size_t piece = std::min(kMaxWordLen, len - off);
-      tokens.push_back(HashToken(text.data() + start + off, piece));
+      out->push_back(HashToken(text.data() + start + off, piece));
     }
   }
-  return tokens;
+  return out->size() - before;
 }
 
 std::string GenerateText(uint64_t seed, int32_t approx_tokens) {

@@ -15,6 +15,10 @@ class Tokenizer {
   explicit Tokenizer(int32_t vocab_size = 128000) : vocab_size_(vocab_size) {}
 
   std::vector<int32_t> Encode(const std::string& text) const;
+  // Appends the encoding of `text` to `out` (arena-slab producer path: one
+  // growing slab per row group instead of one vector per row). Returns the
+  // number of tokens appended.
+  size_t EncodeInto(const std::string& text, std::vector<int32_t>* out) const;
   int32_t vocab_size() const { return vocab_size_; }
 
  private:

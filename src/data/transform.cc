@@ -26,12 +26,41 @@ SimTime SampleTransformLatency(const SampleMeta& meta, double source_cost_multip
   return static_cast<SimTime>(us * source_cost_multiplier);
 }
 
+namespace {
+
+// "Decode": expand compressed bytes into one float per patch slot with a
+// cheap deterministic kernel (stands in for JPEG->RGB + normalization).
+void DecodePixelsInto(const std::string& raw_image, float* dst, size_t count) {
+  uint32_t state = 0x9E3779B9u ^ static_cast<uint32_t>(raw_image.size());
+  for (size_t i = 0; i < count; ++i) {
+    state ^= static_cast<uint8_t>(raw_image[i % raw_image.size()]);
+    state = state * 1664525u + 1013904223u;
+    dst[i] = static_cast<float>(state >> 8) / 16777216.0f;
+  }
+}
+
+}  // namespace
+
 Result<SimTime> TextTokenize::Apply(Sample& sample) const {
-  sample.tokens = tokenizer_->Encode(sample.raw_text);
+  return ApplyWithArena(sample, nullptr);
+}
+
+Result<SimTime> TextTokenize::ApplyWithArena(Sample& sample, RowGroupArena* arena) const {
+  size_t emitted = 0;
+  if (arena != nullptr) {
+    // Arena path: append into the shared row-group slab; the view lands on
+    // the sample when the loader freezes the group.
+    size_t begin = arena->TokenSlabSize();
+    emitted = tokenizer_->EncodeInto(sample.raw_text, &arena->TokenSlab());
+    arena->CommitTokens(&sample, begin);
+  } else {
+    sample.tokens = tokenizer_->Encode(sample.raw_text);
+    emitted = sample.tokens.size();
+  }
   // Keep metadata authoritative: generators size raw_text so Encode() matches
   // meta.text_tokens; enforce the contract here.
-  if (sample.meta.text_tokens != static_cast<int32_t>(sample.tokens.size())) {
-    sample.meta.text_tokens = static_cast<int32_t>(sample.tokens.size());
+  if (sample.meta.text_tokens != static_cast<int32_t>(emitted)) {
+    sample.meta.text_tokens = static_cast<int32_t>(emitted);
   }
   SampleMeta text_only = sample.meta;
   text_only.image_tokens = 0;
@@ -40,20 +69,25 @@ Result<SimTime> TextTokenize::Apply(Sample& sample) const {
 }
 
 Result<SimTime> ImageDecode::Apply(Sample& sample) const {
+  return ApplyWithArena(sample, nullptr);
+}
+
+Result<SimTime> ImageDecode::ApplyWithArena(Sample& sample, RowGroupArena* arena) const {
   if (sample.meta.image_tokens == 0) {
     return SimTime{0};
   }
   if (sample.raw_image.empty()) {
     return Status::FailedPrecondition("ImageDecode on sample without raw image bytes");
   }
-  // "Decode": expand compressed bytes into one float per patch slot with a
-  // cheap deterministic kernel (stands in for JPEG->RGB + normalization).
-  sample.pixels.resize(static_cast<size_t>(sample.meta.image_tokens));
-  uint32_t state = 0x9E3779B9u ^ static_cast<uint32_t>(sample.raw_image.size());
-  for (size_t i = 0; i < sample.pixels.size(); ++i) {
-    state ^= static_cast<uint8_t>(sample.raw_image[i % sample.raw_image.size()]);
-    state = state * 1664525u + 1013904223u;
-    sample.pixels[i] = static_cast<float>(state >> 8) / 16777216.0f;
+  size_t count = static_cast<size_t>(sample.meta.image_tokens);
+  if (arena != nullptr) {
+    // Arena path: decode straight into the shared pixel slab — no private
+    // buffer, no copy; the view lands on the sample at group freeze.
+    DecodePixelsInto(sample.raw_image, arena->AllocPixels(&sample, count), count);
+  } else {
+    std::vector<float> pixels(count);
+    DecodePixelsInto(sample.raw_image, pixels.data(), count);
+    sample.pixels = std::move(pixels);  // frozen exactly once
   }
   SampleMeta image_only = sample.meta;
   image_only.text_tokens = 0;
@@ -67,7 +101,9 @@ Result<SimTime> CropToPatches::Apply(Sample& sample) const {
   if (sample.meta.image_tokens > max_patches_) {
     sample.meta.image_tokens = max_patches_;
     if (!sample.pixels.empty()) {
-      sample.pixels.resize(static_cast<size_t>(max_patches_));
+      // Views are immutable windows: cropping is an O(1) re-slice of the
+      // frozen buffer, not a reallocation.
+      sample.pixels = sample.pixels.Slice(0, static_cast<size_t>(max_patches_));
     }
   }
   // Cropping is a cheap memmove relative to decode: charge 1% of decode cost.
@@ -76,10 +112,10 @@ Result<SimTime> CropToPatches::Apply(Sample& sample) const {
   return SampleTransformLatency(image_only, 0.01);
 }
 
-Result<SimTime> TransformPipeline::Apply(Sample& sample) const {
+Result<SimTime> TransformPipeline::Apply(Sample& sample, RowGroupArena* arena) const {
   SimTime total = 0;
   for (const auto& stage : stages_) {
-    Result<SimTime> cost = stage->Apply(sample);
+    Result<SimTime> cost = stage->ApplyWithArena(sample, arena);
     if (!cost.ok()) {
       return cost.status();
     }

@@ -13,6 +13,7 @@
 
 #include "src/common/status.h"
 #include "src/common/units.h"
+#include "src/data/payload_arena.h"
 #include "src/data/sample.h"
 #include "src/data/tokenizer.h"
 
@@ -36,6 +37,14 @@ class SampleTransform {
   virtual std::string name() const = 0;
   // Mutates the sample in place; returns the virtual cost incurred.
   virtual Result<SimTime> Apply(Sample& sample) const = 0;
+  // Arena-aware variant: payload-producing stages append into the row-group
+  // arena's slabs (frozen into shared buffers by the caller) instead of
+  // freezing one private buffer per sample. Defaults to the plain Apply for
+  // stages without payload output.
+  virtual Result<SimTime> ApplyWithArena(Sample& sample, RowGroupArena* arena) const {
+    (void)arena;
+    return Apply(sample);
+  }
 };
 
 // raw_text -> tokens.
@@ -46,6 +55,7 @@ class TextTokenize : public SampleTransform {
       : tokenizer_(std::move(tokenizer)), params_(params) {}
   std::string name() const override { return "TextTokenize"; }
   Result<SimTime> Apply(Sample& sample) const override;
+  Result<SimTime> ApplyWithArena(Sample& sample, RowGroupArena* arena) const override;
 
  private:
   std::shared_ptr<const Tokenizer> tokenizer_;
@@ -58,6 +68,7 @@ class ImageDecode : public SampleTransform {
   explicit ImageDecode(TransformCostParams params = TransformCostParams()) : params_(params) {}
   std::string name() const override { return "ImageDecode"; }
   Result<SimTime> Apply(Sample& sample) const override;
+  Result<SimTime> ApplyWithArena(Sample& sample, RowGroupArena* arena) const override;
 
  private:
   TransformCostParams params_;
@@ -79,8 +90,9 @@ class TransformPipeline {
  public:
   void Add(std::unique_ptr<SampleTransform> t) { stages_.push_back(std::move(t)); }
   size_t size() const { return stages_.size(); }
-  // Applies all stages; returns total virtual cost.
-  Result<SimTime> Apply(Sample& sample) const;
+  // Applies all stages; returns total virtual cost. With an arena, payload
+  // output is staged into its slabs (the caller freezes after the group).
+  Result<SimTime> Apply(Sample& sample, RowGroupArena* arena = nullptr) const;
   // Default pipeline for a modality: tokenize (+decode for visual sources).
   static TransformPipeline Default(Modality modality,
                                    std::shared_ptr<const Tokenizer> tokenizer);

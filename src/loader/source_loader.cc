@@ -118,24 +118,41 @@ Status SourceLoader::LoadNextGroup() {
     }
 
     // Deserialize + transform worker-parallel across the loader's workers.
-    // Samples are heap-allocated once here and then only ever shared: the
-    // same allocation flows buffer -> SampleSlice -> constructor sample map.
+    // Samples are allocated once here and then only ever shared: the same
+    // allocation flows buffer -> SampleSlice -> constructor sample map.
+    //
+    // Arena mode (default): the group's Samples live in ONE shared block and
+    // each handed-out pointer aliases it, so the block dies exactly when the
+    // group's last sample retires; decoded payload bytes stage into per-shard
+    // RowGroupArena slabs frozen below into one buffer per (shard, payload
+    // kind). Legacy mode pays one heap Sample + one frozen buffer per payload
+    // per row. The produced bytes are identical either way.
     std::vector<std::shared_ptr<Sample>> samples(rows->size());
-    for (auto& s : samples) {
-      s = std::make_shared<Sample>();
+    std::shared_ptr<std::vector<Sample>> block;
+    if (config_.arena_decode) {
+      block = std::make_shared<std::vector<Sample>>(rows->size());
+      for (size_t i = 0; i < samples.size(); ++i) {
+        samples[i] = std::shared_ptr<Sample>(block, &(*block)[i]);
+      }
+    } else {
+      for (auto& s : samples) {
+        s = std::make_shared<Sample>();
+      }
     }
     std::vector<SimTime> costs(rows->size(), 0);
     std::atomic<bool> failed{false};
     std::vector<std::future<void>> futures;
     size_t shards = workers_->num_threads();
+    std::vector<RowGroupArena> arenas(config_.arena_decode ? shards : 0);
     for (size_t shard = 0; shard < shards; ++shard) {
       futures.push_back(workers_->Submit([&, shard] {
+        RowGroupArena* arena = config_.arena_decode ? &arenas[shard] : nullptr;
         for (size_t i = shard; i < rows->size(); i += shards) {
           if (!DeserializeSample(rows.value()[i], samples[i].get())) {
             failed.store(true);
             return;
           }
-          Result<SimTime> cost = pipeline_.Apply(*samples[i]);
+          Result<SimTime> cost = pipeline_.Apply(*samples[i], arena);
           if (!cost.ok()) {
             failed.store(true);
             return;
@@ -150,6 +167,11 @@ Status SourceLoader::LoadNextGroup() {
     }
     if (failed.load()) {
       return Status::DataLoss("corrupt row or failed transform in " + name());
+    }
+    for (RowGroupArena& arena : arenas) {
+      // Freeze on the loader thread after the workers join: each shard slab
+      // becomes one immutable buffer and the staged spans become views.
+      arena.Freeze();
     }
     for (size_t i = 0; i < samples.size(); ++i) {
       total_transform_cost_ += costs[i];

@@ -63,6 +63,13 @@ struct SourceLoaderConfig {
   // row group/footer (what an uncached Parquet reader pays) instead of
   // aliasing the whole blob. Implied by the cached mode; ignored with it.
   bool ranged_reads = false;
+  // Arena-backed row decode (src/data/payload_arena.h): allocate the group's
+  // Samples as one shared block and stage decoded payload bytes in per-shard
+  // slabs frozen into shared buffers when the group is handed to the buffer —
+  // O(1) allocations per (group, worker) instead of per row, freed as a unit
+  // when the group's last sample retires. Off = one heap Sample + one frozen
+  // buffer per payload per row (byte-identical output either way).
+  bool arena_decode = true;
 };
 
 // Snapshot for differential checkpointing: the read cursor at the origin of

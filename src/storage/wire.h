@@ -7,6 +7,8 @@
 #include <cstring>
 #include <string>
 #include <string_view>
+#include <type_traits>
+#include <vector>
 
 #include "src/common/status.h"
 
@@ -26,6 +28,18 @@ class WireWriter {
   void PutBytes(const std::string& s) {
     PutU32(static_cast<uint32_t>(s.size()));
     buf_.append(s);
+  }
+
+  // Bulk POD-array record: element count, then the raw little-endian bytes in
+  // one append. The payload-bearing encode path (MSDF sample rows carrying
+  // token/pixel blobs) uses this instead of a per-element loop.
+  template <typename T>
+  void PutPodArray(const T* values, size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    PutU32(static_cast<uint32_t>(count));
+    if (count > 0) {
+      PutRaw(values, count * sizeof(T));
+    }
   }
 
   const std::string& buffer() const { return buf_; }
@@ -82,6 +96,27 @@ class WireReader {
     return v;
   }
   std::string GetBytes() { return std::string(GetBytesView()); }
+
+  // Bulk POD-array record written by PutPodArray: the count is bounded
+  // against remaining() BEFORE any allocation (corrupt counts return an empty
+  // view with the reader marked failed, never an OOM/OOB), and the element
+  // bytes land in `out` via one memcpy. Returns the element count.
+  template <typename T>
+  size_t GetPodArray(std::vector<T>* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint32_t count = GetU32();
+    if (!ok_ || static_cast<uint64_t>(count) * sizeof(T) > remaining()) {
+      ok_ = false;
+      out->clear();
+      return 0;
+    }
+    out->resize(count);
+    if (count > 0) {
+      std::memcpy(out->data(), data_.data() + pos_, count * sizeof(T));
+      pos_ += count * sizeof(T);
+    }
+    return count;
+  }
 
   // Non-copying variant for readers that only parse the record in place; the
   // returned view borrows from this reader's backing bytes.

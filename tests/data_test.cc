@@ -277,10 +277,13 @@ TEST(TransformTest, CropLimitsPatches) {
   CropToPatches crop(100);
   Sample sample;
   sample.meta.image_tokens = 500;
-  sample.pixels.resize(500);
+  PixelView full(std::vector<float>(500, 0.5f));
+  sample.pixels = full;
   ASSERT_TRUE(crop.Apply(sample).ok());
   EXPECT_EQ(sample.meta.image_tokens, 100);
   EXPECT_EQ(sample.pixels.size(), 100u);
+  // Cropping re-slices the frozen buffer instead of reallocating.
+  EXPECT_TRUE(sample.pixels.AliasesStorageOf(full));
 }
 
 TEST(TransformTest, DefaultPipelineByModality) {

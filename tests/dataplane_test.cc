@@ -1,14 +1,20 @@
 // Zero-copy data plane: golden equivalence against the scalar reference
-// assembly, aliasing/copy-budget guarantees, and PopSamples regressions.
+// assembly, aliasing/copy-budget guarantees (tokens AND pixels), arena
+// on/off byte-identity, and PopSamples regressions.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <unordered_map>
 #include <vector>
 
+#include "src/api/session.h"
 #include "src/constructor/reference_assembly.h"
 #include "src/data/synthetic.h"
 #include "src/loader/source_loader.h"
 #include "src/mesh/selective_broadcast.h"
+#include "tests/batch_identity.h"
+#include "tests/scratch_dir.h"
 
 namespace msd {
 namespace {
@@ -30,13 +36,16 @@ class DataPlaneTest : public ::testing::Test {
     }
   }
 
-  std::unique_ptr<SourceLoader> MakeLoader(size_t source_index) {
+  std::unique_ptr<SourceLoader> MakeLoader(size_t source_index, bool arena_decode = true) {
     SourceLoaderConfig config;
     config.loader_id = static_cast<int32_t>(source_index);
     config.spec = specs_[source_index];
     config.files = {SourceFileName(specs_[source_index], 0)};
     config.num_workers = 1;
     config.buffer_low_watermark = 48;  // keep the whole file buffered
+    config.arena_decode = arena_decode;
+    config.name_override = std::string(arena_decode ? "arena/" : "legacy/") +
+                           config.spec.name + "#" + std::to_string(config.loader_id);
     auto loader = std::make_unique<SourceLoader>(config, &store_, &memory_);
     EXPECT_TRUE(loader->Open().ok());
     return loader;
@@ -76,7 +85,7 @@ class DataPlaneTest : public ::testing::Test {
   }
 
   // Pops the samples one constructor's owned buckets need, one slice per
-  // loader (what Session::AdvanceStep does).
+  // loader (what the prefetch pipeline's producer does per step).
   std::vector<SampleSlice> PopFor(const LoadingPlan& plan,
                                   const std::vector<int32_t>& owned,
                                   const std::vector<SourceLoader*>& loaders) {
@@ -104,29 +113,7 @@ class DataPlaneTest : public ::testing::Test {
   ObjectStore store_{&memory_};
 };
 
-void ExpectBatchesIdentical(const RankBatch& got, const RankBatch& want) {
-  EXPECT_EQ(got.rank, want.rank);
-  EXPECT_EQ(got.step, want.step);
-  EXPECT_EQ(got.metadata_only, want.metadata_only);
-  EXPECT_EQ(got.payload_bytes, want.payload_bytes);
-  ASSERT_EQ(got.microbatches.size(), want.microbatches.size());
-  for (size_t m = 0; m < got.microbatches.size(); ++m) {
-    const Microbatch& gm = got.microbatches[m];
-    const Microbatch& wm = want.microbatches[m];
-    EXPECT_EQ(gm.microbatch_index, wm.microbatch_index);
-    ASSERT_EQ(gm.sequences.size(), wm.sequences.size());
-    for (size_t s = 0; s < gm.sequences.size(); ++s) {
-      const PackedSequence& gs = gm.sequences[s];
-      const PackedSequence& ws = wm.sequences[s];
-      EXPECT_EQ(gs.sample_ids, ws.sample_ids);
-      EXPECT_EQ(gs.segment_lengths, ws.segment_lengths);
-      EXPECT_EQ(gs.total_tokens, ws.total_tokens);
-      EXPECT_EQ(gs.padded_to, ws.padded_to);
-      EXPECT_EQ(gs.tokens.ToVector(), ws.tokens.ToVector());
-      EXPECT_EQ(gs.position_ids.ToVector(), ws.position_ids.ToVector());
-    }
-  }
-}
+using testing::ExpectBatchesIdentical;
 
 TEST_F(DataPlaneTest, GoldenEquivalenceOnCpPpMesh) {
   ParallelismSpec spec{.dp = 2, .pp = 2, .cp = 2, .tp = 1};
@@ -270,6 +257,200 @@ TEST_F(DataPlaneTest, SnapshotRestoreAfterPartialConsumption) {
     EXPECT_NE(m.sample_id, initial[1].sample_id);
     EXPECT_NE(m.sample_id, initial[2].sample_id);
   }
+}
+
+// ---- Multimodal pixel path ------------------------------------------------
+// The corpus above is coyo700m-like (image-text sources), so the golden
+// equivalence suite already exercises pixels; these tests pin the aliasing
+// and allocator guarantees of the payload plane specifically.
+
+// Finds the first sequence with a non-empty pixel segment in a batch.
+const PixelView* FirstPixelSegment(const RankBatch& batch) {
+  for (const Microbatch& mb : batch.microbatches) {
+    for (const PackedSequence& seq : mb.sequences) {
+      for (const PixelView& v : seq.pixel_segments) {
+        if (!v.empty()) {
+          return &v;
+        }
+      }
+    }
+  }
+  return nullptr;
+}
+
+TEST_F(DataPlaneTest, PixelViewsAliasOneBufferAcrossTpCpAndRefetch) {
+  ParallelismSpec spec{.dp = 1, .pp = 1, .cp = 2, .tp = 2};
+  ClientPlaceTree tree = ClientPlaceTree::FromDeviceMesh(spec, 2);
+  auto loader = MakeLoader(0);
+  std::vector<SourceLoader*> loaders = {loader.get()};
+  LoadingPlan plan = MakePlan(loaders, tree.NumBuckets(Axis::kDP), 2);
+
+  DataConstructor dc({}, &tree, &memory_);
+  std::vector<SampleSlice> slices = PopFor(plan, dc.OwnedBuckets(plan), loaders);
+  // Retain the loaders' sample payloads so we can prove end-to-end aliasing:
+  // the views served in rank batches must be windows of the very buffers the
+  // loader's decode froze (no re-materialization anywhere between).
+  std::unordered_map<uint64_t, std::shared_ptr<Sample>> by_id;
+  for (const SampleSlice& slice : slices) {
+    for (const std::shared_ptr<Sample>& s : slice.samples) {
+      by_id.emplace(s->meta.sample_id, s);
+    }
+  }
+  ASSERT_TRUE(dc.BuildStep(plan, std::move(slices)).ok());
+
+  RankBatch cp0tp0 = dc.GetBatch(0, 0).value();  // cp=0 tp=0
+  RankBatch cp0tp1 = dc.GetBatch(1, 0).value();  // cp=0 tp=1
+  RankBatch cp1tp0 = dc.GetBatch(2, 0).value();  // cp=1 tp=0
+  RankBatch again = dc.GetBatch(0, 0).value();
+
+  const PixelView* px = FirstPixelSegment(cp0tp0);
+  ASSERT_NE(px, nullptr) << "image corpus must yield pixel payloads";
+  // Locate the matching segment on the other ranks (same microbatch order).
+  const PixelView* px_tp1 = FirstPixelSegment(cp0tp1);
+  const PixelView* px_cp1 = FirstPixelSegment(cp1tp0);
+  const PixelView* px_again = FirstPixelSegment(again);
+  ASSERT_NE(px_tp1, nullptr);
+  ASSERT_NE(px_cp1, nullptr);
+  ASSERT_NE(px_again, nullptr);
+  // One frozen buffer serves every coordinate: TP replicas, both CP
+  // coordinates (pixels ride whole; CP slices the token stream), refetches.
+  EXPECT_TRUE(px->AliasesStorageOf(*px_tp1));
+  EXPECT_TRUE(px->AliasesStorageOf(*px_cp1));
+  EXPECT_TRUE(px->AliasesStorageOf(*px_again));
+
+  // And that buffer IS the loader's decode output, not a constructor copy.
+  bool aliases_loader_buffer = false;
+  for (const auto& [id, sample] : by_id) {
+    if (!sample->pixels.empty() && px->AliasesStorageOf(sample->pixels)) {
+      aliases_loader_buffer = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(aliases_loader_buffer)
+      << "served pixel views must alias the loader-frozen buffers";
+}
+
+TEST_F(DataPlaneTest, ArenaOnOffByteIdenticalIncludingPixels) {
+  ParallelismSpec spec{.dp = 1, .pp = 1, .cp = 2, .tp = 1};
+  ClientPlaceTree tree = ClientPlaceTree::FromDeviceMesh(spec, 2);
+  auto arena_loader = MakeLoader(0, /*arena_decode=*/true);
+  auto legacy_loader = MakeLoader(0, /*arena_decode=*/false);
+  std::vector<SourceLoader*> arena_loaders = {arena_loader.get()};
+  std::vector<SourceLoader*> legacy_loaders = {legacy_loader.get()};
+  LoadingPlan plan = MakePlan(arena_loaders, tree.NumBuckets(Axis::kDP), 2);
+
+  DataConstructor on({}, &tree, &memory_);
+  DataConstructor off({}, &tree, &memory_);
+  ASSERT_TRUE(on.BuildStep(plan, PopFor(plan, on.OwnedBuckets(plan), arena_loaders)).ok());
+  ASSERT_TRUE(off.BuildStep(plan, PopFor(plan, off.OwnedBuckets(plan), legacy_loaders)).ok());
+  for (int32_t rank = 0; rank < spec.WorldSize(); ++rank) {
+    RankBatch got = on.GetBatch(rank, 0).value();
+    RankBatch want = off.GetBatch(rank, 0).value();
+    ExpectBatchesIdentical(got, want);
+  }
+}
+
+TEST_F(DataPlaneTest, ArenaDecodeSharesSlabStorageAcrossRows) {
+  // Text rows are small enough that one MSDF row group holds many of them;
+  // with one worker shard every row of a group must then alias ONE frozen
+  // token slab (the whole point of the arena: O(1) buffers per group).
+  CorpusSpec text = MakeTextCorpus(13, 1);
+  SourceSpec spec = text.sources[0];
+  spec.num_files = 1;
+  spec.rows_per_file = 16;
+  ASSERT_TRUE(
+      WriteSourceFiles(store_, spec, /*seed=*/11, {.target_row_group_bytes = 256 * kKiB}).ok());
+  SourceLoaderConfig config;
+  config.loader_id = 77;
+  config.spec = spec;
+  config.files = {SourceFileName(spec, 0)};
+  config.num_workers = 1;
+  config.buffer_low_watermark = 32;
+  auto loader = std::make_unique<SourceLoader>(config, &store_, &memory_);
+  ASSERT_TRUE(loader->Open().ok());
+
+  std::vector<uint64_t> ids;
+  for (const SampleMeta& meta : loader->SummaryBuffer().samples) {
+    ids.push_back(meta.sample_id);
+  }
+  ASSERT_GE(ids.size(), 8u);
+  Result<SampleSlice> slice = loader->PopSamples(0, ids);
+  ASSERT_TRUE(slice.ok());
+  const std::vector<std::shared_ptr<Sample>>& samples = slice->samples;
+  size_t sharing = 0;
+  for (size_t i = 1; i < samples.size(); ++i) {
+    if (samples[i]->tokens.AliasesStorageOf(samples[0]->tokens)) {
+      ++sharing;
+    }
+  }
+  // All 16 rows fit one group at this row size; everything shares the slab.
+  EXPECT_GE(sharing, samples.size() / 2)
+      << "arena decode must carve per-row views out of shared group slabs";
+}
+
+// Session-level: the multimodal stream (tokens + pixels) survives a durable
+// checkpoint and a fresh-process resume byte-identically.
+TEST(DataPlanePixelResumeTest, PixelStreamSurvivesCheckpointResume) {
+  std::string dir = testing::ScratchDir("pixel_resume");
+  Session::Options options;
+  options.corpus = MakeCoyo700m();
+  options.spec = {.dp = 1, .pp = 1, .cp = 2, .tp = 2};
+  options.num_microbatches = 2;
+  options.samples_per_step = 8;
+  options.max_seq_len = 1024;
+  options.rows_per_file_override = 64;
+  options.loader_workers = 1;
+  options.prefetch_depth = 2;
+
+  auto StreamStep = [](Session& session) {
+    const int32_t world = session.tree().spec().WorldSize();
+    std::vector<RankBatch> batches(static_cast<size_t>(world));
+    for (int32_t rank = 0; rank < world; ++rank) {
+      Result<RankBatch> batch = session.client(rank).value()->NextBatch();
+      EXPECT_TRUE(batch.ok()) << batch.status().ToString();
+      batches[static_cast<size_t>(rank)] = std::move(batch.value());
+    }
+    return batches;
+  };
+
+  {
+    auto session = Session::Create(options);
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    for (int s = 0; s < 3; ++s) {
+      StreamStep(**session);
+    }
+    ASSERT_TRUE((*session)->Checkpoint(dir).ok());
+  }  // process "dies"
+
+  // Uninterrupted reference run: skip the pre-checkpoint steps.
+  auto reference = Session::Create(options);
+  ASSERT_TRUE(reference.ok());
+  for (int s = 0; s < 3; ++s) {
+    StreamStep(**reference);
+  }
+
+  Session::Options resumed_options = options;
+  resumed_options.resume_dir = dir;
+  auto resumed = Session::Create(resumed_options);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+
+  int64_t pixels_seen = 0;
+  for (int s = 0; s < 2; ++s) {
+    std::vector<RankBatch> got = StreamStep(**resumed);
+    std::vector<RankBatch> want = StreamStep(**reference);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t rank = 0; rank < got.size(); ++rank) {
+      ExpectBatchesIdentical(got[rank], want[rank]);
+      for (const Microbatch& mb : got[rank].microbatches) {
+        for (const PackedSequence& seq : mb.sequences) {
+          pixels_seen += seq.PixelCount();
+        }
+      }
+    }
+  }
+  EXPECT_GT(pixels_seen, 0) << "the image corpus must stream pixel payloads";
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
 }
 
 TEST(StageShippedBytesTest, CountsTargetsPerStage) {

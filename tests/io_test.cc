@@ -24,6 +24,7 @@
 #include "src/io/block_cache.h"
 #include "src/io/io_scheduler.h"
 #include "src/io/latency_store.h"
+#include "tests/batch_identity.h"
 #include "tests/scratch_dir.h"
 
 namespace msd {
@@ -213,27 +214,7 @@ Session::Options IoOptions() {
   return options;
 }
 
-void ExpectBatchesIdentical(const RankBatch& got, const RankBatch& want) {
-  EXPECT_EQ(got.rank, want.rank);
-  EXPECT_EQ(got.step, want.step);
-  EXPECT_EQ(got.metadata_only, want.metadata_only);
-  EXPECT_EQ(got.payload_bytes, want.payload_bytes);
-  ASSERT_EQ(got.microbatches.size(), want.microbatches.size());
-  for (size_t m = 0; m < got.microbatches.size(); ++m) {
-    const Microbatch& gm = got.microbatches[m];
-    const Microbatch& wm = want.microbatches[m];
-    ASSERT_EQ(gm.sequences.size(), wm.sequences.size());
-    for (size_t s = 0; s < gm.sequences.size(); ++s) {
-      const PackedSequence& gs = gm.sequences[s];
-      const PackedSequence& ws = wm.sequences[s];
-      EXPECT_EQ(gs.sample_ids, ws.sample_ids);
-      EXPECT_EQ(gs.total_tokens, ws.total_tokens);
-      EXPECT_EQ(gs.padded_to, ws.padded_to);
-      EXPECT_EQ(gs.tokens.ToVector(), ws.tokens.ToVector());
-      EXPECT_EQ(gs.position_ids.ToVector(), ws.position_ids.ToVector());
-    }
-  }
-}
+using testing::ExpectBatchesIdentical;
 
 std::vector<RankBatch> StreamStep(Session& session) {
   const int32_t world = session.tree().spec().WorldSize();

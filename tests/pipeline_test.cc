@@ -12,6 +12,7 @@
 
 #include "src/api/session.h"
 #include "src/constructor/reference_assembly.h"
+#include "tests/batch_identity.h"
 
 namespace msd {
 namespace {
@@ -29,29 +30,7 @@ Session::Options PipelineOptions(int32_t prefetch_depth) {
   return options;
 }
 
-void ExpectBatchesIdentical(const RankBatch& got, const RankBatch& want) {
-  EXPECT_EQ(got.rank, want.rank);
-  EXPECT_EQ(got.step, want.step);
-  EXPECT_EQ(got.metadata_only, want.metadata_only);
-  EXPECT_EQ(got.payload_bytes, want.payload_bytes);
-  ASSERT_EQ(got.microbatches.size(), want.microbatches.size());
-  for (size_t m = 0; m < got.microbatches.size(); ++m) {
-    const Microbatch& gm = got.microbatches[m];
-    const Microbatch& wm = want.microbatches[m];
-    EXPECT_EQ(gm.microbatch_index, wm.microbatch_index);
-    ASSERT_EQ(gm.sequences.size(), wm.sequences.size());
-    for (size_t s = 0; s < gm.sequences.size(); ++s) {
-      const PackedSequence& gs = gm.sequences[s];
-      const PackedSequence& ws = wm.sequences[s];
-      EXPECT_EQ(gs.sample_ids, ws.sample_ids);
-      EXPECT_EQ(gs.segment_lengths, ws.segment_lengths);
-      EXPECT_EQ(gs.total_tokens, ws.total_tokens);
-      EXPECT_EQ(gs.padded_to, ws.padded_to);
-      EXPECT_EQ(gs.tokens.ToVector(), ws.tokens.ToVector());
-      EXPECT_EQ(gs.position_ids.ToVector(), ws.position_ids.ToVector());
-    }
-  }
-}
+using testing::ExpectBatchesIdentical;
 
 // Replays a captured step (plan + pop slices) through the frozen scalar
 // reference plane and checks every rank's streamed batch against it.

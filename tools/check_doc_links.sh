@@ -1,0 +1,47 @@
+#!/bin/sh
+# Checks every relative markdown link in README.md and docs/*.md: each
+# `](path)` target (anchors stripped) must exist relative to the file that
+# links it. External (scheme://) and pure-anchor links are skipped. Exits
+# nonzero listing every broken link — wired into ctest as `docs_check` and
+# available as the `docs-check` build target.
+set -u
+
+root="${1:-.}"
+fail=0
+checked=0
+
+check_file() {
+  md="$1"
+  dir=$(dirname "$md")
+  # Pull out every inline link target: ](...) up to the closing paren.
+  grep -o ']([^)]*)' "$md" 2>/dev/null | sed 's/^](//; s/)$//' |
+  while IFS= read -r target; do
+    case "$target" in
+      *://*|mailto:*|'#'*|'') continue ;;  # external or in-page anchor
+    esac
+    path="${target%%#*}"                   # strip anchor
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN: $md -> $target"
+    fi
+  done
+}
+
+tmp="${TMPDIR:-/tmp}/docs_check_$$"
+: > "$tmp"
+for md in "$root"/README.md "$root"/docs/*.md; do
+  [ -f "$md" ] || continue
+  checked=$((checked + 1))
+  check_file "$md" >> "$tmp"
+done
+
+if [ -s "$tmp" ]; then
+  cat "$tmp"
+  count=$(wc -l < "$tmp")
+  rm -f "$tmp"
+  echo "docs-check: $count broken link(s) across $checked file(s)"
+  exit 1
+fi
+rm -f "$tmp"
+echo "docs-check: all relative links resolve across $checked file(s)"
+exit 0
