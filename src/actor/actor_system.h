@@ -66,6 +66,20 @@ class ActorSystem {
   // Ask with a wall-clock deadline: models RPC timeout detection. Returns
   // DeadlineExceeded if the actor does not answer in time and Unavailable if
   // it is already dead.
+  //
+  // Abandoned-future contract: when the deadline fires, the posted closure is
+  // NOT cancelled — it still runs later on the actor's thread, and its result
+  // lands in a promise nobody reads. Callers must therefore pass a closure
+  // that owns (or shares) everything it touches for the actor's lifetime:
+  //  - capture actor/loader pointers only when the ActorSystem keeps the
+  //    target alive until Shutdown (it does — actors are shared_ptr-owned by
+  //    the registry, and Kill only closes the mailbox), and
+  //  - never capture references to caller stack state — the caller may have
+  //    unwound long before the closure runs.
+  // With that discipline a late completion is a pure no-op: the closure's
+  // side effects are confined to the actor's own state (serialized on its
+  // mailbox thread), and the caller already acted on the timeout status.
+  // tests/actor_test.cc (AbandonedAskCompletion*) locks this in under ASan.
   template <typename R>
   Result<R> AskWithTimeout(Actor& actor, std::function<R()> fn, int64_t timeout_ms) {
     static_assert(!std::is_void_v<R>, "AskWithTimeout requires a value-returning call");

@@ -87,6 +87,9 @@ void PrefetchPipeline::ProducerLoop() {
         return;
       }
       ProduceOne(lock);
+      if (!running_) {
+        return;  // stopped mid-retry-burst; the step was never produced
+      }
       if (halted_.has_value()) {
         return;  // terminal: waiting consumers observe the stored status
       }
@@ -102,13 +105,58 @@ void PrefetchPipeline::ProducerLoop() {
 
 void PrefetchPipeline::ProduceOne(std::unique_lock<std::mutex>& lock) {
   const int64_t step = next_produce_;
-  in_produce_ = true;
-  lock.unlock();
-  auto t0 = std::chrono::steady_clock::now();
-  Result<ProducedStep> produced = produce_(step);
-  double elapsed_ms = MsSince(t0);
-  lock.lock();
-  in_produce_ = false;
+  const int32_t max_attempts = std::max(1, config_.produce_max_attempts);
+  produce_claimed_ = true;
+  Result<ProducedStep> produced = Status::Internal("produce never ran");
+  double elapsed_ms = 0.0;
+  for (int32_t attempt = 0; attempt < max_attempts; ++attempt) {
+    in_produce_ = true;
+    lock.unlock();
+    auto t0 = std::chrono::steady_clock::now();
+    produced = produce_(step);
+    elapsed_ms += MsSince(t0);
+    lock.lock();
+    in_produce_ = false;
+    cv_.notify_all();  // Pause() may be draining in_produce_
+    if (produced.ok()) {
+      break;
+    }
+    const StatusCode code = produced.status().code();
+    const bool transient =
+        code == StatusCode::kUnavailable || code == StatusCode::kDeadlineExceeded;
+    if (!transient || attempt + 1 >= max_attempts) {
+      break;
+    }
+    ++stats_.produce_retries;
+    // Between attempts: in_produce_ is false and the lock is dropped, so a
+    // control operation (checkpoint, watchdog recovery, reshard) can run in
+    // the middle of the retry burst — that is the window the on_produce_error
+    // hook exists for. The production round stays claimed (produce_claimed_)
+    // so a synchronous-mode consumer cannot double-produce the step.
+    lock.unlock();
+    if (config_.on_produce_error) {
+      config_.on_produce_error(step, produced.status());
+    }
+    int64_t delay_us = config_.produce_retry_base_us;
+    for (int32_t i = 0; i < attempt && delay_us < config_.produce_retry_max_us; ++i) {
+      delay_us *= 2;
+    }
+    delay_us = std::min(delay_us, config_.produce_retry_max_us);
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+    lock.lock();
+    if (!running_) {
+      produce_claimed_ = false;
+      cv_.notify_all();
+      return;  // stopped mid-burst; the step stays unproduced
+    }
+    cv_.wait(lock, [&] { return !paused_ || !running_; });
+    if (!running_) {
+      produce_claimed_ = false;
+      cv_.notify_all();
+      return;
+    }
+  }
+  produce_claimed_ = false;
   if (!produced.ok()) {
     halted_ = std::make_pair(step, produced.status());
   } else {
@@ -150,8 +198,10 @@ Status PrefetchPipeline::WaitProducedLocked(std::unique_lock<std::mutex>& lock, 
     // consumer may already be producing (or a drain may be in effect); wait
     // rather than double-run or race the control operation.
     while (next_produce_ <= step && !halted_.has_value() && running_) {
-      if (in_produce_ || paused_) {
-        cv_.wait(lock, [&] { return (!in_produce_ && !paused_) || !running_ ||
+      if (produce_claimed_ || paused_) {
+        // produce_claimed_ (not in_produce_): the owner may be between retry
+        // attempts with the callback idle; stepping in would double-produce.
+        cv_.wait(lock, [&] { return (!produce_claimed_ && !paused_) || !running_ ||
                                     halted_.has_value() || step < next_produce_; });
       } else {
         ProduceOne(lock);

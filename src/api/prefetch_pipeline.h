@@ -84,6 +84,22 @@ class PrefetchPipeline {
     // control operations (Session's periodic auto-checkpoint pauses the
     // pipeline from here). Asynchronous-producer mode only (depth >= 1).
     std::function<void(int64_t step)> on_produced;
+    // Transient-failure resilience: a produce round that fails with a
+    // transient status (Unavailable, DeadlineExceeded) is re-run, up to this
+    // many total attempts, before the pipeline halts. Production is strictly
+    // per-step idempotent-on-failure (the planner's RNG does not advance on a
+    // failed gather and loaders defer refill errors), so a retried round
+    // produces exactly the step the undisturbed run would have. 1 = legacy
+    // halt-on-first-error.
+    int32_t produce_max_attempts = 1;
+    // Backoff between produce attempts: base * 2^attempt, capped.
+    int64_t produce_retry_base_us = 2000;
+    int64_t produce_retry_max_us = 200'000;
+    // Invoked between produce attempts (outside the lock, outside
+    // in_produce_, before the backoff sleep) with the failing step and
+    // status. The callback may run control operations — Session uses it to
+    // drive the watchdog while production is stuck on a dead loader.
+    std::function<void(int64_t step, const Status& error)> on_produce_error;
   };
 
   // Per-rank stall histogram over the streaming path (NextBatch): how often
@@ -108,6 +124,7 @@ class PrefetchPipeline {
     int64_t steps_released = 0;
     int64_t prefetch_hits = 0;    // waits satisfied without blocking
     int64_t prefetch_stalls = 0;  // waits that blocked on production
+    int64_t produce_retries = 0;  // produce rounds re-run after transient errors
     size_t queue_depth = 0;       // produced-but-unretired steps right now
     double last_build_ahead_ms = 0.0;
     // Cumulative per-rank stall histogram, indexed by rank.
@@ -272,7 +289,13 @@ class PrefetchPipeline {
   std::optional<std::pair<int64_t, Status>> halted_;
   bool running_ = false;
   bool paused_ = false;
+  // in_produce_: a produce_ callback is actually in flight (an actor Ask may
+  // be mid-air) — what Pause() drains. produce_claimed_: some thread owns the
+  // current production round, across its whole retry sequence including
+  // backoff sleeps — what keeps a second synchronous consumer from
+  // double-producing the step while the owner is between attempts.
   bool in_produce_ = false;
+  bool produce_claimed_ = false;
   int32_t active_fetches_ = 0;  // fetch_ calls in flight (drained by Pause)
   Stats stats_;
   std::vector<RankStall> rank_stalls_;  // one per rank (streaming path)

@@ -1,6 +1,7 @@
 #include "src/api/session.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <unordered_map>
 #include <unordered_set>
@@ -43,6 +44,38 @@ Result<std::unique_ptr<Session>> Session::Create(Options options) {
   }
   if (!options.cache_spill_dir.empty() && options.block_cache_bytes <= 0) {
     return Status::InvalidArgument("cache spill needs the block cache enabled");
+  }
+  if (options.storage_faults.enabled() && options.block_cache_bytes <= 0) {
+    return Status::InvalidArgument(
+        "storage fault injection needs the block cache (WithBlockCache): the "
+        "retry machinery under test lives in the ranged-read path");
+  }
+  if (options.io_retry.max_attempts < 1 || options.produce_retry_attempts < 1) {
+    return Status::InvalidArgument("retry budgets must be >= 1 attempt");
+  }
+  if (options.quarantine_after_failures < 0 || options.loader_rpc_timeout_ms < 0 ||
+      options.watchdog_interval_ms < 0 || options.watchdog_heartbeat_timeout_ms < 0) {
+    return Status::InvalidArgument("chaos-plane options must be >= 0");
+  }
+  if (options.watchdog_interval_ms > 0) {
+    if (!options.enable_fault_tolerance) {
+      return Status::InvalidArgument(
+          "the watchdog needs hot-standby shadows to promote (WithFaultTolerance)");
+    }
+    if (options.prefetch_depth < 1) {
+      // The scan fires from the producer thread between steps; synchronous
+      // mode has no producer thread to fire it from.
+      return Status::InvalidArgument(
+          "the watchdog requires an asynchronous pipeline (prefetch_depth >= 1)");
+    }
+  }
+  if (options.quarantine_after_failures > 0 &&
+      options.produce_retry_attempts <= options.quarantine_after_failures) {
+    // The planner needs K consecutive failed gathers to quarantine, and each
+    // failed gather surfaces as one failed (retried) produce round — give
+    // production enough budget to live through the quarantine decision plus
+    // the first renormalized round.
+    options.produce_retry_attempts = options.quarantine_after_failures + 2;
   }
   if (!options.auto_checkpoint_dir.empty() || options.auto_checkpoint_every > 0) {
     if (options.auto_checkpoint_dir.empty() || options.auto_checkpoint_every <= 0) {
@@ -145,6 +178,13 @@ Status Session::Initialize() {
     remote_store_ = std::make_unique<LatencyInjectingStore>(&store_, params);
     loader_store = remote_store_.get();
   }
+  if (options_.storage_faults.enabled()) {
+    // Chaos decorator goes outside the latency decorator — fault(latency(
+    // base)) — so an injected timeout still pays the latency of the Get it
+    // interrupted, and a retried Get pays it again.
+    fault_store_ = std::make_unique<FaultInjectingStore>(loader_store, options_.storage_faults);
+    loader_store = fault_store_.get();
+  }
   if (options_.block_cache_bytes > 0) {
     BlockCache::Config cache_config;
     cache_config.capacity_bytes = options_.block_cache_bytes;
@@ -160,6 +200,8 @@ Status Session::Initialize() {
     io_config.threads = static_cast<size_t>(
         std::clamp(options_.read_ahead_groups * 2, 4, 32));
     io_config.max_inflight = static_cast<int32_t>(io_config.threads);
+    io_config.retry = options_.io_retry;
+    io_config.hedge = options_.io_hedge;
     io_ = std::make_unique<IoScheduler>(loader_store, block_cache_.get(), io_config);
   }
 
@@ -250,6 +292,11 @@ Status Session::Initialize() {
   // 5. Central Planner with the selected strategy.
   PlannerConfig planner_config;
   planner_config.seed = options_.seed;
+  planner_config.quarantine_after_failures = options_.quarantine_after_failures;
+  planner_config.quarantine_probe_interval = options_.quarantine_probe_interval;
+  if (options_.loader_rpc_timeout_ms > 0) {
+    planner_config.loader_rpc_timeout_ms = options_.loader_rpc_timeout_ms;
+  }
   planner_ =
       system_.Spawn<Planner>(planner_config, &system_, &tree_, BuildStrategy(), &memory_);
   std::vector<SourceLoader*> raw_loaders;
@@ -272,6 +319,27 @@ Status Session::Initialize() {
     }
   }
 
+  // 6b. Heartbeat watchdog: catches loaders that die silently (heartbeat
+  // stops, no error ever surfaces) and promotes their shadows mid-stream.
+  if (options_.watchdog_interval_ms > 0) {
+    watchdog_ = std::make_unique<Watchdog>(&system_, ft_.get(),
+                                           options_.watchdog_heartbeat_timeout_ms);
+    // Loaders heartbeat when they answer a metadata gather; stamp t0 for
+    // everyone so a loader that dies before its first gather is measured
+    // from session start (the GCS treats a never-heartbeated actor as
+    // infinitely stale, which would promote healthy-but-unasked loaders).
+    const int64_t now_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                               std::chrono::steady_clock::now().time_since_epoch())
+                               .count();
+    for (auto& loader : loaders_) {
+      system_.gcs().Heartbeat(loader->name(), now_ms);
+    }
+    for (auto& shadow : shadows_) {
+      system_.gcs().Heartbeat(shadow->name(), now_ms);
+    }
+    last_watchdog_scan_ms_ = now_ms;
+  }
+
   // 7. Checkpoint support: the per-step rewind ring (spans the build-ahead
   // window), then — when resuming — rewind the freshly built data plane to
   // the loaded checkpoint before the pipeline starts producing.
@@ -289,6 +357,13 @@ Status Session::Initialize() {
   PrefetchPipeline::Config pipeline_config;
   pipeline_config.depth = options_.prefetch_depth;
   pipeline_config.start_step = start_step_;
+  pipeline_config.produce_max_attempts = options_.produce_retry_attempts;
+  if (watchdog_ != nullptr) {
+    // Scan while production is stuck retrying: a dead loader's gather fails
+    // every attempt, and the only way out is the shadow promotion this
+    // callback drives (the retry backoff gives the promotion time to land).
+    pipeline_config.on_produce_error = [this](int64_t, const Status&) { MaybeRunWatchdog(); };
+  }
   if (options_.auto_checkpoint_every > 0) {
     // Fires on the producer thread between steps (outside in_produce_), so
     // the Checkpoint() pause/drain cannot deadlock with production.
@@ -303,6 +378,18 @@ Status Session::Initialize() {
         MSD_LOG_WARN("auto-checkpoint after step %lld failed: %s",
                      static_cast<long long>(step), saved.status().ToString().c_str());
       }
+    };
+  }
+  if (watchdog_ != nullptr) {
+    // Steady-state scan cadence: piggyback on the per-step callback (fires
+    // outside in_produce_, so the scan's Pause() bracket cannot deadlock
+    // with production). Composes with the auto-checkpoint hook above.
+    std::function<void(int64_t)> chained = std::move(pipeline_config.on_produced);
+    pipeline_config.on_produced = [this, chained = std::move(chained)](int64_t step) {
+      if (chained) {
+        chained(step);
+      }
+      MaybeRunWatchdog();
     };
   }
   if (resume_ != nullptr && options_.spec == resume_->mesh &&
@@ -588,16 +675,33 @@ Result<ProducedStep> Session::ProduceStep(int64_t step) {
     if (it == loader_by_id.end()) {
       return Status::NotFound("plan references unknown loader " + std::to_string(loader_id));
     }
+    // ids stays in the map (copied into the closure, not moved): if this pop
+    // hangs, RecoverHungPop re-issues the identical request to the shadow.
     pops.emplace_back(loader_id, system_.AskAsync<Result<SampleSlice>>(
-                                     *it->second, [l = it->second, step, ids = std::move(ids)] {
+                                     *it->second, [l = it->second, step, ids] {
                                        return l->PopSamples(step, ids);
                                      }));
   }
+  // With a watchdog engaged, a pop is only allowed to block for the RPC
+  // deadline: a silently wedged loader (accepted the message, never answers)
+  // would otherwise stall the producer forever — the gather-side timeout
+  // never fires again because production never reaches the next gather.
+  const int64_t pop_deadline_ms =
+      watchdog_ != nullptr ? (options_.loader_rpc_timeout_ms > 0
+                                  ? options_.loader_rpc_timeout_ms
+                                  : options_.watchdog_heartbeat_timeout_ms)
+                           : 0;
 
   // Split each loader slice per constructor (shared_ptr bumps, no copies).
   produced.slices_per_constructor.resize(constructors_.size());
   for (auto& [loader_id, future] : pops) {
-    Result<SampleSlice> slice = future.get();
+    Result<SampleSlice> slice = Status::Internal("pop never resolved");
+    if (pop_deadline_ms > 0 && future.wait_for(std::chrono::milliseconds(pop_deadline_ms)) !=
+                                   std::future_status::ready) {
+      slice = RecoverHungPop(loader_id, step, ids_by_loader[loader_id]);
+    } else {
+      slice = future.get();
+    }
     if (!slice.ok()) {
       return slice.status();
     }
@@ -644,7 +748,24 @@ Result<ProducedStep> Session::ProduceStep(int64_t step) {
     }
     rewind.planner = planner_state.get();
     for (auto& [loader_id, future] : snapshots) {
-      rewind.loader_snapshots.emplace(loader_id, future.get().Serialize());
+      // Same silent-hang guard as the pops above: a wedged loader whose pop
+      // happened to land ahead of the wedge would otherwise stall production
+      // here, where no gather timeout can ever fire again. The shadow was
+      // mirrored through this step (OnPlanExecuted ran before this block), so
+      // its snapshot is the one the primary owed.
+      if (pop_deadline_ms > 0 && future.wait_for(std::chrono::milliseconds(pop_deadline_ms)) !=
+                                     std::future_status::ready) {
+        Result<SourceLoader*> promoted = PromoteHungLoader(loader_id, step, "snapshot");
+        if (!promoted.ok()) {
+          return promoted.status();
+        }
+        SourceLoader* replacement = promoted.value();
+        LoaderSnapshot snap = system_.Ask<LoaderSnapshot>(
+            *replacement, [replacement] { return replacement->Snapshot(); });
+        rewind.loader_snapshots.emplace(loader_id, snap.Serialize());
+      } else {
+        rewind.loader_snapshots.emplace(loader_id, future.get().Serialize());
+      }
     }
     state_journal_->Record(std::move(rewind));
   }
@@ -756,7 +877,7 @@ void Session::FillPayloadCounters(StepStats* stats) {
   stats->arena_slabs_frozen = PayloadPlaneStats::ArenaSlabsFrozen().load(std::memory_order_relaxed);
 }
 
-void Session::FillIoCounters(StepStats* stats) const {
+void Session::FillIoCounters(StepStats* stats) {
   if (block_cache_ != nullptr) {
     BlockCache::Stats cache = block_cache_->stats();
     stats->cache_hits = cache.hits;
@@ -767,13 +888,20 @@ void Session::FillIoCounters(StepStats* stats) const {
     IoScheduler::Stats scheduler = io_->stats();
     stats->io_coalesced = scheduler.coalesced;
     stats->readahead_issued = scheduler.prefetch_issues;
+    stats->io_retries = scheduler.retries;
+    stats->io_hedges = scheduler.hedges_launched;
   }
   if (remote_store_ != nullptr) {
     stats->storage_gets = remote_store_->gets();
   }
+  if (options_.quarantine_after_failures > 0) {
+    stats->sources_quarantined = system_.Ask<int64_t>(*planner_, [p = planner_.get()] {
+      return static_cast<int64_t>(p->quarantined_loaders().size());
+    });
+  }
 }
 
-Session::IoStats Session::io_stats() const {
+Session::IoStats Session::io_stats() {
   IoStats stats;
   stats.enabled = io_ != nullptr;
   if (block_cache_ != nullptr) {
@@ -786,7 +914,25 @@ Session::IoStats Session::io_stats() const {
     stats.storage_gets = remote_store_->gets();
     stats.storage_bytes_served = remote_store_->bytes_served();
   }
+  if (fault_store_ != nullptr) {
+    stats.faults_injected = fault_store_->faults_injected();
+    stats.corruptions_injected = fault_store_->corruptions_injected();
+    stats.brownout_failures = fault_store_->brownout_failures();
+  }
+  if (options_.quarantine_after_failures > 0) {
+    stats.sources_quarantined = system_.Ask<int64_t>(*planner_, [p = planner_.get()] {
+      return static_cast<int64_t>(p->quarantined_loaders().size());
+    });
+  }
+  if (watchdog_ != nullptr) {
+    stats.watchdog_detections = watchdog_->detections();
+  }
   return stats;
+}
+
+std::map<int32_t, int64_t> Session::QuarantinedLoaders() {
+  return system_.Ask<std::map<int32_t, int64_t>>(
+      *planner_, [p = planner_.get()] { return p->quarantined_loaders(); });
 }
 
 std::vector<std::vector<int64_t>> Session::ConstructorResidentSteps() {
@@ -895,6 +1041,126 @@ Result<std::string> Session::KillAndRecoverLoader(size_t loader_index) {
   return promoted.value()->name();
 }
 
+Result<SourceLoader*> Session::PromoteHungLoader(int32_t loader_id, int64_t step,
+                                                 const char* what) {
+  // Runs on the producer thread, inside ProduceStep — the only path that
+  // talks to loaders. Control operations (Checkpoint, Reshard, KillAndRecover,
+  // the periodic watchdog scan) all Pause() the pipeline first, which cannot
+  // complete while this production round is in flight, so the loaders_ swap
+  // below cannot race them.
+  size_t idx = loaders_.size();
+  for (size_t i = 0; i < loaders_.size(); ++i) {
+    if (loaders_[i]->config().loader_id == loader_id) {
+      idx = i;
+      break;
+    }
+  }
+  if (idx == loaders_.size()) {
+    return Status::NotFound("hung " + std::string(what) + " for unknown loader " +
+                            std::to_string(loader_id));
+  }
+  const std::string hung = loaders_[idx]->name();
+  if (watchdog_ != nullptr) {
+    watchdog_->RecordDetection();
+  }
+  if (ft_ == nullptr || idx >= shadows_.size() || shadows_[idx] == nullptr) {
+    return Status::DeadlineExceeded("loader " + hung + " did not answer a " + what +
+                                    " for step " + std::to_string(step) + " and has no standby");
+  }
+  Result<SourceLoader*> promoted = ft_->PromoteShadow(hung);
+  if (!promoted.ok()) {
+    return Status::DeadlineExceeded("loader " + hung + " did not answer a " + what +
+                                    " for step " + std::to_string(step) +
+                                    "; promotion failed: " + promoted.status().message());
+  }
+  system_.gcs().MarkDead(hung);
+  loaders_[idx] = shadows_[idx];
+  const int64_t now_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::steady_clock::now().time_since_epoch())
+                             .count();
+  system_.gcs().Heartbeat(loaders_[idx]->name(), now_ms);
+  std::vector<SourceLoader*> raw_loaders;
+  raw_loaders.reserve(loaders_.size());
+  for (auto& l : loaders_) {
+    raw_loaders.push_back(l.get());
+  }
+  system_.Ask<bool>(*planner_, [p = planner_.get(), raw_loaders] {
+    p->SetLoaders(raw_loaders);
+    return true;
+  });
+  MSD_LOG_WARN("%s to %s hung past the RPC deadline at step %lld; promoted %s mid-production",
+               what, hung.c_str(), static_cast<long long>(step),
+               loaders_[idx]->name().c_str());
+  return loaders_[idx].get();
+}
+
+Result<SampleSlice> Session::RecoverHungPop(int32_t loader_id, int64_t step,
+                                            const std::vector<uint64_t>& ids) {
+  Result<SourceLoader*> promoted = PromoteHungLoader(loader_id, step, "pop");
+  if (!promoted.ok()) {
+    return promoted.status();
+  }
+  // The shadow mirrored every completed step's pops (OnPlanExecuted) but not
+  // this one — the round it replaces never finished. Re-issue the identical
+  // request: the slice comes back byte-for-byte what the primary owed.
+  SourceLoader* replacement = promoted.value();
+  return system_.Ask<Result<SampleSlice>>(
+      *replacement, [replacement, step, ids] { return replacement->PopSamples(step, ids); });
+}
+
+void Session::MaybeRunWatchdog() {
+  if (watchdog_ == nullptr) {
+    return;
+  }
+  const int64_t now_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::steady_clock::now().time_since_epoch())
+                             .count();
+  if (now_ms - last_watchdog_scan_ms_ < options_.watchdog_interval_ms) {
+    return;
+  }
+  // Runs on the producer thread. try_lock: if a user-called Checkpoint or
+  // Reshard holds the control lock, skip this tick rather than stall the
+  // producer behind it — the next tick scans.
+  if (!control_mu_.try_lock()) {
+    return;
+  }
+  std::lock_guard<std::mutex> control(control_mu_, std::adopt_lock);
+  last_watchdog_scan_ms_ = now_ms;
+  // Drain in-flight fetches so no rank's Ask targets a loader mid-promotion.
+  // The producer itself is between steps (or between retry attempts), so
+  // Pause() cannot deadlock on in_produce_.
+  pipeline_->Pause();
+  std::vector<std::string> promoted = watchdog_->ScanAndRecover(now_ms);
+  if (!promoted.empty()) {
+    bool rebound = false;
+    for (size_t i = 0; i < loaders_.size() && i < shadows_.size(); ++i) {
+      for (const std::string& name : promoted) {
+        if (shadows_[i] != nullptr && shadows_[i]->name() == name) {
+          loaders_[i] = shadows_[i];
+          rebound = true;
+        }
+      }
+    }
+    for (const std::string& name : promoted) {
+      // The promotion round-trip proved the replacement alive; stamp it so
+      // the next scan does not declare the not-yet-gathered promotee stale.
+      system_.gcs().Heartbeat(name, now_ms);
+    }
+    if (rebound) {
+      std::vector<SourceLoader*> raw_loaders;
+      raw_loaders.reserve(loaders_.size());
+      for (auto& l : loaders_) {
+        raw_loaders.push_back(l.get());
+      }
+      system_.Ask<bool>(*planner_, [p = planner_.get(), raw_loaders] {
+        p->SetLoaders(raw_loaders);
+        return true;
+      });
+    }
+  }
+  pipeline_->Resume();
+}
+
 SessionBuilder& SessionBuilder::WithCorpus(CorpusSpec corpus) {
   options_.corpus = std::move(corpus);
   return *this;
@@ -999,6 +1265,38 @@ SessionBuilder& SessionBuilder::WithRemoteStorage(SimTime get_latency,
 }
 SessionBuilder& SessionBuilder::WithRowGroupBytes(int64_t bytes) {
   options_.row_group_bytes = bytes;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithStorageFaults(FaultSchedule schedule) {
+  options_.storage_faults = std::move(schedule);
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithIoRetry(IoScheduler::RetryPolicy policy) {
+  options_.io_retry = policy;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithIoHedging(IoScheduler::HedgePolicy policy) {
+  options_.io_hedge = policy;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithSourceQuarantine(int32_t after_failures,
+                                                     int64_t probe_interval) {
+  options_.quarantine_after_failures = after_failures;
+  options_.quarantine_probe_interval = probe_interval;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithProduceRetries(int32_t attempts) {
+  options_.produce_retry_attempts = attempts;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithWatchdog(int64_t interval_ms,
+                                             int64_t heartbeat_timeout_ms) {
+  options_.watchdog_interval_ms = interval_ms;
+  options_.watchdog_heartbeat_timeout_ms = heartbeat_timeout_ms;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithLoaderRpcTimeout(int64_t timeout_ms) {
+  options_.loader_rpc_timeout_ms = timeout_ms;
   return *this;
 }
 SessionBuilder& SessionBuilder::WithAutoCheckpoint(std::string dir, int64_t every_n_steps) {

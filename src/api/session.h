@@ -37,6 +37,7 @@
 #ifndef SRC_API_SESSION_H_
 #define SRC_API_SESSION_H_
 
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -51,7 +52,9 @@
 #include "src/constructor/data_constructor.h"
 #include "src/data/source_spec.h"
 #include "src/ft/fault_tolerance.h"
+#include "src/ft/watchdog.h"
 #include "src/io/block_cache.h"
+#include "src/io/fault_injecting_store.h"
 #include "src/io/io_scheduler.h"
 #include "src/io/latency_store.h"
 #include "src/loader/source_loader.h"
@@ -133,6 +136,42 @@ class Session {
     // synthetic default (4 MiB). Smaller groups = more Gets per step —
     // the knob bench_io_cache turns to make storage latency bite.
     int64_t row_group_bytes = 0;
+    // ---- Storage chaos plane (src/io/fault_injecting_store.h) ----
+    // Deterministic storage fault injection: wraps the loader-visible store
+    // outside the latency decorator — fault(latency(base)) — so an injected
+    // timeout still pays the latency of the Get it interrupted. Requires the
+    // block cache: the retry machinery under test lives in the ranged-read
+    // path (IoScheduler), which only engages with a cache.
+    FaultSchedule storage_faults;
+    // Retry budget + exponential backoff with deterministic jitter for
+    // failed backing Gets (max_attempts = 1 keeps the legacy fail-fast).
+    IoScheduler::RetryPolicy io_retry;
+    // Hedged duplicate Gets once a primary outlives the latency quantile.
+    IoScheduler::HedgePolicy io_hedge;
+    // Graceful mixture degradation: after this many consecutive failed
+    // metadata gathers on one loader the planner quarantines it and
+    // deterministically renormalizes the mixture over the survivors instead
+    // of failing the step. 0 = legacy: any failed gather fails the plan.
+    int32_t quarantine_after_failures = 0;
+    // Steps between re-admission probes of a quarantined source; a healthy
+    // probe re-admits it. <= 0 disables re-admission.
+    int64_t quarantine_probe_interval = 16;
+    // Produce-round retry budget for transient failures (Unavailable,
+    // DeadlineExceeded): a failed plan/pop round is re-run with backoff
+    // instead of halting the stream. 1 = legacy halt-on-first-error.
+    // Auto-raised above quarantine_after_failures when quarantine is on, so
+    // production survives long enough for the quarantine to kick in.
+    int32_t produce_retry_attempts = 1;
+    // Watchdog (src/ft/watchdog.h): scan for stale loader heartbeats at
+    // least this often, promoting shadows of loaders that went silent
+    // without surfacing an error. Driven from the producer thread between
+    // steps and between produce retry attempts. 0 = no watchdog. Requires
+    // fault tolerance (shadows to promote) and prefetch_depth >= 1.
+    int64_t watchdog_interval_ms = 0;
+    // Heartbeat age past which the watchdog declares a loader dead.
+    int64_t watchdog_heartbeat_timeout_ms = 5000;
+    // Overrides the planner's per-gather RPC timeout; 0 = planner default.
+    int64_t loader_rpc_timeout_ms = 0;
     // ---- Periodic auto-checkpoint ----
     // Every `auto_checkpoint_every` produced steps the session checkpoints
     // into `auto_checkpoint_dir` (piggybacking on the per-step rewind ring;
@@ -191,6 +230,12 @@ class Session {
     /// Row-group arena slabs frozen so far (payload_arena.h). The allocator
     /// win is rows-per-group / slabs-per-group buffers saved.
     int64_t arena_slabs_frozen = 0;
+    /// Backing Gets re-issued after transient failures (retry layer).
+    int64_t io_retries = 0;
+    /// Hedged duplicate Gets launched for slow primaries.
+    int64_t io_hedges = 0;
+    /// Loaders currently quarantined by the planner (mixture degraded).
+    int64_t sources_quarantined = 0;
   };
 
   // Snapshot of the remote-storage I/O subsystem's counters.
@@ -205,6 +250,12 @@ class Session {
     int64_t storage_gets = 0;
     /// Payload bytes the LatencyInjectingStore served (0 without one).
     int64_t storage_bytes_served = 0;
+    /// Chaos-plane counters (all zero without WithStorageFaults etc.).
+    int64_t faults_injected = 0;       // transient failures the store injected
+    int64_t corruptions_injected = 0;  // bit-flips the store injected
+    int64_t brownout_failures = 0;     // Gets failed by an engaged brownout
+    int64_t sources_quarantined = 0;   // loaders currently quarantined
+    int64_t watchdog_detections = 0;   // stale-heartbeat detections so far
   };
 
   static Result<std::unique_ptr<Session>> Create(Options options);
@@ -264,8 +315,17 @@ class Session {
   Result<StepStats> StepStatsFor(int64_t step);
   // Live pipeline counters (prefetch hits/stalls, queue depth, retirement).
   PrefetchPipeline::Stats pipeline_stats() const;
-  // Remote-storage I/O counters (cache, scheduler, backing store).
-  IoStats io_stats() const;
+  // Remote-storage I/O counters (cache, scheduler, backing store, chaos
+  // plane). Non-const: the quarantine count is gathered from the planner.
+  IoStats io_stats();
+  // Loaders the planner currently holds in quarantine
+  // (loader_id -> step the quarantine started at). Empty when healthy.
+  std::map<int32_t, int64_t> QuarantinedLoaders();
+  // The fault-injecting store decorator, for tests/benches that script
+  // brownouts mid-stream. Null without WithStorageFaults.
+  FaultInjectingStore* fault_store() { return fault_store_.get(); }
+  // The heartbeat watchdog. Null without WithWatchdog.
+  Watchdog* watchdog() { return watchdog_.get(); }
   // Test/tooling hook: the plan and pop slices of a live (unretired) step,
   // e.g. to replay the step through ReferenceDataPlane. Slice aliases only.
   Result<PrefetchPipeline::Capture> CaptureStep(int64_t step);
@@ -289,11 +349,28 @@ class Session {
   // seeds the FT frontier and the plan journal).
   Status ApplyResumeState();
 
-  // Copies the cumulative io-subsystem counters into `stats`.
-  void FillIoCounters(StepStats* stats) const;
+  // Copies the cumulative io-subsystem counters into `stats`. Non-const:
+  // the quarantine count is an Ask round-trip to the planner actor.
+  void FillIoCounters(StepStats* stats);
+  // Watchdog tick, driven from the producer thread between steps and between
+  // produce retry attempts: rate-limits to watchdog_interval_ms, scans the
+  // GCS for stale loader heartbeats, and promotes + rebinds shadows of dead
+  // loaders. Skips the scan when another control operation is in progress.
+  void MaybeRunWatchdog();
   // Copies the process-wide payload-plane freeze/copy counters into `stats`.
   static void FillPayloadCounters(StepStats* stats);
 
+  // Silent-hang recovery mid-production: a loader that accepted a message but
+  // never answered within the RPC deadline is promoted out on the spot and the
+  // replacement returned, so the producer can re-issue the request instead of
+  // blocking forever (the periodic scan can't help here — it only runs between
+  // steps, and production never finishes while a get() hangs).
+  Result<SourceLoader*> PromoteHungLoader(int32_t loader_id, int64_t step, const char* what);
+  // Pop-path wrapper: promote, then re-issue the identical pop. Safe because
+  // the shadow's buffer mirrors every completed step's pops, and this step's
+  // hung pop never executed on either replica.
+  Result<SampleSlice> RecoverHungPop(int32_t loader_id, int64_t step,
+                                     const std::vector<uint64_t>& ids);
   // Producer callbacks wired into the prefetch pipeline.
   Result<ProducedStep> ProduceStep(int64_t step);
   Status BuildConstructors(const LoadingPlan& plan,
@@ -307,6 +384,7 @@ class Session {
   // Remote-storage I/O subsystem (src/io/). Declared before system_ so the
   // loaders (actors) holding pointers die first.
   std::unique_ptr<LatencyInjectingStore> remote_store_;  // latency decorator
+  std::unique_ptr<FaultInjectingStore> fault_store_;     // chaos decorator
   std::unique_ptr<ObjectStore> cache_spill_store_;       // disk spill tier
   std::unique_ptr<BlockCache> block_cache_;
   std::unique_ptr<IoScheduler> io_;
@@ -321,6 +399,9 @@ class Session {
   std::vector<std::shared_ptr<DataConstructor>> constructors_;
   std::shared_ptr<Planner> planner_;
   std::unique_ptr<FaultToleranceManager> ft_;
+  std::unique_ptr<Watchdog> watchdog_;
+  // Last watchdog scan time (steady-clock epoch ms). Producer thread only.
+  int64_t last_watchdog_scan_ms_ = 0;
   std::unique_ptr<PrefetchPipeline> pipeline_;
   // Per-step rewind points feeding Checkpoint(); spans the build-ahead window.
   std::unique_ptr<StepStateJournal> state_journal_;
@@ -412,6 +493,25 @@ class SessionBuilder {
                                     double bandwidth_bytes_per_sec = 0);
   /// MSDF row-group target size for the materialized corpus.
   SessionBuilder& WithRowGroupBytes(int64_t bytes);
+  /// Deterministic storage fault injection (requires WithBlockCache).
+  SessionBuilder& WithStorageFaults(FaultSchedule schedule);
+  /// Retry/backoff policy for failed backing Gets.
+  SessionBuilder& WithIoRetry(IoScheduler::RetryPolicy policy);
+  /// Hedged duplicate Gets for slow primaries.
+  SessionBuilder& WithIoHedging(IoScheduler::HedgePolicy policy);
+  /// Quarantines a source after `after_failures` consecutive failed gathers,
+  /// renormalizing the mixture over the survivors; re-probes every
+  /// `probe_interval` steps for re-admission.
+  SessionBuilder& WithSourceQuarantine(int32_t after_failures,
+                                       int64_t probe_interval = 16);
+  /// Produce-round retry budget for transient failures (1 = halt on first).
+  SessionBuilder& WithProduceRetries(int32_t attempts);
+  /// Heartbeat watchdog: scans every `interval_ms`, promoting shadows of
+  /// loaders silent for `heartbeat_timeout_ms` (needs WithFaultTolerance).
+  SessionBuilder& WithWatchdog(int64_t interval_ms,
+                               int64_t heartbeat_timeout_ms = 5000);
+  /// Overrides the planner's per-gather RPC timeout.
+  SessionBuilder& WithLoaderRpcTimeout(int64_t timeout_ms);
   /// Checkpoints into `dir` every `every_n_steps` produced steps.
   SessionBuilder& WithAutoCheckpoint(std::string dir, int64_t every_n_steps);
   /// Keeps only the newest `generations` ckpt-* generations after each publish.

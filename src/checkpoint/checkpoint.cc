@@ -24,6 +24,18 @@ void PutPlannerState(WireWriter& w, const PlannerCheckpoint& p) {
   w.PutU64(p.rng_state);
   w.PutI64(p.next_unplanned);
   w.PutI64(p.plans_generated);
+  // Quarantine state (format v2): plan generation depends on it, so a
+  // resumed job must renormalize over the same surviving sources.
+  w.PutU32(static_cast<uint32_t>(p.quarantined.size()));
+  for (const auto& [loader_id, since_step] : p.quarantined) {
+    w.PutI64(loader_id);
+    w.PutI64(since_step);
+  }
+  w.PutU32(static_cast<uint32_t>(p.gather_failures.size()));
+  for (const auto& [loader_id, failures] : p.gather_failures) {
+    w.PutI64(loader_id);
+    w.PutI64(failures);
+  }
 }
 
 PlannerCheckpoint GetPlannerState(WireReader& r) {
@@ -31,6 +43,16 @@ PlannerCheckpoint GetPlannerState(WireReader& r) {
   p.rng_state = r.GetU64();
   p.next_unplanned = r.GetI64();
   p.plans_generated = r.GetI64();
+  const uint32_t n_quarantined = r.GetU32();
+  for (uint32_t i = 0; i < n_quarantined && r.Ok(); ++i) {
+    const int64_t loader_id = r.GetI64();
+    p.quarantined[static_cast<int32_t>(loader_id)] = r.GetI64();
+  }
+  const uint32_t n_failures = r.GetU32();
+  for (uint32_t i = 0; i < n_failures && r.Ok(); ++i) {
+    const int64_t loader_id = r.GetI64();
+    p.gather_failures[static_cast<int32_t>(loader_id)] = static_cast<int32_t>(r.GetI64());
+  }
   return p;
 }
 

@@ -48,7 +48,8 @@
 
 namespace msd {
 
-inline constexpr uint32_t kCheckpointFormatVersion = 1;
+// v2: planner state carries the source-quarantine maps.
+inline constexpr uint32_t kCheckpointFormatVersion = 2;
 // Pointer blob naming the latest fully published checkpoint id.
 inline constexpr char kCheckpointLatestKey[] = "LATEST";
 

@@ -42,6 +42,14 @@ class FaultToleranceManager {
   // the new primary. The caller re-registers a replacement shadow later.
   Result<SourceLoader*> PromoteShadow(const std::string& primary_name);
 
+  // True when `name` is a registered primary that still has a standby — the
+  // set of actors whose heartbeat staleness the watchdog acts on. Everything
+  // else (planner, constructors, passive shadows) never heartbeats, so
+  // staleness carries no signal for them.
+  bool IsWatchedPrimary(const std::string& name) const {
+    return pairs_.find(name) != pairs_.end();
+  }
+
   // Checkpoint recovery: restores `fresh` from the latest snapshot of
   // `loader_id` and replays journaled plans in (snapshot_step, up_to_step].
   Status RecoverFromCheckpoint(SourceLoader* fresh, int32_t loader_id, int64_t up_to_step);

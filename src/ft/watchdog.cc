@@ -7,6 +7,12 @@ namespace msd {
 std::vector<std::string> Watchdog::ScanAndRecover(int64_t now_ms) {
   std::vector<std::string> promoted;
   for (const std::string& name : system_->gcs().StaleActors(now_ms, timeout_ms_)) {
+    // Only primary data-plane loaders are heartbeat-monitored (the planner
+    // stamps them on every healthy gather). Control-plane actors and passive
+    // shadows never heartbeat, so staleness means nothing for them.
+    if (!ft_->IsWatchedPrimary(name)) {
+      continue;
+    }
     ++detections_;
     Result<SourceLoader*> replacement = ft_->PromoteShadow(name);
     if (replacement.ok()) {

@@ -7,6 +7,7 @@
 #ifndef SRC_FT_WATCHDOG_H_
 #define SRC_FT_WATCHDOG_H_
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -28,13 +29,20 @@ class Watchdog {
   // names of the promoted replacements.
   std::vector<std::string> ScanAndRecover(int64_t now_ms);
 
-  int64_t detections() const { return detections_; }
+  // Stale-heartbeat detections so far (includes actors with no registered
+  // shadow pair — only pairs get promoted). Readable from any thread.
+  int64_t detections() const { return detections_.load(std::memory_order_relaxed); }
+
+  // Counts a hang detected outside the periodic scan — e.g. a pop RPC that
+  // outlived its deadline mid-production (see Session::RecoverHungPop). Keeps
+  // every silent-loader detection, however observed, in one counter.
+  void RecordDetection() { ++detections_; }
 
  private:
   ActorSystem* system_;
   FaultToleranceManager* ft_;
   int64_t timeout_ms_;
-  int64_t detections_ = 0;
+  std::atomic<int64_t> detections_{0};
 };
 
 }  // namespace msd

@@ -145,6 +145,24 @@ void BlockCache::Insert(const BlockKey& key, std::shared_ptr<const std::string> 
   SpillOutsideLock(shard, std::move(victims));
 }
 
+bool BlockCache::Erase(const BlockKey& key) {
+  const std::string flat = FlattenBlockKey(key);
+  Shard& shard = ShardFor(flat);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  bool existed = false;
+  auto it = shard.index.find(flat);
+  if (it != shard.index.end()) {
+    shard.resident_bytes -= static_cast<int64_t>(it->second->bytes->size());
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    existed = true;
+  }
+  // The spilled blob itself is left behind; dropping the index entry is what
+  // makes it unreachable (promotion always verifies against the index).
+  existed |= shard.spilled.erase(flat) > 0;
+  return existed;
+}
+
 std::vector<BlockCache::Entry> BlockCache::EvictLocked(Shard& shard) {
   std::vector<Entry> victims;
   while (shard.resident_bytes > per_shard_budget_ && shard.lru.size() > 1) {

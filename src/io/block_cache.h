@@ -76,6 +76,12 @@ class BlockCache {
   // Inserts (or refreshes) the block, evicting LRU entries over budget.
   void Insert(const BlockKey& key, std::shared_ptr<const std::string> bytes);
 
+  // Drops the block from every tier (memory and spill index). Returns true if
+  // any copy existed. Used by readers that detect payload corruption above
+  // the cache (e.g. an MSDF row-group checksum mismatch) to force the next
+  // fetch back to authoritative storage.
+  bool Erase(const BlockKey& key);
+
   Stats stats() const;
   const Config& config() const { return config_; }
 

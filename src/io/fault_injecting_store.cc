@@ -1,0 +1,126 @@
+#include "src/io/fault_injecting_store.h"
+
+#include <utility>
+
+#include "src/common/hash.h"
+#include "src/common/logging.h"
+
+namespace msd {
+
+FaultInjectingStore::FaultInjectingStore(ObjectStore* base, FaultSchedule schedule)
+    : base_(base), schedule_(std::move(schedule)) {
+  MSD_CHECK(base_ != nullptr);
+  MSD_CHECK(schedule_.unavailable_p >= 0.0 && schedule_.unavailable_p <= 1.0);
+  MSD_CHECK(schedule_.deadline_p >= 0.0 && schedule_.deadline_p <= 1.0);
+  MSD_CHECK(schedule_.corrupt_p >= 0.0 && schedule_.corrupt_p <= 1.0);
+  MSD_CHECK(schedule_.fail_first_n >= 0);
+}
+
+Status FaultInjectingStore::Put(const std::string& name, std::string bytes) {
+  return base_->Put(name, std::move(bytes));
+}
+
+bool FaultInjectingStore::Exists(const std::string& name) const { return base_->Exists(name); }
+
+Status FaultInjectingStore::Delete(const std::string& name) { return base_->Delete(name); }
+
+std::vector<std::string> FaultInjectingStore::List(const std::string& prefix) const {
+  return base_->List(prefix);
+}
+
+int64_t FaultInjectingStore::TotalBytes() const { return base_->TotalBytes(); }
+
+bool FaultInjectingStore::disk_backed() const { return base_->disk_backed(); }
+
+const std::string& FaultInjectingStore::root_dir() const { return base_->root_dir(); }
+
+Result<FileHandle> FaultInjectingStore::Open(const std::string& name,
+                                             MemoryAccountant::NodeId node) const {
+  return base_->Open(name, node);
+}
+
+Result<int64_t> FaultInjectingStore::SizeOf(const std::string& name) const {
+  return base_->SizeOf(name);
+}
+
+bool FaultInjectingStore::Matches(const std::string& name) const {
+  return schedule_.match_substr.empty() ||
+         name.find(schedule_.match_substr) != std::string::npos;
+}
+
+double FaultInjectingStore::Roll(uint64_t seed, const std::string& name, int64_t offset,
+                                 int64_t length, int64_t attempt, uint64_t salt) {
+  // Chain the range identity and attempt index through FNV-1a; fold to a
+  // 53-bit mantissa for a uniform double. No wall clock, no shared RNG
+  // state: the verdict for (range, attempt) is a pure function of the seed.
+  uint64_t h = Fnv1a64(name, seed ^ salt);
+  const uint64_t words[3] = {static_cast<uint64_t>(offset), static_cast<uint64_t>(length),
+                             static_cast<uint64_t>(attempt)};
+  h = Fnv1a64(std::string_view(reinterpret_cast<const char*>(words), sizeof(words)), h);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+Result<std::string> FaultInjectingStore::Get(const std::string& name, int64_t offset,
+                                             int64_t length) const {
+  gets_.fetch_add(1, std::memory_order_relaxed);
+  if (!Matches(name)) {
+    return base_->Get(name, offset, length);
+  }
+
+  // Brownouts trump the probabilistic schedule: while engaged, every
+  // matching Get is refused before touching the base store.
+  if (brownout_.load(std::memory_order_acquire)) {
+    brownout_failures_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("injected brownout: " + name);
+  }
+  if (brownout_budget_.load(std::memory_order_acquire) > 0 &&
+      brownout_budget_.fetch_sub(1, std::memory_order_acq_rel) > 0) {
+    brownout_failures_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("injected brownout: " + name);
+  }
+
+  int64_t attempt = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    attempt = attempts_[name + ":" + std::to_string(offset) + "+" + std::to_string(length)]++;
+  }
+
+  if (attempt < schedule_.fail_first_n) {
+    faults_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("injected fail-first-" + std::to_string(schedule_.fail_first_n) +
+                               " (attempt " + std::to_string(attempt) + "): " + name);
+  }
+  if (schedule_.unavailable_p > 0.0 &&
+      Roll(schedule_.seed, name, offset, length, attempt, /*salt=*/0x1) <
+          schedule_.unavailable_p) {
+    // Connection refused: fails fast, the base store (and any latency
+    // decorator under it) is never reached.
+    faults_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("injected unavailable: " + name);
+  }
+
+  Result<std::string> bytes = base_->Get(name, offset, length);
+  if (!bytes.ok()) {
+    return bytes;
+  }
+
+  if (schedule_.deadline_p > 0.0 &&
+      Roll(schedule_.seed, name, offset, length, attempt, /*salt=*/0x2) < schedule_.deadline_p) {
+    // Timeout: the transfer happened (latency was paid) but the response is
+    // discarded, exactly like a deadline firing on a slow Get.
+    faults_.fetch_add(1, std::memory_order_relaxed);
+    return Status::DeadlineExceeded("injected deadline: " + name);
+  }
+  if (schedule_.corrupt_p > 0.0 && !bytes->empty() &&
+      Roll(schedule_.seed, name, offset, length, attempt, /*salt=*/0x3) < schedule_.corrupt_p) {
+    std::string mutated = std::move(bytes.value());
+    const uint64_t h = Fnv1a64(name, schedule_.seed ^ static_cast<uint64_t>(attempt));
+    const size_t bit = static_cast<size_t>(h % (mutated.size() * 8));
+    mutated[bit / 8] = static_cast<char>(mutated[bit / 8] ^ (1u << (bit % 8)));
+    corruptions_.fetch_add(1, std::memory_order_relaxed);
+    return mutated;
+  }
+  return bytes;
+}
+
+}  // namespace msd

@@ -1,0 +1,121 @@
+// FaultInjectingStore: an ObjectStore decorator that makes storage unreliable.
+//
+// The failure half of the simulated-remote harness (LatencyInjectingStore is
+// the latency half; compose them as fault(latency(base)) so an injected
+// timeout still pays the latency of the Get it interrupted). Every data-plane
+// Get rolls a deterministic die — a hash chain over (seed, name, offset,
+// length, attempt index) — so the same schedule replays identically across
+// runs, threads, and process restarts: retry attempt k of a given range
+// always sees the same verdict no matter how workers interleave.
+//
+// Injectable misbehaviours:
+//  - transient Unavailable (connection refused: fails before the base Get),
+//  - transient DeadlineExceeded (timeout: fails after paying the base Get),
+//  - fail-first-N-then-succeed per (name, offset, length) range,
+//  - bit-flip corruption of the returned payload (exercises the MSDF
+//    row-group checksum + cache-invalidate path), and
+//  - brownouts: while engaged, every matching Get fails Unavailable — either
+//    scoped to the next N Gets or toggled on/off around a step window.
+//
+// Metadata ops (Exists, SizeOf, List), Open, and writes are never faulted:
+// the retry machinery under test lives in the ranged-read path (IoScheduler),
+// and un-faulted metadata keeps corpus setup deterministic.
+#ifndef SRC_IO_FAULT_INJECTING_STORE_H_
+#define SRC_IO_FAULT_INJECTING_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/storage/object_store.h"
+
+namespace msd {
+
+// Deterministic seeded schedule of storage misbehaviour. Probabilities are
+// per-Get and independent; a Get can only suffer one fault (checked in order:
+// brownout, fail-first-N, unavailable, deadline, corruption).
+struct FaultSchedule {
+  uint64_t seed = 0x5eed;
+  // Per-Get probability of a transient Unavailable (fails fast, base not hit).
+  double unavailable_p = 0.0;
+  // Per-Get probability of a DeadlineExceeded after the base Get completes.
+  double deadline_p = 0.0;
+  // Per-Get probability of flipping one bit of the returned payload.
+  double corrupt_p = 0.0;
+  // First N Gets of every distinct (name, offset, length) range fail
+  // Unavailable, then succeed — the classic fail-N-then-succeed shape that
+  // bounded retries must ride out.
+  int32_t fail_first_n = 0;
+  // When non-empty, only object names containing this substring are eligible
+  // for any fault — lets a test target one source's files.
+  std::string match_substr;
+  // Install the decorator even with every probability at zero, so a harness
+  // can script brownouts (set_brownout / BrownoutNextGets) at runtime against
+  // an otherwise healthy store.
+  bool install = false;
+
+  bool enabled() const {
+    return install || unavailable_p > 0.0 || deadline_p > 0.0 || corrupt_p > 0.0 ||
+           fail_first_n > 0;
+  }
+};
+
+// Pure decorator: every virtual member forwards to `base`; the inherited
+// in-memory storage of the ObjectStore base subobject is never used.
+class FaultInjectingStore final : public ObjectStore {
+ public:
+  FaultInjectingStore(ObjectStore* base, FaultSchedule schedule);
+
+  Status Put(const std::string& name, std::string bytes) override;
+  bool Exists(const std::string& name) const override;
+  Status Delete(const std::string& name) override;
+  std::vector<std::string> List(const std::string& prefix = "") const override;
+  int64_t TotalBytes() const override;
+  bool disk_backed() const override;
+  const std::string& root_dir() const override;
+  Result<FileHandle> Open(const std::string& name, MemoryAccountant::NodeId node) const override;
+  Result<std::string> Get(const std::string& name, int64_t offset,
+                          int64_t length) const override;
+  Result<int64_t> SizeOf(const std::string& name) const override;
+
+  const FaultSchedule& schedule() const { return schedule_; }
+
+  // Brownout controls. While engaged, every matching Get fails Unavailable.
+  void set_brownout(bool on) { brownout_.store(on, std::memory_order_release); }
+  bool brownout() const { return brownout_.load(std::memory_order_acquire); }
+  // One-shot scoped brownout: the next `n` matching Gets fail, then service
+  // resumes — deterministic under a single-threaded consumer.
+  void BrownoutNextGets(int64_t n) { brownout_budget_.store(n, std::memory_order_release); }
+
+  // Observability for the counter-matching assertions in tests/bench.
+  int64_t gets() const { return gets_.load(std::memory_order_relaxed); }
+  int64_t faults_injected() const { return faults_.load(std::memory_order_relaxed); }
+  int64_t corruptions_injected() const { return corruptions_.load(std::memory_order_relaxed); }
+  int64_t brownout_failures() const { return brownout_failures_.load(std::memory_order_relaxed); }
+
+ private:
+  bool Matches(const std::string& name) const;
+  // The deterministic die: uniform [0,1) from the fault hash chain.
+  static double Roll(uint64_t seed, const std::string& name, int64_t offset, int64_t length,
+                     int64_t attempt, uint64_t salt);
+
+  ObjectStore* base_;
+  FaultSchedule schedule_;
+  std::atomic<bool> brownout_{false};
+  mutable std::atomic<int64_t> brownout_budget_{0};
+  // Per-range attempt counters, so retry attempt k of a range rolls a fresh
+  // (but replayable) die and fail-first-N can count down.
+  mutable std::mutex mu_;
+  mutable std::unordered_map<std::string, int64_t> attempts_;
+  mutable std::atomic<int64_t> gets_{0};
+  mutable std::atomic<int64_t> faults_{0};
+  mutable std::atomic<int64_t> corruptions_{0};
+  mutable std::atomic<int64_t> brownout_failures_{0};
+};
+
+}  // namespace msd
+
+#endif  // SRC_IO_FAULT_INJECTING_STORE_H_

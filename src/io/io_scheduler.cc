@@ -1,20 +1,55 @@
 #include "src/io/io_scheduler.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "src/common/hash.h"
 #include "src/common/logging.h"
 
 namespace msd {
+
+namespace {
+bool IsRetryable(const Status& status) {
+  // Transient transport-level failures only. NotFound is a caller bug and
+  // DataLoss means the bytes themselves are wrong — retrying the same range
+  // would re-read the same poison.
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kDeadlineExceeded;
+}
+}  // namespace
 
 IoScheduler::IoScheduler(const ObjectStore* store, BlockCache* cache, Config config)
     : store_(store), cache_(cache), config_(config) {
   MSD_CHECK(store_ != nullptr && cache_ != nullptr);
   MSD_CHECK(config_.threads >= 1);
   MSD_CHECK(config_.max_inflight >= 1);
+  MSD_CHECK(config_.retry.max_attempts >= 1);
+  MSD_CHECK(config_.retry.jitter_frac >= 0.0 && config_.retry.jitter_frac < 1.0);
+  latency_ring_.resize(256, 0);
   pool_ = std::make_unique<ThreadPool>(config_.threads);
+  if (config_.hedge.enabled) {
+    MSD_CHECK(config_.hedge.quantile > 0.0 && config_.hedge.quantile <= 1.0);
+    hedge_pool_ = std::make_unique<ThreadPool>(2);
+    hedge_timer_ = std::thread([this] { HedgeTimerLoop(); });
+  }
 }
 
-IoScheduler::~IoScheduler() { pool_->Shutdown(); }
+IoScheduler::~IoScheduler() {
+  // Primary workers first (they may still register races with the timer),
+  // then the timer (it may still submit to the hedge pool), then the hedges.
+  pool_->Shutdown();
+  if (hedge_timer_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(hedge_mu_);
+      hedge_stop_ = true;
+    }
+    hedge_cv_.notify_all();
+    hedge_timer_.join();
+  }
+  if (hedge_pool_ != nullptr) {
+    hedge_pool_->Shutdown();
+  }
+}
 
 std::shared_future<IoScheduler::BlockResult> IoScheduler::Fetch(const std::string& name,
                                                                 int64_t offset, int64_t length,
@@ -68,37 +103,245 @@ std::shared_future<IoScheduler::BlockResult> IoScheduler::Fetch(const std::strin
   std::shared_future<BlockResult> future = promise->get_future().share();
   inflight_.emplace(flat, future);
   ++stats_.issued_gets;
-  pool_->Submit([this, key, flat, promise] {
-    {
-      // Bounded depth: wait for a slot before touching the store.
-      std::unique_lock<std::mutex> lock(mu_);
-      depth_cv_.wait(lock, [&] { return active_gets_ < config_.max_inflight; });
-      ++active_gets_;
+  pool_->Submit([this, key, flat, promise] { RunWorker(key, flat, promise); });
+  return future;
+}
+
+int64_t IoScheduler::BackoffDelayUs(int32_t attempt, Rng& rng) const {
+  double delay = static_cast<double>(config_.retry.backoff_base_us);
+  for (int32_t i = 0; i < attempt; ++i) {
+    delay *= config_.retry.backoff_multiplier;
+  }
+  delay = std::min(delay, static_cast<double>(config_.retry.backoff_max_us));
+  const double jitter = config_.retry.jitter_frac;
+  delay *= 1.0 - jitter + 2.0 * jitter * rng.NextDouble();
+  return std::max<int64_t>(0, static_cast<int64_t>(delay));
+}
+
+void IoScheduler::RecordLatencySample(int64_t us) {
+  latency_ring_[latency_pos_] = us;
+  latency_pos_ = (latency_pos_ + 1) % latency_ring_.size();
+  ++latency_count_;
+}
+
+int64_t IoScheduler::HedgeDelayUs() const {
+  // mu_ held by the caller.
+  if (latency_count_ < config_.hedge.min_samples) {
+    return -1;
+  }
+  const size_t n = std::min<size_t>(static_cast<size_t>(latency_count_), latency_ring_.size());
+  std::vector<int64_t> samples(latency_ring_.begin(), latency_ring_.begin() + n);
+  size_t rank = static_cast<size_t>(config_.hedge.quantile * static_cast<double>(n));
+  rank = std::min(rank, n - 1);
+  std::nth_element(samples.begin(), samples.begin() + rank, samples.end());
+  return std::max(config_.hedge.min_delay_us, samples[rank]);
+}
+
+std::shared_ptr<IoScheduler::HedgeRace> IoScheduler::MaybeArmHedge(
+    const BlockKey& key, const std::string& flat,
+    const std::shared_ptr<std::promise<BlockResult>>& promise) {
+  if (!config_.hedge.enabled) {
+    return nullptr;
+  }
+  int64_t delay_us = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    delay_us = HedgeDelayUs();
+  }
+  if (delay_us < 0) {
+    return nullptr;
+  }
+  auto race = std::make_shared<HedgeRace>();
+  race->key = key;
+  race->flat = flat;
+  race->promise = promise;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::microseconds(delay_us);
+  {
+    std::lock_guard<std::mutex> lock(hedge_mu_);
+    if (hedge_stop_) {
+      return nullptr;
     }
+    hedge_queue_.emplace(deadline, race);
+  }
+  hedge_cv_.notify_one();
+  return race;
+}
+
+void IoScheduler::HedgeTimerLoop() {
+  std::unique_lock<std::mutex> lock(hedge_mu_);
+  while (!hedge_stop_) {
+    if (hedge_queue_.empty()) {
+      hedge_cv_.wait(lock, [&] { return hedge_stop_ || !hedge_queue_.empty(); });
+      continue;
+    }
+    const auto deadline = hedge_queue_.begin()->first;
+    if (std::chrono::steady_clock::now() < deadline) {
+      hedge_cv_.wait_until(lock, deadline);
+      continue;
+    }
+    std::shared_ptr<HedgeRace> race = hedge_queue_.begin()->second;
+    hedge_queue_.erase(hedge_queue_.begin());
+    lock.unlock();
+    bool launch = false;
+    {
+      std::lock_guard<std::mutex> rl(race->mu);
+      if (!race->cancelled && !race->settled && !race->hedge_launched) {
+        race->hedge_launched = true;
+        launch = true;
+      }
+    }
+    if (launch) {
+      {
+        std::lock_guard<std::mutex> slock(mu_);
+        ++stats_.hedges_launched;
+      }
+      hedge_pool_->Submit([this, race] { RunHedge(std::move(race)); });
+    }
+    lock.lock();
+  }
+}
+
+void IoScheduler::RunHedge(std::shared_ptr<HedgeRace> race) {
+  Result<std::string> bytes = store_->Get(race->key.name, race->key.offset, race->key.length);
+  bool finisher = false;
+  {
+    std::lock_guard<std::mutex> rl(race->mu);
+    race->hedge_done = true;
+    if (!race->settled && bytes.ok()) {
+      race->settled = true;
+      finisher = true;
+    }
+  }
+  race->cv.notify_all();
+  if (finisher) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.hedges_won;
+    }
+    FinishFetch(race->key, race->flat, race->promise,
+                BlockResult(std::make_shared<const std::string>(std::move(bytes.value()))));
+  } else if (bytes.ok()) {
+    // The primary settled first; this duplicate read was wasted work.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.abandoned_reads;
+  }
+  // A failed hedge while the primary is still unsettled just leaves the race
+  // to the primary (which may be waiting on hedge_done before retrying).
+}
+
+void IoScheduler::FinishFetch(const BlockKey& key, const std::string& flat,
+                              const std::shared_ptr<std::promise<BlockResult>>& promise,
+                              BlockResult result) {
+  if (result.ok()) {
+    // Insert before clearing the in-flight entry: a concurrent Fetch must
+    // always find the block in the cache or the in-flight map. A failed Get
+    // is never inserted — the next Fetch of this key re-issues a fresh read.
+    cache_->Insert(key, result.value());
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!result.ok()) {
+      ++stats_.failed_gets;
+    }
+    inflight_.erase(flat);
+  }
+  promise->set_value(std::move(result));
+}
+
+void IoScheduler::RunWorker(BlockKey key, std::string flat,
+                            std::shared_ptr<std::promise<BlockResult>> promise) {
+  {
+    // Bounded depth: wait for a slot before touching the store. The slot is
+    // held across retries and backoff sleeps — a browned-out range keeps its
+    // place in line instead of releasing pressure onto the endpoint.
+    std::unique_lock<std::mutex> lock(mu_);
+    depth_cv_.wait(lock, [&] { return active_gets_ < config_.max_inflight; });
+    ++active_gets_;
+  }
+  const int32_t max_attempts = std::max(1, config_.retry.max_attempts);
+  // Deterministic jitter: the delay sequence for this key is a pure function
+  // of (key, policy seed), independent of thread interleaving.
+  Rng jitter(Fnv1a64(flat, config_.retry.seed));
+  BlockResult result = BlockResult(Status::Internal("io worker fell through"));
+  bool finished_elsewhere = false;
+  for (int32_t attempt = 0; attempt < max_attempts; ++attempt) {
+    // Hedging arms once, on the first attempt; retries of a failed primary
+    // already have a second chance by definition.
+    std::shared_ptr<HedgeRace> race =
+        attempt == 0 ? MaybeArmHedge(key, flat, promise) : nullptr;
+    const auto t0 = std::chrono::steady_clock::now();
     Result<std::string> bytes = store_->Get(key.name, key.offset, key.length);
-    BlockResult result =
-        bytes.ok()
-            ? BlockResult(std::make_shared<const std::string>(std::move(bytes.value())))
-            : BlockResult(bytes.status());
-    if (result.ok()) {
-      // Insert before clearing the in-flight entry: a concurrent Fetch must
-      // always find the block in the cache or the in-flight map.
-      cache_->Insert(key, result.value());
+    if (race != nullptr) {
+      std::unique_lock<std::mutex> rl(race->mu);
+      race->cancelled = true;  // the timer must not launch past this point
+      if (!bytes.ok() && race->hedge_launched && !race->hedge_done && !race->settled) {
+        // The primary failed but a duplicate is still in flight — it may yet
+        // rescue this fetch without burning a retry.
+        race->cv.wait(rl, [&] { return race->hedge_done; });
+      }
+      if (race->settled) {
+        // The hedge won and already ran the completion path; the primary's
+        // result (either way) is abandoned.
+        finished_elsewhere = true;
+        rl.unlock();
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.abandoned_reads;
+        break;
+      }
+      if (bytes.ok()) {
+        race->settled = true;  // claim the fetch so a late hedge cannot finish it
+      }
+    }
+    if (bytes.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        RecordLatencySample(std::chrono::duration_cast<std::chrono::microseconds>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count());
+        if (attempt > 0) {
+          ++stats_.retry_successes;
+        }
+      }
+      result = BlockResult(std::make_shared<const std::string>(std::move(bytes.value())));
+      break;
+    }
+    if (!IsRetryable(bytes.status())) {
+      result = BlockResult(bytes.status());
+      break;
+    }
+    if (attempt + 1 >= max_attempts) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.retries_exhausted;
+      }
+      result = BlockResult(bytes.status());
+      break;
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
-      --active_gets_;
-      inflight_.erase(flat);
+      ++stats_.retries;
     }
-    depth_cv_.notify_one();
-    promise->set_value(std::move(result));
-  });
-  return future;
+    std::this_thread::sleep_for(std::chrono::microseconds(BackoffDelayUs(attempt, jitter)));
+  }
+  if (!finished_elsewhere) {
+    FinishFetch(key, flat, promise, std::move(result));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --active_gets_;
+  }
+  depth_cv_.notify_one();
 }
 
 IoScheduler::BlockResult IoScheduler::ReadBlock(const std::string& name, int64_t offset,
                                                 int64_t length) {
   return Fetch(name, offset, length).get();
+}
+
+void IoScheduler::Invalidate(const std::string& name, int64_t offset, int64_t length) {
+  cache_->Erase(BlockKey{name, offset, length});
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.invalidations;
 }
 
 IoScheduler::Stats IoScheduler::stats() const {

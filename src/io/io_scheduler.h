@@ -15,16 +15,35 @@
 // see at once. Completion inserts into the cache first and only then clears
 // the in-flight entry, so a concurrent requester always finds the block in
 // one of the two maps and a backing read is never duplicated.
+//
+// Failure handling (the chaos plane's retry layer):
+//  - RetryPolicy: a failed backing Get is retried up to max_attempts times
+//    with exponential backoff and deterministic jitter (PCG32 seeded from the
+//    block key — no wall-clock randomness, so the retry schedule for a given
+//    key replays identically). Only transient codes retry (Unavailable,
+//    DeadlineExceeded); NotFound and DataLoss propagate immediately.
+//  - HedgePolicy: once enough latency samples exist, a primary Get that
+//    outlives the observed latency quantile gets a hedged duplicate on a
+//    side pool; first success wins, the loser is abandoned (counted, never
+//    cached twice — exactly one finisher resolves the future).
+//  - Error-path hygiene: a failed Get is never inserted into the cache, and
+//    the in-flight entry is erased before the waiters observe the error, so
+//    a subsequent Fetch of the same key re-issues a fresh backing Get.
 #ifndef SRC_IO_IO_SCHEDULER_H_
 #define SRC_IO_IO_SCHEDULER_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
+#include <vector>
 
+#include "src/common/rng.h"
 #include "src/common/thread_pool.h"
 #include "src/io/block_cache.h"
 #include "src/storage/object_store.h"
@@ -33,9 +52,33 @@ namespace msd {
 
 class IoScheduler {
  public:
+  // Bounded retries with exponential backoff + deterministic jitter.
+  struct RetryPolicy {
+    int32_t max_attempts = 1;       // total tries per backing read; 1 = no retry
+    int64_t backoff_base_us = 500;  // delay before the first retry
+    double backoff_multiplier = 2.0;
+    int64_t backoff_max_us = 50'000;
+    // Each delay is scaled by a factor in [1-jitter, 1+jitter] drawn from a
+    // PCG32 seeded with hash(block key, seed) — replayable, no wall clock.
+    double jitter_frac = 0.25;
+    uint64_t seed = 0x10aded;
+  };
+
+  // Hedged reads: duplicate a slow primary Get once its elapsed time passes
+  // the observed latency quantile (computed over a ring of recent successful
+  // primary Gets; inactive until min_samples have been seen).
+  struct HedgePolicy {
+    bool enabled = false;
+    double quantile = 0.95;
+    int64_t min_delay_us = 1000;  // floor for the hedge arm delay
+    int32_t min_samples = 32;
+  };
+
   struct Config {
     size_t threads = 4;        // pool executing the backing Gets
     int32_t max_inflight = 8;  // concurrent backing Gets (queue depth bound)
+    RetryPolicy retry;
+    HedgePolicy hedge;
   };
 
   struct Stats {
@@ -46,6 +89,15 @@ class IoScheduler {
     // Prefetch Fetches that issued or joined a backing read (cache hits are
     // excluded: a warm re-issued window performs no I/O and counts nothing).
     int64_t prefetch_issues = 0;
+    // Chaos-plane counters.
+    int64_t retries = 0;            // backing Gets re-issued after a transient failure
+    int64_t retry_successes = 0;    // fetches rescued by a retry (attempt > 0 succeeded)
+    int64_t retries_exhausted = 0;  // fetches that failed after the full retry budget
+    int64_t failed_gets = 0;        // fetches whose future resolved with an error
+    int64_t hedges_launched = 0;    // duplicate Gets armed by the latency timer
+    int64_t hedges_won = 0;         // fetches resolved by the hedge, not the primary
+    int64_t abandoned_reads = 0;    // completed Gets whose result was already settled
+    int64_t invalidations = 0;      // Invalidate() calls (decode-detected corruption)
   };
 
   using BlockResult = Result<std::shared_ptr<const std::string>>;
@@ -65,11 +117,52 @@ class IoScheduler {
   // Blocking convenience: Fetch + wait.
   BlockResult ReadBlock(const std::string& name, int64_t offset, int64_t length);
 
+  // Drops the block from the cache so the next Fetch goes back to storage.
+  // Called by decoders that detect corruption above the cache (the cached
+  // copy checksums clean — the poison arrived at Get time).
+  void Invalidate(const std::string& name, int64_t offset, int64_t length);
+
   Stats stats() const;
   BlockCache* cache() { return cache_; }
   const ObjectStore* store() const { return store_; }
 
  private:
+  // Shared state of one primary/hedge race. Exactly one side settles and
+  // becomes the finisher (cache insert + in-flight erase + promise); the
+  // other side's result is abandoned.
+  struct HedgeRace {
+    std::mutex mu;
+    std::condition_variable cv;
+    BlockKey key;
+    std::string flat;
+    std::shared_ptr<std::promise<BlockResult>> promise;
+    bool settled = false;         // a finisher claimed this fetch
+    bool cancelled = false;       // primary returned; timer must not launch
+    bool hedge_launched = false;  // a duplicate Get is (or was) in flight
+    bool hedge_done = false;      // the duplicate Get returned
+  };
+
+  void RunWorker(BlockKey key, std::string flat,
+                 std::shared_ptr<std::promise<BlockResult>> promise);
+  // Completion path of whichever side settled: insert into the cache (success
+  // only), erase the in-flight entry, then resolve the promise — in that
+  // order, so a concurrent Fetch never misses both maps on success and never
+  // joins a dead future on failure.
+  void FinishFetch(const BlockKey& key, const std::string& flat,
+                   const std::shared_ptr<std::promise<BlockResult>>& promise,
+                   BlockResult result);
+  // Registers a hedge race with the timer thread if hedging is armed
+  // (enabled + enough latency samples). Returns nullptr otherwise.
+  std::shared_ptr<HedgeRace> MaybeArmHedge(const BlockKey& key, const std::string& flat,
+                                           const std::shared_ptr<std::promise<BlockResult>>& promise);
+  void HedgeTimerLoop();
+  void RunHedge(std::shared_ptr<HedgeRace> race);
+  // Backoff delay for retry `attempt` (0-based), jittered by `rng`.
+  int64_t BackoffDelayUs(int32_t attempt, Rng& rng) const;
+  // Hedge arm delay from the latency ring, or -1 while not enough samples.
+  int64_t HedgeDelayUs() const;
+  void RecordLatencySample(int64_t us);
+
   const ObjectStore* store_;
   BlockCache* cache_;
   Config config_;
@@ -79,8 +172,23 @@ class IoScheduler {
   int32_t active_gets_ = 0;
   std::unordered_map<std::string, std::shared_future<BlockResult>> inflight_;
   Stats stats_;
-  // Last member: its destructor drains tasks that touch the fields above.
+  // Ring of recent successful primary-Get latencies (µs) for the hedge
+  // quantile; guarded by mu_.
+  std::vector<int64_t> latency_ring_;
+  size_t latency_pos_ = 0;
+  int64_t latency_count_ = 0;
+
+  // Hedge timer state: pending races keyed by arm deadline.
+  std::mutex hedge_mu_;
+  std::condition_variable hedge_cv_;
+  bool hedge_stop_ = false;
+  std::multimap<std::chrono::steady_clock::time_point, std::shared_ptr<HedgeRace>> hedge_queue_;
+
+  // Last members: their destructors drain tasks that touch the fields above.
+  // Teardown order (see ~IoScheduler): primary pool, timer thread, hedge pool.
   std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ThreadPool> hedge_pool_;
+  std::thread hedge_timer_;
 };
 
 }  // namespace msd

@@ -247,9 +247,31 @@ Result<SampleSlice> SourceLoader::PopSamples(int64_t step, const std::vector<uin
   }
   Status refill = RefillToWatermark();
   if (!refill.ok()) {
+    // The pop itself succeeded — those samples are consumed, and failing the
+    // slice now would make a retried pop re-request consumed ids (NotFound, a
+    // permanent failure) and fork the stream. Storage-health failures defer
+    // to the next gather instead: serve the slice, remember the error, and
+    // let GatherBuffer retry the refill (cursor-based, side-effect-free on
+    // failure) until the buffer catches up or the planner quarantines us.
+    const StatusCode code = refill.code();
+    if (code == StatusCode::kUnavailable || code == StatusCode::kDeadlineExceeded ||
+        code == StatusCode::kDataLoss) {
+      last_refill_error_ = refill;
+      return slice;
+    }
     return refill;
   }
+  last_refill_error_ = Status::Ok();
   return slice;
+}
+
+BufferInfo SourceLoader::GatherBuffer() {
+  if (!last_refill_error_.ok()) {
+    last_refill_error_ = RefillToWatermark();
+  }
+  BufferInfo info = SummaryBuffer();
+  info.io_healthy = last_refill_error_.ok();
+  return info;
 }
 
 LoaderSnapshot SourceLoader::Snapshot() const {

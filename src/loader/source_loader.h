@@ -111,6 +111,19 @@ class SourceLoader : public Actor {
   // Metadata summary of the current buffer (workflow step 4).
   BufferInfo SummaryBuffer() const;
 
+  // The planner-facing gather: retries any deferred refill failure (see
+  // PopSamples) before summarizing, and stamps the summary's io_healthy bit.
+  // While the refill keeps failing the summary must not be planned over —
+  // the buffer is shorter than the watermark, and planning over it would
+  // fork the plan history vs an undisturbed run. Once the refill succeeds
+  // the buffer is byte-identical to the undisturbed run's (refill is
+  // cursor-deterministic and failure leaves no side effects), so plans
+  // resume exactly where they would have been.
+  BufferInfo GatherBuffer();
+
+  // The deferred refill failure, if any (Ok when healthy).
+  const Status& last_refill_error() const { return last_refill_error_; }
+
   // Pops the given sample ids (transformed payloads) from the buffer, then
   // refills. Unknown ids are reported as an error.
   Result<SampleSlice> PopSamples(int64_t step, const std::vector<uint64_t>& ids);
@@ -165,6 +178,9 @@ class SourceLoader : public Actor {
   SimTime total_transform_cost_ = 0;
   int64_t samples_served_ = 0;
   bool exhausted_ = false;
+  // Sticky refill failure deferred out of PopSamples (the popped slice was
+  // already served); cleared by the next successful refill.
+  Status last_refill_error_;
 };
 
 }  // namespace msd

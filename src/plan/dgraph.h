@@ -39,6 +39,11 @@ struct BufferInfo {
   int32_t loader_id = -1;
   int32_t source_id = -1;
   std::vector<SampleMeta> samples;
+  // False when the loader's last buffer refill failed (exhausted retries,
+  // brownout, decode loss): the summary may be stale/short, and the planner
+  // must treat the gather as failed rather than plan over a forked buffer.
+  // In-process health signal only — never serialized.
+  bool io_healthy = true;
 };
 
 // Output of a registered cost function: compute load and memory footprint.

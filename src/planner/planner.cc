@@ -35,6 +35,26 @@ std::string Planner::PlanJournalKey(int64_t step) {
   return "planner/plan/" + std::to_string(step);
 }
 
+std::string Planner::QuarantineJournalKey() { return "planner/quarantine"; }
+
+BufferInfo Planner::EmptyInfoFor(const SourceLoader* loader) {
+  BufferInfo info;
+  info.loader_id = loader->config().loader_id;
+  info.source_id = loader->config().spec.source_id;
+  return info;
+}
+
+void Planner::JournalQuarantine() {
+  std::string blob;
+  for (const auto& [loader_id, since_step] : quarantined_) {
+    if (!blob.empty()) {
+      blob += ",";
+    }
+    blob += std::to_string(loader_id) + ":" + std::to_string(since_step);
+  }
+  system_->gcs().PutState(QuarantineJournalKey(), std::move(blob));
+}
+
 Result<LoadingPlan> Planner::GetPlan(int64_t step) {
   auto it = cache_.find(step);
   if (it != cache_.end()) {
@@ -84,24 +104,82 @@ Result<LoadingPlan> Planner::GeneratePlan(int64_t step) {
   auto t0 = std::chrono::steady_clock::now();
   std::vector<BufferInfo> buffer_infos;
   last_failed_loaders_.clear();
+  bool quarantine_changed = false;
+  int32_t transient_failures = 0;
   for (SourceLoader* loader : loaders_) {
-    Result<BufferInfo> info = system_->AskWithTimeout<BufferInfo>(
-        *loader, [loader] { return loader->SummaryBuffer(); }, config_.loader_rpc_timeout_ms);
-    if (!info.ok()) {
-      last_failed_loaders_.push_back(loader->name());
+    const int32_t loader_id = loader->config().loader_id;
+    auto quarantined = quarantined_.find(loader_id);
+    const bool in_quarantine = quarantined != quarantined_.end();
+    // Re-admission probe: every probe_interval steps a quarantined loader
+    // gets one gather attempt; a healthy answer re-admits it. Step-arithmetic
+    // (not wall clock) keeps the probe schedule — and hence the plan
+    // history — deterministic.
+    const bool probing = in_quarantine && config_.quarantine_probe_interval > 0 &&
+                         step > quarantined->second &&
+                         (step - quarantined->second) % config_.quarantine_probe_interval == 0;
+    if (in_quarantine && !probing) {
+      buffer_infos.push_back(EmptyInfoFor(loader));
       continue;
     }
-    // A successful gather doubles as a liveness heartbeat (watchdog input).
-    system_->gcs().Heartbeat(
-        loader->name(),
-        std::chrono::duration_cast<std::chrono::milliseconds>(
-            std::chrono::steady_clock::now().time_since_epoch())
-            .count());
-    buffer_infos.push_back(std::move(info.value()));
+    // The gather closure captures only the loader pointer, which the
+    // ActorSystem keeps alive until Shutdown — so when the timeout fires
+    // first, the late-running closure touches no freed caller state and the
+    // abandoned completion is a no-op here (we already counted the failure).
+    Result<BufferInfo> info = system_->AskWithTimeout<BufferInfo>(
+        *loader, [loader] { return loader->GatherBuffer(); }, config_.loader_rpc_timeout_ms);
+    const bool healthy = info.ok() && info->io_healthy;
+    if (healthy) {
+      gather_failures_.erase(loader_id);
+      if (in_quarantine) {
+        quarantined_.erase(quarantined);
+        quarantine_changed = true;
+        ++readmission_events_;
+        MSD_LOG_INFO("planner re-admitted loader %s (source %d) at step %lld",
+                     loader->name().c_str(), loader->config().spec.source_id,
+                     static_cast<long long>(step));
+      }
+      // A successful gather doubles as a liveness heartbeat (watchdog input).
+      system_->gcs().Heartbeat(
+          loader->name(),
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count());
+      buffer_infos.push_back(std::move(info.value()));
+      continue;
+    }
+    last_failed_loaders_.push_back(loader->name());
+    if (in_quarantine) {
+      // Failed probe: stay quarantined, keep serving the renormalized mixture.
+      buffer_infos.push_back(EmptyInfoFor(loader));
+      continue;
+    }
+    const int32_t failures = ++gather_failures_[loader_id];
+    if (config_.quarantine_after_failures > 0 &&
+        failures >= config_.quarantine_after_failures) {
+      quarantined_[loader_id] = step;
+      gather_failures_.erase(loader_id);
+      quarantine_changed = true;
+      ++quarantine_events_;
+      MSD_LOG_WARN(
+          "planner quarantined loader %s (source %d) at step %lld after %d failed gathers",
+          loader->name().c_str(), loader->config().spec.source_id,
+          static_cast<long long>(step), failures);
+      buffer_infos.push_back(EmptyInfoFor(loader));
+      continue;
+    }
+    // Below the quarantine threshold (or quarantine disabled): the failure is
+    // transient, so the whole round fails and the caller retries. The RNG has
+    // not advanced and nothing was journaled — a retried GeneratePlan(step)
+    // starts from identical state, which is what keeps the plan history
+    // byte-identical to an undisturbed run once the loader heals.
+    ++transient_failures;
   }
   last_timings_.gather_ms = MsSince(t0);
-  if (!last_failed_loaders_.empty()) {
-    return Status::Unavailable(std::to_string(last_failed_loaders_.size()) +
+  if (quarantine_changed) {
+    JournalQuarantine();
+  }
+  if (transient_failures > 0) {
+    return Status::Unavailable(std::to_string(transient_failures) +
                                " loaders unavailable during metadata gather");
   }
 
@@ -134,6 +212,8 @@ PlannerCheckpoint Planner::CheckpointState() const {
   ckpt.rng_state = rng_.state();
   ckpt.next_unplanned = next_unplanned_;
   ckpt.plans_generated = plans_generated_;
+  ckpt.quarantined = quarantined_;
+  ckpt.gather_failures = gather_failures_;
   return ckpt;
 }
 
@@ -142,6 +222,9 @@ void Planner::RestoreCheckpoint(const PlannerCheckpoint& ckpt,
   rng_.set_state(ckpt.rng_state);
   next_unplanned_ = ckpt.next_unplanned;
   plans_generated_ = ckpt.plans_generated;
+  quarantined_ = ckpt.quarantined;
+  gather_failures_ = ckpt.gather_failures;
+  JournalQuarantine();
   cache_ = std::move(replay_plans);
   // The replay window must survive until consumed: TrimCache evicts from the
   // front, which is exactly the steps a resumed pipeline asks for first.

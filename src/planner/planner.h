@@ -40,6 +40,11 @@ struct PlannerCheckpoint {
   uint64_t rng_state = 0;
   int64_t next_unplanned = 0;
   int64_t plans_generated = 0;
+  // Source-quarantine state (see PlannerConfig::quarantine_after_failures):
+  // part of the replayable state because it changes how plans are generated —
+  // a resumed job must renormalize over the same surviving sources.
+  std::map<int32_t, int64_t> quarantined;       // loader_id -> step quarantined at
+  std::map<int32_t, int32_t> gather_failures;   // loader_id -> consecutive failures
 };
 
 struct PlannerConfig {
@@ -49,6 +54,15 @@ struct PlannerConfig {
   bool replay_mode = false;  // only serve precomputed plans
   uint64_t seed = 2026;
   MemoryAccountant::NodeId node = 0;
+  // Graceful degradation: after this many consecutive failed gathers on one
+  // loader, quarantine it — contribute an empty buffer summary so the mixture
+  // deterministically renormalizes over the surviving sources — instead of
+  // failing the whole plan. 0 (default) keeps the legacy behaviour: any
+  // failed gather makes GeneratePlan return Unavailable.
+  int32_t quarantine_after_failures = 0;
+  // While quarantined, re-probe the loader every this many steps; a healthy
+  // probe re-admits the source. <= 0 disables re-admission.
+  int64_t quarantine_probe_interval = 16;
 };
 
 class Planner : public Actor {
@@ -88,6 +102,15 @@ class Planner : public Actor {
   // Loader names that failed to answer the last metadata gather.
   const std::vector<std::string>& last_failed_loaders() const { return last_failed_loaders_; }
 
+  // Currently quarantined loaders: loader_id -> step the quarantine started.
+  const std::map<int32_t, int64_t>& quarantined_loaders() const { return quarantined_; }
+  int64_t quarantine_events() const { return quarantine_events_; }
+  int64_t readmission_events() const { return readmission_events_; }
+
+  // GCS key under which the current quarantine set is journaled (written on
+  // every quarantine/re-admission transition, for external observability).
+  static std::string QuarantineJournalKey();
+
   // Wall-clock phase timings of the last generated plan (Fig. 15 breakdown).
   struct PhaseTimings {
     double gather_ms = 0.0;
@@ -104,6 +127,11 @@ class Planner : public Actor {
  private:
   Result<LoadingPlan> GeneratePlan(int64_t step);
   void TrimCache();
+  // Empty summary standing in for a quarantined loader: keeps the DGraph's
+  // source indexing intact while the mixture renormalizes around the source
+  // (MixSampler masks zero-availability sources).
+  static BufferInfo EmptyInfoFor(const SourceLoader* loader);
+  void JournalQuarantine();
 
   PlannerConfig config_;
   ActorSystem* system_;
@@ -118,6 +146,11 @@ class Planner : public Actor {
   std::vector<std::string> last_failed_loaders_;
   PhaseTimings last_timings_;
   int64_t plans_generated_ = 0;
+  // Quarantine state (replayable; see PlannerCheckpoint).
+  std::map<int32_t, int64_t> quarantined_;      // loader_id -> step quarantined at
+  std::map<int32_t, int32_t> gather_failures_;  // loader_id -> consecutive failures
+  int64_t quarantine_events_ = 0;
+  int64_t readmission_events_ = 0;
 };
 
 }  // namespace msd

@@ -3,6 +3,7 @@
 #include <functional>
 #include <utility>
 
+#include "src/common/hash.h"
 #include "src/io/io_scheduler.h"
 #include "src/storage/wire.h"
 
@@ -75,6 +76,8 @@ void MsdfWriter::FlushGroup() {
   file_.append(current_group_);
   meta.bytes = static_cast<int64_t>(file_.size()) - meta.offset;
   meta.row_count = current_group_rows_;
+  meta.checksum = Fnv1a64(std::string_view(file_).substr(
+      static_cast<size_t>(meta.offset), static_cast<size_t>(meta.bytes)));
   groups_.push_back(meta);
   current_group_.clear();
   current_group_rows_ = 0;
@@ -92,6 +95,7 @@ std::string MsdfWriter::Finish() {
     footer.PutI64(g.offset);
     footer.PutI64(g.bytes);
     footer.PutI64(g.row_count);
+    footer.PutU64(g.checksum);
   }
   footer.PutI64(total_rows_);
   file_.append(footer.buffer());
@@ -128,7 +132,7 @@ Result<MsdfFileInfo> ParseMsdfFooterBody(std::string_view body, int64_t footer_b
   MsdfFileInfo info;
   info.schema = std::move(schema.value());
   uint64_t n_groups = r.GetU64();
-  if (n_groups > r.remaining() / (3 * sizeof(int64_t))) {
+  if (n_groups > r.remaining() / (4 * sizeof(int64_t))) {
     return Status::DataLoss("corrupt footer: row-group count exceeds payload");
   }
   info.row_groups.reserve(n_groups);
@@ -137,6 +141,7 @@ Result<MsdfFileInfo> ParseMsdfFooterBody(std::string_view body, int64_t footer_b
     g.offset = r.GetI64();
     g.bytes = r.GetI64();
     g.row_count = r.GetI64();
+    g.checksum = r.GetU64();
     info.row_groups.push_back(g);
   }
   info.total_rows = r.GetI64();
@@ -182,6 +187,7 @@ Result<MsdfReader> MsdfReader::Open(const ObjectStore& store, const std::string&
   }
   MsdfReader reader;
   reader.handle_ = std::move(handle.value());
+  reader.name_ = name;
   reader.info_ = std::move(info.value());
   reader.accountant_ = accountant;
   reader.node_ = node;
@@ -194,21 +200,34 @@ namespace {
 
 // Footer via two ranged reads: the tail (offset + magic), then the footer
 // body. The head magic is not checked — that would cost a third Get; the tail
-// magic plus the footer self-consistency checks carry the validation.
+// magic plus the footer self-consistency checks carry the validation. When an
+// `invalidate` hook is supplied (cached mode), a range that fails validation
+// is dropped from the cache and refetched once from authoritative storage —
+// the tail and footer carry no checksum of their own, so the parse checks are
+// the corruption detector, and without the refetch a single cached bit-flip
+// would permanently brick the open.
 Result<MsdfFileInfo> ReadFooterViaRanges(
     const std::function<Result<std::shared_ptr<const std::string>>(int64_t, int64_t)>& fetch,
-    int64_t file_size) {
+    const std::function<void(int64_t, int64_t)>& invalidate, int64_t file_size) {
   if (file_size < static_cast<int64_t>(sizeof(uint32_t) + kMsdfTailBytes)) {
     return Status::DataLoss("file too small for MSDF");
   }
+  const int64_t tail_begin = file_size - static_cast<int64_t>(kMsdfTailBytes);
   Result<std::shared_ptr<const std::string>> tail =
-      fetch(file_size - static_cast<int64_t>(kMsdfTailBytes),
-            static_cast<int64_t>(kMsdfTailBytes));
+      fetch(tail_begin, static_cast<int64_t>(kMsdfTailBytes));
   if (!tail.ok()) {
     return tail.status();
   }
   Result<uint64_t> footer_offset =
       ParseMsdfTail(**tail, static_cast<uint64_t>(file_size));
+  if (!footer_offset.ok() && invalidate != nullptr) {
+    invalidate(tail_begin, static_cast<int64_t>(kMsdfTailBytes));
+    tail = fetch(tail_begin, static_cast<int64_t>(kMsdfTailBytes));
+    if (!tail.ok()) {
+      return tail.status();
+    }
+    footer_offset = ParseMsdfTail(**tail, static_cast<uint64_t>(file_size));
+  }
   if (!footer_offset.ok()) {
     return footer_offset.status();
   }
@@ -218,7 +237,16 @@ Result<MsdfFileInfo> ReadFooterViaRanges(
   if (!body.ok()) {
     return body.status();
   }
-  return ParseMsdfFooterBody(**body, file_size - body_begin);
+  Result<MsdfFileInfo> info = ParseMsdfFooterBody(**body, file_size - body_begin);
+  if (!info.ok() && invalidate != nullptr) {
+    invalidate(body_begin, body_bytes);
+    body = fetch(body_begin, body_bytes);
+    if (!body.ok()) {
+      return body.status();
+    }
+    info = ParseMsdfFooterBody(**body, file_size - body_begin);
+  }
+  return info;
 }
 
 }  // namespace
@@ -249,9 +277,20 @@ Result<MsdfReader> MsdfReader::FinishRangedOpen(MsdfReader reader, int64_t file_
                                                 MemoryAccountant::NodeId node) {
   reader.accountant_ = accountant;
   reader.node_ = node;
+  std::function<void(int64_t, int64_t)> invalidate;
+  if (reader.io_ != nullptr) {
+    // Cached mode: a footer range that fails validation may be a poisoned
+    // cache entry — drop it so the refetch goes back to storage. Without a
+    // cache the refetch would re-read the same bytes, so skip it.
+    IoScheduler* io = reader.io_;
+    const std::string name = reader.name_;
+    invalidate = [io, name](int64_t offset, int64_t length) {
+      io->Invalidate(name, offset, length);
+    };
+  }
   Result<MsdfFileInfo> info = ReadFooterViaRanges(
       [&reader](int64_t offset, int64_t length) { return reader.FetchRange(offset, length); },
-      file_size);
+      invalidate, file_size);
   if (!info.ok()) {
     return info.status();
   }
@@ -299,6 +338,24 @@ Result<std::vector<std::string>> MsdfReader::ReadRowGroup(size_t index) {
   Result<std::shared_ptr<const std::string>> bytes = FetchRange(meta.offset, meta.bytes);
   if (!bytes.ok()) {
     return bytes.status();
+  }
+  if (Fnv1a64(**bytes) != meta.checksum) {
+    // The bytes were damaged somewhere between the writer and here. In cached
+    // mode the poison copy may be sitting in the block cache (a corruption
+    // injected at Get time is checksummed as-is on insert, so the cache's own
+    // verification cannot catch it) — invalidate and refetch once from
+    // authoritative storage before declaring the range lost.
+    if (io_ != nullptr) {
+      io_->Invalidate(name_, meta.offset, meta.bytes);
+      bytes = FetchRange(meta.offset, meta.bytes);
+      if (!bytes.ok()) {
+        return bytes.status();
+      }
+    }
+    if (io_ == nullptr || Fnv1a64(**bytes) != meta.checksum) {
+      return Status::DataLoss("row group " + std::to_string(index) + " of " + name_ +
+                              ": checksum mismatch");
+    }
   }
   ReleaseBuffer();
   buffer_charge_ = MemCharge(accountant_, node_, MemCategory::kRowGroupBuffer, meta.bytes);

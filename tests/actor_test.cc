@@ -65,6 +65,66 @@ TEST(ActorSystemTest, AskWithTimeoutDetectsSlowActor) {
   release.store(true);
 }
 
+// The abandoned-future contract (see AskWithTimeout in actor_system.h): a
+// closure whose deadline fired still runs later on the actor's thread, into a
+// promise nobody reads. It must be a pure no-op for the caller — its side
+// effects confined to actor-owned state — and must not touch freed caller
+// state. ASan/TSan runs of this test lock the contract in: the caller's stack
+// frame (and its captured locals) are gone before the closure executes.
+TEST(ActorSystemTest, AbandonedAskCompletionIsANoOpForTheCaller) {
+  ActorSystem system;
+  auto counter = system.Spawn<Counter>("c");
+  std::atomic<bool> release{false};
+  std::atomic<bool> late_ran{false};
+  {
+    // Scope models the caller unwinding: everything the closure may touch
+    // after the timeout must be actor-owned or shared, never stack-captured.
+    system.Post(*counter, [&release] {
+      while (!release.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+    Result<int> r = system.AskWithTimeout<int>(
+        *counter,
+        [c = counter.get(), &late_ran] {
+          c->Increment();  // actor-owned state: safe after the caller is gone
+          late_ran.store(true);
+          return c->count();
+        },
+        10);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+    EXPECT_FALSE(late_ran.load());  // still parked behind the blocker
+  }
+  release.store(true);
+  // Drain the mailbox: the abandoned closure runs now, long after its caller
+  // acted on the timeout, and lands its result in an unread promise.
+  int count = system.Ask<int>(*counter, [c = counter.get()] { return c->count(); });
+  EXPECT_TRUE(late_ran.load());
+  EXPECT_EQ(count, 1);  // the late Increment landed exactly once, harmlessly
+}
+
+// A second abandoned ask against an actor that dies before draining: the
+// closure never runs (Kill drops pending messages) and nothing dangles.
+TEST(ActorSystemTest, AbandonedAskCompletionOnKilledActorNeverRuns) {
+  ActorSystem system;
+  auto counter = system.Spawn<Counter>("c");
+  std::atomic<bool> release{false};
+  std::atomic<bool> late_ran{false};
+  system.Post(*counter, [&release] {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  Result<int> r = system.AskWithTimeout<int>(
+      *counter, [&late_ran] { late_ran.store(true); return 1; }, 10);
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  release.store(true);
+  system.Kill(*counter);  // drops the queued closure
+  system.Shutdown();
+  EXPECT_FALSE(late_ran.load());
+}
+
 TEST(ActorSystemTest, KillMarksDeadAndDropsMessages) {
   ActorSystem system;
   auto counter = system.Spawn<Counter>("victim");

@@ -133,8 +133,14 @@ TEST_F(CheckpointTest, WriterReaderRoundTripAndCrashInjection) {
   state.mesh = {.dp = 2, .pp = 1, .cp = 2, .tp = 1};
   state.prefetch_depth = 2;
   state.cursors = {7, 7, 8, 7, 7, 7, 7, 7};
-  state.planner_at_commit = {0x1234, 7, 7};
-  state.planner_at_frontier = {0x5678, 9, 9};
+  state.planner_at_commit.rng_state = 0x1234;
+  state.planner_at_commit.next_unplanned = 7;
+  state.planner_at_commit.plans_generated = 7;
+  state.planner_at_frontier.rng_state = 0x5678;
+  state.planner_at_frontier.next_unplanned = 9;
+  state.planner_at_frontier.plans_generated = 9;
+  state.planner_at_frontier.quarantined = {{1, 8}};
+  state.planner_at_frontier.gather_failures = {{2, 1}};
   state.loader_snapshots[0] = "snapshot-zero";
   state.loader_snapshots[3] = "snapshot-three";
   state.plan_journal[7] = "plan-seven";
@@ -158,6 +164,10 @@ TEST_F(CheckpointTest, WriterReaderRoundTripAndCrashInjection) {
   EXPECT_EQ(loaded->cursors, state.cursors);
   EXPECT_EQ(loaded->planner_at_commit.rng_state, 0x1234u);
   EXPECT_EQ(loaded->planner_at_frontier.next_unplanned, 9);
+  EXPECT_EQ(loaded->planner_at_frontier.quarantined, state.planner_at_frontier.quarantined);
+  EXPECT_EQ(loaded->planner_at_frontier.gather_failures,
+            state.planner_at_frontier.gather_failures);
+  EXPECT_TRUE(loaded->planner_at_commit.quarantined.empty());
   EXPECT_EQ(loaded->loader_snapshots, state.loader_snapshots);
   EXPECT_EQ(loaded->plan_journal, state.plan_journal);
   EXPECT_TRUE(loaded->fault_tolerance);

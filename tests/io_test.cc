@@ -12,16 +12,19 @@
 //    ReferenceDataPlane), and checkpoint resume re-warms the read-ahead.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/api/session.h"
 #include "src/constructor/reference_assembly.h"
 #include "src/data/synthetic.h"
 #include "src/io/block_cache.h"
+#include "src/io/fault_injecting_store.h"
 #include "src/io/io_scheduler.h"
 #include "src/io/latency_store.h"
 #include "tests/batch_identity.h"
@@ -165,6 +168,351 @@ TEST(IoSchedulerTest, CorruptedCachedBlockIsDetectedAndRefetched) {
   EXPECT_EQ(*second.value(), payload);
   EXPECT_EQ(cache.stats().corruptions, 1);
   EXPECT_EQ(io.stats().issued_gets, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos plane: deterministic fault injection + retry/hedge error paths.
+// ---------------------------------------------------------------------------
+
+// Minimal test decorator: forwards the read-path virtuals to `base`. Only the
+// members the IoScheduler/MsdfReader path touches are forwarded; the rest are
+// unused in these tests.
+class ForwardingStore : public ObjectStore {
+ public:
+  explicit ForwardingStore(ObjectStore* base) : base_(base) {}
+  Result<std::string> Get(const std::string& name, int64_t offset,
+                          int64_t length) const override {
+    return base_->Get(name, offset, length);
+  }
+  Result<int64_t> SizeOf(const std::string& name) const override {
+    return base_->SizeOf(name);
+  }
+  bool Exists(const std::string& name) const override { return base_->Exists(name); }
+  Result<FileHandle> Open(const std::string& name,
+                          MemoryAccountant::NodeId node) const override {
+    return base_->Open(name, node);
+  }
+
+ protected:
+  ObjectStore* base_;
+};
+
+TEST(FaultStoreTest, DeterministicScheduleReplaysIdentically) {
+  ObjectStore base;
+  ASSERT_TRUE(base.Put("data/f0", std::string(8192, 'a')).ok());
+  FaultSchedule schedule;
+  schedule.seed = 42;
+  schedule.unavailable_p = 0.3;
+  schedule.deadline_p = 0.2;
+  auto verdicts = [&] {
+    FaultInjectingStore store(&base, schedule);
+    std::vector<StatusCode> codes;
+    for (int64_t offset = 0; offset < 8192; offset += 1024) {
+      for (int attempt = 0; attempt < 3; ++attempt) {
+        codes.push_back(store.Get("data/f0", offset, 1024).status().code());
+      }
+    }
+    return codes;
+  };
+  std::vector<StatusCode> first = verdicts();
+  EXPECT_EQ(first, verdicts());  // same seed, same sequence => same faults
+  // The schedule actually fired a mix of verdicts, not all-pass/all-fail.
+  int faults = 0;
+  for (StatusCode code : first) {
+    faults += code != StatusCode::kOk ? 1 : 0;
+  }
+  EXPECT_GT(faults, 0);
+  EXPECT_LT(faults, static_cast<int>(first.size()));
+}
+
+TEST(FaultStoreTest, FailFirstNHealsPerRangeAndTargetingScopesFaults) {
+  ObjectStore base;
+  ASSERT_TRUE(base.Put("flaky/f", std::string(4096, 'x')).ok());
+  ASSERT_TRUE(base.Put("healthy/f", std::string(4096, 'y')).ok());
+  FaultSchedule schedule;
+  schedule.fail_first_n = 2;
+  schedule.match_substr = "flaky";
+  FaultInjectingStore store(&base, schedule);
+  // First two attempts on the range fail, the third succeeds.
+  EXPECT_EQ(store.Get("flaky/f", 0, 4096).status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(store.Get("flaky/f", 0, 4096).status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(store.Get("flaky/f", 0, 4096).ok());
+  // A different range of the same object counts its own attempts.
+  EXPECT_EQ(store.Get("flaky/f", 0, 2048).status().code(), StatusCode::kUnavailable);
+  // Non-matching names are never faulted; metadata ops are never faulted.
+  EXPECT_TRUE(store.Get("healthy/f", 0, 4096).ok());
+  EXPECT_TRUE(store.SizeOf("flaky/f").ok());
+  EXPECT_EQ(store.faults_injected(), 3);
+}
+
+TEST(FaultStoreTest, BrownoutFailsMatchingGetsUntilLifted) {
+  ObjectStore base;
+  ASSERT_TRUE(base.Put("f", std::string(1024, 'z')).ok());
+  FaultSchedule schedule;
+  schedule.install = true;  // no probabilistic faults; scripted only
+  ASSERT_TRUE(schedule.enabled());
+  FaultInjectingStore store(&base, schedule);
+  EXPECT_TRUE(store.Get("f", 0, 1024).ok());
+  store.set_brownout(true);
+  EXPECT_EQ(store.Get("f", 0, 1024).status().code(), StatusCode::kUnavailable);
+  store.set_brownout(false);
+  EXPECT_TRUE(store.Get("f", 0, 1024).ok());
+  store.BrownoutNextGets(2);
+  EXPECT_FALSE(store.Get("f", 0, 1024).ok());
+  EXPECT_FALSE(store.Get("f", 0, 512).ok());
+  EXPECT_TRUE(store.Get("f", 0, 1024).ok());  // budget exhausted: healed
+  EXPECT_EQ(store.brownout_failures(), 3);
+}
+
+TEST(FaultStoreTest, CorruptionFlipsExactlyOneBitDeterministically) {
+  ObjectStore base;
+  const std::string truth(2048, 'm');
+  ASSERT_TRUE(base.Put("f", truth).ok());
+  FaultSchedule schedule;
+  schedule.seed = 7;
+  schedule.corrupt_p = 1.0;
+  auto corrupt_read = [&] {
+    FaultInjectingStore store(&base, schedule);
+    Result<std::string> bytes = store.Get("f", 0, 2048);
+    EXPECT_TRUE(bytes.ok());
+    EXPECT_EQ(store.corruptions_injected(), 1);
+    return bytes.value();
+  };
+  std::string got = corrupt_read();
+  EXPECT_EQ(got, corrupt_read());  // same seed => same flipped bit
+  int bit_diffs = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    bit_diffs += __builtin_popcount(
+        static_cast<unsigned char>(truth[i]) ^ static_cast<unsigned char>(got[i]));
+  }
+  EXPECT_EQ(bit_diffs, 1);
+}
+
+TEST(IoSchedulerTest, FailedGetIsNeverCachedAndNextFetchReissues) {
+  ObjectStore base;
+  ASSERT_TRUE(base.Put("f", std::string(4096, 'x')).ok());
+  FaultSchedule schedule;
+  schedule.fail_first_n = 1;
+  FaultInjectingStore flaky(&base, schedule);
+  BlockCache cache(BlockCache::Config{});
+  IoScheduler io(&flaky, &cache, IoScheduler::Config{});  // no retries
+  IoScheduler::BlockResult first = io.ReadBlock("f", 0, 4096);
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), StatusCode::kUnavailable);
+  // Error-path hygiene: the failure was not cached, and the in-flight entry
+  // was erased before the waiter observed the error — so the next Fetch
+  // re-issues a fresh backing Get instead of joining a dead future.
+  EXPECT_EQ(cache.Lookup(BlockKey{"f", 0, 4096}), nullptr);
+  EXPECT_EQ(io.stats().failed_gets, 1);
+  IoScheduler::BlockResult second = io.ReadBlock("f", 0, 4096);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second.value(), std::string(4096, 'x'));
+  EXPECT_EQ(io.stats().issued_gets, 2);
+}
+
+TEST(IoSchedulerTest, WaitersCoalescedOntoFailedGetSeeErrorThenRecover) {
+  ObjectStore base;
+  ASSERT_TRUE(base.Put("flaky/f", std::string(4096, 'x')).ok());
+  ASSERT_TRUE(base.Put("plug/f", std::string(4096, 'p')).ok());
+  RemoteStorageParams params;
+  params.get_latency = 20 * kMillisecond;
+  params.bandwidth_bytes_per_sec = 0;
+  LatencyInjectingStore remote(&base, params);
+  FaultSchedule schedule;
+  schedule.fail_first_n = 1;
+  schedule.match_substr = "flaky";
+  FaultInjectingStore flaky(&remote, schedule);
+  BlockCache cache(BlockCache::Config{});
+  IoScheduler::Config config;
+  config.threads = 1;  // single worker: the plug read serializes the rest
+  IoScheduler io(&flaky, &cache, config);
+  // Occupy the only worker, then register two fetches for the failing block:
+  // the second must coalesce onto the first while both are still queued.
+  auto plug = io.Fetch("plug/f", 0, 4096);
+  auto f1 = io.Fetch("flaky/f", 0, 4096);
+  auto f2 = io.Fetch("flaky/f", 0, 4096);
+  EXPECT_FALSE(f1.get().ok());
+  EXPECT_FALSE(f2.get().ok());  // both waiters see the same error
+  ASSERT_TRUE(plug.get().ok());
+  IoScheduler::Stats stats = io.stats();
+  EXPECT_EQ(stats.coalesced, 1);
+  EXPECT_EQ(stats.failed_gets, 1);
+  EXPECT_EQ(stats.issued_gets, 2);  // plug + the failed flaky read
+  // The failed key was fully cleaned up: a retried fetch re-issues and heals.
+  IoScheduler::BlockResult healed = io.ReadBlock("flaky/f", 0, 4096);
+  ASSERT_TRUE(healed.ok());
+  EXPECT_EQ(io.stats().issued_gets, 3);
+}
+
+TEST(IoSchedulerTest, TransientFailuresRetriedWithinBudget) {
+  ObjectStore base;
+  ASSERT_TRUE(base.Put("f", std::string(4096, 'r')).ok());
+  FaultSchedule schedule;
+  schedule.fail_first_n = 2;
+  schedule.match_substr = "f";  // scope faults to the real object, not "missing"
+  FaultInjectingStore flaky(&base, schedule);
+  BlockCache cache(BlockCache::Config{});
+  IoScheduler::Config config;
+  config.retry.max_attempts = 4;
+  config.retry.backoff_base_us = 100;  // test-fast
+  IoScheduler io(&flaky, &cache, config);
+  IoScheduler::BlockResult result = io.ReadBlock("f", 0, 4096);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result.value(), std::string(4096, 'r'));
+  IoScheduler::Stats stats = io.stats();
+  EXPECT_EQ(stats.retries, 2);
+  EXPECT_EQ(stats.retry_successes, 1);
+  EXPECT_EQ(stats.retries_exhausted, 0);
+  EXPECT_EQ(stats.failed_gets, 0);
+  EXPECT_EQ(flaky.gets(), 3);            // two failed attempts + the rescue
+  EXPECT_EQ(flaky.faults_injected(), 2);
+  // Permanent errors are not retried: NotFound fails on the first attempt.
+  IoScheduler::BlockResult missing = io.ReadBlock("missing", 0, 64);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(io.stats().retries, 2);
+}
+
+TEST(IoSchedulerTest, RetryBudgetExhaustionSurfacesTransientError) {
+  ObjectStore base;
+  ASSERT_TRUE(base.Put("f", std::string(1024, 'e')).ok());
+  FaultSchedule schedule;
+  schedule.fail_first_n = 5;
+  FaultInjectingStore flaky(&base, schedule);
+  BlockCache cache(BlockCache::Config{});
+  IoScheduler::Config config;
+  config.retry.max_attempts = 3;
+  config.retry.backoff_base_us = 100;
+  IoScheduler io(&flaky, &cache, config);
+  IoScheduler::BlockResult result = io.ReadBlock("f", 0, 1024);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  IoScheduler::Stats stats = io.stats();
+  EXPECT_EQ(stats.retries, 2);
+  EXPECT_EQ(stats.retries_exhausted, 1);
+  EXPECT_EQ(stats.failed_gets, 1);
+  EXPECT_EQ(stats.retry_successes, 0);
+  // Attempt counting is per range and monotonic: the next fetch's budget
+  // (attempts 4..6) crosses the fail-first-5 threshold and heals.
+  IoScheduler::BlockResult healed = io.ReadBlock("f", 0, 1024);
+  ASSERT_TRUE(healed.ok());
+  EXPECT_EQ(io.stats().retry_successes, 1);
+}
+
+TEST(IoSchedulerTest, InvalidateDropsCachedBlockAndReissues) {
+  ObjectStore base;
+  ASSERT_TRUE(base.Put("f", std::string(512, 'v')).ok());
+  BlockCache cache(BlockCache::Config{});
+  IoScheduler io(&base, &cache, IoScheduler::Config{});
+  ASSERT_TRUE(io.ReadBlock("f", 0, 512).ok());
+  EXPECT_EQ(io.stats().issued_gets, 1);
+  io.Invalidate("f", 0, 512);
+  EXPECT_EQ(io.stats().invalidations, 1);
+  EXPECT_EQ(cache.Lookup(BlockKey{"f", 0, 512}), nullptr);
+  ASSERT_TRUE(io.ReadBlock("f", 0, 512).ok());
+  EXPECT_EQ(io.stats().issued_gets, 2);  // went back to storage
+}
+
+// Stalls the first Get of `target` (and only that one call) so a hedged
+// duplicate — the second call — can win the race deterministically.
+class StallFirstGetStore final : public ForwardingStore {
+ public:
+  StallFirstGetStore(ObjectStore* base, std::string target, int64_t stall_ms)
+      : ForwardingStore(base), target_(std::move(target)), stall_ms_(stall_ms) {}
+  Result<std::string> Get(const std::string& name, int64_t offset,
+                          int64_t length) const override {
+    if (name == target_ && !stalled_.exchange(true)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms_));
+    }
+    return base_->Get(name, offset, length);
+  }
+
+ private:
+  std::string target_;
+  int64_t stall_ms_;
+  mutable std::atomic<bool> stalled_{false};
+};
+
+TEST(IoSchedulerTest, HedgedReadWinsOverStalledPrimary) {
+  ObjectStore base;
+  ASSERT_TRUE(base.Put("warm", std::string(16 * 1024, 'w')).ok());
+  ASSERT_TRUE(base.Put("slow", std::string(4096, 's')).ok());
+  StallFirstGetStore store(&base, "slow", /*stall_ms=*/400);
+  BlockCache cache(BlockCache::Config{});
+  IoScheduler::Config config;
+  config.hedge.enabled = true;
+  config.hedge.quantile = 0.5;
+  config.hedge.min_delay_us = 1000;
+  config.hedge.min_samples = 4;
+  IoScheduler io(&store, &cache, config);
+  // Warm the latency ring with fast primaries so the hedge timer arms.
+  for (int64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(io.ReadBlock("warm", i * 4096, 4096).ok());
+  }
+  // The primary Get stalls 400 ms; the hedge fires after ~the observed
+  // quantile (microseconds) and its duplicate Get returns immediately.
+  IoScheduler::BlockResult result = io.ReadBlock("slow", 0, 4096);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result.value(), std::string(4096, 's'));
+  IoScheduler::Stats stats = io.stats();
+  EXPECT_EQ(stats.hedges_launched, 1);
+  EXPECT_EQ(stats.hedges_won, 1);
+  // The stalled primary eventually returns and is abandoned, not double-
+  // cached; poll briefly since it resolves on its own schedule.
+  for (int i = 0; i < 100 && io.stats().abandoned_reads == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(io.stats().abandoned_reads, 1);
+}
+
+// Corrupts the first Get of one exact (offset, length) range, once — aimed at
+// a known row group so the footer reads pass through clean.
+class CorruptOnceStore final : public ForwardingStore {
+ public:
+  CorruptOnceStore(ObjectStore* base, int64_t offset, int64_t length)
+      : ForwardingStore(base), offset_(offset), length_(length) {}
+  Result<std::string> Get(const std::string& name, int64_t offset,
+                          int64_t length) const override {
+    Result<std::string> bytes = base_->Get(name, offset, length);
+    if (bytes.ok() && offset == offset_ && length == length_ && !corrupted_.exchange(true)) {
+      std::string poisoned = std::move(bytes.value());
+      poisoned[poisoned.size() / 2] ^= 0x20;
+      return poisoned;
+    }
+    return bytes;
+  }
+
+ private:
+  int64_t offset_;
+  int64_t length_;
+  mutable std::atomic<bool> corrupted_{false};
+};
+
+TEST(MsdfReaderTest, StoreCorruptionIsDetectedInvalidatedAndRefetched) {
+  ObjectStore store;
+  MemoryAccountant memory;
+  SourceSpec spec = MakeCoyo700m().sources[0];
+  spec.num_files = 1;
+  spec.rows_per_file = 48;
+  ASSERT_TRUE(
+      WriteSourceFiles(store, spec, /*seed=*/7, {.target_row_group_bytes = 8 * kKiB}).ok());
+  const std::string name = SourceFileName(spec, 0);
+  MsdfReader whole = MsdfReader::Open(store, name, &memory, 0).value();
+  const RowGroupMeta& g0 = whole.info().row_groups.at(0);
+
+  CorruptOnceStore corrupting(&store, g0.offset, g0.bytes);
+  BlockCache cache(BlockCache::Config{});
+  IoScheduler io(&corrupting, &cache, IoScheduler::Config{});
+  MsdfReader cached = MsdfReader::OpenCached(&io, name, &memory, 0).value();
+  const int64_t footer_gets = io.stats().issued_gets;  // tail + footer body
+  // Group 0's first fetch arrives poisoned and is cached poisoned (the cache
+  // checksums what it was given). The row-group checksum catches it, the
+  // reader invalidates the cache entry, and the refetch serves clean bytes —
+  // the poison is never surfaced.
+  Result<std::vector<std::string>> rows = cached.ReadRowGroup(0);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows.value(), whole.ReadRowGroup(0).value());
+  EXPECT_EQ(io.stats().invalidations, 1);
+  EXPECT_EQ(io.stats().issued_gets, footer_gets + 2);  // poisoned fetch + clean refetch
 }
 
 TEST(MsdfReaderTest, RangedAndCachedModesMatchWholeBlobReader) {
