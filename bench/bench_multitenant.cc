@@ -1,0 +1,389 @@
+// Multi-tenant dataloader service (src/service/): does co-hosting N jobs on
+// ONE shared I/O plane beat N isolated planes?
+//
+// Two gates, mirroring the two promises of the service:
+//   - cross-job dedup: 4 co-hosted sessions on overlapping corpora must issue
+//     >= 1.5x fewer backing Gets than 4 isolated cached sessions — at a
+//     QUARTER of the total cache memory — while every tenant's stream stays
+//     byte-identical to its solo-run twin;
+//   - fair share: with a deliberately scan-heavy tenant (deep read-ahead,
+//     weight 0.5, in-flight cap 1) hammering the shared plane, the normal
+//     tenants' per-step p99 must stay within 2x of their solo baseline (plus
+//     a small absolute floor to absorb scheduler noise on loaded CI hosts).
+//
+// `--smoke` runs both gates on a small scenario and exits nonzero on any
+// violation. Wired into ctest (labels: smoke, service).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/api/session.h"
+#include "src/service/data_service.h"
+#include "src/service/shared_plane.h"
+
+namespace msd {
+namespace {
+
+struct Scenario {
+  const char* label;
+  int steps;           // steps streamed per tenant
+  int64_t samples_per_step;
+  SimTime get_latency;  // per backing Get, both planes
+};
+
+Session::Options TenantOptions(const Scenario& s) {
+  Session::Options options;
+  options.corpus = MakeCoyo700m();
+  options.spec = {.dp = 2, .pp = 1, .cp = 1, .tp = 1};
+  options.num_microbatches = 2;
+  options.samples_per_step = s.samples_per_step;
+  options.max_seq_len = 1024;
+  options.rows_per_file_override = 96;
+  options.loader_workers = 1;
+  options.prefetch_depth = 2;
+  options.row_group_bytes = 8 * kKiB;
+  return options;
+}
+
+double Ms(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+double P99(std::vector<double> ms) {
+  MSD_CHECK(!ms.empty());
+  std::sort(ms.begin(), ms.end());
+  const size_t idx = (ms.size() * 99 + 99) / 100 - 1;
+  return ms[std::min(idx, ms.size() - 1)];
+}
+
+std::vector<RankBatch> StreamStep(Session& session, int* failed_steps) {
+  const int32_t world = session.tree().spec().WorldSize();
+  std::vector<RankBatch> batches(static_cast<size_t>(world));
+  bool ok = true;
+  for (int32_t rank = 0; rank < world; ++rank) {
+    Result<RankBatch> batch = session.client(rank).value()->NextBatch();
+    if (!batch.ok()) {
+      std::printf("  step failed for rank %d: %s\n", rank, batch.status().ToString().c_str());
+      ok = false;
+      continue;
+    }
+    batches[static_cast<size_t>(rank)] = std::move(batch.value());
+  }
+  if (!ok) {
+    ++*failed_steps;
+  }
+  return batches;
+}
+
+// ---------------------------------------------------------------------------
+// Gate 1 — cross-job dedup: co-hosting shares the hot set.
+// ---------------------------------------------------------------------------
+
+int RunDedupGate(const Scenario& s) {
+  constexpr int kJobs = 4;
+  constexpr int64_t kIsolatedCacheBytes = 64 * kMiB;  // per isolated job
+  constexpr int64_t kSharedCacheBytes = 128 * kMiB;   // for ALL tenants together
+  bench::PrintHeader(
+      std::string("multi-tenant service — cross-job dedup — ") + s.label,
+      "N jobs on one shared cache+scheduler beat N isolated processes on "
+      "both backing-store traffic and total cache memory");
+  std::printf("  jobs=%d steps/job=%d samples/step=%lld get-latency=%lld us\n", kJobs,
+              s.steps, static_cast<long long>(s.samples_per_step),
+              static_cast<long long>(s.get_latency));
+
+  int failures = 0;
+  int failed_steps = 0;
+
+  // Baseline: 4 isolated cached sessions, each with a private 64 MiB cache
+  // and a private remote store — what 4 separate dataloader processes pay.
+  int64_t isolated_gets = 0;
+  {
+    auto t0 = std::chrono::steady_clock::now();
+    for (int job = 0; job < kJobs; ++job) {
+      Session::Options options = TenantOptions(s);
+      options.block_cache_bytes = kIsolatedCacheBytes;
+      options.storage_get_latency = s.get_latency;
+      auto session = Session::Create(options);
+      MSD_CHECK(session.ok());
+      for (int step = 0; step < s.steps; ++step) {
+        StreamStep(**session, &failed_steps);
+      }
+      isolated_gets += (*session)->io_stats().storage_gets;
+    }
+    bench::PrintRow("isolated: backing Gets", static_cast<double>(isolated_gets));
+    bench::PrintRow("isolated: total cache", static_cast<double>(kJobs) *
+                                                 static_cast<double>(kIsolatedCacheBytes) /
+                                                 static_cast<double>(kMiB),
+                    "MiB");
+    bench::PrintRow("isolated: wall", Ms(t0), "ms");
+  }
+
+  // Co-hosted: the same 4 jobs as tenants of one DataService, sharing ONE
+  // 128 MiB cache (half the isolated total) and one scheduler. The jobs
+  // stream concurrently — the production setting — so the sequential scans
+  // move in rough lockstep and the shared cache + in-flight coalescing turn
+  // three of every four reads into shared ones.
+  int64_t cohosted_gets = 0;
+  int64_t cross_tenant_hits = 0;
+  {
+    SharedIoPlaneConfig plane;
+    plane.cache_bytes = kSharedCacheBytes;
+    plane.storage_get_latency = s.get_latency;
+    DataService service(plane);
+    for (int job = 0; job < kJobs; ++job) {
+      DataService::TenantConfig tenant;
+      tenant.session = TenantOptions(s);
+      Status registered = service.RegisterTenant("job-" + std::to_string(job), tenant);
+      MSD_CHECK(registered.ok());
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::vector<std::vector<RankBatch>>> job_batches(kJobs);  // [job][step][rank]
+    std::vector<int> job_failed(kJobs, 0);
+    std::vector<std::thread> jobs;
+    for (int job = 0; job < kJobs; ++job) {
+      jobs.emplace_back([&, job] {
+        Session* session = service.session("job-" + std::to_string(job));
+        for (int step = 0; step < s.steps; ++step) {
+          job_batches[static_cast<size_t>(job)].push_back(
+              StreamStep(*session, &job_failed[static_cast<size_t>(job)]));
+        }
+      });
+    }
+    for (std::thread& t : jobs) {
+      t.join();
+    }
+    bench::PrintRow("co-hosted: wall", Ms(t0), "ms");
+    for (int f : job_failed) {
+      failed_steps += f;
+    }
+
+    // The solo twin: the same workload with no I/O plane at all. Every
+    // tenant must have served byte-identical batches — co-hosting is
+    // invisible in the stream.
+    auto twin = Session::Create(TenantOptions(s));
+    MSD_CHECK(twin.ok());
+    for (int step = 0; step < s.steps; ++step) {
+      std::vector<RankBatch> want = StreamStep(**twin, &failed_steps);
+      for (int job = 0; job < kJobs; ++job) {
+        const std::vector<RankBatch>& got =
+            job_batches[static_cast<size_t>(job)][static_cast<size_t>(step)];
+        for (size_t rank = 0; rank < want.size(); ++rank) {
+          if (!bench::BatchesIdentical(got[rank], want[rank])) {
+            std::printf("  FAIL: job %d step %d rank %zu diverged from solo twin\n", job,
+                        step, rank);
+            ++failures;
+          }
+        }
+      }
+    }
+    cohosted_gets = service.backing_gets();
+    IoScheduler::Stats sched = service.plane()->scheduler_stats();
+    BlockCache::Stats cache = service.plane()->cache_stats();
+    bench::PrintRow("co-hosted: sched requests", static_cast<double>(sched.requests));
+    bench::PrintRow("co-hosted: sched cache_hits", static_cast<double>(sched.cache_hits));
+    bench::PrintRow("co-hosted: sched coalesced", static_cast<double>(sched.coalesced));
+    bench::PrintRow("co-hosted: sched issued", static_cast<double>(sched.issued_gets));
+    bench::PrintRow("co-hosted: cache evictions", static_cast<double>(cache.evictions));
+    bench::PrintRow("co-hosted: cache resident MiB",
+                    static_cast<double>(cache.resident_bytes) / static_cast<double>(kMiB));
+    cross_tenant_hits = cache.cross_tenant_hits;
+  }
+
+  const double reduction = cohosted_gets > 0
+                               ? static_cast<double>(isolated_gets) /
+                                     static_cast<double>(cohosted_gets)
+                               : 0.0;
+  bench::PrintRow("co-hosted: backing Gets", static_cast<double>(cohosted_gets));
+  bench::PrintRow("co-hosted: total cache", static_cast<double>(kSharedCacheBytes) /
+                                                static_cast<double>(kMiB),
+                  "MiB");
+  bench::PrintRow("co-hosted: cross-tenant hits", static_cast<double>(cross_tenant_hits));
+  bench::PrintRow("backing-Get reduction", reduction, "x");
+
+  if (failed_steps != 0) {
+    std::printf("  FAIL: %d step(s) failed\n", failed_steps);
+    ++failures;
+  }
+  if (cross_tenant_hits <= 0) {
+    std::printf("  FAIL: no cross-tenant cache hits — nothing was shared\n");
+    ++failures;
+  }
+  if (reduction < 1.5) {
+    std::printf("  FAIL: backing-Get reduction %.2fx below the 1.5x gate\n", reduction);
+    ++failures;
+  }
+  if (failures == 0) {
+    std::printf("  co-hosting cut backing Gets %.2fx at %.0f%% of the cache memory, "
+                "byte-identical on every tenant\n",
+                reduction,
+                100.0 * static_cast<double>(kSharedCacheBytes) /
+                    static_cast<double>(kJobs * kIsolatedCacheBytes));
+  }
+  return failures;
+}
+
+// ---------------------------------------------------------------------------
+// Gate 2 — fair share: a scan-heavy tenant cannot starve the others.
+// ---------------------------------------------------------------------------
+
+SharedIoPlaneConfig FairSharePlane(const Scenario& s) {
+  SharedIoPlaneConfig plane;
+  plane.cache_bytes = 32 * kMiB;
+  plane.storage_get_latency = s.get_latency;
+  plane.max_inflight = 4;  // scarce dispatch slots: contention is real
+  return plane;
+}
+
+// Streams `steps` steps and records each step's wall time.
+std::vector<double> TimedSteps(Session& session, int steps, int* failed_steps) {
+  std::vector<double> ms;
+  ms.reserve(static_cast<size_t>(steps));
+  for (int step = 0; step < steps; ++step) {
+    auto t0 = std::chrono::steady_clock::now();
+    StreamStep(session, failed_steps);
+    ms.push_back(Ms(t0));
+  }
+  return ms;
+}
+
+// Runs 3 normal tenants streaming concurrently, optionally alongside a
+// scan-heavy 4th; returns the p99 over all normal tenants' step times.
+double RunNormalTenants(const Scenario& s, bool with_scanner, int* failed_steps,
+                        int64_t* scan_issued) {
+  constexpr int kNormalTenants = 3;
+  DataService service(FairSharePlane(s));
+  for (int t = 0; t < kNormalTenants; ++t) {
+    DataService::TenantConfig tenant;
+    tenant.session = TenantOptions(s);
+    MSD_CHECK(service.RegisterTenant("normal-" + std::to_string(t), tenant).ok());
+  }
+  if (with_scanner) {
+    // The adversary: deep read-ahead over its own (disjoint) corpus, demoted
+    // to weight 0.5, one in-flight Get, and a small private cache budget so
+    // its scan can neither monopolize dispatch nor evict the others' hot set.
+    DataService::TenantConfig scanner;
+    scanner.session = TenantOptions(s);
+    scanner.session.corpus = MakeTextCorpus(/*seed=*/13, /*num_sources=*/6);
+    scanner.session.samples_per_step = s.samples_per_step * 2;
+    scanner.session.read_ahead_groups = 16;  // the scan: deep speculative I/O
+    scanner.quota.weight = 0.5;
+    scanner.quota.max_inflight_gets = 1;
+    scanner.quota.cache_bytes = 4 * kMiB;
+    MSD_CHECK(service.RegisterTenant("scanner", scanner).ok());
+  }
+
+  std::vector<std::vector<double>> normal_ms(kNormalTenants);
+  std::vector<int> thread_failed(kNormalTenants + 1, 0);
+  std::vector<std::thread> tenants;
+  for (int t = 0; t < kNormalTenants; ++t) {
+    tenants.emplace_back([&, t] {
+      normal_ms[static_cast<size_t>(t)] = TimedSteps(
+          *service.session("normal-" + std::to_string(t)), s.steps,
+          &thread_failed[static_cast<size_t>(t)]);
+    });
+  }
+  if (with_scanner) {
+    tenants.emplace_back([&] {
+      TimedSteps(*service.session("scanner"), s.steps, &thread_failed.back());
+    });
+  }
+  for (std::thread& t : tenants) {
+    t.join();
+  }
+  for (int f : thread_failed) {
+    *failed_steps += f;
+  }
+  if (with_scanner) {
+    *scan_issued = service.tenant_stats("scanner").value().scheduler.issued_gets;
+  }
+  std::vector<double> all_normal;
+  for (const std::vector<double>& ms : normal_ms) {
+    all_normal.insert(all_normal.end(), ms.begin(), ms.end());
+  }
+  return P99(std::move(all_normal));
+}
+
+int RunFairShareGate(const Scenario& s) {
+  bench::PrintHeader(
+      std::string("multi-tenant service — fair share under a scan-heavy tenant — ") +
+          s.label,
+      "weighted fair-share Get scheduling keeps a scan-heavy tenant from "
+      "starving the others: per-step p99 within 2x of the scan-free baseline");
+
+  int failures = 0;
+  int failed_steps = 0;
+  int64_t scan_issued = 0;
+
+  // Baseline: the same 3 normal tenants co-hosted WITHOUT the scanner — so
+  // the gate isolates the scan tenant's interference, which is exactly what
+  // fair-share scheduling governs.
+  const double solo_p99 = RunNormalTenants(s, /*with_scanner=*/false, &failed_steps,
+                                           &scan_issued);
+  bench::PrintRow("baseline per-step p99", solo_p99, "ms");
+
+  const double contended_p99 = RunNormalTenants(s, /*with_scanner=*/true, &failed_steps,
+                                                &scan_issued);
+  bench::PrintRow("contended per-step p99", contended_p99, "ms");
+  bench::PrintRow("scanner issued Gets", static_cast<double>(scan_issued));
+  const double ratio = contended_p99 / solo_p99;
+  bench::PrintRow("p99 inflation", ratio, "x");
+
+  // 2x is the gate; the absolute floor absorbs thread-scheduling noise when
+  // the baseline is only a few milliseconds.
+  const double kFloorMs = 100.0;
+  const double bound = std::max(2.0 * solo_p99, solo_p99 + kFloorMs);
+  if (failed_steps != 0) {
+    std::printf("  FAIL: %d step(s) failed under contention\n", failed_steps);
+    ++failures;
+  }
+  if (scan_issued <= 0) {
+    std::printf("  FAIL: the scan tenant issued no Gets — nothing contended\n");
+    ++failures;
+  }
+  if (contended_p99 > bound) {
+    std::printf("  FAIL: contended p99 %.1f ms exceeds bound %.1f ms (solo %.1f ms)\n",
+                contended_p99, bound, solo_p99);
+    ++failures;
+  }
+  if (failures == 0) {
+    std::printf("  normal tenants held p99 at %.2fx of solo under a scan-heavy "
+                "neighbor\n",
+                ratio);
+  }
+  return failures;
+}
+
+}  // namespace
+}  // namespace msd
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    smoke = smoke || std::strcmp(argv[i], "--smoke") == 0;
+  }
+  using msd::Scenario;
+  std::vector<Scenario> scenarios;
+  if (smoke) {
+    scenarios.push_back({"smoke (dp=2, 3 steps/job)", 3, 16, 200});
+  } else {
+    scenarios.push_back({"steady state (dp=2, 8 steps/job)", 8, 16, 500});
+  }
+  int failures = 0;
+  for (const Scenario& s : scenarios) {
+    failures += msd::RunDedupGate(s);
+    failures += msd::RunFairShareGate(s);
+  }
+  if (failures > 0) {
+    std::printf("\n%d multi-tenant invariant failure(s)\n", failures);
+    return 1;
+  }
+  std::printf("\nall multi-tenant invariants held\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Multi-tenant dataloader service (src/service/): one shared I/O plane —
+// block cache, fair-share Get scheduler, remote store — hosting several
+// independent training jobs.
+//
+// Three tenants co-habit one DataService here:
+//   - "vlm-main" and "vlm-ablation": two jobs over the SAME multimodal
+//     corpus. Their hot row groups are fetched from remote storage once and
+//     served to both out of the shared cache (watch cross-tenant hits climb
+//     while backing Gets stay near a single job's cost).
+//   - "text-scan": a scan-heavy side job over a disjoint text corpus,
+//     registered with weight 0.5, a 1-Get in-flight cap, and a small private
+//     cache budget — it gets its work done without denting the others.
+//
+// Each tenant's stream is byte-identical to what the same Session::Options
+// would serve alone: co-hosting is invisible in the data.
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/api/session.h"
+#include "src/service/data_service.h"
+#include "src/service/shared_plane.h"
+
+namespace {
+
+msd::Session::Options JobOptions(msd::CorpusSpec corpus, int64_t samples_per_step) {
+  msd::Session::Options options;
+  options.corpus = std::move(corpus);
+  options.spec = {.dp = 2, .pp = 1, .cp = 1, .tp = 1};
+  options.num_microbatches = 2;
+  options.samples_per_step = samples_per_step;
+  options.max_seq_len = 1024;
+  options.rows_per_file_override = 96;
+  options.loader_workers = 1;
+  options.prefetch_depth = 2;
+  options.row_group_bytes = 8 * msd::kKiB;
+  return options;
+}
+
+void StreamSteps(msd::DataService& service, const std::string& tenant, int steps) {
+  msd::Session* session = service.session(tenant);
+  MSD_CHECK(session != nullptr);
+  const int32_t world = session->tree().spec().WorldSize();
+  for (int step = 0; step < steps; ++step) {
+    int64_t tokens = 0;
+    for (int32_t rank = 0; rank < world; ++rank) {
+      msd::Result<msd::RankBatch> batch = session->client(rank).value()->NextBatch();
+      MSD_CHECK(batch.ok());
+      for (const msd::Microbatch& mb : batch->microbatches) {
+        for (const msd::PackedSequence& seq : mb.sequences) {
+          tokens += static_cast<int64_t>(seq.tokens.size());
+        }
+      }
+    }
+    std::printf("  [%s] step %d: %lld tokens\n", tenant.c_str(), step,
+                static_cast<long long>(tokens));
+  }
+}
+
+}  // namespace
+
+int main() {
+  // The shared plane: ONE cache and ONE scheduler for every tenant. A
+  // 200 us/Get latency injector stands in for remote blob storage.
+  msd::SharedIoPlaneConfig plane;
+  plane.cache_bytes = 128 * msd::kMiB;
+  plane.storage_get_latency = 200;
+  msd::DataService service(plane);
+
+  // Two jobs over the same corpus: the service dedups their backing reads.
+  msd::DataService::TenantConfig main_job;
+  main_job.session = JobOptions(msd::MakeCoyo700m(), /*samples_per_step=*/16);
+  MSD_CHECK(service.RegisterTenant("vlm-main", main_job).ok());
+
+  msd::DataService::TenantConfig ablation;
+  ablation.session = JobOptions(msd::MakeCoyo700m(), /*samples_per_step=*/16);
+  MSD_CHECK(service.RegisterTenant("vlm-ablation", ablation).ok());
+
+  // The scan job: demoted weight, capped in-flight Gets, tiny cache budget.
+  msd::DataService::TenantConfig scan;
+  scan.session = JobOptions(msd::MakeTextCorpus(/*seed=*/13, /*num_sources=*/4),
+                            /*samples_per_step=*/32);
+  scan.session.read_ahead_groups = 8;
+  scan.quota.weight = 0.5;
+  scan.quota.max_inflight_gets = 1;
+  scan.quota.cache_bytes = 4 * msd::kMiB;
+  MSD_CHECK(service.RegisterTenant("text-scan", scan).ok());
+
+  // All three stream concurrently against the one plane.
+  std::vector<std::thread> jobs;
+  for (const std::string& tenant : service.tenant_names()) {
+    jobs.emplace_back([&service, tenant] { StreamSteps(service, tenant, /*steps=*/3); });
+  }
+  for (std::thread& t : jobs) {
+    t.join();
+  }
+
+  // The ablation finished: tear it down. Its in-flight reads are drained,
+  // its cache bytes released — the survivors never notice.
+  MSD_CHECK(service.RemoveTenant("vlm-ablation").ok());
+
+  std::printf("\nshared-plane accounting after 3 steps/tenant:\n");
+  std::printf("  backing Gets (all tenants):   %lld\n",
+              static_cast<long long>(service.backing_gets()));
+  msd::BlockCache::Stats cache = service.plane()->cache_stats();
+  std::printf("  cross-tenant cache hits:      %lld\n",
+              static_cast<long long>(cache.cross_tenant_hits));
+  std::printf("  cache resident:               %lld MiB\n",
+              static_cast<long long>(cache.resident_bytes / msd::kMiB));
+  for (const std::string& tenant : service.tenant_names()) {
+    msd::DataService::TenantStats stats = service.tenant_stats(tenant).value();
+    std::printf("  [%s] requests=%lld cache-hits=%lld issued-gets=%lld\n", tenant.c_str(),
+                static_cast<long long>(stats.scheduler.requests),
+                static_cast<long long>(stats.scheduler.cache_hits),
+                static_cast<long long>(stats.scheduler.issued_gets));
+  }
+  return 0;
+}

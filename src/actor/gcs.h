@@ -47,7 +47,13 @@ class Gcs {
   // never leave a half-written snapshot behind), and GetState falls back to
   // the store on a miss — this is how a restarted process sees the journal a
   // dead one left. The store must outlive the Gcs; pass nullptr to detach.
+  //
+  // Multi-tenant namespacing: co-hosted Sessions sharing one durable store
+  // attach with distinct prefixes ("gcs/<tenant>/"), so heartbeat journals,
+  // quarantine state, and watchdog snapshots never cross tenants even though
+  // they live in the same ObjectStore.
   void AttachDurableStore(ObjectStore* store, std::string prefix = "gcs/");
+  const std::string& durable_prefix() const { return durable_prefix_; }
 
  private:
   mutable std::mutex mutex_;

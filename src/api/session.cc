@@ -11,6 +11,7 @@
 #include "src/common/stats.h"
 #include "src/data/synthetic.h"
 #include "src/data/transform.h"
+#include "src/service/shared_plane.h"
 #include "src/storage/wire.h"
 
 namespace msd {
@@ -24,6 +25,14 @@ Session::~Session() {
     pipeline_->Stop();  // join the producer before tearing down the actors
   }
   system_.Shutdown();
+  if (options_.shared_plane != nullptr && io_view_ != nullptr) {
+    // Shared-plane teardown ordering: the actors are gone (no new Fetches for
+    // this tenant can be issued), but reads they started may still be running
+    // or queued on the shared scheduler. Drain them deterministically before
+    // returning, so a caller may free tenant-scoped state (e.g. via
+    // SharedIoPlane::DrainAndRemoveTenant) the moment the session is gone.
+    io_view_->DrainTenant(options_.io_tenant);
+  }
 }
 
 Result<std::unique_ptr<Session>> Session::Create(Options options) {
@@ -37,7 +46,27 @@ Result<std::unique_ptr<Session>> Session::Create(Options options) {
       options.storage_get_latency < 0 || options.row_group_bytes < 0) {
     return Status::InvalidArgument("io options must be >= 0");
   }
-  if (options.read_ahead_groups > 0 && options.block_cache_bytes <= 0) {
+  if (options.shared_plane != nullptr) {
+    // The plane provides the whole I/O tier; a session bound to one must not
+    // stand up a private cache/latency/fault/durable-GCS stack underneath it.
+    if (options.block_cache_bytes > 0 || !options.cache_spill_dir.empty() ||
+        options.storage_get_latency > 0 || options.storage_faults.enabled() ||
+        !options.gcs_spill_dir.empty()) {
+      return Status::InvalidArgument(
+          "a shared-plane session must leave the per-session I/O options "
+          "unset (block cache, cache spill, storage latency/faults, gcs "
+          "spill) — the plane provides them");
+    }
+    if (options.io_tenant < 0) {
+      return Status::InvalidArgument("io_tenant must be >= 0");
+    }
+  } else if (options.io_tenant != kDefaultIoTenant || !options.gcs_namespace.empty()) {
+    return Status::InvalidArgument(
+        "io_tenant/gcs_namespace only apply with a shared I/O plane "
+        "(WithSharedIoPlane)");
+  }
+  if (options.read_ahead_groups > 0 && options.block_cache_bytes <= 0 &&
+      options.shared_plane == nullptr) {
     return Status::InvalidArgument(
         "read-ahead needs the block cache (WithBlockCache) to land its "
         "prefetched groups somewhere");
@@ -141,10 +170,20 @@ Strategy Session::BuildStrategy() const {
 Status Session::Initialize() {
   // 0. Durable GCS: attach the disk-backed write-through before anything
   // journals state, so every plan/snapshot write from step 0 on survives
-  // the process.
+  // the process. A shared-plane session uses the plane's store under its
+  // tenant namespace ("gcs/<ns>/"), so co-hosted jobs never read each
+  // other's journals.
   if (!options_.gcs_spill_dir.empty()) {
     gcs_spill_ = std::make_unique<ObjectStore>(options_.gcs_spill_dir);
     system_.gcs().AttachDurableStore(gcs_spill_.get());
+  } else if (options_.shared_plane != nullptr &&
+             options_.shared_plane->gcs_store() != nullptr) {
+    std::string prefix = "gcs/";
+    if (!options_.gcs_namespace.empty()) {
+      prefix += options_.gcs_namespace + "/";
+    }
+    system_.gcs().AttachDurableStore(options_.shared_plane->gcs_store(),
+                                     std::move(prefix));
   }
 
   // 1. Materialize the corpus into the object store.
@@ -160,15 +199,27 @@ Status Session::Initialize() {
   } else {
     write_options.target_row_group_bytes = 4 * kMiB;  // synthetic default
   }
-  Result<int64_t> rows = WriteCorpus(store_, corpus, options_.seed, write_options);
+  // Shared-plane tenants materialize into the PLANE's store, which dedups
+  // sources already written by an earlier tenant (same spec + seed = same
+  // bytes); owned sessions write into their private store as before.
+  Result<int64_t> rows =
+      options_.shared_plane != nullptr
+          ? options_.shared_plane->MaterializeCorpus(corpus, options_.seed, write_options)
+          : WriteCorpus(store_, corpus, options_.seed, write_options);
   if (!rows.ok()) {
     return rows.status();
   }
 
-  // 1b. Remote-storage I/O subsystem: optionally wrap the store in the
-  // latency decorator (remote semantics), then stand up the shared block
-  // cache + scheduler every loader read routes through.
+  // 1b. Remote-storage I/O subsystem. A shared-plane session binds to the
+  // plane's cache + fair-share scheduler (non-owning views) instead of
+  // standing up its own; an owned session builds the decorators + cache +
+  // scheduler exactly as before and points the views at them.
   ObjectStore* loader_store = &store_;
+  if (options_.shared_plane != nullptr) {
+    loader_store = options_.shared_plane->loader_store(options_.io_tenant);
+    cache_view_ = options_.shared_plane->cache();
+    io_view_ = options_.shared_plane->scheduler();
+  }
   if (options_.storage_get_latency > 0) {
     RemoteStorageParams params;
     params.get_latency = options_.storage_get_latency;
@@ -203,6 +254,8 @@ Status Session::Initialize() {
     io_config.retry = options_.io_retry;
     io_config.hedge = options_.io_hedge;
     io_ = std::make_unique<IoScheduler>(loader_store, block_cache_.get(), io_config);
+    cache_view_ = block_cache_.get();
+    io_view_ = io_.get();
   }
 
   // 2. Offline source auto-partitioning from per-source cost profiles.
@@ -253,10 +306,11 @@ Status Session::Initialize() {
       config.defer_image_decode = options_.defer_image_decode;
       config.arena_decode = options_.arena_decode;
       config.read_ahead_groups = options_.read_ahead_groups;
-      config.ranged_reads = remote_store_ != nullptr;
+      config.ranged_reads = remote_store_ != nullptr || options_.shared_plane != nullptr;
+      config.io_tenant = options_.io_tenant;
       config.buffer_low_watermark =
           static_cast<size_t>(options_.samples_per_step) * 2 / std::max<size_t>(1, actors) + 8;
-      auto loader = system_.Spawn<SourceLoader>(config, loader_store, &memory_, io_.get());
+      auto loader = system_.Spawn<SourceLoader>(config, loader_store, &memory_, io_view_);
       Status open = system_.Ask<Status>(*loader, [l = loader.get()] { return l->Open(); });
       if (!open.ok()) {
         return open;
@@ -266,7 +320,7 @@ Status Session::Initialize() {
         SourceLoaderConfig shadow_config = config;
         shadow_config.is_shadow = true;
         auto shadow =
-            system_.Spawn<SourceLoader>(shadow_config, loader_store, &memory_, io_.get());
+            system_.Spawn<SourceLoader>(shadow_config, loader_store, &memory_, io_view_);
         Status shadow_open =
             system_.Ask<Status>(*shadow, [s = shadow.get()] { return s->Open(); });
         if (!shadow_open.ok()) {
@@ -878,14 +932,19 @@ void Session::FillPayloadCounters(StepStats* stats) {
 }
 
 void Session::FillIoCounters(StepStats* stats) {
-  if (block_cache_ != nullptr) {
-    BlockCache::Stats cache = block_cache_->stats();
+  // Shared-plane sessions report their tenant-attributed slice (the aggregate
+  // would mix in the neighbours); owned sessions report their whole plane.
+  const bool shared = options_.shared_plane != nullptr;
+  if (cache_view_ != nullptr) {
+    BlockCache::Stats cache = shared ? cache_view_->tenant_stats(options_.io_tenant)
+                                     : cache_view_->stats();
     stats->cache_hits = cache.hits;
     stats->cache_misses = cache.misses;
     stats->cache_evictions = cache.evictions;
   }
-  if (io_ != nullptr) {
-    IoScheduler::Stats scheduler = io_->stats();
+  if (io_view_ != nullptr) {
+    IoScheduler::Stats scheduler = shared ? io_view_->tenant_stats(options_.io_tenant)
+                                          : io_view_->stats();
     stats->io_coalesced = scheduler.coalesced;
     stats->readahead_issued = scheduler.prefetch_issues;
     stats->io_retries = scheduler.retries;
@@ -893,6 +952,8 @@ void Session::FillIoCounters(StepStats* stats) {
   }
   if (remote_store_ != nullptr) {
     stats->storage_gets = remote_store_->gets();
+  } else if (shared) {
+    stats->storage_gets = options_.shared_plane->backing_gets();
   }
   if (options_.quarantine_after_failures > 0) {
     stats->sources_quarantined = system_.Ask<int64_t>(*planner_, [p = planner_.get()] {
@@ -903,21 +964,30 @@ void Session::FillIoCounters(StepStats* stats) {
 
 Session::IoStats Session::io_stats() {
   IoStats stats;
-  stats.enabled = io_ != nullptr;
-  if (block_cache_ != nullptr) {
-    stats.cache = block_cache_->stats();
+  stats.enabled = io_view_ != nullptr;
+  stats.shared = options_.shared_plane != nullptr;
+  if (cache_view_ != nullptr) {
+    stats.cache = cache_view_->stats();
+    stats.cache_tenant =
+        stats.shared ? cache_view_->tenant_stats(options_.io_tenant) : stats.cache;
   }
-  if (io_ != nullptr) {
-    stats.scheduler = io_->stats();
+  if (io_view_ != nullptr) {
+    stats.scheduler = io_view_->stats();
+    stats.scheduler_tenant =
+        stats.shared ? io_view_->tenant_stats(options_.io_tenant) : stats.scheduler;
   }
   if (remote_store_ != nullptr) {
     stats.storage_gets = remote_store_->gets();
     stats.storage_bytes_served = remote_store_->bytes_served();
+  } else if (stats.shared) {
+    LatencyInjectingStore* remote = options_.shared_plane->remote_store();
+    stats.storage_gets = remote->gets();
+    stats.storage_bytes_served = remote->bytes_served();
   }
-  if (fault_store_ != nullptr) {
-    stats.faults_injected = fault_store_->faults_injected();
-    stats.corruptions_injected = fault_store_->corruptions_injected();
-    stats.brownout_failures = fault_store_->brownout_failures();
+  if (FaultInjectingStore* faults = fault_store(); faults != nullptr) {
+    stats.faults_injected = faults->faults_injected();
+    stats.corruptions_injected = faults->corruptions_injected();
+    stats.brownout_failures = faults->brownout_failures();
   }
   if (options_.quarantine_after_failures > 0) {
     stats.sources_quarantined = system_.Ask<int64_t>(*planner_, [p = planner_.get()] {
@@ -928,6 +998,16 @@ Session::IoStats Session::io_stats() {
     stats.watchdog_detections = watchdog_->detections();
   }
   return stats;
+}
+
+FaultInjectingStore* Session::fault_store() {
+  if (fault_store_ != nullptr) {
+    return fault_store_.get();
+  }
+  if (options_.shared_plane != nullptr) {
+    return options_.shared_plane->fault_store(options_.io_tenant);
+  }
+  return nullptr;
 }
 
 std::map<int32_t, int64_t> Session::QuarantinedLoaders() {
@@ -1306,6 +1386,15 @@ SessionBuilder& SessionBuilder::WithAutoCheckpoint(std::string dir, int64_t ever
 }
 SessionBuilder& SessionBuilder::WithCheckpointRetention(int32_t generations) {
   options_.checkpoint_keep_generations = generations;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithSharedIoPlane(SharedIoPlane* plane, IoTenantId tenant) {
+  options_.shared_plane = plane;
+  options_.io_tenant = tenant;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithGcsNamespace(std::string ns) {
+  options_.gcs_namespace = std::move(ns);
   return *this;
 }
 

@@ -66,6 +66,8 @@
 
 namespace msd {
 
+class SharedIoPlane;
+
 class Session {
  public:
   enum class StrategyKind { kVanilla, kBackboneBalance, kHybridBalance };
@@ -181,6 +183,21 @@ class Session {
     // Retention for auto-checkpoints: keep the newest N ckpt-* generations
     // (0 = keep all). Applied after each successful publish.
     int32_t checkpoint_keep_generations = 0;
+    // ---- Multi-tenant service binding (src/service/) ----
+    // When set, this session runs as one tenant of a shared I/O plane: the
+    // corpus is materialized (or deduped) into the plane's store, loader
+    // reads go through the plane's cache + fair-share scheduler tagged with
+    // `io_tenant`, and durable GCS state lands in the plane's store under
+    // "gcs/<gcs_namespace>/". Mutually exclusive with the per-session I/O
+    // options above (block_cache_bytes, cache_spill_dir, storage latency,
+    // storage_faults, gcs_spill_dir) — the plane provides all of that. Not
+    // owned; must outlive the session. Normally installed by DataService.
+    SharedIoPlane* shared_plane = nullptr;
+    // Tenant id on the shared plane (from SharedIoPlane::AddTenant).
+    IoTenantId io_tenant = kDefaultIoTenant;
+    // Namespace for durable GCS state on the shared plane ("gcs/<ns>/").
+    // Empty with a shared plane = the bare "gcs/" prefix (single tenant).
+    std::string gcs_namespace;
   };
 
   // Per-step observability snapshot: planner quality, pipeline progress,
@@ -242,10 +259,19 @@ class Session {
   struct IoStats {
     /// True when the block cache + io scheduler are active for this session.
     bool enabled = false;
+    /// True when the counters come from a shared multi-tenant plane; the
+    /// aggregate views then include other tenants' traffic — the per-tenant
+    /// views below isolate this session's share.
+    bool shared = false;
     /// Block-cache counters (hits/misses/evictions/spills/corruption drops).
     BlockCache::Stats cache;
     /// Scheduler counters (issued, coalesced, prefetch issues).
     IoScheduler::Stats scheduler;
+    /// This session's tenant-attributed slice of the cache counters (equals
+    /// `cache` for an owned, single-tenant plane).
+    BlockCache::Stats cache_tenant;
+    /// This session's tenant-attributed slice of the scheduler counters.
+    IoScheduler::Stats scheduler_tenant;
     /// Backing Gets observed by the LatencyInjectingStore (0 without one).
     int64_t storage_gets = 0;
     /// Payload bytes the LatencyInjectingStore served (0 without one).
@@ -322,8 +348,9 @@ class Session {
   // (loader_id -> step the quarantine started at). Empty when healthy.
   std::map<int32_t, int64_t> QuarantinedLoaders();
   // The fault-injecting store decorator, for tests/benches that script
-  // brownouts mid-stream. Null without WithStorageFaults.
-  FaultInjectingStore* fault_store() { return fault_store_.get(); }
+  // brownouts mid-stream: the session-owned one (WithStorageFaults) or the
+  // tenant's private route on a shared plane. Null without either.
+  FaultInjectingStore* fault_store();
   // The heartbeat watchdog. Null without WithWatchdog.
   Watchdog* watchdog() { return watchdog_.get(); }
   // Test/tooling hook: the plan and pop slices of a live (unretired) step,
@@ -388,6 +415,10 @@ class Session {
   std::unique_ptr<ObjectStore> cache_spill_store_;       // disk spill tier
   std::unique_ptr<BlockCache> block_cache_;
   std::unique_ptr<IoScheduler> io_;
+  // The cache/scheduler the loaders actually use: the owned ones above, or a
+  // shared plane's (non-owning) when options_.shared_plane is set.
+  BlockCache* cache_view_ = nullptr;
+  IoScheduler* io_view_ = nullptr;
   // Disk-backed write-through target for the GCS (gcs_spill_dir option).
   // Declared before system_ so it outlives the Gcs holding a pointer to it.
   std::unique_ptr<ObjectStore> gcs_spill_;
@@ -516,6 +547,13 @@ class SessionBuilder {
   SessionBuilder& WithAutoCheckpoint(std::string dir, int64_t every_n_steps);
   /// Keeps only the newest `generations` ckpt-* generations after each publish.
   SessionBuilder& WithCheckpointRetention(int32_t generations);
+  /// Binds the session to a shared multi-tenant I/O plane as tenant `tenant`
+  /// (src/service/): loader reads go through the plane's cache + fair-share
+  /// scheduler instead of a session-owned one. Normally set by DataService.
+  SessionBuilder& WithSharedIoPlane(SharedIoPlane* plane,
+                                    IoTenantId tenant = kDefaultIoTenant);
+  /// Namespace for durable GCS state on the shared plane ("gcs/<ns>/").
+  SessionBuilder& WithGcsNamespace(std::string ns);
 
   /// Materializes the corpus, spawns the actors, starts the prefetch
   /// pipeline, and returns the ready Session.

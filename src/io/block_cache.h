@@ -16,11 +16,17 @@
 //  - Spill tier (optional): evicted blocks are written to a disk-backed
 //    ObjectStore and promoted back on demand, checksum-verified against the
 //    in-memory spill index — a second-chance tier bigger than RAM.
+//  - Multi-tenant (src/service/): every entry is owned by the tenant that
+//    inserted it. A registered per-tenant byte budget adds eviction pressure
+//    that only ever selects the over-budget tenant's own entries, so one
+//    scan-heavy job cannot flush its neighbours — while Lookup hits stay
+//    shared across tenants (cross-job dedup is the whole point of co-hosting).
 #ifndef SRC_IO_BLOCK_CACHE_H_
 #define SRC_IO_BLOCK_CACHE_H_
 
 #include <cstdint>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -31,6 +37,13 @@
 #include "src/storage/object_store.h"
 
 namespace msd {
+
+// Tenant tag threaded through the shared I/O plane (cache entries, scheduler
+// queues, loader reads). Tenant 0 is the implicit default for single-job
+// sessions — it always exists and has no budget, so legacy call sites that
+// never mention tenants keep their exact behaviour.
+using IoTenantId = int32_t;
+inline constexpr IoTenantId kDefaultIoTenant = 0;
 
 struct BlockKey {
   std::string name;  // object the block belongs to
@@ -58,14 +71,19 @@ class BlockCache {
     int64_t spill_hits = 0;    // misses rescued by the disk tier
     int64_t corruptions = 0;   // checksum mismatches dropped (memory or spill)
     int64_t resident_bytes = 0;
+    // Hits on a block another tenant paid for — the cross-job cache-sharing
+    // win the multi-tenant service exists to harvest.
+    int64_t cross_tenant_hits = 0;
   };
 
   explicit BlockCache(Config config);
 
   // The cached bytes for `key`, or nullptr on miss. Verifies the entry
   // checksum (corrupt entries are dropped and read as a miss) and consults
-  // the spill tier before giving up.
-  std::shared_ptr<const std::string> Lookup(const BlockKey& key);
+  // the spill tier before giving up. `tenant` only attributes the stats (and
+  // adopts a spill promotion); any tenant hits any tenant's blocks.
+  std::shared_ptr<const std::string> Lookup(const BlockKey& key,
+                                            IoTenantId tenant = kDefaultIoTenant);
 
   // Memory-tier-only probe that leaves the hit/miss counters untouched (the
   // checksum is still verified; corruption still counts). The IoScheduler
@@ -73,8 +91,10 @@ class BlockCache {
   // tier's disk would serialize every concurrent fetch.
   std::shared_ptr<const std::string> PeekResident(const BlockKey& key);
 
-  // Inserts (or refreshes) the block, evicting LRU entries over budget.
-  void Insert(const BlockKey& key, std::shared_ptr<const std::string> bytes);
+  // Inserts (or refreshes) the block owned by `tenant`, evicting LRU entries
+  // over the tenant's budget (its own entries only) and the shard budget.
+  void Insert(const BlockKey& key, std::shared_ptr<const std::string> bytes,
+              IoTenantId tenant = kDefaultIoTenant);
 
   // Drops the block from every tier (memory and spill index). Returns true if
   // any copy existed. Used by readers that detect payload corruption above
@@ -82,7 +102,24 @@ class BlockCache {
   // fetch back to authoritative storage.
   bool Erase(const BlockKey& key);
 
+  // ---- Tenant lifecycle (src/service/ control plane) ----
+  // Installs (or updates) a per-tenant byte budget, sliced across shards like
+  // the global capacity. capacity_bytes = 0 removes the per-tenant pressure
+  // (the tenant then competes only under the shard budget).
+  void RegisterTenant(IoTenantId tenant, int64_t capacity_bytes);
+  // Evicts every block the tenant owns (memory + spill index, nothing is
+  // re-spilled) and forgets its budget and counters. Returns the resident
+  // bytes released. The aggregate stats() keep the tenant's history.
+  int64_t RemoveTenant(IoTenantId tenant);
+
+  // Consistent aggregate snapshot: all shards are locked together, so cross-
+  // counter invariants (lookups == hits + misses) hold exactly even under
+  // concurrent multi-tenant readers.
   Stats stats() const;
+  // Consistent per-tenant view. Lookup-side counters are attributed to the
+  // requesting tenant, insertions to the inserter, evictions and resident
+  // bytes to the entry's owner.
+  Stats tenant_stats(IoTenantId tenant) const;
   const Config& config() const { return config_; }
 
   // Test hook: flips one bit of the resident copy of `key` without updating
@@ -95,10 +132,19 @@ class BlockCache {
     std::string key;
     std::shared_ptr<const std::string> bytes;
     uint64_t checksum = 0;
+    IoTenantId owner = kDefaultIoTenant;
   };
   struct SpillMeta {
     uint64_t checksum = 0;
     uint64_t size = 0;
+    IoTenantId owner = kDefaultIoTenant;
+  };
+  // Per-tenant slice of one shard: budget share, resident accounting, and
+  // the tenant-attributed counters behind tenant_stats().
+  struct TenantShard {
+    int64_t budget = 0;  // 0 = no per-tenant pressure
+    int64_t resident_bytes = 0;
+    Stats stats;
   };
   struct Shard {
     mutable std::mutex mu;
@@ -108,14 +154,20 @@ class BlockCache {
     std::unordered_map<std::string, SpillMeta> spilled;
     int64_t resident_bytes = 0;
     Stats stats;
+    std::map<IoTenantId, TenantShard> tenants;
   };
 
   Shard& ShardFor(const std::string& flat_key);
   // Memory-tier probe (checksum-verified, corruption dropped); shard.mu held.
   std::shared_ptr<const std::string> ResidentLocked(Shard& shard, const std::string& flat_key);
-  // Evicts from the back of `shard` until it fits its budget slice; returns
-  // the victims destined for the spill tier. Called with shard.mu held.
+  // Evicts from the back of `shard` until every over-budget tenant and the
+  // shard itself fit their budgets; returns the victims destined for the
+  // spill tier. Called with shard.mu held.
   std::vector<Entry> EvictLocked(Shard& shard);
+  // Unlinks `victim` from the lru + index and fixes global and per-tenant
+  // resident accounting (no eviction counter — callers attribute the drop).
+  // Returns the iterator after the erased entry. Called with shard.mu held.
+  std::list<Entry>::iterator UnlinkLocked(Shard& shard, std::list<Entry>::iterator victim);
   // Writes the victims to the spill tier and records their metadata. Must
   // be called WITHOUT shard.mu held — the Put fsyncs.
   void SpillOutsideLock(Shard& shard, std::vector<Entry> victims);

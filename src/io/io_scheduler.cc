@@ -35,6 +35,24 @@ IoScheduler::IoScheduler(const ObjectStore* store, BlockCache* cache, Config con
 }
 
 IoScheduler::~IoScheduler() {
+  // Queued-but-undispatched fetches must not reach the pool after Shutdown
+  // (Submit on a closed pool aborts): stop the dispatcher, then fail their
+  // promises so waiters unblock instead of hanging on a dead future.
+  std::vector<std::shared_ptr<std::promise<BlockResult>>> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    for (auto& [id, tenant] : tenants_) {
+      for (PendingFetch& pending : tenant.queue) {
+        inflight_.erase(pending.route);
+        orphans.push_back(std::move(pending.promise));
+      }
+      tenant.queue.clear();
+    }
+  }
+  for (auto& promise : orphans) {
+    promise->set_value(BlockResult(Status::Unavailable("io scheduler shut down")));
+  }
   // Primary workers first (they may still register races with the timer),
   // then the timer (it may still submit to the hedge pool), then the hedges.
   pool_->Shutdown();
@@ -51,19 +69,105 @@ IoScheduler::~IoScheduler() {
   }
 }
 
+IoScheduler::TenantState& IoScheduler::EnsureTenantLocked(IoTenantId tenant) {
+  auto [it, inserted] = tenants_.try_emplace(tenant);
+  if (inserted) {
+    it->second.vtime = vclock_;
+  }
+  return it->second;
+}
+
+void IoScheduler::BumpLocked(IoTenantId tenant, int64_t Stats::* field) {
+  ++(stats_.*field);
+  ++(EnsureTenantLocked(tenant).stats.*field);
+}
+
+void IoScheduler::RegisterTenant(IoTenantId tenant, TenantOptions options) {
+  MSD_CHECK(options.weight > 0.0);
+  MSD_CHECK(options.max_inflight >= 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState& state = EnsureTenantLocked(tenant);
+  state.options = options;
+  // Re-registration must not let the tenant spend credit banked while idle.
+  state.vtime = std::max(state.vtime, vclock_);
+}
+
+void IoScheduler::DrainTenant(IoTenantId tenant) {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [&] {
+    auto it = tenants_.find(tenant);
+    if (it == tenants_.end()) {
+      return true;
+    }
+    const TenantState& state = it->second;
+    return state.queue.empty() && state.active == 0 && state.hedge_active == 0;
+  });
+}
+
+void IoScheduler::UnregisterTenant(IoTenantId tenant) {
+  DrainTenant(tenant);
+  std::lock_guard<std::mutex> lock(mu_);
+  tenants_.erase(tenant);
+}
+
+const ObjectStore* IoScheduler::store(IoTenantId tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it != tenants_.end() && it->second.options.store != nullptr) {
+    return it->second.options.store;
+  }
+  return store_;
+}
+
+void IoScheduler::DispatchLocked() {
+  if (stopping_) {
+    return;
+  }
+  while (active_gets_ < config_.max_inflight) {
+    TenantState* best = nullptr;
+    for (auto& [id, state] : tenants_) {
+      if (state.queue.empty()) {
+        continue;
+      }
+      if (state.options.max_inflight > 0 && state.active >= state.options.max_inflight) {
+        continue;
+      }
+      if (best == nullptr || state.vtime < best->vtime) {
+        best = &state;
+      }
+    }
+    if (best == nullptr) {
+      return;
+    }
+    PendingFetch req = std::move(best->queue.front());
+    best->queue.pop_front();
+    ++active_gets_;
+    ++best->active;
+    // SFQ bookkeeping: tag the dispatch with the tenant's start time, then
+    // charge the tenant 1/weight of virtual time for the slot.
+    vclock_ = best->vtime;
+    best->vtime += 1.0 / best->options.weight;
+    pool_->Submit([this, req = std::move(req)]() mutable { RunWorker(std::move(req)); });
+  }
+}
+
 std::shared_future<IoScheduler::BlockResult> IoScheduler::Fetch(const std::string& name,
                                                                 int64_t offset, int64_t length,
-                                                                bool is_prefetch) {
+                                                                bool is_prefetch,
+                                                                IoTenantId tenant) {
   const BlockKey key{name, offset, length};
   const std::string flat = FlattenBlockKey(key);
+  std::string route;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.requests;
-    auto it = inflight_.find(flat);
+    BumpLocked(tenant, &Stats::requests);
+    const TenantState& state = EnsureTenantLocked(tenant);
+    route = state.options.store != nullptr ? flat + "@" + std::to_string(tenant) : flat;
+    auto it = inflight_.find(route);
     if (it != inflight_.end()) {
-      ++stats_.coalesced;
+      BumpLocked(tenant, &Stats::coalesced);
       if (is_prefetch) {
-        ++stats_.prefetch_issues;
+        BumpLocked(tenant, &Stats::prefetch_issues);
       }
       return it->second;
     }
@@ -71,39 +175,54 @@ std::shared_future<IoScheduler::BlockResult> IoScheduler::Fetch(const std::strin
   // Full cache probe outside mu_: with a spill tier this can touch the disk
   // (read + promotion writes), and holding the scheduler-global lock across
   // that would serialize every concurrent fetch and worker completion.
-  if (std::shared_ptr<const std::string> cached = cache_->Lookup(key)) {
+  if (std::shared_ptr<const std::string> cached = cache_->Lookup(key, tenant)) {
     std::promise<BlockResult> ready;
     ready.set_value(std::move(cached));
     std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.cache_hits;
+    BumpLocked(tenant, &Stats::cache_hits);
     return ready.get_future().share();
   }
   std::lock_guard<std::mutex> lock(mu_);
   // Re-check both maps: a fetch that completed between the probes above has
   // moved its block from the in-flight map into the cache. The memory-only
   // peek keeps the unlikely re-check off the spill tier's disk.
-  auto it = inflight_.find(flat);
+  auto it = inflight_.find(route);
   if (it != inflight_.end()) {
-    ++stats_.coalesced;
+    BumpLocked(tenant, &Stats::coalesced);
     if (is_prefetch) {
-      ++stats_.prefetch_issues;
+      BumpLocked(tenant, &Stats::prefetch_issues);
     }
     return it->second;
   }
   if (std::shared_ptr<const std::string> cached = cache_->PeekResident(key)) {
     std::promise<BlockResult> ready;
     ready.set_value(std::move(cached));
-    ++stats_.cache_hits;
+    BumpLocked(tenant, &Stats::cache_hits);
     return ready.get_future().share();
   }
+  if (stopping_) {
+    std::promise<BlockResult> dead;
+    dead.set_value(BlockResult(Status::Unavailable("io scheduler shut down")));
+    return dead.get_future().share();
+  }
   if (is_prefetch) {
-    ++stats_.prefetch_issues;
+    BumpLocked(tenant, &Stats::prefetch_issues);
+  }
+  TenantState& state = EnsureTenantLocked(tenant);
+  // A tenant waking from idle joins at the current virtual clock: banked
+  // idle time is not spendable credit (that would let a bursty tenant starve
+  // the steady ones right after each burst).
+  if (state.queue.empty() && state.active == 0) {
+    state.vtime = std::max(state.vtime, vclock_);
   }
   auto promise = std::make_shared<std::promise<BlockResult>>();
   std::shared_future<BlockResult> future = promise->get_future().share();
-  inflight_.emplace(flat, future);
-  ++stats_.issued_gets;
-  pool_->Submit([this, key, flat, promise] { RunWorker(key, flat, promise); });
+  inflight_.emplace(route, future);
+  BumpLocked(tenant, &Stats::issued_gets);
+  state.queue.push_back(PendingFetch{
+      key, route, promise,
+      state.options.store != nullptr ? state.options.store : store_, tenant, is_prefetch});
+  DispatchLocked();
   return future;
 }
 
@@ -137,9 +256,7 @@ int64_t IoScheduler::HedgeDelayUs() const {
   return std::max(config_.hedge.min_delay_us, samples[rank]);
 }
 
-std::shared_ptr<IoScheduler::HedgeRace> IoScheduler::MaybeArmHedge(
-    const BlockKey& key, const std::string& flat,
-    const std::shared_ptr<std::promise<BlockResult>>& promise) {
+std::shared_ptr<IoScheduler::HedgeRace> IoScheduler::MaybeArmHedge(const PendingFetch& req) {
   if (!config_.hedge.enabled) {
     return nullptr;
   }
@@ -152,9 +269,11 @@ std::shared_ptr<IoScheduler::HedgeRace> IoScheduler::MaybeArmHedge(
     return nullptr;
   }
   auto race = std::make_shared<HedgeRace>();
-  race->key = key;
-  race->flat = flat;
-  race->promise = promise;
+  race->key = req.key;
+  race->route = req.route;
+  race->promise = req.promise;
+  race->store = req.store;
+  race->tenant = req.tenant;
   const auto deadline = std::chrono::steady_clock::now() + std::chrono::microseconds(delay_us);
   {
     std::lock_guard<std::mutex> lock(hedge_mu_);
@@ -188,13 +307,17 @@ void IoScheduler::HedgeTimerLoop() {
       if (!race->cancelled && !race->settled && !race->hedge_launched) {
         race->hedge_launched = true;
         launch = true;
+        // Count the hedge into the tenant's in-flight work before race->mu is
+        // released, so DrainTenant cannot observe a quiet tenant while a
+        // hedge is about to run on its (soon-to-be-freed) private store.
+        // Lock order mu_-inside-race->mu is safe: no path acquires a
+        // race->mu while holding mu_.
+        std::lock_guard<std::mutex> slock(mu_);
+        BumpLocked(race->tenant, &Stats::hedges_launched);
+        ++EnsureTenantLocked(race->tenant).hedge_active;
       }
     }
     if (launch) {
-      {
-        std::lock_guard<std::mutex> slock(mu_);
-        ++stats_.hedges_launched;
-      }
       hedge_pool_->Submit([this, race] { RunHedge(std::move(race)); });
     }
     lock.lock();
@@ -202,7 +325,7 @@ void IoScheduler::HedgeTimerLoop() {
 }
 
 void IoScheduler::RunHedge(std::shared_ptr<HedgeRace> race) {
-  Result<std::string> bytes = store_->Get(race->key.name, race->key.offset, race->key.length);
+  Result<std::string> bytes = race->store->Get(race->key.name, race->key.offset, race->key.length);
   bool finisher = false;
   {
     std::lock_guard<std::mutex> rl(race->mu);
@@ -216,61 +339,59 @@ void IoScheduler::RunHedge(std::shared_ptr<HedgeRace> race) {
   if (finisher) {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.hedges_won;
+      BumpLocked(race->tenant, &Stats::hedges_won);
     }
-    FinishFetch(race->key, race->flat, race->promise,
+    FinishFetch(race->key, race->route, race->tenant, race->promise,
                 BlockResult(std::make_shared<const std::string>(std::move(bytes.value()))));
   } else if (bytes.ok()) {
     // The primary settled first; this duplicate read was wasted work.
     std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.abandoned_reads;
+    BumpLocked(race->tenant, &Stats::abandoned_reads);
   }
   // A failed hedge while the primary is still unsettled just leaves the race
   // to the primary (which may be waiting on hedge_done before retrying).
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --EnsureTenantLocked(race->tenant).hedge_active;
+  }
+  drain_cv_.notify_all();
 }
 
-void IoScheduler::FinishFetch(const BlockKey& key, const std::string& flat,
+void IoScheduler::FinishFetch(const BlockKey& key, const std::string& route, IoTenantId tenant,
                               const std::shared_ptr<std::promise<BlockResult>>& promise,
                               BlockResult result) {
   if (result.ok()) {
     // Insert before clearing the in-flight entry: a concurrent Fetch must
     // always find the block in the cache or the in-flight map. A failed Get
     // is never inserted — the next Fetch of this key re-issues a fresh read.
-    cache_->Insert(key, result.value());
+    cache_->Insert(key, result.value(), tenant);
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!result.ok()) {
-      ++stats_.failed_gets;
+      BumpLocked(tenant, &Stats::failed_gets);
     }
-    inflight_.erase(flat);
+    inflight_.erase(route);
   }
   promise->set_value(std::move(result));
 }
 
-void IoScheduler::RunWorker(BlockKey key, std::string flat,
-                            std::shared_ptr<std::promise<BlockResult>> promise) {
-  {
-    // Bounded depth: wait for a slot before touching the store. The slot is
-    // held across retries and backoff sleeps — a browned-out range keeps its
-    // place in line instead of releasing pressure onto the endpoint.
-    std::unique_lock<std::mutex> lock(mu_);
-    depth_cv_.wait(lock, [&] { return active_gets_ < config_.max_inflight; });
-    ++active_gets_;
-  }
+void IoScheduler::RunWorker(PendingFetch req) {
+  // The Get slot was acquired at dispatch time and is held across retries
+  // and backoff sleeps — a browned-out range keeps its place in line instead
+  // of releasing pressure onto the endpoint.
   const int32_t max_attempts = std::max(1, config_.retry.max_attempts);
   // Deterministic jitter: the delay sequence for this key is a pure function
   // of (key, policy seed), independent of thread interleaving.
-  Rng jitter(Fnv1a64(flat, config_.retry.seed));
+  Rng jitter(Fnv1a64(req.route, config_.retry.seed));
   BlockResult result = BlockResult(Status::Internal("io worker fell through"));
   bool finished_elsewhere = false;
   for (int32_t attempt = 0; attempt < max_attempts; ++attempt) {
     // Hedging arms once, on the first attempt; retries of a failed primary
     // already have a second chance by definition.
-    std::shared_ptr<HedgeRace> race =
-        attempt == 0 ? MaybeArmHedge(key, flat, promise) : nullptr;
+    std::shared_ptr<HedgeRace> race = attempt == 0 ? MaybeArmHedge(req) : nullptr;
     const auto t0 = std::chrono::steady_clock::now();
-    Result<std::string> bytes = store_->Get(key.name, key.offset, key.length);
+    Result<std::string> bytes = req.store->Get(req.key.name, req.key.offset, req.key.length);
     if (race != nullptr) {
       std::unique_lock<std::mutex> rl(race->mu);
       race->cancelled = true;  // the timer must not launch past this point
@@ -285,7 +406,7 @@ void IoScheduler::RunWorker(BlockKey key, std::string flat,
         finished_elsewhere = true;
         rl.unlock();
         std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.abandoned_reads;
+        BumpLocked(req.tenant, &Stats::abandoned_reads);
         break;
       }
       if (bytes.ok()) {
@@ -299,7 +420,7 @@ void IoScheduler::RunWorker(BlockKey key, std::string flat,
                                 std::chrono::steady_clock::now() - t0)
                                 .count());
         if (attempt > 0) {
-          ++stats_.retry_successes;
+          BumpLocked(req.tenant, &Stats::retry_successes);
         }
       }
       result = BlockResult(std::make_shared<const std::string>(std::move(bytes.value())));
@@ -312,41 +433,50 @@ void IoScheduler::RunWorker(BlockKey key, std::string flat,
     if (attempt + 1 >= max_attempts) {
       {
         std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.retries_exhausted;
+        BumpLocked(req.tenant, &Stats::retries_exhausted);
       }
       result = BlockResult(bytes.status());
       break;
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.retries;
+      BumpLocked(req.tenant, &Stats::retries);
     }
     std::this_thread::sleep_for(std::chrono::microseconds(BackoffDelayUs(attempt, jitter)));
   }
   if (!finished_elsewhere) {
-    FinishFetch(key, flat, promise, std::move(result));
+    FinishFetch(req.key, req.route, req.tenant, req.promise, std::move(result));
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
     --active_gets_;
+    --EnsureTenantLocked(req.tenant).active;
+    DispatchLocked();
   }
-  depth_cv_.notify_one();
+  drain_cv_.notify_all();
 }
 
 IoScheduler::BlockResult IoScheduler::ReadBlock(const std::string& name, int64_t offset,
-                                                int64_t length) {
-  return Fetch(name, offset, length).get();
+                                                int64_t length, IoTenantId tenant) {
+  return Fetch(name, offset, length, /*is_prefetch=*/false, tenant).get();
 }
 
-void IoScheduler::Invalidate(const std::string& name, int64_t offset, int64_t length) {
+void IoScheduler::Invalidate(const std::string& name, int64_t offset, int64_t length,
+                             IoTenantId tenant) {
   cache_->Erase(BlockKey{name, offset, length});
   std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.invalidations;
+  BumpLocked(tenant, &Stats::invalidations);
 }
 
 IoScheduler::Stats IoScheduler::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+IoScheduler::Stats IoScheduler::tenant_stats(IoTenantId tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? Stats{} : it->second.stats;
 }
 
 }  // namespace msd

@@ -2,19 +2,32 @@
 //
 // Every loader-side byte-range read funnels through here:
 //
-//   Fetch(name, offset, length)
+//   Fetch(name, offset, length, /*is_prefetch=*/…, tenant)
 //     -> BlockCache hit        => ready future, no I/O
 //     -> already in flight     => join the existing future (coalescing: N
-//                                 concurrent requesters, exactly one Get)
-//     -> otherwise             => enqueue a bounded-depth async Get on the
-//                                 ThreadPool; the result lands in the cache
-//                                 before the future resolves.
+//                                 concurrent requesters, exactly one Get —
+//                                 including requesters from OTHER tenants on
+//                                 the shared route)
+//     -> otherwise             => enqueue on the tenant's queue; the fair-
+//                                 share dispatcher issues it as a bounded-
+//                                 depth async Get on the ThreadPool, and the
+//                                 result lands in the cache before the future
+//                                 resolves.
 //
 // Bounded depth: at most `max_inflight` backing Gets run concurrently —
 // read-ahead can queue far more than the (simulated) storage endpoint should
 // see at once. Completion inserts into the cache first and only then clears
 // the in-flight entry, so a concurrent requester always finds the block in
 // one of the two maps and a backing read is never duplicated.
+//
+// Multi-tenant fair share (src/service/): each tenant owns a FIFO queue and a
+// start-time-fair-queueing virtual clock. Dispatch always picks the runnable
+// tenant with the smallest vtime and charges it 1/weight per issued Get, so
+// over any window tenants receive Get slots proportional to their weights —
+// a scan-heavy tenant fills its own queue, not the shared pipe. A tenant may
+// route to a private ObjectStore (e.g. a fault-injecting decorator); private
+// routes get their own in-flight entries so a healthy tenant never joins a
+// doomed Get, while default-route tenants coalesce freely.
 //
 // Failure handling (the chaos plane's retry layer):
 //  - RetryPolicy: a failed backing Get is retried up to max_attempts times
@@ -34,6 +47,7 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <deque>
 #include <future>
 #include <map>
 #include <memory>
@@ -81,6 +95,23 @@ class IoScheduler {
     HedgePolicy hedge;
   };
 
+  // Per-tenant scheduling knobs (src/service/ control plane). Tenants that
+  // never register get the defaults: weight 1, no inflight cap, the shared
+  // default store.
+  struct TenantOptions {
+    // Fair-share weight: each issued Get advances the tenant's virtual clock
+    // by 1/weight, so relative Get throughput under contention tracks the
+    // weight ratio. Must be > 0.
+    double weight = 1.0;
+    // Per-tenant cap on concurrently running backing Gets; 0 = only the
+    // global max_inflight bounds it.
+    int32_t max_inflight = 0;
+    // Private backing route (e.g. a per-tenant FaultInjectingStore wrapping
+    // the shared base). Not owned; must stay alive until the tenant is
+    // drained. nullptr = the shared default store (coalescing route).
+    const ObjectStore* store = nullptr;
+  };
+
   struct Stats {
     int64_t requests = 0;        // Fetch calls
     int64_t cache_hits = 0;      // served straight from the cache
@@ -104,29 +135,76 @@ class IoScheduler {
 
   // Neither the store nor the cache is owned; both must outlive the scheduler.
   IoScheduler(const ObjectStore* store, BlockCache* cache, Config config);
-  ~IoScheduler();  // drains in-flight reads
+  // Fails still-queued fetches with Unavailable, then drains the running ones.
+  ~IoScheduler();
 
   IoScheduler(const IoScheduler&) = delete;
   IoScheduler& operator=(const IoScheduler&) = delete;
 
-  // Async read of [offset, offset+length) of `name`. `is_prefetch` only tags
-  // the stats (read-ahead accounting).
+  // Async read of [offset, offset+length) of `name` on behalf of `tenant`.
+  // `is_prefetch` only tags the stats (read-ahead accounting).
   std::shared_future<BlockResult> Fetch(const std::string& name, int64_t offset,
-                                        int64_t length, bool is_prefetch = false);
+                                        int64_t length, bool is_prefetch = false,
+                                        IoTenantId tenant = kDefaultIoTenant);
 
   // Blocking convenience: Fetch + wait.
-  BlockResult ReadBlock(const std::string& name, int64_t offset, int64_t length);
+  BlockResult ReadBlock(const std::string& name, int64_t offset, int64_t length,
+                        IoTenantId tenant = kDefaultIoTenant);
 
   // Drops the block from the cache so the next Fetch goes back to storage.
   // Called by decoders that detect corruption above the cache (the cached
   // copy checksums clean — the poison arrived at Get time).
-  void Invalidate(const std::string& name, int64_t offset, int64_t length);
+  void Invalidate(const std::string& name, int64_t offset, int64_t length,
+                  IoTenantId tenant = kDefaultIoTenant);
 
+  // ---- Tenant lifecycle (src/service/ control plane) ----
+  // Installs (or updates) the tenant's scheduling options. Safe while the
+  // tenant has traffic in flight; already-running Gets keep their old route.
+  void RegisterTenant(IoTenantId tenant, TenantOptions options);
+  // Blocks until the tenant has no queued, running, or hedged Gets. Caller
+  // contract: no new Fetches are issued for the tenant once this is called
+  // (the Session drains its pipeline first), otherwise the wait can livelock.
+  void DrainTenant(IoTenantId tenant);
+  // DrainTenant + forget the tenant's queue/options/counters. The aggregate
+  // stats() keep its history. After this, the tenant's private store may be
+  // destroyed.
+  void UnregisterTenant(IoTenantId tenant);
+
+  // Consistent aggregate snapshot (single scheduler mutex — invariants like
+  // requests == cache_hits + coalesced + issued_gets hold exactly).
   Stats stats() const;
+  // Per-tenant view, attributed to the requesting tenant; taken under the
+  // same mutex as the aggregate.
+  Stats tenant_stats(IoTenantId tenant) const;
   BlockCache* cache() { return cache_; }
-  const ObjectStore* store() const { return store_; }
+  // The tenant's backing route: its private store if registered, else the
+  // shared default store.
+  const ObjectStore* store(IoTenantId tenant = kDefaultIoTenant) const;
 
  private:
+  // A Fetch waiting on (or occupying) a backing-Get slot.
+  struct PendingFetch {
+    BlockKey key;
+    // In-flight map key: FlattenBlockKey(key), suffixed "@<tenant>" when the
+    // tenant routes to a private store (private routes never coalesce with
+    // the shared one — a healthy tenant must not join a doomed Get).
+    std::string route;
+    std::shared_ptr<std::promise<BlockResult>> promise;
+    const ObjectStore* store = nullptr;  // resolved route at enqueue time
+    IoTenantId tenant = kDefaultIoTenant;
+    bool is_prefetch = false;
+  };
+
+  // One tenant's scheduler state: FIFO queue + SFQ virtual clock + counters.
+  struct TenantState {
+    TenantOptions options;
+    std::deque<PendingFetch> queue;
+    int32_t active = 0;        // dispatched Gets currently running
+    int32_t hedge_active = 0;  // hedged duplicates currently running
+    double vtime = 0.0;        // advances 1/weight per dispatched Get
+    Stats stats;
+  };
+
   // Shared state of one primary/hedge race. Exactly one side settles and
   // becomes the finisher (cache insert + in-flight erase + promise); the
   // other side's result is abandoned.
@@ -134,27 +212,39 @@ class IoScheduler {
     std::mutex mu;
     std::condition_variable cv;
     BlockKey key;
-    std::string flat;
+    std::string route;
     std::shared_ptr<std::promise<BlockResult>> promise;
+    const ObjectStore* store = nullptr;
+    IoTenantId tenant = kDefaultIoTenant;
     bool settled = false;         // a finisher claimed this fetch
     bool cancelled = false;       // primary returned; timer must not launch
     bool hedge_launched = false;  // a duplicate Get is (or was) in flight
     bool hedge_done = false;      // the duplicate Get returned
   };
 
-  void RunWorker(BlockKey key, std::string flat,
-                 std::shared_ptr<std::promise<BlockResult>> promise);
+  // Auto-creates the tenant with default options on first contact; a new
+  // tenant starts at the current virtual clock so it cannot hoard credit
+  // from before it existed. mu_ held.
+  TenantState& EnsureTenantLocked(IoTenantId tenant);
+  // Bumps an aggregate counter and the tenant's copy together. mu_ held.
+  void BumpLocked(IoTenantId tenant, int64_t Stats::* field);
+  // Fills free Get slots: repeatedly picks the runnable tenant (non-empty
+  // queue, under its own cap) with the smallest vtime — ties break on the
+  // lowest tenant id via map order — charges it 1/weight, and submits the
+  // worker. mu_ held.
+  void DispatchLocked();
+
+  void RunWorker(PendingFetch req);
   // Completion path of whichever side settled: insert into the cache (success
   // only), erase the in-flight entry, then resolve the promise — in that
   // order, so a concurrent Fetch never misses both maps on success and never
   // joins a dead future on failure.
-  void FinishFetch(const BlockKey& key, const std::string& flat,
+  void FinishFetch(const BlockKey& key, const std::string& route, IoTenantId tenant,
                    const std::shared_ptr<std::promise<BlockResult>>& promise,
                    BlockResult result);
   // Registers a hedge race with the timer thread if hedging is armed
   // (enabled + enough latency samples). Returns nullptr otherwise.
-  std::shared_ptr<HedgeRace> MaybeArmHedge(const BlockKey& key, const std::string& flat,
-                                           const std::shared_ptr<std::promise<BlockResult>>& promise);
+  std::shared_ptr<HedgeRace> MaybeArmHedge(const PendingFetch& req);
   void HedgeTimerLoop();
   void RunHedge(std::shared_ptr<HedgeRace> race);
   // Backoff delay for retry `attempt` (0-based), jittered by `rng`.
@@ -167,10 +257,16 @@ class IoScheduler {
   BlockCache* cache_;
   Config config_;
 
+  // Lock order note: mu_ may be taken while holding a HedgeRace::mu (the
+  // timer's launch bookkeeping); a HedgeRace::mu is NEVER taken while mu_ is
+  // held.
   mutable std::mutex mu_;
-  std::condition_variable depth_cv_;
+  std::condition_variable drain_cv_;  // tenant queues/active/hedges emptied
   int32_t active_gets_ = 0;
+  bool stopping_ = false;  // destructor: stop dispatching, fail the queued
   std::unordered_map<std::string, std::shared_future<BlockResult>> inflight_;
+  std::map<IoTenantId, TenantState> tenants_;
+  double vclock_ = 0.0;  // vtime of the most recently dispatched Get
   Stats stats_;
   // Ring of recent successful primary-Get latencies (µs) for the hedge
   // quantile; guarded by mu_.

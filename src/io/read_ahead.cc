@@ -18,7 +18,8 @@ bool Ready(const std::shared_future<T>& f) {
 
 }  // namespace
 
-ReadAhead::ReadAhead(IoScheduler* io, int32_t groups_ahead) : io_(io), k_(groups_ahead) {
+ReadAhead::ReadAhead(IoScheduler* io, int32_t groups_ahead, IoTenantId tenant)
+    : io_(io), k_(groups_ahead), tenant_(tenant) {
   MSD_CHECK(io_ != nullptr);
   MSD_CHECK(k_ >= 0);
 }
@@ -33,7 +34,7 @@ const MsdfFileInfo* ReadAhead::InfoFor(const std::string& name) {
   }
   auto it = pending_.find(name);
   if (it == pending_.end()) {
-    Result<int64_t> size = io_->store()->SizeOf(name);
+    Result<int64_t> size = io_->store(tenant_)->SizeOf(name);
     if (!size.ok() ||
         size.value() < static_cast<int64_t>(sizeof(uint32_t) + kMsdfTailBytes)) {
       failed_.insert(name);
@@ -42,7 +43,8 @@ const MsdfFileInfo* ReadAhead::InfoFor(const std::string& name) {
     PendingFooter pending;
     pending.file_size = size.value();
     pending.tail = io_->Fetch(name, size.value() - static_cast<int64_t>(kMsdfTailBytes),
-                              static_cast<int64_t>(kMsdfTailBytes), /*is_prefetch=*/true);
+                              static_cast<int64_t>(kMsdfTailBytes), /*is_prefetch=*/true,
+                              tenant_);
     it = pending_.emplace(name, std::move(pending)).first;
   }
   PendingFooter& pending = it->second;
@@ -65,7 +67,7 @@ const MsdfFileInfo* ReadAhead::InfoFor(const std::string& name) {
     pending.body = io_->Fetch(
         name, pending.body_offset,
         pending.file_size - static_cast<int64_t>(kMsdfTailBytes) - pending.body_offset,
-        /*is_prefetch=*/true);
+        /*is_prefetch=*/true, tenant_);
   }
   if (!Ready(pending.body)) {
     return nullptr;
@@ -115,7 +117,7 @@ int64_t ReadAhead::Advance(const std::vector<std::string>& files, int64_t file_i
         file < hwm_file_ || (file == hwm_file_ && group <= hwm_group_);
     if (!already_issued) {
       const RowGroupMeta& meta = info->row_groups[static_cast<size_t>(group)];
-      io_->Fetch(name, meta.offset, meta.bytes, /*is_prefetch=*/true);
+      io_->Fetch(name, meta.offset, meta.bytes, /*is_prefetch=*/true, tenant_);
       ++issued;
       hwm_file_ = file;
       hwm_group_ = group;

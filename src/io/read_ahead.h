@@ -32,8 +32,9 @@ namespace msd {
 class ReadAhead {
  public:
   // Prefetches up to `groups_ahead` row groups past the cursor. `io` is not
-  // owned and must outlive this policy.
-  ReadAhead(IoScheduler* io, int32_t groups_ahead);
+  // owned and must outlive this policy. `tenant` routes and attributes every
+  // fetch this policy issues (shared multi-tenant I/O plane).
+  ReadAhead(IoScheduler* io, int32_t groups_ahead, IoTenantId tenant = kDefaultIoTenant);
 
   // Called with the loader's cursor: the next (file_index, group_index) it
   // will read. Issues prefetches for that position and the K-1 following
@@ -66,6 +67,7 @@ class ReadAhead {
 
   IoScheduler* io_;
   int32_t k_;
+  IoTenantId tenant_;
   std::unordered_map<std::string, MsdfFileInfo> infos_;
   std::unordered_map<std::string, PendingFooter> pending_;
   // Files whose footer could not be resolved; skipped (the loader's own open

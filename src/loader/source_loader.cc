@@ -57,7 +57,8 @@ SourceLoader::SourceLoader(SourceLoaderConfig config, const ObjectStore* store,
       tokenizer_(std::make_shared<Tokenizer>()) {
   MSD_CHECK(config_.num_workers > 0);
   if (io_ != nullptr && config_.read_ahead_groups > 0) {
-    read_ahead_ = std::make_unique<ReadAhead>(io_, config_.read_ahead_groups);
+    read_ahead_ = std::make_unique<ReadAhead>(io_, config_.read_ahead_groups,
+                                              config_.io_tenant);
   }
   if (config_.defer_image_decode) {
     // Transformation reordering: tokenize here, decode at the constructor.
@@ -90,7 +91,8 @@ Status SourceLoader::LoadNextGroup() {
       // Ranged mode pays one uncached Get per block; legacy mode aliases the
       // whole blob (local-storage semantics).
       Result<MsdfReader> reader =
-          io_ != nullptr ? MsdfReader::OpenCached(io_, file, accountant_, config_.node)
+          io_ != nullptr ? MsdfReader::OpenCached(io_, file, accountant_, config_.node,
+                                                  config_.io_tenant)
           : config_.ranged_reads
               ? MsdfReader::OpenRanged(*store_, file, accountant_, config_.node)
               : MsdfReader::Open(*store_, file, accountant_, config_.node);

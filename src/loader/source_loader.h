@@ -70,6 +70,10 @@ struct SourceLoaderConfig {
   // when the group's last sample retires. Off = one heap Sample + one frozen
   // buffer per payload per row (byte-identical output either way).
   bool arena_decode = true;
+  // Tenant tag for every fetch this loader issues through a shared
+  // IoScheduler (src/service/ multi-tenant plane): routes the Gets, bounds
+  // them under the tenant's quota, and attributes the per-tenant stats.
+  IoTenantId io_tenant = kDefaultIoTenant;
 };
 
 // Snapshot for differential checkpointing: the read cursor at the origin of

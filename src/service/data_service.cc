@@ -1,0 +1,138 @@
+#include "src/service/data_service.h"
+
+#include <utility>
+
+namespace msd {
+namespace {
+
+// The plane provides the I/O tier; a tenant's Session::Options must not try
+// to stand up a private one underneath it.
+Status ValidateTenantSession(const Session::Options& s) {
+  if (s.shared_plane != nullptr || s.io_tenant != kDefaultIoTenant) {
+    return Status::InvalidArgument(
+        "tenant session options must leave the shared-plane binding unset; "
+        "the service installs it");
+  }
+  if (s.block_cache_bytes > 0 || !s.cache_spill_dir.empty()) {
+    return Status::InvalidArgument(
+        "tenant sessions use the plane's shared block cache; per-session "
+        "block_cache_bytes/cache_spill_dir are not allowed");
+  }
+  if (s.storage_get_latency > 0) {
+    return Status::InvalidArgument(
+        "storage latency is a plane-wide property (SharedIoPlaneConfig); "
+        "per-tenant storage_get_latency is not allowed");
+  }
+  if (s.storage_faults.enabled()) {
+    return Status::InvalidArgument(
+        "tenant storage faults go through TenantConfig::storage_faults (a "
+        "private scheduler route), not Session::Options");
+  }
+  if (!s.gcs_spill_dir.empty()) {
+    return Status::InvalidArgument(
+        "tenant sessions share the plane's durable GCS store under a "
+        "per-tenant namespace; per-session gcs_spill_dir is not allowed");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+DataService::DataService(SharedIoPlaneConfig plane_config)
+    : plane_(std::make_unique<SharedIoPlane>(std::move(plane_config))) {}
+
+// Member order tears tenants_ (the Sessions) down before plane_; each
+// ~Session drains its in-flight reads against the still-live scheduler.
+DataService::~DataService() = default;
+
+Status DataService::RegisterTenant(const std::string& name, TenantConfig config) {
+  MSD_RETURN_IF_ERROR(ValidateTenantSession(config.session));
+  {
+    // Reserve the name first (session boot is slow; don't hold mu_ across it).
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = tenants_.try_emplace(name);
+    (void)it;
+    if (!inserted) {
+      return Status::AlreadyExists("tenant '" + name + "' is already registered");
+    }
+  }
+  Result<IoTenantId> id = plane_->AddTenant(name, config.quota, config.storage_faults);
+  if (!id.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    tenants_.erase(name);
+    return id.status();
+  }
+  Session::Options opts = std::move(config.session);
+  opts.shared_plane = plane_.get();
+  opts.io_tenant = id.value();
+  if (opts.gcs_namespace.empty()) {
+    opts.gcs_namespace = name;
+  }
+  Result<std::unique_ptr<Session>> session = Session::Create(std::move(opts));
+  if (!session.ok()) {
+    plane_->DrainAndRemoveTenant(id.value());
+    std::lock_guard<std::mutex> lock(mu_);
+    tenants_.erase(name);
+    return session.status();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantRecord& record = tenants_[name];
+  record.id = id.value();
+  record.session = std::move(session.value());
+  return Status::Ok();
+}
+
+Status DataService::RemoveTenant(const std::string& name) {
+  TenantRecord record;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tenants_.find(name);
+    if (it == tenants_.end() || it->second.session == nullptr) {
+      return Status::NotFound("tenant '" + name + "' is not registered");
+    }
+    record = std::move(it->second);
+    tenants_.erase(it);
+  }
+  // Outside mu_: ~Session stops the pipeline, shuts the actors down, and
+  // drains the tenant's in-flight reads; other tenants keep serving.
+  record.session.reset();
+  plane_->DrainAndRemoveTenant(record.id);
+  return Status::Ok();
+}
+
+Session* DataService::session(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(name);
+  return it != tenants_.end() ? it->second.session.get() : nullptr;
+}
+
+Result<DataService::TenantStats> DataService::tenant_stats(const std::string& name) const {
+  IoTenantId id = kDefaultIoTenant;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tenants_.find(name);
+    if (it == tenants_.end() || it->second.session == nullptr) {
+      return Status::NotFound("tenant '" + name + "' is not registered");
+    }
+    id = it->second.id;
+  }
+  TenantStats stats;
+  stats.id = id;
+  stats.cache = plane_->tenant_cache_stats(id);
+  stats.scheduler = plane_->tenant_scheduler_stats(id);
+  return stats;
+}
+
+std::vector<std::string> DataService::tenant_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tenants_.size());
+  for (const auto& [name, record] : tenants_) {
+    if (record.session != nullptr) {
+      names.push_back(name);
+    }
+  }
+  return names;
+}
+
+}  // namespace msd

@@ -1,0 +1,106 @@
+// DataService: the multi-tenant dataloader control plane.
+//
+// Hosts N independent Sessions — different corpora, meshes, seeds — on ONE
+// SharedIoPlane, which is the paper's deployment shape: a dataloader service
+// where concurrent training jobs share the I/O tier (cache + scheduler +
+// backing store) instead of each paying for their own. The service owns the
+// tenant lifecycle end to end:
+//
+//   RegisterTenant(name, {session options, quota, optional faults})
+//     -> plane tenant id allocated (weight/cache-budget/inflight quotas
+//        installed), the tenant's corpus materialized-or-deduped into the
+//        shared store, its Session created bound to the plane, its durable
+//        GCS state namespaced under "gcs/<name>/".
+//   session(name) -> the live Session; drive it like any owned session.
+//   RemoveTenant(name)
+//     -> Session destroyed (stops its pipeline, drains its in-flight reads),
+//        then the plane drains + forgets the tenant. Other tenants never
+//        observe the departure beyond freed cache bytes and Get slots.
+//
+// Isolation properties (tests/service_test.cc): per-tenant fault injection
+// never fails a healthy neighbour's Gets (private scheduler routes); a
+// scan-heavy tenant is throttled to its fair share, not the whole pipe; a
+// cache-hungry tenant evicts only its own budgeted bytes; and every tenant's
+// batch stream stays byte-identical to the same job running alone.
+#ifndef SRC_SERVICE_DATA_SERVICE_H_
+#define SRC_SERVICE_DATA_SERVICE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/api/session.h"
+#include "src/service/shared_plane.h"
+
+namespace msd {
+
+class DataService {
+ public:
+  // Everything one tenant brings: its job definition plus its resource
+  // envelope on the shared plane.
+  struct TenantConfig {
+    // The job itself (corpus, mesh, seed, pipeline knobs). Fields that would
+    // stand up a private I/O plane (block_cache_bytes, cache_spill_dir,
+    // storage latency/faults, gcs_spill_dir) must stay unset — the service
+    // rejects them, because the plane provides all of that shared.
+    Session::Options session;
+    TenantQuota quota;
+    // Chaos scoped to this tenant's backing reads only.
+    FaultSchedule storage_faults;
+  };
+
+  // One tenant's slice of the shared plane's counters, plus the aggregate
+  // context needed to interpret it.
+  struct TenantStats {
+    IoTenantId id = kDefaultIoTenant;
+    BlockCache::Stats cache;       // attributed to this tenant
+    IoScheduler::Stats scheduler;  // attributed to this tenant
+  };
+
+  explicit DataService(SharedIoPlaneConfig plane_config);
+  // Destroys remaining Sessions first (member order), then the plane.
+  ~DataService();
+
+  DataService(const DataService&) = delete;
+  DataService& operator=(const DataService&) = delete;
+
+  // Registers the tenant on the plane, materializes (or dedups) its corpus,
+  // and boots its Session bound to the shared cache + scheduler. `name` keys
+  // the tenant and namespaces its durable GCS state.
+  Status RegisterTenant(const std::string& name, TenantConfig config);
+
+  // Tears the tenant down: Session destruction drains its pipeline and
+  // in-flight reads, then the plane forgets its queues, budget, and fault
+  // route. No-op error if the tenant is unknown.
+  Status RemoveTenant(const std::string& name);
+
+  // The tenant's live Session (nullptr if unknown). The pointer stays valid
+  // until RemoveTenant / service destruction.
+  Session* session(const std::string& name);
+
+  Result<TenantStats> tenant_stats(const std::string& name) const;
+  std::vector<std::string> tenant_names() const;
+
+  SharedIoPlane* plane() { return plane_.get(); }
+  // Total backing Gets the shared store served — across all tenants.
+  int64_t backing_gets() const { return plane_->backing_gets(); }
+
+ private:
+  struct TenantRecord {
+    IoTenantId id = kDefaultIoTenant;
+    std::unique_ptr<Session> session;
+  };
+
+  // Sessions (tenants_) are declared after the plane and therefore destroyed
+  // before it — each ~Session drains its own in-flight reads against the
+  // still-live scheduler.
+  std::unique_ptr<SharedIoPlane> plane_;
+  mutable std::mutex mu_;
+  std::map<std::string, TenantRecord> tenants_;
+};
+
+}  // namespace msd
+
+#endif  // SRC_SERVICE_DATA_SERVICE_H_

@@ -1,0 +1,159 @@
+#include "src/service/shared_plane.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/hash.h"
+#include "src/common/logging.h"
+#include "src/data/synthetic.h"
+#include "src/storage/wire.h"
+
+namespace msd {
+namespace {
+
+// Everything that determines a materialized source's bytes on store: the full
+// SourceSpec, the write seed, and the row-group sizing. Two corpora agreeing
+// on all of it produce byte-identical files (WriteSourceFiles is seeded
+// per-source), so a matching fingerprint means the copy already on store IS
+// the requested one.
+uint64_t SourceFingerprint(const SourceSpec& spec, uint64_t seed,
+                           const MsdfWriteOptions& options) {
+  WireWriter w;
+  w.PutU64(seed);
+  w.PutI64(options.target_row_group_bytes);
+  w.PutU32(static_cast<uint32_t>(spec.source_id));
+  w.PutBytes(spec.name);
+  w.PutU8(static_cast<uint8_t>(spec.modality));
+  w.PutF64(spec.transform_cost_multiplier);
+  w.PutI64(spec.num_files);
+  w.PutI64(spec.rows_per_file);
+  w.PutU32(static_cast<uint32_t>(spec.text_bucket_weights.size()));
+  for (double v : spec.text_bucket_weights) {
+    w.PutF64(v);
+  }
+  w.PutU32(static_cast<uint32_t>(spec.image_bucket_weights.size()));
+  for (double v : spec.image_bucket_weights) {
+    w.PutF64(v);
+  }
+  return Fnv1a64(w.buffer());
+}
+
+}  // namespace
+
+SharedIoPlane::SharedIoPlane(SharedIoPlaneConfig config) : config_(std::move(config)) {
+  MSD_CHECK(config_.cache_bytes > 0);
+  MSD_CHECK(config_.max_inflight > 0);
+  remote_store_ = std::make_unique<LatencyInjectingStore>(
+      &store_, RemoteStorageParams{
+                   .get_latency = config_.storage_get_latency,
+                   .bandwidth_bytes_per_sec = config_.storage_bandwidth_bytes_per_sec});
+  if (!config_.cache_spill_dir.empty()) {
+    cache_spill_store_ = std::make_unique<ObjectStore>(config_.cache_spill_dir);
+  }
+  if (!config_.durable_gcs_dir.empty()) {
+    gcs_store_ = std::make_unique<ObjectStore>(config_.durable_gcs_dir);
+  }
+  cache_ = std::make_unique<BlockCache>(BlockCache::Config{
+      .capacity_bytes = config_.cache_bytes,
+      .shards = config_.cache_shards,
+      .spill = cache_spill_store_.get()});
+  IoScheduler::Config io_config;
+  io_config.threads = config_.io_threads > 0
+                          ? config_.io_threads
+                          : static_cast<size_t>(std::clamp(config_.max_inflight, 4, 32));
+  io_config.max_inflight = config_.max_inflight;
+  io_config.retry = config_.retry;
+  io_config.hedge = config_.hedge;
+  io_ = std::make_unique<IoScheduler>(remote_store_.get(), cache_.get(), io_config);
+}
+
+SharedIoPlane::~SharedIoPlane() {
+  // io_ is destroyed first by member order; its destructor drains the worker
+  // pools, after which the tenant fault stores are safe to free.
+}
+
+Result<int64_t> SharedIoPlane::MaterializeCorpus(const CorpusSpec& corpus, uint64_t seed,
+                                                 const MsdfWriteOptions& write_options) {
+  int64_t rows = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const SourceSpec& spec : corpus.sources) {
+    const uint64_t fp = SourceFingerprint(spec, seed, write_options);
+    auto it = materialized_.find(spec.name);
+    if (it != materialized_.end()) {
+      if (it->second != fp) {
+        return Status::InvalidArgument(
+            "source '" + spec.name +
+            "' already materialized with a different spec/seed: co-hosted "
+            "corpora sharing a source name must agree on its definition");
+      }
+      // Byte-identical copy already on store — the cross-job dedup case.
+      rows += spec.num_files * spec.rows_per_file;
+      continue;
+    }
+    // Write through the base store: materialization is control-plane work and
+    // must not count as backing Gets (writes are unfaulted/unlatencied anyway).
+    MSD_RETURN_IF_ERROR(WriteSourceFiles(store_, spec, seed, write_options));
+    materialized_.emplace(spec.name, fp);
+    rows += spec.num_files * spec.rows_per_file;
+  }
+  return rows;
+}
+
+Result<IoTenantId> SharedIoPlane::AddTenant(const std::string& name,
+                                            const TenantQuota& quota,
+                                            FaultSchedule faults) {
+  if (quota.weight <= 0.0) {
+    return Status::InvalidArgument("tenant '" + name + "': fair-share weight must be > 0");
+  }
+  if (quota.cache_bytes < 0 || quota.max_inflight_gets < 0) {
+    return Status::InvalidArgument("tenant '" + name + "': negative quota");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const IoTenantId id = next_tenant_++;
+  TenantRecord record;
+  record.name = name;
+  record.quota = quota;
+  if (faults.enabled()) {
+    // Private chaos route: fault(latency(base)), same stacking as an owned
+    // session, but scoped so the injected failures reach only this tenant.
+    record.fault_store =
+        std::make_unique<FaultInjectingStore>(remote_store_.get(), faults);
+  }
+  IoScheduler::TenantOptions options;
+  options.weight = quota.weight;
+  options.max_inflight = quota.max_inflight_gets;
+  options.store = record.fault_store.get();  // nullptr = shared coalescing route
+  io_->RegisterTenant(id, options);
+  if (quota.cache_bytes > 0) {
+    cache_->RegisterTenant(id, quota.cache_bytes);
+  }
+  tenants_.emplace(id, std::move(record));
+  return id;
+}
+
+void SharedIoPlane::DrainAndRemoveTenant(IoTenantId tenant) {
+  // Drain outside mu_: UnregisterTenant blocks until the tenant's queued,
+  // running, and hedged Gets are gone, and other tenants must be able to
+  // register/look up stores meanwhile.
+  io_->UnregisterTenant(tenant);
+  cache_->RemoveTenant(tenant);
+  std::lock_guard<std::mutex> lock(mu_);
+  tenants_.erase(tenant);  // frees the fault store — safe, tenant is drained
+}
+
+ObjectStore* SharedIoPlane::loader_store(IoTenantId tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it != tenants_.end() && it->second.fault_store != nullptr) {
+    return it->second.fault_store.get();
+  }
+  return remote_store_.get();
+}
+
+FaultInjectingStore* SharedIoPlane::fault_store(IoTenantId tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  return it != tenants_.end() ? it->second.fault_store.get() : nullptr;
+}
+
+}  // namespace msd

@@ -254,7 +254,7 @@ Result<MsdfFileInfo> ReadFooterViaRanges(
 Result<std::shared_ptr<const std::string>> MsdfReader::FetchRange(int64_t offset,
                                                                   int64_t length) const {
   if (io_ != nullptr) {
-    return io_->ReadBlock(name_, offset, length);
+    return io_->ReadBlock(name_, offset, length, tenant_);
   }
   if (range_store_ != nullptr) {
     Result<std::string> bytes = range_store_->Get(name_, offset, length);
@@ -284,8 +284,9 @@ Result<MsdfReader> MsdfReader::FinishRangedOpen(MsdfReader reader, int64_t file_
     // cache the refetch would re-read the same bytes, so skip it.
     IoScheduler* io = reader.io_;
     const std::string name = reader.name_;
-    invalidate = [io, name](int64_t offset, int64_t length) {
-      io->Invalidate(name, offset, length);
+    const IoTenantId tenant = reader.tenant_;
+    invalidate = [io, name, tenant](int64_t offset, int64_t length) {
+      io->Invalidate(name, offset, length, tenant);
     };
   }
   Result<MsdfFileInfo> info = ReadFooterViaRanges(
@@ -317,14 +318,15 @@ Result<MsdfReader> MsdfReader::OpenRanged(const ObjectStore& store, const std::s
 
 Result<MsdfReader> MsdfReader::OpenCached(IoScheduler* io, const std::string& name,
                                           MemoryAccountant* accountant,
-                                          MemoryAccountant::NodeId node) {
+                                          MemoryAccountant::NodeId node, IoTenantId tenant) {
   MSD_CHECK(io != nullptr);
-  Result<int64_t> size = io->store()->SizeOf(name);
+  Result<int64_t> size = io->store(tenant)->SizeOf(name);
   if (!size.ok()) {
     return size.status();
   }
   MsdfReader reader;
   reader.io_ = io;
+  reader.tenant_ = tenant;
   reader.name_ = name;
   return FinishRangedOpen(std::move(reader), size.value(), accountant, node);
 }
@@ -346,7 +348,7 @@ Result<std::vector<std::string>> MsdfReader::ReadRowGroup(size_t index) {
     // verification cannot catch it) — invalidate and refetch once from
     // authoritative storage before declaring the range lost.
     if (io_ != nullptr) {
-      io_->Invalidate(name_, meta.offset, meta.bytes);
+      io_->Invalidate(name_, meta.offset, meta.bytes, tenant_);
       bytes = FetchRange(meta.offset, meta.bytes);
       if (!bytes.ok()) {
         return bytes.status();

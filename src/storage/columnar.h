@@ -22,6 +22,7 @@
 
 #include "src/common/status.h"
 #include "src/common/units.h"
+#include "src/io/block_cache.h"  // IoTenantId — cached-mode reads carry a tenant tag
 #include "src/storage/memory_model.h"
 #include "src/storage/object_store.h"
 
@@ -111,7 +112,8 @@ class MsdfReader {
                                        MemoryAccountant::NodeId node);
   static Result<MsdfReader> OpenCached(IoScheduler* io, const std::string& name,
                                        MemoryAccountant* accountant,
-                                       MemoryAccountant::NodeId node);
+                                       MemoryAccountant::NodeId node,
+                                       IoTenantId tenant = kDefaultIoTenant);
 
   const MsdfFileInfo& info() const { return info_; }
 
@@ -137,6 +139,7 @@ class MsdfReader {
   FileHandle handle_;              // whole-blob mode
   const ObjectStore* range_store_ = nullptr;  // ranged mode
   IoScheduler* io_ = nullptr;      // cached mode
+  IoTenantId tenant_ = kDefaultIoTenant;  // cached-mode route + stats owner
   std::string name_;
   MsdfFileInfo info_;
   MemoryAccountant* accountant_ = nullptr;
