@@ -23,6 +23,14 @@
 // payload-bytes/s bar on the image corpus, or (arena on vs off vs reference)
 // serves a byte-divergent batch — wired into ctest so the bench can never
 // silently rot.
+//
+// `--telemetry-smoke` is the telemetry-overhead gate (its own ctest entry):
+// it streams a full cached Session — the path that carries every span site
+// and registry collector — with telemetry on and off in alternating trials,
+// and exits nonzero if telemetry-on tokens/s falls below 97% of telemetry-off
+// (best of 3 trials each, so a scheduler hiccup cannot fail the gate).
+// BENCH_telemetry.json records the ledger numbers.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -31,6 +39,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/api/session.h"
 #include "src/constructor/reference_assembly.h"
 #include "src/loader/source_loader.h"
 #include "src/mesh/selective_broadcast.h"
@@ -433,13 +442,91 @@ int RunScenario(const Scenario& s, int iters, bool smoke) {
   return failures;
 }
 
+// ---------------------------------------------------------------------------
+// Telemetry overhead gate: a full Session stream (prefetch pipeline, block
+// cache, scheduler — every span site and collector live) with telemetry on
+// must stay within 3% tokens/s of the same stream with telemetry off.
+// ---------------------------------------------------------------------------
+
+double StreamSessionTokensPerSec(bool telemetry, int64_t steps) {
+  Session::Options options;
+  options.corpus = MakeNavitData(11, 2);
+  options.spec = {.dp = 2, .pp = 1, .cp = 1, .tp = 1};
+  options.num_microbatches = 2;
+  options.samples_per_step = 16;
+  options.max_seq_len = 1024;
+  options.rows_per_file_override = 96;
+  options.loader_workers = 1;
+  options.prefetch_depth = 2;
+  options.row_group_bytes = 8 * kKiB;
+  options.block_cache_bytes = 32 * kMiB;  // zero-latency store: compute-bound,
+  options.telemetry_enabled = telemetry;  // so telemetry cost is maximally visible
+  Result<std::unique_ptr<Session>> session = Session::Create(options);
+  MSD_CHECK(session.ok());
+  const int32_t world = (*session)->tree().spec().WorldSize();
+  auto pull_step = [&session, world]() {
+    int64_t tokens = 0;
+    for (int32_t rank = 0; rank < world; ++rank) {
+      Result<RankBatch> batch = (*session)->client(rank).value()->NextBatch();
+      MSD_CHECK(batch.ok());
+      for (const Microbatch& mb : batch->microbatches) {
+        for (const PackedSequence& seq : mb.sequences) {
+          tokens += static_cast<int64_t>(seq.tokens.size());
+        }
+      }
+    }
+    return tokens;
+  };
+  pull_step();  // warm-up: cache fill + pipeline spin-up
+  auto t0 = std::chrono::steady_clock::now();
+  int64_t tokens = 0;
+  for (int64_t s = 0; s < steps; ++s) {
+    tokens += pull_step();
+  }
+  return static_cast<double>(tokens) / Seconds(t0);
+}
+
+int RunTelemetrySmoke() {
+  bench::PrintHeader(
+      "telemetry overhead — full session stream, registry + tracer on vs off",
+      "observability must be effectively free: spans are one POD copy into a "
+      "ring, counters are relaxed atomics, collectors run only at scrape time");
+  constexpr int kTrials = 3;
+  constexpr int64_t kSteps = 8;
+  constexpr double kMinRatio = 0.97;
+  double best_on = 0.0;
+  double best_off = 0.0;
+  // Alternate modes so drift (thermal, cache residency) hits both equally.
+  for (int t = 0; t < kTrials; ++t) {
+    best_off = std::max(best_off, StreamSessionTokensPerSec(false, kSteps));
+    best_on = std::max(best_on, StreamSessionTokensPerSec(true, kSteps));
+  }
+  const double ratio = best_on / best_off;
+  bench::PrintRow("telemetry off (best of 3)", best_off / 1e6, "Mtok/s");
+  bench::PrintRow("telemetry on  (best of 3)", best_on / 1e6, "Mtok/s");
+  bench::PrintRow("on/off tokens/s ratio", ratio, "x");
+  bench::PrintRow("overhead", (1.0 - ratio) * 100.0, "%");
+  if (ratio < kMinRatio) {
+    std::printf("  FAIL: telemetry costs %.1f%% tokens/s (budget: 3%%)\n",
+                (1.0 - ratio) * 100.0);
+    return 1;
+  }
+  std::printf("  telemetry overhead within the 3%% budget\n");
+  return 0;
+}
+
 }  // namespace
 }  // namespace msd
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool telemetry_smoke = false;
   for (int i = 1; i < argc; ++i) {
     smoke = smoke || std::strcmp(argv[i], "--smoke") == 0;
+    telemetry_smoke = telemetry_smoke || std::strcmp(argv[i], "--telemetry-smoke") == 0;
+  }
+  if (telemetry_smoke) {
+    return msd::RunTelemetrySmoke();
   }
   using msd::Scenario;
   std::vector<Scenario> scenarios;

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "src/common/logging.h"
+#include "src/telemetry/trace.h"
 
 namespace msd {
 
@@ -318,7 +319,12 @@ Result<RankBatch> PrefetchPipeline::GatedFetch(std::unique_lock<std::mutex>& loc
   }
   ++active_fetches_;
   lock.unlock();
-  Result<RankBatch> batch = fetch_(rank, step);
+  Result<RankBatch> batch = [&] {
+    ScopedSpan span(config_.tracer, "step.fetch", "step", config_.tenant, step, rank);
+    Result<RankBatch> r = fetch_(rank, step);
+    span.set_ok(r.ok());
+    return r;
+  }();
   lock.lock();
   --active_fetches_;
   cv_.notify_all();
@@ -346,7 +352,20 @@ Result<RankBatch> PrefetchPipeline::NextBatch(int32_t rank) {
     ++stall.pulls;
     if (!ready) {
       ++stall.stalls;
-      stall.wait_ms += MsSince(wait_t0);
+      const double waited_ms = MsSince(wait_t0);
+      stall.wait_ms += waited_ms;
+      if (config_.tracer != nullptr) {
+        TraceSpan span;
+        span.name = "step.stall";
+        span.cat = "step";
+        span.dur_us = static_cast<int64_t>(waited_ms * 1000.0);
+        span.ts_us = config_.tracer->NowUs() - span.dur_us;
+        span.tenant = config_.tenant;
+        span.step = step;
+        span.rank = rank;
+        span.ok = produced.ok();
+        config_.tracer->Record(span);
+      }
     }
   }
   if (!produced.ok()) {

@@ -49,10 +49,13 @@
 #include "src/common/mpmc_queue.h"
 #include "src/common/status.h"
 #include "src/constructor/data_constructor.h"
+#include "src/io/block_cache.h"
 #include "src/loader/source_loader.h"
 #include "src/plan/dgraph.h"
 
 namespace msd {
+
+class StepTracer;
 
 // One fully produced step. The popped slices are retained (shared_ptr
 // aliases, never Sample copies) until retirement so a reshard can rebuild the
@@ -100,6 +103,11 @@ class PrefetchPipeline {
     // status. The callback may run control operations — Session uses it to
     // drive the watchdog while production is stuck on a dead loader.
     std::function<void(int64_t step, const Status& error)> on_produce_error;
+    // Telemetry (src/telemetry/trace.h): records step.fetch spans around
+    // rank pulls and step.stall spans when a pull blocks on production,
+    // attributed to `tenant`. Not owned; nullptr = no tracing.
+    StepTracer* tracer = nullptr;
+    IoTenantId tenant = kDefaultIoTenant;
   };
 
   // Per-rank stall histogram over the streaming path (NextBatch): how often

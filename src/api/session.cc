@@ -13,6 +13,7 @@
 #include "src/data/transform.h"
 #include "src/service/shared_plane.h"
 #include "src/storage/wire.h"
+#include "src/telemetry/bridge.h"
 
 namespace msd {
 
@@ -21,6 +22,14 @@ Session::Session(Options options)
       tree_(ClientPlaceTree::FromDeviceMesh(options_.spec, options_.num_microbatches)) {}
 
 Session::~Session() {
+  if (metrics_view_ != nullptr && metrics_collector_ >= 0) {
+    // Unregister before any teardown: RemoveCollector blocks until no
+    // Snapshot() is mid-flight, so a concurrent scrape can never run our
+    // collector against a half-destroyed session — the pipeline/planner it
+    // reads are still fully alive here. Matters most when the registry is a
+    // shared plane's, which outlives this session.
+    metrics_view_->RemoveCollector(metrics_collector_);
+  }
   if (pipeline_ != nullptr) {
     pipeline_->Stop();  // join the producer before tearing down the actors
   }
@@ -81,6 +90,9 @@ Result<std::unique_ptr<Session>> Session::Create(Options options) {
   }
   if (options.io_retry.max_attempts < 1 || options.produce_retry_attempts < 1) {
     return Status::InvalidArgument("retry budgets must be >= 1 attempt");
+  }
+  if (options.trace_ring_spans < 0) {
+    return Status::InvalidArgument("trace_ring_spans must be >= 0 (0 = no tracing)");
   }
   if (options.quarantine_after_failures < 0 || options.loader_rpc_timeout_ms < 0 ||
       options.watchdog_interval_ms < 0 || options.watchdog_heartbeat_timeout_ms < 0) {
@@ -168,6 +180,34 @@ Strategy Session::BuildStrategy() const {
 }
 
 Status Session::Initialize() {
+  // 0a. Telemetry plane: the registry/tracer every subsystem below exports
+  // into. A plane-bound session adopts the PLANE's (one registry per plane
+  // keeps operator snapshots cross-tenant consistent and one trace ring
+  // interleaves every tenant's spans); an owned session stands up its own.
+  if (options_.telemetry_enabled) {
+    if (options_.shared_plane != nullptr) {
+      metrics_view_ = options_.shared_plane->metrics();
+      tracer_view_ = options_.shared_plane->tracer();
+    } else {
+      metrics_ = std::make_unique<MetricsRegistry>();
+      metrics_view_ = metrics_.get();
+      if (options_.trace_ring_spans > 0) {
+        tracer_ = std::make_unique<StepTracer>(static_cast<size_t>(options_.trace_ring_spans));
+        tracer_view_ = tracer_.get();
+      }
+    }
+  }
+  if (metrics_view_ != nullptr) {
+    // Producer-path latency histograms. Tenant-labelled on a shared plane so
+    // co-hosted jobs' planning/production costs stay separable.
+    const IoTenantId label =
+        options_.shared_plane != nullptr ? options_.io_tenant : kMetricNoTenant;
+    plan_ms_hist_ = metrics_view_->GetHistogram(
+        "msd_step_plan_ms", {0.5, 1, 2.5, 5, 10, 25, 50, 100, 250}, label);
+    produce_ms_hist_ = metrics_view_->GetHistogram(
+        "msd_step_produce_ms", {1, 2.5, 5, 10, 25, 50, 100, 250, 1000}, label);
+  }
+
   // 0. Durable GCS: attach the disk-backed write-through before anything
   // journals state, so every plan/snapshot write from step 0 on survives
   // the process. A shared-plane session uses the plane's store under its
@@ -253,6 +293,7 @@ Status Session::Initialize() {
     io_config.max_inflight = static_cast<int32_t>(io_config.threads);
     io_config.retry = options_.io_retry;
     io_config.hedge = options_.io_hedge;
+    io_config.tracer = tracer_view_;
     io_ = std::make_unique<IoScheduler>(loader_store, block_cache_.get(), io_config);
     cache_view_ = block_cache_.get();
     io_view_ = io_.get();
@@ -412,6 +453,8 @@ Status Session::Initialize() {
   pipeline_config.depth = options_.prefetch_depth;
   pipeline_config.start_step = start_step_;
   pipeline_config.produce_max_attempts = options_.produce_retry_attempts;
+  pipeline_config.tracer = tracer_view_;
+  pipeline_config.tenant = options_.io_tenant;
   if (watchdog_ != nullptr) {
     // Scan while production is stuck retrying: a dead loader's gather fails
     // every attempt, and the only way out is the shadow promotion this
@@ -461,6 +504,58 @@ Status Session::Initialize() {
         return BuildConstructors(plan, slices);
       },
       [this](int64_t step) { ReleaseStepOnConstructors(step); });
+
+  // 9. Register this session's collector with the registry. An owned session
+  // bridges its whole stack; a plane-bound one contributes only the series
+  // the plane cannot see (pipeline progress, quarantine), tenant-labelled —
+  // the plane's own collector covers cache/scheduler/storage for every
+  // tenant, so no series is ever emitted twice.
+  if (metrics_view_ != nullptr) {
+    const bool shared = options_.shared_plane != nullptr;
+    metrics_collector_ = metrics_view_->AddCollector(
+        [this, shared](std::vector<MetricPoint>* out) {
+          const IoTenantId label = shared ? options_.io_tenant : kMetricNoTenant;
+          AppendPipelineMetrics(pipeline_->stats(), label, out);
+          if (options_.quarantine_after_failures > 0) {
+            MetricPoint q;
+            q.name = "msd_sources_quarantined";
+            q.kind = MetricKind::kGauge;
+            q.tenant = label;
+            q.value = static_cast<double>(
+                system_.Ask<int64_t>(*planner_, [p = planner_.get()] {
+                  return static_cast<int64_t>(p->quarantined_loaders().size());
+                }));
+            out->push_back(std::move(q));
+          }
+          if (shared) {
+            return;
+          }
+          if (cache_view_ != nullptr) {
+            AppendCacheMetrics(cache_view_->stats(), kMetricNoTenant, out);
+          }
+          if (io_view_ != nullptr) {
+            AppendSchedulerMetrics(io_view_->stats(), kMetricNoTenant, out);
+          }
+          if (remote_store_ != nullptr) {
+            AppendStorageMetrics(remote_store_->gets(), remote_store_->bytes_served(),
+                                 kMetricNoTenant, out);
+          }
+          if (fault_store_ != nullptr) {
+            AppendFaultMetrics(fault_store_->faults_injected(),
+                               fault_store_->corruptions_injected(),
+                               fault_store_->brownout_failures(), kMetricNoTenant, out);
+          }
+          if (watchdog_ != nullptr) {
+            MetricPoint w;
+            w.name = "msd_watchdog_detections_total";
+            w.kind = MetricKind::kCounter;
+            w.value = static_cast<double>(watchdog_->detections());
+            out->push_back(std::move(w));
+          }
+          AppendPayloadMetrics(out);
+        });
+  }
+
   pipeline_->Start();
   return Status::Ok();
 }
@@ -685,8 +780,14 @@ Result<std::string> Session::Checkpoint(const std::string& dir,
 // lockstep loop so results are byte-identical), build all constructors
 // concurrently, and retain the slices for rebuild-after-reshard.
 Result<ProducedStep> Session::ProduceStep(int64_t step) {
-  Result<LoadingPlan> plan_result = system_.Ask<Result<LoadingPlan>>(
-      *planner_, [p = planner_.get(), step] { return p->GetPlan(step); });
+  const auto produce_t0 = std::chrono::steady_clock::now();
+  Result<LoadingPlan> plan_result = [&] {
+    ScopedSpan span(tracer_view_, "step.plan", "step", options_.io_tenant, step);
+    Result<LoadingPlan> r = system_.Ask<Result<LoadingPlan>>(
+        *planner_, [p = planner_.get(), step] { return p->GetPlan(step); });
+    span.set_ok(r.ok());
+    return r;
+  }();
   if (!plan_result.ok()) {
     return plan_result.status();
   }
@@ -747,38 +848,55 @@ Result<ProducedStep> Session::ProduceStep(int64_t step) {
                            : 0;
 
   // Split each loader slice per constructor (shared_ptr bumps, no copies).
+  // The step.pop span covers the gather: the fan-out above is non-blocking,
+  // so the wall time the producer spends on pops is all here.
   produced.slices_per_constructor.resize(constructors_.size());
-  for (auto& [loader_id, future] : pops) {
-    Result<SampleSlice> slice = Status::Internal("pop never resolved");
-    if (pop_deadline_ms > 0 && future.wait_for(std::chrono::milliseconds(pop_deadline_ms)) !=
-                                   std::future_status::ready) {
-      slice = RecoverHungPop(loader_id, step, ids_by_loader[loader_id]);
-    } else {
-      slice = future.get();
-    }
-    if (!slice.ok()) {
-      return slice.status();
-    }
-    std::vector<SampleSlice> split(constructors_.size());
-    for (SampleSlice& s : split) {
-      s.step = slice->step;
-      s.loader_id = slice->loader_id;
-      s.end_of_stream = slice->end_of_stream;
-    }
-    for (std::shared_ptr<Sample>& sample : slice->samples) {
-      auto owner = ci_of_sample.find(sample->meta.sample_id);
-      if (owner != ci_of_sample.end()) {
-        split[owner->second].samples.push_back(std::move(sample));
+  Status popped = [&]() -> Status {
+    ScopedSpan span(tracer_view_, "step.pop", "step", options_.io_tenant, step);
+    for (auto& [loader_id, future] : pops) {
+      Result<SampleSlice> slice = Status::Internal("pop never resolved");
+      if (pop_deadline_ms > 0 && future.wait_for(std::chrono::milliseconds(pop_deadline_ms)) !=
+                                     std::future_status::ready) {
+        slice = RecoverHungPop(loader_id, step, ids_by_loader[loader_id]);
+      } else {
+        slice = future.get();
+      }
+      if (!slice.ok()) {
+        span.set_ok(false);
+        return slice.status();
+      }
+      std::vector<SampleSlice> split(constructors_.size());
+      for (SampleSlice& s : split) {
+        s.step = slice->step;
+        s.loader_id = slice->loader_id;
+        s.end_of_stream = slice->end_of_stream;
+      }
+      for (std::shared_ptr<Sample>& sample : slice->samples) {
+        auto owner = ci_of_sample.find(sample->meta.sample_id);
+        if (owner != ci_of_sample.end()) {
+          split[owner->second].samples.push_back(std::move(sample));
+        }
+      }
+      for (size_t ci = 0; ci < split.size(); ++ci) {
+        if (!split[ci].samples.empty()) {
+          produced.slices_per_constructor[ci].push_back(std::move(split[ci]));
+        }
       }
     }
-    for (size_t ci = 0; ci < split.size(); ++ci) {
-      if (!split[ci].samples.empty()) {
-        produced.slices_per_constructor[ci].push_back(std::move(split[ci]));
-      }
-    }
+    return Status::Ok();
+  }();
+  if (!popped.ok()) {
+    return popped;
   }
 
-  MSD_RETURN_IF_ERROR(BuildConstructors(plan, produced.slices_per_constructor));
+  {
+    ScopedSpan span(tracer_view_, "step.build", "step", options_.io_tenant, step);
+    Status built = BuildConstructors(plan, produced.slices_per_constructor);
+    span.set_ok(built.ok());
+    if (!built.ok()) {
+      return built;
+    }
+  }
 
   if (ft_ != nullptr) {
     MSD_RETURN_IF_ERROR(ft_->OnPlanExecuted(plan));
@@ -828,6 +946,14 @@ Result<ProducedStep> Session::ProduceStep(int64_t step) {
   produced.dp_imbalance = Imbalance(plan.BucketLoads());
   produced.plan_compute_ms = system_.Ask<double>(
       *planner_, [p = planner_.get()] { return p->last_timings().compute_ms; });
+  if (plan_ms_hist_ != nullptr) {
+    plan_ms_hist_->Observe(produced.plan_compute_ms);
+  }
+  if (produce_ms_hist_ != nullptr) {
+    produce_ms_hist_->Observe(std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() - produce_t0)
+                                  .count());
+  }
   return produced;
 }
 
@@ -966,15 +1092,35 @@ Session::IoStats Session::io_stats() {
   IoStats stats;
   stats.enabled = io_view_ != nullptr;
   stats.shared = options_.shared_plane != nullptr;
+  // Aggregate + tenant slice from ONE locked pass each (SnapshotAll), so the
+  // slice is exactly this session's share of the aggregate even mid-stream —
+  // separate stats()/tenant_stats() calls could tear between the two. The
+  // same pass backs the plane's registry collector (src/telemetry/bridge.h).
   if (cache_view_ != nullptr) {
-    stats.cache = cache_view_->stats();
-    stats.cache_tenant =
-        stats.shared ? cache_view_->tenant_stats(options_.io_tenant) : stats.cache;
+    if (stats.shared) {
+      std::map<IoTenantId, BlockCache::Stats> per_tenant;
+      cache_view_->SnapshotAll(&stats.cache, &per_tenant);
+      auto it = per_tenant.find(options_.io_tenant);
+      if (it != per_tenant.end()) {
+        stats.cache_tenant = it->second;
+      }
+    } else {
+      stats.cache = cache_view_->stats();
+      stats.cache_tenant = stats.cache;
+    }
   }
   if (io_view_ != nullptr) {
-    stats.scheduler = io_view_->stats();
-    stats.scheduler_tenant =
-        stats.shared ? io_view_->tenant_stats(options_.io_tenant) : stats.scheduler;
+    if (stats.shared) {
+      std::map<IoTenantId, IoScheduler::Stats> per_tenant;
+      io_view_->SnapshotAll(&stats.scheduler, &per_tenant);
+      auto it = per_tenant.find(options_.io_tenant);
+      if (it != per_tenant.end()) {
+        stats.scheduler_tenant = it->second;
+      }
+    } else {
+      stats.scheduler = io_view_->stats();
+      stats.scheduler_tenant = stats.scheduler;
+    }
   }
   if (remote_store_ != nullptr) {
     stats.storage_gets = remote_store_->gets();
@@ -998,6 +1144,14 @@ Session::IoStats Session::io_stats() {
     stats.watchdog_detections = watchdog_->detections();
   }
   return stats;
+}
+
+Status Session::DumpTrace(const std::string& path) {
+  if (tracer_view_ == nullptr) {
+    return Status::FailedPrecondition(
+        "tracing is off for this session (telemetry disabled or trace_ring_spans = 0)");
+  }
+  return tracer_view_->DumpChromeTrace(path);
 }
 
 FaultInjectingStore* Session::fault_store() {
@@ -1395,6 +1549,14 @@ SessionBuilder& SessionBuilder::WithSharedIoPlane(SharedIoPlane* plane, IoTenant
 }
 SessionBuilder& SessionBuilder::WithGcsNamespace(std::string ns) {
   options_.gcs_namespace = std::move(ns);
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithTelemetry(bool enabled) {
+  options_.telemetry_enabled = enabled;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithTraceRing(int64_t spans) {
+  options_.trace_ring_spans = spans;
   return *this;
 }
 

@@ -63,6 +63,8 @@
 #include "src/planner/planner.h"
 #include "src/planner/strategies.h"
 #include "src/storage/object_store.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 
 namespace msd {
 
@@ -198,10 +200,26 @@ class Session {
     // Namespace for durable GCS state on the shared plane ("gcs/<ns>/").
     // Empty with a shared plane = the bare "gcs/" prefix (single tenant).
     std::string gcs_namespace;
+    // ---- Telemetry (src/telemetry/) ----
+    // Master switch for the metrics registry + step tracer. On by default —
+    // the hot-path cost is a handful of relaxed atomics per step (the
+    // BENCH_telemetry.json gate holds it under 3% of tokens/s). A session
+    // bound to a shared plane uses the PLANE's registry/tracer (so operator
+    // snapshots stay cross-tenant consistent); turning this off there only
+    // stops the session registering its own pipeline/quarantine series.
+    bool telemetry_enabled = true;
+    // Spans retained in the step tracer's in-memory ring before the oldest
+    // are overwritten. 0 = no tracing (metrics stay on). Ignored with a
+    // shared plane — the plane's ring (and its sizing knob) is used instead.
+    int64_t trace_ring_spans = 4096;
   };
 
   // Per-step observability snapshot: planner quality, pipeline progress,
   // io-subsystem counters, and payload-plane allocation/copy accounting.
+  // The io/payload fields are views over the same consistent cuts the
+  // telemetry registry exports (src/telemetry/bridge.h), so these numbers
+  // and `DataService::MetricsSnapshot()` can never disagree. On a shared
+  // plane the io counters are this session's tenant-attributed slice.
   struct StepStats {
     /// Step index these stats describe.
     int64_t step = 0;
@@ -224,17 +242,22 @@ class Session {
     /// Per-rank blocked-pull histogram (count + total wait), indexed by rank;
     /// empty before any streaming pull. Localizes which ranks outrun builds.
     std::vector<PrefetchPipeline::RankStall> rank_stalls;
-    /// Cumulative block-cache hits (zero when src/io/ is disabled).
+    /// Cumulative block-cache hits — memory-tier, spill, and (on a shared
+    /// plane) cross-tenant dedup hits alike (zero when src/io/ is disabled).
     int64_t cache_hits = 0;
-    /// Cumulative block-cache misses.
+    /// Cumulative block-cache misses (the checksum path drops corrupt blocks
+    /// and recounts the re-read as a miss, so hits + misses == lookups).
     int64_t cache_misses = 0;
-    /// Cumulative block-cache evictions (memory tier).
+    /// Cumulative block-cache evictions (memory tier; evicted blocks may
+    /// live on in the disk spill tier and return as spill hits above).
     int64_t cache_evictions = 0;
     /// Reads that coalesced onto an already-in-flight backing Get.
     int64_t io_coalesced = 0;
     /// Read-ahead prefetch fetches issued by the loaders.
     int64_t readahead_issued = 0;
-    /// Backing Gets the (latency-injecting) store actually served.
+    /// Backing Gets the (latency-injecting) store actually served. On a
+    /// shared plane this is the plane-wide count: the backing store has no
+    /// tenant dimension (coalescing merges tenants' reads into one Get).
     int64_t storage_gets = 0;
     /// Cumulative token bytes frozen into immutable buffers (payload plane).
     int64_t token_bytes_frozen = 0;
@@ -263,9 +286,14 @@ class Session {
     /// aggregate views then include other tenants' traffic — the per-tenant
     /// views below isolate this session's share.
     bool shared = false;
-    /// Block-cache counters (hits/misses/evictions/spills/corruption drops).
+    /// Block-cache counters: lookups/hits/misses/insertions/evictions, the
+    /// disk-spill tier (writes + hits), checksum corruption drops, and — on
+    /// a shared plane — cross-tenant dedup hits and resident bytes.
     BlockCache::Stats cache;
-    /// Scheduler counters (issued, coalesced, prefetch issues).
+    /// Scheduler counters: the request ladder (requests = cache hits +
+    /// coalesced + issued Gets), prefetch issues, the retry ladder
+    /// (retries / successes / exhausted / failed), hedges launched and won,
+    /// abandoned reads, and invalidations.
     IoScheduler::Stats scheduler;
     /// This session's tenant-attributed slice of the cache counters (equals
     /// `cache` for an owned, single-tenant plane).
@@ -343,7 +371,20 @@ class Session {
   PrefetchPipeline::Stats pipeline_stats() const;
   // Remote-storage I/O counters (cache, scheduler, backing store, chaos
   // plane). Non-const: the quarantine count is gathered from the planner.
+  // The aggregate and tenant slices come from one locked pass each
+  // (SnapshotAll), so on a shared plane the tenant slice is exactly the
+  // session's share of the aggregate even while neighbours stream.
   IoStats io_stats();
+  // Telemetry (src/telemetry/): the registry this session's subsystems
+  // export into — session-owned, or the shared plane's when bound to one.
+  // Null when telemetry is disabled.
+  MetricsRegistry* metrics() { return metrics_view_; }
+  // The step tracer capturing plan/pop/build/fetch/stall/io spans. Null
+  // when tracing is off (trace_ring_spans = 0 or telemetry disabled).
+  StepTracer* tracer() { return tracer_view_; }
+  // Writes the retained trace ring as Chrome trace-event JSON (load in
+  // chrome://tracing or ui.perfetto.dev). Fails when tracing is off.
+  Status DumpTrace(const std::string& path);
   // Loaders the planner currently holds in quarantine
   // (loader_id -> step the quarantine started at). Empty when healthy.
   std::map<int32_t, int64_t> QuarantinedLoaders();
@@ -408,6 +449,18 @@ class Session {
   Options options_;
   MemoryAccountant memory_;
   ObjectStore store_{&memory_};
+  // Telemetry plane (src/telemetry/). Declared before the io members so the
+  // scheduler/pipeline holding a tracer pointer are destroyed first.
+  std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<StepTracer> tracer_;
+  // The registry/tracer actually in use: the owned ones above, or the shared
+  // plane's (non-owning) when options_.shared_plane is set.
+  MetricsRegistry* metrics_view_ = nullptr;
+  StepTracer* tracer_view_ = nullptr;
+  int64_t metrics_collector_ = -1;  // AddCollector handle (-1 = none)
+  // Producer-path instruments (owned by the registry; cached pointers).
+  Histogram* plan_ms_hist_ = nullptr;
+  Histogram* produce_ms_hist_ = nullptr;
   // Remote-storage I/O subsystem (src/io/). Declared before system_ so the
   // loaders (actors) holding pointers die first.
   std::unique_ptr<LatencyInjectingStore> remote_store_;  // latency decorator
@@ -554,6 +607,10 @@ class SessionBuilder {
                                     IoTenantId tenant = kDefaultIoTenant);
   /// Namespace for durable GCS state on the shared plane ("gcs/<ns>/").
   SessionBuilder& WithGcsNamespace(std::string ns);
+  /// Master switch for the metrics registry + step tracer (on by default).
+  SessionBuilder& WithTelemetry(bool enabled = true);
+  /// Spans retained in the trace ring (0 = no tracing, metrics stay on).
+  SessionBuilder& WithTraceRing(int64_t spans);
 
   /// Materializes the corpus, spawns the actors, starts the prefetch
   /// pipeline, and returns the ready Session.

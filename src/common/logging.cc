@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 #include <mutex>
+#include <utility>
 
 namespace msd {
 
@@ -11,6 +12,7 @@ namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
 std::mutex g_log_mutex;
+LogSink g_log_sink;  // guarded by g_log_mutex; empty = stderr
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -37,6 +39,11 @@ void SetLogLevel(LogLevel level) { g_min_level.store(static_cast<int>(level)); }
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_min_level.load()); }
 
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  g_log_sink = std::move(sink);
+}
+
 void LogV(LogLevel level, const char* file, int line, const char* fmt, ...) {
   if (static_cast<int>(level) < g_min_level.load(std::memory_order_relaxed)) {
     return;
@@ -47,6 +54,10 @@ void LogV(LogLevel level, const char* file, int line, const char* fmt, ...) {
   std::vsnprintf(body, sizeof(body), fmt, args);
   va_end(args);
   std::lock_guard<std::mutex> lock(g_log_mutex);
+  if (g_log_sink) {
+    g_log_sink(level, file, line, body);
+    return;
+  }
   std::fprintf(stderr, "[%s %s:%d] %s\n", LevelTag(level), Basename(file), line, body);
 }
 

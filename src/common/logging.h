@@ -1,8 +1,17 @@
 // Minimal leveled logger. Thread-safe; printf-style formatting.
+//
+// Output goes to stderr by default; SetLogSink redirects every emitted line
+// to a callback instead (tests assert on warnings, services forward them to
+// their own log plane). MSD_LOG_WARN_EVERY_N rate-limits per call site so
+// chaos/retry hot paths cannot spam — the 1st, (n+1)th, (2n+1)th ... hits
+// emit, the rest are counted and dropped.
 #ifndef SRC_COMMON_LOGGING_H_
 #define SRC_COMMON_LOGGING_H_
 
+#include <atomic>
 #include <cstdarg>
+#include <cstdint>
+#include <functional>
 
 namespace msd {
 
@@ -11,6 +20,16 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 // Sets the minimum level that will be emitted (default kInfo).
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+// Receives every emitted log line (already level-filtered): the level, the
+// call site, and the formatted message body (no trailing newline).
+using LogSink = std::function<void(LogLevel level, const char* file, int line,
+                                   const char* message)>;
+
+// Installs `sink` as the destination for all subsequent log lines; a null
+// sink restores the default stderr writer. The sink runs under the logger's
+// mutex — keep it cheap and never log from inside it.
+void SetLogSink(LogSink sink);
 
 // Core printf-style log entry point; prefer the MSD_LOG_* macros.
 void LogV(LogLevel level, const char* file, int line, const char* fmt, ...)
@@ -22,5 +41,17 @@ void LogV(LogLevel level, const char* file, int line, const char* fmt, ...)
 #define MSD_LOG_INFO(...) ::msd::LogV(::msd::LogLevel::kInfo, __FILE__, __LINE__, __VA_ARGS__)
 #define MSD_LOG_WARN(...) ::msd::LogV(::msd::LogLevel::kWarn, __FILE__, __LINE__, __VA_ARGS__)
 #define MSD_LOG_ERROR(...) ::msd::LogV(::msd::LogLevel::kError, __FILE__, __LINE__, __VA_ARGS__)
+
+// Emits on the 1st and every nth hit of THIS call site (per-site atomic
+// counter); everything in between is suppressed. For per-occurrence warnings
+// on paths that can fire thousands of times under chaos (retry loops,
+// unreadable-footer scans).
+#define MSD_LOG_WARN_EVERY_N(n, ...)                                                      \
+  do {                                                                                    \
+    static ::std::atomic<int64_t> msd_warn_every_n_count{0};                              \
+    if (msd_warn_every_n_count.fetch_add(1, ::std::memory_order_relaxed) % (n) == 0) {    \
+      ::msd::LogV(::msd::LogLevel::kWarn, __FILE__, __LINE__, __VA_ARGS__);               \
+    }                                                                                     \
+  } while (0)
 
 #endif  // SRC_COMMON_LOGGING_H_

@@ -63,7 +63,10 @@ class Pow2Histogram {
 // Exact empirical CDF over stored samples (fine for <=1e6 points).
 class EmpiricalCdf {
  public:
-  void Add(double x) { values_.push_back(x); }
+  void Add(double x) {
+    values_.push_back(x);
+    sorted_ = false;  // a sample after a lazy sort must invalidate the order
+  }
   // Quantile in [0,1]; requires at least one sample.
   double Quantile(double q) const;
   size_t size() const { return values_.size(); }

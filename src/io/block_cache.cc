@@ -338,6 +338,46 @@ BlockCache::Stats BlockCache::tenant_stats(IoTenantId tenant) const {
   return total;
 }
 
+void BlockCache::SnapshotAll(Stats* aggregate, std::map<IoTenantId, Stats>* per_tenant) const {
+  // One all-shard locked pass (index order, like stats()/tenant_stats()):
+  // every slice and the aggregate describe the same instant, so the exported
+  // snapshot can never be torn — per-tenant invariants hold and the tenant
+  // slices sum to the aggregate exactly.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    locks.emplace_back(shard->mu);
+  }
+  *aggregate = Stats{};
+  per_tenant->clear();
+  for (const auto& shard : shards_) {
+    aggregate->lookups += shard->stats.lookups;
+    aggregate->hits += shard->stats.hits;
+    aggregate->misses += shard->stats.misses;
+    aggregate->insertions += shard->stats.insertions;
+    aggregate->evictions += shard->stats.evictions;
+    aggregate->spill_writes += shard->stats.spill_writes;
+    aggregate->spill_hits += shard->stats.spill_hits;
+    aggregate->corruptions += shard->stats.corruptions;
+    aggregate->cross_tenant_hits += shard->stats.cross_tenant_hits;
+    aggregate->resident_bytes += shard->resident_bytes;
+    for (const auto& [id, tenant_shard] : shard->tenants) {
+      Stats& slice = (*per_tenant)[id];
+      const Stats& s = tenant_shard.stats;
+      slice.lookups += s.lookups;
+      slice.hits += s.hits;
+      slice.misses += s.misses;
+      slice.insertions += s.insertions;
+      slice.evictions += s.evictions;
+      slice.spill_writes += s.spill_writes;
+      slice.spill_hits += s.spill_hits;
+      slice.corruptions += s.corruptions;
+      slice.cross_tenant_hits += s.cross_tenant_hits;
+      slice.resident_bytes += tenant_shard.resident_bytes;
+    }
+  }
+}
+
 bool BlockCache::CorruptResidentBlockForTest(const BlockKey& key) {
   const std::string flat = FlattenBlockKey(key);
   Shard& shard = ShardFor(flat);

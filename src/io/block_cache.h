@@ -120,6 +120,12 @@ class BlockCache {
   // requesting tenant, insertions to the inserter, evictions and resident
   // bytes to the entry's owner.
   Stats tenant_stats(IoTenantId tenant) const;
+  // Aggregate + every tenant slice from ONE all-shard locking pass, so the
+  // slices and the aggregate describe the same instant (the telemetry
+  // export's torn-snapshot guarantee: per-slice invariants hold AND the
+  // slices sum to the aggregate exactly). Tenants appear once they have any
+  // attributed activity or budget.
+  void SnapshotAll(Stats* aggregate, std::map<IoTenantId, Stats>* per_tenant) const;
   const Config& config() const { return config_; }
 
   // Test hook: flips one bit of the resident copy of `key` without updating

@@ -5,6 +5,7 @@
 
 #include "src/common/hash.h"
 #include "src/common/logging.h"
+#include "src/telemetry/trace.h"
 
 namespace msd {
 
@@ -325,7 +326,12 @@ void IoScheduler::HedgeTimerLoop() {
 }
 
 void IoScheduler::RunHedge(std::shared_ptr<HedgeRace> race) {
-  Result<std::string> bytes = race->store->Get(race->key.name, race->key.offset, race->key.length);
+  Result<std::string> bytes = [&] {
+    ScopedSpan span(config_.tracer, "io.hedge", "io", race->tenant);
+    Result<std::string> r = race->store->Get(race->key.name, race->key.offset, race->key.length);
+    span.set_ok(r.ok());
+    return r;
+  }();
   bool finisher = false;
   {
     std::lock_guard<std::mutex> rl(race->mu);
@@ -391,7 +397,13 @@ void IoScheduler::RunWorker(PendingFetch req) {
     // already have a second chance by definition.
     std::shared_ptr<HedgeRace> race = attempt == 0 ? MaybeArmHedge(req) : nullptr;
     const auto t0 = std::chrono::steady_clock::now();
-    Result<std::string> bytes = req.store->Get(req.key.name, req.key.offset, req.key.length);
+    Result<std::string> bytes = [&] {
+      ScopedSpan span(config_.tracer, attempt == 0 ? "io.get" : "io.retry", "io", req.tenant,
+                      /*step=*/-1, /*rank=*/-1, attempt);
+      Result<std::string> r = req.store->Get(req.key.name, req.key.offset, req.key.length);
+      span.set_ok(r.ok());
+      return r;
+    }();
     if (race != nullptr) {
       std::unique_lock<std::mutex> rl(race->mu);
       race->cancelled = true;  // the timer must not launch past this point
@@ -442,6 +454,8 @@ void IoScheduler::RunWorker(PendingFetch req) {
       std::lock_guard<std::mutex> lock(mu_);
       BumpLocked(req.tenant, &Stats::retries);
     }
+    MSD_LOG_WARN_EVERY_N(64, "retrying backing Get %s (attempt %d/%d): %s", req.route.c_str(),
+                         attempt + 1, max_attempts, bytes.status().message().c_str());
     std::this_thread::sleep_for(std::chrono::microseconds(BackoffDelayUs(attempt, jitter)));
   }
   if (!finished_elsewhere) {
@@ -477,6 +491,18 @@ IoScheduler::Stats IoScheduler::tenant_stats(IoTenantId tenant) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = tenants_.find(tenant);
   return it == tenants_.end() ? Stats{} : it->second.stats;
+}
+
+void IoScheduler::SnapshotAll(Stats* aggregate, std::map<IoTenantId, Stats>* per_tenant) const {
+  // One mutex acquisition for the aggregate AND every slice: the exported
+  // snapshot is a consistent cut (slices sum to the aggregate, per-slice
+  // invariants hold) even while workers are completing concurrently.
+  std::lock_guard<std::mutex> lock(mu_);
+  *aggregate = stats_;
+  per_tenant->clear();
+  for (const auto& [id, state] : tenants_) {
+    (*per_tenant)[id] = state.stats;
+  }
 }
 
 }  // namespace msd

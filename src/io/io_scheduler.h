@@ -64,6 +64,8 @@
 
 namespace msd {
 
+class StepTracer;
+
 class IoScheduler {
  public:
   // Bounded retries with exponential backoff + deterministic jitter.
@@ -93,6 +95,10 @@ class IoScheduler {
     int32_t max_inflight = 8;  // concurrent backing Gets (queue depth bound)
     RetryPolicy retry;
     HedgePolicy hedge;
+    // Telemetry (src/telemetry/trace.h): records one io.get / io.retry /
+    // io.hedge span per backing Get attempt, tenant-attributed. Not owned;
+    // must outlive the scheduler. nullptr = no tracing.
+    StepTracer* tracer = nullptr;
   };
 
   // Per-tenant scheduling knobs (src/service/ control plane). Tenants that
@@ -176,6 +182,11 @@ class IoScheduler {
   // Per-tenant view, attributed to the requesting tenant; taken under the
   // same mutex as the aggregate.
   Stats tenant_stats(IoTenantId tenant) const;
+  // Aggregate + every tenant slice under ONE mutex acquisition, so the
+  // exported snapshot cannot tear: per-slice invariants (requests ==
+  // cache_hits + coalesced + issued_gets) hold and the slices sum to the
+  // aggregate exactly, even mid-stream.
+  void SnapshotAll(Stats* aggregate, std::map<IoTenantId, Stats>* per_tenant) const;
   BlockCache* cache() { return cache_; }
   // The tenant's backing route: its private store if registered, else the
   // shared default store.

@@ -57,8 +57,11 @@ const MsdfFileInfo* ReadAhead::InfoFor(const std::string& name) {
         tail.ok() ? ParseMsdfTail(**tail, static_cast<uint64_t>(pending.file_size))
                   : Result<uint64_t>(tail.status());
     if (!footer_offset.ok()) {
-      MSD_LOG_WARN("read-ahead: footer of %s unreadable (%s); prefetch skips this file",
-                   name.c_str(), footer_offset.status().ToString().c_str());
+      // Rate-limited: under a storage brownout every file in the read-ahead
+      // window fails its footer parse each Advance, which is thousands of
+      // identical lines per second at full spam.
+      MSD_LOG_WARN_EVERY_N(32, "read-ahead: footer of %s unreadable (%s); prefetch skips this file",
+                           name.c_str(), footer_offset.status().ToString().c_str());
       failed_.insert(name);
       pending_.erase(it);
       return nullptr;

@@ -1,5 +1,6 @@
 #include "src/service/data_service.h"
 
+#include <chrono>
 #include <utility>
 
 namespace msd {
@@ -43,7 +44,8 @@ DataService::DataService(SharedIoPlaneConfig plane_config)
 
 // Member order tears tenants_ (the Sessions) down before plane_; each
 // ~Session drains its in-flight reads against the still-live scheduler.
-DataService::~DataService() = default;
+// The scrape thread goes first of all — it snapshots everything below.
+DataService::~DataService() { StopScrape(); }
 
 Status DataService::RegisterTenant(const std::string& name, TenantConfig config) {
   MSD_RETURN_IF_ERROR(ValidateTenantSession(config.session));
@@ -121,6 +123,101 @@ Result<DataService::TenantStats> DataService::tenant_stats(const std::string& na
   stats.cache = plane_->tenant_cache_stats(id);
   stats.scheduler = plane_->tenant_scheduler_stats(id);
   return stats;
+}
+
+DataService::ServiceSnapshot DataService::MetricsSnapshot() const {
+  ServiceSnapshot snap;
+  if (plane_->metrics() != nullptr) {
+    snap.telemetry = plane_->metrics()->Snapshot();
+  }
+  // Aggregate + every tenant slice from ONE locked pass per subsystem: the
+  // slices in snap.tenants sum to snap.cache/snap.scheduler by construction,
+  // with no window for a concurrent stream to tear them apart.
+  std::map<IoTenantId, BlockCache::Stats> cache_tenants;
+  plane_->cache()->SnapshotAll(&snap.cache, &cache_tenants);
+  std::map<IoTenantId, IoScheduler::Stats> scheduler_tenants;
+  plane_->scheduler()->SnapshotAll(&snap.scheduler, &scheduler_tenants);
+  snap.backing_gets = plane_->backing_gets();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, record] : tenants_) {
+    if (record.session == nullptr) {
+      continue;  // mid-registration reservation; nothing attributed yet
+    }
+    TenantStats stats;
+    stats.id = record.id;
+    auto cache_it = cache_tenants.find(record.id);
+    if (cache_it != cache_tenants.end()) {
+      stats.cache = cache_it->second;
+    }
+    auto scheduler_it = scheduler_tenants.find(record.id);
+    if (scheduler_it != scheduler_tenants.end()) {
+      stats.scheduler = scheduler_it->second;
+    }
+    snap.tenants.emplace(name, std::move(stats));
+  }
+  return snap;
+}
+
+std::string DataService::RenderPrometheus() const {
+  if (plane_->metrics() == nullptr) {
+    return "";
+  }
+  return msd::RenderPrometheus(plane_->metrics()->Snapshot());
+}
+
+std::string DataService::RenderJson() const {
+  if (plane_->metrics() == nullptr) {
+    return "{\"uptime_us\":0,\"metrics\":[]}";
+  }
+  return msd::RenderJson(plane_->metrics()->Snapshot());
+}
+
+Status DataService::DumpTrace(const std::string& path) const {
+  if (plane_->tracer() == nullptr) {
+    return Status::FailedPrecondition(
+        "plane tracing is off (telemetry disabled or trace_ring_spans = 0)");
+  }
+  return plane_->tracer()->DumpChromeTrace(path);
+}
+
+Status DataService::StartScrape(int64_t interval_ms, ScrapeFn fn) {
+  if (interval_ms <= 0) {
+    return Status::InvalidArgument("scrape interval must be > 0 ms");
+  }
+  if (fn == nullptr) {
+    return Status::InvalidArgument("scrape callback must be set");
+  }
+  std::lock_guard<std::mutex> lock(scrape_mu_);
+  if (scrape_thread_.joinable()) {
+    return Status::FailedPrecondition("a scrape is already running (StopScrape first)");
+  }
+  scrape_stop_ = false;
+  scrape_thread_ = std::thread([this, interval_ms, fn = std::move(fn)] {
+    std::unique_lock<std::mutex> lock(scrape_mu_);
+    while (!scrape_cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                                [this] { return scrape_stop_; })) {
+      // Snapshot outside scrape_mu_ so StopScrape never waits on a slow
+      // callback to observe the flag — only on the one in flight.
+      lock.unlock();
+      fn(MetricsSnapshot());
+      lock.lock();
+    }
+  });
+  return Status::Ok();
+}
+
+void DataService::StopScrape() {
+  std::thread worker;
+  {
+    std::lock_guard<std::mutex> lock(scrape_mu_);
+    if (!scrape_thread_.joinable()) {
+      return;
+    }
+    scrape_stop_ = true;
+    worker = std::move(scrape_thread_);
+  }
+  scrape_cv_.notify_all();
+  worker.join();
 }
 
 std::vector<std::string> DataService::tenant_names() const {

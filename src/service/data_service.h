@@ -25,10 +25,13 @@
 #ifndef SRC_SERVICE_DATA_SERVICE_H_
 #define SRC_SERVICE_DATA_SERVICE_H_
 
+#include <condition_variable>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/api/session.h"
@@ -83,6 +86,41 @@ class DataService {
   Result<TenantStats> tenant_stats(const std::string& name) const;
   std::vector<std::string> tenant_names() const;
 
+  // ---- Operator export surface (src/telemetry/) ----
+
+  // One consistent cut of the whole service: the registry's series (every
+  // subsystem's bridged counters + the sessions' pipeline series) plus
+  // struct-typed aggregate and per-tenant io slices for programmatic use.
+  struct ServiceSnapshot {
+    // Every registered series (render with msd::RenderPrometheus/RenderJson).
+    TelemetrySnapshot telemetry;
+    BlockCache::Stats cache;        // plane-wide aggregate
+    IoScheduler::Stats scheduler;   // plane-wide aggregate
+    // Per-tenant slices, keyed by tenant name. Taken from the SAME locked
+    // pass as the aggregates above, so the slices always sum to them —
+    // and each slice is what tenant_stats(name) reports at the same cut.
+    std::map<std::string, TenantStats> tenants;
+    // Backing Gets the shared store served, across all tenants.
+    int64_t backing_gets = 0;
+  };
+
+  ServiceSnapshot MetricsSnapshot() const;
+  // Prometheus text exposition / JSON of the registry's current snapshot.
+  // Empty registry (plane telemetry off) renders headers-only output.
+  std::string RenderPrometheus() const;
+  std::string RenderJson() const;
+  // Writes the plane's trace ring (every tenant's spans, one timeline) as
+  // Chrome trace-event JSON. Fails when plane tracing is off.
+  Status DumpTrace(const std::string& path) const;
+
+  // Periodic scrape hook: every `interval_ms` a background thread hands `fn`
+  // a fresh MetricsSnapshot() — wire it to a Prometheus pushgateway, a log
+  // shipper, or a test probe. One scrape at a time; StopScrape() (or
+  // destruction) joins the thread.
+  using ScrapeFn = std::function<void(const ServiceSnapshot&)>;
+  Status StartScrape(int64_t interval_ms, ScrapeFn fn);
+  void StopScrape();
+
   SharedIoPlane* plane() { return plane_.get(); }
   // Total backing Gets the shared store served — across all tenants.
   int64_t backing_gets() const { return plane_->backing_gets(); }
@@ -99,6 +137,12 @@ class DataService {
   std::unique_ptr<SharedIoPlane> plane_;
   mutable std::mutex mu_;
   std::map<std::string, TenantRecord> tenants_;
+
+  // Scrape thread state (StartScrape/StopScrape).
+  std::mutex scrape_mu_;
+  std::condition_variable scrape_cv_;
+  bool scrape_stop_ = false;
+  std::thread scrape_thread_;
 };
 
 }  // namespace msd

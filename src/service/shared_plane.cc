@@ -7,6 +7,7 @@
 #include "src/common/logging.h"
 #include "src/data/synthetic.h"
 #include "src/storage/wire.h"
+#include "src/telemetry/bridge.h"
 
 namespace msd {
 namespace {
@@ -57,6 +58,12 @@ SharedIoPlane::SharedIoPlane(SharedIoPlaneConfig config) : config_(std::move(con
       .capacity_bytes = config_.cache_bytes,
       .shards = config_.cache_shards,
       .spill = cache_spill_store_.get()});
+  if (config_.telemetry_enabled) {
+    metrics_ = std::make_unique<MetricsRegistry>();
+    if (config_.trace_ring_spans > 0) {
+      tracer_ = std::make_unique<StepTracer>(static_cast<size_t>(config_.trace_ring_spans));
+    }
+  }
   IoScheduler::Config io_config;
   io_config.threads = config_.io_threads > 0
                           ? config_.io_threads
@@ -64,10 +71,51 @@ SharedIoPlane::SharedIoPlane(SharedIoPlaneConfig config) : config_(std::move(con
   io_config.max_inflight = config_.max_inflight;
   io_config.retry = config_.retry;
   io_config.hedge = config_.hedge;
+  io_config.tracer = tracer_.get();
   io_ = std::make_unique<IoScheduler>(remote_store_.get(), cache_.get(), io_config);
+  if (metrics_ != nullptr) {
+    // The plane-wide collector: cache + scheduler aggregate AND every
+    // tenant's slice from one SnapshotAll pass each — so the exported slices
+    // always sum to the aggregate, even while tenants stream — plus the
+    // backing-store, per-tenant chaos, and payload-plane counters.
+    collector_ = metrics_->AddCollector([this](std::vector<MetricPoint>* out) {
+      BlockCache::Stats cache_agg;
+      std::map<IoTenantId, BlockCache::Stats> cache_tenants;
+      cache_->SnapshotAll(&cache_agg, &cache_tenants);
+      AppendCacheMetrics(cache_agg, kMetricNoTenant, out);
+      for (const auto& [id, slice] : cache_tenants) {
+        AppendCacheMetrics(slice, id, out);
+      }
+      IoScheduler::Stats io_agg;
+      std::map<IoTenantId, IoScheduler::Stats> io_tenants;
+      io_->SnapshotAll(&io_agg, &io_tenants);
+      AppendSchedulerMetrics(io_agg, kMetricNoTenant, out);
+      for (const auto& [id, slice] : io_tenants) {
+        AppendSchedulerMetrics(slice, id, out);
+      }
+      AppendStorageMetrics(remote_store_->gets(), remote_store_->bytes_served(),
+                           kMetricNoTenant, out);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto& [id, record] : tenants_) {
+          if (record.fault_store != nullptr) {
+            AppendFaultMetrics(record.fault_store->faults_injected(),
+                               record.fault_store->corruptions_injected(),
+                               record.fault_store->brownout_failures(), id, out);
+          }
+        }
+      }
+      AppendPayloadMetrics(out);
+    });
+  }
 }
 
 SharedIoPlane::~SharedIoPlane() {
+  if (metrics_ != nullptr && collector_ >= 0) {
+    // Block out any in-flight scrape before teardown starts: the collector
+    // reads cache_/io_/tenants_, all of which die below.
+    metrics_->RemoveCollector(collector_);
+  }
   // io_ is destroyed first by member order; its destructor drains the worker
   // pools, after which the tenant fault stores are safe to free.
 }

@@ -41,6 +41,8 @@
 #include "src/storage/columnar.h"
 #include "src/storage/memory_model.h"
 #include "src/storage/object_store.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 
 namespace msd {
 
@@ -81,6 +83,14 @@ struct SharedIoPlaneConfig {
   // journals, quarantine state, and watchdog snapshots never cross tenants.
   // Empty = tenants get no plane-provided durable GCS.
   std::string durable_gcs_dir;
+  // ---- Telemetry (src/telemetry/) ----
+  // One registry + one trace ring for the whole plane: every tenant's spans
+  // interleave in a single timeline and MetricsSnapshot() renders consistent
+  // per-tenant slices. Sessions bound to this plane adopt both.
+  bool telemetry_enabled = true;
+  // Spans retained before the oldest are overwritten; sized for several
+  // tenants' worth of step + io spans. 0 = metrics only, no tracing.
+  int64_t trace_ring_spans = 8192;
 };
 
 class SharedIoPlane {
@@ -125,6 +135,14 @@ class SharedIoPlane {
   BlockCache* cache() { return cache_.get(); }
   IoScheduler* scheduler() { return io_.get(); }
   LatencyInjectingStore* remote_store() { return remote_store_.get(); }
+  // Plane-wide telemetry. The plane's collector exports the cache/scheduler
+  // aggregate plus every tenant's slice (one SnapshotAll pass each, so the
+  // slices always sum to the aggregate) and the storage/fault/payload
+  // counters; plane-bound Sessions add their pipeline/quarantine series.
+  // Null when config.telemetry_enabled is false.
+  MetricsRegistry* metrics() { return metrics_.get(); }
+  // The plane-wide trace ring (null when tracing is off).
+  StepTracer* tracer() { return tracer_.get(); }
   // Shared durable GCS store (nullptr without durable_gcs_dir).
   ObjectStore* gcs_store() { return gcs_store_.get(); }
   const SharedIoPlaneConfig& config() const { return config_; }
@@ -160,6 +178,12 @@ class SharedIoPlane {
   std::unique_ptr<LatencyInjectingStore> remote_store_;
   std::unique_ptr<ObjectStore> cache_spill_store_;
   std::unique_ptr<ObjectStore> gcs_store_;
+  // Telemetry plane. Declared before cache_/io_ so the scheduler holding the
+  // tracer pointer is destroyed first; the collector reading cache_/io_ is
+  // explicitly removed in the destructor before either dies.
+  std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<StepTracer> tracer_;
+  int64_t collector_ = -1;  // AddCollector handle (-1 = none)
   std::unique_ptr<BlockCache> cache_;
 
   mutable std::mutex mu_;

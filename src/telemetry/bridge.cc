@@ -1,0 +1,118 @@
+#include "src/telemetry/bridge.h"
+
+#include <atomic>
+
+#include "src/data/payload_buffer.h"
+
+namespace msd {
+
+namespace {
+
+void PushCounter(const char* name, IoTenantId tenant, int64_t value,
+                 std::vector<MetricPoint>* out) {
+  MetricPoint p;
+  p.name = name;
+  p.kind = MetricKind::kCounter;
+  p.tenant = tenant;
+  p.value = static_cast<double>(value);
+  out->push_back(std::move(p));
+}
+
+void PushGauge(const char* name, IoTenantId tenant, double value, std::vector<MetricPoint>* out) {
+  MetricPoint p;
+  p.name = name;
+  p.kind = MetricKind::kGauge;
+  p.tenant = tenant;
+  p.value = value;
+  out->push_back(std::move(p));
+}
+
+}  // namespace
+
+void AppendCacheMetrics(const BlockCache::Stats& stats, IoTenantId tenant,
+                        std::vector<MetricPoint>* out) {
+  PushCounter("msd_cache_lookups_total", tenant, stats.lookups, out);
+  PushCounter("msd_cache_hits_total", tenant, stats.hits, out);
+  PushCounter("msd_cache_misses_total", tenant, stats.misses, out);
+  PushCounter("msd_cache_insertions_total", tenant, stats.insertions, out);
+  PushCounter("msd_cache_evictions_total", tenant, stats.evictions, out);
+  PushCounter("msd_cache_spill_writes_total", tenant, stats.spill_writes, out);
+  PushCounter("msd_cache_spill_hits_total", tenant, stats.spill_hits, out);
+  PushCounter("msd_cache_corruptions_total", tenant, stats.corruptions, out);
+  PushCounter("msd_cache_cross_tenant_hits_total", tenant, stats.cross_tenant_hits, out);
+  PushGauge("msd_cache_resident_bytes", tenant, static_cast<double>(stats.resident_bytes), out);
+}
+
+void AppendSchedulerMetrics(const IoScheduler::Stats& stats, IoTenantId tenant,
+                            std::vector<MetricPoint>* out) {
+  PushCounter("msd_io_requests_total", tenant, stats.requests, out);
+  PushCounter("msd_io_cache_hits_total", tenant, stats.cache_hits, out);
+  PushCounter("msd_io_coalesced_total", tenant, stats.coalesced, out);
+  PushCounter("msd_io_issued_gets_total", tenant, stats.issued_gets, out);
+  PushCounter("msd_io_prefetch_issues_total", tenant, stats.prefetch_issues, out);
+  PushCounter("msd_io_retries_total", tenant, stats.retries, out);
+  PushCounter("msd_io_retry_successes_total", tenant, stats.retry_successes, out);
+  PushCounter("msd_io_retries_exhausted_total", tenant, stats.retries_exhausted, out);
+  PushCounter("msd_io_failed_gets_total", tenant, stats.failed_gets, out);
+  PushCounter("msd_io_hedges_launched_total", tenant, stats.hedges_launched, out);
+  PushCounter("msd_io_hedges_won_total", tenant, stats.hedges_won, out);
+  PushCounter("msd_io_abandoned_reads_total", tenant, stats.abandoned_reads, out);
+  PushCounter("msd_io_invalidations_total", tenant, stats.invalidations, out);
+}
+
+void AppendPipelineMetrics(const PrefetchPipeline::Stats& stats, IoTenantId tenant,
+                           std::vector<MetricPoint>* out) {
+  PushCounter("msd_pipeline_steps_produced_total", tenant, stats.steps_produced, out);
+  PushCounter("msd_pipeline_steps_retired_total", tenant, stats.steps_retired, out);
+  PushCounter("msd_pipeline_steps_released_total", tenant, stats.steps_released, out);
+  PushCounter("msd_pipeline_prefetch_hits_total", tenant, stats.prefetch_hits, out);
+  PushCounter("msd_pipeline_prefetch_stalls_total", tenant, stats.prefetch_stalls, out);
+  PushCounter("msd_pipeline_produce_retries_total", tenant, stats.produce_retries, out);
+  PushGauge("msd_pipeline_queue_depth", tenant, static_cast<double>(stats.queue_depth), out);
+  PushGauge("msd_pipeline_last_build_ahead_ms", tenant, stats.last_build_ahead_ms, out);
+  int64_t stall_pulls = 0;
+  int64_t stall_count = 0;
+  double stall_wait_ms = 0.0;
+  for (const PrefetchPipeline::RankStall& rs : stats.rank_stalls) {
+    stall_pulls += rs.pulls;
+    stall_count += rs.stalls;
+    stall_wait_ms += rs.wait_ms;
+  }
+  PushCounter("msd_pipeline_rank_pulls_total", tenant, stall_pulls, out);
+  PushCounter("msd_pipeline_rank_stalls_total", tenant, stall_count, out);
+  PushGauge("msd_pipeline_rank_stall_wait_ms_total", tenant, stall_wait_ms, out);
+}
+
+void AppendStorageMetrics(int64_t gets, int64_t bytes_served, IoTenantId tenant,
+                          std::vector<MetricPoint>* out) {
+  PushCounter("msd_storage_gets_total", tenant, gets, out);
+  PushCounter("msd_storage_bytes_served_total", tenant, bytes_served, out);
+}
+
+void AppendFaultMetrics(int64_t faults_injected, int64_t corruptions_injected,
+                        int64_t brownout_failures, IoTenantId tenant,
+                        std::vector<MetricPoint>* out) {
+  PushCounter("msd_faults_injected_total", tenant, faults_injected, out);
+  PushCounter("msd_corruptions_injected_total", tenant, corruptions_injected, out);
+  PushCounter("msd_brownout_failures_total", tenant, brownout_failures, out);
+}
+
+void AppendPayloadMetrics(std::vector<MetricPoint>* out) {
+  const int64_t token_copies =
+      PayloadPlaneStats::CopiedOutBytes(PayloadKind::kTokens).load(std::memory_order_relaxed);
+  const int64_t pixel_copies =
+      PayloadPlaneStats::CopiedOutBytes(PayloadKind::kPixels).load(std::memory_order_relaxed);
+  const int64_t token_frozen =
+      PayloadPlaneStats::MaterializedBytes(PayloadKind::kTokens).load(std::memory_order_relaxed) -
+      token_copies;
+  const int64_t pixel_frozen =
+      PayloadPlaneStats::MaterializedBytes(PayloadKind::kPixels).load(std::memory_order_relaxed) -
+      pixel_copies;
+  PushCounter("msd_payload_token_bytes_frozen_total", kMetricNoTenant, token_frozen, out);
+  PushCounter("msd_payload_pixel_bytes_frozen_total", kMetricNoTenant, pixel_frozen, out);
+  PushCounter("msd_payload_copy_bytes_total", kMetricNoTenant, token_copies + pixel_copies, out);
+  PushCounter("msd_payload_arena_slabs_frozen_total", kMetricNoTenant,
+              PayloadPlaneStats::ArenaSlabsFrozen().load(std::memory_order_relaxed), out);
+}
+
+}  // namespace msd

@@ -1,0 +1,53 @@
+// Bridges the subsystems' consistent Stats structs into MetricPoints.
+//
+// These are the conversion functions every registry collector uses — one
+// MetricPoint per counter field, with a shared naming scheme (the catalog in
+// docs/OBSERVABILITY.md). The Stats structs stay the source of truth: their
+// own locked snapshots (BlockCache locks all shards together, IoScheduler
+// holds one mutex) give the consistent cut, and the bridge only renames
+// fields — so `io_stats()` / `tenant_stats()` and the exported metrics are
+// views over the same numbers and can never disagree.
+#ifndef SRC_TELEMETRY_BRIDGE_H_
+#define SRC_TELEMETRY_BRIDGE_H_
+
+#include <vector>
+
+#include "src/api/prefetch_pipeline.h"
+#include "src/io/block_cache.h"
+#include "src/io/io_scheduler.h"
+#include "src/telemetry/metrics.h"
+
+namespace msd {
+
+// Block-cache counters -> msd_cache_* series. `tenant` labels the points
+// (kMetricNoTenant = the unlabelled aggregate series).
+void AppendCacheMetrics(const BlockCache::Stats& stats, IoTenantId tenant,
+                        std::vector<MetricPoint>* out);
+
+// IoScheduler counters -> msd_io_* series.
+void AppendSchedulerMetrics(const IoScheduler::Stats& stats, IoTenantId tenant,
+                            std::vector<MetricPoint>* out);
+
+// Prefetch-pipeline counters -> msd_pipeline_* series (per-rank stall
+// histogram folded into totals; the full per-rank break-down stays on
+// StepStats::rank_stalls).
+void AppendPipelineMetrics(const PrefetchPipeline::Stats& stats, IoTenantId tenant,
+                           std::vector<MetricPoint>* out);
+
+// Backing-store counters (LatencyInjectingStore) -> msd_storage_* series.
+void AppendStorageMetrics(int64_t gets, int64_t bytes_served, IoTenantId tenant,
+                          std::vector<MetricPoint>* out);
+
+// Chaos-plane counters (FaultInjectingStore) -> msd_faults_injected /
+// msd_corruptions_injected / msd_brownout_failures _total series.
+void AppendFaultMetrics(int64_t faults_injected, int64_t corruptions_injected,
+                        int64_t brownout_failures, IoTenantId tenant,
+                        std::vector<MetricPoint>* out);
+
+// Process-wide payload-plane freeze/copy accounting -> msd_payload_* series.
+// Always aggregate (the counters are global, not per tenant).
+void AppendPayloadMetrics(std::vector<MetricPoint>* out);
+
+}  // namespace msd
+
+#endif  // SRC_TELEMETRY_BRIDGE_H_

@@ -1,0 +1,158 @@
+// MetricsRegistry: the one place every subsystem's counters meet.
+//
+// Two ways series get into the registry:
+//
+//  - Owned instruments (Counter / Gauge / Histogram): registered once by name
+//    (+ optional tenant label), then updated with relaxed atomics — the hot
+//    path never takes a lock. Use these for NEW instrumentation (per-step
+//    plan/build latency histograms, scrape-side gauges).
+//
+//  - Collectors: callbacks that append MetricPoints at snapshot time. Use
+//    these to bridge existing mutex-protected Stats structs (BlockCache,
+//    IoScheduler, PrefetchPipeline): the struct's own consistent locked
+//    snapshot (all shards locked together, one scheduler mutex) stays the
+//    source of truth, so cross-counter invariants like
+//    lookups == hits + misses survive into the exported points — converting
+//    those structs to free-running atomics would tear them.
+//
+// Snapshot() copies every owned instrument and runs every collector under the
+// registry mutex, yielding a TelemetrySnapshot that RenderPrometheus /
+// RenderJson turn into operator-facing text. `StepStats`, `io_stats()` and
+// `DataService::MetricsSnapshot()` are thin views over the same collect path
+// (src/telemetry/bridge.h), so the struct APIs and the export surface can
+// never disagree.
+#ifndef SRC_TELEMETRY_METRICS_H_
+#define SRC_TELEMETRY_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/io/block_cache.h"
+
+namespace msd {
+
+// Tenant label value meaning "no tenant dimension" — the aggregate series.
+inline constexpr IoTenantId kMetricNoTenant = -1;
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+// One exported series sample. Counters and gauges carry `value`; histograms
+// carry per-bucket counts (bounds.size() + 1 buckets, the last one catching
+// everything past the largest bound) plus sum/count.
+struct MetricPoint {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  IoTenantId tenant = kMetricNoTenant;
+  double value = 0.0;
+  std::vector<double> bounds;    // histogram bucket upper bounds (inclusive)
+  std::vector<int64_t> buckets;  // per-bucket counts; size == bounds.size()+1
+  double sum = 0.0;
+  int64_t count = 0;
+};
+
+// A consistent point-in-time copy of every registered series.
+struct TelemetrySnapshot {
+  int64_t uptime_us = 0;  // registry age at snapshot time (steady clock)
+  std::vector<MetricPoint> points;
+};
+
+// Monotonic counter. Increment is one relaxed fetch_add.
+class Counter {
+ public:
+  void Increment(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram. Observe is a bucket scan + two relaxed atomics
+// (no lock); bounds are fixed at registration.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  // Per-bucket counts; size == bounds().size() + 1 (overflow bucket last).
+  std::vector<int64_t> BucketCounts() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<int64_t>[]> buckets_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+class MetricsRegistry {
+ public:
+  // Appends MetricPoints describing external state (bridged Stats structs).
+  // Runs under the registry mutex at Snapshot() time; must not call back
+  // into this registry.
+  using Collector = std::function<void(std::vector<MetricPoint>*)>;
+
+  MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Registers (or finds) the instrument for (name, tenant). The returned
+  // pointer is stable for the registry's lifetime — cache it; updates through
+  // it are lock-free. kMetricNoTenant = the unlabelled aggregate series.
+  Counter* GetCounter(const std::string& name, IoTenantId tenant = kMetricNoTenant);
+  Gauge* GetGauge(const std::string& name, IoTenantId tenant = kMetricNoTenant);
+  // `bounds` must be strictly increasing; ignored if the histogram exists.
+  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds,
+                          IoTenantId tenant = kMetricNoTenant);
+
+  // Registers a collector; returns a handle for RemoveCollector. Collectors
+  // run in registration order at every Snapshot().
+  int64_t AddCollector(Collector collector);
+  // Blocks until no Snapshot() is mid-flight with this collector, then
+  // forgets it — after return the collector's captures may be destroyed.
+  void RemoveCollector(int64_t handle);
+
+  TelemetrySnapshot Snapshot() const;
+
+ private:
+  using SeriesKey = std::pair<std::string, IoTenantId>;
+
+  std::chrono::steady_clock::time_point start_;
+  mutable std::mutex mu_;
+  std::map<SeriesKey, std::unique_ptr<Counter>> counters_;
+  std::map<SeriesKey, std::unique_ptr<Gauge>> gauges_;
+  std::map<SeriesKey, std::unique_ptr<Histogram>> histograms_;
+  std::map<int64_t, Collector> collectors_;
+  int64_t next_collector_ = 1;
+};
+
+// Prometheus text exposition (one "# TYPE" header per series name, tenant as
+// a {tenant="N"} label, histograms as cumulative _bucket/_sum/_count).
+std::string RenderPrometheus(const TelemetrySnapshot& snapshot);
+// JSON rendering: {"uptime_us":..,"metrics":[{...}]}.
+std::string RenderJson(const TelemetrySnapshot& snapshot);
+
+}  // namespace msd
+
+#endif  // SRC_TELEMETRY_METRICS_H_

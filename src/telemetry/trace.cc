@@ -1,0 +1,142 @@
+#include "src/telemetry/trace.h"
+
+#include <atomic>
+#include <fstream>
+#include <set>
+#include <utility>
+
+namespace msd {
+
+namespace {
+
+// Stable small integer per thread: spans recorded by one thread never overlap
+// in time, which is exactly Chrome's per-tid invariant.
+int32_t ThreadLane() {
+  static std::atomic<int32_t> next{1};
+  thread_local int32_t lane = next.fetch_add(1, std::memory_order_relaxed);
+  return lane;
+}
+
+}  // namespace
+
+StepTracer::StepTracer(size_t capacity) : epoch_(std::chrono::steady_clock::now()) {
+  MSD_CHECK(capacity >= 1);
+  ring_.resize(capacity);
+}
+
+int64_t StepTracer::NowUs() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
+                                                               epoch_)
+      .count();
+}
+
+void StepTracer::Record(TraceSpan span) {
+  span.lane = ThreadLane();
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_[pos_] = span;
+  pos_ = (pos_ + 1) % ring_.size();
+  ++recorded_;
+}
+
+int64_t StepTracer::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+int64_t StepTracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_ > static_cast<int64_t>(ring_.size())
+             ? recorded_ - static_cast<int64_t>(ring_.size())
+             : 0;
+}
+
+std::vector<TraceSpan> StepTracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceSpan> out;
+  const size_t n = recorded_ < static_cast<int64_t>(ring_.size())
+                       ? static_cast<size_t>(recorded_)
+                       : ring_.size();
+  out.reserve(n);
+  // Oldest first: with a full ring the next write slot is the oldest entry.
+  const size_t start = recorded_ < static_cast<int64_t>(ring_.size()) ? 0 : pos_;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string StepTracer::RenderChromeTrace() const {
+  const std::vector<TraceSpan> spans = Snapshot();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  // Metadata: name each pid after its tenant so the viewer groups lanes.
+  std::set<IoTenantId> tenants;
+  for (const TraceSpan& s : spans) {
+    tenants.insert(s.tenant);
+  }
+  for (IoTenantId tenant : tenants) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" + std::to_string(tenant) +
+           ",\"args\":{\"name\":\"tenant " + std::to_string(tenant) + "\"}}";
+  }
+  for (const TraceSpan& s : spans) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "{\"name\":\"";
+    out += s.name;
+    out += "\",\"cat\":\"";
+    out += s.cat;
+    out += "\",\"ph\":\"X\",\"ts\":" + std::to_string(s.ts_us) +
+           ",\"dur\":" + std::to_string(s.dur_us) + ",\"pid\":" + std::to_string(s.tenant) +
+           ",\"tid\":" + std::to_string(s.lane) + ",\"args\":{\"tenant\":" +
+           std::to_string(s.tenant) + ",\"step\":" + std::to_string(s.step) +
+           ",\"rank\":" + std::to_string(s.rank) + ",\"attempt\":" + std::to_string(s.attempt) +
+           ",\"ok\":" + (s.ok ? "true" : "false") + "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+Status StepTracer::DumpChromeTrace(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open trace file: " + path);
+  }
+  out << RenderChromeTrace();
+  out.flush();
+  if (!out.good()) {
+    return Status::Internal("failed writing trace file: " + path);
+  }
+  return Status::Ok();
+}
+
+ScopedSpan::ScopedSpan(StepTracer* tracer, const char* name, const char* cat, IoTenantId tenant,
+                       int64_t step, int32_t rank, int32_t attempt)
+    : tracer_(tracer), t0_(std::chrono::steady_clock::now()) {
+  span_.name = name;
+  span_.cat = cat;
+  span_.tenant = tenant;
+  span_.step = step;
+  span_.rank = rank;
+  span_.attempt = attempt;
+  if (tracer_ != nullptr) {
+    span_.ts_us = tracer_->NowUs();
+  }
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (tracer_ == nullptr) {
+    return;
+  }
+  span_.dur_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                     std::chrono::steady_clock::now() - t0_)
+                     .count();
+  tracer_->Record(span_);
+}
+
+}  // namespace msd

@@ -1,0 +1,106 @@
+// StepTracer: a bounded ring of completed spans around the data plane's hot
+// phases, exportable as Chrome/Perfetto trace-event JSON.
+//
+// Span sites (docs/OBSERVABILITY.md has the full glossary):
+//   step.plan / step.pop / step.build   producer thread, per produced step
+//   step.fetch                          rank pull through the constructor
+//   step.stall                          rank pull that blocked on the builder
+//   io.get / io.retry / io.hedge        one backing Get attempt each
+//
+// Recording is a short critical section copying one POD into a preallocated
+// ring (no allocation, no I/O); when the ring wraps, the oldest spans are
+// overwritten and counted in dropped(). A null tracer pointer disables every
+// site — callers guard with `if (tracer != nullptr)` or use ScopedSpan, which
+// tolerates null.
+//
+// Export: Chrome trace-event JSON ("ph":"X" complete events) with
+// pid = tenant and tid = a stable per-thread lane, so chrome://tracing or
+// Perfetto shows one swimlane group per tenant and a slow step decomposes
+// into which phase / which tenant / which backing Get.
+#ifndef SRC_TELEMETRY_TRACE_H_
+#define SRC_TELEMETRY_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/io/block_cache.h"
+
+namespace msd {
+
+// One completed span. `name` and `cat` must be static-lifetime literals —
+// spans are recorded from hot paths and must not allocate.
+struct TraceSpan {
+  const char* name = "";
+  const char* cat = "";
+  int64_t ts_us = 0;   // start, microseconds since the tracer's epoch
+  int64_t dur_us = 0;
+  IoTenantId tenant = kDefaultIoTenant;
+  int64_t step = -1;   // -1 = not step-scoped (bare io traffic)
+  int32_t rank = -1;   // -1 = not rank-scoped (producer / io threads)
+  int32_t attempt = 0; // io retry attempt (0 = first try)
+  int32_t lane = 0;    // stable per-thread lane; becomes the Chrome tid
+  bool ok = true;      // false = the spanned operation failed
+};
+
+class StepTracer {
+ public:
+  // `capacity` = spans retained before the ring wraps (must be >= 1).
+  explicit StepTracer(size_t capacity);
+
+  StepTracer(const StepTracer&) = delete;
+  StepTracer& operator=(const StepTracer&) = delete;
+
+  // Microseconds since the tracer's epoch (steady clock).
+  int64_t NowUs() const;
+
+  // Records a completed span, stamping the calling thread's lane.
+  void Record(TraceSpan span);
+
+  size_t capacity() const { return ring_.size(); }
+  // Spans recorded since construction (including overwritten ones).
+  int64_t recorded() const;
+  // Spans lost to ring wrap-around.
+  int64_t dropped() const;
+  // Retained spans, oldest first.
+  std::vector<TraceSpan> Snapshot() const;
+
+  // Chrome trace-event JSON: {"traceEvents":[...]} with one "X" event per
+  // span plus process_name metadata naming each tenant's lane group.
+  std::string RenderChromeTrace() const;
+  Status DumpChromeTrace(const std::string& path) const;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> ring_;
+  size_t pos_ = 0;        // next write slot
+  int64_t recorded_ = 0;  // total Record calls
+};
+
+// RAII span: measures construction -> destruction and records into `tracer`
+// (null tracer = all no-ops, so call sites need no telemetry-enabled branch).
+class ScopedSpan {
+ public:
+  ScopedSpan(StepTracer* tracer, const char* name, const char* cat, IoTenantId tenant,
+             int64_t step = -1, int32_t rank = -1, int32_t attempt = 0);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  // Marks the spanned operation as failed (spans default to ok).
+  void set_ok(bool ok) { span_.ok = ok; }
+
+ private:
+  StepTracer* tracer_;
+  TraceSpan span_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace msd
+
+#endif  // SRC_TELEMETRY_TRACE_H_

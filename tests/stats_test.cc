@@ -1,0 +1,171 @@
+// src/common/stats.h primitives, pinned down at their edges:
+//  - RunningStat: Welford mean/variance vs closed-form, min/max tracking,
+//    the empty and single-sample conventions (variance 0, min/max 0 when
+//    empty);
+//  - Pow2Histogram: bucket bounds construction (min, 2*min, ..., max),
+//    below-range and above-range clamping, count vs weight fractions;
+//  - EmpiricalCdf: exact quantiles at 0/0.5/1, linear interpolation between
+//    order statistics, single-sample degenerate case, Curve endpoints.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/stats.h"
+
+namespace msd {
+namespace {
+
+TEST(RunningStatTest, EmptyConventions) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStatTest, SingleSampleHasZeroVariance) {
+  RunningStat s;
+  s.Add(-7.5);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_DOUBLE_EQ(s.mean(), -7.5);
+  EXPECT_EQ(s.variance(), 0.0);  // sample variance needs count >= 2
+  EXPECT_DOUBLE_EQ(s.min(), -7.5);
+  EXPECT_DOUBLE_EQ(s.max(), -7.5);
+}
+
+TEST(RunningStatTest, MatchesClosedFormMoments) {
+  // Sample variance of {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, m2 = 32, n-1 = 7.
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatTest, MinMaxTrackNegativeStreams) {
+  // min_/max_ initialize from the first sample, not from 0 — a stream of
+  // negative values must not report max() == 0.
+  RunningStat s;
+  s.Add(-3.0);
+  s.Add(-1.0);
+  s.Add(-9.0);
+  EXPECT_DOUBLE_EQ(s.min(), -9.0);
+  EXPECT_DOUBLE_EQ(s.max(), -1.0);
+}
+
+TEST(Pow2HistogramTest, BoundsAreDoublingsPlusMax) {
+  // Bounds double from min_value while < max_value, then max_value caps the
+  // sequence — even when it is not a power-of-two multiple of min_value.
+  Pow2Histogram h(16, 100);
+  EXPECT_EQ(h.bounds(), (std::vector<int64_t>{16, 32, 64, 100}));
+  Pow2Histogram exact(4, 16);
+  EXPECT_EQ(exact.bounds(), (std::vector<int64_t>{4, 8, 16}));
+}
+
+TEST(Pow2HistogramTest, ClampsOutOfRangeValues) {
+  Pow2Histogram h(16, 64);  // bounds: 16, 32, 64
+  h.Add(1);      // below range -> first bucket (value <= 16)
+  h.Add(1000);   // above range -> clamped into the last bucket
+  h.Add(64);     // inclusive upper bound -> last bucket
+  std::vector<double> cf = h.CountFractions();
+  ASSERT_EQ(cf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cf[0], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cf[1], 0.0);
+  EXPECT_DOUBLE_EQ(cf[2], 2.0 / 3.0);
+}
+
+TEST(Pow2HistogramTest, BucketBoundariesAreInclusiveUpper) {
+  Pow2Histogram h(16, 64);
+  h.Add(16);  // == first bound -> bucket 0
+  h.Add(17);  // just past it -> bucket 1
+  std::vector<double> cf = h.CountFractions();
+  EXPECT_DOUBLE_EQ(cf[0], 0.5);
+  EXPECT_DOUBLE_EQ(cf[1], 0.5);
+}
+
+TEST(Pow2HistogramTest, WeightFractionsDivergeFromCountFractions) {
+  // Two samples, one per bucket: counts split 50/50 but the weight mass
+  // (Fig. 2's token-count pies) follows the weights.
+  Pow2Histogram h(16, 32);
+  h.Add(10, /*weight=*/1.0);
+  h.Add(20, /*weight=*/9.0);
+  std::vector<double> cf = h.CountFractions();
+  std::vector<double> wf = h.WeightFractions();
+  EXPECT_DOUBLE_EQ(cf[0], 0.5);
+  EXPECT_DOUBLE_EQ(cf[1], 0.5);
+  EXPECT_DOUBLE_EQ(wf[0], 0.1);
+  EXPECT_DOUBLE_EQ(wf[1], 0.9);
+  EXPECT_DOUBLE_EQ(h.total_count(), 2.0);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 10.0);
+}
+
+TEST(Pow2HistogramTest, EmptyFractionsAreAllZero) {
+  Pow2Histogram h(16, 64);
+  for (double f : h.CountFractions()) {
+    EXPECT_EQ(f, 0.0);
+  }
+  for (double f : h.WeightFractions()) {
+    EXPECT_EQ(f, 0.0);
+  }
+}
+
+TEST(EmpiricalCdfTest, SingleSampleIsEveryQuantile) {
+  EmpiricalCdf cdf;
+  cdf.Add(42.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(1.0), 42.0);
+}
+
+TEST(EmpiricalCdfTest, QuantilesInterpolateBetweenOrderStatistics) {
+  EmpiricalCdf cdf;
+  for (double x : {30.0, 10.0, 20.0, 40.0}) {  // insertion order must not matter
+    cdf.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(1.0), 40.0);
+  // pos = q * (n-1): q=0.5 lands exactly on index 1.5 -> midpoint of 20, 30.
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.5), 25.0);
+  // q=0.25 -> pos 0.75 -> 10 * 0.25 + 20 * 0.75.
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.25), 17.5);
+}
+
+TEST(EmpiricalCdfTest, AddAfterQuantileResorts) {
+  // Quantile() lazily sorts; a later Add must invalidate that order.
+  EmpiricalCdf cdf;
+  cdf.Add(5.0);
+  cdf.Add(1.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.0), 1.0);
+  cdf.Add(0.5);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(1.0), 5.0);
+}
+
+TEST(EmpiricalCdfTest, CurveSpansMinToMax) {
+  EmpiricalCdf cdf;
+  for (int i = 1; i <= 100; ++i) {
+    cdf.Add(static_cast<double>(i));
+  }
+  std::vector<std::pair<double, double>> curve = cdf.Curve(5);
+  ASSERT_EQ(curve.size(), 5u);
+  EXPECT_DOUBLE_EQ(curve.front().first, 1.0);
+  EXPECT_DOUBLE_EQ(curve.front().second, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().first, 100.0);
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].first, curve[i - 1].first);  // monotone in value
+  }
+}
+
+}  // namespace
+}  // namespace msd

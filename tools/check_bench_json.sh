@@ -1,0 +1,111 @@
+#!/bin/sh
+# Validates every BENCH_*.json ledger at the repo root against the shared
+# schema:
+#   top level: bench (string), source (string, must exist), date (YYYY-MM-DD),
+#              pr (number), scenarios (non-empty array)
+#   scenario:  label (string), results (object), gates (object), pass == true
+# A ledger that fails to parse, misses a key, points at a nonexistent bench
+# source, or records pass != true fails the check — wired into ctest as
+# `bench_json_check` next to `docs_check`, so malformed or red entries fail
+# CI instead of rotting silently. Prefers python3; falls back to jq; skips
+# (exit 0, with a notice) if neither exists.
+set -u
+
+root="${1:-.}"
+
+ledgers=$(ls "$root"/BENCH_*.json 2>/dev/null || true)
+if [ -z "$ledgers" ]; then
+  echo "no BENCH_*.json ledgers found under $root (nothing to validate)"
+  exit 0
+fi
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$root" $ledgers <<'EOF'
+import json
+import os
+import re
+import sys
+
+root = sys.argv[1]
+failures = []
+
+def fail(path, msg):
+    failures.append(f"{os.path.basename(path)}: {msg}")
+
+for path in sys.argv[2:]:
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"invalid JSON: {e}")
+        continue
+    if not isinstance(doc, dict):
+        fail(path, "top level is not an object")
+        continue
+    for key, kind in (("bench", str), ("source", str), ("date", str),
+                      ("pr", (int, float)), ("scenarios", list)):
+        if not isinstance(doc.get(key), kind):
+            fail(path, f"missing or mistyped top-level key '{key}'")
+    if isinstance(doc.get("date"), str) and not re.fullmatch(
+            r"\d{4}-\d{2}-\d{2}", doc["date"]):
+        fail(path, f"date '{doc['date']}' is not YYYY-MM-DD")
+    source = doc.get("source")
+    if isinstance(source, str) and not os.path.exists(os.path.join(root, source)):
+        fail(path, f"source '{source}' does not exist in the repo")
+    scenarios = doc.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios:
+        fail(path, "scenarios must be a non-empty array")
+        continue
+    for i, sc in enumerate(scenarios):
+        if not isinstance(sc, dict):
+            fail(path, f"scenario {i} is not an object")
+            continue
+        if not isinstance(sc.get("label"), str) or not sc["label"]:
+            fail(path, f"scenario {i} is missing a label")
+        for key in ("results", "gates"):
+            if not isinstance(sc.get(key), dict) or not sc[key]:
+                fail(path, f"scenario '{sc.get('label', i)}' is missing '{key}'")
+        if sc.get("pass") is not True:
+            fail(path, f"scenario '{sc.get('label', i)}' does not record pass=true")
+
+if failures:
+    for f in failures:
+        print(f"INVALID: {f}")
+    print(f"{len(failures)} bench-ledger violation(s)")
+    sys.exit(1)
+print(f"all {len(sys.argv) - 2} BENCH_*.json ledgers valid")
+EOF
+  exit $?
+fi
+
+if command -v jq >/dev/null 2>&1; then
+  fail=0
+  count=0
+  for ledger in $ledgers; do
+    count=$((count + 1))
+    if ! jq -e '
+        (.bench | type == "string") and
+        (.source | type == "string") and
+        (.date | test("^[0-9]{4}-[0-9]{2}-[0-9]{2}$")) and
+        (.pr | type == "number") and
+        (.scenarios | type == "array" and length > 0) and
+        (.scenarios | all(
+          (.label | type == "string" and length > 0) and
+          (.results | type == "object") and
+          (.gates | type == "object") and
+          (.pass == true)))' "$ledger" >/dev/null 2>&1; then
+      echo "INVALID: $(basename "$ledger") fails the ledger schema"
+      fail=1
+    fi
+    source=$(jq -r '.source // empty' "$ledger" 2>/dev/null)
+    if [ -n "$source" ] && [ ! -e "$root/$source" ]; then
+      echo "INVALID: $(basename "$ledger") source '$source' does not exist"
+      fail=1
+    fi
+  done
+  [ "$fail" -eq 0 ] && echo "all $count BENCH_*.json ledgers valid"
+  exit $fail
+fi
+
+echo "neither python3 nor jq available; skipping bench-ledger validation"
+exit 0
