@@ -76,11 +76,18 @@ void PrefetchPipeline::Stop() {
 void PrefetchPipeline::ProducerLoop() {
   for (;;) {
     // Claim a live-step slot first: this is the backpressure point. The push
-    // blocks until retirement frees a slot (or Stop closes the queue).
+    // blocks until retirement frees a slot (or Stop closes the queue). The
+    // blocked time is the consumer-stall bucket of stall attribution, so it
+    // is spanned — but the step id is only known after production, so the
+    // span is recorded late with a back-dated ts.
+    const int64_t gate_ts_us = config_.tracer != nullptr ? config_.tracer->NowUs() : 0;
+    auto gate_t0 = std::chrono::steady_clock::now();
     if (!window_.Push(0)) {
       return;
     }
+    const int64_t gate_dur_us = static_cast<int64_t>(MsSince(gate_t0) * 1000.0);
     int64_t produced_step;
+    std::optional<StepMeta> produced_meta;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [&] { return !running_ || (!paused_ && !halted_.has_value()); });
@@ -92,14 +99,47 @@ void PrefetchPipeline::ProducerLoop() {
         return;  // stopped mid-retry-burst; the step was never produced
       }
       if (halted_.has_value()) {
-        return;  // terminal: waiting consumers observe the stored status
+        // Terminal: waiting consumers observe the stored status. Copy the
+        // halt out so the hook runs outside the lock.
+        const int64_t halt_step = halted_->first;
+        const Status halt_status = halted_->second;
+        lock.unlock();
+        if (config_.on_halted) {
+          config_.on_halted(halt_step, halt_status);
+        }
+        return;
       }
       produced_step = next_produce_ - 1;
+      if (config_.on_produced_meta) {
+        // Capture the meta while mu_ is still held: once the lock drops, a
+        // fast consumer may pop AND retire this step before the hooks below
+        // run, and a post-hoc StepInfo(produced_step) would come back empty.
+        Result<StepMeta> meta = StepInfoLocked(produced_step);
+        if (meta.ok()) {
+          produced_meta = meta.value();
+        }
+      }
+    }
+    if (config_.tracer != nullptr) {
+      TraceSpan span;
+      span.name = "step.gate";
+      span.cat = "step";
+      span.ts_us = gate_ts_us;
+      span.dur_us = gate_dur_us;
+      span.tenant = config_.tenant;
+      span.step = produced_step;
+      config_.tracer->Record(span);
     }
     if (config_.on_produced) {
       // Outside the lock and outside in_produce_: the hook may run control
       // operations (e.g. a periodic checkpoint pausing this pipeline).
       config_.on_produced(produced_step);
+    }
+    if (config_.on_produced_meta && produced_meta.has_value()) {
+      // After on_produced so a health tick here observes the post-checkpoint,
+      // post-watchdog state of the step.
+      config_.on_produced_meta(*produced_meta);
+      produced_meta.reset();
     }
   }
 }
@@ -527,6 +567,10 @@ PrefetchPipeline::Frontier PrefetchPipeline::frontier() const {
 
 Result<PrefetchPipeline::StepMeta> PrefetchPipeline::StepInfo(int64_t step) const {
   std::lock_guard<std::mutex> lock(mu_);
+  return StepInfoLocked(step);
+}
+
+Result<PrefetchPipeline::StepMeta> PrefetchPipeline::StepInfoLocked(int64_t step) const {
   auto it = tickets_.find(step);
   if (it == tickets_.end()) {
     return Status::NotFound("step " + std::to_string(step) + " is not live in the pipeline");
@@ -534,6 +578,7 @@ Result<PrefetchPipeline::StepMeta> PrefetchPipeline::StepInfo(int64_t step) cons
   StepMeta meta;
   meta.step = step;
   meta.samples = it->second.data.samples;
+  meta.tokens = it->second.data.tokens;
   meta.dp_imbalance = it->second.data.dp_imbalance;
   meta.plan_compute_ms = it->second.data.plan_compute_ms;
   meta.build_ahead_ms = it->second.data.build_ahead_ms;

@@ -64,6 +64,7 @@ struct ProducedStep {
   LoadingPlan plan;
   std::vector<std::vector<SampleSlice>> slices_per_constructor;
   size_t samples = 0;
+  int64_t tokens = 0;  // total planned tokens across all DP groups
   double dp_imbalance = 1.0;
   double plan_compute_ms = 0.0;
   double build_ahead_ms = 0.0;  // wall time of plan+pop+build for this step
@@ -71,6 +72,8 @@ struct ProducedStep {
 
 class PrefetchPipeline {
  public:
+  struct StepMeta;  // defined below; referenced by Config::on_produced_meta
+
   struct Config {
     // Max steps live (produced or in production) ahead of retirement.
     // 0 = synchronous: steps are produced inline on the consuming thread.
@@ -87,6 +90,13 @@ class PrefetchPipeline {
     // control operations (Session's periodic auto-checkpoint pauses the
     // pipeline from here). Asynchronous-producer mode only (depth >= 1).
     std::function<void(int64_t step)> on_produced;
+    // Like on_produced, but handed the step's StepMeta captured UNDER the
+    // pipeline lock before any hook runs. A fast consumer can pop and retire
+    // the step before the producer thread reaches the hooks, so a post-hoc
+    // StepInfo(step) from inside on_produced can fail spuriously; this
+    // variant never loses the observation. Fires after on_produced, same
+    // thread and constraints. Session's health tick hangs here.
+    std::function<void(const StepMeta& meta)> on_produced_meta;
     // Transient-failure resilience: a produce round that fails with a
     // transient status (Unavailable, DeadlineExceeded) is re-run, up to this
     // many total attempts, before the pipeline halts. Production is strictly
@@ -103,9 +113,17 @@ class PrefetchPipeline {
     // status. The callback may run control operations — Session uses it to
     // drive the watchdog while production is stuck on a dead loader.
     std::function<void(int64_t step, const Status& error)> on_produce_error;
+    // Invoked once, from the producer thread outside the lock, when
+    // production halts terminally (retries exhausted or a non-transient
+    // error) with the failing step and final status. on_produce_error fires
+    // *between* attempts; this fires *after* the last one — the hook for
+    // raising a produce-exhausted health event. Asynchronous mode only.
+    std::function<void(int64_t step, const Status& error)> on_halted;
     // Telemetry (src/telemetry/trace.h): records step.fetch spans around
-    // rank pulls and step.stall spans when a pull blocks on production,
-    // attributed to `tenant`. Not owned; nullptr = no tracing.
+    // rank pulls, step.stall spans when a pull blocks on production, and
+    // step.gate spans for the producer's blocking wait on a free window
+    // slot (consumer backpressure), attributed to `tenant`. Not owned;
+    // nullptr = no tracing.
     StepTracer* tracer = nullptr;
     IoTenantId tenant = kDefaultIoTenant;
   };
@@ -155,6 +173,7 @@ class PrefetchPipeline {
   struct StepMeta {
     int64_t step = 0;
     size_t samples = 0;
+    int64_t tokens = 0;
     double dp_imbalance = 1.0;
     double plan_compute_ms = 0.0;
     double build_ahead_ms = 0.0;
@@ -231,6 +250,10 @@ class PrefetchPipeline {
   int32_t world_size() const;
 
  private:
+  // StepInfo body with mu_ already held (the producer loop captures the
+  // just-produced step's meta for on_produced_meta without dropping the lock).
+  Result<StepMeta> StepInfoLocked(int64_t step) const;
+
   struct Ticket {
     ProducedStep data;
     std::vector<uint8_t> fetched;  // one flag per rank (streaming path only)

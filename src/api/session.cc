@@ -94,6 +94,24 @@ Result<std::unique_ptr<Session>> Session::Create(Options options) {
   if (options.trace_ring_spans < 0) {
     return Status::InvalidArgument("trace_ring_spans must be >= 0 (0 = no tracing)");
   }
+  if (options.health.enabled) {
+    if (!options.telemetry_enabled) {
+      return Status::InvalidArgument(
+          "the health monitor reads the metrics registry and span ring "
+          "(WithTelemetry)");
+    }
+    if (options.trace_ring_spans <= 0 && options.shared_plane == nullptr) {
+      return Status::InvalidArgument(
+          "stall attribution needs the span ring (WithTraceRing > 0)");
+    }
+    if (options.prefetch_depth < 1) {
+      // The health tick fires from the producer thread after each produced
+      // step; synchronous mode has no producer thread to fire it from.
+      return Status::InvalidArgument(
+          "the health monitor requires an asynchronous pipeline "
+          "(prefetch_depth >= 1)");
+    }
+  }
   if (options.quarantine_after_failures < 0 || options.loader_rpc_timeout_ms < 0 ||
       options.watchdog_interval_ms < 0 || options.watchdog_heartbeat_timeout_ms < 0) {
     return Status::InvalidArgument("chaos-plane options must be >= 0");
@@ -206,6 +224,13 @@ Status Session::Initialize() {
         "msd_step_plan_ms", {0.5, 1, 2.5, 5, 10, 25, 50, 100, 250}, label);
     produce_ms_hist_ = metrics_view_->GetHistogram(
         "msd_step_produce_ms", {1, 2.5, 5, 10, 25, 50, 100, 250, 1000}, label);
+  }
+  if (options_.health.enabled) {
+    // 0b. Diagnosis plane. Built on the (possibly plane-owned) registry and
+    // tracer adopted above; strictly read-side, so standing it up changes no
+    // delivered byte.
+    health_ = std::make_unique<HealthMonitor>(options_.health, options_.io_tenant,
+                                              metrics_view_, tracer_view_);
   }
 
   // 0. Durable GCS: attach the disk-backed write-through before anything
@@ -461,6 +486,14 @@ Status Session::Initialize() {
     // callback drives (the retry backoff gives the promotion time to land).
     pipeline_config.on_produce_error = [this](int64_t, const Status&) { MaybeRunWatchdog(); };
   }
+  if (health_ != nullptr) {
+    // Produce-retry exhaustion is a hard health event: the pipeline halts
+    // terminally, so dump the evidence while the span ring still holds it.
+    pipeline_config.on_halted = [this](int64_t step, const Status& error) {
+      health_->OnHardEvent("produce-exhausted",
+                           "step " + std::to_string(step) + ": " + error.ToString());
+    };
+  }
   if (options_.auto_checkpoint_every > 0) {
     // Fires on the producer thread between steps (outside in_produce_), so
     // the Checkpoint() pause/drain cannot deadlock with production.
@@ -488,6 +521,15 @@ Status Session::Initialize() {
       }
       MaybeRunWatchdog();
     };
+  }
+  if (health_ != nullptr) {
+    // Health tick LAST: on_produced_meta fires after the whole on_produced
+    // chain (checkpoint, watchdog), so the tick observes the post-checkpoint,
+    // post-watchdog state of the step — and it receives the StepMeta captured
+    // under the pipeline lock, so a consumer that pops and retires the step
+    // before the hooks run cannot starve the monitor of observations.
+    pipeline_config.on_produced_meta =
+        [this](const PrefetchPipeline::StepMeta& meta) { HealthTick(meta); };
   }
   if (resume_ != nullptr && options_.spec == resume_->mesh &&
       resume_->cursors.size() == static_cast<size_t>(options_.spec.WorldSize())) {
@@ -553,6 +595,7 @@ Status Session::Initialize() {
             out->push_back(std::move(w));
           }
           AppendPayloadMetrics(out);
+          AppendLoggingMetrics(out);
         });
   }
 
@@ -854,12 +897,34 @@ Result<ProducedStep> Session::ProduceStep(int64_t step) {
   Status popped = [&]() -> Status {
     ScopedSpan span(tracer_view_, "step.pop", "step", options_.io_tenant, step);
     for (auto& [loader_id, future] : pops) {
+      // Per-loader detail span: how long the gather waited on THIS source.
+      // Attribution uses it to name the dominant source when the verdict is
+      // decode-bound; step.pop above stays the exclusive-bucket total.
+      const int64_t wait_ts_us = tracer_view_ != nullptr ? tracer_view_->NowUs() : 0;
+      const auto wait_t0 = std::chrono::steady_clock::now();
       Result<SampleSlice> slice = Status::Internal("pop never resolved");
       if (pop_deadline_ms > 0 && future.wait_for(std::chrono::milliseconds(pop_deadline_ms)) !=
                                      std::future_status::ready) {
         slice = RecoverHungPop(loader_id, step, ids_by_loader[loader_id]);
       } else {
         slice = future.get();
+      }
+      if (tracer_view_ != nullptr) {
+        TraceSpan wait_span;
+        wait_span.name = "pop.wait";
+        wait_span.cat = "step";
+        wait_span.ts_us = wait_ts_us;
+        wait_span.dur_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                               std::chrono::steady_clock::now() - wait_t0)
+                               .count();
+        wait_span.tenant = options_.io_tenant;
+        wait_span.step = step;
+        auto owner_loader = loader_by_id.find(loader_id);
+        wait_span.source = owner_loader != loader_by_id.end()
+                               ? owner_loader->second->config().spec.source_id
+                               : -1;
+        wait_span.ok = slice.ok();
+        tracer_view_->Record(wait_span);
       }
       if (!slice.ok()) {
         span.set_ok(false);
@@ -943,6 +1008,9 @@ Result<ProducedStep> Session::ProduceStep(int64_t step) {
   }
 
   produced.samples = plan.assignments.size();
+  for (const SliceAssignment& a : plan.assignments) {
+    produced.tokens += a.total_tokens;
+  }
   produced.dp_imbalance = Imbalance(plan.BucketLoads());
   produced.plan_compute_ms = system_.Ask<double>(
       *planner_, [p = planner_.get()] { return p->last_timings().compute_ms; });
@@ -1086,6 +1154,35 @@ void Session::FillIoCounters(StepStats* stats) {
       return static_cast<int64_t>(p->quarantined_loaders().size());
     });
   }
+}
+
+void Session::HealthTick(const PrefetchPipeline::StepMeta& meta) {
+  const bool shared = options_.shared_plane != nullptr;
+  StepObservation obs;
+  obs.step = meta.step;
+  obs.step_ms = meta.build_ahead_ms;
+  obs.tokens = meta.tokens;
+  if (cache_view_ != nullptr) {
+    BlockCache::Stats cache = shared ? cache_view_->tenant_stats(options_.io_tenant)
+                                     : cache_view_->stats();
+    obs.cache_lookups = cache.hits + cache.misses;
+    obs.cache_hits = cache.hits;
+  }
+  if (io_view_ != nullptr) {
+    IoScheduler::Stats scheduler = shared ? io_view_->tenant_stats(options_.io_tenant)
+                                          : io_view_->stats();
+    obs.io_retries = scheduler.retries;
+    obs.io_issued_gets = scheduler.issued_gets;
+  }
+  if (options_.quarantine_after_failures > 0) {
+    obs.quarantined_sources = system_.Ask<int64_t>(*planner_, [p = planner_.get()] {
+      return static_cast<int64_t>(p->quarantined_loaders().size());
+    });
+  }
+  if (watchdog_ != nullptr) {
+    obs.watchdog_detections = watchdog_->detections();
+  }
+  health_->OnStepProduced(obs);
 }
 
 Session::IoStats Session::io_stats() {
@@ -1557,6 +1654,11 @@ SessionBuilder& SessionBuilder::WithTelemetry(bool enabled) {
 }
 SessionBuilder& SessionBuilder::WithTraceRing(int64_t spans) {
   options_.trace_ring_spans = spans;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithHealthMonitor(HealthOptions health) {
+  health.enabled = true;
+  options_.health = std::move(health);
   return *this;
 }
 

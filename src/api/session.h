@@ -63,6 +63,7 @@
 #include "src/planner/planner.h"
 #include "src/planner/strategies.h"
 #include "src/storage/object_store.h"
+#include "src/telemetry/health.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/trace.h"
 
@@ -212,6 +213,11 @@ class Session {
     // are overwritten. 0 = no tracing (metrics stay on). Ignored with a
     // shared plane — the plane's ring (and its sizing knob) is used instead.
     int64_t trace_ring_spans = 4096;
+    // Health monitor (src/telemetry/health.h): per-step stall attribution,
+    // SLO anomaly detection, and the flight recorder. Strictly read-side —
+    // delivered batches are byte-identical with it on or off. Requires
+    // telemetry + tracing + prefetch_depth >= 1 when enabled.
+    HealthOptions health;
   };
 
   // Per-step observability snapshot: planner quality, pipeline progress,
@@ -382,6 +388,13 @@ class Session {
   // The step tracer capturing plan/pop/build/fetch/stall/io spans. Null
   // when tracing is off (trace_ring_spans = 0 or telemetry disabled).
   StepTracer* tracer() { return tracer_view_; }
+  // The health monitor (WithHealthMonitor): stall attribution, anomaly
+  // detection, flight recorder. Null when not enabled.
+  HealthMonitor* health() { return health_.get(); }
+  // The latency-injecting backing store decorator (WithRemoteStorage), for
+  // benches that script mid-stream brownouts via set_get_latency. Null
+  // without one (including shared-plane sessions — use the plane's).
+  LatencyInjectingStore* remote_store() { return remote_store_.get(); }
   // Writes the retained trace ring as Chrome trace-event JSON (load in
   // chrome://tracing or ui.perfetto.dev). Fails when tracing is off.
   Status DumpTrace(const std::string& path);
@@ -420,6 +433,12 @@ class Session {
   // Copies the cumulative io-subsystem counters into `stats`. Non-const:
   // the quarantine count is an Ask round-trip to the planner actor.
   void FillIoCounters(StepStats* stats);
+  // Health-monitor tick, driven from the producer thread after each produced
+  // step (via on_produced_meta, which fires after the on_produced chain, so
+  // it observes the post-watchdog state): feeds the step's signals to the
+  // monitor. Takes the meta captured under the pipeline lock — a consumer
+  // retiring the step before the hooks run must not drop the observation.
+  void HealthTick(const PrefetchPipeline::StepMeta& meta);
   // Watchdog tick, driven from the producer thread between steps and between
   // produce retry attempts: rate-limits to watchdog_interval_ms, scans the
   // GCS for stale loader heartbeats, and promotes + rebinds shadows of dead
@@ -461,6 +480,10 @@ class Session {
   // Producer-path instruments (owned by the registry; cached pointers).
   Histogram* plan_ms_hist_ = nullptr;
   Histogram* produce_ms_hist_ = nullptr;
+  // Diagnosis plane (declared after the registry/tracer it reads; the
+  // pipeline is stopped in ~Session before members die, so no health tick
+  // can race destruction).
+  std::unique_ptr<HealthMonitor> health_;
   // Remote-storage I/O subsystem (src/io/). Declared before system_ so the
   // loaders (actors) holding pointers die first.
   std::unique_ptr<LatencyInjectingStore> remote_store_;  // latency decorator
@@ -611,6 +634,9 @@ class SessionBuilder {
   SessionBuilder& WithTelemetry(bool enabled = true);
   /// Spans retained in the trace ring (0 = no tracing, metrics stay on).
   SessionBuilder& WithTraceRing(int64_t spans);
+  /// Health monitor: per-step stall attribution + SLO anomaly detection +
+  /// flight recorder (src/telemetry/health.h). `health.enabled` is forced on.
+  SessionBuilder& WithHealthMonitor(HealthOptions health);
 
   /// Materializes the corpus, spawns the actors, starts the prefetch
   /// pipeline, and returns the ready Session.

@@ -1,5 +1,6 @@
 #include "src/common/logging.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstring>
@@ -12,7 +13,8 @@ namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
 std::mutex g_log_mutex;
-LogSink g_log_sink;  // guarded by g_log_mutex; empty = stderr
+LogSink g_log_sink;                // guarded by g_log_mutex; empty = stderr
+std::vector<LogRing*> g_log_taps;  // guarded by g_log_mutex
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -33,6 +35,17 @@ const char* Basename(const char* path) {
   return slash != nullptr ? slash + 1 : path;
 }
 
+// MSD_LOG_WARN_EVERY_N site registry. Sites are function-local statics —
+// process lifetime, registered exactly once — so the registry only ever
+// grows and holds raw pointers safely. Its own mutex (not g_log_mutex):
+// registration happens on the first hit of a site, possibly while another
+// thread is mid-LogV.
+std::mutex g_site_mutex;
+std::vector<const LogSiteCounter*>& Sites() {
+  static std::vector<const LogSiteCounter*>* sites = new std::vector<const LogSiteCounter*>();
+  return *sites;
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_min_level.store(static_cast<int>(level)); }
@@ -42,6 +55,19 @@ LogLevel GetLogLevel() { return static_cast<LogLevel>(g_min_level.load()); }
 void SetLogSink(LogSink sink) {
   std::lock_guard<std::mutex> lock(g_log_mutex);
   g_log_sink = std::move(sink);
+}
+
+void AttachLogRing(LogRing* ring) {
+  if (ring == nullptr) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  g_log_taps.push_back(ring);
+}
+
+void DetachLogRing(LogRing* ring) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  g_log_taps.erase(std::remove(g_log_taps.begin(), g_log_taps.end(), ring), g_log_taps.end());
 }
 
 void LogV(LogLevel level, const char* file, int line, const char* fmt, ...) {
@@ -54,11 +80,101 @@ void LogV(LogLevel level, const char* file, int line, const char* fmt, ...) {
   std::vsnprintf(body, sizeof(body), fmt, args);
   va_end(args);
   std::lock_guard<std::mutex> lock(g_log_mutex);
+  for (LogRing* tap : g_log_taps) {
+    tap->AppendFormatted(level, file, line, body);
+  }
   if (g_log_sink) {
     g_log_sink(level, file, line, body);
     return;
   }
   std::fprintf(stderr, "[%s %s:%d] %s\n", LevelTag(level), Basename(file), line, body);
+}
+
+LogRing::LogRing(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+LogRing::~LogRing() {
+  // A ring destroyed while still attached would leave a dangling tap; detach
+  // defensively (no-op when the owner already did).
+  DetachLogRing(this);
+}
+
+void LogRing::Append(std::string line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(line));
+  } else {
+    ring_[pos_] = std::move(line);
+    pos_ = (pos_ + 1) % capacity_;
+  }
+  ++appended_;
+}
+
+void LogRing::AppendFormatted(LogLevel level, const char* file, int line, const char* message) {
+  std::string formatted;
+  formatted.reserve(std::strlen(message) + 32);
+  formatted += '[';
+  formatted += LevelTag(level);
+  formatted += ' ';
+  formatted += Basename(file);
+  formatted += ':';
+  formatted += std::to_string(line);
+  formatted += "] ";
+  formatted += message;
+  Append(std::move(formatted));
+}
+
+int64_t LogRing::appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_;
+}
+
+int64_t LogRing::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_ > static_cast<int64_t>(capacity_)
+             ? appended_ - static_cast<int64_t>(capacity_)
+             : 0;
+}
+
+std::vector<std::string> LogRing::Tail() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(ring_.size());
+  // Oldest first: once full, pos_ is the oldest entry.
+  const size_t start = ring_.size() < capacity_ ? 0 : pos_;
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+LogSiteCounter::LogSiteCounter(const char* file, int line) : file_(file), line_(line) {
+  std::lock_guard<std::mutex> lock(g_site_mutex);
+  Sites().push_back(this);
+}
+
+int64_t SuppressedLogLines() {
+  std::lock_guard<std::mutex> lock(g_site_mutex);
+  int64_t total = 0;
+  for (const LogSiteCounter* site : Sites()) {
+    total += site->suppressed();
+  }
+  return total;
+}
+
+std::vector<SuppressedLogSite> SuppressedLogSites() {
+  std::lock_guard<std::mutex> lock(g_site_mutex);
+  std::vector<SuppressedLogSite> out;
+  out.reserve(Sites().size());
+  for (const LogSiteCounter* site : Sites()) {
+    SuppressedLogSite s;
+    s.file = site->file();
+    s.line = site->line();
+    s.suppressed = site->suppressed();
+    out.push_back(s);
+  }
+  return out;
 }
 
 }  // namespace msd

@@ -2,9 +2,13 @@
 //
 // Output goes to stderr by default; SetLogSink redirects every emitted line
 // to a callback instead (tests assert on warnings, services forward them to
-// their own log plane). MSD_LOG_WARN_EVERY_N rate-limits per call site so
-// chaos/retry hot paths cannot spam — the 1st, (n+1)th, (2n+1)th ... hits
-// emit, the rest are counted and dropped.
+// their own log plane). Independently of the sink, any number of LogRings can
+// be attached as taps (AttachLogRing) — each receives every emitted line, so
+// a flight recorder can keep a bounded tail of recent logs without stealing
+// the sink from whoever owns it. MSD_LOG_WARN_EVERY_N rate-limits per call
+// site so chaos/retry hot paths cannot spam — the 1st, (n+1)th, (2n+1)th ...
+// hits emit, the rest are counted per site (SuppressedLogLines /
+// SuppressedLogSites) and surfaced as the msd_log_suppressed_total series.
 #ifndef SRC_COMMON_LOGGING_H_
 #define SRC_COMMON_LOGGING_H_
 
@@ -12,6 +16,9 @@
 #include <cstdarg>
 #include <cstdint>
 #include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
 
 namespace msd {
 
@@ -35,6 +42,87 @@ void SetLogSink(LogSink sink);
 void LogV(LogLevel level, const char* file, int line, const char* fmt, ...)
     __attribute__((format(printf, 4, 5)));
 
+// ---------------------------------------------------------------------------
+// LogRing: a bounded in-memory tail of recent log lines.
+//
+// The flight recorder (src/telemetry/flight_recorder.h) snapshots one of
+// these into every diagnostic bundle: "what was the process saying right
+// before the trigger" without always-on verbose logging. Appends overwrite
+// the oldest line once `capacity` is reached; Tail() returns the retained
+// lines oldest-first. Thread-safe (its own mutex — usable standalone in
+// tests, and safe under the logger mutex when attached as a tap).
+// ---------------------------------------------------------------------------
+class LogRing {
+ public:
+  explicit LogRing(size_t capacity);
+  ~LogRing();
+
+  LogRing(const LogRing&) = delete;
+  LogRing& operator=(const LogRing&) = delete;
+
+  // Appends one already-formatted line (no trailing newline).
+  void Append(std::string line);
+  // Formats "[L file:line] message" like the stderr writer and appends it.
+  void AppendFormatted(LogLevel level, const char* file, int line, const char* message);
+
+  size_t capacity() const { return capacity_; }
+  // Lines appended since construction (including overwritten ones).
+  int64_t appended() const;
+  // Lines lost to ring wrap-around.
+  int64_t dropped() const;
+  // Retained lines, oldest first.
+  std::vector<std::string> Tail() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<std::string> ring_;
+  size_t pos_ = 0;        // next write slot once the ring is full
+  int64_t appended_ = 0;  // total Append calls
+};
+
+// Attaches `ring` as a tap: every subsequently emitted log line (after level
+// filtering, regardless of the active sink) is also appended to it. Multiple
+// rings may be attached; DetachLogRing removes one. The ring must outlive its
+// attachment — detach before destroying it (~LogRing checks).
+void AttachLogRing(LogRing* ring);
+void DetachLogRing(LogRing* ring);
+
+// ---------------------------------------------------------------------------
+// Suppressed-warning accounting for MSD_LOG_WARN_EVERY_N.
+//
+// Each call site owns a static LogSiteCounter that registers itself once
+// (static-init, process lifetime) and counts its suppressed hits on a relaxed
+// atomic — the suppression hot path stays lock-free. SuppressedLogLines() is
+// the process-wide total the registry exports as msd_log_suppressed_total;
+// SuppressedLogSites() breaks it down per site for diagnosis bundles.
+// ---------------------------------------------------------------------------
+class LogSiteCounter {
+ public:
+  LogSiteCounter(const char* file, int line);
+
+  void IncrementSuppressed() { suppressed_.fetch_add(1, std::memory_order_relaxed); }
+  int64_t suppressed() const { return suppressed_.load(std::memory_order_relaxed); }
+  const char* file() const { return file_; }
+  int line() const { return line_; }
+
+ private:
+  const char* file_;
+  int line_;
+  std::atomic<int64_t> suppressed_{0};
+};
+
+struct SuppressedLogSite {
+  const char* file = "";
+  int line = 0;
+  int64_t suppressed = 0;
+};
+
+// Process-wide total of log lines suppressed by MSD_LOG_WARN_EVERY_N.
+int64_t SuppressedLogLines();
+// Per-site breakdown (only sites that were hit at least once appear).
+std::vector<SuppressedLogSite> SuppressedLogSites();
+
 }  // namespace msd
 
 #define MSD_LOG_DEBUG(...) ::msd::LogV(::msd::LogLevel::kDebug, __FILE__, __LINE__, __VA_ARGS__)
@@ -43,14 +131,19 @@ void LogV(LogLevel level, const char* file, int line, const char* fmt, ...)
 #define MSD_LOG_ERROR(...) ::msd::LogV(::msd::LogLevel::kError, __FILE__, __LINE__, __VA_ARGS__)
 
 // Emits on the 1st and every nth hit of THIS call site (per-site atomic
-// counter); everything in between is suppressed. For per-occurrence warnings
+// counter); everything in between is suppressed — and counted, so the
+// suppression is visible (SuppressedLogLines / msd_log_suppressed_total)
+// instead of silently hiding repeated failures. For per-occurrence warnings
 // on paths that can fire thousands of times under chaos (retry loops,
 // unreadable-footer scans).
 #define MSD_LOG_WARN_EVERY_N(n, ...)                                                      \
   do {                                                                                    \
     static ::std::atomic<int64_t> msd_warn_every_n_count{0};                              \
+    static ::msd::LogSiteCounter msd_warn_every_n_site(__FILE__, __LINE__);               \
     if (msd_warn_every_n_count.fetch_add(1, ::std::memory_order_relaxed) % (n) == 0) {    \
       ::msd::LogV(::msd::LogLevel::kWarn, __FILE__, __LINE__, __VA_ARGS__);               \
+    } else {                                                                              \
+      msd_warn_every_n_site.IncrementSuppressed();                                        \
     }                                                                                     \
   } while (0)
 

@@ -8,14 +8,14 @@
 namespace msd {
 
 LatencyInjectingStore::LatencyInjectingStore(ObjectStore* base, RemoteStorageParams params)
-    : base_(base), params_(params) {
+    : base_(base), params_(params), get_latency_override_(params.get_latency) {
   MSD_CHECK(base_ != nullptr);
 }
 
 void LatencyInjectingStore::ChargeGet(int64_t bytes) const {
   gets_.fetch_add(1, std::memory_order_relaxed);
   bytes_served_.fetch_add(bytes, std::memory_order_relaxed);
-  SimTime delay = params_.get_latency;
+  SimTime delay = get_latency_override_.load(std::memory_order_relaxed);
   if (params_.bandwidth_bytes_per_sec > 0) {
     delay += FromSeconds(static_cast<double>(bytes) / params_.bandwidth_bytes_per_sec);
   }

@@ -51,6 +51,15 @@ class LatencyInjectingStore final : public ObjectStore {
   Result<int64_t> SizeOf(const std::string& name) const override;
 
   const RemoteStorageParams& params() const { return params_; }
+  // Live override of the per-Get RPC floor — benches script mid-stream
+  // storage brownouts with it (5 ms -> 25 ms and back). Thread-safe; the
+  // bandwidth term is unaffected.
+  void set_get_latency(SimTime latency) {
+    get_latency_override_.store(latency, std::memory_order_relaxed);
+  }
+  SimTime get_latency() const {
+    return get_latency_override_.load(std::memory_order_relaxed);
+  }
   // Backing reads issued (Get + Open) — the dedup assertions in
   // tests/io_test.cc count these.
   int64_t gets() const { return gets_.load(std::memory_order_relaxed); }
@@ -62,6 +71,7 @@ class LatencyInjectingStore final : public ObjectStore {
 
   ObjectStore* base_;
   RemoteStorageParams params_;
+  std::atomic<SimTime> get_latency_override_;
   mutable std::atomic<int64_t> gets_{0};
   mutable std::atomic<int64_t> bytes_served_{0};
 };

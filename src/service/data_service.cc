@@ -40,7 +40,18 @@ Status ValidateTenantSession(const Session::Options& s) {
 }  // namespace
 
 DataService::DataService(SharedIoPlaneConfig plane_config)
-    : plane_(std::make_unique<SharedIoPlane>(std::move(plane_config))) {}
+    : plane_(std::make_unique<SharedIoPlane>(plane_config)),
+      default_health_(std::move(plane_config.health)) {
+  if (!default_health_.recorder_dir.empty()) {
+    // One recorder for the whole plane: every tenant monitor shares it, so
+    // its global rate limit turns a plane-wide incident into one bundle.
+    recorder_ = std::make_shared<FlightRecorder>(FlightRecorder::Config{
+        .dir = default_health_.recorder_dir,
+        .keep_bundles = default_health_.recorder_keep_bundles,
+        .min_interval_ms = default_health_.recorder_min_interval_ms});
+    default_health_.recorder = recorder_;
+  }
+}
 
 // Member order tears tenants_ (the Sessions) down before plane_; each
 // ~Session drains its in-flight reads against the still-live scheduler.
@@ -69,6 +80,15 @@ Status DataService::RegisterTenant(const std::string& name, TenantConfig config)
   opts.io_tenant = id.value();
   if (opts.gcs_namespace.empty()) {
     opts.gcs_namespace = name;
+  }
+  // Diagnosis: a tenant that brings its own health options keeps them; the
+  // rest adopt the plane default. Either way all monitors on this plane
+  // share the service recorder (one bundle per plane-wide incident).
+  if (!opts.health.enabled && default_health_.enabled) {
+    opts.health = default_health_;
+  }
+  if (opts.health.enabled && opts.health.recorder == nullptr && recorder_ != nullptr) {
+    opts.health.recorder = recorder_;
   }
   Result<std::unique_ptr<Session>> session = Session::Create(std::move(opts));
   if (!session.ok()) {
@@ -153,9 +173,44 @@ DataService::ServiceSnapshot DataService::MetricsSnapshot() const {
     if (scheduler_it != scheduler_tenants.end()) {
       stats.scheduler = scheduler_it->second;
     }
+    if (HealthMonitor* monitor = record.session->health(); monitor != nullptr) {
+      snap.health.emplace(name, monitor->Diagnose());
+    }
     snap.tenants.emplace(name, std::move(stats));
   }
   return snap;
+}
+
+Result<HealthReport> DataService::Diagnose(const std::string& name) {
+  // Under mu_ the record cannot be torn down (RemoveTenant moves it out
+  // under the same lock); lock order is service mu_ -> monitor mu_ with no
+  // inverse path, so this cannot deadlock with a concurrent health tick.
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(name);
+  if (it == tenants_.end() || it->second.session == nullptr) {
+    return Status::NotFound("tenant '" + name + "' is not registered");
+  }
+  HealthMonitor* monitor = it->second.session->health();
+  if (monitor == nullptr) {
+    return Status::FailedPrecondition("tenant '" + name +
+                                      "' runs without a health monitor");
+  }
+  return monitor->Diagnose();
+}
+
+Status DataService::SetSloPolicy(const std::string& name, const SloPolicy& policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(name);
+  if (it == tenants_.end() || it->second.session == nullptr) {
+    return Status::NotFound("tenant '" + name + "' is not registered");
+  }
+  HealthMonitor* monitor = it->second.session->health();
+  if (monitor == nullptr) {
+    return Status::FailedPrecondition("tenant '" + name +
+                                      "' runs without a health monitor");
+  }
+  monitor->SetSloPolicy(policy);
+  return Status::Ok();
 }
 
 std::string DataService::RenderPrometheus() const {

@@ -86,6 +86,19 @@ class DataService {
   Result<TenantStats> tenant_stats(const std::string& name) const;
   std::vector<std::string> tenant_names() const;
 
+  // ---- Diagnosis surface (src/telemetry/health.h) ----
+
+  // The tenant's current health: bottleneck verdict, recent stall breakdown,
+  // anomaly states. NotFound for unknown tenants; FailedPrecondition when the
+  // tenant runs without a health monitor.
+  Result<HealthReport> Diagnose(const std::string& name);
+  // Live-retunes the tenant's SLO policy (warmup/trigger/clear knobs);
+  // learned baselines are kept.
+  Status SetSloPolicy(const std::string& name, const SloPolicy& policy);
+  // The recorder shared by every tenant monitor (null when the plane config
+  // set no health.recorder_dir).
+  FlightRecorder* recorder() { return recorder_.get(); }
+
   // ---- Operator export surface (src/telemetry/) ----
 
   // One consistent cut of the whole service: the registry's series (every
@@ -100,6 +113,9 @@ class DataService {
     // pass as the aggregates above, so the slices always sum to them —
     // and each slice is what tenant_stats(name) reports at the same cut.
     std::map<std::string, TenantStats> tenants;
+    // Per-tenant health (verdict + anomalies), for tenants running with a
+    // monitor. Scrape consumers get diagnosis for free alongside the series.
+    std::map<std::string, HealthReport> health;
     // Backing Gets the shared store served, across all tenants.
     int64_t backing_gets = 0;
   };
@@ -135,6 +151,11 @@ class DataService {
   // before it — each ~Session drains its own in-flight reads against the
   // still-live scheduler.
   std::unique_ptr<SharedIoPlane> plane_;
+  // Plane-default health options tenants adopt (see SharedIoPlaneConfig) and
+  // the one recorder their monitors share. Declared before tenants_ so it
+  // outlives every monitor holding the shared_ptr.
+  HealthOptions default_health_;
+  std::shared_ptr<FlightRecorder> recorder_;
   mutable std::mutex mu_;
   std::map<std::string, TenantRecord> tenants_;
 

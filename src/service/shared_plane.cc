@@ -106,6 +106,7 @@ SharedIoPlane::SharedIoPlane(SharedIoPlaneConfig config) : config_(std::move(con
         }
       }
       AppendPayloadMetrics(out);
+      AppendLoggingMetrics(out);
     });
   }
 }

@@ -41,6 +41,7 @@
 #include "src/storage/columnar.h"
 #include "src/storage/memory_model.h"
 #include "src/storage/object_store.h"
+#include "src/telemetry/health.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/trace.h"
 
@@ -91,6 +92,11 @@ struct SharedIoPlaneConfig {
   // Spans retained before the oldest are overwritten; sized for several
   // tenants' worth of step + io spans. 0 = metrics only, no tracing.
   int64_t trace_ring_spans = 8192;
+  // Default diagnosis-plane options every tenant adopts unless its own
+  // Session::Options.health is enabled. When health.recorder_dir is set the
+  // DataService stands up ONE FlightRecorder shared by all tenant monitors,
+  // so a plane-wide incident writes one bundle, not one per tenant.
+  HealthOptions health;
 };
 
 class SharedIoPlane {

@@ -1,0 +1,125 @@
+// AnomalyDetector: per-tenant SLO baselines learned online, with
+// hysteresis-guarded triggers.
+//
+// Four signals are tracked per step: step latency (build-ahead wall ms),
+// tokens/s, cache hit-rate, and io retry-rate. Each signal learns its own
+// baseline during a warmup window (Welford stats + an empirical quantile),
+// then arms. After arming, the baseline keeps adapting via EWMA — but only
+// on healthy observations, so a sustained regression cannot drag its own
+// baseline up and silence itself.
+//
+// Hysteresis: a signal must violate its threshold on `trigger_after`
+// CONSECUTIVE steps to fire (steady-state noise never alarms), and must be
+// healthy for `clear_after` consecutive steps to clear. The detector counts
+// fire transitions (`triggers()`) and currently-alarmed signals (`active()`);
+// the HealthMonitor turns the 0 -> >0 transition into a flight-recorder dump.
+//
+// Thread-safety: none. The owner (HealthMonitor) serializes access.
+#ifndef SRC_TELEMETRY_ANOMALY_H_
+#define SRC_TELEMETRY_ANOMALY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+
+namespace msd {
+
+// The SLO knobs (docs/OBSERVABILITY.md "Diagnosis" explains each; TUNING.md
+// has the trade-offs). Defaults are deliberately conservative: a fault-free
+// steady-state run must fire zero anomalies (asserted by the diagnosis
+// bench's fault-free twin).
+struct SloPolicy {
+  int32_t warmup_steps = 12;   // observations before a signal arms
+  int32_t trigger_after = 3;   // consecutive violations to fire
+  int32_t clear_after = 8;     // consecutive healthy steps to clear
+  double ewma_alpha = 0.2;     // baseline adaptation rate (healthy steps only)
+  // Step latency violates when above factor * max(EWMA, warmup quantile) —
+  // the quantile floor keeps a fast warmup from producing a hair-trigger.
+  double latency_factor = 3.0;
+  double latency_quantile = 0.95;
+  // Tokens/s violates when below factor * EWMA (0.3 = lost 70% throughput).
+  double throughput_factor = 0.3;
+  // Cache hit-rate violates when below EWMA - drop (absolute percentage
+  // points; hit-rates live in [0,1] so ratios mislead near 0).
+  double hit_rate_drop = 0.3;
+  // Retry-rate (retries per issued Get) violates when above EWMA + rise.
+  double retry_rate_rise = 0.25;
+};
+
+// One step's observed signal values. Negative = not observable this step
+// (e.g. zero cache lookups); unobservable signals are skipped entirely —
+// they neither violate nor heal.
+struct SloSample {
+  double step_ms = -1.0;
+  double tokens_per_sec = -1.0;
+  double cache_hit_rate = -1.0;
+  double retry_rate = -1.0;
+};
+
+// Operator-facing state of one signal (Diagnose / bundle verdict.json).
+struct AnomalyState {
+  const char* signal = "";
+  bool armed = false;
+  bool alarmed = false;
+  double baseline = 0.0;  // current effective baseline (EWMA side)
+  double last = 0.0;      // most recent observation
+  int64_t consecutive_violations = 0;
+  int64_t fires = 0;  // times this signal transitioned healthy -> alarmed
+};
+
+class AnomalyDetector {
+ public:
+  explicit AnomalyDetector(SloPolicy policy);
+
+  // Feeds one step's signals; returns how many signals newly fired.
+  int OnStep(const SloSample& sample);
+
+  // Swaps thresholds; learned baselines and alarm states are kept (the
+  // service-plane SetSloPolicy retunes a live tenant without re-warming).
+  void SetPolicy(const SloPolicy& policy) { policy_ = policy; }
+  const SloPolicy& policy() const { return policy_; }
+
+  int64_t active() const;    // currently alarmed signals
+  int64_t triggers() const;  // cumulative fire transitions across signals
+  std::vector<AnomalyState> States() const;
+  std::string RenderJson() const;
+
+ private:
+  enum class Direction {
+    kFactorAbove,  // violation: obs > factor * baseline (latency)
+    kFactorBelow,  // violation: obs < factor * baseline (throughput)
+    kDropBelow,    // violation: obs < baseline - delta  (hit-rate)
+    kRiseAbove,    // violation: obs > baseline + delta  (retry-rate)
+  };
+
+  struct Signal {
+    const char* name = "";
+    Direction direction = Direction::kFactorAbove;
+    RunningStat warmup;
+    EmpiricalCdf warmup_cdf;
+    bool armed = false;
+    double ewma = 0.0;
+    double quantile_floor = 0.0;  // latency only: quantile at arm time
+    bool alarmed = false;
+    int64_t violations = 0;  // consecutive
+    int64_t healthy = 0;     // consecutive (while alarmed)
+    int64_t fires = 0;
+    double last = 0.0;
+  };
+
+  // Returns true if the signal newly fired.
+  bool Feed(Signal* sig, double obs);
+  double Threshold(const Signal& sig) const;
+
+  SloPolicy policy_;
+  Signal latency_;
+  Signal throughput_;
+  Signal hit_rate_;
+  Signal retry_rate_;
+};
+
+}  // namespace msd
+
+#endif  // SRC_TELEMETRY_ANOMALY_H_

@@ -1,0 +1,304 @@
+#include "src/telemetry/attribution.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace msd {
+
+namespace {
+
+struct Interval {
+  int64_t begin = 0;
+  int64_t end = 0;
+};
+
+// Total covered length of the interval union (inputs need not be disjoint).
+int64_t UnionLength(std::vector<Interval> intervals) {
+  if (intervals.empty()) {
+    return 0;
+  }
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) { return a.begin < b.begin; });
+  int64_t total = 0;
+  int64_t cur_begin = intervals[0].begin;
+  int64_t cur_end = intervals[0].end;
+  for (size_t i = 1; i < intervals.size(); ++i) {
+    if (intervals[i].begin > cur_end) {
+      total += cur_end - cur_begin;
+      cur_begin = intervals[i].begin;
+      cur_end = intervals[i].end;
+    } else {
+      cur_end = std::max(cur_end, intervals[i].end);
+    }
+  }
+  total += cur_end - cur_begin;
+  return total;
+}
+
+double UsToMs(int64_t us) { return static_cast<double>(us) / 1000.0; }
+
+void AppendField(std::string* out, const char* key, double value, bool* first) {
+  if (!*first) {
+    *out += ",";
+  }
+  *first = false;
+  *out += "\"";
+  *out += key;
+  *out += "\":" + std::to_string(value);
+}
+
+void AppendField(std::string* out, const char* key, int64_t value, bool* first) {
+  if (!*first) {
+    *out += ",";
+  }
+  *first = false;
+  *out += "\"";
+  *out += key;
+  *out += "\":" + std::to_string(value);
+}
+
+}  // namespace
+
+const char* ToString(BottleneckKind kind) {
+  switch (kind) {
+    case BottleneckKind::kHealthy:
+      return "healthy";
+    case BottleneckKind::kIoBound:
+      return "io-bound";
+    case BottleneckKind::kDecodeBound:
+      return "decode-bound";
+    case BottleneckKind::kConsumerBound:
+      return "consumer-bound";
+  }
+  return "unknown";
+}
+
+StallAttribution::StallAttribution(Config config) : config_(config) {
+  MSD_CHECK(config_.window_steps >= 1);
+  MSD_CHECK(config_.history_steps >= config_.window_steps);
+  MSD_CHECK(config_.dominance_threshold > 0.0 && config_.dominance_threshold <= 1.0);
+}
+
+int StallAttribution::Observe(const std::vector<TraceSpan>& spans) {
+  // A step is complete once the producer records its step.gate span (the
+  // last span of the production round). Finalize strictly in step order so
+  // the rolling window never sees a gap filled retroactively.
+  std::set<int64_t> ready;
+  for (const TraceSpan& s : spans) {
+    if (s.tenant == config_.tenant && s.step > last_finalized_ &&
+        std::strcmp(s.name, "step.gate") == 0) {
+      ready.insert(s.step);
+    }
+  }
+  int finalized = 0;
+  for (int64_t step : ready) {
+    Finalize(spans, step);
+    last_finalized_ = step;
+    ++finalized;
+  }
+  while (history_.size() > config_.history_steps) {
+    history_.pop_front();
+  }
+  return finalized;
+}
+
+void StallAttribution::Finalize(const std::vector<TraceSpan>& spans, int64_t step) {
+  const TraceSpan* gate = nullptr;
+  const TraceSpan* plan = nullptr;
+  const TraceSpan* pop = nullptr;
+  const TraceSpan* build = nullptr;
+  std::map<int32_t, int64_t> pop_wait_by_source;  // us
+  std::vector<Interval> io_all;
+  std::vector<Interval> io_retry;
+  // First pass: the step-scoped producer spans define the pop window.
+  for (const TraceSpan& s : spans) {
+    if (s.tenant != config_.tenant || s.step != step) {
+      continue;
+    }
+    if (std::strcmp(s.name, "step.gate") == 0) {
+      gate = &s;
+    } else if (std::strcmp(s.name, "step.plan") == 0) {
+      plan = &s;
+    } else if (std::strcmp(s.name, "step.pop") == 0) {
+      pop = &s;
+    } else if (std::strcmp(s.name, "step.build") == 0) {
+      build = &s;
+    } else if (std::strcmp(s.name, "pop.wait") == 0 && s.source >= 0) {
+      pop_wait_by_source[s.source] += s.dur_us;
+    }
+  }
+  // Second pass: io spans carry no step id (the scheduler serves coalesced,
+  // cross-step traffic) — clip them to this step's pop window by time.
+  if (pop != nullptr && pop->dur_us > 0) {
+    const int64_t window_begin = pop->ts_us;
+    const int64_t window_end = pop->ts_us + pop->dur_us;
+    for (const TraceSpan& s : spans) {
+      if (s.tenant != config_.tenant) {
+        continue;
+      }
+      const bool is_retry =
+          std::strcmp(s.name, "io.retry") == 0 || std::strcmp(s.name, "io.hedge") == 0;
+      if (!is_retry && std::strcmp(s.name, "io.get") != 0) {
+        continue;
+      }
+      const int64_t begin = std::max(s.ts_us, window_begin);
+      const int64_t end = std::min(s.ts_us + s.dur_us, window_end);
+      if (end <= begin) {
+        continue;
+      }
+      io_all.push_back({begin, end});
+      if (is_retry) {
+        io_retry.push_back({begin, end});
+      }
+    }
+  }
+
+  StepBreakdown b;
+  b.step = step;
+  b.consumer_stall_ms = gate != nullptr ? UsToMs(gate->dur_us) : 0.0;
+  b.plan_ms = plan != nullptr ? UsToMs(plan->dur_us) : 0.0;
+  b.build_ms = build != nullptr ? UsToMs(build->dur_us) : 0.0;
+  const int64_t retry_us = UnionLength(std::move(io_retry));
+  const int64_t io_total_us = UnionLength(std::move(io_all));
+  b.io_retry_ms = UsToMs(retry_us);
+  b.io_backing_ms = UsToMs(std::max<int64_t>(0, io_total_us - retry_us));
+  const double pop_ms = pop != nullptr ? UsToMs(pop->dur_us) : 0.0;
+  b.pop_wait_ms = std::max(0.0, pop_ms - b.io_backing_ms - b.io_retry_ms);
+
+  // Wall clock: gate start (the slot claim precedes everything) to build end.
+  int64_t begin_us = gate != nullptr ? gate->ts_us
+                     : plan != nullptr ? plan->ts_us
+                                       : 0;
+  int64_t end_us = begin_us;
+  for (const TraceSpan* s : {gate, plan, pop, build}) {
+    if (s != nullptr) {
+      begin_us = std::min(begin_us, s->ts_us);
+      end_us = std::max(end_us, s->ts_us + s->dur_us);
+    }
+  }
+  b.wall_ms = UsToMs(std::max<int64_t>(0, end_us - begin_us));
+  const double accounted =
+      b.consumer_stall_ms + b.plan_ms + pop_ms + b.build_ms;
+  b.other_ms = std::max(0.0, b.wall_ms - accounted);
+
+  for (const auto& [source, us] : pop_wait_by_source) {
+    if (UsToMs(us) > b.dominant_source_ms) {
+      b.dominant_source_ms = UsToMs(us);
+      b.dominant_source = source;
+    }
+  }
+  history_.push_back(b);
+}
+
+BottleneckVerdict StallAttribution::Verdict() const {
+  BottleneckVerdict v;
+  const size_t n = std::min(history_.size(), config_.window_steps);
+  if (n == 0) {
+    return v;
+  }
+  double wall = 0.0;
+  double io = 0.0;
+  double decode = 0.0;
+  double consumer = 0.0;
+  std::map<int32_t, double> source_ms;
+  for (size_t i = history_.size() - n; i < history_.size(); ++i) {
+    const StepBreakdown& b = history_[i];
+    wall += b.wall_ms;
+    io += b.io_backing_ms + b.io_retry_ms;
+    decode += b.pop_wait_ms;
+    consumer += b.consumer_stall_ms;
+    if (b.dominant_source >= 0) {
+      source_ms[b.dominant_source] += b.dominant_source_ms;
+    }
+    v.last_step = std::max(v.last_step, b.step);
+  }
+  v.steps_observed = static_cast<int64_t>(n);
+  if (wall <= 0.0) {
+    return v;
+  }
+  v.io_fraction = io / wall;
+  v.decode_fraction = decode / wall;
+  v.consumer_fraction = consumer / wall;
+  double best_ms = 0.0;
+  for (const auto& [source, ms] : source_ms) {
+    if (ms > best_ms) {
+      best_ms = ms;
+      v.dominant_source = source;
+    }
+  }
+  const double top =
+      std::max({v.io_fraction, v.decode_fraction, v.consumer_fraction});
+  if (top < config_.dominance_threshold) {
+    // Healthy: confidence is the share of windowed wall time NOT spent in
+    // the worst stall family.
+    v.confidence = 1.0 - top;
+    return v;
+  }
+  v.confidence = top;
+  if (top == v.io_fraction) {
+    v.kind = BottleneckKind::kIoBound;
+  } else if (top == v.decode_fraction) {
+    v.kind = BottleneckKind::kDecodeBound;
+  } else {
+    v.kind = BottleneckKind::kConsumerBound;
+  }
+  return v;
+}
+
+std::vector<StepBreakdown> StallAttribution::History() const {
+  return std::vector<StepBreakdown>(history_.begin(), history_.end());
+}
+
+std::vector<StepBreakdown> StallAttribution::Recent(size_t n) const {
+  const size_t take = std::min(n, history_.size());
+  return std::vector<StepBreakdown>(history_.end() - static_cast<ptrdiff_t>(take),
+                                    history_.end());
+}
+
+std::string StallAttribution::RenderHistoryJson() const {
+  const BottleneckVerdict v = Verdict();
+  std::string out = "{\"tenant\":" + std::to_string(config_.tenant) +
+                    ",\"window_steps\":" + std::to_string(config_.window_steps) +
+                    ",\"verdict\":{\"kind\":\"";
+  out += ToString(v.kind);
+  out += "\"";
+  bool first = false;
+  AppendField(&out, "confidence", v.confidence, &first);
+  AppendField(&out, "dominant_source", static_cast<int64_t>(v.dominant_source), &first);
+  AppendField(&out, "io_fraction", v.io_fraction, &first);
+  AppendField(&out, "decode_fraction", v.decode_fraction, &first);
+  AppendField(&out, "consumer_fraction", v.consumer_fraction, &first);
+  AppendField(&out, "steps_observed", v.steps_observed, &first);
+  AppendField(&out, "last_step", v.last_step, &first);
+  out += "},\"steps\":[";
+  bool first_step = true;
+  for (const StepBreakdown& b : history_) {
+    if (!first_step) {
+      out += ",";
+    }
+    first_step = false;
+    out += "{";
+    bool f = true;
+    AppendField(&out, "step", b.step, &f);
+    AppendField(&out, "wall_ms", b.wall_ms, &f);
+    AppendField(&out, "consumer_stall_ms", b.consumer_stall_ms, &f);
+    AppendField(&out, "plan_ms", b.plan_ms, &f);
+    AppendField(&out, "pop_wait_ms", b.pop_wait_ms, &f);
+    AppendField(&out, "io_backing_ms", b.io_backing_ms, &f);
+    AppendField(&out, "io_retry_ms", b.io_retry_ms, &f);
+    AppendField(&out, "build_ms", b.build_ms, &f);
+    AppendField(&out, "other_ms", b.other_ms, &f);
+    AppendField(&out, "dominant_source", static_cast<int64_t>(b.dominant_source), &f);
+    AppendField(&out, "dominant_source_ms", b.dominant_source_ms, &f);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace msd

@@ -1,0 +1,120 @@
+// StallAttribution: decomposes every produced step's wall time into exclusive
+// buckets from the span ring — the in-process, continuous equivalent of the
+// paper's Fig. 15 time-breakdown.
+//
+// Input is the StepTracer's Snapshot(): the producer records, per step,
+//   step.gate   blocked on a free window slot (consumer backpressure)
+//   step.plan   planner Ask
+//   step.pop    the whole gather (all loader pops)
+//   pop.wait    one loader's share of the gather, source-labelled (detail)
+//   step.build  constructor assembly
+// and the io threads record io.get / io.retry / io.hedge with step == -1.
+//
+// A step is *finalized* once its step.gate span appears (the producer records
+// it last). Its exclusive buckets, all in milliseconds:
+//
+//   consumer_stall = step.gate duration
+//   plan           = step.plan duration
+//   io_retry       = union of io.retry+io.hedge spans clipped to the pop window
+//   io_backing     = union of io.get spans clipped to the pop window, minus
+//                    any time already classified io_retry
+//   pop_wait       = step.pop duration minus io_backing minus io_retry — the
+//                    gather time NOT explained by backing I/O (loader decode/
+//                    transform, actor queueing): the decode-bound signal
+//   build          = step.build duration
+//   other          = wall minus all of the above, clamped at 0
+//
+// wall = build end - gate start, so the buckets sum to wall within clipping
+// tolerance (asserted by tests/diagnosis_test.cc on a synthetic ring).
+//
+// The verdict is computed over a rolling window of finalized steps with
+// *sum* weighting (each step weighted by its wall time), so a brownout —
+// few steps, each several times longer than baseline — dominates the window
+// within a couple of steps instead of being averaged away.
+//
+// Thread-safety: none. The owner (HealthMonitor) serializes access.
+#ifndef SRC_TELEMETRY_ATTRIBUTION_H_
+#define SRC_TELEMETRY_ATTRIBUTION_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/telemetry/trace.h"
+
+namespace msd {
+
+// One finalized step's exclusive time buckets (milliseconds).
+struct StepBreakdown {
+  int64_t step = -1;
+  double wall_ms = 0.0;
+  double consumer_stall_ms = 0.0;  // producer gated on the prefetch window
+  double plan_ms = 0.0;
+  double pop_wait_ms = 0.0;    // gather time not explained by backing I/O
+  double io_backing_ms = 0.0;  // first-try backing Gets inside the gather
+  double io_retry_ms = 0.0;    // retry/hedge attempts inside the gather
+  double build_ms = 0.0;
+  double other_ms = 0.0;
+  int32_t dominant_source = -1;  // slowest source by pop.wait, -1 = unknown
+  double dominant_source_ms = 0.0;
+};
+
+enum class BottleneckKind { kHealthy = 0, kIoBound = 1, kDecodeBound = 2, kConsumerBound = 3 };
+
+const char* ToString(BottleneckKind kind);
+
+// The rolling classification: which bucket family dominates the windowed,
+// wall-weighted breakdown, with what share (confidence), and which source is
+// the slowest when the answer is data-side.
+struct BottleneckVerdict {
+  BottleneckKind kind = BottleneckKind::kHealthy;
+  double confidence = 0.0;  // dominant family's share of windowed wall time
+  int32_t dominant_source = -1;
+  double io_fraction = 0.0;        // (io_backing + io_retry) / wall
+  double decode_fraction = 0.0;    // pop_wait / wall
+  double consumer_fraction = 0.0;  // consumer_stall / wall
+  int64_t steps_observed = 0;      // finalized steps in the window
+  int64_t last_step = -1;
+};
+
+class StallAttribution {
+ public:
+  struct Config {
+    IoTenantId tenant = kDefaultIoTenant;  // only this tenant's spans count
+    size_t window_steps = 16;              // verdict window (also Fig-15 depth)
+    size_t history_steps = 256;            // breakdowns retained for bundles
+    // A bucket family must hold at least this share of windowed wall time to
+    // name the bottleneck; below it the verdict stays healthy.
+    double dominance_threshold = 0.4;
+  };
+
+  explicit StallAttribution(Config config);
+
+  // Ingests a tracer snapshot (oldest first) and finalizes, in step order,
+  // every not-yet-finalized step whose step.gate span is present. Passing
+  // overlapping snapshots is fine — already-finalized steps are skipped.
+  // Returns the number of steps finalized by this call.
+  int Observe(const std::vector<TraceSpan>& spans);
+
+  BottleneckVerdict Verdict() const;
+  // Retained breakdowns, oldest first (up to history_steps).
+  std::vector<StepBreakdown> History() const;
+  // Newest `n` breakdowns, oldest first.
+  std::vector<StepBreakdown> Recent(size_t n) const;
+  int64_t last_finalized_step() const { return last_finalized_; }
+
+  // {"tenant":..,"verdict":{..},"steps":[{..},..]} for diagnostic bundles.
+  std::string RenderHistoryJson() const;
+
+ private:
+  void Finalize(const std::vector<TraceSpan>& spans, int64_t step);
+
+  Config config_;
+  int64_t last_finalized_ = -1;
+  std::deque<StepBreakdown> history_;
+};
+
+}  // namespace msd
+
+#endif  // SRC_TELEMETRY_ATTRIBUTION_H_

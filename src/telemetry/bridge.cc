@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "src/common/logging.h"
 #include "src/data/payload_buffer.h"
 
 namespace msd {
@@ -113,6 +114,10 @@ void AppendPayloadMetrics(std::vector<MetricPoint>* out) {
   PushCounter("msd_payload_copy_bytes_total", kMetricNoTenant, token_copies + pixel_copies, out);
   PushCounter("msd_payload_arena_slabs_frozen_total", kMetricNoTenant,
               PayloadPlaneStats::ArenaSlabsFrozen().load(std::memory_order_relaxed), out);
+}
+
+void AppendLoggingMetrics(std::vector<MetricPoint>* out) {
+  PushCounter("msd_log_suppressed_total", kMetricNoTenant, SuppressedLogLines(), out);
 }
 
 }  // namespace msd

@@ -48,6 +48,11 @@ void AppendFaultMetrics(int64_t faults_injected, int64_t corruptions_injected,
 // Always aggregate (the counters are global, not per tenant).
 void AppendPayloadMetrics(std::vector<MetricPoint>* out);
 
+// Process-wide MSD_LOG_WARN_EVERY_N suppression accounting ->
+// msd_log_suppressed_total. Always aggregate (the counters are per call
+// site, not per tenant).
+void AppendLoggingMetrics(std::vector<MetricPoint>* out);
+
 }  // namespace msd
 
 #endif  // SRC_TELEMETRY_BRIDGE_H_

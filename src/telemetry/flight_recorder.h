@@ -1,0 +1,80 @@
+// FlightRecorder: atomically dumps self-contained diagnostic bundles.
+//
+// On a health trigger, the monitor hands the recorder a set of artifacts
+// (Chrome trace, metrics snapshot JSON, attribution history, log tail,
+// triggering verdict) and the recorder writes them to
+//
+//   <dir>/bundle-<seq>/
+//     MANIFEST.json   reason, seq, timestamp, file list — written LAST
+//     <artifact>...   e.g. trace.json, metrics.json, attribution.json,
+//                     verdict.json, log_tail.txt
+//
+// Atomicity: everything is staged into bundle-<seq>.tmp/ and renamed into
+// place in one filesystem rename, so a reader (msd_diagnose, a human with
+// `ls`) never sees a half-written bundle — the directory either exists with
+// a complete manifest or not at all.
+//
+// Bounded: at most `keep_bundles` newest bundles are retained (older ones
+// removed after each dump), and dumps are rate-limited to one per
+// `min_interval_ms` (suppressed dumps are counted, not queued).
+//
+// Shared: one recorder may serve every tenant of a DataService plane —
+// Dump() is thread-safe and tags the reason string, and the global rate
+// limit keeps a plane-wide incident from writing one bundle per tenant.
+#ifndef SRC_TELEMETRY_FLIGHT_RECORDER_H_
+#define SRC_TELEMETRY_FLIGHT_RECORDER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace msd {
+
+class FlightRecorder {
+ public:
+  struct Config {
+    std::string dir;  // created on first dump if missing; must be non-empty
+    int32_t keep_bundles = 4;
+    int64_t min_interval_ms = 500;
+  };
+
+  // One file inside a bundle.
+  struct Artifact {
+    std::string filename;
+    std::string content;
+  };
+
+  explicit FlightRecorder(Config config);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Writes one bundle. Returns the final bundle directory path; an empty
+  // string when the dump was rate-limited (counted in suppressed()); an
+  // error status when the filesystem failed.
+  Result<std::string> Dump(const std::string& reason,
+                           const std::vector<Artifact>& artifacts);
+
+  int64_t bundles_written() const;
+  int64_t suppressed() const;
+  const std::string& dir() const { return config_.dir; }
+
+ private:
+  void EnforceRetentionLocked();
+
+  Config config_;
+  mutable std::mutex mu_;
+  int64_t next_seq_ = 0;  // initialized past any bundles already on disk
+  int64_t bundles_written_ = 0;
+  int64_t suppressed_ = 0;
+  bool ever_dumped_ = false;
+  std::chrono::steady_clock::time_point last_dump_;
+};
+
+}  // namespace msd
+
+#endif  // SRC_TELEMETRY_FLIGHT_RECORDER_H_

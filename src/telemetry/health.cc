@@ -1,0 +1,200 @@
+#include "src/telemetry/health.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace msd {
+
+namespace {
+
+StallAttribution::Config WithTenant(StallAttribution::Config config, IoTenantId tenant) {
+  config.tenant = tenant;
+  return config;
+}
+
+}  // namespace
+
+HealthMonitor::HealthMonitor(HealthOptions options, IoTenantId tenant,
+                             MetricsRegistry* metrics, StepTracer* tracer)
+    : options_(std::move(options)),
+      tenant_(tenant),
+      metrics_(metrics),
+      tracer_(tracer),
+      attribution_(WithTenant(options_.attribution, tenant)),
+      detector_(options_.slo) {
+  // Shared plane recorder wins; otherwise own one rooted at recorder_dir.
+  if (options_.recorder != nullptr) {
+    recorder_ = options_.recorder;
+  } else if (!options_.recorder_dir.empty()) {
+    recorder_ = std::make_shared<FlightRecorder>(FlightRecorder::Config{
+        .dir = options_.recorder_dir,
+        .keep_bundles = options_.recorder_keep_bundles,
+        .min_interval_ms = options_.recorder_min_interval_ms});
+  }
+  if (options_.log_ring_lines > 0) {
+    log_ring_ = std::make_unique<LogRing>(options_.log_ring_lines);
+    AttachLogRing(log_ring_.get());
+  }
+  if (metrics_ != nullptr) {
+    verdict_gauge_ = metrics_->GetGauge("msd_health_verdict", tenant_);
+    confidence_gauge_ = metrics_->GetGauge("msd_health_confidence", tenant_);
+    active_gauge_ = metrics_->GetGauge("msd_anomalies_active", tenant_);
+    triggers_counter_ = metrics_->GetCounter("msd_anomaly_triggers_total", tenant_);
+    bundles_counter_ = metrics_->GetCounter("msd_recorder_bundles_total", tenant_);
+  }
+}
+
+HealthMonitor::~HealthMonitor() {
+  if (log_ring_ != nullptr) {
+    DetachLogRing(log_ring_.get());
+  }
+}
+
+void HealthMonitor::IngestLocked() {
+  if (tracer_ != nullptr) {
+    attribution_.Observe(tracer_->Snapshot());
+  }
+}
+
+void HealthMonitor::ExportLocked() {
+  if (metrics_ == nullptr) {
+    return;
+  }
+  const BottleneckVerdict v = attribution_.Verdict();
+  verdict_gauge_->Set(static_cast<double>(static_cast<int>(v.kind)));
+  confidence_gauge_->Set(v.confidence);
+  active_gauge_->Set(static_cast<double>(detector_.active()));
+}
+
+void HealthMonitor::DumpLocked(const std::string& reason) {
+  if (recorder_ == nullptr) {
+    return;
+  }
+  std::vector<FlightRecorder::Artifact> artifacts;
+  if (tracer_ != nullptr) {
+    artifacts.push_back({"trace.json", tracer_->RenderChromeTrace()});
+  }
+  if (metrics_ != nullptr) {
+    artifacts.push_back({"metrics.json", RenderJson(metrics_->Snapshot())});
+  }
+  artifacts.push_back({"attribution.json", attribution_.RenderHistoryJson()});
+  const BottleneckVerdict v = attribution_.Verdict();
+  std::string verdict_json = "{\"tenant\":" + std::to_string(tenant_) + ",\"verdict\":\"";
+  verdict_json += ToString(v.kind);
+  verdict_json += "\",\"confidence\":" + std::to_string(v.confidence) +
+                  ",\"dominant_source\":" + std::to_string(v.dominant_source) +
+                  ",\"hard_events\":" + std::to_string(hard_events_) +
+                  ",\"anomalies\":" + detector_.RenderJson() + "}";
+  artifacts.push_back({"verdict.json", std::move(verdict_json)});
+  if (log_ring_ != nullptr) {
+    std::string tail;
+    for (const std::string& line : log_ring_->Tail()) {
+      tail += line;
+      tail += '\n';
+    }
+    artifacts.push_back({"log_tail.txt", std::move(tail)});
+  }
+  Result<std::string> dumped = recorder_->Dump(reason, artifacts);
+  if (dumped.ok() && !dumped.value().empty()) {
+    ++bundles_written_;
+    if (bundles_counter_ != nullptr) {
+      bundles_counter_->Increment();
+    }
+    MSD_LOG_INFO("health[%lld]: wrote diagnostic bundle %s (%s)",
+                 static_cast<long long>(tenant_), dumped.value().c_str(), reason.c_str());
+  }
+}
+
+void HealthMonitor::OnStepProduced(const StepObservation& obs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  IngestLocked();
+
+  SloSample sample;
+  sample.step_ms = obs.step_ms >= 0.0 ? obs.step_ms : -1.0;
+  sample.tokens_per_sec =
+      obs.step_ms > 0.0 ? static_cast<double>(obs.tokens) / (obs.step_ms / 1000.0) : -1.0;
+  int hard = 0;
+  std::string hard_reason;
+  if (has_prev_) {
+    const int64_t d_lookups = obs.cache_lookups - prev_.cache_lookups;
+    const int64_t d_hits = obs.cache_hits - prev_.cache_hits;
+    if (d_lookups > 0) {
+      sample.cache_hit_rate = static_cast<double>(d_hits) / static_cast<double>(d_lookups);
+    }
+    const int64_t d_issued = obs.io_issued_gets - prev_.io_issued_gets;
+    const int64_t d_retries = obs.io_retries - prev_.io_retries;
+    if (d_issued > 0) {
+      sample.retry_rate = static_cast<double>(d_retries) / static_cast<double>(d_issued);
+    }
+    if (obs.quarantined_sources > prev_.quarantined_sources) {
+      ++hard;
+      hard_reason = "source-quarantine";
+    }
+    if (obs.watchdog_detections > prev_.watchdog_detections) {
+      ++hard;
+      hard_reason = hard_reason.empty() ? "watchdog-promotion"
+                                        : hard_reason + "+watchdog-promotion";
+    }
+  }
+  prev_ = obs;
+  has_prev_ = true;
+
+  const int64_t was_active = detector_.active();
+  const int fired = detector_.OnStep(sample);
+  hard_events_ += hard;
+  if (triggers_counter_ != nullptr && fired + hard > 0) {
+    triggers_counter_->Increment(fired + hard);
+  }
+  // One bundle per incident, not per symptom: dump on the FIRST alarm (the
+  // 0 -> >0 transition) or on a hard event; additional signals joining an
+  // already-active incident do not redump.
+  if (hard > 0) {
+    DumpLocked(hard_reason + " at step " + std::to_string(obs.step));
+  } else if (was_active == 0 && detector_.active() > 0 && fired > 0) {
+    std::string alarmed;
+    for (const AnomalyState& s : detector_.States()) {
+      if (s.alarmed) {
+        if (!alarmed.empty()) {
+          alarmed += "+";
+        }
+        alarmed += s.signal;
+      }
+    }
+    DumpLocked("anomaly " + alarmed + " at step " + std::to_string(obs.step) +
+               " verdict=" + ToString(attribution_.Verdict().kind));
+  }
+  ExportLocked();
+}
+
+void HealthMonitor::OnHardEvent(const char* kind, const std::string& detail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  IngestLocked();
+  ++hard_events_;
+  if (triggers_counter_ != nullptr) {
+    triggers_counter_->Increment();
+  }
+  DumpLocked(std::string(kind) + (detail.empty() ? "" : ": " + detail));
+  ExportLocked();
+}
+
+HealthReport HealthMonitor::Diagnose() {
+  std::lock_guard<std::mutex> lock(mu_);
+  IngestLocked();
+  HealthReport report;
+  report.verdict = attribution_.Verdict();
+  report.recent = attribution_.Recent(options_.attribution.window_steps);
+  report.anomalies = detector_.States();
+  report.anomalies_active = detector_.active();
+  report.triggers_total = detector_.triggers() + hard_events_;
+  report.hard_events = hard_events_;
+  report.bundles_written = bundles_written_;
+  ExportLocked();
+  return report;
+}
+
+void HealthMonitor::SetSloPolicy(const SloPolicy& policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  detector_.SetPolicy(policy);
+}
+
+}  // namespace msd

@@ -1,0 +1,149 @@
+// HealthMonitor: the per-session diagnosis plane tying the three stage-two
+// parts together — stall attribution over the span ring, SLO baselines with
+// hysteresis-guarded anomaly detection, and the flight recorder.
+//
+// Strictly read-side: the monitor consumes spans and cumulative counters the
+// data plane already produces, and never feeds anything back into planning,
+// popping, or building — byte-identity of delivered batches with the monitor
+// on vs off is an invariant (enforced by tests/diagnosis_test.cc).
+//
+// Flow, once per produced step (Session::HealthTick on the producer thread):
+//   1. ingest a fresh tracer snapshot into StallAttribution (finalizes every
+//      newly complete step's exclusive-bucket breakdown),
+//   2. turn the step's cumulative counters into per-step SLO signals (the
+//      monitor diffs internally) and feed the AnomalyDetector,
+//   3. on the first active alarm (0 -> >0 transition) or any hard event
+//      (watchdog promotion, source quarantine, produce-retry exhaustion),
+//      dump one flight-recorder bundle — rate-limited, so an incident yields
+//      one bundle, not one per symptom.
+//
+// Exported series (registered on the session's registry, tenant-labelled):
+//   msd_health_verdict       gauge   BottleneckKind as int (0 healthy,
+//                                    1 io-bound, 2 decode-bound,
+//                                    3 consumer-bound)
+//   msd_health_confidence    gauge   verdict confidence in [0,1]
+//   msd_anomalies_active     gauge   currently alarmed SLO signals
+//   msd_anomaly_triggers_total   counter  alarm fires + hard events
+//   msd_recorder_bundles_total   counter  bundles written for this tenant
+#ifndef SRC_TELEMETRY_HEALTH_H_
+#define SRC_TELEMETRY_HEALTH_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/telemetry/anomaly.h"
+#include "src/telemetry/attribution.h"
+#include "src/telemetry/flight_recorder.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
+
+namespace msd {
+
+struct HealthOptions {
+  bool enabled = false;
+  SloPolicy slo;
+  // tenant / window / dominance knobs; `attribution.tenant` is overridden
+  // with the session's io tenant at wiring time.
+  StallAttribution::Config attribution;
+  // Flight recorder: either a directory for a monitor-owned recorder, or a
+  // recorder shared across tenants (the DataService plane injects one; it
+  // takes precedence). Both empty/null = triggers fire but nothing dumps.
+  std::string recorder_dir;
+  int32_t recorder_keep_bundles = 4;
+  int64_t recorder_min_interval_ms = 500;
+  std::shared_ptr<FlightRecorder> recorder;
+  // Bounded tail of recent log lines captured into bundles (0 = no tap).
+  size_t log_ring_lines = 256;
+};
+
+// One produced step's raw inputs. Counter fields are CUMULATIVE session
+// totals as of this step — the monitor diffs consecutive observations
+// itself, so callers never carry per-step state.
+struct StepObservation {
+  int64_t step = 0;
+  double step_ms = 0.0;  // build-ahead wall time (plan+pop+build)
+  int64_t tokens = 0;    // planned tokens in this step
+  int64_t cache_lookups = 0;
+  int64_t cache_hits = 0;
+  int64_t io_retries = 0;
+  int64_t io_issued_gets = 0;
+  int64_t quarantined_sources = 0;  // cumulative quarantine count
+  int64_t watchdog_detections = 0;  // cumulative promotions
+};
+
+// Everything Diagnose() answers with (Session::health()->Diagnose(), the
+// DataService Diagnose(tenant) RPC surface).
+struct HealthReport {
+  BottleneckVerdict verdict;
+  std::vector<StepBreakdown> recent;  // newest window, oldest first
+  std::vector<AnomalyState> anomalies;
+  int64_t anomalies_active = 0;
+  int64_t triggers_total = 0;  // alarm fires + hard events
+  int64_t hard_events = 0;
+  int64_t bundles_written = 0;  // this monitor's dumps (not plane-wide)
+};
+
+class HealthMonitor {
+ public:
+  // `metrics` may be null (series just aren't exported); `tracer` may be
+  // null (attribution sees no spans, verdict stays healthy).
+  HealthMonitor(HealthOptions options, IoTenantId tenant, MetricsRegistry* metrics,
+                StepTracer* tracer);
+  ~HealthMonitor();
+
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  // Producer thread, once per produced step.
+  void OnStepProduced(const StepObservation& obs);
+
+  // Immediate trigger from a hard event (any thread): "watchdog-promotion",
+  // "source-quarantine", "produce-exhausted". Dumps a bundle (rate-limited)
+  // without waiting for statistical confirmation.
+  void OnHardEvent(const char* kind, const std::string& detail);
+
+  // Current verdict + breakdown + anomaly states (any thread). Ingests a
+  // fresh tracer snapshot first, so it is accurate even between steps.
+  HealthReport Diagnose();
+
+  void SetSloPolicy(const SloPolicy& policy);
+
+  FlightRecorder* recorder() { return recorder_.get(); }
+  LogRing* log_ring() { return log_ring_.get(); }
+  const HealthOptions& options() const { return options_; }
+
+ private:
+  void IngestLocked();
+  void ExportLocked();
+  void DumpLocked(const std::string& reason);
+
+  HealthOptions options_;
+  const IoTenantId tenant_;
+  MetricsRegistry* metrics_;
+  StepTracer* tracer_;
+
+  std::mutex mu_;
+  StallAttribution attribution_;
+  AnomalyDetector detector_;
+  std::shared_ptr<FlightRecorder> recorder_;
+  std::unique_ptr<LogRing> log_ring_;
+  bool has_prev_ = false;
+  StepObservation prev_;
+  int64_t hard_events_ = 0;
+  int64_t bundles_written_ = 0;
+
+  // Cached instrument pointers (stable for the registry's lifetime).
+  Gauge* verdict_gauge_ = nullptr;
+  Gauge* confidence_gauge_ = nullptr;
+  Gauge* active_gauge_ = nullptr;
+  Counter* triggers_counter_ = nullptr;
+  Counter* bundles_counter_ = nullptr;
+};
+
+}  // namespace msd
+
+#endif  // SRC_TELEMETRY_HEALTH_H_

@@ -96,7 +96,8 @@ std::string StepTracer::RenderChromeTrace() const {
            ",\"tid\":" + std::to_string(s.lane) + ",\"args\":{\"tenant\":" +
            std::to_string(s.tenant) + ",\"step\":" + std::to_string(s.step) +
            ",\"rank\":" + std::to_string(s.rank) + ",\"attempt\":" + std::to_string(s.attempt) +
-           ",\"ok\":" + (s.ok ? "true" : "false") + "}}";
+           ",\"source\":" + std::to_string(s.source) + ",\"ok\":" + (s.ok ? "true" : "false") +
+           "}}";
   }
   out += "]}";
   return out;

@@ -3,6 +3,8 @@
 //
 // Span sites (docs/OBSERVABILITY.md has the full glossary):
 //   step.plan / step.pop / step.build   producer thread, per produced step
+//   step.gate                           producer blocked on a free window slot
+//   pop.wait                            one loader's pop, source-labelled
 //   step.fetch                          rank pull through the constructor
 //   step.stall                          rank pull that blocked on the builder
 //   io.get / io.retry / io.hedge        one backing Get attempt each
@@ -42,6 +44,7 @@ struct TraceSpan {
   int64_t step = -1;   // -1 = not step-scoped (bare io traffic)
   int32_t rank = -1;   // -1 = not rank-scoped (producer / io threads)
   int32_t attempt = 0; // io retry attempt (0 = first try)
+  int32_t source = -1; // -1 = not source-scoped (pop.wait detail spans set it)
   int32_t lane = 0;    // stable per-thread lane; becomes the Chrome tid
   bool ok = true;      // false = the spanned operation failed
 };

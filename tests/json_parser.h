@@ -1,0 +1,232 @@
+// Shared test helper: a minimal JSON parser — enough to VALIDATE renderer
+// output (metrics/trace/bundle JSON) instead of grepping for substrings.
+// Supports the full value grammar; \uXXXX escapes are consumed but collapsed
+// (none of our emitters produce them).
+#ifndef TESTS_JSON_PARSER_H_
+#define TESTS_JSON_PARSER_H_
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace msd {
+namespace testing {
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    auto it = object.find(key);
+    return it != object.end() ? &it->second : nullptr;
+  }
+  double Number(const std::string& key) const {
+    const JsonValue* v = Find(key);
+    return v != nullptr && v->kind == kNumber ? v->number : -1.0e300;
+  }
+  std::string String(const std::string& key) const {
+    const JsonValue* v = Find(key);
+    return v != nullptr && v->kind == kString ? v->string : "";
+  }
+};
+
+class JsonParser {
+ public:
+  static bool Parse(const std::string& text, JsonValue* out) {
+    JsonParser p(text);
+    if (!p.ParseValue(out)) {
+      return false;
+    }
+    p.SkipWs();
+    return p.pos_ == text.size();  // no trailing garbage
+  }
+
+ private:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool Literal(const char* lit) {
+    const size_t n = std::strlen(lit);
+    if (text_.compare(pos_, n, lit) != 0) {
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->kind = JsonValue::kString;
+        return ParseString(&out->string);
+      case 't':
+        out->kind = JsonValue::kBool;
+        out->boolean = true;
+        return Literal("true");
+      case 'f':
+        out->kind = JsonValue::kBool;
+        out->boolean = false;
+        return Literal("false");
+      case 'n':
+        out->kind = JsonValue::kNull;
+        return Literal("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start) {
+      return false;
+    }
+    pos_ += static_cast<size_t>(end - start);
+    out->kind = JsonValue::kNumber;
+    out->number = v;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (text_[pos_] != '"') {
+      return false;
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        return false;
+      }
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+        case '\\':
+        case '/':
+          out->push_back(e);
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return false;
+          }
+          for (int i = 0; i < 4; ++i) {
+            if (!std::isxdigit(static_cast<unsigned char>(text_[pos_ + static_cast<size_t>(i)]))) {
+              return false;
+            }
+          }
+          pos_ += 4;
+          out->push_back('?');
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::kArray;
+    ++pos_;  // '['
+    if (Consume(']')) {
+      return true;
+    }
+    while (true) {
+      JsonValue v;
+      if (!ParseValue(&v)) {
+        return false;
+      }
+      out->array.push_back(std::move(v));
+      if (Consume(',')) {
+        continue;
+      }
+      return Consume(']');
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::kObject;
+    ++pos_;  // '{'
+    if (Consume('}')) {
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (pos_ >= text_.size() || !ParseString(&key)) {
+        return false;
+      }
+      if (!Consume(':')) {
+        return false;
+      }
+      JsonValue v;
+      if (!ParseValue(&v)) {
+        return false;
+      }
+      out->object.emplace(std::move(key), std::move(v));
+      if (Consume(',')) {
+        continue;
+      }
+      return Consume('}');
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace testing
+}  // namespace msd
+
+#endif  // TESTS_JSON_PARSER_H_

@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <filesystem>
 #include <memory>
@@ -460,6 +461,135 @@ TEST(ServiceTest, RejectsPrivatePlaneOptionsAndConflictingCorpora) {
   // A failed registration leaves no residue: the name is reusable.
   bad_weight.quota.weight = 1.0;
   EXPECT_TRUE(service.RegisterTenant("weightless", bad_weight).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Diagnosis surface: per-tenant Diagnose/SetSloPolicy, plane-default health
+// adoption, the shared flight recorder, and the health-carrying snapshot.
+// ---------------------------------------------------------------------------
+
+TEST(ServiceTest, DiagnosePerTenantWithPlaneDefaultHealthAndSharedRecorder) {
+  const std::string dir = testing::ScratchDir("service_recorder");
+  SharedIoPlaneConfig config = TestPlaneConfig();
+  config.health.enabled = true;
+  config.health.recorder_dir = dir;
+  DataService service(config);
+  ASSERT_NE(service.recorder(), nullptr) << "recorder_dir stands up the plane recorder";
+
+  DataService::TenantConfig alpha;
+  alpha.session = TenantSessionOptions(MakeCoyo700m());
+  ASSERT_TRUE(service.RegisterTenant("alpha", alpha).ok());
+  DataService::TenantConfig beta;
+  beta.session = TenantSessionOptions(MakeTextCorpus(13, 2));
+  ASSERT_TRUE(service.RegisterTenant("beta", beta).ok());
+
+  // Both tenants adopted the plane default monitor and share ONE recorder:
+  // a plane-wide incident yields one bundle, not one per symptom per tenant.
+  for (const char* name : {"alpha", "beta"}) {
+    Session* session = service.session(name);
+    ASSERT_NE(session, nullptr);
+    ASSERT_NE(session->health(), nullptr) << name;
+    EXPECT_EQ(session->health()->recorder(), service.recorder()) << name;
+  }
+
+  for (int64_t s = 0; s < 4; ++s) {
+    StreamStep(*service.session("alpha"));
+  }
+  Result<HealthReport> report = service.Diagnose("alpha");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GE(report.value().verdict.steps_observed, 1);
+  for (const StepBreakdown& b : report.value().recent) {
+    const double sum = b.consumer_stall_ms + b.plan_ms + b.pop_wait_ms + b.io_backing_ms +
+                       b.io_retry_ms + b.build_ms + b.other_ms;
+    EXPECT_NEAR(sum, b.wall_ms, 1e-6) << "step " << b.step;
+  }
+  EXPECT_EQ(service.Diagnose("ghost").status().code(), StatusCode::kNotFound);
+
+  SloPolicy loose;
+  loose.latency_factor = 50.0;
+  EXPECT_TRUE(service.SetSloPolicy("alpha", loose).ok());
+  EXPECT_EQ(service.SetSloPolicy("ghost", loose).code(), StatusCode::kNotFound);
+
+  // The scrape-facing snapshot carries each monitored tenant's report.
+  DataService::ServiceSnapshot snap = service.MetricsSnapshot();
+  EXPECT_EQ(snap.health.count("alpha"), 1u);
+  EXPECT_EQ(snap.health.count("beta"), 1u);
+  fs::remove_all(dir);
+}
+
+TEST(ServiceTest, DiagnoseOnAMonitorlessTenantIsFailedPrecondition) {
+  DataService service(TestPlaneConfig());  // no plane-default health
+  DataService::TenantConfig plain;
+  plain.session = TenantSessionOptions(MakeCoyo700m());
+  ASSERT_TRUE(service.RegisterTenant("plain", plain).ok());
+  EXPECT_EQ(service.Diagnose("plain").status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(service.SetSloPolicy("plain", SloPolicy{}).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(service.MetricsSnapshot().health.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Scrape lifecycle vs tenant churn: a scrape tick must never observe a
+// half-removed (or half-registered) tenant.
+// ---------------------------------------------------------------------------
+
+TEST(ServiceTest, ScrapeHammerNeverObservesHalfRemovedTenant) {
+  SharedIoPlaneConfig config = TestPlaneConfig();
+  config.health.enabled = true;  // scrape ticks call Diagnose() per tenant
+  DataService service(config);
+
+  DataService::TenantConfig anchor;
+  anchor.session = TenantSessionOptions(MakeCoyo700m());
+  ASSERT_TRUE(service.RegisterTenant("anchor", anchor).ok());
+
+  // The callback runs on the scrape thread: record violations, assert later.
+  std::atomic<int64_t> ticks{0};
+  std::atomic<int64_t> violations{0};
+  Status started = service.StartScrape(1, [&](DataService::ServiceSnapshot snap) {
+    ticks.fetch_add(1);
+    // Every tenant slice is a FULLY registered tenant: it has a live health
+    // report (the plane default guarantees a monitor) and a plane id. A
+    // half-removed tenant would surface as a slice with no report, or a
+    // report for a name with no slice.
+    if (snap.tenants.count("anchor") == 0) {
+      violations.fetch_add(1);
+    }
+    for (const auto& [name, stats] : snap.tenants) {
+      if (snap.health.count(name) == 0) {
+        violations.fetch_add(1);
+      }
+    }
+    for (const auto& [name, report] : snap.health) {
+      if (snap.tenants.count(name) == 0) {
+        violations.fetch_add(1);
+      }
+    }
+  });
+  ASSERT_TRUE(started.ok()) << started.ToString();
+  EXPECT_EQ(service.StartScrape(1, [](DataService::ServiceSnapshot) {}).code(),
+            StatusCode::kFailedPrecondition)
+      << "second scrape must be rejected while one runs";
+
+  // Hammer: register/stream/remove a flapping tenant while the 1 ms scrape
+  // snapshots concurrently; the anchor keeps streaming throughout.
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    DataService::TenantConfig flapper;
+    flapper.session = TenantSessionOptions(MakeTextCorpus(17, 2));
+    Status registered = service.RegisterTenant("flapper", flapper);
+    ASSERT_TRUE(registered.ok()) << "cycle " << cycle << ": " << registered.ToString();
+    StreamStep(*service.session("flapper"));
+    StreamStep(*service.session("anchor"));
+    ASSERT_TRUE(service.RemoveTenant("flapper").ok());
+  }
+  service.StopScrape();
+  const int64_t ticks_at_stop = ticks.load();
+  EXPECT_GT(ticks_at_stop, 0) << "the 1 ms scrape never fired during the hammer";
+  EXPECT_EQ(violations.load(), 0);
+
+  // StopScrape means stopped: no tick arrives afterwards, and the teardown
+  // path (dtor -> StopScrape again) is a no-op on the already-stopped state.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(ticks.load(), ticks_at_stop);
 }
 
 }  // namespace

@@ -39,9 +39,11 @@
 #include "src/common/logging.h"
 #include "src/service/data_service.h"
 #include "src/service/shared_plane.h"
+#include "src/telemetry/bridge.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/trace.h"
 #include "tests/batch_identity.h"
+#include "tests/json_parser.h"
 #include "tests/scratch_dir.h"
 
 namespace msd {
@@ -51,222 +53,8 @@ namespace fs = std::filesystem;
 using testing::ExpectBatchesIdentical;
 using testing::ScratchDir;
 
-// ---------------------------------------------------------------------------
-// A minimal JSON parser: enough to VALIDATE renderer output instead of
-// grepping for substrings. Supports the full value grammar; \uXXXX escapes
-// are consumed but collapsed (none of our emitters produce them).
-// ---------------------------------------------------------------------------
-
-struct JsonValue {
-  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-
-  const JsonValue* Find(const std::string& key) const {
-    auto it = object.find(key);
-    return it != object.end() ? &it->second : nullptr;
-  }
-  double Number(const std::string& key) const {
-    const JsonValue* v = Find(key);
-    return v != nullptr && v->kind == kNumber ? v->number : -1.0e300;
-  }
-  std::string String(const std::string& key) const {
-    const JsonValue* v = Find(key);
-    return v != nullptr && v->kind == kString ? v->string : "";
-  }
-};
-
-class JsonParser {
- public:
-  static bool Parse(const std::string& text, JsonValue* out) {
-    JsonParser p(text);
-    if (!p.ParseValue(out)) {
-      return false;
-    }
-    p.SkipWs();
-    return p.pos_ == text.size();  // no trailing garbage
-  }
-
- private:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  void SkipWs() {
-    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-  bool Consume(char c) {
-    SkipWs();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-  bool Literal(const char* lit) {
-    const size_t n = std::strlen(lit);
-    if (text_.compare(pos_, n, lit) != 0) {
-      return false;
-    }
-    pos_ += n;
-    return true;
-  }
-
-  bool ParseValue(JsonValue* out) {
-    SkipWs();
-    if (pos_ >= text_.size()) {
-      return false;
-    }
-    switch (text_[pos_]) {
-      case '{':
-        return ParseObject(out);
-      case '[':
-        return ParseArray(out);
-      case '"':
-        out->kind = JsonValue::kString;
-        return ParseString(&out->string);
-      case 't':
-        out->kind = JsonValue::kBool;
-        out->boolean = true;
-        return Literal("true");
-      case 'f':
-        out->kind = JsonValue::kBool;
-        out->boolean = false;
-        return Literal("false");
-      case 'n':
-        out->kind = JsonValue::kNull;
-        return Literal("null");
-      default:
-        return ParseNumber(out);
-    }
-  }
-
-  bool ParseNumber(JsonValue* out) {
-    const char* start = text_.c_str() + pos_;
-    char* end = nullptr;
-    const double v = std::strtod(start, &end);
-    if (end == start) {
-      return false;
-    }
-    pos_ += static_cast<size_t>(end - start);
-    out->kind = JsonValue::kNumber;
-    out->number = v;
-    return true;
-  }
-
-  bool ParseString(std::string* out) {
-    if (text_[pos_] != '"') {
-      return false;
-    }
-    ++pos_;
-    out->clear();
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') {
-        return true;
-      }
-      if (c != '\\') {
-        out->push_back(c);
-        continue;
-      }
-      if (pos_ >= text_.size()) {
-        return false;
-      }
-      const char e = text_[pos_++];
-      switch (e) {
-        case '"':
-        case '\\':
-        case '/':
-          out->push_back(e);
-          break;
-        case 'b':
-          out->push_back('\b');
-          break;
-        case 'f':
-          out->push_back('\f');
-          break;
-        case 'n':
-          out->push_back('\n');
-          break;
-        case 'r':
-          out->push_back('\r');
-          break;
-        case 't':
-          out->push_back('\t');
-          break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) {
-            return false;
-          }
-          for (int i = 0; i < 4; ++i) {
-            if (!std::isxdigit(static_cast<unsigned char>(text_[pos_ + static_cast<size_t>(i)]))) {
-              return false;
-            }
-          }
-          pos_ += 4;
-          out->push_back('?');
-          break;
-        }
-        default:
-          return false;
-      }
-    }
-    return false;  // unterminated
-  }
-
-  bool ParseArray(JsonValue* out) {
-    out->kind = JsonValue::kArray;
-    ++pos_;  // '['
-    if (Consume(']')) {
-      return true;
-    }
-    while (true) {
-      JsonValue v;
-      if (!ParseValue(&v)) {
-        return false;
-      }
-      out->array.push_back(std::move(v));
-      if (Consume(',')) {
-        continue;
-      }
-      return Consume(']');
-    }
-  }
-
-  bool ParseObject(JsonValue* out) {
-    out->kind = JsonValue::kObject;
-    ++pos_;  // '{'
-    if (Consume('}')) {
-      return true;
-    }
-    while (true) {
-      SkipWs();
-      std::string key;
-      if (pos_ >= text_.size() || !ParseString(&key)) {
-        return false;
-      }
-      if (!Consume(':')) {
-        return false;
-      }
-      JsonValue v;
-      if (!ParseValue(&v)) {
-        return false;
-      }
-      out->object.emplace(std::move(key), std::move(v));
-      if (Consume(',')) {
-        continue;
-      }
-      return Consume('}');
-    }
-  }
-
-  const std::string& text_;
-  size_t pos_ = 0;
-};
+using testing::JsonParser;
+using testing::JsonValue;
 
 // ---------------------------------------------------------------------------
 // Shared fixtures: same session/plane shapes as tests/service_test.cc.
@@ -591,6 +379,76 @@ TEST(LoggingTest, WarnEveryNEmitsFirstThenEveryNth) {
   EXPECT_EQ(lines[0].message, "hit 0");
   EXPECT_EQ(lines[1].message, "hit 4");
   EXPECT_EQ(lines[2].message, "hit 8");
+}
+
+TEST(LoggingTest, SuppressedLinesAreCountedAndSurfacedThroughTheBridge) {
+  const int64_t before = SuppressedLogLines();
+  std::vector<CapturedLine> lines = CaptureWarnings([] {
+    for (int i = 0; i < 20; ++i) {
+      MSD_LOG_WARN_EVERY_N(10, "suppressed-bridge-probe %d", i);
+    }
+  });
+  // Hits 1 and 11 emit; the other 18 must be COUNTED, not vanish.
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(SuppressedLogLines() - before, 18);
+
+  // ...and the registry export carries the aggregate as a counter point.
+  std::vector<MetricPoint> points;
+  AppendLoggingMetrics(&points);
+  const MetricPoint* suppressed = nullptr;
+  for (const MetricPoint& p : points) {
+    if (p.name == "msd_log_suppressed_total") {
+      suppressed = &p;
+    }
+  }
+  ASSERT_NE(suppressed, nullptr);
+  EXPECT_EQ(suppressed->kind, MetricKind::kCounter);
+  EXPECT_EQ(suppressed->tenant, kMetricNoTenant);
+  EXPECT_GE(suppressed->value, 18.0);
+
+  // The per-site breakdown names this call site with its suppressed count.
+  bool found_site = false;
+  for (const SuppressedLogSite& site : SuppressedLogSites()) {
+    if (site.file != nullptr && std::string(site.file).find("telemetry_test") != std::string::npos &&
+        site.suppressed >= 18) {
+      found_site = true;
+    }
+  }
+  EXPECT_TRUE(found_site);
+}
+
+TEST(LoggingTest, LogRingBoundsRetentionAndTapsEmittedLines) {
+  LogRing ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  for (int i = 0; i < 6; ++i) {
+    ring.Append("line " + std::to_string(i));
+  }
+  EXPECT_EQ(ring.appended(), 6);
+  EXPECT_EQ(ring.dropped(), 2);
+  std::vector<std::string> tail = ring.Tail();
+  ASSERT_EQ(tail.size(), 4u);
+  EXPECT_EQ(tail.front(), "line 2") << "oldest retained first";
+  EXPECT_EQ(tail.back(), "line 5");
+
+  // AppendFormatted renders the same "[L file:line] msg" shape bundles show.
+  LogRing formatted(4);
+  formatted.AppendFormatted(LogLevel::kWarn, "loader.cc", 42, "slow source 7");
+  std::vector<std::string> rendered = formatted.Tail();
+  ASSERT_EQ(rendered.size(), 1u);
+  EXPECT_EQ(rendered[0], "[W loader.cc:42] slow source 7");
+
+  // An attached ring taps every emitted line — but not suppressed ones.
+  LogRing tap(8);
+  AttachLogRing(&tap);
+  CaptureWarnings([] {
+    for (int i = 0; i < 5; ++i) {
+      MSD_LOG_WARN_EVERY_N(10, "tap-probe %d", i);
+    }
+  });
+  DetachLogRing(&tap);
+  std::vector<std::string> tapped = tap.Tail();
+  ASSERT_EQ(tapped.size(), 1u) << "only the 1st of 5 rate-limited hits emits";
+  EXPECT_NE(tapped[0].find("tap-probe 0"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

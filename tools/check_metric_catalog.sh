@@ -1,0 +1,58 @@
+#!/bin/sh
+# Cross-checks the metric catalog in docs/OBSERVABILITY.md against the series
+# the code actually registers, in BOTH directions:
+#
+#   - every `"msd_*"` series literal in src/ must have a catalog row in
+#     docs/OBSERVABILITY.md (no undocumented series), and
+#   - every msd_* token the doc mentions must exist as a literal in src/
+#     (no rows for series that were renamed or removed).
+#
+# Binary/tool names that share the msd_ prefix (msd_diagnose, msd_tests, ...)
+# are excluded below. Wired into ctest as `metric_catalog_check` next to
+# `bench_json_check`, so the catalog fails CI instead of rotting silently.
+set -u
+
+root="${1:-.}"
+doc="$root/docs/OBSERVABILITY.md"
+
+if [ ! -f "$doc" ]; then
+  echo "INVALID: $doc does not exist"
+  exit 1
+fi
+
+# msd_-prefixed tokens that are NOT metric series names.
+exclude='^(msd_metrics_dump|msd_diagnose|msd_tests|msd_warn)'
+
+code_series=$(grep -rhoE '"msd_[a-z0-9_]+"' "$root/src" 2>/dev/null \
+  | tr -d '"' | grep -Ev "$exclude" | sort -u)
+doc_series=$(grep -ohE 'msd_[a-z0-9_]+' "$doc" 2>/dev/null \
+  | grep -Ev "$exclude" | sort -u)
+
+if [ -z "$code_series" ]; then
+  echo "INVALID: no msd_* series literals found under $root/src"
+  exit 1
+fi
+
+fail=0
+
+undocumented=$(printf '%s\n' "$code_series" | grep -Fvx "$doc_series" || true)
+if [ -n "$undocumented" ]; then
+  for name in $undocumented; do
+    echo "INVALID: $name is registered in src/ but missing from docs/OBSERVABILITY.md"
+  done
+  fail=1
+fi
+
+stale=$(printf '%s\n' "$doc_series" | grep -Fvx "$code_series" || true)
+if [ -n "$stale" ]; then
+  for name in $stale; do
+    echo "INVALID: $name is documented in docs/OBSERVABILITY.md but no src/ literal registers it"
+  done
+  fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+  count=$(printf '%s\n' "$code_series" | wc -l | tr -d ' ')
+  echo "metric catalog consistent: $count series documented and registered"
+fi
+exit $fail

@@ -1,0 +1,292 @@
+// msd_diagnose: pretty-prints a flight-recorder bundle from a shell.
+//
+// The health monitor (src/telemetry/health.h) dumps self-contained diagnostic
+// bundles on anomaly triggers and hard events:
+//
+//   <recorder_dir>/bundle-<seq>/
+//     MANIFEST.json  trace.json  metrics.json  attribution.json
+//     verdict.json   log_tail.txt
+//
+// This tool renders one bundle for a human: the triggering reason, the
+// bottleneck verdict, the per-step stall breakdown table, the alarmed SLO
+// signals, and the tail of the captured log ring. Point it at a bundle
+// directory, or at the recorder directory itself to get the newest bundle
+// (--list enumerates them instead).
+//
+// Usage:
+//   msd_diagnose <bundle-dir | recorder-dir> [--list] [--log-lines N]
+//
+// No JSON library: the bundle files are written by our own renderers with a
+// fixed shape, so flat key extraction is sufficient and keeps the tool
+// dependency-free.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool ReadFileToString(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+// Extracts the value of `"key":"..."` from flat JSON our renderers emit.
+std::string JsonString(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const size_t at = json.find(needle);
+  if (at == std::string::npos) {
+    return "";
+  }
+  const size_t start = at + needle.size();
+  std::string out;
+  for (size_t i = start; i < json.size(); ++i) {
+    if (json[i] == '\\' && i + 1 < json.size()) {
+      out += json[++i];
+    } else if (json[i] == '"') {
+      break;
+    } else {
+      out += json[i];
+    }
+  }
+  return out;
+}
+
+// Extracts the value of `"key":<number>`; `fallback` when absent.
+double JsonNumber(const std::string& json, const std::string& key, double fallback) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = json.find(needle);
+  if (at == std::string::npos) {
+    return fallback;
+  }
+  return std::atof(json.c_str() + at + needle.size());
+}
+
+int64_t BundleSeq(const fs::path& path) {
+  const std::string name = path.filename().string();
+  if (name.rfind("bundle-", 0) != 0) {
+    return -1;
+  }
+  const std::string digits = name.substr(std::strlen("bundle-"));
+  if (digits.empty() || digits.find_first_not_of("0123456789") != std::string::npos) {
+    return -1;
+  }
+  return std::strtoll(digits.c_str(), nullptr, 10);
+}
+
+std::vector<fs::path> ListBundles(const fs::path& dir) {
+  std::vector<std::pair<int64_t, fs::path>> found;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const int64_t seq = BundleSeq(entry.path());
+    if (seq >= 0 && fs::exists(entry.path() / "MANIFEST.json", ec)) {
+      found.emplace_back(seq, entry.path());
+    }
+  }
+  std::sort(found.begin(), found.end());
+  std::vector<fs::path> paths;
+  paths.reserve(found.size());
+  for (auto& [seq, path] : found) {
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+// Splits the top-level objects out of `"steps":[{...},{...}]`.
+std::vector<std::string> StepObjects(const std::string& attribution) {
+  std::vector<std::string> steps;
+  const size_t at = attribution.find("\"steps\":[");
+  if (at == std::string::npos) {
+    return steps;
+  }
+  int depth = 0;
+  size_t start = 0;
+  for (size_t i = at + std::strlen("\"steps\":["); i < attribution.size(); ++i) {
+    const char c = attribution[i];
+    if (c == '{') {
+      if (depth++ == 0) {
+        start = i;
+      }
+    } else if (c == '}') {
+      if (--depth == 0) {
+        steps.push_back(attribution.substr(start, i - start + 1));
+      }
+    } else if (c == ']' && depth == 0) {
+      break;
+    }
+  }
+  return steps;
+}
+
+void PrintBreakdownTable(const std::string& attribution) {
+  const std::vector<std::string> steps = StepObjects(attribution);
+  if (steps.empty()) {
+    std::printf("  (no finalized steps in the attribution window)\n");
+    return;
+  }
+  std::printf("  %6s %8s %8s %8s %8s %8s %8s %8s %8s %6s\n", "step", "wall_ms",
+              "consumer", "plan", "pop_wait", "io_back", "io_retry", "build", "other",
+              "src");
+  for (const std::string& s : steps) {
+    const int64_t src = static_cast<int64_t>(JsonNumber(s, "dominant_source", -1));
+    std::printf("  %6lld %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f %6s\n",
+                static_cast<long long>(JsonNumber(s, "step", -1)),
+                JsonNumber(s, "wall_ms", 0), JsonNumber(s, "consumer_stall_ms", 0),
+                JsonNumber(s, "plan_ms", 0), JsonNumber(s, "pop_wait_ms", 0),
+                JsonNumber(s, "io_backing_ms", 0), JsonNumber(s, "io_retry_ms", 0),
+                JsonNumber(s, "build_ms", 0), JsonNumber(s, "other_ms", 0),
+                src >= 0 ? std::to_string(src).c_str() : "-");
+  }
+}
+
+// Splits the objects out of `"signals":[{...}]` in the detector JSON.
+void PrintAnomalies(const std::string& verdict_json) {
+  const size_t at = verdict_json.find("\"signals\":[");
+  if (at == std::string::npos) {
+    return;
+  }
+  int depth = 0;
+  size_t start = 0;
+  for (size_t i = at + std::strlen("\"signals\":["); i < verdict_json.size(); ++i) {
+    const char c = verdict_json[i];
+    if (c == '{') {
+      if (depth++ == 0) {
+        start = i;
+      }
+    } else if (c == '}') {
+      if (--depth == 0) {
+        const std::string s = verdict_json.substr(start, i - start + 1);
+        std::printf("  %-16s %-8s baseline=%.3f last=%.3f fires=%lld\n",
+                    JsonString(s, "signal").c_str(),
+                    s.find("\"alarmed\":true") != std::string::npos ? "ALARMED" : "ok",
+                    JsonNumber(s, "baseline", 0), JsonNumber(s, "last", 0),
+                    static_cast<long long>(JsonNumber(s, "fires", 0)));
+      }
+    } else if (c == ']' && depth == 0) {
+      break;
+    }
+  }
+}
+
+int PrintBundle(const fs::path& bundle, int log_lines) {
+  std::string manifest;
+  if (!ReadFileToString(bundle / "MANIFEST.json", &manifest)) {
+    std::fprintf(stderr, "error: %s has no MANIFEST.json (not a bundle?)\n",
+                 bundle.string().c_str());
+    return 1;
+  }
+  std::printf("bundle:  %s\n", bundle.string().c_str());
+  std::printf("seq:     %lld\n", static_cast<long long>(JsonNumber(manifest, "seq", -1)));
+  std::printf("reason:  %s\n", JsonString(manifest, "reason").c_str());
+  std::printf("created: %lld (unix ms)\n",
+              static_cast<long long>(JsonNumber(manifest, "created_unix_ms", 0)));
+
+  std::string verdict;
+  if (ReadFileToString(bundle / "verdict.json", &verdict)) {
+    std::printf("\nverdict: %s (confidence %.2f", JsonString(verdict, "verdict").c_str(),
+                JsonNumber(verdict, "confidence", 0));
+    const int64_t dominant = static_cast<int64_t>(JsonNumber(verdict, "dominant_source", -1));
+    if (dominant >= 0) {
+      std::printf(", dominant source %lld", static_cast<long long>(dominant));
+    }
+    std::printf(")\n");
+    std::printf("\nSLO signals:\n");
+    PrintAnomalies(verdict);
+  }
+
+  std::string attribution;
+  if (ReadFileToString(bundle / "attribution.json", &attribution)) {
+    std::printf("\nstall breakdown (exclusive ms per produced step):\n");
+    PrintBreakdownTable(attribution);
+  }
+
+  std::string trace;
+  if (ReadFileToString(bundle / "trace.json", &trace)) {
+    const size_t spans = static_cast<size_t>(
+        std::count(trace.begin(), trace.end(), '{')) - 1;  // minus the root object
+    std::printf("\ntrace.json: %zu spans (open in chrome://tracing or ui.perfetto.dev)\n",
+                spans);
+  }
+
+  std::string log_tail;
+  if (log_lines > 0 && ReadFileToString(bundle / "log_tail.txt", &log_tail)) {
+    std::vector<std::string> lines;
+    std::istringstream in(log_tail);
+    for (std::string line; std::getline(in, line);) {
+      lines.push_back(std::move(line));
+    }
+    const size_t from = lines.size() > static_cast<size_t>(log_lines)
+                            ? lines.size() - static_cast<size_t>(log_lines)
+                            : 0;
+    std::printf("\nlog tail (last %zu of %zu lines):\n", lines.size() - from, lines.size());
+    for (size_t i = from; i < lines.size(); ++i) {
+      std::printf("  %s\n", lines[i].c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string target;
+  bool list = false;
+  int log_lines = 10;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list") == 0) {
+      list = true;
+    } else if (std::strcmp(argv[i], "--log-lines") == 0 && i + 1 < argc) {
+      log_lines = std::atoi(argv[++i]);
+    } else if (target.empty() && argv[i][0] != '-') {
+      target = argv[i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: msd_diagnose <bundle-dir | recorder-dir> [--list] "
+                   "[--log-lines N]\n");
+      return 2;
+    }
+  }
+  if (target.empty()) {
+    std::fprintf(stderr,
+                 "usage: msd_diagnose <bundle-dir | recorder-dir> [--list] "
+                 "[--log-lines N]\n");
+    return 2;
+  }
+  const fs::path path(target);
+  std::error_code ec;
+  if (!fs::is_directory(path, ec)) {
+    std::fprintf(stderr, "error: %s is not a directory\n", target.c_str());
+    return 1;
+  }
+  if (fs::exists(path / "MANIFEST.json", ec)) {
+    return PrintBundle(path, log_lines);
+  }
+  const std::vector<fs::path> bundles = ListBundles(path);
+  if (bundles.empty()) {
+    std::fprintf(stderr, "error: no bundles under %s\n", target.c_str());
+    return 1;
+  }
+  if (list) {
+    for (const fs::path& bundle : bundles) {
+      std::string manifest;
+      ReadFileToString(bundle / "MANIFEST.json", &manifest);
+      std::printf("%s  reason: %s\n", bundle.string().c_str(),
+                  JsonString(manifest, "reason").c_str());
+    }
+    return 0;
+  }
+  return PrintBundle(bundles.back(), log_lines);
+}
