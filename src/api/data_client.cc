@@ -1,8 +1,14 @@
 #include "src/api/data_client.h"
 
+#include "src/api/session.h"
+
 namespace msd {
 
 Result<RankBatch> DataClient::NextBatch() { return pipeline_->NextBatch(rank_); }
+
+Status DataClient::UpdateMixture(std::vector<double> weights, int64_t effective_step) {
+  return session_->UpdateMixture(effective_step, std::move(weights));
+}
 
 std::future<Result<RankBatch>> DataClient::NextBatchAsync() {
   return pipeline_->NextBatchAsync(rank_);

@@ -28,6 +28,8 @@
 
 namespace msd {
 
+class Session;
+
 class DataClient {
  public:
   DataClient(const DataClient&) = delete;
@@ -46,6 +48,14 @@ class DataClient {
   /// NextBatch() on a persistent consumer thread.
   std::future<Result<RankBatch>> NextBatchAsync();
 
+  /// Client-fed mixture re-weighting (the training loop's feedback hook):
+  /// commits new per-source base weights taking effect at `effective_step`
+  /// (-1, the default, = the next step the planner has not yet planned).
+  /// Requires the session to carry a dynamic mixture schedule
+  /// (SessionBuilder::WithMixtureSchedule); overrides are validated by the
+  /// planner, checkpointed with its state, and replayed on resume.
+  Status UpdateMixture(std::vector<double> weights, int64_t effective_step = -1);
+
   /// The training rank this handle is bound to.
   int32_t rank() const { return rank_; }
   /// The step the next NextBatch() call will serve, or -1 if this rank was
@@ -54,8 +64,10 @@ class DataClient {
 
  private:
   friend class Session;
-  DataClient(PrefetchPipeline* pipeline, int32_t rank) : pipeline_(pipeline), rank_(rank) {}
+  DataClient(Session* session, PrefetchPipeline* pipeline, int32_t rank)
+      : session_(session), pipeline_(pipeline), rank_(rank) {}
 
+  Session* session_;
   PrefetchPipeline* pipeline_;
   int32_t rank_;
 };

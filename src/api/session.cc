@@ -158,6 +158,29 @@ Result<std::unique_ptr<Session>> Session::Create(Options options) {
   if (options.encoder.layers == 0) {
     options.encoder = ViT1B();
   }
+  if (options.mixture_schedule != nullptr) {
+    if (options.schedule != nullptr) {
+      return Status::InvalidArgument(
+          "WithMixtureSchedule and WithSchedule are mutually exclusive — the "
+          "mixture schedule IS the mixing schedule");
+    }
+    if (options.mixture_schedule->num_sources() != options.corpus.sources.size()) {
+      return Status::InvalidArgument(
+          "mixture schedule arity (" +
+          std::to_string(options.mixture_schedule->num_sources()) +
+          ") must match the corpus source count (" +
+          std::to_string(options.corpus.sources.size()) + ")");
+    }
+    for (int32_t scale : options.mixture_schedule->scale_set()) {
+      if (scale <= 0 || scale > options.max_seq_len) {
+        return Status::InvalidArgument(
+            "mixture scale_set entries must be in (0, max_seq_len]; got " +
+            std::to_string(scale) + " with max_seq_len " +
+            std::to_string(options.max_seq_len));
+      }
+    }
+    options.schedule = options.mixture_schedule;
+  }
   if (options.schedule == nullptr) {
     options.schedule =
         std::make_shared<StaticMix>(options.corpus.UniformWeights());
@@ -370,6 +393,7 @@ Status Session::Initialize() {
       }
       config.num_workers = std::max(1, part.workers_per_actor);
       config.defer_image_decode = options_.defer_image_decode;
+      config.max_decode_patches = options_.bound_pixel_decode ? options_.max_seq_len : 0;
       config.arena_decode = options_.arena_decode;
       config.read_ahead_groups = options_.read_ahead_groups;
       config.ranged_reads = remote_store_ != nullptr || options_.shared_plane != nullptr;
@@ -404,6 +428,7 @@ Status Session::Initialize() {
     DataConstructorConfig config;
     config.constructor_id = dp;
     config.max_seq_len = options_.max_seq_len;
+    config.max_decode_patches = options_.bound_pixel_decode ? options_.max_seq_len : 0;
     config.resident_steps =
         std::max<int64_t>(config.resident_steps, options_.prefetch_depth + 2);
     constructors_.push_back(system_.Spawn<DataConstructor>(config, &tree_, &memory_));
@@ -412,6 +437,7 @@ Status Session::Initialize() {
   // 5. Central Planner with the selected strategy.
   PlannerConfig planner_config;
   planner_config.seed = options_.seed;
+  planner_config.mixture = options_.mixture_schedule;
   planner_config.quarantine_after_failures = options_.quarantine_after_failures;
   planner_config.quarantine_probe_interval = options_.quarantine_probe_interval;
   if (options_.loader_rpc_timeout_ms > 0) {
@@ -569,6 +595,35 @@ Status Session::Initialize() {
                 }));
             out->push_back(std::move(q));
           }
+          if (options_.mixture_schedule != nullptr) {
+            // Schedule gauges from the planner's last-planned-step snapshot:
+            // the phase index, the multi-scale pick, and one effective-weight
+            // gauge per source (quarantine-masked, temperature-scaled).
+            const Planner::MixtureStatus mix = system_.Ask<Planner::MixtureStatus>(
+                *planner_, [p = planner_.get()] { return p->mixture_status(); });
+            if (mix.step >= 0) {
+              MetricPoint phase;
+              phase.name = "msd_mixture_phase";
+              phase.kind = MetricKind::kGauge;
+              phase.tenant = label;
+              phase.value = static_cast<double>(mix.phase);
+              out->push_back(std::move(phase));
+              MetricPoint scale;
+              scale.name = "msd_mixture_scale";
+              scale.kind = MetricKind::kGauge;
+              scale.tenant = label;
+              scale.value = static_cast<double>(mix.scale);
+              out->push_back(std::move(scale));
+              for (size_t s = 0; s < mix.effective_weights.size(); ++s) {
+                MetricPoint weight;
+                weight.name = "msd_mixture_effective_weight_s" + std::to_string(s);
+                weight.kind = MetricKind::kGauge;
+                weight.tenant = label;
+                weight.value = mix.effective_weights[s];
+                out->push_back(std::move(weight));
+              }
+            }
+          }
           if (shared) {
             return;
           }
@@ -635,11 +690,21 @@ CheckpointFingerprint Session::ComputeFingerprint() const {
   // stage weights (or a missing curriculum) fails validation instead of
   // silently forking the stream. A custom schedule that differs only at
   // unprobed steps still slips through — supply the identical schedule.
-  for (int64_t probe : {0, 1, 7, 50, 400, 3000, 20000}) {
-    for (double weight : options_.schedule->WeightsAt(probe)) {
-      w.PutF64(weight);
+  if (options_.mixture_schedule != nullptr) {
+    // The dynamic schedule is hashed structurally (phases, temperatures,
+    // scale set, scale seed): probing WeightsAt would fold runtime-committed
+    // overrides into the fingerprint and reject every resume of a job that
+    // ever called UpdateMixture. Overrides travel in the planner checkpoint.
+    w.PutU64(options_.mixture_schedule->StructuralFingerprint());
+  } else {
+    for (int64_t probe : {0, 1, 7, 50, 400, 3000, 20000}) {
+      for (double weight : options_.schedule->WeightsAt(probe)) {
+        w.PutF64(weight);
+      }
     }
   }
+  // The decode bound clamps pixel counts before packing — byte-affecting.
+  w.PutU8(options_.bound_pixel_decode ? 1 : 0);
   fp.corpus_hash = Fnv1a64(w.buffer());
   fp.seed = options_.seed;
   fp.samples_per_step = options_.samples_per_step;
@@ -837,6 +902,19 @@ Result<ProducedStep> Session::ProduceStep(int64_t step) {
   ProducedStep produced;
   produced.plan = std::move(plan_result.value());
   const LoadingPlan& plan = produced.plan;
+
+  if (options_.mixture_schedule != nullptr && tracer_view_ != nullptr) {
+    // Schedule-phase marker span: zero-duration, `source` carries the phase
+    // index so a trace shows exactly where each curriculum phase begins.
+    TraceSpan mix_span;
+    mix_span.name = "step.mix";
+    mix_span.cat = "step";
+    mix_span.ts_us = tracer_view_->NowUs();
+    mix_span.tenant = options_.io_tenant;
+    mix_span.step = step;
+    mix_span.source = plan.mix_phase;
+    tracer_view_->Record(mix_span);
+  }
 
   std::unordered_map<int32_t, SourceLoader*> loader_by_id;
   loader_by_id.reserve(loaders_.size());
@@ -1073,7 +1151,8 @@ Result<DataClient*> Session::client(int32_t rank) {
   std::lock_guard<std::mutex> lock(clients_mu_);
   auto it = clients_.find(rank);
   if (it == clients_.end()) {
-    it = clients_.emplace(rank, std::unique_ptr<DataClient>(new DataClient(pipeline_.get(), rank)))
+    it = clients_.emplace(rank,
+                          std::unique_ptr<DataClient>(new DataClient(this, pipeline_.get(), rank)))
              .first;
   }
   return it->second.get();
@@ -1264,6 +1343,28 @@ FaultInjectingStore* Session::fault_store() {
 std::map<int32_t, int64_t> Session::QuarantinedLoaders() {
   return system_.Ask<std::map<int32_t, int64_t>>(
       *planner_, [p = planner_.get()] { return p->quarantined_loaders(); });
+}
+
+Status Session::UpdateMixture(int64_t effective_step, std::vector<double> weights) {
+  if (options_.mixture_schedule == nullptr) {
+    return Status::FailedPrecondition(
+        "UpdateMixture requires a dynamic mixture schedule (WithMixtureSchedule)");
+  }
+  // Routed through the planner actor so the effective step is validated
+  // against the plan cursor under the same serialization as planning itself —
+  // an override can never land under a step whose plan was already issued.
+  return system_.Ask<Status>(
+      *planner_, [p = planner_.get(), effective_step, w = std::move(weights)]() mutable {
+        return p->CommitMixtureOverride(effective_step, std::move(w));
+      });
+}
+
+Planner::MixtureStatus Session::LastMixtureStatus() {
+  if (options_.mixture_schedule == nullptr) {
+    return Planner::MixtureStatus{};
+  }
+  return system_.Ask<Planner::MixtureStatus>(
+      *planner_, [p = planner_.get()] { return p->mixture_status(); });
 }
 
 std::vector<std::vector<int64_t>> Session::ConstructorResidentSteps() {
@@ -1526,6 +1627,14 @@ SessionBuilder& SessionBuilder::WithEncoder(ModelConfig encoder) {
 }
 SessionBuilder& SessionBuilder::WithSchedule(std::shared_ptr<const MixSchedule> schedule) {
   options_.schedule = std::move(schedule);
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithMixtureSchedule(std::shared_ptr<MixtureSchedule> schedule) {
+  options_.mixture_schedule = std::move(schedule);
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithBoundedPixelDecode(bool enabled) {
+  options_.bound_pixel_decode = enabled;
   return *this;
 }
 SessionBuilder& SessionBuilder::WithBalanceMethod(BalanceMethod method) {

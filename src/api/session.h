@@ -85,6 +85,17 @@ class Session {
     ModelConfig backbone;                        // defaults to Llama12B()
     ModelConfig encoder;                         // defaults to ViT1B()
     std::shared_ptr<const MixSchedule> schedule; // defaults to uniform static
+    // Dynamic mixture schedule (src/plan/mixture_schedule.h): piecewise
+    // curriculum phases with temperature-scaled weights, per-step multi-scale
+    // picks, and the client-fed re-weighting hook (Session::UpdateMixture).
+    // When set it *becomes* `schedule` (setting both is an error) and the
+    // checkpoint plane commits/restores its override map, so a resume
+    // continues mid-phase byte-identically.
+    std::shared_ptr<MixtureSchedule> mixture_schedule;
+    // Metadata-driven decode bound (multi-scale batching): stop pixel decode
+    // past max_seq_len patches — a packed segment can never consume more.
+    // Byte-stream-affecting (part of the checkpoint fingerprint).
+    bool bound_pixel_decode = false;
     BalanceMethod balance_method = BalanceMethod::kGreedy;
     uint64_t seed = 2026;
     int32_t loader_workers = 2;
@@ -401,6 +412,17 @@ class Session {
   // Loaders the planner currently holds in quarantine
   // (loader_id -> step the quarantine started at). Empty when healthy.
   std::map<int32_t, int64_t> QuarantinedLoaders();
+  // Client-fed mixture re-weighting (requires WithMixtureSchedule): commits
+  // an override that takes effect at `effective_step` (-1 = the next step the
+  // planner has not yet planned). Overrides are checkpointed with the planner
+  // state and replayed on resume; committing at an already-planned step is an
+  // error (it would fork the stream). Also reachable per rank via
+  // DataClient::UpdateMixture.
+  Status UpdateMixture(int64_t effective_step, std::vector<double> weights);
+  // Last planned step's mixture view: phase, scale, and the effective
+  // (quarantine-masked, temperature-scaled) per-source weights. step = -1
+  // before the first plan or without WithMixtureSchedule.
+  Planner::MixtureStatus LastMixtureStatus();
   // The fault-injecting store decorator, for tests/benches that script
   // brownouts mid-stream: the session-owned one (WithStorageFaults) or the
   // tenant's private route on a shared plane. Null without either.
@@ -557,6 +579,12 @@ class SessionBuilder {
   SessionBuilder& WithEncoder(ModelConfig encoder);
   /// Source-mixing schedule (default: uniform static weights).
   SessionBuilder& WithSchedule(std::shared_ptr<const MixSchedule> schedule);
+  /// Dynamic mixture schedule: curriculum phases + temperature + multi-scale
+  /// picks + the UpdateMixture override hook, checkpointed/resumed mid-phase.
+  /// Mutually exclusive with WithSchedule.
+  SessionBuilder& WithMixtureSchedule(std::shared_ptr<MixtureSchedule> schedule);
+  /// Stops pixel decode past max_seq_len patches (metadata-driven bound).
+  SessionBuilder& WithBoundedPixelDecode(bool enabled = true);
   /// Balancer algorithm for the balance strategies (default greedy).
   SessionBuilder& WithBalanceMethod(BalanceMethod method);
   /// Seed for the Planner's RNG (the whole stream is deterministic in it).

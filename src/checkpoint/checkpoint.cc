@@ -36,6 +36,14 @@ void PutPlannerState(WireWriter& w, const PlannerCheckpoint& p) {
     w.PutI64(loader_id);
     w.PutI64(failures);
   }
+  // Mixture re-weighting overrides (format v3): the schedule structure is
+  // rebuilt from job options, but client-fed overrides arrived at runtime —
+  // plan generation depends on them, so resume must replay the map.
+  w.PutU32(static_cast<uint32_t>(p.mixture_overrides.size()));
+  for (const auto& [step, weights] : p.mixture_overrides) {
+    w.PutI64(step);
+    w.PutPodArray(weights.data(), weights.size());
+  }
 }
 
 PlannerCheckpoint GetPlannerState(WireReader& r) {
@@ -52,6 +60,13 @@ PlannerCheckpoint GetPlannerState(WireReader& r) {
   for (uint32_t i = 0; i < n_failures && r.Ok(); ++i) {
     const int64_t loader_id = r.GetI64();
     p.gather_failures[static_cast<int32_t>(loader_id)] = static_cast<int32_t>(r.GetI64());
+  }
+  const uint32_t n_overrides = r.GetU32();
+  for (uint32_t i = 0; i < n_overrides && r.Ok(); ++i) {
+    const int64_t step = r.GetI64();
+    std::vector<double> weights;
+    r.GetPodArray(&weights);
+    p.mixture_overrides[step] = std::move(weights);
   }
   return p;
 }

@@ -49,7 +49,9 @@
 namespace msd {
 
 // v2: planner state carries the source-quarantine maps.
-inline constexpr uint32_t kCheckpointFormatVersion = 2;
+// v3: planner state carries the mixture-schedule override map
+//     (src/plan/mixture_schedule.h — client-fed re-weighting).
+inline constexpr uint32_t kCheckpointFormatVersion = 3;
 // Pointer blob naming the latest fully published checkpoint id.
 inline constexpr char kCheckpointLatestKey[] = "LATEST";
 

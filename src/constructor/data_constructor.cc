@@ -68,7 +68,7 @@ std::vector<int32_t> DataConstructor::OwnedBucketsLocked(const LoadingPlan& plan
 }
 
 Status DataConstructor::AssembleBucket(const SampleMap& samples_by_id, const BucketBins& bins,
-                                       std::vector<Microbatch>* out) const {
+                                       int32_t pack_len, std::vector<Microbatch>* out) const {
   out->clear();
   out->resize(bins.size());
   for (size_t mb = 0; mb < bins.size(); ++mb) {
@@ -84,7 +84,7 @@ Status DataConstructor::AssembleBucket(const SampleMap& samples_by_id, const Buc
     }
     Microbatch& micro = (*out)[mb];
     micro.microbatch_index = static_cast<int32_t>(mb);
-    micro.sequences = PackSequences(metas, config_.max_seq_len);
+    micro.sequences = PackSequences(metas, pack_len);
     // Pad to a multiple of 2*cp so CP slicing is exact. Packed lengths are
     // metadata, so the padded width is known before any payload exists and
     // each sequence is materialized exactly once, already padded.
@@ -110,7 +110,7 @@ Status DataConstructor::AssembleBucket(const SampleMap& samples_by_id, const Buc
 Status DataConstructor::BuildStep(const LoadingPlan& plan, std::vector<SampleSlice> slices) {
   std::lock_guard<std::mutex> lock(mu_);
   SampleMap samples_by_id;
-  ImageDecode deferred_decode;
+  ImageDecode deferred_decode(TransformCostParams(), config_.max_decode_patches);
   for (SampleSlice& slice : slices) {
     if (!slice.end_of_stream) {
       return Status::DataLoss("slice from loader " + std::to_string(slice.loader_id) +
@@ -155,9 +155,14 @@ Status DataConstructor::BuildStep(const LoadingPlan& plan, std::vector<SampleSli
     bins[pos->second][static_cast<size_t>(a.microbatch)].push_back(&a);
   }
 
+  // Multi-scale batching: the plan's per-step scale bounds packing, never
+  // exceeding the configured ceiling (keeps the oracle formula identical).
+  const int32_t pack_len = plan.pack_max_seq_len > 0
+                               ? std::min(plan.pack_max_seq_len, config_.max_seq_len)
+                               : config_.max_seq_len;
   int64_t payload = 0;
   for (size_t i = 0; i < data.buckets.size(); ++i) {
-    MSD_RETURN_IF_ERROR(AssembleBucket(samples_by_id, bins[i], &data.microbatches[i]));
+    MSD_RETURN_IF_ERROR(AssembleBucket(samples_by_id, bins[i], pack_len, &data.microbatches[i]));
     for (const Microbatch& mb : data.microbatches[i]) {
       for (const PackedSequence& seq : mb.sequences) {
         // Pixels are retained by the step via views into the loaders' frozen

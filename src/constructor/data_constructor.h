@@ -69,6 +69,9 @@ struct DataConstructorConfig {
   // Transformation reordering (Sec. 6.2): decode images that loaders shipped
   // compressed (SourceLoaderConfig::defer_image_decode).
   bool decode_deferred_images = true;
+  // Decode bound for deferred decode; must equal the loaders'
+  // SourceLoaderConfig::max_decode_patches (0 = unbounded).
+  int32_t max_decode_patches = 0;
 };
 
 // The batch view one rank fetches for one step. Token payloads inside the
@@ -141,8 +144,11 @@ class DataConstructor : public Actor {
   };
 
   std::vector<int32_t> OwnedBucketsLocked(const LoadingPlan& plan) const;
+  // `pack_len` is the step's effective pack length: the plan's multi-scale
+  // pick (pack_max_seq_len) clamped to config max_seq_len, or the config
+  // value when the plan carries none.
   Status AssembleBucket(const SampleMap& samples_by_id, const BucketBins& bins,
-                        std::vector<Microbatch>* out) const;
+                        int32_t pack_len, std::vector<Microbatch>* out) const;
   RankBatch MakeRankView(StepData& data, int32_t rank) const;
   const CachedView& SliceViewFor(StepData& data, size_t bucket_pos, int32_t cp_coord) const;
   void EvictOldSteps(int64_t current_step);

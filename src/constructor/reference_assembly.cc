@@ -53,7 +53,11 @@ Status ReferenceDataPlane::AssembleBucket(const LoadingPlan& plan,
     }
     Microbatch& micro = (*out)[static_cast<size_t>(mb)];
     micro.microbatch_index = mb;
-    micro.sequences = PackSequences(metas, config_.max_seq_len);
+    // Same multi-scale pack bound as the zero-copy plane (byte-identity).
+    const int32_t pack_len = plan.pack_max_seq_len > 0
+                                 ? std::min(plan.pack_max_seq_len, config_.max_seq_len)
+                                 : config_.max_seq_len;
+    micro.sequences = PackSequences(metas, pack_len);
     int32_t align = 2 * tree_->spec().cp;
     int32_t max_len = 0;
     for (const PackedSequence& s : micro.sequences) {
@@ -112,7 +116,7 @@ Status ReferenceDataPlane::BuildStep(const LoadingPlan& plan,
                                      const std::vector<SampleSlice>& slices) {
   // Scalar plane: every sample is value-copied into the per-step map.
   std::map<uint64_t, Sample> samples_by_id;
-  ImageDecode deferred_decode;
+  ImageDecode deferred_decode(TransformCostParams(), config_.max_decode_patches);
   for (const SampleSlice& slice : slices) {
     if (!slice.end_of_stream) {
       return Status::DataLoss("slice from loader " + std::to_string(slice.loader_id) +

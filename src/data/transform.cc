@@ -79,6 +79,11 @@ Result<SimTime> ImageDecode::ApplyWithArena(Sample& sample, RowGroupArena* arena
   if (sample.raw_image.empty()) {
     return Status::FailedPrecondition("ImageDecode on sample without raw image bytes");
   }
+  if (max_patches_ > 0 && sample.meta.image_tokens > max_patches_) {
+    // Decode bound: clamp the meta first so the pixel count, packing, and
+    // the cost charged below all reflect only the bounded work.
+    sample.meta.image_tokens = max_patches_;
+  }
   size_t count = static_cast<size_t>(sample.meta.image_tokens);
   if (arena != nullptr) {
     // Arena path: decode straight into the shared pixel slab — no private
@@ -125,11 +130,12 @@ Result<SimTime> TransformPipeline::Apply(Sample& sample, RowGroupArena* arena) c
 }
 
 TransformPipeline TransformPipeline::Default(Modality modality,
-                                             std::shared_ptr<const Tokenizer> tokenizer) {
+                                             std::shared_ptr<const Tokenizer> tokenizer,
+                                             int32_t max_decode_patches) {
   TransformPipeline p;
   p.Add(std::make_unique<TextTokenize>(std::move(tokenizer)));
   if (modality != Modality::kText) {
-    p.Add(std::make_unique<ImageDecode>());
+    p.Add(std::make_unique<ImageDecode>(TransformCostParams(), max_decode_patches));
   }
   return p;
 }

@@ -63,15 +63,25 @@ class TextTokenize : public SampleTransform {
 };
 
 // raw_image -> pixels (one float per patch embedding slot).
+//
+// `max_patches` > 0 is the metadata-driven decode bound (multi-scale
+// batching): a segment can never consume more than max_seq_len patches, so
+// decoding past the bound is pure waste. Samples above the bound have
+// meta.image_tokens clamped *before* pixels are produced — packing, cost
+// accounting, and the pixel buffer all see only the bounded work, and both
+// data planes (zero-copy and reference oracle) clamp identically.
 class ImageDecode : public SampleTransform {
  public:
-  explicit ImageDecode(TransformCostParams params = TransformCostParams()) : params_(params) {}
+  explicit ImageDecode(TransformCostParams params = TransformCostParams(),
+                       int32_t max_patches = 0)
+      : params_(params), max_patches_(max_patches) {}
   std::string name() const override { return "ImageDecode"; }
   Result<SimTime> Apply(Sample& sample) const override;
   Result<SimTime> ApplyWithArena(Sample& sample, RowGroupArena* arena) const override;
 
  private:
   TransformCostParams params_;
+  int32_t max_patches_ = 0;  // 0 = unbounded
 };
 
 // Crops/pads the decoded image to at most `max_patches` patches.
@@ -94,8 +104,10 @@ class TransformPipeline {
   // output is staged into its slabs (the caller freezes after the group).
   Result<SimTime> Apply(Sample& sample, RowGroupArena* arena = nullptr) const;
   // Default pipeline for a modality: tokenize (+decode for visual sources).
+  // `max_decode_patches` > 0 bounds the decode stage (see ImageDecode).
   static TransformPipeline Default(Modality modality,
-                                   std::shared_ptr<const Tokenizer> tokenizer);
+                                   std::shared_ptr<const Tokenizer> tokenizer,
+                                   int32_t max_decode_patches = 0);
 
  private:
   std::vector<std::unique_ptr<SampleTransform>> stages_;

@@ -64,7 +64,8 @@ SourceLoader::SourceLoader(SourceLoaderConfig config, const ObjectStore* store,
     // Transformation reordering: tokenize here, decode at the constructor.
     pipeline_ = TransformPipeline::Default(Modality::kText, tokenizer_);
   } else {
-    pipeline_ = TransformPipeline::Default(config_.spec.modality, tokenizer_);
+    pipeline_ = TransformPipeline::Default(config_.spec.modality, tokenizer_,
+                                           config_.max_decode_patches);
   }
   workers_ = std::make_unique<ThreadPool>(static_cast<size_t>(config_.num_workers));
   worker_charge_ = MemCharge(

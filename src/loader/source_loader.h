@@ -49,6 +49,11 @@ struct SourceLoaderConfig {
   // Transformation reordering (Sec. 6.2, borrowed from Pecan): defer image
   // decoding to the Data Constructor so slices travel as compressed bytes.
   bool defer_image_decode = false;
+  // Metadata-driven decode bound (multi-scale batching): > 0 stops pixel
+  // decode past this many patches — a packed segment can never consume more
+  // than max_seq_len of them. 0 = unbounded. Must match the constructors'
+  // DataConstructorConfig::max_decode_patches for plane byte-identity.
+  int32_t max_decode_patches = 0;
   // Hot-standby replica (Sec. 6.1): gets a distinct actor name and charges
   // its worker memory to the shadow-loader category (excluded from the
   // paper's measurements).

@@ -48,6 +48,8 @@ std::string LoadingPlan::Serialize() const {
   w.PutU32(static_cast<uint32_t>(group_size));
   w.PutU32(static_cast<uint32_t>(num_buckets));
   w.PutU32(static_cast<uint32_t>(num_microbatches));
+  w.PutU32(static_cast<uint32_t>(pack_max_seq_len));
+  w.PutU32(static_cast<uint32_t>(mix_phase));
   w.PutU32(static_cast<uint32_t>(broadcast_axes.size()));
   for (Axis a : broadcast_axes) {
     w.PutU8(static_cast<uint8_t>(a));
@@ -83,6 +85,8 @@ Result<LoadingPlan> LoadingPlan::Deserialize(std::string_view bytes) {
   plan.group_size = static_cast<int32_t>(r.GetU32());
   plan.num_buckets = static_cast<int32_t>(r.GetU32());
   plan.num_microbatches = static_cast<int32_t>(r.GetU32());
+  plan.pack_max_seq_len = static_cast<int32_t>(r.GetU32());
+  plan.mix_phase = static_cast<int32_t>(r.GetU32());
   uint32_t n_axes = r.GetU32();
   if (n_axes > r.remaining()) {
     return Status::DataLoss("corrupt LoadingPlan: broadcast-axis count exceeds payload");

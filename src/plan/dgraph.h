@@ -75,6 +75,16 @@ struct LoadingPlan {
   int32_t group_size = 1;
   int32_t num_buckets = 0;
   int32_t num_microbatches = 1;
+  // Multi-scale batching (src/plan/mixture_schedule.h): the pack length this
+  // step's sequences are packed to, stamped by the Planner from the
+  // schedule's per-step scale pick. 0 = no schedule scale — constructors use
+  // their configured max_seq_len. Carried in the plan (not recomputed) so
+  // checkpoint replay, reshard rebuilds, and the reference oracle all replay
+  // the scale scalar-wise without consulting the schedule.
+  int32_t pack_max_seq_len = 0;
+  // Schedule phase active when this plan was generated (-1 = no schedule);
+  // telemetry-only: labels the step trace's mix span and the phase gauge.
+  int32_t mix_phase = -1;
   std::vector<Axis> broadcast_axes;
   std::vector<SliceAssignment> assignments;  // sorted by (bucket, microbatch)
   std::vector<int32_t> fetching_ranks;       // ranks that fetch after exclusions

@@ -1,0 +1,234 @@
+#include "src/plan/mixture_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "src/storage/wire.h"
+
+namespace msd {
+
+namespace {
+
+// SplitMix64: one multiply-xorshift cascade per step — enough spread for the
+// per-step scale pick, and cheap enough to recompute anywhere (constructors,
+// oracle, tests) without threading RNG state around.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void HashMix(uint64_t* h, uint64_t v) {
+  // FNV-1a over the value's bytes.
+  for (int i = 0; i < 8; ++i) {
+    *h ^= (v >> (8 * i)) & 0xff;
+    *h *= 1099511628211ULL;
+  }
+}
+
+uint64_t DoubleBits(double d) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+MixtureSchedule::MixtureSchedule(Options options)
+    : phases_(std::move(options.phases)),
+      scale_set_(std::move(options.scale_set)),
+      scale_seed_(options.scale_seed) {
+  MSD_CHECK(!phases_.empty());
+  std::sort(phases_.begin(), phases_.end(),
+            [](const MixturePhase& a, const MixturePhase& b) {
+              return a.first_step < b.first_step;
+            });
+  MSD_CHECK(phases_.front().first_step == 0);
+  for (const MixturePhase& p : phases_) {
+    MSD_CHECK(p.weights.size() == phases_.front().weights.size());
+    MSD_CHECK(!p.weights.empty());
+    MSD_CHECK(p.temperature > 0.0);
+    double sum = 0.0;
+    for (double w : p.weights) {
+      MSD_CHECK(w >= 0.0);
+      sum += w;
+    }
+    MSD_CHECK(sum > 0.0);
+    MSD_CHECK(p.scale_index < static_cast<int32_t>(scale_set_.size()));
+  }
+  for (int32_t scale : scale_set_) {
+    MSD_CHECK(scale > 0);
+  }
+}
+
+const MixturePhase& MixtureSchedule::PhaseAtLocked(int64_t step) const {
+  const MixturePhase* active = &phases_.front();
+  for (const MixturePhase& p : phases_) {
+    if (p.first_step <= step) {
+      active = &p;
+    } else {
+      break;
+    }
+  }
+  return *active;
+}
+
+std::vector<double> MixtureSchedule::WeightsAt(int64_t step) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const MixturePhase& phase = PhaseAtLocked(step);
+  std::vector<double> base = phase.weights;
+  // Latest committed override at or before `step` replaces the base weights.
+  auto it = overrides_.upper_bound(step);
+  if (it != overrides_.begin()) {
+    --it;
+    base = it->second;
+  }
+  if (phase.temperature == 1.0) {
+    return base;
+  }
+  // Temperature scaling: w_i^(1/T), normalized. Zero weights stay zero, so
+  // temperature never resurrects an excluded source.
+  double inv_t = 1.0 / phase.temperature;
+  double sum = 0.0;
+  for (double& w : base) {
+    w = w > 0.0 ? std::pow(w, inv_t) : 0.0;
+    sum += w;
+  }
+  if (sum > 0.0) {
+    for (double& w : base) {
+      w /= sum;
+    }
+  }
+  return base;
+}
+
+size_t MixtureSchedule::num_sources() const { return phases_.front().weights.size(); }
+
+int32_t MixtureSchedule::PhaseIndexAt(int64_t step) const {
+  int32_t index = 0;
+  for (size_t i = 1; i < phases_.size(); ++i) {
+    if (phases_[i].first_step <= step) {
+      index = static_cast<int32_t>(i);
+    } else {
+      break;
+    }
+  }
+  return index;
+}
+
+const MixturePhase& MixtureSchedule::PhaseAt(int64_t step) const {
+  return phases_[static_cast<size_t>(PhaseIndexAt(step))];
+}
+
+int64_t MixtureSchedule::PhaseRemainingAt(int64_t step) const {
+  size_t index = static_cast<size_t>(PhaseIndexAt(step));
+  if (index + 1 >= phases_.size()) {
+    return -1;
+  }
+  return phases_[index + 1].first_step - step;
+}
+
+int32_t MixtureSchedule::ScaleAt(int64_t step) const {
+  if (scale_set_.empty()) {
+    return 0;
+  }
+  const MixturePhase& phase = PhaseAt(step);
+  if (phase.scale_index >= 0) {
+    return scale_set_[static_cast<size_t>(phase.scale_index)];
+  }
+  uint64_t pick = SplitMix64(scale_seed_ ^ static_cast<uint64_t>(step));
+  return scale_set_[pick % scale_set_.size()];
+}
+
+Status MixtureSchedule::CommitOverride(int64_t effective_step, std::vector<double> weights) {
+  if (effective_step < 0) {
+    return Status::InvalidArgument("override effective step must be >= 0");
+  }
+  if (weights.size() != num_sources()) {
+    return Status::InvalidArgument("override covers " + std::to_string(weights.size()) +
+                                   " sources, schedule has " + std::to_string(num_sources()));
+  }
+  double sum = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) {
+      return Status::InvalidArgument("override weights must be non-negative");
+    }
+    sum += w;
+  }
+  if (sum <= 0.0) {
+    return Status::InvalidArgument("override weights must have a positive sum");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  overrides_[effective_step] = std::move(weights);
+  return Status::Ok();
+}
+
+std::string MixtureSchedule::SerializeOverrides() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WireWriter w;
+  w.PutU32(static_cast<uint32_t>(overrides_.size()));
+  for (const auto& [step, weights] : overrides_) {
+    w.PutI64(step);
+    w.PutPodArray(weights.data(), weights.size());
+  }
+  return w.Take();
+}
+
+Status MixtureSchedule::RestoreOverrides(std::string_view bytes) {
+  WireReader r(bytes);
+  uint32_t count = r.GetU32();
+  if (!r.Ok() || count > r.remaining()) {
+    return Status::DataLoss("corrupt mixture override blob");
+  }
+  std::map<int64_t, std::vector<double>> restored;
+  for (uint32_t i = 0; i < count; ++i) {
+    int64_t step = r.GetI64();
+    std::vector<double> weights;
+    r.GetPodArray(&weights);
+    if (!r.Ok()) {
+      return Status::DataLoss("corrupt mixture override blob");
+    }
+    if (weights.size() != num_sources()) {
+      return Status::DataLoss("mixture override arity mismatch");
+    }
+    restored[step] = std::move(weights);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  overrides_ = std::move(restored);
+  return Status::Ok();
+}
+
+std::map<int64_t, std::vector<double>> MixtureSchedule::OverridesSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return overrides_;
+}
+
+void MixtureSchedule::ReplaceOverrides(std::map<int64_t, std::vector<double>> overrides) {
+  std::lock_guard<std::mutex> lock(mu_);
+  overrides_ = std::move(overrides);
+}
+
+uint64_t MixtureSchedule::StructuralFingerprint() const {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  HashMix(&h, static_cast<uint64_t>(phases_.size()));
+  for (const MixturePhase& p : phases_) {
+    HashMix(&h, static_cast<uint64_t>(p.first_step));
+    HashMix(&h, DoubleBits(p.temperature));
+    HashMix(&h, static_cast<uint64_t>(static_cast<int64_t>(p.scale_index)));
+    HashMix(&h, static_cast<uint64_t>(p.weights.size()));
+    for (double w : p.weights) {
+      HashMix(&h, DoubleBits(w));
+    }
+  }
+  HashMix(&h, static_cast<uint64_t>(scale_set_.size()));
+  for (int32_t scale : scale_set_) {
+    HashMix(&h, static_cast<uint64_t>(static_cast<int64_t>(scale)));
+  }
+  HashMix(&h, scale_seed_);
+  return h;
+}
+
+}  // namespace msd

@@ -1,0 +1,117 @@
+// MixtureSchedule: the Planner's first-class, checkpointable mixture state
+// (ROADMAP "scenario diversity"; Sec. 2.1 curriculum / temperature sampling).
+//
+// A deterministic piecewise schedule over steps: curriculum phases carrying
+// per-source base weights and a sampling temperature, an optional multi-scale
+// set of pack lengths (a per-step seeded scale pick buckets batches by
+// resolution), and a client-fed re-weighting hook (overrides committed via
+// the Planner actor, serialized into its checkpoint state).
+//
+// Determinism contract:
+//  - WeightsAt(step) is a pure function of (phases, overrides-at-or-before
+//    step): the planner RNG consumes it through MixSampler exactly as it
+//    consumes a static schedule — one Categorical draw per sample, no extra
+//    draws at phase boundaries or on quarantine masking.
+//  - ScaleAt(step) is a hash of (scale_seed, step), NOT a planner-RNG draw:
+//    multi-scale on/off never perturbs the committed mixing stream.
+//  - Overrides are the only mutable state. They commit through the Planner
+//    (which validates the effective step against its plan cursor), serialize
+//    via SerializeOverrides(), and restore byte-identically on resume.
+#ifndef SRC_PLAN_MIXTURE_SCHEDULE_H_
+#define SRC_PLAN_MIXTURE_SCHEDULE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/plan/mix.h"
+
+namespace msd {
+
+// One curriculum phase: applies from `first_step` until the next phase.
+struct MixturePhase {
+  int64_t first_step = 0;
+  // Per-source base weights (>= 0, positive sum). Same arity across phases.
+  std::vector<double> weights;
+  // Temperature-scaled sampling: effective weight w_i^(1/temperature),
+  // normalized. 1.0 = proportional; large = uniform-ward; small = sharpened.
+  double temperature = 1.0;
+  // Pins this phase to one entry of the scale set, or -1 for the seeded
+  // per-step pick over the whole set.
+  int32_t scale_index = -1;
+};
+
+class MixtureSchedule : public MixSchedule {
+ public:
+  struct Options {
+    std::vector<MixturePhase> phases;  // sorted on construction; first at 0
+    // Candidate pack lengths for multi-scale batching. Each must be > 0 and
+    // <= the session's max_seq_len (the Planner stamps the pick into every
+    // LoadingPlan as pack_max_seq_len). Empty = single-scale (plans carry 0,
+    // constructors use their configured max_seq_len).
+    std::vector<int32_t> scale_set;
+    // Seeds the per-step scale pick (independent of the planner seed).
+    uint64_t scale_seed = 0x5ca1ab1e;
+  };
+
+  explicit MixtureSchedule(Options options);
+
+  // MixSchedule: the phase's (or latest override's) weights at `step`,
+  // temperature-scaled and normalized.
+  std::vector<double> WeightsAt(int64_t step) const override;
+  size_t num_sources() const override;
+
+  // Phase introspection (telemetry gauges + resume-mid-phase tests).
+  int32_t PhaseIndexAt(int64_t step) const;
+  const MixturePhase& PhaseAt(int64_t step) const;
+  // Steps left in the phase active at `step` (including `step` itself);
+  // -1 = final phase, unbounded.
+  int64_t PhaseRemainingAt(int64_t step) const;
+  size_t num_phases() const { return phases_.size(); }
+
+  // The pack length multi-scale batching picks for `step` (0 = no scale set:
+  // use the constructor's configured max_seq_len).
+  int32_t ScaleAt(int64_t step) const;
+  const std::vector<int32_t>& scale_set() const { return scale_set_; }
+
+  // Client-fed re-weighting: from `effective_step` onward the phase's base
+  // weights are replaced by `weights` (temperature still applies). Callers
+  // must route commits through the Planner actor, which rejects effective
+  // steps already planned — committing under an issued plan would fork the
+  // stream. Later overrides supersede earlier ones step-wise.
+  Status CommitOverride(int64_t effective_step, std::vector<double> weights);
+
+  // Checkpoint plane hooks: overrides are planner state (the structural
+  // schedule is rebuilt from job options; overrides arrived at runtime).
+  std::string SerializeOverrides() const;
+  Status RestoreOverrides(std::string_view bytes);
+  std::map<int64_t, std::vector<double>> OverridesSnapshot() const;
+  // Wholesale replacement from a restored PlannerCheckpoint (drops overrides
+  // committed after the checkpoint was taken — they are not in the stream
+  // being resumed).
+  void ReplaceOverrides(std::map<int64_t, std::vector<double>> overrides);
+
+  // FNV-1a hash of the static structure (phases, temperatures, scale set,
+  // scale seed). Stable across override commits — the checkpoint fingerprint
+  // uses this instead of probing WeightsAt, which overrides would perturb.
+  uint64_t StructuralFingerprint() const;
+
+ private:
+  const MixturePhase& PhaseAtLocked(int64_t step) const;
+
+  std::vector<MixturePhase> phases_;
+  std::vector<int32_t> scale_set_;
+  uint64_t scale_seed_ = 0;
+
+  mutable std::mutex mu_;
+  // effective_step -> base weights; the greatest key <= step wins.
+  std::map<int64_t, std::vector<double>> overrides_;
+};
+
+}  // namespace msd
+
+#endif  // SRC_PLAN_MIXTURE_SCHEDULE_H_

@@ -183,8 +183,14 @@ Result<LoadingPlan> Planner::GeneratePlan(int64_t step) {
                                " loaders unavailable during metadata gather");
   }
 
-  // Phase 2: run the declarative strategy.
+  // Phase 2: run the declarative strategy. The RNG state is snapshotted
+  // first and rolled back on failure: a strategy that errors mid-draw (e.g.
+  // a schedule phase putting all its weight on a quarantined source →
+  // ResourceExhausted after partial Categorical draws) must not advance the
+  // committed RNG stream, or the retried/re-admitted plan history would fork
+  // from an undisturbed run's.
   auto t1 = std::chrono::steady_clock::now();
+  const uint64_t rng_before = rng_.state();
   PlanContext ctx;
   ctx.buffer_infos = &buffer_infos;
   ctx.tree = tree_;
@@ -193,8 +199,10 @@ Result<LoadingPlan> Planner::GeneratePlan(int64_t step) {
   Result<LoadingPlan> plan = strategy_(ctx);
   last_timings_.compute_ms = MsSince(t1);
   if (!plan.ok()) {
+    rng_.set_state(rng_before);
     return plan;
   }
+  StampMixture(step, buffer_infos, &plan.value());
 
   // Phase 3: journal to the GCS (differential checkpointing input).
   auto t2 = std::chrono::steady_clock::now();
@@ -207,6 +215,66 @@ Result<LoadingPlan> Planner::GeneratePlan(int64_t step) {
   return plan;
 }
 
+void Planner::StampMixture(int64_t step, const std::vector<BufferInfo>& buffer_infos,
+                           LoadingPlan* plan) {
+  if (config_.mixture == nullptr) {
+    return;
+  }
+  const int32_t scale = config_.mixture->ScaleAt(step);
+  const int32_t phase = config_.mixture->PhaseIndexAt(step);
+  plan->pack_max_seq_len = scale;
+  plan->mix_phase = phase;
+  for (auto& [name, sub] : plan->subplans) {
+    sub.pack_max_seq_len = scale;
+    sub.mix_phase = phase;
+  }
+  // Telemetry mirror: the schedule's weights in buffer order (sorted by
+  // source_id — the strategy's schedule index order), masked where the
+  // gather offered no samples (quarantined or exhausted sources).
+  MixtureStatus status;
+  status.step = step;
+  status.phase = phase;
+  status.scale = scale;
+  status.effective_weights = config_.mixture->WeightsAt(step);
+  std::map<int32_t, bool> source_empty;
+  for (const BufferInfo& info : buffer_infos) {
+    source_empty[info.source_id] = info.samples.empty();
+  }
+  size_t index = 0;
+  for (const auto& [source_id, empty] : source_empty) {
+    (void)source_id;
+    if (index >= status.effective_weights.size()) {
+      break;
+    }
+    if (empty) {
+      status.effective_weights[index] = 0.0;
+    }
+    ++index;
+  }
+  std::lock_guard<std::mutex> lock(mixture_status_mu_);
+  mixture_status_ = std::move(status);
+}
+
+Status Planner::CommitMixtureOverride(int64_t effective_step, std::vector<double> weights) {
+  if (config_.mixture == nullptr) {
+    return Status::FailedPrecondition(
+        "mixture overrides need a MixtureSchedule (SessionBuilder::WithMixtureSchedule)");
+  }
+  const int64_t effective = effective_step < 0 ? next_unplanned_ : effective_step;
+  if (effective < next_unplanned_) {
+    return Status::InvalidArgument(
+        "mixture override at step " + std::to_string(effective) +
+        " is already planned (next unplanned step is " + std::to_string(next_unplanned_) +
+        "); re-weighting under an issued plan would fork the stream");
+  }
+  return config_.mixture->CommitOverride(effective, std::move(weights));
+}
+
+Planner::MixtureStatus Planner::mixture_status() const {
+  std::lock_guard<std::mutex> lock(mixture_status_mu_);
+  return mixture_status_;
+}
+
 PlannerCheckpoint Planner::CheckpointState() const {
   PlannerCheckpoint ckpt;
   ckpt.rng_state = rng_.state();
@@ -214,6 +282,9 @@ PlannerCheckpoint Planner::CheckpointState() const {
   ckpt.plans_generated = plans_generated_;
   ckpt.quarantined = quarantined_;
   ckpt.gather_failures = gather_failures_;
+  if (config_.mixture != nullptr) {
+    ckpt.mixture_overrides = config_.mixture->OverridesSnapshot();
+  }
   return ckpt;
 }
 
@@ -224,6 +295,11 @@ void Planner::RestoreCheckpoint(const PlannerCheckpoint& ckpt,
   plans_generated_ = ckpt.plans_generated;
   quarantined_ = ckpt.quarantined;
   gather_failures_ = ckpt.gather_failures;
+  if (config_.mixture != nullptr) {
+    // Overrides are planner state: the schedule object was rebuilt from job
+    // options, so the runtime re-weighting history rides in the checkpoint.
+    config_.mixture->ReplaceOverrides(ckpt.mixture_overrides);
+  }
   JournalQuarantine();
   cache_ = std::move(replay_plans);
   // The replay window must survive until consumed: TrimCache evicts from the

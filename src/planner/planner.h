@@ -12,6 +12,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "src/actor/actor_system.h"
@@ -19,6 +20,7 @@
 #include "src/loader/source_loader.h"
 #include "src/mesh/client_place_tree.h"
 #include "src/plan/dgraph.h"
+#include "src/plan/mixture_schedule.h"
 
 namespace msd {
 
@@ -45,6 +47,11 @@ struct PlannerCheckpoint {
   // a resumed job must renormalize over the same surviving sources.
   std::map<int32_t, int64_t> quarantined;       // loader_id -> step quarantined at
   std::map<int32_t, int32_t> gather_failures;   // loader_id -> consecutive failures
+  // Client-fed mixture re-weighting overrides (effective_step -> weights),
+  // snapshotted from the MixtureSchedule: runtime state the schedule cannot
+  // be rebuilt with from job options alone, so resume must replay it for the
+  // post-resume plans to match the checkpointed job's.
+  std::map<int64_t, std::vector<double>> mixture_overrides;
 };
 
 struct PlannerConfig {
@@ -63,6 +70,12 @@ struct PlannerConfig {
   // While quarantined, re-probe the loader every this many steps; a healthy
   // probe re-admits the source. <= 0 disables re-admission.
   int64_t quarantine_probe_interval = 16;
+  // Dynamic mixture schedule (also installed as the strategy's MixSchedule).
+  // When set, the planner stamps the schedule's per-step scale pick into
+  // every plan (pack_max_seq_len / mix_phase), owns the override commit path,
+  // and carries the override map through its checkpoint state. Null = static
+  // mixing, plans carry pack_max_seq_len = 0.
+  std::shared_ptr<MixtureSchedule> mixture;
 };
 
 class Planner : public Actor {
@@ -99,6 +112,25 @@ class Planner : public Actor {
   void RestoreCheckpoint(const PlannerCheckpoint& ckpt,
                          std::map<int64_t, LoadingPlan> replay_plans = {});
 
+  // Client-fed re-weighting: commits `weights` into the mixture schedule from
+  // `effective_step` onward (-1 = the next unplanned step). Rejects steps the
+  // planner has already generated plans for — re-weighting under an issued
+  // plan would fork the stream — and FailedPrecondition without a mixture
+  // schedule. Call through the actor (Ask), like GetPlan.
+  Status CommitMixtureOverride(int64_t effective_step, std::vector<double> weights);
+
+  // Telemetry mirror of the last generated plan's mixture state. Readable
+  // from any thread (mutex-guarded copy; collectors must not Ask the actor).
+  struct MixtureStatus {
+    int64_t step = -1;   // -1 = no plan generated yet (or no schedule)
+    int32_t phase = -1;
+    int32_t scale = 0;   // pack length stamped into the plan (0 = config)
+    // Schedule weights at `step` with quarantined/empty sources masked to 0 —
+    // the weights the mix draw actually renormalized over.
+    std::vector<double> effective_weights;
+  };
+  MixtureStatus mixture_status() const;
+
   // Loader names that failed to answer the last metadata gather.
   const std::vector<std::string>& last_failed_loaders() const { return last_failed_loaders_; }
 
@@ -132,6 +164,10 @@ class Planner : public Actor {
   // (MixSampler masks zero-availability sources).
   static BufferInfo EmptyInfoFor(const SourceLoader* loader);
   void JournalQuarantine();
+  // Stamps the schedule's per-step scale/phase into the plan (and subplans)
+  // and refreshes the telemetry mirror. No-op without a mixture schedule.
+  void StampMixture(int64_t step, const std::vector<BufferInfo>& buffer_infos,
+                    LoadingPlan* plan);
 
   PlannerConfig config_;
   ActorSystem* system_;
@@ -151,6 +187,10 @@ class Planner : public Actor {
   std::map<int32_t, int32_t> gather_failures_;  // loader_id -> consecutive failures
   int64_t quarantine_events_ = 0;
   int64_t readmission_events_ = 0;
+  // Telemetry mirror (see mixture_status()): written by GeneratePlan on the
+  // actor thread, read by metrics collectors on scrape threads.
+  mutable std::mutex mixture_status_mu_;
+  MixtureStatus mixture_status_;
 };
 
 }  // namespace msd

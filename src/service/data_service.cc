@@ -198,6 +198,16 @@ Result<HealthReport> DataService::Diagnose(const std::string& name) {
   return monitor->Diagnose();
 }
 
+Status DataService::UpdateTenantMixture(const std::string& name, int64_t effective_step,
+                                        std::vector<double> weights) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(name);
+  if (it == tenants_.end() || it->second.session == nullptr) {
+    return Status::NotFound("tenant '" + name + "' is not registered");
+  }
+  return it->second.session->UpdateMixture(effective_step, std::move(weights));
+}
+
 Status DataService::SetSloPolicy(const std::string& name, const SloPolicy& policy) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = tenants_.find(name);

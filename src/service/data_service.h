@@ -86,6 +86,12 @@ class DataService {
   Result<TenantStats> tenant_stats(const std::string& name) const;
   std::vector<std::string> tenant_names() const;
 
+  // Client-fed mixture re-weighting for one tenant (operator surface of
+  // Session::UpdateMixture). NotFound for unknown tenants; FailedPrecondition
+  // when the tenant's session has no dynamic mixture schedule.
+  Status UpdateTenantMixture(const std::string& name, int64_t effective_step,
+                             std::vector<double> weights);
+
   // ---- Diagnosis surface (src/telemetry/health.h) ----
 
   // The tenant's current health: bottleneck verdict, recent stall breakdown,

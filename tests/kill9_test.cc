@@ -21,11 +21,13 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/api/session.h"
+#include "src/plan/mixture_schedule.h"
 #include "tests/batch_identity.h"
 #include "tests/scratch_dir.h"
 
@@ -36,7 +38,10 @@ namespace {
 
 namespace fs = std::filesystem;
 
-// Shared job shape: small image corpus so pixel payloads are in the stream.
+// Shared job shape: small image corpus so pixel payloads are in the stream,
+// plus a 3-phase mixture curriculum with multi-scale batching — the SIGKILL
+// can land mid-phase, and the resume must pick the curriculum (and the
+// per-step scale picks) back up byte-identically from the planner checkpoint.
 Session::Options JobOptions() {
   Session::Options options;
   options.corpus = MakeCoyo700m();
@@ -47,6 +52,14 @@ Session::Options JobOptions() {
   options.rows_per_file_override = 128;
   options.loader_workers = 1;
   options.prefetch_depth = 2;
+  MixtureSchedule::Options curriculum;
+  curriculum.phases = {
+      {.first_step = 0, .weights = {4.0, 1.0, 1.0, 1.0, 1.0}, .temperature = 1.0},
+      {.first_step = 2, .weights = {1.0, 1.0, 1.0, 1.0, 1.0}, .temperature = 2.0},
+      {.first_step = 5, .weights = {0.5, 0.5, 2.0, 2.0, 4.0}, .temperature = 0.5},
+  };
+  curriculum.scale_set = {512, 1024};
+  options.mixture_schedule = std::make_shared<MixtureSchedule>(curriculum);
   return options;
 }
 

@@ -118,8 +118,9 @@ TEST(WireDecodeTest, LoadingPlanCorruptCountsFailCleanly) {
   plan.step = 3;
   std::string bytes = plan.Serialize();
   // Offset of the assignment count: step(8) + axis(1) + group(4) +
-  // buckets(4) + microbatches(4) + axis-count(4, == 0 here).
-  const size_t count_offset = 8 + 1 + 4 + 4 + 4 + 4;
+  // buckets(4) + microbatches(4) + pack-len(4) + mix-phase(4) +
+  // axis-count(4, == 0 here).
+  const size_t count_offset = 8 + 1 + 4 + 4 + 4 + 4 + 4 + 4;
   std::string corrupt = bytes;
   for (size_t i = 0; i < 4; ++i) {
     corrupt[count_offset + i] = static_cast<char>(0xFF);
